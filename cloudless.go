@@ -1,0 +1,528 @@
+// Package cloudless is a reference implementation of Cloudless Computing
+// (Qiu et al., HotNets '23): cloud infrastructure management "as a service",
+// covering the full IaC lifecycle the paper lays out — developing,
+// validating, deploying, updating, diagnosing, and policing infrastructure.
+//
+// The central type is Stack: a configuration bound to a cloud, a golden-
+// state database with granular locking, a policy engine, and a drift
+// watcher. A typical session:
+//
+//	stack, err := cloudless.Open(cloudless.Options{
+//		Sources: map[string]string{"main.ccl": src},
+//		Cloud:   sim, // or cloud.NewClient("http://...", nil)
+//	})
+//	res := stack.Validate()          // compile-time cloud-level checks
+//	p, diags := stack.Plan(ctx)      // diff against golden state
+//	result, err := stack.Apply(ctx, p)
+//
+// See the examples directory for runnable end-to-end scenarios.
+package cloudless
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"cloudless/internal/apply"
+	"cloudless/internal/cloud"
+	"cloudless/internal/config"
+	"cloudless/internal/diagnose"
+	"cloudless/internal/drift"
+	"cloudless/internal/eval"
+	"cloudless/internal/hcl"
+	"cloudless/internal/plan"
+	"cloudless/internal/policy"
+	"cloudless/internal/rollback"
+	"cloudless/internal/state"
+	"cloudless/internal/statedb"
+	"cloudless/internal/validate"
+)
+
+// Re-exported names so most callers only import the root package.
+type (
+	// Plan is an execution plan (see internal/plan).
+	Plan = plan.Plan
+	// ApplyResult summarizes an apply.
+	ApplyResult = apply.Result
+	// ValidationResult holds compile-time findings.
+	ValidationResult = validate.Result
+	// DriftReport is a drift detection outcome.
+	DriftReport = drift.Report
+	// Diagnosis explains a cloud error at the IaC level.
+	Diagnosis = diagnose.Diagnosis
+	// Decision is a policy decision.
+	Decision = policy.Decision
+	// RollbackPlan is a computed rollback.
+	RollbackPlan = rollback.Plan
+	// State is recorded infrastructure state.
+	State = state.State
+)
+
+// Scheduler choices for Apply.
+const (
+	SchedulerFIFO         = apply.FIFOScheduler
+	SchedulerCriticalPath = apply.CriticalPathScheduler
+)
+
+// Options configure Open.
+type Options struct {
+	// Sources maps filename to CCL source. Exactly one of Sources or Dir
+	// must be set.
+	Sources map[string]string
+	// Dir loads all .ccl files from a directory.
+	Dir string
+	// Vars supplies input variable values (plain Go values).
+	Vars map[string]any
+	// Cloud is the control plane to deploy onto. Required.
+	Cloud cloud.Interface
+	// Modules resolves module sources; defaults to directory resolution
+	// relative to Dir when Dir is set.
+	Modules config.ModuleResolver
+	// InitialState seeds the golden-state database (e.g. loaded from a
+	// state file); defaults to empty.
+	InitialState *state.State
+	// GlobalLock switches the lock manager to whole-infrastructure
+	// locking (the baseline behaviour). Default: per-resource locks.
+	GlobalLock bool
+	// Policies is CCL policy source enforced across the lifecycle.
+	Policies string
+	// Principal identifies this stack's changes in cloud activity logs.
+	Principal string
+}
+
+// Stack is an infrastructure under cloudless management.
+type Stack struct {
+	module    *config.Module
+	expansion *config.Expansion
+	vars      map[string]eval.Value
+	resolver  config.ModuleResolver
+
+	cloudAPI  cloud.Interface
+	db        *statedb.DB
+	engine    *policy.Engine
+	watcher   *drift.Watcher
+	principal string
+}
+
+// Open loads, expands, and binds a configuration.
+func Open(opts Options) (*Stack, error) {
+	if opts.Cloud == nil {
+		return nil, fmt.Errorf("cloudless: Options.Cloud is required")
+	}
+	var module *config.Module
+	var diags hcl.Diagnostics
+	switch {
+	case opts.Sources != nil:
+		module, diags = config.Load(opts.Sources)
+	case opts.Dir != "":
+		module, diags = config.LoadDir(opts.Dir)
+		if opts.Modules == nil {
+			opts.Modules = config.DirResolver{Root: opts.Dir}
+		}
+	default:
+		return nil, fmt.Errorf("cloudless: either Options.Sources or Options.Dir must be set")
+	}
+	if diags.HasErrors() {
+		return nil, diags
+	}
+
+	vars := map[string]eval.Value{}
+	for k, v := range opts.Vars {
+		vars[k] = eval.FromGo(v)
+	}
+	// Managed variables include declared defaults, so policy scale targets
+	// work without the caller re-passing every default.
+	for name, decl := range module.Variables {
+		if _, given := vars[name]; !given && decl.HasDefault {
+			vars[name] = decl.Default
+		}
+	}
+	principal := opts.Principal
+	if principal == "" {
+		principal = "cloudless"
+	}
+
+	mode := statedb.ResourceLock
+	if opts.GlobalLock {
+		mode = statedb.GlobalLock
+	}
+
+	s := &Stack{
+		module:    module,
+		vars:      vars,
+		resolver:  opts.Modules,
+		cloudAPI:  opts.Cloud,
+		db:        statedb.Open(opts.InitialState, mode),
+		principal: principal,
+	}
+	if err := s.reexpand(); err != nil {
+		return nil, err
+	}
+
+	if opts.Policies != "" {
+		ps, diags := policy.ParsePolicies("policies.ccl", opts.Policies)
+		if diags.HasErrors() {
+			return nil, diags
+		}
+		s.engine = policy.NewEngine(ps)
+		for k, v := range vars {
+			s.engine.Vars[k] = v
+		}
+	} else {
+		s.engine = policy.NewEngine(nil)
+	}
+	return s, nil
+}
+
+// reexpand recomputes the expansion from the module and current vars.
+func (s *Stack) reexpand() error {
+	ex, diags := config.Expand(s.module, s.vars, s.resolver)
+	if diags.HasErrors() {
+		return diags
+	}
+	s.expansion = ex
+	return nil
+}
+
+// SetVar changes an input variable (e.g. applying a policy decision) and
+// re-expands the configuration.
+func (s *Stack) SetVar(name string, value any) error {
+	s.vars[name] = eval.FromGo(value)
+	s.engine.Vars[name] = s.vars[name]
+	return s.reexpand()
+}
+
+// Var reads a managed variable's current value.
+func (s *Stack) Var(name string) (any, bool) {
+	v, ok := s.vars[name]
+	if !ok {
+		return nil, false
+	}
+	return eval.ToGo(v), true
+}
+
+// DB exposes the golden-state database (locks, history, snapshots).
+func (s *Stack) DB() *statedb.DB { return s.db }
+
+// Cloud exposes the bound cloud interface.
+func (s *Stack) Cloud() cloud.Interface { return s.cloudAPI }
+
+// Instances lists the expanded instance addresses.
+func (s *Stack) Instances() []string {
+	out := make([]string, 0, len(s.expansion.Instances))
+	for _, inst := range s.expansion.Instances {
+		out = append(out, inst.Addr)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate runs compile-time validation: schema structure, semantic types,
+// and the cloud-level knowledge base (§3.2).
+func (s *Stack) Validate() *ValidationResult {
+	return validate.Validate(s.expansion, nil)
+}
+
+// Plan computes a full plan against the golden state, refreshing every
+// recorded resource from the cloud first.
+func (s *Stack) Plan(ctx context.Context) (*Plan, error) {
+	p, diags := plan.Compute(ctx, s.expansion, s.db.Snapshot(), plan.Options{
+		Refresh: true, Cloud: s.cloudAPI,
+	})
+	if diags.HasErrors() {
+		return p, diags
+	}
+	return p, nil
+}
+
+// PlanIncremental computes an incremental plan confined to the impact scope
+// of the given resource-level addresses (§3.3), skipping refresh and
+// evaluation outside the scope.
+func (s *Stack) PlanIncremental(ctx context.Context, changed ...string) (*Plan, error) {
+	p, diags := plan.Compute(ctx, s.expansion, s.db.Snapshot(), plan.Options{
+		Refresh: true, Cloud: s.cloudAPI, ImpactScope: changed,
+	})
+	if diags.HasErrors() {
+		return p, diags
+	}
+	return p, nil
+}
+
+// PlanOffline plans without refreshing from the cloud (fast, trusts state).
+func (s *Stack) PlanOffline(ctx context.Context) (*Plan, error) {
+	p, diags := plan.Compute(ctx, s.expansion, s.db.Snapshot(), plan.Options{})
+	if diags.HasErrors() {
+		return p, diags
+	}
+	return p, nil
+}
+
+// ApplyOptions tune Apply.
+type ApplyOptions struct {
+	Concurrency int
+	Scheduler   apply.Scheduler
+	// SkipPolicyCheck bypasses plan-phase policies.
+	SkipPolicyCheck bool
+}
+
+// ErrPolicyDenied is returned when a plan-phase policy denies the apply.
+type ErrPolicyDenied struct{ Message string }
+
+// Error implements error.
+func (e *ErrPolicyDenied) Error() string { return "cloudless: policy denied: " + e.Message }
+
+// Apply executes a plan transactionally: plan-phase policies run first,
+// per-resource (or global) locks are held for every pending address across
+// the physical apply, and the golden state and time machine are updated
+// atomically on completion. Failed operations yield IaC-level diagnoses.
+func (s *Stack) Apply(ctx context.Context, p *Plan, opts ApplyOptions) (*ApplyResult, []*Diagnosis, error) {
+	if !opts.SkipPolicyCheck {
+		decisions, diags := s.engine.EvaluatePlan(p)
+		if diags.HasErrors() {
+			return nil, nil, diags
+		}
+		if denied, msg := policy.Denied(decisions); denied {
+			return nil, nil, &ErrPolicyDenied{Message: msg}
+		}
+	}
+
+	txn := s.db.Begin("apply")
+	addrs := make([]string, 0, len(p.Changes))
+	for addr, ch := range p.Changes {
+		if ch.Action != plan.ActionNoop {
+			addrs = append(addrs, addr)
+		}
+	}
+	sort.Strings(addrs)
+	if err := txn.Lock(ctx, addrs...); err != nil {
+		return nil, nil, fmt.Errorf("cloudless: acquire locks: %w", err)
+	}
+	defer txn.Abort()
+
+	res := apply.Apply(ctx, s.cloudAPI, p, apply.Options{
+		Concurrency:     opts.Concurrency,
+		Scheduler:       opts.Scheduler,
+		Principal:       s.principal,
+		ContinueOnError: true,
+	})
+
+	// Publish results for the locked addresses.
+	for _, addr := range addrs {
+		if rs := res.State.Get(addr); rs != nil {
+			if err := txn.Put(rs); err != nil {
+				return res, nil, err
+			}
+		} else if err := txn.Delete(addr); err != nil {
+			return res, nil, err
+		}
+	}
+	txn.SetOutputs(res.State.Outputs)
+	if _, err := txn.Commit(); err != nil {
+		return res, nil, err
+	}
+
+	// Advance the drift watcher past our own activity so it doesn't chew
+	// through events we caused (it filters by principal anyway).
+	if s.watcher == nil {
+		s.resetWatcher(ctx)
+	}
+
+	var diagnoses []*Diagnosis
+	for addr, applyErr := range res.Errors {
+		inst := s.expansion.ByAddr[addr]
+		diagnoses = append(diagnoses, diagnose.Explain(applyErr, inst, s.expansion))
+	}
+	sort.Slice(diagnoses, func(i, j int) bool { return diagnoses[i].Addr < diagnoses[j].Addr })
+	return res, diagnoses, res.Err()
+}
+
+// Destroy deletes everything in the golden state, in reverse dependency
+// order, and commits the emptied state.
+func (s *Stack) Destroy(ctx context.Context) (*ApplyResult, error) {
+	snapshot := s.db.Snapshot()
+	txn := s.db.Begin("destroy")
+	if err := txn.Lock(ctx, snapshot.Addrs()...); err != nil {
+		return nil, err
+	}
+	defer txn.Abort()
+	res := apply.Destroy(ctx, s.cloudAPI, snapshot, apply.Options{
+		Principal: s.principal, ContinueOnError: true,
+	})
+	for _, addr := range snapshot.Addrs() {
+		if res.State.Get(addr) == nil {
+			if err := txn.Delete(addr); err != nil {
+				return res, err
+			}
+		}
+	}
+	if _, err := txn.Commit(); err != nil {
+		return res, err
+	}
+	return res, res.Err()
+}
+
+// resetWatcher (re)starts the drift watcher at the cloud's current log tail.
+func (s *Stack) resetWatcher(ctx context.Context) {
+	tail := int64(0)
+	if events, err := s.cloudAPI.Activity(ctx, 0); err == nil && len(events) > 0 {
+		tail = events[len(events)-1].Seq
+	}
+	s.watcher = drift.NewWatcher(s.cloudAPI, s.principal, tail)
+}
+
+// WatchDrift polls the activity log for out-of-band changes (§3.5). Call
+// repeatedly; the cursor advances automatically.
+func (s *Stack) WatchDrift(ctx context.Context) (*DriftReport, error) {
+	if s.watcher == nil {
+		s.resetWatcher(ctx)
+		return &DriftReport{Method: "activity-log"}, nil
+	}
+	return s.watcher.Poll(ctx, s.db.Snapshot())
+}
+
+// ScanDrift performs a full driftctl-style API scan (expensive).
+func (s *Stack) ScanDrift(ctx context.Context) (*DriftReport, error) {
+	return drift.FullScan(ctx, s.cloudAPI, s.db.Snapshot())
+}
+
+// ReconcileDrift applies drift-phase policies (or the explicit choice) to a
+// report and commits the updated state.
+func (s *Stack) ReconcileDrift(ctx context.Context, rep *DriftReport, action drift.Action) (*drift.ReconcileResult, error) {
+	snapshot := s.db.Snapshot()
+	res := drift.Reconcile(ctx, s.cloudAPI, snapshot, rep, func(drift.Item) drift.Action { return action }, s.principal)
+	txn := s.db.Begin("reconcile drift")
+	var addrs []string
+	for _, it := range rep.Items {
+		if it.Addr != "" {
+			addrs = append(addrs, it.Addr)
+		}
+	}
+	// Imported unmanaged resources get new addresses too.
+	for _, a := range res.State.Addrs() {
+		if snapshot.Get(a) == nil {
+			addrs = append(addrs, a)
+		}
+	}
+	if err := txn.Lock(ctx, addrs...); err != nil {
+		return res, err
+	}
+	defer txn.Abort()
+	for _, addr := range addrs {
+		if rs := res.State.Get(addr); rs != nil {
+			if err := txn.Put(rs); err != nil {
+				return res, err
+			}
+		} else if err := txn.Delete(addr); err != nil {
+			return res, err
+		}
+	}
+	if _, err := txn.Commit(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// PolicyDecisionsForDrift evaluates drift-phase policies over a report.
+func (s *Stack) PolicyDecisionsForDrift(rep *DriftReport) ([]Decision, error) {
+	decs, diags := s.engine.EvaluateDrift(rep)
+	if diags.HasErrors() {
+		return decs, diags
+	}
+	return decs, nil
+}
+
+// Observe feeds runtime metrics to operate-phase policies (autoscaling).
+// Returned set_variable/scale decisions are already applied to the stack's
+// variables; call Plan+Apply afterwards to enact them.
+func (s *Stack) Observe(metrics map[string]any) ([]Decision, error) {
+	m := make(map[string]eval.Value, len(metrics))
+	for k, v := range metrics {
+		m[k] = eval.FromGo(v)
+	}
+	decs, diags := s.engine.Observe(m)
+	if diags.HasErrors() {
+		return decs, diags
+	}
+	changed := false
+	for _, d := range decs {
+		if d.Kind == policy.ActionScale || d.Kind == policy.ActionSetVariable {
+			s.vars[d.Variable] = d.NewValue
+			changed = true
+		}
+	}
+	if changed {
+		if err := s.reexpand(); err != nil {
+			return decs, err
+		}
+	}
+	return decs, nil
+}
+
+// PlanRollback computes a minimal rollback to a historical serial (§3.4).
+func (s *Stack) PlanRollback(serial int) (*RollbackPlan, *State, error) {
+	snap, err := s.db.History().At(serial)
+	if err != nil {
+		return nil, nil, err
+	}
+	current := s.db.Snapshot()
+	return rollback.Compute(current, snap.State), snap.State, nil
+}
+
+// ExecuteRollback runs a rollback plan and commits the resulting state.
+func (s *Stack) ExecuteRollback(ctx context.Context, p *RollbackPlan, target *State) error {
+	current := s.db.Snapshot()
+	txn := s.db.Begin("rollback")
+	var addrs []string
+	for _, step := range p.Steps {
+		addrs = append(addrs, step.Addr)
+	}
+	if err := txn.Lock(ctx, addrs...); err != nil {
+		return err
+	}
+	defer txn.Abort()
+	after, err := rollback.Execute(ctx, s.cloudAPI, current, target, p, s.principal)
+	if err != nil {
+		return err
+	}
+	for _, addr := range addrs {
+		if rs := after.Get(addr); rs != nil {
+			if perr := txn.Put(rs); perr != nil {
+				return perr
+			}
+		} else if derr := txn.Delete(addr); derr != nil {
+			return derr
+		}
+	}
+	_, err = txn.Commit()
+	return err
+}
+
+// Outputs returns the last-applied root outputs as plain Go values.
+func (s *Stack) Outputs() map[string]any {
+	out := map[string]any{}
+	for k, v := range s.db.Snapshot().Outputs {
+		out[k] = eval.ToGo(v)
+	}
+	return out
+}
+
+// OutputIsSensitive reports whether an output is declared sensitive;
+// display layers substitute a redaction marker for such values.
+func (s *Stack) OutputIsSensitive(name string) bool {
+	if spec, ok := s.expansion.Outputs[name]; ok {
+		return spec.Sensitive
+	}
+	return false
+}
+
+// DisplayOutputs returns outputs with sensitive values redacted, for
+// printing to terminals and logs.
+func (s *Stack) DisplayOutputs() map[string]any {
+	out := s.Outputs()
+	for name := range out {
+		if s.OutputIsSensitive(name) {
+			out[name] = "(sensitive)"
+		}
+	}
+	return out
+}

@@ -1,0 +1,492 @@
+// Command cloudlessctl is the Cloudless command-line interface: the Figure 1
+// lifecycle as subcommands.
+//
+//	cloudlessctl validate  -dir ./infra
+//	cloudlessctl plan      -dir ./infra -state cloudless.state.json [-cloud URL]
+//	cloudlessctl apply     -dir ./infra -state cloudless.state.json [-target addr]...
+//	cloudlessctl destroy   -state cloudless.state.json
+//	cloudlessctl drift     -state cloudless.state.json [-scan]
+//	cloudlessctl import    -out ./imported [-modules]
+//	cloudlessctl synth     -template web-service -name shop -out ./generated
+//
+// With no -cloud URL an in-process simulator is used (handy for demos); with
+// -cloud, any cloudsim server works.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	cloudless "cloudless"
+	"cloudless/internal/cloud"
+	"cloudless/internal/drift"
+	"cloudless/internal/plan"
+	"cloudless/internal/port"
+	"cloudless/internal/rollback"
+	"cloudless/internal/state"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "validate":
+		err = cmdValidate(args)
+	case "plan":
+		err = cmdPlanApply(args, false)
+	case "apply":
+		err = cmdPlanApply(args, true)
+	case "destroy":
+		err = cmdDestroy(args)
+	case "drift":
+		err = cmdDrift(args)
+	case "import":
+		err = cmdImport(args)
+	case "synth":
+		err = cmdSynth(args)
+	case "history":
+		err = cmdHistory(args)
+	case "rollback":
+		err = cmdRollback(args)
+	case "help", "-h", "--help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "cloudlessctl: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cloudlessctl: %s\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `cloudlessctl <command> [flags]
+
+Commands:
+  validate   compile-time validation (schema, semantic types, cloud constraints)
+  plan       compute an execution plan
+  apply      plan and apply
+  destroy    delete everything in the state
+  drift      detect out-of-band changes (activity log; -scan for full scan)
+  import     port existing cloud resources to a CCL program + state
+  synth      generate a CCL program from a template
+  history    list state snapshots in the time machine (-history dir)
+  rollback   roll back to a snapshot with minimal redeployment (-to serial)
+`)
+}
+
+// commonFlags wires the flags shared by lifecycle commands.
+type commonFlags struct {
+	fs         *flag.FlagSet
+	dir        *string
+	statePath  *string
+	cloudURL   *string
+	timeScale  *float64
+	historyDir *string
+	policies   *string
+}
+
+func newCommon(name string) *commonFlags {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	return &commonFlags{
+		fs:         fs,
+		dir:        fs.String("dir", ".", "configuration directory (*.ccl)"),
+		statePath:  fs.String("state", "cloudless.state.json", "state file path"),
+		cloudURL:   fs.String("cloud", "", "cloud API base URL (empty = in-process simulator)"),
+		timeScale:  fs.Float64("time-scale", 0.0005, "in-process simulator latency scale"),
+		historyDir: fs.String("history", "", "time-machine directory for state snapshots (empty = disabled)"),
+		policies:   fs.String("policies", "", "CCL policy file enforced across the lifecycle"),
+	}
+}
+
+// snapshot appends the current state to the time-machine directory with the
+// next free serial.
+func (c *commonFlags) snapshot(s *cloudless.Stack, description string) error {
+	if *c.historyDir == "" {
+		return nil
+	}
+	h, err := state.LoadHistoryDir(*c.historyDir)
+	if err != nil {
+		return err
+	}
+	snap := s.DB().Snapshot()
+	snap.Serial = 0 // let the history assign the next serial
+	h.Commit(snap, description, "")
+	return state.SaveSnapshot(*c.historyDir, h.Latest())
+}
+
+func (c *commonFlags) cloud() cloud.Interface {
+	if *c.cloudURL != "" {
+		return cloud.NewClient(*c.cloudURL, nil)
+	}
+	opts := cloud.DefaultOptions()
+	opts.TimeScale = *c.timeScale
+	return cloud.NewSim(opts)
+}
+
+func (c *commonFlags) open() (*cloudless.Stack, error) {
+	st, err := state.LoadFile(*c.statePath)
+	if err != nil {
+		return nil, err
+	}
+	policySrc := ""
+	if *c.policies != "" {
+		data, err := os.ReadFile(*c.policies)
+		if err != nil {
+			return nil, fmt.Errorf("read policies: %w", err)
+		}
+		policySrc = string(data)
+	}
+	return cloudless.Open(cloudless.Options{
+		Dir:          *c.dir,
+		Cloud:        c.cloud(),
+		InitialState: st,
+		Policies:     policySrc,
+	})
+}
+
+func (c *commonFlags) saveState(s *cloudless.Stack) error {
+	return s.DB().Snapshot().SaveFile(*c.statePath)
+}
+
+func cmdValidate(args []string) error {
+	c := newCommon("validate")
+	_ = c.fs.Parse(args)
+	stack, err := c.open()
+	if err != nil {
+		return err
+	}
+	res := stack.Validate()
+	if len(res.Findings) == 0 {
+		fmt.Println("configuration is valid")
+		return nil
+	}
+	for _, f := range res.Findings {
+		fmt.Println(f.Error())
+		if f.Detail != "" {
+			fmt.Printf("    %s\n", f.Detail)
+		}
+	}
+	if res.HasErrors() {
+		return fmt.Errorf("%d validation error(s)", len(res.Errors()))
+	}
+	return nil
+}
+
+func cmdPlanApply(args []string, doApply bool) error {
+	c := newCommon("plan")
+	var targets multiFlag
+	c.fs.Var(&targets, "target", "confine planning to the impact scope of this resource address (repeatable)")
+	concurrency := c.fs.Int("concurrency", 10, "parallel cloud operations")
+	fifo := c.fs.Bool("fifo", false, "use the baseline FIFO scheduler instead of critical-path-first")
+	_ = c.fs.Parse(args)
+
+	stack, err := c.open()
+	if err != nil {
+		return err
+	}
+	if res := stack.Validate(); res.HasErrors() {
+		for _, f := range res.Errors() {
+			fmt.Println(f.Error())
+		}
+		return fmt.Errorf("validation failed; not planning")
+	}
+	ctx := context.Background()
+	var p *cloudless.Plan
+	if len(targets) > 0 {
+		p, err = stack.PlanIncremental(ctx, targets...)
+	} else {
+		p, err = stack.Plan(ctx)
+	}
+	if err != nil {
+		return err
+	}
+	printPlan(p)
+	if !doApply {
+		return nil
+	}
+	if p.PendingCount() == 0 {
+		fmt.Println("nothing to do")
+		return c.saveState(stack)
+	}
+	sched := cloudless.SchedulerCriticalPath
+	if *fifo {
+		sched = cloudless.SchedulerFIFO
+	}
+	res, diagnoses, err := stack.Apply(ctx, p, cloudless.ApplyOptions{
+		Concurrency: *concurrency, Scheduler: sched,
+	})
+	for _, d := range diagnoses {
+		fmt.Print(d.String())
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("applied %d change(s) in %s (%d retries)\n", res.Applied, res.Elapsed.Round(1e6), res.Retries)
+	if err := c.snapshot(stack, "apply"); err != nil {
+		return err
+	}
+	outs := stack.DisplayOutputs()
+	if len(outs) > 0 {
+		keys := make([]string, 0, len(outs))
+		for k := range outs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Println("outputs:")
+		for _, k := range keys {
+			fmt.Printf("  %s = %v\n", k, outs[k])
+		}
+	}
+	return c.saveState(stack)
+}
+
+func printPlan(p *cloudless.Plan) {
+	addrs := make([]string, 0, len(p.Changes))
+	for a := range p.Changes {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	for _, a := range addrs {
+		ch := p.Changes[a]
+		if ch.Action == plan.ActionNoop {
+			continue
+		}
+		marker := map[plan.Action]string{
+			plan.ActionCreate: "+", plan.ActionUpdate: "~",
+			plan.ActionReplace: "±", plan.ActionDelete: "-",
+		}[ch.Action]
+		fmt.Printf("  %s %s", marker, a)
+		if len(ch.ChangedAttrs) > 0 && ch.Action != plan.ActionCreate {
+			fmt.Printf(" (%s)", strings.Join(ch.ChangedAttrs, ", "))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("plan: %s\n", p.Summary())
+}
+
+func cmdDestroy(args []string) error {
+	c := newCommon("destroy")
+	_ = c.fs.Parse(args)
+	stack, err := c.open()
+	if err != nil {
+		return err
+	}
+	res, err := stack.Destroy(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("destroyed %d resource(s)\n", res.Applied)
+	if err := c.snapshot(stack, "destroy"); err != nil {
+		return err
+	}
+	return c.saveState(stack)
+}
+
+func cmdHistory(args []string) error {
+	c := newCommon("history")
+	_ = c.fs.Parse(args)
+	if *c.historyDir == "" {
+		return fmt.Errorf("history requires -history <dir>")
+	}
+	h, err := state.LoadHistoryDir(*c.historyDir)
+	if err != nil {
+		return err
+	}
+	if h.Len() == 0 {
+		fmt.Println("no snapshots")
+		return nil
+	}
+	for _, serial := range h.Serials() {
+		snap, err := h.At(serial)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %4d  %s  %-12s %d resource(s)\n",
+			snap.Serial, snap.Time.Format("2006-01-02 15:04:05"),
+			snap.Description, snap.State.Len())
+	}
+	return nil
+}
+
+func cmdRollback(args []string) error {
+	c := newCommon("rollback")
+	to := c.fs.Int("to", 0, "snapshot serial to roll back to (see history)")
+	dryRun := c.fs.Bool("dry-run", false, "print the rollback plan without executing")
+	_ = c.fs.Parse(args)
+	if *c.historyDir == "" || *to == 0 {
+		return fmt.Errorf("rollback requires -history <dir> and -to <serial>")
+	}
+	h, err := state.LoadHistoryDir(*c.historyDir)
+	if err != nil {
+		return err
+	}
+	snap, err := h.At(*to)
+	if err != nil {
+		return err
+	}
+	current, err := state.LoadFile(*c.statePath)
+	if err != nil {
+		return err
+	}
+	p := rollback.Compute(current, snap.State)
+	fmt.Printf("rollback to #%d (%s): %s\n", snap.Serial, snap.Description, p.Summary())
+	for _, step := range p.Steps {
+		fmt.Printf("  %-16s %-40s %s\n", step.Kind, step.Addr, step.Reason)
+	}
+	if *dryRun || len(p.Steps) == 0 {
+		return nil
+	}
+	after, err := rollback.Execute(context.Background(), c.cloud(), current, snap.State, p, "cloudless")
+	if err != nil {
+		return err
+	}
+	if err := after.SaveFile(*c.statePath); err != nil {
+		return err
+	}
+	fmt.Printf("rolled back: %d in-place revert(s), %d redeployment(s)\n", p.Reverts, p.Redeployments)
+	return nil
+}
+
+func cmdDrift(args []string) error {
+	c := newCommon("drift")
+	scan := c.fs.Bool("scan", false, "full API scan instead of activity-log watch")
+	reconcile := c.fs.String("reconcile", "", `reconcile detected drift: "adopt" or "revert"`)
+	_ = c.fs.Parse(args)
+	stack, err := c.open()
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	var rep *cloudless.DriftReport
+	if *scan {
+		rep, err = stack.ScanDrift(ctx)
+	} else {
+		// Prime the watcher then poll (a real deployment keeps the stack
+		// alive; the CLI does one prime+poll cycle).
+		if _, err = stack.WatchDrift(ctx); err == nil {
+			rep, err = stack.WatchDrift(ctx)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if !rep.HasDrift() {
+		fmt.Printf("no drift (%s, %d API calls)\n", rep.Method, rep.APICalls)
+		return nil
+	}
+	for _, it := range rep.Items {
+		who := it.Actor
+		if who == "" {
+			who = "unknown actor"
+		}
+		switch it.Kind {
+		case drift.Modified:
+			fmt.Printf("  ~ %s: %s changed %v\n", it.Addr, who, it.ChangedAttrs)
+		case drift.Deleted:
+			fmt.Printf("  - %s: deleted by %s\n", it.Addr, who)
+		case drift.Unmanaged:
+			fmt.Printf("  + %s %s: unmanaged (created by %s)\n", it.Type, it.ID, who)
+		}
+	}
+	switch *reconcile {
+	case "":
+		return nil
+	case "adopt":
+		_, err = stack.ReconcileDrift(ctx, rep, drift.Adopt)
+	case "revert":
+		_, err = stack.ReconcileDrift(ctx, rep, drift.Revert)
+	default:
+		return fmt.Errorf("unknown reconcile mode %q", *reconcile)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reconciled (%s)\n", *reconcile)
+	return c.saveState(stack)
+}
+
+func cmdImport(args []string) error {
+	c := newCommon("import")
+	out := c.fs.String("out", "imported", "output directory")
+	modules := c.fs.Bool("modules", false, "extract repeated structures into modules")
+	optimize := c.fs.Bool("optimize", true, "compact homogeneous fleets with count")
+	_ = c.fs.Parse(args)
+
+	res, err := port.Import(context.Background(), c.cloud(), port.ImportOptions{
+		Optimize: *optimize, ExtractModules: *modules,
+	})
+	if err != nil {
+		return err
+	}
+	for name, src := range res.Files {
+		path := filepath.Join(*out, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	if err := res.State.SaveFile(filepath.Join(*out, "cloudless.state.json")); err != nil {
+		return err
+	}
+	m := res.Metrics
+	fmt.Printf("imported %d resource(s): %d lines, %d blocks, compaction %.2fx, references %.0f%%, %d module(s)\n",
+		m.ResourceInstances, m.Lines, m.Blocks, m.CompactionRatio, m.ReferenceRatio*100, m.ModuleCount)
+	return nil
+}
+
+func cmdSynth(args []string) error {
+	fs := flag.NewFlagSet("synth", flag.ExitOnError)
+	template := fs.String("template", "web-service", "template: web-service or vpn-mesh")
+	name := fs.String("name", "app", "resource name prefix")
+	vms := fs.Int("vms", 2, "web tier size")
+	db := fs.Bool("db", false, "include a database")
+	lb := fs.Bool("lb", false, "include a load balancer")
+	out := fs.String("out", "generated", "output directory")
+	_ = fs.Parse(args)
+
+	files, err := port.Synthesize(port.SynthSpec{
+		Name: *name, Template: *template, VMCount: *vms,
+		WithDatabase: *db, WithLoadBalancer: *lb,
+	})
+	if err != nil {
+		return err
+	}
+	for fname, src := range files {
+		path := filepath.Join(*out, fname)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (validated)\n", path)
+	}
+	return nil
+}
+
+// multiFlag collects repeated string flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+// Set appends a value.
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}

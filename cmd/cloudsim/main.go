@@ -1,0 +1,39 @@
+// Command cloudsim runs the simulated multi-region cloud as a standalone
+// HTTP service, so cloudlessctl (or any HTTP client) can manage
+// infrastructure over a real network path.
+//
+// Usage:
+//
+//	cloudsim [-addr :8444] [-time-scale 0.001] [-failure-rate 0] [-seed 1]
+package main
+
+import (
+	"flag"
+	"log/slog"
+	"os"
+
+	"cloudless/internal/cloud"
+)
+
+func main() {
+	addr := flag.String("addr", ":8444", "listen address")
+	timeScale := flag.Float64("time-scale", 0.001, "latency model multiplier (1.0 = realistic provisioning times)")
+	failureRate := flag.Float64("failure-rate", 0, "probability of transient failure per mutating call")
+	seed := flag.Int64("seed", 1, "fault-injection seed")
+	rateLimit := flag.Float64("rate-limit", 0, "override per-provider API rate limit (rps); 0 keeps provider defaults")
+	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	opts := cloud.DefaultOptions()
+	opts.TimeScale = *timeScale
+	opts.FailureRate = *failureRate
+	opts.Seed = *seed
+	opts.RateLimitOverride = *rateLimit
+
+	sim := cloud.NewSim(opts)
+	srv := cloud.NewServer(sim, logger)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		logger.Error("server exited", "err", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,119 @@
+// Autoscale policy (§3.6): the paper's own example of a policy that today's
+// clouds cannot express — "scale out the number of VPN tunnels if traffic
+// throughput is close to their capacity". The policy observes an arbitrary
+// metric, its scale action evolves an IaC variable, and an incremental plan
+// applies the change.
+//
+//	go run ./examples/autoscale-policy
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	cloudless "cloudless"
+	"cloudless/internal/cloud"
+)
+
+const infra = `
+variable "tunnel_count" {
+  type    = number
+  default = 2
+}
+
+resource "aws_vpc" "edge" {
+  name       = "edge"
+  cidr_block = "10.8.0.0/16"
+}
+
+resource "aws_vpn_gateway" "edge" {
+  vpc_id = aws_vpc.edge.id
+}
+
+resource "aws_vpn_tunnel" "edge" {
+  count          = var.tunnel_count
+  vpn_gateway_id = aws_vpn_gateway.edge.id
+  peer_ip        = "198.51.100.${count.index}"
+}
+
+output "tunnels" { value = aws_vpn_tunnel.edge[*].id }
+`
+
+const policies = `
+policy "vpn-scale-out" {
+  phase = "operate"
+  when  = metric.tunnel_utilization > 0.8
+  scale {
+    variable = "tunnel_count"
+    delta    = 1
+    max      = 6
+  }
+  notify { message = "tunnels near capacity (${metric.tunnel_utilization}); scaling out" }
+}
+
+policy "vpn-scale-in" {
+  phase = "operate"
+  when  = metric.tunnel_utilization < 0.25
+  scale {
+    variable = "tunnel_count"
+    delta    = -1
+    min      = 2
+  }
+}
+`
+
+func main() {
+	ctx := context.Background()
+	opts := cloud.DefaultOptions()
+	opts.TimeScale = 0.0001
+	sim := cloud.NewSim(opts)
+
+	stack, err := cloudless.Open(cloudless.Options{
+		Sources:  map[string]string{"main.ccl": infra},
+		Cloud:    sim,
+		Policies: policies,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := stack.Plan(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := stack.Apply(ctx, p, cloudless.ApplyOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deployed with %d tunnels\n\n", sim.Count("aws_vpn_tunnel"))
+
+	// A synthetic utilization trace: rising load, a spike, then quiet.
+	trace := []float64{0.45, 0.72, 0.88, 0.93, 0.91, 0.60, 0.30, 0.18, 0.12, 0.10}
+	for tick, util := range trace {
+		decisions, err := stack.Observe(map[string]any{"tunnel_utilization": util})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(decisions) == 0 {
+			fmt.Printf("t=%d  util=%.2f  steady (%d tunnels)\n", tick, util, sim.Count("aws_vpn_tunnel"))
+			continue
+		}
+		for _, d := range decisions {
+			fmt.Printf("t=%d  util=%.2f  %s\n", tick, util, d)
+		}
+		// The controller enacts the decision with an incremental plan
+		// confined to the tunnels' impact scope.
+		ip, err := stack.PlanIncremental(ctx, "aws_vpn_tunnel.edge")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, _, err := stack.Apply(ctx, ip, cloudless.ApplyOptions{}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("      -> applied: now %d tunnels\n", sim.Count("aws_vpn_tunnel"))
+	}
+
+	if n := sim.Count("aws_vpn_tunnel"); n != 2 {
+		log.Fatalf("expected to settle back at 2 tunnels, have %d", n)
+	}
+	fmt.Println("\nsettled back at the scale-in floor of 2 tunnels")
+}

@@ -1,0 +1,129 @@
+// Concurrent teams (§3.4): multiple DevOps teams update a shared
+// infrastructure at the same time. Under today's whole-infrastructure lock
+// their disjoint updates serialize; under Cloudless's per-resource locks
+// they run in parallel while a deliberately conflicting pair still
+// serializes correctly (no lost updates).
+//
+//	go run ./examples/concurrent-teams
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"cloudless/internal/cloud"
+	"cloudless/internal/eval"
+	"cloudless/internal/state"
+	"cloudless/internal/statedb"
+)
+
+const teams = 6
+const resourcesPerTeam = 4
+
+// seedState pre-populates a golden state: each team owns its buckets.
+func seedState() *state.State {
+	st := state.New()
+	for t := 0; t < teams; t++ {
+		for r := 0; r < resourcesPerTeam; r++ {
+			addr := fmt.Sprintf("aws_storage_bucket.t%dr%d", t, r)
+			st.Set(&state.ResourceState{
+				Addr: addr, Type: "aws_storage_bucket",
+				ID: fmt.Sprintf("bkt-%d-%d", t, r), Region: "us-east-1",
+				Attrs: map[string]eval.Value{"name": eval.String(addr), "versioning": eval.False},
+			})
+		}
+	}
+	return st
+}
+
+// teamWork simulates one team's update transaction: lock its resources,
+// "work" against the cloud for a while, write, commit.
+func teamWork(ctx context.Context, db *statedb.DB, team int, cloudWork time.Duration) error {
+	txn := db.Begin(fmt.Sprintf("team-%d", team))
+	var addrs []string
+	for r := 0; r < resourcesPerTeam; r++ {
+		addrs = append(addrs, fmt.Sprintf("aws_storage_bucket.t%dr%d", team, r))
+	}
+	if err := txn.Lock(ctx, addrs...); err != nil {
+		return err
+	}
+	time.Sleep(cloudWork) // stand-in for the physical cloud updates
+	for _, a := range addrs {
+		rs, err := txn.Get(a)
+		if err != nil {
+			txn.Abort()
+			return err
+		}
+		rs.Attrs["versioning"] = eval.True
+		if err := txn.Put(rs); err != nil {
+			txn.Abort()
+			return err
+		}
+	}
+	_, err := txn.Commit()
+	return err
+}
+
+func run(mode statedb.LockMode, label string) time.Duration {
+	db := statedb.Open(seedState(), mode)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for t := 0; t < teams; t++ {
+		wg.Add(1)
+		go func(team int) {
+			defer wg.Done()
+			if err := teamWork(context.Background(), db, team, 30*time.Millisecond); err != nil {
+				log.Fatalf("%s team %d: %s", label, team, err)
+			}
+		}(t)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	stats := db.Locks().Stats()
+	fmt.Printf("%-22s %d teams finished in %-8s (contended acquisitions: %d)\n",
+		label+":", teams, elapsed.Round(time.Millisecond), stats.Contended)
+	return elapsed
+}
+
+func main() {
+	_ = cloud.DefaultOptions() // the cloud itself is out of the picture here
+
+	fmt.Printf("%d teams, %d disjoint resources each, ~30ms of cloud work per team\n\n", teams, resourcesPerTeam)
+	global := run(statedb.GlobalLock, "global lock (today)")
+	granular := run(statedb.ResourceLock, "per-resource locks")
+	fmt.Printf("\nspeedup from granular locking: %.1fx\n", float64(global)/float64(granular))
+
+	// Conflicting updates still serialize: two teams increment a shared
+	// counter 200 times each; per-resource locks must not lose any update.
+	db := statedb.Open(func() *state.State {
+		st := state.New()
+		st.Set(&state.ResourceState{Addr: "aws_storage_bucket.shared", Type: "aws_storage_bucket",
+			ID: "bkt-shared", Attrs: map[string]eval.Value{"n": eval.Int(0)}})
+		return st
+	}(), statedb.ResourceLock)
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				txn := db.Begin("inc")
+				if err := txn.Lock(context.Background(), "aws_storage_bucket.shared"); err != nil {
+					log.Fatal(err)
+				}
+				rs, _ := txn.Get("aws_storage_bucket.shared")
+				rs.Attrs["n"] = eval.Int(rs.Attr("n").AsInt() + 1)
+				_ = txn.Put(rs)
+				if _, err := txn.Commit(); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	final := db.Snapshot().Get("aws_storage_bucket.shared").Attr("n").AsInt()
+	fmt.Printf("conflicting updates: 2 teams × 200 increments = %d (expected 400, no lost updates)\n", final)
+}

@@ -1,0 +1,124 @@
+// Drift repair (§3.5): a deployment drifts when a legacy script modifies
+// and deletes resources behind the IaC framework's back. The activity-log
+// watcher detects both events with attribution and a single targeted API
+// call; reconciliation reverts the modification, and a follow-up plan
+// recreates the deleted resource. For contrast, the example also runs the
+// driftctl-style full scan and prints its API bill.
+//
+//	go run ./examples/drift-repair
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	cloudless "cloudless"
+	"cloudless/internal/cloud"
+	"cloudless/internal/drift"
+	"cloudless/internal/eval"
+)
+
+const infra = `
+resource "aws_vpc" "prod" {
+  name       = "prod"
+  cidr_block = "10.0.0.0/16"
+}
+
+resource "aws_subnet" "prod" {
+  name       = "prod-subnet"
+  vpc_id     = aws_vpc.prod.id
+  cidr_block = "10.0.1.0/24"
+}
+
+resource "aws_storage_bucket" "logs" {
+  name       = "prod-logs"
+  versioning = true
+}
+`
+
+func main() {
+	ctx := context.Background()
+	opts := cloud.DefaultOptions()
+	opts.TimeScale = 0.0002
+	sim := cloud.NewSim(opts)
+
+	stack, err := cloudless.Open(cloudless.Options{
+		Sources: map[string]string{"main.ccl": infra},
+		Cloud:   sim,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := stack.Plan(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, _, err := stack.Apply(ctx, p, cloudless.ApplyOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("✓ deployed 3 resources")
+
+	// Prime the watcher at the current log position.
+	if _, err := stack.WatchDrift(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	// A legacy script mutates the infrastructure out-of-band.
+	st := stack.DB().Snapshot()
+	vpc := st.Get("aws_vpc.prod")
+	if _, err := sim.Update(ctx, cloud.UpdateRequest{
+		Type: "aws_vpc", ID: vpc.ID,
+		Attrs:     map[string]eval.Value{"enable_dns": eval.False},
+		Principal: "legacy-cron-job",
+	}); err != nil {
+		log.Fatal(err)
+	}
+	bucket := st.Get("aws_storage_bucket.logs")
+	if err := sim.Delete(ctx, "aws_storage_bucket", bucket.ID, "cleanup-script"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("… legacy scripts changed the VPC and deleted the log bucket out-of-band")
+
+	// Cost comparison: full scan vs activity log.
+	sim.ResetMetrics()
+	scan, err := stack.ScanDrift(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full scan:    found %d drift item(s) with %d API calls\n", len(scan.Items), scan.APICalls)
+
+	watch, err := stack.WatchDrift(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("activity log: found %d drift item(s) with %d API call(s) + %d log read(s)\n",
+		len(watch.Items), watch.APICalls, watch.LogReads)
+	for _, it := range watch.Items {
+		fmt.Printf("  %s %s by %q\n", it.Kind, it.Addr, it.Actor)
+	}
+
+	// Repair: revert the modification, drop the deleted bucket from state…
+	if _, err := stack.ReconcileDrift(ctx, watch, drift.Revert); err != nil {
+		log.Fatal(err)
+	}
+	// …and let the next plan recreate it.
+	p2, err := stack.Plan(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("repair plan: %s\n", p2.Summary())
+	if _, _, err := stack.Apply(ctx, p2, cloudless.ApplyOptions{}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Verify the world is back in shape.
+	final, err := stack.ScanDrift(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if final.HasDrift() {
+		log.Fatalf("drift remains: %+v", final.Items)
+	}
+	fmt.Println("✓ infrastructure reconciled: no drift remains")
+}

@@ -1,0 +1,170 @@
+// Multicloud: one configuration spanning the AWS-like and Azure-like
+// providers, demonstrating compile-time catching of the paper's three §3.2
+// cloud-constraint examples — a VM/NIC region mismatch, a password without
+// its co-requirement, and overlapping peered address spaces — and then the
+// corrected deployment.
+//
+//	go run ./examples/multicloud
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	cloudless "cloudless"
+	"cloudless/internal/cloud"
+)
+
+// broken seeds all three §3.2 violations.
+const broken = `
+provider "azure" { location = "eastus" }
+
+resource "azure_resource_group" "rg" {
+  name     = "demo"
+  location = "eastus"
+}
+
+resource "azure_virtual_network" "a" {
+  name           = "net-a"
+  resource_group = azure_resource_group.rg.id
+  address_space  = ["10.0.0.0/16"]
+}
+
+resource "azure_virtual_network" "b" {
+  name           = "net-b"
+  resource_group = azure_resource_group.rg.id
+  address_space  = ["10.0.128.0/17"] # BUG 3: overlaps net-a
+}
+
+resource "azure_vnet_peering" "ab" {
+  vnet_a_id = azure_virtual_network.a.id
+  vnet_b_id = azure_virtual_network.b.id
+}
+
+resource "azure_subnet" "s" {
+  virtual_network_id = azure_virtual_network.a.id
+  address_prefix     = "10.0.1.0/24"
+}
+
+resource "azure_network_interface" "nic" {
+  name      = "app-nic"
+  subnet_id = azure_subnet.s.id
+}
+
+resource "azure_virtual_machine" "vm" {
+  name           = "app-vm"
+  location       = "westus" # BUG 1: NIC is in eastus
+  nic_ids        = [azure_network_interface.nic.id]
+  admin_password = "hunter2" # BUG 2: disable_password defaults to true
+}
+
+resource "aws_storage_bucket" "assets" {
+  name   = "demo-assets"
+  region = "us-east-1"
+}
+`
+
+// fixed corrects all three.
+const fixed = `
+provider "azure" { location = "eastus" }
+
+resource "azure_resource_group" "rg" {
+  name     = "demo"
+  location = "eastus"
+}
+
+resource "azure_virtual_network" "a" {
+  name           = "net-a"
+  resource_group = azure_resource_group.rg.id
+  address_space  = ["10.0.0.0/16"]
+}
+
+resource "azure_virtual_network" "b" {
+  name           = "net-b"
+  resource_group = azure_resource_group.rg.id
+  address_space  = ["10.1.0.0/16"]
+}
+
+resource "azure_vnet_peering" "ab" {
+  vnet_a_id = azure_virtual_network.a.id
+  vnet_b_id = azure_virtual_network.b.id
+}
+
+resource "azure_subnet" "s" {
+  virtual_network_id = azure_virtual_network.a.id
+  address_prefix     = "10.0.1.0/24"
+}
+
+resource "azure_network_interface" "nic" {
+  name      = "app-nic"
+  subnet_id = azure_subnet.s.id
+}
+
+resource "azure_virtual_machine" "vm" {
+  name             = "app-vm"
+  nic_ids          = [azure_network_interface.nic.id]
+  admin_password   = "hunter2"
+  disable_password = false
+}
+
+resource "aws_storage_bucket" "assets" {
+  name   = "demo-assets"
+  region = "us-east-1"
+}
+
+output "bucket_domain" { value = aws_storage_bucket.assets.domain_name }
+output "vm_ip"         { value = azure_virtual_machine.vm.private_ip }
+`
+
+func main() {
+	ctx := context.Background()
+	opts := cloud.DefaultOptions()
+	opts.TimeScale = 0.0002
+	sim := cloud.NewSim(opts)
+
+	fmt.Println("=== validating the broken configuration ===")
+	brokenStack, err := cloudless.Open(cloudless.Options{
+		Sources: map[string]string{"main.ccl": broken},
+		Cloud:   sim,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := brokenStack.Validate()
+	for _, f := range res.Errors() {
+		fmt.Println(" ", f.Error())
+	}
+	if !res.HasErrors() {
+		log.Fatal("expected the three seeded violations to be caught")
+	}
+	fmt.Printf("caught %d violation(s) at compile time — zero API calls spent\n\n", len(res.Errors()))
+
+	fmt.Println("=== deploying the fixed configuration across both clouds ===")
+	stack, err := cloudless.Open(cloudless.Options{
+		Sources: map[string]string{"main.ccl": fixed},
+		Cloud:   sim,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res := stack.Validate(); res.HasErrors() {
+		log.Fatalf("fixed config should be clean: %+v", res.Errors())
+	}
+	p, err := stack.Plan(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan: %s\n", p.Summary())
+	ares, diagnoses, err := stack.Apply(ctx, p, cloudless.ApplyOptions{})
+	for _, d := range diagnoses {
+		fmt.Print(d.String())
+	}
+	if err != nil {
+		log.Fatalf("apply: %s", err)
+	}
+	fmt.Printf("applied %d resources across aws + azure in %s\n", ares.Applied, ares.Elapsed.Round(1e6))
+	for k, v := range stack.Outputs() {
+		fmt.Printf("  %s = %v\n", k, v)
+	}
+}

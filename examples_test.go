@@ -1,0 +1,61 @@
+package cloudless_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes every example binary end to end, guarding the
+// documented entry points against regressions. Each example is expected to
+// exit 0 within the timeout.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples take a few seconds; skipped with -short")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("expected at least 3 examples, found %d", len(entries))
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(t.TempDir(), name)
+			build := exec.Command("go", "build", "-o", bin, "./"+filepath.Join("examples", name))
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build: %s\n%s", err, out)
+			}
+			cmd := exec.Command(bin)
+			done := make(chan error, 1)
+			var out strings.Builder
+			cmd.Stdout = &out
+			cmd.Stderr = &out
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+			go func() { done <- cmd.Wait() }()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("example failed: %s\n%s", err, out.String())
+				}
+			case <-time.After(60 * time.Second):
+				_ = cmd.Process.Kill()
+				t.Fatalf("example timed out\n%s", out.String())
+			}
+			if out.Len() == 0 {
+				t.Error("example produced no output")
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module cloudless
+
+go 1.22

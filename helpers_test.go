@@ -1,0 +1,15 @@
+package cloudless_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// newHTTPServer wires an http.Handler into a test server and returns its URL.
+func newHTTPServer(t *testing.T, h http.Handler) string {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv.URL
+}

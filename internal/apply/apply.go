@@ -1,0 +1,344 @@
+// Package apply executes plans against a cloud: a concurrency-bounded
+// parallel walk over the plan graph with pluggable scheduling (the baseline
+// FIFO graph walk vs the §3.3 critical-path-first scheduler), retry with
+// exponential backoff on transient cloud errors, and value propagation so
+// attributes referencing freshly-created resources resolve to real IDs.
+package apply
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"cloudless/internal/cloud"
+	"cloudless/internal/eval"
+	"cloudless/internal/graph"
+	"cloudless/internal/plan"
+	"cloudless/internal/schema"
+	"cloudless/internal/state"
+)
+
+// Scheduler selects the ready-node ordering policy.
+type Scheduler int
+
+// Schedulers.
+const (
+	// FIFOScheduler mimics today's best-effort graph walk: ready nodes run
+	// in address order with no cost model.
+	FIFOScheduler Scheduler = iota
+	// CriticalPathScheduler prioritizes ready nodes by the length of the
+	// longest remaining dependency chain hanging off them.
+	CriticalPathScheduler
+)
+
+// String names the scheduler.
+func (s Scheduler) String() string {
+	if s == CriticalPathScheduler {
+		return "critical-path"
+	}
+	return "fifo"
+}
+
+// Options configure an apply.
+type Options struct {
+	// Concurrency bounds simultaneous cloud operations (default 10, the
+	// same default Terraform uses).
+	Concurrency int
+	Scheduler   Scheduler
+	// MaxRetries bounds attempts per operation on retryable errors.
+	MaxRetries int
+	// RetryBase is the initial backoff (doubling per attempt, with jitter).
+	RetryBase time.Duration
+	// Principal is recorded in the cloud activity log.
+	Principal string
+	// ContinueOnError keeps independent branches running after a failure.
+	ContinueOnError bool
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Concurrency <= 0 {
+		out.Concurrency = 10
+	}
+	if out.MaxRetries <= 0 {
+		out.MaxRetries = 4
+	}
+	if out.RetryBase <= 0 {
+		out.RetryBase = 50 * time.Millisecond
+	}
+	if out.Principal == "" {
+		out.Principal = "cloudless"
+	}
+	return out
+}
+
+// Result summarizes an apply.
+type Result struct {
+	State   *state.State
+	Report  *graph.WalkReport
+	Applied int
+	Retries int
+	Elapsed time.Duration
+	// Outputs holds evaluated root outputs.
+	Outputs map[string]eval.Value
+	// Errors by address.
+	Errors map[string]error
+}
+
+// Err folds failures into one error.
+func (r *Result) Err() error {
+	if r.Report == nil {
+		return nil
+	}
+	return r.Report.Err()
+}
+
+// Apply executes the plan and returns the new state. The returned state
+// reflects every operation that completed, even when some failed — exactly
+// like real IaC engines, partial progress is recorded.
+func Apply(ctx context.Context, cl cloud.Interface, p *plan.Plan, opts Options) *Result {
+	o := (&opts).withDefaults()
+	start := time.Now()
+
+	newState := p.PriorState.Clone()
+	var stateMu sync.Mutex
+	var retries int64
+	var retryMu sync.Mutex
+
+	res := &Result{State: newState, Errors: map[string]error{}, Outputs: map[string]eval.Value{}}
+
+	var priority func(string) float64
+	if o.Scheduler == CriticalPathScheduler {
+		levels, _, err := p.Graph.CriticalPath(p.Costs())
+		if err == nil {
+			priority = func(addr string) float64 { return float64(levels[addr]) }
+		}
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	var rngMu sync.Mutex
+	jitter := func() float64 {
+		rngMu.Lock()
+		defer rngMu.Unlock()
+		return 0.5 + rng.Float64()
+	}
+
+	report := p.Graph.Walk(ctx, graph.WalkOptions{
+		Concurrency:     o.Concurrency,
+		Priority:        priority,
+		ContinueOnError: o.ContinueOnError,
+	}, func(addr string) error {
+		ch := p.Changes[addr]
+		if ch == nil {
+			return fmt.Errorf("apply: no change for %s", addr)
+		}
+		err := applyChange(ctx, cl, p, ch, o, func(d time.Duration, attempt int) time.Duration {
+			retryMu.Lock()
+			retries++
+			retryMu.Unlock()
+			return time.Duration(float64(d) * float64(int(1)<<attempt) * jitter())
+		}, newState, &stateMu)
+		if err != nil {
+			res.Errors[addr] = err
+		}
+		return err
+	})
+
+	res.Report = report
+	done, _, _ := report.Counts()
+	res.Applied = done
+	retryMu.Lock()
+	res.Retries = int(retries)
+	retryMu.Unlock()
+	res.Elapsed = time.Since(start)
+
+	// Evaluate root outputs against final values.
+	for name, spec := range p.Values.RootOutputs() {
+		res.Outputs[name] = p.Values.OutputValue(spec)
+		newState.Outputs[name] = res.Outputs[name]
+	}
+	return res
+}
+
+// applyChange performs one operation with retries.
+func applyChange(ctx context.Context, cl cloud.Interface, p *plan.Plan, ch *plan.Change,
+	o Options, backoff func(time.Duration, int) time.Duration,
+	newState *state.State, stateMu *sync.Mutex) error {
+
+	switch ch.Action {
+	case plan.ActionDelete:
+		if err := withRetry(ctx, o, backoff, func() error {
+			err := cl.Delete(ctx, ch.Type, ch.ID, o.Principal)
+			if cloud.IsNotFound(err) {
+				return nil // already gone: deletion is idempotent
+			}
+			return err
+		}); err != nil {
+			return err
+		}
+		stateMu.Lock()
+		newState.Remove(ch.Addr)
+		stateMu.Unlock()
+		return nil
+
+	case plan.ActionCreate, plan.ActionUpdate, plan.ActionReplace:
+		// Re-evaluate attributes now that dependencies hold concrete values.
+		attrs, diags := p.Values.EvaluateAttrs(ch.Instance)
+		if diags.HasErrors() {
+			return fmt.Errorf("evaluate %s: %w", ch.Addr, diags.Err())
+		}
+		rs, _ := schema.LookupResource(ch.Type)
+		for name, a := range rs.Attrs {
+			if _, set := attrs[name]; !set && a.HasDefault {
+				attrs[name] = a.Default
+			}
+		}
+		for name, v := range attrs {
+			if !v.IsKnown() {
+				return fmt.Errorf("apply %s: attribute %q is still unknown after dependencies resolved", ch.Addr, name)
+			}
+			if v.IsNull() {
+				delete(attrs, name)
+			}
+		}
+		region := regionOf(ch, attrs)
+
+		var created *cloud.Resource
+		op := func() error {
+			var err error
+			switch ch.Action {
+			case plan.ActionCreate:
+				created, err = cl.Create(ctx, cloud.CreateRequest{
+					Type: ch.Type, Region: region, Attrs: attrs, Principal: o.Principal,
+				})
+			case plan.ActionUpdate:
+				// Only send genuinely-changed, non-computed attributes.
+				delta := map[string]eval.Value{}
+				for _, name := range ch.ChangedAttrs {
+					a := rs.Attr(name)
+					if a == nil || a.Computed {
+						continue
+					}
+					v, ok := attrs[name]
+					if !ok {
+						continue
+					}
+					if before, had := ch.Before[name]; had && before.Equal(v) {
+						continue // resolved to the same value: no change
+					}
+					delta[name] = v
+				}
+				if len(delta) == 0 {
+					created, err = cl.Get(ctx, ch.Type, ch.ID)
+					return err
+				}
+				created, err = cl.Update(ctx, cloud.UpdateRequest{
+					Type: ch.Type, ID: ch.ID, Attrs: delta, Principal: o.Principal,
+				})
+			case plan.ActionReplace:
+				if derr := cl.Delete(ctx, ch.Type, ch.ID, o.Principal); derr != nil && !cloud.IsNotFound(derr) {
+					return derr
+				}
+				created, err = cl.Create(ctx, cloud.CreateRequest{
+					Type: ch.Type, Region: region, Attrs: attrs, Principal: o.Principal,
+				})
+			}
+			return err
+		}
+		if err := withRetry(ctx, o, backoff, op); err != nil {
+			return err
+		}
+
+		stateMu.Lock()
+		prev := newState.Get(ch.Addr)
+		rsState := &state.ResourceState{
+			Addr: ch.Addr, Type: ch.Type, ID: created.ID, Region: created.Region,
+			Attrs: created.Attrs, Dependencies: ch.Deps,
+			UpdatedAt: time.Now(),
+		}
+		if prev != nil && ch.Action == plan.ActionUpdate {
+			rsState.CreatedAt = prev.CreatedAt
+		} else {
+			rsState.CreatedAt = time.Now()
+		}
+		newState.Set(rsState)
+		stateMu.Unlock()
+
+		p.Values.Set(ch.Addr, eval.Object(created.Attrs))
+		return nil
+
+	default:
+		return nil
+	}
+}
+
+func regionOf(ch *plan.Change, attrs map[string]eval.Value) string {
+	for _, name := range []string{"region", "location"} {
+		if v, ok := attrs[name]; ok && v.Kind() == eval.KindString {
+			return v.AsString()
+		}
+	}
+	return ch.Region
+}
+
+// withRetry runs op with exponential backoff on retryable cloud errors.
+func withRetry(ctx context.Context, o Options, backoff func(time.Duration, int) time.Duration, op func() error) error {
+	var err error
+	for attempt := 0; attempt < o.MaxRetries; attempt++ {
+		err = op()
+		if err == nil || !cloud.IsRetryable(err) {
+			return err
+		}
+		if attempt == o.MaxRetries-1 {
+			break
+		}
+		d := backoff(o.RetryBase, attempt)
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+	return fmt.Errorf("after %d attempts: %w", o.MaxRetries, err)
+}
+
+// Destroy builds and applies a plan that deletes everything in the state,
+// in reverse dependency order.
+func Destroy(ctx context.Context, cl cloud.Interface, prior *state.State, opts Options) *Result {
+	p := &plan.Plan{
+		Changes:    map[string]*plan.Change{},
+		Graph:      graph.New(),
+		PriorState: prior.Clone(),
+		Values:     plan.NewEmptyValueStore(),
+	}
+	for _, addr := range prior.Addrs() {
+		rs := prior.Get(addr)
+		p.Changes[addr] = &plan.Change{
+			Addr: addr, Action: plan.ActionDelete, Type: rs.Type,
+			Region: rs.Region, ID: rs.ID, Before: rs.Attrs, Deps: rs.Dependencies,
+		}
+		p.Deletes++
+		p.Graph.AddNode(addr)
+	}
+	// Reverse edges: dependents first.
+	instancesOf := map[string][]string{}
+	for _, addr := range prior.Addrs() {
+		r := plan.ResourceAddrOf(addr)
+		instancesOf[r] = append(instancesOf[r], addr)
+	}
+	for _, addr := range prior.Addrs() {
+		for _, depResource := range prior.Get(addr).Dependencies {
+			for _, depInst := range instancesOf[depResource] {
+				if depInst == addr {
+					continue
+				}
+				_ = p.Graph.AddEdge(depInst, addr)
+			}
+		}
+	}
+	return Apply(ctx, cl, p, opts)
+}

@@ -1,0 +1,144 @@
+package apply
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"cloudless/internal/graph"
+)
+
+// ScheduleResult is the outcome of a deterministic scheduling simulation.
+type ScheduleResult struct {
+	// Makespan is the simulated end-to-end completion time.
+	Makespan time.Duration
+	// TotalWork is the sum of all node costs (the serial lower bound).
+	TotalWork time.Duration
+	// Start and Finish give each node's simulated schedule.
+	Start, Finish map[string]time.Duration
+}
+
+// SimulateSchedule runs deterministic list scheduling of the graph on
+// `concurrency` workers under the given policy, without sleeping: it answers
+// "how long would this deployment take" exactly, using the same readiness
+// and priority rules as the real executor. The E1/E2 experiments use it to
+// regenerate the paper's deployment-time comparisons precisely and fast.
+func SimulateSchedule(g *graph.Graph, cost func(string) time.Duration, concurrency int, sched Scheduler) (*ScheduleResult, error) {
+	if concurrency <= 0 {
+		concurrency = g.Len()
+		if concurrency == 0 {
+			concurrency = 1
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+
+	var priority func(string) float64
+	switch sched {
+	case CriticalPathScheduler:
+		levels, _, err := g.CriticalPath(cost)
+		if err != nil {
+			return nil, err
+		}
+		priority = func(n string) float64 { return float64(levels[n]) }
+	default:
+		priority = func(string) float64 { return 0 }
+	}
+
+	res := &ScheduleResult{
+		Start:  make(map[string]time.Duration, g.Len()),
+		Finish: make(map[string]time.Duration, g.Len()),
+	}
+
+	pending := map[string]int{}
+	for _, n := range g.Nodes() {
+		pending[n] = len(g.Dependencies(n))
+		res.TotalWork += cost(n)
+	}
+
+	var ready schedReadyHeap
+	for n, d := range pending {
+		if d == 0 {
+			heap.Push(&ready, schedReady{id: n, prio: priority(n)})
+		}
+	}
+
+	var running schedRunningHeap
+	now := time.Duration(0)
+	completed := 0
+
+	for completed < g.Len() {
+		// Fill free workers from the ready queue.
+		for running.Len() < concurrency && ready.Len() > 0 {
+			item := heap.Pop(&ready).(schedReady)
+			res.Start[item.id] = now
+			finish := now + cost(item.id)
+			res.Finish[item.id] = finish
+			heap.Push(&running, schedRunning{id: item.id, finish: finish})
+		}
+		if running.Len() == 0 {
+			return nil, fmt.Errorf("scheduling stalled with %d/%d nodes complete", completed, g.Len())
+		}
+		// Advance virtual time to the next completion.
+		job := heap.Pop(&running).(schedRunning)
+		now = job.finish
+		completed++
+		for _, dep := range g.Dependents(job.id) {
+			pending[dep]--
+			if pending[dep] == 0 {
+				heap.Push(&ready, schedReady{id: dep, prio: priority(dep)})
+			}
+		}
+	}
+	res.Makespan = now
+	return res, nil
+}
+
+type schedReady struct {
+	id   string
+	prio float64
+}
+
+type schedReadyHeap []schedReady
+
+func (h schedReadyHeap) Len() int { return len(h) }
+func (h schedReadyHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio > h[j].prio
+	}
+	return h[i].id < h[j].id
+}
+func (h schedReadyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *schedReadyHeap) Push(x any)   { *h = append(*h, x.(schedReady)) }
+func (h *schedReadyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+type schedRunning struct {
+	id     string
+	finish time.Duration
+}
+
+type schedRunningHeap []schedRunning
+
+func (h schedRunningHeap) Len() int { return len(h) }
+func (h schedRunningHeap) Less(i, j int) bool {
+	if h[i].finish != h[j].finish {
+		return h[i].finish < h[j].finish
+	}
+	return h[i].id < h[j].id
+}
+func (h schedRunningHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *schedRunningHeap) Push(x any)   { *h = append(*h, x.(schedRunning)) }
+func (h *schedRunningHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}

@@ -1,0 +1,147 @@
+package baseline
+
+import (
+	"context"
+	"testing"
+
+	"cloudless/internal/cloud"
+	"cloudless/internal/config"
+	"cloudless/internal/state"
+	"cloudless/internal/workload"
+)
+
+func newSim() *cloud.Sim {
+	opts := cloud.DefaultOptions()
+	opts.DisableRateLimit = true
+	return cloud.NewSim(opts)
+}
+
+func expandFiles(t *testing.T, files map[string]string) *config.Expansion {
+	t.Helper()
+	m, diags := config.Load(files)
+	if diags.HasErrors() {
+		t.Fatal(diags.Error())
+	}
+	ex, diags := config.Expand(m, nil, nil)
+	if diags.HasErrors() {
+		t.Fatal(diags.Error())
+	}
+	return ex
+}
+
+func TestBaselineEndToEnd(t *testing.T) {
+	sim := newSim()
+	eng := New(sim, state.New())
+	ex := expandFiles(t, workload.WebTier("web", 2, 4))
+
+	res, p, err := eng.PlanAndApply(context.Background(), ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Creates == 0 || res.Applied != p.Creates {
+		t.Errorf("creates=%d applied=%d", p.Creates, res.Applied)
+	}
+	// The golden state was published.
+	if eng.DB.Snapshot().Len() != p.Creates {
+		t.Errorf("db state len = %d", eng.DB.Snapshot().Len())
+	}
+}
+
+// TestBaselineAlwaysRefreshesEverything captures the §3.3 criticism: even a
+// one-resource delta triggers a full state refresh.
+func TestBaselineAlwaysRefreshesEverything(t *testing.T) {
+	sim := newSim()
+	eng := New(sim, state.New())
+	ex := expandFiles(t, workload.WebTier("web", 2, 6))
+	if _, _, err := eng.PlanAndApply(context.Background(), ex); err != nil {
+		t.Fatal(err)
+	}
+	total := eng.DB.Snapshot().Len()
+
+	// Replan with zero config changes: the baseline still reads every
+	// resource from the cloud.
+	p2, diags := eng.Plan(context.Background(), ex)
+	if diags.HasErrors() {
+		t.Fatal(diags.Error())
+	}
+	if p2.RefreshReads != total {
+		t.Errorf("refresh reads = %d, want %d (full refresh)", p2.RefreshReads, total)
+	}
+	if p2.EvaluatedInstances != len(ex.Instances) {
+		t.Errorf("evaluated = %d, want all %d", p2.EvaluatedInstances, len(ex.Instances))
+	}
+	if p2.PendingCount() != 0 {
+		t.Errorf("no-change plan = %s", p2.Summary())
+	}
+}
+
+// TestBaselineValidationMissesCloudConstraints: the region-mismatch config
+// passes baseline validation and only fails at deploy time — the exact
+// failure mode §3.2 wants eliminated.
+func TestBaselineValidationMissesCloudConstraints(t *testing.T) {
+	src := map[string]string{"main.ccl": `
+resource "azure_resource_group" "rg" {
+  name     = "rg"
+  location = "westus"
+}
+resource "azure_virtual_network" "v" {
+  name           = "v"
+  location       = "westus"
+  resource_group = azure_resource_group.rg.id
+  address_space  = ["10.0.0.0/16"]
+}
+resource "azure_subnet" "s" {
+  virtual_network_id = azure_virtual_network.v.id
+  address_prefix     = "10.0.1.0/24"
+  location           = "westus"
+}
+resource "azure_network_interface" "nic" {
+  name      = "nic"
+  location  = "westus"
+  subnet_id = azure_subnet.s.id
+}
+resource "azure_virtual_machine" "vm" {
+  name     = "vm"
+  location = "eastus"
+  nic_ids  = [azure_network_interface.nic.id]
+}
+`}
+	ex := expandFiles(t, src)
+	sim := newSim()
+	eng := New(sim, state.New())
+
+	// Baseline validation: clean.
+	if res := eng.Validate(ex); res.HasErrors() {
+		t.Fatalf("baseline validation should miss the cloud constraint: %+v", res.Errors())
+	}
+	// Deploy: fails at the cloud with the misleading message.
+	res, _, err := eng.PlanAndApply(context.Background(), ex)
+	if err == nil {
+		t.Fatal("deploy should fail")
+	}
+	found := false
+	for _, e := range res.Errors {
+		if e != nil {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no per-resource error recorded")
+	}
+}
+
+func TestBaselineGlobalLockBlocksConcurrentApply(t *testing.T) {
+	sim := newSim()
+	eng := New(sim, state.New())
+	txn := eng.DB.Begin("other team")
+	if err := txn.Lock(context.Background(), "anything"); err != nil {
+		t.Fatal(err)
+	}
+	// With the global lock held, TryLock for a would-be apply fails.
+	probe := eng.DB.Begin("probe")
+	if probe.TryLock("something-else") {
+		t.Fatal("global lock did not serialize")
+	}
+	txn.Abort()
+	probe.Abort()
+}

@@ -1,0 +1,152 @@
+package cloud
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// Client talks to a cloud Server over HTTP and satisfies the same Interface
+// as the in-process simulator, so the rest of the system cannot tell whether
+// its cloud is a goroutine away or a network away.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+var _ Interface = (*Client)(nil)
+
+// NewClient builds a client for the given base URL (e.g.
+// "http://127.0.0.1:8444"). A nil httpClient gets a default with timeouts.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: 5 * time.Minute}
+	}
+	return &Client{base: baseURL, http: httpClient}
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body any, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(marshalJSON(body))
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return fmt.Errorf("cloud client: build request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return &APIError{Code: CodeInternal, Op: method, Message: "transport: " + err.Error(), Retryable: true}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return &APIError{Code: CodeInternal, Op: method, Message: "read response: " + err.Error(), Retryable: true}
+	}
+	if resp.StatusCode >= 400 {
+		var ae APIError
+		if json.Unmarshal(data, &ae) == nil && ae.Message != "" {
+			return &ae
+		}
+		return &APIError{Code: resp.StatusCode, Op: method,
+			Message:   fmt.Sprintf("HTTP %d: %s", resp.StatusCode, string(data)),
+			Retryable: resp.StatusCode == CodeThrottled || resp.StatusCode >= 500}
+	}
+	if out != nil && len(data) > 0 {
+		if err := json.Unmarshal(data, out); err != nil {
+			return fmt.Errorf("cloud client: decode response: %w", err)
+		}
+	}
+	return nil
+}
+
+// Create implements Interface.
+func (c *Client) Create(ctx context.Context, req CreateRequest) (*Resource, error) {
+	var w wireResource
+	err := c.do(ctx, http.MethodPost, "/v1/resources/"+url.PathEscape(req.Type), wireCreate{
+		Region:    req.Region,
+		Attrs:     attrsToWire(req.Attrs),
+		Principal: req.Principal,
+	}, &w)
+	if err != nil {
+		return nil, err
+	}
+	return fromWire(w), nil
+}
+
+// Get implements Interface.
+func (c *Client) Get(ctx context.Context, typ, id string) (*Resource, error) {
+	var w wireResource
+	err := c.do(ctx, http.MethodGet,
+		"/v1/resources/"+url.PathEscape(typ)+"/"+url.PathEscape(id), nil, &w)
+	if err != nil {
+		return nil, err
+	}
+	return fromWire(w), nil
+}
+
+// Update implements Interface.
+func (c *Client) Update(ctx context.Context, req UpdateRequest) (*Resource, error) {
+	var w wireResource
+	err := c.do(ctx, http.MethodPatch,
+		"/v1/resources/"+url.PathEscape(req.Type)+"/"+url.PathEscape(req.ID), wireUpdate{
+			Attrs:     attrsToWire(req.Attrs),
+			Principal: req.Principal,
+		}, &w)
+	if err != nil {
+		return nil, err
+	}
+	return fromWire(w), nil
+}
+
+// Delete implements Interface.
+func (c *Client) Delete(ctx context.Context, typ, id, principal string) error {
+	path := "/v1/resources/" + url.PathEscape(typ) + "/" + url.PathEscape(id)
+	if principal != "" {
+		path += "?principal=" + url.QueryEscape(principal)
+	}
+	return c.do(ctx, http.MethodDelete, path, nil, nil)
+}
+
+// List implements Interface.
+func (c *Client) List(ctx context.Context, typ, region string) ([]*Resource, error) {
+	path := "/v1/resources/" + url.PathEscape(typ)
+	if region != "" {
+		path += "?region=" + url.QueryEscape(region)
+	}
+	var ws []wireResource
+	if err := c.do(ctx, http.MethodGet, path, nil, &ws); err != nil {
+		return nil, err
+	}
+	out := make([]*Resource, len(ws))
+	for i, w := range ws {
+		out[i] = fromWire(w)
+	}
+	return out, nil
+}
+
+// Activity implements Interface.
+func (c *Client) Activity(ctx context.Context, afterSeq int64) ([]Event, error) {
+	var events []Event
+	path := "/v1/activity?after=" + strconv.FormatInt(afterSeq, 10)
+	if err := c.do(ctx, http.MethodGet, path, nil, &events); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+// Metrics fetches the server-side traffic counters.
+func (c *Client) Metrics(ctx context.Context) (Metrics, error) {
+	var m Metrics
+	err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, &m)
+	return m, err
+}

@@ -1,0 +1,93 @@
+package cloud
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// rateLimiter is a token-bucket limiter for the simulated control plane.
+// It supports two disciplines, matching the two behaviours real SDKs see:
+// Wait (block until a token is available, respecting context cancellation)
+// and Allow (non-blocking; a miss maps to HTTP 429).
+type rateLimiter struct {
+	mu       sync.Mutex
+	rate     float64 // tokens per second
+	burst    float64
+	tokens   float64
+	lastFill time.Time
+	now      func() time.Time
+	// sleeper lets tests and scaled simulations replace real sleeping.
+	sleeper func(ctx context.Context, d time.Duration) error
+}
+
+// newRateLimiter builds a limiter with the given sustained rate and burst.
+func newRateLimiter(rate, burst float64) *rateLimiter {
+	l := &rateLimiter{
+		rate:   rate,
+		burst:  burst,
+		tokens: burst,
+		now:    time.Now,
+		sleeper: func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		},
+	}
+	l.lastFill = l.now()
+	return l
+}
+
+func (l *rateLimiter) refillLocked() {
+	now := l.now()
+	elapsed := now.Sub(l.lastFill).Seconds()
+	if elapsed > 0 {
+		l.tokens += elapsed * l.rate
+		if l.tokens > l.burst {
+			l.tokens = l.burst
+		}
+		l.lastFill = now
+	}
+}
+
+// Allow consumes a token if one is available.
+func (l *rateLimiter) Allow() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.refillLocked()
+	if l.tokens >= 1 {
+		l.tokens--
+		return true
+	}
+	return false
+}
+
+// Wait blocks until a token is available or the context is canceled.
+// It returns the time spent waiting.
+func (l *rateLimiter) Wait(ctx context.Context) (time.Duration, error) {
+	var waited time.Duration
+	for {
+		l.mu.Lock()
+		l.refillLocked()
+		if l.tokens >= 1 {
+			l.tokens--
+			l.mu.Unlock()
+			return waited, nil
+		}
+		need := (1 - l.tokens) / l.rate
+		l.mu.Unlock()
+		d := time.Duration(need * float64(time.Second))
+		if d < time.Millisecond {
+			d = time.Millisecond
+		}
+		if err := l.sleeper(ctx, d); err != nil {
+			return waited, err
+		}
+		waited += d
+	}
+}

@@ -1,0 +1,200 @@
+package cloud
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Server exposes a Sim over HTTP with a small JSON API:
+//
+//	POST   /v1/resources/{type}        create
+//	GET    /v1/resources/{type}        list (?region=)
+//	GET    /v1/resources/{type}/{id}   get
+//	PATCH  /v1/resources/{type}/{id}   update
+//	DELETE /v1/resources/{type}/{id}   delete (?principal=)
+//	GET    /v1/activity                activity log (?after=seq)
+//	GET    /v1/metrics                 traffic counters
+//	GET    /healthz                    liveness
+type Server struct {
+	sim *Sim
+	log *slog.Logger
+	mux *http.ServeMux
+}
+
+// NewServer wires a simulator into an HTTP handler.
+func NewServer(sim *Sim, logger *slog.Logger) *Server {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	s := &Server{sim: sim, log: logger, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/resources/{type}", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/resources/{type}", s.handleList)
+	s.mux.HandleFunc("GET /v1/resources/{type}/{id}", s.handleGet)
+	s.mux.HandleFunc("PATCH /v1/resources/{type}/{id}", s.handleUpdate)
+	s.mux.HandleFunc("DELETE /v1/resources/{type}/{id}", s.handleDelete)
+	s.mux.HandleFunc("GET /v1/activity", s.handleActivity)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = io.WriteString(w, "ok\n")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		ae = &APIError{Code: CodeInternal, Message: err.Error()}
+	}
+	status := ae.Code
+	if status < 400 || status > 599 {
+		status = http.StatusInternalServerError
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if status == CodeThrottled {
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(status)
+	_, _ = w.Write(marshalJSON(ae))
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(marshalJSON(v))
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	typ := r.PathValue("type")
+	var body wireCreate
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&body); err != nil {
+		s.writeError(w, &APIError{Code: CodeInvalid, Op: "create", Type: typ,
+			Message: "MalformedRequest: " + err.Error()})
+		return
+	}
+	res, err := s.sim.Create(r.Context(), CreateRequest{
+		Type:      typ,
+		Region:    body.Region,
+		Attrs:     attrsFromWire(body.Attrs),
+		Principal: principalOf(r, body.Principal),
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.log.Info("created", "type", typ, "id", res.ID, "region", res.Region)
+	s.writeJSON(w, http.StatusCreated, toWire(res))
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	res, err := s.sim.Get(r.Context(), r.PathValue("type"), r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, toWire(res))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	list, err := s.sim.List(r.Context(), r.PathValue("type"), r.URL.Query().Get("region"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	out := make([]wireResource, len(list))
+	for i, res := range list {
+		out[i] = toWire(res)
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	typ, id := r.PathValue("type"), r.PathValue("id")
+	var body wireUpdate
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&body); err != nil {
+		s.writeError(w, &APIError{Code: CodeInvalid, Op: "update", Type: typ, ID: id,
+			Message: "MalformedRequest: " + err.Error()})
+		return
+	}
+	res, err := s.sim.Update(r.Context(), UpdateRequest{
+		Type: typ, ID: id,
+		Attrs:     attrsFromWire(body.Attrs),
+		Principal: principalOf(r, body.Principal),
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, toWire(res))
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	typ, id := r.PathValue("type"), r.PathValue("id")
+	err := s.sim.Delete(r.Context(), typ, id, principalOf(r, r.URL.Query().Get("principal")))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleActivity(w http.ResponseWriter, r *http.Request) {
+	after := int64(0)
+	if q := r.URL.Query().Get("after"); q != "" {
+		n, err := strconv.ParseInt(q, 10, 64)
+		if err != nil {
+			s.writeError(w, &APIError{Code: CodeInvalid, Op: "activity",
+				Message: "MalformedRequest: invalid after parameter"})
+			return
+		}
+		after = n
+	}
+	events, err := s.sim.Activity(r.Context(), after)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if events == nil {
+		events = []Event{}
+	}
+	s.writeJSON(w, http.StatusOK, events)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.sim.Metrics())
+}
+
+// principalOf prefers the explicit body/query principal, then the
+// X-Principal header.
+func principalOf(r *http.Request, explicit string) string {
+	if explicit != "" {
+		return explicit
+	}
+	return r.Header.Get("X-Principal")
+}
+
+// ListenAndServe runs the server until the listener fails. Addr is a
+// host:port. The returned http.Server has sane timeouts for a control-plane
+// API.
+func (s *Server) ListenAndServe(addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           s,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      5 * time.Minute, // creates can be slow at scale 1.0
+		IdleTimeout:       2 * time.Minute,
+	}
+	s.log.Info("cloud simulator listening", "addr", addr)
+	return srv.ListenAndServe()
+}

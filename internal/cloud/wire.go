@@ -1,0 +1,80 @@
+package cloud
+
+import (
+	"encoding/json"
+	"time"
+
+	"cloudless/internal/eval"
+)
+
+// wireResource is the JSON representation of a Resource. Attribute values
+// travel as plain JSON with the unknown sentinel preserved.
+type wireResource struct {
+	ID         string         `json:"id"`
+	Type       string         `json:"type"`
+	Region     string         `json:"region"`
+	Attrs      map[string]any `json:"attrs"`
+	CreatedAt  time.Time      `json:"created_at"`
+	UpdatedAt  time.Time      `json:"updated_at"`
+	Generation int            `json:"generation"`
+}
+
+func toWire(r *Resource) wireResource {
+	attrs := make(map[string]any, len(r.Attrs))
+	for k, v := range r.Attrs {
+		attrs[k] = eval.ToGo(v)
+	}
+	return wireResource{
+		ID: r.ID, Type: r.Type, Region: r.Region, Attrs: attrs,
+		CreatedAt: r.CreatedAt, UpdatedAt: r.UpdatedAt, Generation: r.Generation,
+	}
+}
+
+func fromWire(w wireResource) *Resource {
+	attrs := make(map[string]eval.Value, len(w.Attrs))
+	for k, v := range w.Attrs {
+		attrs[k] = eval.FromGoWithUnknowns(v)
+	}
+	return &Resource{
+		ID: w.ID, Type: w.Type, Region: w.Region, Attrs: attrs,
+		CreatedAt: w.CreatedAt, UpdatedAt: w.UpdatedAt, Generation: w.Generation,
+	}
+}
+
+// wireCreate is the POST body for resource creation.
+type wireCreate struct {
+	Region    string         `json:"region,omitempty"`
+	Attrs     map[string]any `json:"attrs"`
+	Principal string         `json:"principal,omitempty"`
+}
+
+// wireUpdate is the PATCH body for resource updates.
+type wireUpdate struct {
+	Attrs     map[string]any `json:"attrs"`
+	Principal string         `json:"principal,omitempty"`
+}
+
+func attrsToWire(attrs map[string]eval.Value) map[string]any {
+	out := make(map[string]any, len(attrs))
+	for k, v := range attrs {
+		out[k] = eval.ToGo(v)
+	}
+	return out
+}
+
+func attrsFromWire(attrs map[string]any) map[string]eval.Value {
+	out := make(map[string]eval.Value, len(attrs))
+	for k, v := range attrs {
+		out[k] = eval.FromGoWithUnknowns(v)
+	}
+	return out
+}
+
+func marshalJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Wire types contain only marshalable values; failure is a bug.
+		panic("cloud: marshal: " + err.Error())
+	}
+	return b
+}

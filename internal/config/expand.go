@@ -1,0 +1,622 @@
+package config
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cloudless/internal/eval"
+	"cloudless/internal/hcl"
+	"cloudless/internal/schema"
+)
+
+// Instance is one concrete resource instance after expansion: a single
+// cloud object to be planned and applied.
+type Instance struct {
+	// Addr uniquely identifies the instance, e.g. "aws_vpc.main",
+	// "aws_subnet.s[2]", `aws_vm.web["blue"]`, "data.aws_region.current",
+	// or "module.net.aws_vpc.main".
+	Addr string
+	// ModulePath is "" for the root module or the module call name.
+	ModulePath string
+	Mode       Mode
+	Type       string
+	Name       string
+	// Scope is the evaluation context carrying var/local/count/each
+	// bindings. Resource values are layered on top by the planner.
+	Scope *eval.Context
+	// Attrs are the configured attribute expressions.
+	Attrs     map[string]hcl.Expression
+	AttrRange map[string]hcl.Range
+	// DependsOn lists resource-level addresses (no instance index) this
+	// instance depends on, sorted and de-duplicated.
+	DependsOn []string
+	DeclRange hcl.Range
+	// Provider is the owning provider's name.
+	Provider string
+	// Region is the resolved region for the instance: explicit attribute,
+	// then provider configuration, then provider default. Explicit
+	// region/location attributes that reference resources stay unresolved
+	// here and are re-derived at apply time.
+	Region string
+}
+
+// ResourceAddr returns the instance's resource-level address (no index).
+func (i *Instance) ResourceAddr() string {
+	if idx := strings.IndexByte(i.Addr, '['); idx >= 0 {
+		return i.Addr[:idx]
+	}
+	return i.Addr
+}
+
+// OutputSpec is an evaluated-later output: a root output or a module output
+// consulted by module.<name>.<output> references.
+type OutputSpec struct {
+	ModulePath string
+	Name       string
+	Expr       hcl.Expression
+	Scope      *eval.Context
+	Deps       []string
+	Sensitive  bool
+	DeclRange  hcl.Range
+}
+
+// ProviderSettings is the evaluated provider configuration.
+type ProviderSettings struct {
+	Name   string
+	Region string
+	Attrs  map[string]eval.Value
+}
+
+// Expansion is the fully-expanded configuration: every instance, output,
+// and provider setting, ready for planning.
+type Expansion struct {
+	Instances []*Instance
+	ByAddr    map[string]*Instance
+	// Outputs are the root module's outputs.
+	Outputs map[string]*OutputSpec
+	// ModuleOutputs maps module call name -> output name -> spec.
+	ModuleOutputs map[string]map[string]*OutputSpec
+	Providers     map[string]ProviderSettings
+}
+
+// InstancesOf returns the instances of a resource-level address, sorted.
+func (e *Expansion) InstancesOf(resourceAddr string) []*Instance {
+	var out []*Instance
+	for _, inst := range e.Instances {
+		if inst.ResourceAddr() == resourceAddr {
+			out = append(out, inst)
+		}
+	}
+	return out
+}
+
+// Expand evaluates the root module with the given variable values and
+// produces the instance set. The resolver loads child modules; it may be nil
+// when the configuration has no module calls.
+func Expand(root *Module, vars map[string]eval.Value, resolver ModuleResolver) (*Expansion, hcl.Diagnostics) {
+	ex := &Expansion{
+		ByAddr:        map[string]*Instance{},
+		Outputs:       map[string]*OutputSpec{},
+		ModuleOutputs: map[string]map[string]*OutputSpec{},
+		Providers:     map[string]ProviderSettings{},
+	}
+	var diags hcl.Diagnostics
+
+	rootScope, d := moduleScope(root, vars, hcl.Range{})
+	diags = diags.Extend(d)
+	if diags.HasErrors() {
+		return ex, diags
+	}
+
+	// Provider settings come from the root module only; child modules
+	// inherit them (per-module providers are future work, as in early
+	// Terraform).
+	for _, name := range schema.Providers() {
+		prov, _ := schema.LookupProvider(name)
+		settings := ProviderSettings{Name: name, Region: prov.DefaultRegion, Attrs: map[string]eval.Value{}}
+		if cfg, ok := root.Providers[name]; ok {
+			for attr, expr := range cfg.Attrs {
+				v, d := eval.Evaluate(expr, rootScope)
+				diags = diags.Extend(d)
+				if d.HasErrors() {
+					continue
+				}
+				settings.Attrs[attr] = v
+				if (attr == "region" || attr == "location") && v.Kind() == eval.KindString {
+					settings.Region = v.AsString()
+				}
+			}
+		}
+		ex.Providers[name] = settings
+	}
+
+	// Child modules are expanded before the root module so that root
+	// references to module outputs can resolve against the recorded
+	// output specs.
+	for _, callName := range sortedCallNames(root.Calls) {
+		call := root.Calls[callName]
+		if resolver == nil {
+			diags = diags.Append(hcl.Errorf(call.DeclRange,
+				"module %q cannot be loaded: no module resolver configured", call.Name))
+			continue
+		}
+		files, err := resolver.Resolve(call.Source)
+		if err != nil {
+			diags = diags.Append(hcl.Errorf(call.DeclRange, "module %q: %s", call.Name, err))
+			continue
+		}
+		child, d := Load(files)
+		diags = diags.Extend(d)
+		if d.HasErrors() {
+			continue
+		}
+		if len(child.Calls) > 0 {
+			diags = diags.Append(hcl.Errorf(call.DeclRange,
+				"module %q: nested module calls are not supported (one level of modules only)", call.Name))
+			continue
+		}
+		// Module arguments must be derivable before deployment: they may
+		// reference variables and locals but not resources.
+		args := map[string]eval.Value{}
+		for argName, expr := range call.Args {
+			for _, tr := range expr.Variables() {
+				root := tr.RootName()
+				if root != "var" && root != "local" {
+					diags = diags.Append(hcl.Errorf(expr.Range(),
+						"module argument %q may only reference variables and locals, not %q", argName, root))
+				}
+			}
+			v, d := eval.Evaluate(expr, rootScope)
+			diags = diags.Extend(d)
+			args[argName] = v
+		}
+		childScope, d := moduleScope(child, args, call.DeclRange)
+		diags = diags.Extend(d)
+		if d.HasErrors() {
+			continue
+		}
+		diags = diags.Extend(ex.expandModule(child, childScope, call.Name))
+	}
+
+	diags = diags.Extend(ex.expandModule(root, rootScope, ""))
+
+	sort.Slice(ex.Instances, func(i, j int) bool { return ex.Instances[i].Addr < ex.Instances[j].Addr })
+	return ex, diags
+}
+
+// moduleScope binds variables and locals for one module.
+func moduleScope(m *Module, vars map[string]eval.Value, at hcl.Range) (*eval.Context, hcl.Diagnostics) {
+	var diags hcl.Diagnostics
+	scope := eval.NewContext()
+
+	varObj := map[string]eval.Value{}
+	for name, decl := range m.Variables {
+		v, given := vars[name]
+		switch {
+		case given:
+			if err := typeCheckValue(v, decl.Type); err != nil {
+				diags = diags.Append(hcl.Errorf(decl.DeclRange,
+					"invalid value for variable %q: %s", name, err))
+			}
+			varObj[name] = v
+		case decl.HasDefault:
+			varObj[name] = decl.Default
+		default:
+			diags = diags.Append(hcl.Errorf(decl.DeclRange,
+				"variable %q has no value and no default", name))
+		}
+	}
+	for name := range vars {
+		if _, declared := m.Variables[name]; !declared {
+			diags = diags.Append(hcl.Errorf(at, "value provided for undeclared variable %q", name))
+		}
+	}
+	scope.Variables["var"] = eval.Object(varObj)
+
+	// Locals may reference variables and other locals; evaluate to a fixed
+	// point and report cycles. Resources are deliberately out of scope for
+	// locals so the instance set is computable before deployment.
+	localObj := map[string]eval.Value{}
+	remaining := map[string]*Local{}
+	for name, l := range m.Locals {
+		for _, tr := range l.Expr.Variables() {
+			if r := tr.RootName(); r != "var" && r != "local" {
+				diags = diags.Append(hcl.Errorf(l.Expr.Range(),
+					"local %q may only reference variables and other locals, not %q", name, r))
+			}
+		}
+		remaining[name] = l
+	}
+	if diags.HasErrors() {
+		return scope, diags
+	}
+	for len(remaining) > 0 {
+		progressed := false
+		for name, l := range remaining {
+			ready := true
+			for _, tr := range l.Expr.Variables() {
+				if tr.RootName() != "local" || len(tr) < 2 {
+					continue
+				}
+				attr, ok := tr[1].(hcl.TraverseAttr)
+				if !ok {
+					continue
+				}
+				if _, done := localObj[attr.Name]; !done {
+					if _, pending := remaining[attr.Name]; pending {
+						ready = false
+						break
+					}
+				}
+			}
+			if !ready {
+				continue
+			}
+			scope.Variables["local"] = eval.Object(localObj)
+			v, d := eval.Evaluate(l.Expr, scope)
+			diags = diags.Extend(d)
+			localObj[name] = v
+			delete(remaining, name)
+			progressed = true
+		}
+		if !progressed {
+			var names []string
+			for name := range remaining {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			diags = diags.Append(hcl.Errorf(m.Locals[names[0]].DeclRange,
+				"dependency cycle among locals: %s", strings.Join(names, ", ")))
+			break
+		}
+	}
+	scope.Variables["local"] = eval.Object(localObj)
+	return scope, diags
+}
+
+// expandModule expands every resource and data source of one module.
+func (ex *Expansion) expandModule(m *Module, scope *eval.Context, modulePath string) hcl.Diagnostics {
+	var diags hcl.Diagnostics
+	prefix := ""
+	if modulePath != "" {
+		prefix = "module." + modulePath + "."
+	}
+
+	expandOne := func(r *Resource) {
+		keys, d := instanceKeys(r, scope)
+		diags = diags.Extend(d)
+		if d.HasErrors() {
+			return
+		}
+		deps := ex.resourceDeps(r, m, modulePath)
+		provName := ""
+		if p, ok := schema.ProviderForType(r.Type); ok {
+			provName = p.Name
+		}
+		for _, key := range keys {
+			inst := &Instance{
+				ModulePath: modulePath,
+				Mode:       r.Mode,
+				Type:       r.Type,
+				Name:       r.Name,
+				Attrs:      r.Attrs,
+				AttrRange:  r.AttrRange,
+				DependsOn:  deps,
+				DeclRange:  r.DeclRange,
+				Provider:   provName,
+			}
+			base := prefix + r.Key()
+			if r.Mode == DataMode {
+				base = prefix + "data." + r.Key()
+			}
+			instScope := scope.Child()
+			switch k := key.(type) {
+			case noKey:
+				inst.Addr = base
+			case intKey:
+				inst.Addr = fmt.Sprintf("%s[%d]", base, int(k))
+				instScope.Variables["count"] = eval.Object(map[string]eval.Value{"index": eval.Int(int(k))})
+			case strKey:
+				inst.Addr = fmt.Sprintf("%s[%q]", base, k.key)
+				instScope.Variables["each"] = eval.Object(map[string]eval.Value{
+					"key":   eval.String(k.key),
+					"value": k.value,
+				})
+			}
+			inst.Scope = instScope
+			inst.Region = ex.regionFor(inst)
+			if dup, exists := ex.ByAddr[inst.Addr]; exists {
+				diags = diags.Append(hcl.Errorf(r.DeclRange,
+					"duplicate instance address %q (also declared at %s)", inst.Addr, dup.DeclRange))
+				continue
+			}
+			ex.ByAddr[inst.Addr] = inst
+			ex.Instances = append(ex.Instances, inst)
+		}
+	}
+
+	for _, key := range sortedResourceKeys(m.Data) {
+		expandOne(m.Data[key])
+	}
+	for _, key := range sortedResourceKeys(m.Resources) {
+		expandOne(m.Resources[key])
+	}
+
+	// Outputs.
+	outs := map[string]*OutputSpec{}
+	for name, o := range m.Outputs {
+		spec := &OutputSpec{
+			ModulePath: modulePath,
+			Name:       name,
+			Expr:       o.Expr,
+			Scope:      scope,
+			Sensitive:  o.Sensitive,
+			DeclRange:  o.DeclRange,
+		}
+		spec.Deps = ex.exprDeps(o.Expr, m, modulePath)
+		outs[name] = spec
+	}
+	if modulePath == "" {
+		ex.Outputs = outs
+	} else {
+		ex.ModuleOutputs[modulePath] = outs
+	}
+	return diags
+}
+
+// regionFor resolves the region of an instance when it is statically known.
+func (ex *Expansion) regionFor(inst *Instance) string {
+	for _, attrName := range []string{"region", "location"} {
+		expr, ok := inst.Attrs[attrName]
+		if !ok {
+			continue
+		}
+		// Only statically-evaluable regions resolve here; expressions that
+		// reference resources resolve at apply time.
+		refsResources := false
+		for _, tr := range expr.Variables() {
+			switch tr.RootName() {
+			case "var", "local", "count", "each":
+			default:
+				refsResources = true
+			}
+		}
+		if refsResources {
+			return ""
+		}
+		v, d := eval.Evaluate(expr, inst.Scope)
+		if !d.HasErrors() && v.Kind() == eval.KindString {
+			return v.AsString()
+		}
+	}
+	if p, ok := ex.Providers[inst.Provider]; ok {
+		return p.Region
+	}
+	return ""
+}
+
+// instance key variants
+type noKey struct{}
+type intKey int
+type strKey struct {
+	key   string
+	value eval.Value
+}
+
+func (s strKey) String() string { return s.key }
+
+type instKey interface{}
+
+func instanceKeys(r *Resource, scope *eval.Context) ([]instKey, hcl.Diagnostics) {
+	var diags hcl.Diagnostics
+	switch {
+	case r.Count != nil:
+		for _, tr := range r.Count.Variables() {
+			if root := tr.RootName(); root != "var" && root != "local" {
+				return nil, diags.Append(hcl.Errorf(r.Count.Range(),
+					"count may only reference variables and locals, not %q", root))
+			}
+		}
+		v, d := eval.Evaluate(r.Count, scope)
+		diags = diags.Extend(d)
+		if d.HasErrors() {
+			return nil, diags
+		}
+		n, err := eval.ToNumberValue(v)
+		if err != nil || n.IsUnknown() {
+			return nil, diags.Append(hcl.Errorf(r.Count.Range(), "count must be a known number"))
+		}
+		c := n.AsInt()
+		if c < 0 {
+			return nil, diags.Append(hcl.Errorf(r.Count.Range(), "count cannot be negative (got %d)", c))
+		}
+		keys := make([]instKey, c)
+		for i := 0; i < c; i++ {
+			keys[i] = intKey(i)
+		}
+		return keys, diags
+	case r.ForEach != nil:
+		for _, tr := range r.ForEach.Variables() {
+			if root := tr.RootName(); root != "var" && root != "local" {
+				return nil, diags.Append(hcl.Errorf(r.ForEach.Range(),
+					"for_each may only reference variables and locals, not %q", root))
+			}
+		}
+		v, d := eval.Evaluate(r.ForEach, scope)
+		diags = diags.Extend(d)
+		if d.HasErrors() {
+			return nil, diags
+		}
+		switch v.Kind() {
+		case eval.KindObject:
+			obj := v.AsObject()
+			names := make([]string, 0, len(obj))
+			for k := range obj {
+				names = append(names, k)
+			}
+			sort.Strings(names)
+			keys := make([]instKey, len(names))
+			for i, k := range names {
+				keys[i] = strKey{key: k, value: obj[k]}
+			}
+			return keys, diags
+		case eval.KindList:
+			var keys []instKey
+			seen := map[string]bool{}
+			for _, e := range v.AsList() {
+				s, err := eval.ToStringValue(e)
+				if err != nil || s.IsUnknown() {
+					return nil, diags.Append(hcl.Errorf(r.ForEach.Range(),
+						"for_each list elements must be known strings"))
+				}
+				if seen[s.AsString()] {
+					return nil, diags.Append(hcl.Errorf(r.ForEach.Range(),
+						"duplicate for_each key %q", s.AsString()))
+				}
+				seen[s.AsString()] = true
+				keys = append(keys, strKey{key: s.AsString(), value: s})
+			}
+			return keys, diags
+		default:
+			return nil, diags.Append(hcl.Errorf(r.ForEach.Range(),
+				"for_each requires a map or a list of strings, got %s", v.Kind()))
+		}
+	default:
+		return []instKey{noKey{}}, diags
+	}
+}
+
+// resourceDeps computes the resource-level dependency addresses of a
+// declaration: explicit depends_on plus every reference in its expressions.
+func (ex *Expansion) resourceDeps(r *Resource, m *Module, modulePath string) []string {
+	set := map[string]bool{}
+	for _, tr := range r.DependsOn {
+		if addr, ok := ex.refToAddr(tr, m, modulePath); ok {
+			for _, a := range addr {
+				set[a] = true
+			}
+		}
+	}
+	exprs := make([]hcl.Expression, 0, len(r.Attrs)+2)
+	for _, e := range r.Attrs {
+		exprs = append(exprs, e)
+	}
+	if r.Count != nil {
+		exprs = append(exprs, r.Count)
+	}
+	if r.ForEach != nil {
+		exprs = append(exprs, r.ForEach)
+	}
+	for _, e := range exprs {
+		for _, tr := range e.Variables() {
+			if addrs, ok := ex.refToAddr(tr, m, modulePath); ok {
+				for _, a := range addrs {
+					set[a] = true
+				}
+			}
+		}
+	}
+	self := r.Key()
+	if modulePath != "" {
+		self = "module." + modulePath + "." + self
+	}
+	delete(set, self)
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// exprDeps resolves the dependencies of a standalone expression (outputs).
+func (ex *Expansion) exprDeps(e hcl.Expression, m *Module, modulePath string) []string {
+	set := map[string]bool{}
+	for _, tr := range e.Variables() {
+		if addrs, ok := ex.refToAddr(tr, m, modulePath); ok {
+			for _, a := range addrs {
+				set[a] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// refToAddr maps a traversal to the resource-level addresses it depends on.
+func (ex *Expansion) refToAddr(tr hcl.Traversal, m *Module, modulePath string) ([]string, bool) {
+	prefix := ""
+	if modulePath != "" {
+		prefix = "module." + modulePath + "."
+	}
+	root := tr.RootName()
+	switch root {
+	case "var", "local", "count", "each", "path":
+		return nil, false
+	case "data":
+		if len(tr) >= 3 {
+			typ, ok1 := tr[1].(hcl.TraverseAttr)
+			name, ok2 := tr[2].(hcl.TraverseAttr)
+			if ok1 && ok2 {
+				return []string{prefix + "data." + typ.Name + "." + name.Name}, true
+			}
+		}
+		return nil, false
+	case "module":
+		// module.<call>.<output>: depend on whatever the output depends on.
+		if len(tr) >= 2 {
+			call, ok := tr[1].(hcl.TraverseAttr)
+			if !ok {
+				return nil, false
+			}
+			outs := ex.ModuleOutputs[call.Name]
+			if len(tr) >= 3 {
+				if outName, ok := tr[2].(hcl.TraverseAttr); ok {
+					if spec, exists := outs[outName.Name]; exists {
+						return spec.Deps, true
+					}
+				}
+			}
+			var all []string
+			for _, spec := range outs {
+				all = append(all, spec.Deps...)
+			}
+			return all, len(all) > 0
+		}
+		return nil, false
+	default:
+		// A resource-type root such as aws_vpc.
+		if _, isType := schema.LookupResource(root); !isType {
+			return nil, false
+		}
+		if len(tr) >= 2 {
+			if name, ok := tr[1].(hcl.TraverseAttr); ok {
+				return []string{prefix + root + "." + name.Name}, true
+			}
+		}
+		return nil, false
+	}
+}
+
+func sortedResourceKeys(m map[string]*Resource) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedCallNames(m map[string]*ModuleCall) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,91 @@
+package config
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"cloudless/internal/hcl"
+)
+
+// ModuleResolver loads the source files of a child module given the source
+// string from a module block.
+type ModuleResolver interface {
+	// Resolve returns filename -> source for the module.
+	Resolve(source string) (map[string]string, error)
+}
+
+// MapResolver resolves module sources from an in-memory map, used by tests
+// and by the porter when it synthesizes modular programs.
+type MapResolver map[string]map[string]string
+
+// Resolve implements ModuleResolver.
+func (m MapResolver) Resolve(source string) (map[string]string, error) {
+	files, ok := m[source]
+	if !ok {
+		return nil, fmt.Errorf("module source %q not found", source)
+	}
+	return files, nil
+}
+
+// DirResolver resolves module sources as directories relative to a root.
+type DirResolver struct{ Root string }
+
+// Resolve implements ModuleResolver.
+func (d DirResolver) Resolve(source string) (map[string]string, error) {
+	dir := filepath.Join(d.Root, filepath.FromSlash(source))
+	return readDirSources(dir)
+}
+
+func readDirSources(dir string) (map[string]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("read module directory: %w", err)
+	}
+	files := map[string]string{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".ccl") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		files[e.Name()] = string(b)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .ccl files in %s", dir)
+	}
+	return files, nil
+}
+
+// Load parses a set of sources (filename -> content) into a Module.
+// Files are processed in filename order so diagnostics are deterministic.
+func Load(sources map[string]string) (*Module, hcl.Diagnostics) {
+	names := make([]string, 0, len(sources))
+	for n := range sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var files []*hcl.File
+	var diags hcl.Diagnostics
+	for _, n := range names {
+		f, d := hcl.Parse(n, sources[n])
+		diags = diags.Extend(d)
+		files = append(files, f)
+	}
+	mod, d := decodeFiles(files)
+	return mod, diags.Extend(d)
+}
+
+// LoadDir loads every .ccl file in a directory as the root module.
+func LoadDir(dir string) (*Module, hcl.Diagnostics) {
+	sources, err := readDirSources(dir)
+	if err != nil {
+		return newModule(), hcl.Diagnostics{hcl.Errorf(hcl.Range{Filename: dir},
+			"cannot load configuration: %s", err)}
+	}
+	return Load(sources)
+}

@@ -1,0 +1,252 @@
+// Package diagnose translates cloud-level error messages back to the
+// IaC-level program — the §3.5 debugger. Cloud providers report failures in
+// API vocabulary ("specified NIC is not found") that obscures the real,
+// configuration-level cause (the NIC and VM were configured in different
+// regions) and never points at lines of code. The diagnoser pattern-matches
+// error classes, cross-references the configuration and the knowledge base,
+// and produces a root cause, an exact source range, and concrete fixes.
+package diagnose
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"strings"
+
+	"cloudless/internal/cloud"
+	"cloudless/internal/config"
+	"cloudless/internal/hcl"
+	"cloudless/internal/schema"
+)
+
+// Diagnosis is the IaC-level explanation of a cloud-level failure.
+type Diagnosis struct {
+	// Addr is the failing instance.
+	Addr string
+	// Attr is the configuration attribute implicated, when identifiable.
+	Attr string
+	// Range points at the offending configuration source.
+	Range hcl.Range
+	// CloudMessage is the raw provider error.
+	CloudMessage string
+	// RootCause is the IaC-level explanation.
+	RootCause string
+	// Suggestions are concrete fixes, most specific first.
+	Suggestions []string
+	// RuleID references the knowledge-base rule involved, if any.
+	RuleID string
+}
+
+// String renders the diagnosis as a compiler-style report.
+func (d *Diagnosis) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "error applying %s", d.Addr)
+	if d.Range.Filename != "" {
+		fmt.Fprintf(&b, " (at %s)", d.Range)
+	}
+	fmt.Fprintf(&b, "\n  cloud said:  %s\n  root cause:  %s\n", d.CloudMessage, d.RootCause)
+	for _, s := range d.Suggestions {
+		fmt.Fprintf(&b, "  fix:         %s\n", s)
+	}
+	return b.String()
+}
+
+var (
+	notFoundRe   = regexp.MustCompile(`specified ([a-z ]+) "([^"]+)" is not found`)
+	comboRe      = regexp.MustCompile(`property "([^"]+)" may only be set when "([^"]+)" is (.+?) \(got`)
+	badValueRe   = regexp.MustCompile(`InvalidParameterValue: "([^"]+)" is not a valid value for "([^"]+)"`)
+	missingReqRe = regexp.MustCompile(`required property "([^"]+)" was not provided`)
+	overlapRe    = regexp.MustCompile(`AddressSpaceOverlap`)
+	quotaRe      = regexp.MustCompile(`QuotaExceeded`)
+	conflictRe   = regexp.MustCompile(`Conflict: a ([a-z_ ]+) named "([^"]+)" already exists in (\S+)`)
+	throttleRe   = regexp.MustCompile(`TooManyRequests`)
+	forceNewRe   = regexp.MustCompile(`property "([^"]+)" cannot be changed after creation`)
+)
+
+// Explain builds a diagnosis for an error returned while applying inst.
+// ex provides the configuration context used to find the real cause.
+func Explain(err error, inst *config.Instance, ex *config.Expansion) *Diagnosis {
+	d := &Diagnosis{CloudMessage: err.Error()}
+	if inst != nil {
+		d.Addr = inst.Addr
+		d.Range = inst.DeclRange
+	}
+	var ae *cloud.APIError
+	if !errors.As(err, &ae) {
+		d.RootCause = "the failure did not come from the cloud API; see the underlying error"
+		return d
+	}
+	d.CloudMessage = ae.Message
+
+	switch {
+	case notFoundRe.MatchString(ae.Message):
+		explainNotFound(d, ae, inst, ex)
+	case comboRe.MatchString(ae.Message):
+		m := comboRe.FindStringSubmatch(ae.Message)
+		d.Attr = m[1]
+		d.RuleID = coRequirementRule(inst, m[1])
+		d.RootCause = fmt.Sprintf("attribute %q has a co-requirement: it is only accepted when %q is %s", m[1], m[2], m[3])
+		d.Suggestions = append(d.Suggestions,
+			fmt.Sprintf("set %s = %s on %s, or remove %s", m[2], m[3], d.Addr, m[1]))
+		pointAtAttr(d, inst, m[1])
+	case badValueRe.MatchString(ae.Message):
+		m := badValueRe.FindStringSubmatch(ae.Message)
+		d.Attr = m[2]
+		d.RootCause = fmt.Sprintf("%q is outside the allowed value set for %q", m[1], m[2])
+		if rs, ok := schema.LookupResource(ae.Type); ok {
+			if a := rs.Attr(m[2]); a != nil && len(a.OneOf) > 0 {
+				d.Suggestions = append(d.Suggestions,
+					fmt.Sprintf("use one of: %s", strings.Join(a.OneOf, ", ")))
+			}
+		}
+		pointAtAttr(d, inst, m[2])
+	case missingReqRe.MatchString(ae.Message):
+		m := missingReqRe.FindStringSubmatch(ae.Message)
+		d.Attr = m[1]
+		d.RootCause = fmt.Sprintf("the configuration never sets required attribute %q", m[1])
+		d.Suggestions = append(d.Suggestions, fmt.Sprintf("add %s = ... to %s", m[1], d.Addr))
+	case overlapRe.MatchString(ae.Message):
+		d.RootCause = "the two peered networks have overlapping address spaces; peering requires disjoint CIDR ranges"
+		d.RuleID = "azure/peered-vnets-no-cidr-overlap"
+		d.Suggestions = append(d.Suggestions,
+			"renumber one network's address_space so the ranges are disjoint",
+			"run `cloudlessctl validate` before applying: this violation is detectable at compile time")
+	case quotaRe.MatchString(ae.Message):
+		d.RootCause = "the per-region quota for this resource type is exhausted"
+		d.Suggestions = append(d.Suggestions,
+			"reduce count/for_each multiplicity or spread instances across regions",
+			"request a quota increase from the provider")
+	case conflictRe.MatchString(ae.Message):
+		m := conflictRe.FindStringSubmatch(ae.Message)
+		d.Attr = "name"
+		d.RootCause = fmt.Sprintf("another %s named %q already exists in %s; names are unique per region", m[1], m[2], m[3])
+		d.Suggestions = append(d.Suggestions,
+			"choose a different name or import the existing resource with `cloudlessctl import`")
+		pointAtAttr(d, inst, "name")
+	case throttleRe.MatchString(ae.Message):
+		d.RootCause = "the provider throttled API calls; the operation ran out of retries"
+		d.Suggestions = append(d.Suggestions,
+			"lower apply concurrency or raise the retry budget")
+	case forceNewRe.MatchString(ae.Message):
+		m := forceNewRe.FindStringSubmatch(ae.Message)
+		d.Attr = m[1]
+		d.RootCause = fmt.Sprintf("attribute %q is immutable after creation; an in-place update cannot change it", m[1])
+		d.Suggestions = append(d.Suggestions,
+			fmt.Sprintf("plan a replacement (the planner does this automatically when %q changes in configuration)", m[1]))
+		pointAtAttr(d, inst, m[1])
+	default:
+		d.RootCause = "unrecognized cloud error; see the raw message"
+		if ae.Retryable {
+			d.Suggestions = append(d.Suggestions, "the error is transient; retrying usually succeeds")
+		}
+	}
+	return d
+}
+
+// explainNotFound handles the paper's flagship example: "VM creation failed
+// because specified NIC is not found". The referenced resource usually does
+// exist — in the wrong region — so the diagnoser checks the configuration
+// for a region mismatch before accepting the message at face value.
+func explainNotFound(d *Diagnosis, ae *cloud.APIError, inst *config.Instance, ex *config.Expansion) {
+	m := notFoundRe.FindStringSubmatch(ae.Message)
+	targetNoun, targetID := m[1], m[2]
+	d.RootCause = fmt.Sprintf("the referenced %s %q was not visible to the API call", targetNoun, targetID)
+
+	if inst == nil || ex == nil {
+		return
+	}
+	rs, ok := schema.LookupResource(inst.Type)
+	if !ok {
+		return
+	}
+	// Find the reference attribute whose noun matches, then the referenced
+	// configuration instance, and compare regions.
+	for name, a := range rs.Attrs {
+		if a.Semantic.Kind != schema.SemResourceRef {
+			continue
+		}
+		if prettyAttrNoun(name) != targetNoun {
+			continue
+		}
+		d.Attr = name
+		pointAtAttr(d, inst, name)
+		for _, ref := range referencedInstances(inst, name, ex) {
+			if ref.Region != "" && inst.Region != "" && ref.Region != inst.Region {
+				d.RuleID = sameRegionRule(inst)
+				d.RootCause = fmt.Sprintf(
+					"%s exists but lives in region %q while %s is being created in %q; "+
+						"the provider scopes lookups by region, so it reports \"not found\" instead of the real cause",
+					ref.Addr, ref.Region, inst.Addr, inst.Region)
+				d.Suggestions = append(d.Suggestions,
+					fmt.Sprintf("set the same region on %s and %s", inst.Addr, ref.Addr),
+					fmt.Sprintf("move %s to %q or %s to %q", ref.Addr, inst.Region, inst.Addr, ref.Region))
+				return
+			}
+		}
+		d.Suggestions = append(d.Suggestions,
+			fmt.Sprintf("verify that %s is created before %s and is in the same region", name, inst.Addr))
+		return
+	}
+}
+
+// pointAtAttr aims the diagnosis range at the attribute's source line.
+func pointAtAttr(d *Diagnosis, inst *config.Instance, attr string) {
+	if inst == nil {
+		return
+	}
+	if rng, ok := inst.AttrRange[attr]; ok {
+		d.Range = rng
+	}
+}
+
+// referencedInstances resolves a reference attribute to configuration
+// instances.
+func referencedInstances(inst *config.Instance, attr string, ex *config.Expansion) []*config.Instance {
+	expr, ok := inst.Attrs[attr]
+	if !ok {
+		return nil
+	}
+	var out []*config.Instance
+	for _, tr := range expr.Variables() {
+		root := tr.RootName()
+		if _, isType := schema.LookupResource(root); !isType || len(tr) < 2 {
+			continue
+		}
+		nameStep, ok := tr[1].(hcl.TraverseAttr)
+		if !ok {
+			continue
+		}
+		addr := root + "." + nameStep.Name
+		if inst.ModulePath != "" {
+			addr = "module." + inst.ModulePath + "." + addr
+		}
+		out = append(out, ex.InstancesOf(addr)...)
+	}
+	return out
+}
+
+func prettyAttrNoun(attr string) string {
+	a := strings.TrimSuffix(strings.TrimSuffix(attr, "_ids"), "_id")
+	return strings.ReplaceAll(a, "_", " ")
+}
+
+func sameRegionRule(inst *config.Instance) string {
+	for _, r := range schema.DefaultKB().RulesFor(inst.Type) {
+		if r.Kind == schema.RuleSameRegion {
+			return r.ID
+		}
+	}
+	return ""
+}
+
+func coRequirementRule(inst *config.Instance, attr string) string {
+	if inst == nil {
+		return ""
+	}
+	for _, r := range schema.DefaultKB().RulesFor(inst.Type) {
+		if r.Kind == schema.RuleAttrRequiresValue && r.Attr == attr {
+			return r.ID
+		}
+	}
+	return ""
+}

@@ -1,0 +1,201 @@
+package diagnose
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"cloudless/internal/cloud"
+	"cloudless/internal/config"
+	"cloudless/internal/eval"
+)
+
+// expand loads and expands a config snippet.
+func expand(t *testing.T, src string) *config.Expansion {
+	t.Helper()
+	m, diags := config.Load(map[string]string{"main.ccl": src})
+	if diags.HasErrors() {
+		t.Fatal(diags.Error())
+	}
+	ex, diags := config.Expand(m, nil, nil)
+	if diags.HasErrors() {
+		t.Fatal(diags.Error())
+	}
+	return ex
+}
+
+// TestPaperNICExample reproduces §3.5's example end to end: the cloud says
+// "NIC is not found", and the diagnoser reports the real cause — the NIC and
+// VM were not configured in the same region — pointing at the config line.
+func TestPaperNICExample(t *testing.T) {
+	src := `
+resource "azure_resource_group" "rg" {
+  name     = "rg"
+  location = "westus"
+}
+resource "azure_virtual_network" "v" {
+  name           = "v"
+  location       = "westus"
+  resource_group = azure_resource_group.rg.id
+  address_space  = ["10.0.0.0/16"]
+}
+resource "azure_subnet" "s" {
+  virtual_network_id = azure_virtual_network.v.id
+  address_prefix     = "10.0.1.0/24"
+  location           = "westus"
+}
+resource "azure_network_interface" "nic" {
+  name      = "nic"
+  location  = "westus"
+  subnet_id = azure_subnet.s.id
+}
+resource "azure_virtual_machine" "vm1" {
+  name     = "vm1"
+  location = "eastus"
+  nic_ids  = [azure_network_interface.nic.id]
+}
+`
+	ex := expand(t, src)
+	opts := cloud.DefaultOptions()
+	opts.DisableRateLimit = true
+	sim := cloud.NewSim(opts)
+	ctx := context.Background()
+
+	// Create the NIC chain in westus for real.
+	rg, _ := sim.Create(ctx, cloud.CreateRequest{Type: "azure_resource_group", Region: "westus",
+		Attrs: map[string]eval.Value{"name": eval.String("rg"), "location": eval.String("westus")}})
+	v, _ := sim.Create(ctx, cloud.CreateRequest{Type: "azure_virtual_network", Region: "westus",
+		Attrs: map[string]eval.Value{"name": eval.String("v"), "resource_group": eval.String(rg.ID),
+			"address_space": eval.Strings("10.0.0.0/16")}})
+	s, _ := sim.Create(ctx, cloud.CreateRequest{Type: "azure_subnet", Region: "westus",
+		Attrs: map[string]eval.Value{"virtual_network_id": eval.String(v.ID),
+			"address_prefix": eval.String("10.0.1.0/24")}})
+	nic, err := sim.Create(ctx, cloud.CreateRequest{Type: "azure_network_interface", Region: "westus",
+		Attrs: map[string]eval.Value{"name": eval.String("nic"), "subnet_id": eval.String(s.ID)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The VM create in eastus fails with the misleading cloud error.
+	_, err = sim.Create(ctx, cloud.CreateRequest{Type: "azure_virtual_machine", Region: "eastus",
+		Attrs: map[string]eval.Value{"name": eval.String("vm1"), "nic_ids": eval.Strings(nic.ID)}})
+	if err == nil {
+		t.Fatal("expected cloud failure")
+	}
+	if !strings.Contains(err.Error(), "not found") {
+		t.Fatalf("cloud error = %v", err)
+	}
+
+	vm := ex.ByAddr["azure_virtual_machine.vm1"]
+	d := Explain(err, vm, ex)
+
+	if !strings.Contains(d.RootCause, "westus") || !strings.Contains(d.RootCause, "eastus") {
+		t.Errorf("root cause misses the region mismatch: %q", d.RootCause)
+	}
+	if d.Attr != "nic_ids" {
+		t.Errorf("attr = %q", d.Attr)
+	}
+	if d.RuleID != "azure/vm-nic-same-region" {
+		t.Errorf("rule = %q", d.RuleID)
+	}
+	// The range points at the nic_ids line in main.ccl (line 25).
+	if d.Range.Filename != "main.ccl" || d.Range.Start.Line != 25 {
+		t.Errorf("range = %v, want main.ccl line 25", d.Range)
+	}
+	if len(d.Suggestions) == 0 || !strings.Contains(d.Suggestions[0], "region") {
+		t.Errorf("suggestions = %v", d.Suggestions)
+	}
+	if !strings.Contains(d.String(), "root cause") {
+		t.Errorf("render = %q", d.String())
+	}
+}
+
+func TestExplainCoRequirement(t *testing.T) {
+	src := `
+resource "azure_virtual_machine" "vm" {
+  name           = "vm"
+  nic_ids        = ["nic-x"]
+  admin_password = "hunter2"
+}
+`
+	ex := expand(t, src)
+	err := &cloud.APIError{Code: cloud.CodeInvalid, Op: "create", Type: "azure_virtual_machine",
+		Message: `InvalidParameterCombination: property "admin_password" may only be set when "disable_password" is false (got true)`}
+	d := Explain(err, ex.ByAddr["azure_virtual_machine.vm"], ex)
+	if d.Attr != "admin_password" {
+		t.Errorf("attr = %q", d.Attr)
+	}
+	if d.RuleID != "azure/vm-password-requires-enable" {
+		t.Errorf("rule = %q", d.RuleID)
+	}
+	if len(d.Suggestions) == 0 || !strings.Contains(d.Suggestions[0], "disable_password") {
+		t.Errorf("suggestions = %v", d.Suggestions)
+	}
+	if d.Range.Start.Line != 5 {
+		t.Errorf("range line = %d, want 5 (the admin_password line)", d.Range.Start.Line)
+	}
+}
+
+func TestExplainBadEnumValue(t *testing.T) {
+	src := `
+resource "aws_virtual_machine" "vm" {
+  name          = "vm"
+  nic_ids       = ["nic-1"]
+  instance_type = "t9.mega"
+}
+`
+	ex := expand(t, src)
+	err := &cloud.APIError{Code: cloud.CodeInvalid, Op: "create", Type: "aws_virtual_machine",
+		Message: `InvalidParameterValue: "t9.mega" is not a valid value for "instance_type"`}
+	d := Explain(err, ex.ByAddr["aws_virtual_machine.vm"], ex)
+	if d.Attr != "instance_type" {
+		t.Errorf("attr = %q", d.Attr)
+	}
+	if len(d.Suggestions) == 0 || !strings.Contains(d.Suggestions[0], "t3.micro") {
+		t.Errorf("suggestions should list allowed values: %v", d.Suggestions)
+	}
+}
+
+func TestExplainQuotaThrottleConflict(t *testing.T) {
+	ex := expand(t, `resource "aws_vpc" "v" { cidr_block = "10.0.0.0/16" }`)
+	inst := ex.ByAddr["aws_vpc.v"]
+
+	cases := []struct {
+		msg  string
+		want string
+	}{
+		{"QuotaExceeded: limit of 5 aws_vpc per region reached", "quota"},
+		{"TooManyRequests: request rate exceeded", "throttled"},
+		{`Conflict: a vpc named "main" already exists in us-east-1`, "unique per region"},
+		{`InvalidOperation: property "cidr_block" cannot be changed after creation; the resource must be recreated`, "immutable"},
+	}
+	for _, c := range cases {
+		d := Explain(&cloud.APIError{Code: 400, Message: c.msg}, inst, ex)
+		if !strings.Contains(strings.ToLower(d.RootCause), c.want) {
+			t.Errorf("msg %q: root cause %q does not mention %q", c.msg, d.RootCause, c.want)
+		}
+	}
+}
+
+func TestExplainNonCloudError(t *testing.T) {
+	d := Explain(errors.New("plain failure"), nil, nil)
+	if d.RootCause == "" {
+		t.Error("no root cause for plain error")
+	}
+}
+
+func TestExplainOverlapSuggestsValidate(t *testing.T) {
+	ex := expand(t, `resource "aws_vpc" "v" { cidr_block = "10.0.0.0/16" }`)
+	d := Explain(&cloud.APIError{Code: 400,
+		Message: "AddressSpaceOverlap: cannot peer networks a and b"}, ex.ByAddr["aws_vpc.v"], ex)
+	found := false
+	for _, s := range d.Suggestions {
+		if strings.Contains(s, "validate") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("should point the user at compile-time validation: %v", d.Suggestions)
+	}
+}

@@ -1,0 +1,409 @@
+// Package drift detects and reconciles "resource drift": cloud changes made
+// outside IaC control (§3.5). It implements both detection strategies the
+// paper contrasts — the driftctl-style full API scan, which burns rate-
+// limited control-plane calls, and the cloudless-native activity-log watcher,
+// which reads the (cheap, incrementally-pollable) audit log — plus a
+// reconciliation step that either adopts the drift into state, reverts it in
+// the cloud, or surfaces it for human attention.
+package drift
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"cloudless/internal/cloud"
+	"cloudless/internal/eval"
+	"cloudless/internal/schema"
+	"cloudless/internal/state"
+)
+
+// Kind classifies a drift item.
+type Kind int
+
+// Drift kinds.
+const (
+	// Modified: a managed resource's attributes changed out-of-band.
+	Modified Kind = iota
+	// Deleted: a managed resource disappeared out-of-band.
+	Deleted
+	// Unmanaged: a resource exists in the cloud but not in state.
+	Unmanaged
+)
+
+var kindNames = map[Kind]string{Modified: "modified", Deleted: "deleted", Unmanaged: "unmanaged"}
+
+// String names the kind.
+func (k Kind) String() string { return kindNames[k] }
+
+// Item is one detected divergence between state and cloud.
+type Item struct {
+	Kind Kind
+	// Addr is the state address ("" for unmanaged resources).
+	Addr string
+	Type string
+	ID   string
+	// ChangedAttrs lists modified attribute names, sorted.
+	ChangedAttrs []string
+	// Actor is the principal that caused the drift when known (from the
+	// activity log; full scans cannot attribute).
+	Actor string
+	// CloudAttrs is the current cloud-side attribute set (nil for Deleted).
+	CloudAttrs map[string]eval.Value
+}
+
+// Report is the outcome of one detection pass.
+type Report struct {
+	Items []Item
+	// APICalls is the number of rate-limited control-plane calls spent.
+	APICalls int
+	// LogReads is the number of activity-log reads (cheap) spent.
+	LogReads int
+	// Elapsed is the wall time of the pass.
+	Elapsed time.Duration
+	// Method names the strategy ("full-scan" or "activity-log").
+	Method string
+}
+
+// HasDrift reports whether anything diverged.
+func (r *Report) HasDrift() bool { return len(r.Items) > 0 }
+
+func sortItems(items []Item) {
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Addr != items[j].Addr {
+			return items[i].Addr < items[j].Addr
+		}
+		return items[i].ID < items[j].ID
+	})
+}
+
+// diffAttrs returns configuration-relevant attribute names that differ.
+// Computed attributes are excluded: they belong to the cloud.
+func diffAttrs(typ string, recorded, current map[string]eval.Value) []string {
+	rs, ok := schema.LookupResource(typ)
+	var changed []string
+	for name, have := range recorded {
+		if ok {
+			if a := rs.Attr(name); a != nil && a.Computed {
+				continue
+			}
+		}
+		cur, exists := current[name]
+		if !exists || !cur.Equal(have) {
+			changed = append(changed, name)
+		}
+	}
+	for name := range current {
+		if _, exists := recorded[name]; !exists {
+			if ok {
+				if a := rs.Attr(name); a != nil && a.Computed {
+					continue
+				}
+			}
+			changed = append(changed, name)
+		}
+	}
+	sort.Strings(changed)
+	return changed
+}
+
+// FullScan detects drift the way industry tools like driftctl do: list every
+// resource of every type in every region through the rate-limited cloud API
+// and compare against state. Thorough but expensive — the E7 experiment
+// measures exactly how expensive.
+func FullScan(ctx context.Context, cl cloud.Interface, st *state.State) (*Report, error) {
+	start := time.Now()
+	rep := &Report{Method: "full-scan"}
+
+	seen := map[string]bool{} // cloud IDs seen during the scan
+	for _, provName := range schema.Providers() {
+		prov, _ := schema.LookupProvider(provName)
+		types := make([]string, 0, len(prov.Resources))
+		for typ, rs := range prov.Resources {
+			if !rs.DataSource {
+				types = append(types, typ)
+			}
+		}
+		sort.Strings(types)
+		for _, typ := range types {
+			for _, region := range prov.Regions {
+				list, err := cl.List(ctx, typ, region)
+				rep.APICalls++
+				if err != nil {
+					return rep, fmt.Errorf("drift scan %s in %s: %w", typ, region, err)
+				}
+				for _, res := range list {
+					seen[res.ID] = true
+					rs := st.ByID(res.ID)
+					if rs == nil {
+						rep.Items = append(rep.Items, Item{
+							Kind: Unmanaged, Type: res.Type, ID: res.ID,
+							CloudAttrs: res.Attrs,
+						})
+						continue
+					}
+					if changed := diffAttrs(res.Type, rs.Attrs, res.Attrs); len(changed) > 0 {
+						rep.Items = append(rep.Items, Item{
+							Kind: Modified, Addr: rs.Addr, Type: res.Type, ID: res.ID,
+							ChangedAttrs: changed, CloudAttrs: res.Attrs,
+						})
+					}
+				}
+			}
+		}
+	}
+	for _, addr := range st.Addrs() {
+		rs := st.Get(addr)
+		if !seen[rs.ID] {
+			rep.Items = append(rep.Items, Item{
+				Kind: Deleted, Addr: addr, Type: rs.Type, ID: rs.ID,
+			})
+		}
+	}
+	sortItems(rep.Items)
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// Watcher is the cloudless-native detector: it tails the activity log and
+// reacts only to events from principals other than its own, resolving each
+// to a targeted Get instead of scanning the world.
+type Watcher struct {
+	cl cloud.Interface
+	// Principal is "us": events by this principal are expected and skipped.
+	Principal string
+	lastSeq   int64
+}
+
+// NewWatcher builds a watcher starting after the given log sequence number
+// (use the cloud's current tail so pre-existing history is not replayed).
+func NewWatcher(cl cloud.Interface, principal string, afterSeq int64) *Watcher {
+	return &Watcher{cl: cl, Principal: principal, lastSeq: afterSeq}
+}
+
+// LastSeq returns the watcher's log cursor.
+func (w *Watcher) LastSeq() int64 { return w.lastSeq }
+
+// Poll reads new activity-log events and turns foreign ones into drift
+// items, advancing the cursor.
+func (w *Watcher) Poll(ctx context.Context, st *state.State) (*Report, error) {
+	start := time.Now()
+	rep := &Report{Method: "activity-log"}
+	events, err := w.cl.Activity(ctx, w.lastSeq)
+	rep.LogReads++
+	if err != nil {
+		return rep, fmt.Errorf("drift watch: %w", err)
+	}
+	// Coalesce events per resource: the last event wins.
+	type agg struct {
+		ev      cloud.Event
+		changed map[string]bool
+	}
+	byID := map[string]*agg{}
+	var order []string
+	for _, ev := range events {
+		if ev.Seq > w.lastSeq {
+			w.lastSeq = ev.Seq
+		}
+		if ev.Principal == w.Principal {
+			continue
+		}
+		a := byID[ev.ID]
+		if a == nil {
+			a = &agg{changed: map[string]bool{}}
+			byID[ev.ID] = a
+			order = append(order, ev.ID)
+		}
+		a.ev = ev
+		for _, c := range ev.Changed {
+			a.changed[c] = true
+		}
+	}
+	for _, id := range order {
+		a := byID[id]
+		rs := st.ByID(id)
+		switch a.ev.Op {
+		case cloud.OpDelete:
+			if rs != nil {
+				rep.Items = append(rep.Items, Item{
+					Kind: Deleted, Addr: rs.Addr, Type: a.ev.Type, ID: id, Actor: a.ev.Principal,
+				})
+			}
+		case cloud.OpCreate:
+			if rs == nil {
+				res, err := w.cl.Get(ctx, a.ev.Type, id)
+				rep.APICalls++
+				if err != nil {
+					if cloud.IsNotFound(err) {
+						continue // created and deleted between polls
+					}
+					return rep, err
+				}
+				rep.Items = append(rep.Items, Item{
+					Kind: Unmanaged, Type: a.ev.Type, ID: id, Actor: a.ev.Principal,
+					CloudAttrs: res.Attrs,
+				})
+			}
+		case cloud.OpUpdate:
+			if rs == nil {
+				continue // churn on an unmanaged resource
+			}
+			res, err := w.cl.Get(ctx, a.ev.Type, id)
+			rep.APICalls++
+			if err != nil {
+				if cloud.IsNotFound(err) {
+					rep.Items = append(rep.Items, Item{
+						Kind: Deleted, Addr: rs.Addr, Type: a.ev.Type, ID: id, Actor: a.ev.Principal,
+					})
+					continue
+				}
+				return rep, err
+			}
+			changed := diffAttrs(a.ev.Type, rs.Attrs, res.Attrs)
+			if len(changed) == 0 {
+				continue // e.g. changed back before we looked
+			}
+			rep.Items = append(rep.Items, Item{
+				Kind: Modified, Addr: rs.Addr, Type: a.ev.Type, ID: id,
+				ChangedAttrs: changed, Actor: a.ev.Principal, CloudAttrs: res.Attrs,
+			})
+		}
+	}
+	sortItems(rep.Items)
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// Action is what reconciliation does with one drift item.
+type Action int
+
+// Reconciliation actions.
+const (
+	// Adopt updates the recorded state to match the cloud (the
+	// "regenerate the IaC-level program to reflect the latest deployment"
+	// path).
+	Adopt Action = iota
+	// Revert pushes the recorded state back to the cloud, undoing the
+	// out-of-band change.
+	Revert
+	// Notify leaves the drift in place for a human.
+	Notify
+)
+
+var actionNames = map[Action]string{Adopt: "adopt", Revert: "revert", Notify: "notify"}
+
+// String names the action.
+func (a Action) String() string { return actionNames[a] }
+
+// Policy chooses an action per drift item.
+type Policy func(Item) Action
+
+// AdoptAll and RevertAll are the two obvious policies.
+func AdoptAll(Item) Action { return Adopt }
+
+// RevertAll undoes every modification (deletions are re-created by the next
+// apply; reconciliation removes them from state so the planner sees them).
+func RevertAll(Item) Action { return Revert }
+
+// ReconcileResult summarizes a reconciliation pass.
+type ReconcileResult struct {
+	State    *state.State
+	Adopted  []string
+	Reverted []string
+	Notified []string
+	Errors   map[string]error
+}
+
+// Reconcile applies a policy to a drift report, returning an updated state.
+func Reconcile(ctx context.Context, cl cloud.Interface, st *state.State, rep *Report, policy Policy, principal string) *ReconcileResult {
+	out := &ReconcileResult{State: st.Clone(), Errors: map[string]error{}}
+	for _, item := range rep.Items {
+		key := item.Addr
+		if key == "" {
+			key = item.ID
+		}
+		switch policy(item) {
+		case Adopt:
+			switch item.Kind {
+			case Deleted:
+				out.State.Remove(item.Addr)
+			case Modified:
+				rs := out.State.Get(item.Addr)
+				if rs != nil && item.CloudAttrs != nil {
+					rs.Attrs = item.CloudAttrs
+					rs.UpdatedAt = time.Now()
+				}
+			case Unmanaged:
+				// Adopting unmanaged resources into configuration is the
+				// porter's job (§3.1); reconciliation records them under a
+				// synthetic import address so they are at least tracked.
+				addr := fmt.Sprintf("%s.imported_%s", item.Type, sanitize(item.ID))
+				out.State.Set(&state.ResourceState{
+					Addr: addr, Type: item.Type, ID: item.ID,
+					Attrs: item.CloudAttrs, UpdatedAt: time.Now(),
+				})
+			}
+			out.Adopted = append(out.Adopted, key)
+		case Revert:
+			switch item.Kind {
+			case Modified:
+				rs := out.State.Get(item.Addr)
+				if rs == nil {
+					continue
+				}
+				attrs := map[string]eval.Value{}
+				schemaRS, _ := schema.LookupResource(item.Type)
+				for _, name := range item.ChangedAttrs {
+					if schemaRS != nil {
+						if a := schemaRS.Attr(name); a == nil || a.Computed || a.ForceNew {
+							continue
+						}
+					}
+					if v, ok := rs.Attrs[name]; ok {
+						attrs[name] = v
+					}
+				}
+				if len(attrs) == 0 {
+					out.Notified = append(out.Notified, key)
+					continue
+				}
+				if _, err := cl.Update(ctx, cloud.UpdateRequest{
+					Type: item.Type, ID: item.ID, Attrs: attrs, Principal: principal,
+				}); err != nil {
+					out.Errors[key] = err
+					continue
+				}
+				out.Reverted = append(out.Reverted, key)
+			case Deleted:
+				// Cannot revert a deletion in place: drop it from state so
+				// the next plan re-creates it.
+				out.State.Remove(item.Addr)
+				out.Reverted = append(out.Reverted, key)
+			case Unmanaged:
+				if err := cl.Delete(ctx, item.Type, item.ID, principal); err != nil {
+					out.Errors[key] = err
+					continue
+				}
+				out.Reverted = append(out.Reverted, key)
+			}
+		default:
+			out.Notified = append(out.Notified, key)
+		}
+	}
+	return out
+}
+
+func sanitize(id string) string {
+	out := make([]byte, 0, len(id))
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

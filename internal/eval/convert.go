@@ -1,0 +1,82 @@
+package eval
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ToStringValue converts a value to its string form following CCL's implicit
+// conversion rules (numbers and bools convert; collections do not).
+func ToStringValue(v Value) (Value, error) {
+	switch v.kind {
+	case KindUnknown:
+		return Unknown, nil
+	case KindString:
+		return v, nil
+	case KindNumber:
+		return String(Number(v.num).String()), nil
+	case KindBool:
+		return String(strconv.FormatBool(v.b)), nil
+	case KindNull:
+		return Value{}, fmt.Errorf("cannot convert null to string")
+	default:
+		return Value{}, fmt.Errorf("cannot convert %s to string", v.kind)
+	}
+}
+
+// ToNumberValue converts a value to a number, accepting numeric strings.
+func ToNumberValue(v Value) (Value, error) {
+	switch v.kind {
+	case KindUnknown:
+		return Unknown, nil
+	case KindNumber:
+		return v, nil
+	case KindString:
+		f, err := strconv.ParseFloat(v.str, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("cannot convert %q to number", v.str)
+		}
+		return Number(f), nil
+	case KindBool:
+		if v.b {
+			return Number(1), nil
+		}
+		return Number(0), nil
+	default:
+		return Value{}, fmt.Errorf("cannot convert %s to number", v.kind)
+	}
+}
+
+// ToBoolValue converts a value to a bool, accepting "true"/"false" strings.
+func ToBoolValue(v Value) (Value, error) {
+	switch v.kind {
+	case KindUnknown:
+		return Unknown, nil
+	case KindBool:
+		return v, nil
+	case KindString:
+		switch v.str {
+		case "true":
+			return True, nil
+		case "false":
+			return False, nil
+		}
+		return Value{}, fmt.Errorf("cannot convert %q to bool", v.str)
+	default:
+		return Value{}, fmt.Errorf("cannot convert %s to bool", v.kind)
+	}
+}
+
+// Truthiness returns the boolean meaning of a condition value; only booleans
+// (and convertible strings) are accepted — numbers are deliberately not
+// truthy, avoiding a classic configuration-language footgun.
+func Truthiness(v Value) (bool, error) {
+	b, err := ToBoolValue(v)
+	if err != nil {
+		return false, err
+	}
+	if b.IsUnknown() {
+		return false, fmt.Errorf("condition depends on a value known only after apply")
+	}
+	return b.AsBool(), nil
+}

@@ -1,0 +1,533 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"cloudless/internal/hcl"
+)
+
+// Context supplies variable bindings and functions to the evaluator.
+// Contexts nest: comprehension variables shadow the parent scope.
+type Context struct {
+	Variables map[string]Value
+	Functions map[string]Function
+	parent    *Context
+}
+
+// NewContext builds a root context with the standard function library.
+func NewContext() *Context {
+	return &Context{
+		Variables: map[string]Value{},
+		Functions: Stdlib(),
+	}
+}
+
+// Child creates a nested scope.
+func (c *Context) Child() *Context {
+	return &Context{Variables: map[string]Value{}, parent: c}
+}
+
+// Lookup resolves a root variable name through the scope chain.
+func (c *Context) Lookup(name string) (Value, bool) {
+	for s := c; s != nil; s = s.parent {
+		if v, ok := s.Variables[name]; ok {
+			return v, true
+		}
+	}
+	return Value{}, false
+}
+
+// Function resolves a function name through the scope chain.
+func (c *Context) Function(name string) (Function, bool) {
+	for s := c; s != nil; s = s.parent {
+		if f, ok := s.Functions[name]; ok {
+			return f, true
+		}
+	}
+	return Function{}, false
+}
+
+// Evaluate computes the value of an expression within a context.
+func Evaluate(expr hcl.Expression, ctx *Context) (Value, hcl.Diagnostics) {
+	switch e := expr.(type) {
+	case *hcl.LiteralExpr:
+		return FromGo(e.Val), nil
+
+	case *hcl.TemplateExpr:
+		return evalTemplate(e, ctx)
+
+	case *hcl.ScopeTraversalExpr:
+		return evalTraversal(e.Traversal, e.Rng, ctx)
+
+	case *hcl.RelativeTraversalExpr:
+		base, diags := Evaluate(e.Source, ctx)
+		if diags.HasErrors() {
+			return Value{}, diags
+		}
+		v, err := applySteps(base, e.Traversal)
+		if err != nil {
+			return Value{}, diags.Append(hcl.Errorf(e.Rng, "%s", err))
+		}
+		return v, diags
+
+	case *hcl.IndexExpr:
+		coll, diags := Evaluate(e.Collection, ctx)
+		key, kd := Evaluate(e.Key, ctx)
+		diags = diags.Extend(kd)
+		if diags.HasErrors() {
+			return Value{}, diags
+		}
+		v, err := coll.Index(key)
+		if err != nil {
+			return Value{}, diags.Append(hcl.Errorf(e.Rng, "%s", err))
+		}
+		return v, diags
+
+	case *hcl.SplatExpr:
+		return evalSplat(e, ctx)
+
+	case *hcl.FunctionCallExpr:
+		return evalCall(e, ctx)
+
+	case *hcl.BinaryExpr:
+		return evalBinary(e, ctx)
+
+	case *hcl.UnaryExpr:
+		return evalUnary(e, ctx)
+
+	case *hcl.ConditionalExpr:
+		return evalConditional(e, ctx)
+
+	case *hcl.TupleExpr:
+		items := make([]Value, 0, len(e.Items))
+		var diags hcl.Diagnostics
+		for _, it := range e.Items {
+			v, d := Evaluate(it, ctx)
+			diags = diags.Extend(d)
+			items = append(items, v)
+		}
+		if diags.HasErrors() {
+			return Value{}, diags
+		}
+		return ListOf(items), diags
+
+	case *hcl.ObjectExpr:
+		obj := make(map[string]Value, len(e.Items))
+		var diags hcl.Diagnostics
+		for _, it := range e.Items {
+			kv, d := Evaluate(it.Key, ctx)
+			diags = diags.Extend(d)
+			vv, d := Evaluate(it.Value, ctx)
+			diags = diags.Extend(d)
+			if diags.HasErrors() {
+				continue
+			}
+			ks, err := ToStringValue(kv)
+			if err != nil {
+				diags = diags.Append(hcl.Errorf(it.Key.Range(), "invalid object key: %s", err))
+				continue
+			}
+			if ks.IsUnknown() {
+				diags = diags.Append(hcl.Errorf(it.Key.Range(), "object key cannot be derived from a value known only after apply"))
+				continue
+			}
+			obj[ks.AsString()] = vv
+		}
+		if diags.HasErrors() {
+			return Value{}, diags
+		}
+		return Object(obj), diags
+
+	case *hcl.ForExpr:
+		return evalFor(e, ctx)
+
+	default:
+		return Value{}, hcl.Diagnostics{hcl.Errorf(expr.Range(), "unsupported expression type %T", expr)}
+	}
+}
+
+func evalTemplate(e *hcl.TemplateExpr, ctx *Context) (Value, hcl.Diagnostics) {
+	var diags hcl.Diagnostics
+	out := ""
+	unknown := false
+	for _, p := range e.Parts {
+		v, d := Evaluate(p, ctx)
+		diags = diags.Extend(d)
+		if d.HasErrors() {
+			continue
+		}
+		if v.IsUnknown() {
+			unknown = true
+			continue
+		}
+		s, err := ToStringValue(v)
+		if err != nil {
+			diags = diags.Append(hcl.Errorf(p.Range(), "cannot interpolate: %s", err))
+			continue
+		}
+		out += s.AsString()
+	}
+	if diags.HasErrors() {
+		return Value{}, diags
+	}
+	if unknown {
+		return Unknown, diags
+	}
+	return String(out), diags
+}
+
+func evalTraversal(tr hcl.Traversal, rng hcl.Range, ctx *Context) (Value, hcl.Diagnostics) {
+	root := tr.RootName()
+	base, ok := ctx.Lookup(root)
+	if !ok {
+		return Value{}, hcl.Diagnostics{hcl.Errorf(rng, "reference to undeclared name %q", root)}
+	}
+	v, err := applySteps(base, tr[1:])
+	if err != nil {
+		return Value{}, hcl.Diagnostics{hcl.Errorf(rng, "invalid reference %s: %s", tr, err)}
+	}
+	return v, nil
+}
+
+func applySteps(v Value, steps []hcl.Traverser) (Value, error) {
+	for _, step := range steps {
+		var err error
+		switch s := step.(type) {
+		case hcl.TraverseAttr:
+			// Attribute syntax also reaches object members and, as a
+			// convenience shared with HCL, list indices via .N handled in
+			// the parser. For lists a trailing attr maps over elements only
+			// via splat, not here.
+			v, err = v.GetAttr(s.Name)
+		case hcl.TraverseIndex:
+			switch k := s.Key.(type) {
+			case string:
+				v, err = v.Index(String(k))
+			case int:
+				v, err = v.Index(Int(k))
+			default:
+				err = fmt.Errorf("unsupported index key %v", s.Key)
+			}
+		default:
+			err = fmt.Errorf("unsupported traversal step")
+		}
+		if err != nil {
+			return Value{}, err
+		}
+	}
+	return v, nil
+}
+
+func evalSplat(e *hcl.SplatExpr, ctx *Context) (Value, hcl.Diagnostics) {
+	src, diags := Evaluate(e.Source, ctx)
+	if diags.HasErrors() {
+		return Value{}, diags
+	}
+	if src.IsUnknown() {
+		return Unknown, diags
+	}
+	var elems []Value
+	switch src.Kind() {
+	case KindList:
+		elems = src.AsList()
+	case KindNull:
+		return List(), diags
+	default:
+		// A non-list value splats as a single-element list, matching HCL.
+		elems = []Value{src}
+	}
+	out := make([]Value, 0, len(elems))
+	for _, el := range elems {
+		v, err := applySteps(el, e.Each)
+		if err != nil {
+			return Value{}, diags.Append(hcl.Errorf(e.Rng, "in splat expression: %s", err))
+		}
+		out = append(out, v)
+	}
+	return ListOf(out), diags
+}
+
+func evalCall(e *hcl.FunctionCallExpr, ctx *Context) (Value, hcl.Diagnostics) {
+	fn, ok := ctx.Function(e.Name)
+	if !ok {
+		return Value{}, hcl.Diagnostics{hcl.Errorf(e.NameRange, "call to unknown function %q", e.Name)}
+	}
+	var diags hcl.Diagnostics
+	args := make([]Value, 0, len(e.Args))
+	for i, a := range e.Args {
+		v, d := Evaluate(a, ctx)
+		diags = diags.Extend(d)
+		if d.HasErrors() {
+			continue
+		}
+		if e.ExpandFinal && i == len(e.Args)-1 {
+			if v.IsUnknown() {
+				return Unknown, diags
+			}
+			if v.Kind() != KindList {
+				diags = diags.Append(hcl.Errorf(a.Range(), `"..." requires a list, got %s`, v.Kind()))
+				continue
+			}
+			args = append(args, v.AsList()...)
+			continue
+		}
+		args = append(args, v)
+	}
+	if diags.HasErrors() {
+		return Value{}, diags
+	}
+	out, err := fn.Call(args)
+	if err != nil {
+		return Value{}, diags.Append(hcl.Errorf(e.Rng, "in function %q: %s", e.Name, err))
+	}
+	return out, diags
+}
+
+func evalUnary(e *hcl.UnaryExpr, ctx *Context) (Value, hcl.Diagnostics) {
+	v, diags := Evaluate(e.Operand, ctx)
+	if diags.HasErrors() {
+		return Value{}, diags
+	}
+	if v.IsUnknown() {
+		return Unknown, diags
+	}
+	switch e.Op {
+	case hcl.OpNegate:
+		n, err := ToNumberValue(v)
+		if err != nil {
+			return Value{}, diags.Append(hcl.Errorf(e.Rng, "unary -: %s", err))
+		}
+		return Number(-n.AsNumber()), diags
+	case hcl.OpNot:
+		b, err := ToBoolValue(v)
+		if err != nil {
+			return Value{}, diags.Append(hcl.Errorf(e.Rng, "unary !: %s", err))
+		}
+		return Bool(!b.AsBool()), diags
+	}
+	return Value{}, diags.Append(hcl.Errorf(e.Rng, "unsupported unary operator"))
+}
+
+func evalConditional(e *hcl.ConditionalExpr, ctx *Context) (Value, hcl.Diagnostics) {
+	cond, diags := Evaluate(e.Cond, ctx)
+	if diags.HasErrors() {
+		return Value{}, diags
+	}
+	if cond.IsUnknown() {
+		// Cannot choose a branch yet; the overall result is unknown.
+		return Unknown, diags
+	}
+	b, err := ToBoolValue(cond)
+	if err != nil {
+		return Value{}, diags.Append(hcl.Errorf(e.Cond.Range(), "condition: %s", err))
+	}
+	if b.AsBool() {
+		return Evaluate(e.True, ctx)
+	}
+	return Evaluate(e.False, ctx)
+}
+
+func evalBinary(e *hcl.BinaryExpr, ctx *Context) (Value, hcl.Diagnostics) {
+	lhs, diags := Evaluate(e.LHS, ctx)
+	rhs, rd := Evaluate(e.RHS, ctx)
+	diags = diags.Extend(rd)
+	if diags.HasErrors() {
+		return Value{}, diags
+	}
+
+	// Short-circuit-adjacent semantics for known boolean operands even when
+	// the other side is unknown.
+	if e.Op == hcl.OpAnd || e.Op == hcl.OpOr {
+		return evalLogical(e, lhs, rhs, diags)
+	}
+	if e.Op == hcl.OpEq {
+		if lhs.IsUnknown() || rhs.IsUnknown() {
+			return Unknown, diags
+		}
+		return Bool(lhs.Equal(rhs)), diags
+	}
+	if e.Op == hcl.OpNotEq {
+		if lhs.IsUnknown() || rhs.IsUnknown() {
+			return Unknown, diags
+		}
+		return Bool(!lhs.Equal(rhs)), diags
+	}
+	if lhs.IsUnknown() || rhs.IsUnknown() {
+		return Unknown, diags
+	}
+
+	// String concatenation via "+" when either operand is a string.
+	if e.Op == hcl.OpAdd && (lhs.Kind() == KindString || rhs.Kind() == KindString) {
+		ls, el := ToStringValue(lhs)
+		rs, er := ToStringValue(rhs)
+		if el == nil && er == nil {
+			return String(ls.AsString() + rs.AsString()), diags
+		}
+	}
+
+	ln, err := ToNumberValue(lhs)
+	if err != nil {
+		return Value{}, diags.Append(hcl.Errorf(e.LHS.Range(), "left operand of %q: %s", e.Op, err))
+	}
+	rn, err := ToNumberValue(rhs)
+	if err != nil {
+		return Value{}, diags.Append(hcl.Errorf(e.RHS.Range(), "right operand of %q: %s", e.Op, err))
+	}
+	a, b := ln.AsNumber(), rn.AsNumber()
+	switch e.Op {
+	case hcl.OpAdd:
+		return Number(a + b), diags
+	case hcl.OpSub:
+		return Number(a - b), diags
+	case hcl.OpMul:
+		return Number(a * b), diags
+	case hcl.OpDiv:
+		if b == 0 {
+			return Value{}, diags.Append(hcl.Errorf(e.Rng, "division by zero"))
+		}
+		return Number(a / b), diags
+	case hcl.OpMod:
+		if b == 0 {
+			return Value{}, diags.Append(hcl.Errorf(e.Rng, "division by zero"))
+		}
+		return Number(math.Mod(a, b)), diags
+	case hcl.OpLT:
+		return Bool(a < b), diags
+	case hcl.OpGT:
+		return Bool(a > b), diags
+	case hcl.OpLTE:
+		return Bool(a <= b), diags
+	case hcl.OpGTE:
+		return Bool(a >= b), diags
+	}
+	return Value{}, diags.Append(hcl.Errorf(e.Rng, "unsupported binary operator"))
+}
+
+func evalLogical(e *hcl.BinaryExpr, lhs, rhs Value, diags hcl.Diagnostics) (Value, hcl.Diagnostics) {
+	toBool := func(v Value, rng hcl.Range) (Value, bool) {
+		if v.IsUnknown() {
+			return Unknown, true
+		}
+		b, err := ToBoolValue(v)
+		if err != nil {
+			diags = diags.Append(hcl.Errorf(rng, "operand of %q: %s", e.Op, err))
+			return Value{}, false
+		}
+		return b, true
+	}
+	lb, ok := toBool(lhs, e.LHS.Range())
+	if !ok {
+		return Value{}, diags
+	}
+	rb, ok := toBool(rhs, e.RHS.Range())
+	if !ok {
+		return Value{}, diags
+	}
+	if e.Op == hcl.OpAnd {
+		// false && anything == false, even unknown.
+		if (!lb.IsUnknown() && !lb.AsBool()) || (!rb.IsUnknown() && !rb.AsBool()) {
+			return False, diags
+		}
+		if lb.IsUnknown() || rb.IsUnknown() {
+			return Unknown, diags
+		}
+		return Bool(lb.AsBool() && rb.AsBool()), diags
+	}
+	// OpOr: true || anything == true, even unknown.
+	if (!lb.IsUnknown() && lb.AsBool()) || (!rb.IsUnknown() && rb.AsBool()) {
+		return True, diags
+	}
+	if lb.IsUnknown() || rb.IsUnknown() {
+		return Unknown, diags
+	}
+	return Bool(lb.AsBool() || rb.AsBool()), diags
+}
+
+func evalFor(e *hcl.ForExpr, ctx *Context) (Value, hcl.Diagnostics) {
+	coll, diags := Evaluate(e.Coll, ctx)
+	if diags.HasErrors() {
+		return Value{}, diags
+	}
+	if coll.IsUnknown() {
+		return Unknown, diags
+	}
+
+	type kv struct {
+		k Value
+		v Value
+	}
+	var items []kv
+	switch coll.Kind() {
+	case KindList:
+		for i, el := range coll.AsList() {
+			items = append(items, kv{Int(i), el})
+		}
+	case KindObject:
+		obj := coll.AsObject()
+		keys := make([]string, 0, len(obj))
+		for k := range obj {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			items = append(items, kv{String(k), obj[k]})
+		}
+	default:
+		return Value{}, diags.Append(hcl.Errorf(e.Coll.Range(),
+			"cannot iterate over a %s value", coll.Kind()))
+	}
+
+	child := ctx.Child()
+	var listOut []Value
+	objOut := map[string]Value{}
+	for _, it := range items {
+		if e.KeyVar != "" {
+			child.Variables[e.KeyVar] = it.k
+			child.Variables[e.ValVar] = it.v
+		} else {
+			child.Variables[e.ValVar] = it.v
+		}
+		if e.CondExpr != nil {
+			cv, d := Evaluate(e.CondExpr, child)
+			diags = diags.Extend(d)
+			if d.HasErrors() {
+				return Value{}, diags
+			}
+			keep, err := Truthiness(cv)
+			if err != nil {
+				return Value{}, diags.Append(hcl.Errorf(e.CondExpr.Range(), "comprehension filter: %s", err))
+			}
+			if !keep {
+				continue
+			}
+		}
+		vv, d := Evaluate(e.ValExpr, child)
+		diags = diags.Extend(d)
+		if d.HasErrors() {
+			return Value{}, diags
+		}
+		if e.KeyExpr == nil {
+			listOut = append(listOut, vv)
+			continue
+		}
+		kvV, d := Evaluate(e.KeyExpr, child)
+		diags = diags.Extend(d)
+		if d.HasErrors() {
+			return Value{}, diags
+		}
+		ks, err := ToStringValue(kvV)
+		if err != nil {
+			return Value{}, diags.Append(hcl.Errorf(e.KeyExpr.Range(), "comprehension key: %s", err))
+		}
+		if ks.IsUnknown() {
+			return Unknown, diags
+		}
+		objOut[ks.AsString()] = vv
+	}
+	if e.KeyExpr == nil {
+		return ListOf(listOut), diags
+	}
+	return Object(objOut), diags
+}

@@ -1,0 +1,271 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"cloudless/internal/hcl"
+)
+
+func evalSrc(t *testing.T, src string, ctx *Context) Value {
+	t.Helper()
+	expr, diags := hcl.ParseExpression("test.ccl", src)
+	if diags.HasErrors() {
+		t.Fatalf("parse %q: %s", src, diags.Error())
+	}
+	v, diags := Evaluate(expr, ctx)
+	if diags.HasErrors() {
+		t.Fatalf("eval %q: %s", src, diags.Error())
+	}
+	return v
+}
+
+func evalErr(t *testing.T, src string, ctx *Context) hcl.Diagnostics {
+	t.Helper()
+	expr, diags := hcl.ParseExpression("test.ccl", src)
+	if diags.HasErrors() {
+		t.Fatalf("parse %q: %s", src, diags.Error())
+	}
+	_, diags = Evaluate(expr, ctx)
+	if !diags.HasErrors() {
+		t.Fatalf("eval %q: expected error", src)
+	}
+	return diags
+}
+
+func testCtx() *Context {
+	ctx := NewContext()
+	ctx.Variables["var"] = Object(map[string]Value{
+		"name":   String("cloudless"),
+		"count":  Int(3),
+		"zones":  Strings("us-east-1a", "us-east-1b"),
+		"m":      Object(map[string]Value{"a": Int(1), "b": Int(2)}),
+		"secret": Unknown,
+	})
+	return ctx
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	ctx := testCtx()
+	cases := []struct {
+		src  string
+		want Value
+	}{
+		{"1 + 2 * 3", Int(7)},
+		{"(1 + 2) * 3", Int(9)},
+		{"10 / 4", Number(2.5)},
+		{"7 % 3", Int(1)},
+		{"-var.count", Int(-3)},
+		{"2 < 3", True},
+		{"2 >= 3", False},
+		{`"a" == "a"`, True},
+		{`"a" != "b"`, True},
+		{"true && false", False},
+		{"true || false", True},
+		{"!false", True},
+	}
+	for _, c := range cases {
+		got := evalSrc(t, c.src, ctx)
+		if !got.Equal(c.want) {
+			t.Errorf("%s = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestEvalDivisionByZero(t *testing.T) {
+	d := evalErr(t, "1 / 0", testCtx())
+	if !strings.Contains(d.Error(), "division by zero") {
+		t.Errorf("diag = %s", d.Error())
+	}
+}
+
+func TestEvalStringConcat(t *testing.T) {
+	got := evalSrc(t, `"vm-" + var.name`, testCtx())
+	if got.AsString() != "vm-cloudless" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestEvalTemplate(t *testing.T) {
+	got := evalSrc(t, `"name-${var.name}-${var.count + 1}"`, testCtx())
+	if got.AsString() != "name-cloudless-4" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestEvalTemplateUnknownPropagates(t *testing.T) {
+	got := evalSrc(t, `"id-${var.secret}"`, testCtx())
+	if !got.IsUnknown() {
+		t.Errorf("template with unknown part must be unknown, got %v", got)
+	}
+}
+
+func TestEvalTraversals(t *testing.T) {
+	ctx := testCtx()
+	if got := evalSrc(t, "var.zones[1]", ctx); got.AsString() != "us-east-1b" {
+		t.Errorf("got %v", got)
+	}
+	if got := evalSrc(t, "var.zones.0", ctx); got.AsString() != "us-east-1a" {
+		t.Errorf("got %v", got)
+	}
+	if got := evalSrc(t, `var.m["b"]`, ctx); got.AsInt() != 2 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestEvalUndeclaredReference(t *testing.T) {
+	d := evalErr(t, "nosuch.thing", testCtx())
+	if !strings.Contains(d.Error(), "undeclared name") {
+		t.Errorf("diag = %s", d.Error())
+	}
+}
+
+func TestEvalDynamicIndex(t *testing.T) {
+	ctx := testCtx()
+	ctx.Variables["i"] = Int(1)
+	if got := evalSrc(t, "var.zones[i]", ctx); got.AsString() != "us-east-1b" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestEvalConditional(t *testing.T) {
+	ctx := testCtx()
+	if got := evalSrc(t, `var.count > 2 ? "many" : "few"`, ctx); got.AsString() != "many" {
+		t.Errorf("got %v", got)
+	}
+	// The untaken branch must not be evaluated (it would error).
+	if got := evalSrc(t, `true ? 1 : nosuch.ref`, ctx); got.AsInt() != 1 {
+		t.Errorf("got %v", got)
+	}
+	// Unknown condition yields unknown.
+	if got := evalSrc(t, `var.secret == "x" ? 1 : 2`, ctx); !got.IsUnknown() {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestEvalLogicalWithUnknown(t *testing.T) {
+	ctx := testCtx()
+	ctx.Variables["u"] = Unknown
+	if got := evalSrc(t, "false && u", ctx); !got.Equal(False) {
+		t.Errorf("false && unknown = %v, want false", got)
+	}
+	if got := evalSrc(t, "true || u", ctx); !got.Equal(True) {
+		t.Errorf("true || unknown = %v, want true", got)
+	}
+	if got := evalSrc(t, "true && u", ctx); !got.IsUnknown() {
+		t.Errorf("true && unknown = %v, want unknown", got)
+	}
+}
+
+func TestEvalTupleObject(t *testing.T) {
+	ctx := testCtx()
+	got := evalSrc(t, `[var.count, "x", true]`, ctx)
+	want := List(Int(3), String("x"), True)
+	if !got.Equal(want) {
+		t.Errorf("got %v", got)
+	}
+	got = evalSrc(t, `{ name = var.name, n = 1 }`, ctx)
+	if got.AsObject()["name"].AsString() != "cloudless" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestEvalForList(t *testing.T) {
+	ctx := testCtx()
+	got := evalSrc(t, `[for z in var.zones : upper(z)]`, ctx)
+	want := Strings("US-EAST-1A", "US-EAST-1B")
+	if !got.Equal(want) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestEvalForListWithIndexAndFilter(t *testing.T) {
+	ctx := testCtx()
+	got := evalSrc(t, `[for i, z in var.zones : "${i}-${z}" if i > 0]`, ctx)
+	want := Strings("1-us-east-1b")
+	if !got.Equal(want) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestEvalForObject(t *testing.T) {
+	ctx := testCtx()
+	got := evalSrc(t, `{for k, v in var.m : upper(k) => v * 10}`, ctx)
+	want := Object(map[string]Value{"A": Int(10), "B": Int(20)})
+	if !got.Equal(want) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestEvalForOverObjectOrdered(t *testing.T) {
+	// Object iteration is sorted by key, so list results are deterministic.
+	ctx := testCtx()
+	got := evalSrc(t, `[for k, v in var.m : k]`, ctx)
+	if !got.Equal(Strings("a", "b")) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestEvalSplat(t *testing.T) {
+	ctx := testCtx()
+	ctx.Variables["aws_vm"] = Object(map[string]Value{
+		"web": List(
+			Object(map[string]Value{"id": String("vm-0")}),
+			Object(map[string]Value{"id": String("vm-1")}),
+		),
+	})
+	got := evalSrc(t, "aws_vm.web[*].id", ctx)
+	if !got.Equal(Strings("vm-0", "vm-1")) {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestEvalSplatOnSingleValue(t *testing.T) {
+	ctx := testCtx()
+	ctx.Variables["one"] = Object(map[string]Value{"id": String("x")})
+	got := evalSrc(t, "one[*].id", ctx)
+	if !got.Equal(Strings("x")) {
+		t.Errorf("single-value splat = %v", got)
+	}
+}
+
+func TestEvalScopes(t *testing.T) {
+	parent := testCtx()
+	child := parent.Child()
+	child.Variables["var"] = Object(map[string]Value{"name": String("shadowed")})
+	got := evalSrc(t, "var.name", child)
+	if got.AsString() != "shadowed" {
+		t.Errorf("child scope should shadow parent, got %v", got)
+	}
+	// Functions resolve through the chain.
+	if got := evalSrc(t, `upper("x")`, child); got.AsString() != "X" {
+		t.Errorf("function lookup through chain failed: %v", got)
+	}
+}
+
+func TestEvalUnknownFunction(t *testing.T) {
+	d := evalErr(t, "frobnicate(1)", testCtx())
+	if !strings.Contains(d.Error(), "unknown function") {
+		t.Errorf("diag = %s", d.Error())
+	}
+}
+
+func TestEvalDiagnosticPositions(t *testing.T) {
+	expr, _ := hcl.ParseExpression("pos.ccl", "1 + nosuch.ref")
+	_, diags := Evaluate(expr, testCtx())
+	if !diags.HasErrors() {
+		t.Fatal("expected error")
+	}
+	d := diags[0]
+	if d.Subject.Start.Column != 5 {
+		t.Errorf("error column = %d, want 5", d.Subject.Start.Column)
+	}
+}
+
+func TestEvalFunctionExpansion(t *testing.T) {
+	ctx := testCtx()
+	ctx.Variables["nums"] = List(Int(3), Int(9), Int(4))
+	if got := evalSrc(t, "max(nums...)", ctx); got.AsInt() != 9 {
+		t.Errorf("got %v", got)
+	}
+}

@@ -1,0 +1,828 @@
+package eval
+
+import (
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/netip"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Function is a callable available to CCL expressions.
+type Function struct {
+	// Name is the function's CCL-visible name.
+	Name string
+	// MinArgs and MaxArgs bound the argument count; MaxArgs < 0 means
+	// variadic.
+	MinArgs, MaxArgs int
+	// Impl computes the result. Arguments are pre-evaluated.
+	Impl func(args []Value) (Value, error)
+	// KnownOnUnknown, when true, lets the function run even when some
+	// arguments are unknown (used by coalesce-like functions). Otherwise an
+	// unknown argument makes the result unknown.
+	KnownOnUnknown bool
+}
+
+// Call validates arity and unknown-propagation, then invokes the function.
+func (f Function) Call(args []Value) (Value, error) {
+	if len(args) < f.MinArgs {
+		return Value{}, fmt.Errorf("needs at least %d argument(s), got %d", f.MinArgs, len(args))
+	}
+	if f.MaxArgs >= 0 && len(args) > f.MaxArgs {
+		return Value{}, fmt.Errorf("accepts at most %d argument(s), got %d", f.MaxArgs, len(args))
+	}
+	if !f.KnownOnUnknown {
+		for _, a := range args {
+			if !a.IsKnown() {
+				return Unknown, nil
+			}
+		}
+	}
+	return f.Impl(args)
+}
+
+// Stdlib returns the standard CCL function library. The map is freshly
+// allocated so callers may add or override entries.
+func Stdlib() map[string]Function {
+	fns := []Function{
+		{Name: "length", MinArgs: 1, MaxArgs: 1, Impl: fnLength},
+		{Name: "upper", MinArgs: 1, MaxArgs: 1, Impl: stringFn(strings.ToUpper)},
+		{Name: "lower", MinArgs: 1, MaxArgs: 1, Impl: stringFn(strings.ToLower)},
+		{Name: "trimspace", MinArgs: 1, MaxArgs: 1, Impl: stringFn(strings.TrimSpace)},
+		{Name: "trimprefix", MinArgs: 2, MaxArgs: 2, Impl: fnTrimPrefix},
+		{Name: "trimsuffix", MinArgs: 2, MaxArgs: 2, Impl: fnTrimSuffix},
+		{Name: "regexmatch", MinArgs: 2, MaxArgs: 2, Impl: fnRegexMatch},
+		{Name: "title", MinArgs: 1, MaxArgs: 1, Impl: stringFn(titleCase)},
+		{Name: "join", MinArgs: 2, MaxArgs: 2, Impl: fnJoin},
+		{Name: "split", MinArgs: 2, MaxArgs: 2, Impl: fnSplit},
+		{Name: "replace", MinArgs: 3, MaxArgs: 3, Impl: fnReplace},
+		{Name: "substr", MinArgs: 3, MaxArgs: 3, Impl: fnSubstr},
+		{Name: "format", MinArgs: 1, MaxArgs: -1, Impl: fnFormat},
+		{Name: "startswith", MinArgs: 2, MaxArgs: 2, Impl: fnStartsWith},
+		{Name: "endswith", MinArgs: 2, MaxArgs: 2, Impl: fnEndsWith},
+		{Name: "concat", MinArgs: 1, MaxArgs: -1, Impl: fnConcat},
+		{Name: "element", MinArgs: 2, MaxArgs: 2, Impl: fnElement},
+		{Name: "contains", MinArgs: 2, MaxArgs: 2, Impl: fnContains},
+		{Name: "keys", MinArgs: 1, MaxArgs: 1, Impl: fnKeys},
+		{Name: "values", MinArgs: 1, MaxArgs: 1, Impl: fnValues},
+		{Name: "lookup", MinArgs: 2, MaxArgs: 3, Impl: fnLookup},
+		{Name: "merge", MinArgs: 1, MaxArgs: -1, Impl: fnMerge},
+		{Name: "flatten", MinArgs: 1, MaxArgs: 1, Impl: fnFlatten},
+		{Name: "distinct", MinArgs: 1, MaxArgs: 1, Impl: fnDistinct},
+		{Name: "compact", MinArgs: 1, MaxArgs: 1, Impl: fnCompact},
+		{Name: "sort", MinArgs: 1, MaxArgs: 1, Impl: fnSort},
+		{Name: "reverse", MinArgs: 1, MaxArgs: 1, Impl: fnReverse},
+		{Name: "slice", MinArgs: 3, MaxArgs: 3, Impl: fnSlice},
+		{Name: "range", MinArgs: 1, MaxArgs: 3, Impl: fnRange},
+		{Name: "zipmap", MinArgs: 2, MaxArgs: 2, Impl: fnZipmap},
+		{Name: "index", MinArgs: 2, MaxArgs: 2, Impl: fnIndex},
+		{Name: "min", MinArgs: 1, MaxArgs: -1, Impl: numericFold(math.Min)},
+		{Name: "max", MinArgs: 1, MaxArgs: -1, Impl: numericFold(math.Max)},
+		{Name: "abs", MinArgs: 1, MaxArgs: 1, Impl: numericFn(math.Abs)},
+		{Name: "ceil", MinArgs: 1, MaxArgs: 1, Impl: numericFn(math.Ceil)},
+		{Name: "floor", MinArgs: 1, MaxArgs: 1, Impl: numericFn(math.Floor)},
+		{Name: "pow", MinArgs: 2, MaxArgs: 2, Impl: fnPow},
+		{Name: "sum", MinArgs: 1, MaxArgs: 1, Impl: fnSum},
+		{Name: "tostring", MinArgs: 1, MaxArgs: 1, Impl: convFn(ToStringValue)},
+		{Name: "tonumber", MinArgs: 1, MaxArgs: 1, Impl: convFn(ToNumberValue)},
+		{Name: "tobool", MinArgs: 1, MaxArgs: 1, Impl: convFn(ToBoolValue)},
+		{Name: "coalesce", MinArgs: 1, MaxArgs: -1, Impl: fnCoalesce, KnownOnUnknown: true},
+		{Name: "try", MinArgs: 1, MaxArgs: -1, Impl: fnCoalesce, KnownOnUnknown: true},
+		{Name: "jsonencode", MinArgs: 1, MaxArgs: 1, Impl: fnJSONEncode},
+		{Name: "jsondecode", MinArgs: 1, MaxArgs: 1, Impl: fnJSONDecode},
+		{Name: "base64encode", MinArgs: 1, MaxArgs: 1, Impl: fnBase64Encode},
+		{Name: "base64decode", MinArgs: 1, MaxArgs: 1, Impl: fnBase64Decode},
+		{Name: "sha256", MinArgs: 1, MaxArgs: 1, Impl: fnSHA256},
+		{Name: "cidrsubnet", MinArgs: 3, MaxArgs: 3, Impl: fnCIDRSubnet},
+		{Name: "cidrhost", MinArgs: 2, MaxArgs: 2, Impl: fnCIDRHost},
+		{Name: "cidrcontains", MinArgs: 2, MaxArgs: 2, Impl: fnCIDRContains},
+	}
+	out := make(map[string]Function, len(fns))
+	for _, f := range fns {
+		out[f.Name] = f
+	}
+	return out
+}
+
+func titleCase(s string) string {
+	prevSpace := true
+	return strings.Map(func(r rune) rune {
+		if prevSpace && r >= 'a' && r <= 'z' {
+			r -= 'a' - 'A'
+		}
+		prevSpace = r == ' ' || r == '\t' || r == '-' || r == '_'
+		return r
+	}, s)
+}
+
+func stringFn(fn func(string) string) func([]Value) (Value, error) {
+	return func(args []Value) (Value, error) {
+		s, err := ToStringValue(args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		return String(fn(s.AsString())), nil
+	}
+}
+
+func numericFn(fn func(float64) float64) func([]Value) (Value, error) {
+	return func(args []Value) (Value, error) {
+		n, err := ToNumberValue(args[0])
+		if err != nil {
+			return Value{}, err
+		}
+		return Number(fn(n.AsNumber())), nil
+	}
+}
+
+func numericFold(fn func(float64, float64) float64) func([]Value) (Value, error) {
+	return func(args []Value) (Value, error) {
+		acc := math.NaN()
+		for i, a := range args {
+			n, err := ToNumberValue(a)
+			if err != nil {
+				return Value{}, fmt.Errorf("argument %d: %s", i+1, err)
+			}
+			if i == 0 {
+				acc = n.AsNumber()
+			} else {
+				acc = fn(acc, n.AsNumber())
+			}
+		}
+		return Number(acc), nil
+	}
+}
+
+func convFn(fn func(Value) (Value, error)) func([]Value) (Value, error) {
+	return func(args []Value) (Value, error) { return fn(args[0]) }
+}
+
+func fnLength(args []Value) (Value, error) {
+	n, err := args[0].Length()
+	if err != nil {
+		return Value{}, err
+	}
+	return Int(n), nil
+}
+
+func fnJoin(args []Value) (Value, error) {
+	sep, err := ToStringValue(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	if args[1].Kind() != KindList {
+		return Value{}, fmt.Errorf("second argument must be a list, got %s", args[1].Kind())
+	}
+	parts := make([]string, 0, len(args[1].AsList()))
+	for _, e := range args[1].AsList() {
+		s, err := ToStringValue(e)
+		if err != nil {
+			return Value{}, err
+		}
+		parts = append(parts, s.AsString())
+	}
+	return String(strings.Join(parts, sep.AsString())), nil
+}
+
+func fnSplit(args []Value) (Value, error) {
+	sep, err := ToStringValue(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	s, err := ToStringValue(args[1])
+	if err != nil {
+		return Value{}, err
+	}
+	return Strings(strings.Split(s.AsString(), sep.AsString())...), nil
+}
+
+func fnReplace(args []Value) (Value, error) {
+	var ss [3]string
+	for i := 0; i < 3; i++ {
+		v, err := ToStringValue(args[i])
+		if err != nil {
+			return Value{}, err
+		}
+		ss[i] = v.AsString()
+	}
+	return String(strings.ReplaceAll(ss[0], ss[1], ss[2])), nil
+}
+
+func fnSubstr(args []Value) (Value, error) {
+	s, err := ToStringValue(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	off, err := ToNumberValue(args[1])
+	if err != nil {
+		return Value{}, err
+	}
+	length, err := ToNumberValue(args[2])
+	if err != nil {
+		return Value{}, err
+	}
+	str := s.AsString()
+	o, l := off.AsInt(), length.AsInt()
+	if o < 0 || o > len(str) {
+		return Value{}, fmt.Errorf("offset %d out of range for string of length %d", o, len(str))
+	}
+	if l < 0 || o+l > len(str) {
+		return String(str[o:]), nil
+	}
+	return String(str[o : o+l]), nil
+}
+
+func fnFormat(args []Value) (Value, error) {
+	f, err := ToStringValue(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	rest := make([]any, len(args)-1)
+	for i, a := range args[1:] {
+		rest[i] = formatArg(a)
+	}
+	return String(fmt.Sprintf(f.AsString(), rest...)), nil
+}
+
+func formatArg(v Value) any {
+	switch v.Kind() {
+	case KindString:
+		return v.AsString()
+	case KindNumber:
+		n := v.AsNumber()
+		if n == math.Trunc(n) {
+			return int64(n)
+		}
+		return n
+	case KindBool:
+		return v.AsBool()
+	default:
+		return v.String()
+	}
+}
+
+func fnTrimPrefix(args []Value) (Value, error) {
+	s, err := ToStringValue(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	p, err := ToStringValue(args[1])
+	if err != nil {
+		return Value{}, err
+	}
+	return String(strings.TrimPrefix(s.AsString(), p.AsString())), nil
+}
+
+func fnTrimSuffix(args []Value) (Value, error) {
+	s, err := ToStringValue(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	p, err := ToStringValue(args[1])
+	if err != nil {
+		return Value{}, err
+	}
+	return String(strings.TrimSuffix(s.AsString(), p.AsString())), nil
+}
+
+// fnRegexMatch implements regexmatch(pattern, s); patterns are compiled per
+// call, which is fine for configuration-scale evaluation.
+func fnRegexMatch(args []Value) (Value, error) {
+	pat, err := ToStringValue(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	s, err := ToStringValue(args[1])
+	if err != nil {
+		return Value{}, err
+	}
+	re, err := regexp.Compile(pat.AsString())
+	if err != nil {
+		return Value{}, fmt.Errorf("invalid pattern %q: %s", pat.AsString(), err)
+	}
+	return Bool(re.MatchString(s.AsString())), nil
+}
+
+func fnStartsWith(args []Value) (Value, error) {
+	s, err := ToStringValue(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	p, err := ToStringValue(args[1])
+	if err != nil {
+		return Value{}, err
+	}
+	return Bool(strings.HasPrefix(s.AsString(), p.AsString())), nil
+}
+
+func fnEndsWith(args []Value) (Value, error) {
+	s, err := ToStringValue(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	p, err := ToStringValue(args[1])
+	if err != nil {
+		return Value{}, err
+	}
+	return Bool(strings.HasSuffix(s.AsString(), p.AsString())), nil
+}
+
+func fnConcat(args []Value) (Value, error) {
+	var out []Value
+	for i, a := range args {
+		if a.Kind() != KindList {
+			return Value{}, fmt.Errorf("argument %d must be a list, got %s", i+1, a.Kind())
+		}
+		out = append(out, a.AsList()...)
+	}
+	return ListOf(out), nil
+}
+
+func fnElement(args []Value) (Value, error) {
+	if args[0].Kind() != KindList {
+		return Value{}, fmt.Errorf("first argument must be a list, got %s", args[0].Kind())
+	}
+	idx, err := ToNumberValue(args[1])
+	if err != nil {
+		return Value{}, err
+	}
+	list := args[0].AsList()
+	if len(list) == 0 {
+		return Value{}, fmt.Errorf("cannot take element of empty list")
+	}
+	// element() wraps around, matching Terraform.
+	i := idx.AsInt() % len(list)
+	if i < 0 {
+		i += len(list)
+	}
+	return list[i], nil
+}
+
+func fnContains(args []Value) (Value, error) {
+	switch args[0].Kind() {
+	case KindList:
+		for _, e := range args[0].AsList() {
+			if e.Equal(args[1]) {
+				return True, nil
+			}
+		}
+		return False, nil
+	case KindString:
+		sub, err := ToStringValue(args[1])
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(strings.Contains(args[0].AsString(), sub.AsString())), nil
+	default:
+		return Value{}, fmt.Errorf("first argument must be a list or string, got %s", args[0].Kind())
+	}
+}
+
+func fnKeys(args []Value) (Value, error) {
+	if args[0].Kind() != KindObject {
+		return Value{}, fmt.Errorf("argument must be an object, got %s", args[0].Kind())
+	}
+	obj := args[0].AsObject()
+	keys := make([]string, 0, len(obj))
+	for k := range obj {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return Strings(keys...), nil
+}
+
+func fnValues(args []Value) (Value, error) {
+	if args[0].Kind() != KindObject {
+		return Value{}, fmt.Errorf("argument must be an object, got %s", args[0].Kind())
+	}
+	obj := args[0].AsObject()
+	keys := make([]string, 0, len(obj))
+	for k := range obj {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Value, len(keys))
+	for i, k := range keys {
+		out[i] = obj[k]
+	}
+	return ListOf(out), nil
+}
+
+func fnLookup(args []Value) (Value, error) {
+	if args[0].Kind() != KindObject {
+		return Value{}, fmt.Errorf("first argument must be an object, got %s", args[0].Kind())
+	}
+	key, err := ToStringValue(args[1])
+	if err != nil {
+		return Value{}, err
+	}
+	if v, ok := args[0].AsObject()[key.AsString()]; ok {
+		return v, nil
+	}
+	if len(args) == 3 {
+		return args[2], nil
+	}
+	return Value{}, fmt.Errorf("object has no member %q and no default was given", key.AsString())
+}
+
+func fnMerge(args []Value) (Value, error) {
+	out := map[string]Value{}
+	for i, a := range args {
+		if a.IsNull() {
+			continue
+		}
+		if a.Kind() != KindObject {
+			return Value{}, fmt.Errorf("argument %d must be an object, got %s", i+1, a.Kind())
+		}
+		for k, v := range a.AsObject() {
+			out[k] = v
+		}
+	}
+	return Object(out), nil
+}
+
+func fnFlatten(args []Value) (Value, error) {
+	if args[0].Kind() != KindList {
+		return Value{}, fmt.Errorf("argument must be a list, got %s", args[0].Kind())
+	}
+	var out []Value
+	var walk func(items []Value)
+	walk = func(items []Value) {
+		for _, e := range items {
+			if e.Kind() == KindList {
+				walk(e.AsList())
+			} else {
+				out = append(out, e)
+			}
+		}
+	}
+	walk(args[0].AsList())
+	return ListOf(out), nil
+}
+
+func fnDistinct(args []Value) (Value, error) {
+	if args[0].Kind() != KindList {
+		return Value{}, fmt.Errorf("argument must be a list, got %s", args[0].Kind())
+	}
+	var out []Value
+	for _, e := range args[0].AsList() {
+		dup := false
+		for _, seen := range out {
+			if seen.Equal(e) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, e)
+		}
+	}
+	return ListOf(out), nil
+}
+
+func fnCompact(args []Value) (Value, error) {
+	if args[0].Kind() != KindList {
+		return Value{}, fmt.Errorf("argument must be a list, got %s", args[0].Kind())
+	}
+	var out []Value
+	for _, e := range args[0].AsList() {
+		if e.IsNull() {
+			continue
+		}
+		if e.Kind() == KindString && e.AsString() == "" {
+			continue
+		}
+		out = append(out, e)
+	}
+	return ListOf(out), nil
+}
+
+func fnSort(args []Value) (Value, error) {
+	if args[0].Kind() != KindList {
+		return Value{}, fmt.Errorf("argument must be a list, got %s", args[0].Kind())
+	}
+	ss := make([]string, 0, len(args[0].AsList()))
+	for _, e := range args[0].AsList() {
+		s, err := ToStringValue(e)
+		if err != nil {
+			return Value{}, err
+		}
+		ss = append(ss, s.AsString())
+	}
+	sort.Strings(ss)
+	return Strings(ss...), nil
+}
+
+func fnReverse(args []Value) (Value, error) {
+	if args[0].Kind() != KindList {
+		return Value{}, fmt.Errorf("argument must be a list, got %s", args[0].Kind())
+	}
+	in := args[0].AsList()
+	out := make([]Value, len(in))
+	for i, e := range in {
+		out[len(in)-1-i] = e
+	}
+	return ListOf(out), nil
+}
+
+func fnSlice(args []Value) (Value, error) {
+	if args[0].Kind() != KindList {
+		return Value{}, fmt.Errorf("first argument must be a list, got %s", args[0].Kind())
+	}
+	from, err := ToNumberValue(args[1])
+	if err != nil {
+		return Value{}, err
+	}
+	to, err := ToNumberValue(args[2])
+	if err != nil {
+		return Value{}, err
+	}
+	list := args[0].AsList()
+	f, t := from.AsInt(), to.AsInt()
+	if f < 0 || t > len(list) || f > t {
+		return Value{}, fmt.Errorf("slice bounds [%d:%d] out of range for list of length %d", f, t, len(list))
+	}
+	return ListOf(list[f:t]), nil
+}
+
+func fnRange(args []Value) (Value, error) {
+	nums := make([]float64, len(args))
+	for i, a := range args {
+		n, err := ToNumberValue(a)
+		if err != nil {
+			return Value{}, err
+		}
+		nums[i] = n.AsNumber()
+	}
+	start, limit, step := 0.0, 0.0, 1.0
+	switch len(args) {
+	case 1:
+		limit = nums[0]
+	case 2:
+		start, limit = nums[0], nums[1]
+	case 3:
+		start, limit, step = nums[0], nums[1], nums[2]
+	}
+	if step == 0 {
+		return Value{}, fmt.Errorf("step cannot be zero")
+	}
+	var out []Value
+	if step > 0 {
+		for v := start; v < limit; v += step {
+			out = append(out, Number(v))
+		}
+	} else {
+		for v := start; v > limit; v += step {
+			out = append(out, Number(v))
+		}
+	}
+	return ListOf(out), nil
+}
+
+func fnZipmap(args []Value) (Value, error) {
+	if args[0].Kind() != KindList || args[1].Kind() != KindList {
+		return Value{}, fmt.Errorf("both arguments must be lists")
+	}
+	keys, vals := args[0].AsList(), args[1].AsList()
+	if len(keys) != len(vals) {
+		return Value{}, fmt.Errorf("key list length %d does not match value list length %d", len(keys), len(vals))
+	}
+	out := make(map[string]Value, len(keys))
+	for i, k := range keys {
+		ks, err := ToStringValue(k)
+		if err != nil {
+			return Value{}, err
+		}
+		out[ks.AsString()] = vals[i]
+	}
+	return Object(out), nil
+}
+
+func fnIndex(args []Value) (Value, error) {
+	if args[0].Kind() != KindList {
+		return Value{}, fmt.Errorf("first argument must be a list, got %s", args[0].Kind())
+	}
+	for i, e := range args[0].AsList() {
+		if e.Equal(args[1]) {
+			return Int(i), nil
+		}
+	}
+	return Value{}, fmt.Errorf("value %s not found in list", args[1])
+}
+
+func fnPow(args []Value) (Value, error) {
+	a, err := ToNumberValue(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	b, err := ToNumberValue(args[1])
+	if err != nil {
+		return Value{}, err
+	}
+	return Number(math.Pow(a.AsNumber(), b.AsNumber())), nil
+}
+
+func fnSum(args []Value) (Value, error) {
+	if args[0].Kind() != KindList {
+		return Value{}, fmt.Errorf("argument must be a list, got %s", args[0].Kind())
+	}
+	total := 0.0
+	for _, e := range args[0].AsList() {
+		n, err := ToNumberValue(e)
+		if err != nil {
+			return Value{}, err
+		}
+		total += n.AsNumber()
+	}
+	return Number(total), nil
+}
+
+func fnCoalesce(args []Value) (Value, error) {
+	for _, a := range args {
+		if a.IsNull() || a.IsUnknown() {
+			continue
+		}
+		if a.Kind() == KindString && a.AsString() == "" {
+			continue
+		}
+		return a, nil
+	}
+	return Value{}, fmt.Errorf("no non-empty argument")
+}
+
+func fnJSONEncode(args []Value) (Value, error) {
+	b, err := json.Marshal(ToGo(args[0]))
+	if err != nil {
+		return Value{}, err
+	}
+	return String(string(b)), nil
+}
+
+func fnJSONDecode(args []Value) (Value, error) {
+	s, err := ToStringValue(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	var out any
+	if err := json.Unmarshal([]byte(s.AsString()), &out); err != nil {
+		return Value{}, fmt.Errorf("invalid JSON: %s", err)
+	}
+	return FromGo(out), nil
+}
+
+func fnBase64Encode(args []Value) (Value, error) {
+	s, err := ToStringValue(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	return String(base64.StdEncoding.EncodeToString([]byte(s.AsString()))), nil
+}
+
+func fnBase64Decode(args []Value) (Value, error) {
+	s, err := ToStringValue(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	b, err := base64.StdEncoding.DecodeString(s.AsString())
+	if err != nil {
+		return Value{}, fmt.Errorf("invalid base64: %s", err)
+	}
+	return String(string(b)), nil
+}
+
+func fnSHA256(args []Value) (Value, error) {
+	s, err := ToStringValue(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	sum := sha256.Sum256([]byte(s.AsString()))
+	return String(hex.EncodeToString(sum[:])), nil
+}
+
+// --- CIDR functions -------------------------------------------------------
+
+func parsePrefix(v Value) (netip.Prefix, error) {
+	s, err := ToStringValue(v)
+	if err != nil {
+		return netip.Prefix{}, err
+	}
+	p, err := netip.ParsePrefix(s.AsString())
+	if err != nil {
+		return netip.Prefix{}, fmt.Errorf("invalid CIDR %q: %s", s.AsString(), err)
+	}
+	return p, nil
+}
+
+// fnCIDRSubnet implements cidrsubnet(prefix, newbits, netnum).
+func fnCIDRSubnet(args []Value) (Value, error) {
+	p, err := parsePrefix(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	newbits, err := ToNumberValue(args[1])
+	if err != nil {
+		return Value{}, err
+	}
+	netnum, err := ToNumberValue(args[2])
+	if err != nil {
+		return Value{}, err
+	}
+	nb, nn := newbits.AsInt(), netnum.AsInt()
+	newLen := p.Bits() + nb
+	if nb < 0 || newLen > p.Addr().BitLen() {
+		return Value{}, fmt.Errorf("cannot extend /%d prefix by %d bits", p.Bits(), nb)
+	}
+	if nn < 0 || nb < 63 && nn >= 1<<uint(nb) {
+		return Value{}, fmt.Errorf("network number %d out of range for %d new bits", nn, nb)
+	}
+	addr := p.Masked().Addr().As16()
+	// Write the network number into bits [p.Bits(), newLen) of the address.
+	base := 0
+	if p.Addr().Is4() {
+		base = 96 // IPv4-mapped offset within the 16-byte form
+	}
+	for i := 0; i < nb; i++ {
+		bitIndex := base + p.Bits() + i
+		bit := (nn >> uint(nb-1-i)) & 1
+		byteIndex := bitIndex / 8
+		mask := byte(1 << uint(7-bitIndex%8))
+		if bit == 1 {
+			addr[byteIndex] |= mask
+		} else {
+			addr[byteIndex] &^= mask
+		}
+	}
+	out := netip.AddrFrom16(addr)
+	if p.Addr().Is4() {
+		out = out.Unmap()
+	}
+	return String(netip.PrefixFrom(out, newLen).String()), nil
+}
+
+// fnCIDRHost implements cidrhost(prefix, hostnum).
+func fnCIDRHost(args []Value) (Value, error) {
+	p, err := parsePrefix(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	hostnum, err := ToNumberValue(args[1])
+	if err != nil {
+		return Value{}, err
+	}
+	hn := hostnum.AsInt()
+	hostBits := p.Addr().BitLen() - p.Bits()
+	if hn < 0 || hostBits < 63 && hn >= 1<<uint(hostBits) {
+		return Value{}, fmt.Errorf("host number %d out of range for /%d", hn, p.Bits())
+	}
+	addr := p.Masked().Addr().As16()
+	for i := 15; i >= 0 && hn > 0; i-- {
+		addr[i] |= byte(hn & 0xff)
+		hn >>= 8
+	}
+	out := netip.AddrFrom16(addr)
+	if p.Addr().Is4() {
+		out = out.Unmap()
+	}
+	return String(out.String()), nil
+}
+
+// fnCIDRContains reports whether a prefix contains an address or wholly
+// contains another prefix.
+func fnCIDRContains(args []Value) (Value, error) {
+	p, err := parsePrefix(args[0])
+	if err != nil {
+		return Value{}, err
+	}
+	s, err := ToStringValue(args[1])
+	if err != nil {
+		return Value{}, err
+	}
+	if inner, err := netip.ParsePrefix(s.AsString()); err == nil {
+		ok := p.Contains(inner.Addr()) && p.Bits() <= inner.Bits()
+		return Bool(ok), nil
+	}
+	addr, err := netip.ParseAddr(s.AsString())
+	if err != nil {
+		return Value{}, fmt.Errorf("second argument must be an address or CIDR, got %q", s.AsString())
+	}
+	return Bool(p.Contains(addr)), nil
+}
+
+// PrefixesOverlap reports whether two CIDR blocks share any addresses; the
+// validator's VNet-peering rule (§3.2) uses this.
+func PrefixesOverlap(a, b string) (bool, error) {
+	pa, err := netip.ParsePrefix(a)
+	if err != nil {
+		return false, fmt.Errorf("invalid CIDR %q: %s", a, err)
+	}
+	pb, err := netip.ParsePrefix(b)
+	if err != nil {
+		return false, fmt.Errorf("invalid CIDR %q: %s", b, err)
+	}
+	return pa.Overlaps(pb), nil
+}

@@ -1,0 +1,313 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func call(t *testing.T, name string, args ...Value) Value {
+	t.Helper()
+	fn, ok := Stdlib()[name]
+	if !ok {
+		t.Fatalf("no function %q", name)
+	}
+	v, err := fn.Call(args)
+	if err != nil {
+		t.Fatalf("%s: %s", name, err)
+	}
+	return v
+}
+
+func callErr(t *testing.T, name string, args ...Value) error {
+	t.Helper()
+	fn, ok := Stdlib()[name]
+	if !ok {
+		t.Fatalf("no function %q", name)
+	}
+	_, err := fn.Call(args)
+	if err == nil {
+		t.Fatalf("%s: expected error", name)
+	}
+	return err
+}
+
+func TestStringFunctions(t *testing.T) {
+	if got := call(t, "upper", String("abc")); got.AsString() != "ABC" {
+		t.Errorf("upper = %v", got)
+	}
+	if got := call(t, "lower", String("ABC")); got.AsString() != "abc" {
+		t.Errorf("lower = %v", got)
+	}
+	if got := call(t, "title", String("hello cloud world")); got.AsString() != "Hello Cloud World" {
+		t.Errorf("title = %v", got)
+	}
+	if got := call(t, "trimspace", String("  x \n")); got.AsString() != "x" {
+		t.Errorf("trimspace = %v", got)
+	}
+	if got := call(t, "replace", String("a-b-c"), String("-"), String(".")); got.AsString() != "a.b.c" {
+		t.Errorf("replace = %v", got)
+	}
+	if got := call(t, "substr", String("cloudless"), Int(0), Int(5)); got.AsString() != "cloud" {
+		t.Errorf("substr = %v", got)
+	}
+	if got := call(t, "format", String("vm-%02d-%s"), Int(7), String("web")); got.AsString() != "vm-07-web" {
+		t.Errorf("format = %v", got)
+	}
+	if got := call(t, "join", String(","), Strings("a", "b")); got.AsString() != "a,b" {
+		t.Errorf("join = %v", got)
+	}
+	if got := call(t, "split", String(","), String("a,b")); !got.Equal(Strings("a", "b")) {
+		t.Errorf("split = %v", got)
+	}
+	if got := call(t, "startswith", String("aws_vm"), String("aws_")); !got.AsBool() {
+		t.Errorf("startswith = %v", got)
+	}
+}
+
+func TestCollectionFunctions(t *testing.T) {
+	if got := call(t, "length", Strings("a", "b", "c")); got.AsInt() != 3 {
+		t.Errorf("length = %v", got)
+	}
+	if got := call(t, "concat", Strings("a"), Strings("b", "c")); !got.Equal(Strings("a", "b", "c")) {
+		t.Errorf("concat = %v", got)
+	}
+	if got := call(t, "element", Strings("a", "b"), Int(3)); got.AsString() != "b" {
+		t.Errorf("element wraps: %v", got)
+	}
+	if got := call(t, "contains", Strings("a", "b"), String("b")); !got.AsBool() {
+		t.Errorf("contains = %v", got)
+	}
+	if got := call(t, "flatten", List(Strings("a"), List(Strings("b", "c")))); !got.Equal(Strings("a", "b", "c")) {
+		t.Errorf("flatten = %v", got)
+	}
+	if got := call(t, "distinct", Strings("a", "b", "a")); !got.Equal(Strings("a", "b")) {
+		t.Errorf("distinct = %v", got)
+	}
+	if got := call(t, "compact", List(String("a"), String(""), Null, String("b"))); !got.Equal(Strings("a", "b")) {
+		t.Errorf("compact = %v", got)
+	}
+	if got := call(t, "sort", Strings("b", "a", "c")); !got.Equal(Strings("a", "b", "c")) {
+		t.Errorf("sort = %v", got)
+	}
+	if got := call(t, "reverse", Strings("a", "b")); !got.Equal(Strings("b", "a")) {
+		t.Errorf("reverse = %v", got)
+	}
+	if got := call(t, "slice", Strings("a", "b", "c"), Int(1), Int(3)); !got.Equal(Strings("b", "c")) {
+		t.Errorf("slice = %v", got)
+	}
+	if got := call(t, "range", Int(3)); !got.Equal(List(Int(0), Int(1), Int(2))) {
+		t.Errorf("range = %v", got)
+	}
+	if got := call(t, "range", Int(1), Int(7), Int(3)); !got.Equal(List(Int(1), Int(4))) {
+		t.Errorf("range step = %v", got)
+	}
+	if got := call(t, "index", Strings("a", "b"), String("b")); got.AsInt() != 1 {
+		t.Errorf("index = %v", got)
+	}
+	callErr(t, "index", Strings("a"), String("z"))
+}
+
+func TestObjectFunctions(t *testing.T) {
+	m := Object(map[string]Value{"b": Int(2), "a": Int(1)})
+	if got := call(t, "keys", m); !got.Equal(Strings("a", "b")) {
+		t.Errorf("keys = %v", got)
+	}
+	if got := call(t, "values", m); !got.Equal(List(Int(1), Int(2))) {
+		t.Errorf("values = %v", got)
+	}
+	if got := call(t, "lookup", m, String("a")); got.AsInt() != 1 {
+		t.Errorf("lookup = %v", got)
+	}
+	if got := call(t, "lookup", m, String("z"), Int(9)); got.AsInt() != 9 {
+		t.Errorf("lookup default = %v", got)
+	}
+	callErr(t, "lookup", m, String("z"))
+	merged := call(t, "merge", m, Object(map[string]Value{"a": Int(10), "c": Int(3)}))
+	if merged.AsObject()["a"].AsInt() != 10 || merged.AsObject()["c"].AsInt() != 3 {
+		t.Errorf("merge = %v", merged)
+	}
+	zm := call(t, "zipmap", Strings("x", "y"), List(Int(1), Int(2)))
+	if zm.AsObject()["y"].AsInt() != 2 {
+		t.Errorf("zipmap = %v", zm)
+	}
+}
+
+func TestNumericFunctions(t *testing.T) {
+	if got := call(t, "min", Int(3), Int(1), Int(2)); got.AsInt() != 1 {
+		t.Errorf("min = %v", got)
+	}
+	if got := call(t, "max", Int(3), Int(1)); got.AsInt() != 3 {
+		t.Errorf("max = %v", got)
+	}
+	if got := call(t, "abs", Int(-4)); got.AsInt() != 4 {
+		t.Errorf("abs = %v", got)
+	}
+	if got := call(t, "ceil", Number(1.1)); got.AsInt() != 2 {
+		t.Errorf("ceil = %v", got)
+	}
+	if got := call(t, "floor", Number(1.9)); got.AsInt() != 1 {
+		t.Errorf("floor = %v", got)
+	}
+	if got := call(t, "pow", Int(2), Int(10)); got.AsInt() != 1024 {
+		t.Errorf("pow = %v", got)
+	}
+	if got := call(t, "sum", List(Int(1), Int(2), Int(3))); got.AsInt() != 6 {
+		t.Errorf("sum = %v", got)
+	}
+}
+
+func TestEncodingFunctions(t *testing.T) {
+	v := Object(map[string]Value{"a": Int(1)})
+	enc := call(t, "jsonencode", v)
+	dec := call(t, "jsondecode", enc)
+	if !dec.Equal(v) {
+		t.Errorf("json round trip = %v", dec)
+	}
+	b64 := call(t, "base64encode", String("cloudless"))
+	if got := call(t, "base64decode", b64); got.AsString() != "cloudless" {
+		t.Errorf("base64 round trip = %v", got)
+	}
+	callErr(t, "base64decode", String("!!not base64!!"))
+	h := call(t, "sha256", String("x"))
+	if len(h.AsString()) != 64 {
+		t.Errorf("sha256 length = %d", len(h.AsString()))
+	}
+}
+
+func TestCoalesce(t *testing.T) {
+	if got := call(t, "coalesce", Null, String(""), String("x")); got.AsString() != "x" {
+		t.Errorf("coalesce = %v", got)
+	}
+	if got := call(t, "coalesce", Unknown, String("y")); got.AsString() != "y" {
+		t.Errorf("coalesce must skip unknown: %v", got)
+	}
+	callErr(t, "coalesce", Null, String(""))
+}
+
+func TestUnknownPropagationThroughFunctions(t *testing.T) {
+	for _, name := range []string{"upper", "length", "jsonencode"} {
+		fn := Stdlib()[name]
+		v, err := fn.Call([]Value{Unknown})
+		if err != nil || !v.IsUnknown() {
+			t.Errorf("%s(unknown) = %v, %v; want unknown", name, v, err)
+		}
+	}
+}
+
+func TestArityChecking(t *testing.T) {
+	if err := callErr(t, "join", String(",")); !strings.Contains(err.Error(), "at least 2") {
+		t.Errorf("err = %v", err)
+	}
+	if err := callErr(t, "upper", String("a"), String("b")); !strings.Contains(err.Error(), "at most 1") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestCIDRSubnet(t *testing.T) {
+	cases := []struct {
+		base    string
+		newbits int
+		netnum  int
+		want    string
+	}{
+		{"10.0.0.0/16", 8, 0, "10.0.0.0/24"},
+		{"10.0.0.0/16", 8, 3, "10.0.3.0/24"},
+		{"10.0.0.0/16", 4, 15, "10.0.240.0/20"},
+		{"192.168.0.0/24", 2, 1, "192.168.0.64/26"},
+		{"fd00::/48", 16, 5, "fd00:0:0:5::/64"},
+	}
+	for _, c := range cases {
+		got := call(t, "cidrsubnet", String(c.base), Int(c.newbits), Int(c.netnum))
+		if got.AsString() != c.want {
+			t.Errorf("cidrsubnet(%s,%d,%d) = %v, want %s", c.base, c.newbits, c.netnum, got, c.want)
+		}
+	}
+	callErr(t, "cidrsubnet", String("10.0.0.0/16"), Int(8), Int(256))
+	callErr(t, "cidrsubnet", String("not-a-cidr"), Int(8), Int(0))
+}
+
+func TestCIDRHost(t *testing.T) {
+	if got := call(t, "cidrhost", String("10.0.1.0/24"), Int(5)); got.AsString() != "10.0.1.5" {
+		t.Errorf("cidrhost = %v", got)
+	}
+	callErr(t, "cidrhost", String("10.0.1.0/24"), Int(300))
+}
+
+func TestCIDRContains(t *testing.T) {
+	if got := call(t, "cidrcontains", String("10.0.0.0/16"), String("10.0.3.7")); !got.AsBool() {
+		t.Errorf("cidrcontains addr = %v", got)
+	}
+	if got := call(t, "cidrcontains", String("10.0.0.0/16"), String("10.0.3.0/24")); !got.AsBool() {
+		t.Errorf("cidrcontains prefix = %v", got)
+	}
+	if got := call(t, "cidrcontains", String("10.0.0.0/24"), String("10.1.0.0/16")); got.AsBool() {
+		t.Errorf("cidrcontains disjoint = %v", got)
+	}
+}
+
+func TestPrefixesOverlap(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"10.0.0.0/16", "10.0.1.0/24", true},
+		{"10.0.0.0/16", "10.1.0.0/16", false},
+		{"10.0.0.0/8", "10.200.0.0/16", true},
+	}
+	for _, c := range cases {
+		got, err := PrefixesOverlap(c.a, c.b)
+		if err != nil || got != c.want {
+			t.Errorf("overlap(%s,%s) = %v, %v", c.a, c.b, got, err)
+		}
+	}
+	if _, err := PrefixesOverlap("junk", "10.0.0.0/8"); err == nil {
+		t.Error("invalid CIDR must error")
+	}
+}
+
+// Property: cidrsubnet results are always contained in the base prefix and
+// sibling subnets never overlap.
+func TestCIDRSubnetPropertiesQuick(t *testing.T) {
+	fn := Stdlib()["cidrsubnet"]
+	prop := func(netnumRaw uint8, sibRaw uint8) bool {
+		netnum := int(netnumRaw)
+		sib := int(sibRaw)
+		a, err := fn.Call([]Value{String("10.0.0.0/16"), Int(8), Int(netnum)})
+		if err != nil {
+			return false
+		}
+		contained, err := PrefixesOverlap("10.0.0.0/16", a.AsString())
+		if err != nil || !contained {
+			return false
+		}
+		if sib == netnum {
+			return true
+		}
+		b, err := fn.Call([]Value{String("10.0.0.0/16"), Int(8), Int(sib)})
+		if err != nil {
+			return false
+		}
+		overlap, err := PrefixesOverlap(a.AsString(), b.AsString())
+		return err == nil && !overlap
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrimAndRegexFunctions(t *testing.T) {
+	if got := call(t, "trimprefix", String("aws_vpc"), String("aws_")); got.AsString() != "vpc" {
+		t.Errorf("trimprefix = %v", got)
+	}
+	if got := call(t, "trimsuffix", String("name-0"), String("-0")); got.AsString() != "name" {
+		t.Errorf("trimsuffix = %v", got)
+	}
+	if got := call(t, "regexmatch", String(`^vm-\d+$`), String("vm-42")); !got.AsBool() {
+		t.Errorf("regexmatch = %v", got)
+	}
+	if got := call(t, "regexmatch", String(`^vm-\d+$`), String("web-42")); got.AsBool() {
+		t.Errorf("regexmatch negative = %v", got)
+	}
+	callErr(t, "regexmatch", String("(unclosed"), String("x"))
+}

@@ -1,0 +1,460 @@
+// Package eval implements the dynamic value system and expression evaluator
+// for CCL configurations.
+//
+// Values are immutable. A dedicated "unknown" value models attributes whose
+// concrete value only materializes at apply time (e.g. a cloud-assigned
+// resource ID); unknowns propagate through every operation, which is what
+// lets the planner reason about not-yet-created resources, exactly as
+// Terraform's "(known after apply)" does.
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime types of CCL values.
+type Kind int
+
+// Value kinds.
+const (
+	KindNull Kind = iota
+	KindBool
+	KindNumber
+	KindString
+	KindList
+	KindObject
+	KindUnknown
+)
+
+var kindNames = map[Kind]string{
+	KindNull:    "null",
+	KindBool:    "bool",
+	KindNumber:  "number",
+	KindString:  "string",
+	KindList:    "list",
+	KindObject:  "object",
+	KindUnknown: "unknown",
+}
+
+// String returns the kind's name.
+func (k Kind) String() string { return kindNames[k] }
+
+// Value is an immutable CCL runtime value.
+type Value struct {
+	kind Kind
+	b    bool
+	num  float64
+	str  string
+	list []Value
+	obj  map[string]Value
+}
+
+// Null is the null value.
+var Null = Value{kind: KindNull}
+
+// Unknown is the "known after apply" placeholder value.
+var Unknown = Value{kind: KindUnknown}
+
+// True and False are the boolean constants.
+var (
+	True  = Value{kind: KindBool, b: true}
+	False = Value{kind: KindBool, b: false}
+)
+
+// Bool builds a boolean value.
+func Bool(b bool) Value {
+	if b {
+		return True
+	}
+	return False
+}
+
+// Number builds a numeric value.
+func Number(f float64) Value { return Value{kind: KindNumber, num: f} }
+
+// Int builds a numeric value from an int.
+func Int(i int) Value { return Number(float64(i)) }
+
+// String builds a string value.
+func String(s string) Value { return Value{kind: KindString, str: s} }
+
+// List builds a list value. The slice is copied.
+func List(items ...Value) Value {
+	cp := make([]Value, len(items))
+	copy(cp, items)
+	return Value{kind: KindList, list: cp}
+}
+
+// ListOf builds a list from an existing slice without re-wrapping each item.
+func ListOf(items []Value) Value { return List(items...) }
+
+// Object builds an object value. The map is copied.
+func Object(attrs map[string]Value) Value {
+	cp := make(map[string]Value, len(attrs))
+	for k, v := range attrs {
+		cp[k] = v
+	}
+	return Value{kind: KindObject, obj: cp}
+}
+
+// Strings builds a list of string values.
+func Strings(ss ...string) Value {
+	items := make([]Value, len(ss))
+	for i, s := range ss {
+		items[i] = String(s)
+	}
+	return Value{kind: KindList, list: items}
+}
+
+// Kind returns the value's runtime kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// IsUnknown reports whether the value is the unknown placeholder.
+func (v Value) IsUnknown() bool { return v.kind == KindUnknown }
+
+// IsKnown reports whether the value and, for collections, all of its
+// elements are known.
+func (v Value) IsKnown() bool {
+	switch v.kind {
+	case KindUnknown:
+		return false
+	case KindList:
+		for _, e := range v.list {
+			if !e.IsKnown() {
+				return false
+			}
+		}
+	case KindObject:
+		for _, e := range v.obj {
+			if !e.IsKnown() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AsBool returns the boolean payload; it panics on other kinds.
+func (v Value) AsBool() bool {
+	if v.kind != KindBool {
+		panic("eval: AsBool on " + v.kind.String())
+	}
+	return v.b
+}
+
+// AsNumber returns the numeric payload; it panics on other kinds.
+func (v Value) AsNumber() float64 {
+	if v.kind != KindNumber {
+		panic("eval: AsNumber on " + v.kind.String())
+	}
+	return v.num
+}
+
+// AsInt returns the numeric payload truncated to int.
+func (v Value) AsInt() int { return int(v.AsNumber()) }
+
+// AsString returns the string payload; it panics on other kinds.
+func (v Value) AsString() string {
+	if v.kind != KindString {
+		panic("eval: AsString on " + v.kind.String())
+	}
+	return v.str
+}
+
+// AsList returns the element slice; callers must not mutate it.
+func (v Value) AsList() []Value {
+	if v.kind != KindList {
+		panic("eval: AsList on " + v.kind.String())
+	}
+	return v.list
+}
+
+// AsObject returns the attribute map; callers must not mutate it.
+func (v Value) AsObject() map[string]Value {
+	if v.kind != KindObject {
+		panic("eval: AsObject on " + v.kind.String())
+	}
+	return v.obj
+}
+
+// Length returns the number of elements of a list/object, or the length in
+// bytes of a string.
+func (v Value) Length() (int, error) {
+	switch v.kind {
+	case KindList:
+		return len(v.list), nil
+	case KindObject:
+		return len(v.obj), nil
+	case KindString:
+		return len(v.str), nil
+	default:
+		return 0, fmt.Errorf("cannot take length of %s value", v.kind)
+	}
+}
+
+// GetAttr fetches an object attribute. Unknown objects yield Unknown.
+func (v Value) GetAttr(name string) (Value, error) {
+	switch v.kind {
+	case KindObject:
+		if e, ok := v.obj[name]; ok {
+			return e, nil
+		}
+		return Value{}, fmt.Errorf("object has no attribute %q", name)
+	case KindUnknown:
+		return Unknown, nil
+	default:
+		return Value{}, fmt.Errorf("cannot access attribute %q on %s value", name, v.kind)
+	}
+}
+
+// Index fetches a list element or object member by key.
+func (v Value) Index(key Value) (Value, error) {
+	if v.kind == KindUnknown || key.kind == KindUnknown {
+		return Unknown, nil
+	}
+	switch v.kind {
+	case KindList:
+		if key.kind != KindNumber {
+			return Value{}, fmt.Errorf("list index must be a number, got %s", key.kind)
+		}
+		i := int(key.num)
+		if i < 0 || i >= len(v.list) {
+			return Value{}, fmt.Errorf("list index %d out of range (length %d)", i, len(v.list))
+		}
+		return v.list[i], nil
+	case KindObject:
+		if key.kind != KindString {
+			return Value{}, fmt.Errorf("object key must be a string, got %s", key.kind)
+		}
+		e, ok := v.obj[key.str]
+		if !ok {
+			return Value{}, fmt.Errorf("object has no member %q", key.str)
+		}
+		return e, nil
+	default:
+		return Value{}, fmt.Errorf("cannot index a %s value", v.kind)
+	}
+}
+
+// Equal reports deep equality. Unknown compares equal only to Unknown, which
+// matches its use for diff suppression in the planner.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindNull, KindUnknown:
+		return true
+	case KindBool:
+		return v.b == o.b
+	case KindNumber:
+		return v.num == o.num
+	case KindString:
+		return v.str == o.str
+	case KindList:
+		if len(v.list) != len(o.list) {
+			return false
+		}
+		for i := range v.list {
+			if !v.list[i].Equal(o.list[i]) {
+				return false
+			}
+		}
+		return true
+	case KindObject:
+		if len(v.obj) != len(o.obj) {
+			return false
+		}
+		for k, e := range v.obj {
+			oe, ok := o.obj[k]
+			if !ok || !e.Equal(oe) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// GoString renders the value in an unambiguous debugging form.
+func (v Value) GoString() string { return v.String() }
+
+// String renders the value in a compact, human-readable form.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "null"
+	case KindUnknown:
+		return "(known after apply)"
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	case KindNumber:
+		if v.num == math.Trunc(v.num) && math.Abs(v.num) < 1e15 {
+			return strconv.FormatInt(int64(v.num), 10)
+		}
+		return strconv.FormatFloat(v.num, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.str)
+	case KindList:
+		parts := make([]string, len(v.list))
+		for i, e := range v.list {
+			parts[i] = e.String()
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	case KindObject:
+		keys := make([]string, 0, len(v.obj))
+		for k := range v.obj {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = k + " = " + v.obj[k].String()
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	}
+	return "<invalid>"
+}
+
+// Hash returns a stable FNV-1a hash of the value, used by template-outlier
+// detection and state fingerprinting.
+func (v Value) Hash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime
+		}
+	}
+	mix(v.kind.String())
+	switch v.kind {
+	case KindBool:
+		mix(strconv.FormatBool(v.b))
+	case KindNumber:
+		mix(strconv.FormatFloat(v.num, 'b', -1, 64))
+	case KindString:
+		mix(v.str)
+	case KindList:
+		for _, e := range v.list {
+			mix(strconv.FormatUint(e.Hash(), 16))
+		}
+	case KindObject:
+		keys := make([]string, 0, len(v.obj))
+		for k := range v.obj {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			mix(k)
+			mix(strconv.FormatUint(v.obj[k].Hash(), 16))
+		}
+	}
+	return h
+}
+
+// --- Go interop -----------------------------------------------------------
+
+// FromGo converts a native Go value (as produced by encoding/json or the
+// hcl literal parser) into a Value.
+func FromGo(v any) Value {
+	switch t := v.(type) {
+	case nil:
+		return Null
+	case bool:
+		return Bool(t)
+	case float64:
+		return Number(t)
+	case int:
+		return Int(t)
+	case int64:
+		return Number(float64(t))
+	case string:
+		return String(t)
+	case []any:
+		items := make([]Value, len(t))
+		for i, e := range t {
+			items[i] = FromGo(e)
+		}
+		return Value{kind: KindList, list: items}
+	case []string:
+		return Strings(t...)
+	case map[string]any:
+		obj := make(map[string]Value, len(t))
+		for k, e := range t {
+			obj[k] = FromGo(e)
+		}
+		return Value{kind: KindObject, obj: obj}
+	case Value:
+		return t
+	default:
+		return String(fmt.Sprintf("%v", t))
+	}
+}
+
+// ToGo converts a Value to a plain Go value suitable for encoding/json.
+// Unknown becomes the sentinel string used in state files.
+func ToGo(v Value) any {
+	switch v.kind {
+	case KindNull:
+		return nil
+	case KindUnknown:
+		return UnknownSentinel
+	case KindBool:
+		return v.b
+	case KindNumber:
+		return v.num
+	case KindString:
+		return v.str
+	case KindList:
+		out := make([]any, len(v.list))
+		for i, e := range v.list {
+			out[i] = ToGo(e)
+		}
+		return out
+	case KindObject:
+		out := make(map[string]any, len(v.obj))
+		for k, e := range v.obj {
+			out[k] = ToGo(e)
+		}
+		return out
+	}
+	return nil
+}
+
+// UnknownSentinel is the JSON representation of an unknown value in
+// serialized plans. It is deliberately implausible as real data.
+const UnknownSentinel = "\u0000cloudless:unknown\u0000"
+
+// FromGoWithUnknowns is FromGo but resurrects unknown sentinels.
+func FromGoWithUnknowns(v any) Value {
+	if s, ok := v.(string); ok && s == UnknownSentinel {
+		return Unknown
+	}
+	switch t := v.(type) {
+	case []any:
+		items := make([]Value, len(t))
+		for i, e := range t {
+			items[i] = FromGoWithUnknowns(e)
+		}
+		return Value{kind: KindList, list: items}
+	case map[string]any:
+		obj := make(map[string]Value, len(t))
+		for k, e := range t {
+			obj[k] = FromGoWithUnknowns(e)
+		}
+		return Value{kind: KindObject, obj: obj}
+	default:
+		return FromGo(v)
+	}
+}

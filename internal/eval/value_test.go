@@ -1,0 +1,184 @@
+package eval
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Null, KindNull},
+		{Unknown, KindUnknown},
+		{True, KindBool},
+		{Number(3.5), KindNumber},
+		{String("x"), KindString},
+		{List(Int(1)), KindList},
+		{Object(map[string]Value{"a": Int(1)}), KindObject},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v kind = %s, want %s", c.v, c.v.Kind(), c.kind)
+		}
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !List(Int(1), String("a")).Equal(List(Int(1), String("a"))) {
+		t.Error("equal lists compare unequal")
+	}
+	if List(Int(1)).Equal(List(Int(2))) {
+		t.Error("different lists compare equal")
+	}
+	if Int(1).Equal(String("1")) {
+		t.Error("number equals string")
+	}
+	a := Object(map[string]Value{"x": Int(1), "y": List(String("z"))})
+	b := Object(map[string]Value{"y": List(String("z")), "x": Int(1)})
+	if !a.Equal(b) {
+		t.Error("object equality must be order-insensitive")
+	}
+	if !Null.Equal(Null) || !Unknown.Equal(Unknown) {
+		t.Error("null/unknown self-equality")
+	}
+	if Null.Equal(Unknown) {
+		t.Error("null must not equal unknown")
+	}
+}
+
+func TestIsKnownDeep(t *testing.T) {
+	v := Object(map[string]Value{"ids": List(String("a"), Unknown)})
+	if v.IsKnown() {
+		t.Error("object containing a nested unknown must not be known")
+	}
+	if v.IsUnknown() {
+		t.Error("a partially-known object is not itself the unknown value")
+	}
+}
+
+func TestIndexAndGetAttr(t *testing.T) {
+	list := Strings("a", "b", "c")
+	v, err := list.Index(Int(1))
+	if err != nil || v.AsString() != "b" {
+		t.Errorf("Index = %v, %v", v, err)
+	}
+	if _, err := list.Index(Int(3)); err == nil {
+		t.Error("out-of-range index must error")
+	}
+	if _, err := list.Index(String("x")); err == nil {
+		t.Error("string index on list must error")
+	}
+	obj := Object(map[string]Value{"name": String("n")})
+	v, err = obj.GetAttr("name")
+	if err != nil || v.AsString() != "n" {
+		t.Errorf("GetAttr = %v, %v", v, err)
+	}
+	if _, err := obj.GetAttr("missing"); err == nil {
+		t.Error("missing attribute must error")
+	}
+	// Unknown propagation through indexing and attributes.
+	if v, _ := Unknown.GetAttr("anything"); !v.IsUnknown() {
+		t.Error("attr on unknown must be unknown")
+	}
+	if v, _ := list.Index(Unknown); !v.IsUnknown() {
+		t.Error("unknown index must yield unknown")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "null"},
+		{Unknown, "(known after apply)"},
+		{Int(42), "42"},
+		{Number(2.5), "2.5"},
+		{String("hi"), `"hi"`},
+		{Strings("a", "b"), `["a", "b"]`},
+		{Object(map[string]Value{"b": Int(2), "a": Int(1)}), "{a = 1, b = 2}"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestGoRoundTrip(t *testing.T) {
+	orig := Object(map[string]Value{
+		"name":  String("web"),
+		"count": Int(3),
+		"live":  True,
+		"none":  Null,
+		"tags":  Strings("a", "b"),
+		"id":    Unknown,
+	})
+	back := FromGoWithUnknowns(ToGo(orig))
+	if !orig.Equal(back) {
+		t.Errorf("round trip mismatch:\n  orig: %v\n  back: %v", orig, back)
+	}
+}
+
+func TestHashStability(t *testing.T) {
+	a := Object(map[string]Value{"x": Int(1), "y": Strings("a")})
+	b := Object(map[string]Value{"y": Strings("a"), "x": Int(1)})
+	if a.Hash() != b.Hash() {
+		t.Error("hash must be key-order independent")
+	}
+	c := Object(map[string]Value{"x": Int(2), "y": Strings("a")})
+	if a.Hash() == c.Hash() {
+		t.Error("different values should hash differently")
+	}
+}
+
+// Property: Equal is reflexive and Hash is Equal-consistent for values built
+// from arbitrary primitives.
+func TestEqualHashConsistencyQuick(t *testing.T) {
+	f := func(s string, n float64, b bool) bool {
+		v := Object(map[string]Value{"s": String(s), "n": Number(n), "b": Bool(b)})
+		w := Object(map[string]Value{"s": String(s), "n": Number(n), "b": Bool(b)})
+		return v.Equal(w) && v.Hash() == w.Hash() && v.Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConversions(t *testing.T) {
+	if v, err := ToNumberValue(String("42")); err != nil || v.AsNumber() != 42 {
+		t.Errorf("ToNumber(\"42\") = %v, %v", v, err)
+	}
+	if _, err := ToNumberValue(String("nope")); err == nil {
+		t.Error("non-numeric string must not convert")
+	}
+	if v, err := ToStringValue(Number(2)); err != nil || v.AsString() != "2" {
+		t.Errorf("ToString(2) = %v, %v", v, err)
+	}
+	if v, err := ToBoolValue(String("true")); err != nil || !v.AsBool() {
+		t.Errorf("ToBool(\"true\") = %v, %v", v, err)
+	}
+	if _, err := ToStringValue(List()); err == nil {
+		t.Error("list must not convert to string")
+	}
+	for _, conv := range []func(Value) (Value, error){ToStringValue, ToNumberValue, ToBoolValue} {
+		v, err := conv(Unknown)
+		if err != nil || !v.IsUnknown() {
+			t.Error("conversions must pass unknown through")
+		}
+	}
+}
+
+func TestTruthiness(t *testing.T) {
+	if ok, err := Truthiness(True); err != nil || !ok {
+		t.Error("true must be truthy")
+	}
+	if _, err := Truthiness(Int(1)); err == nil {
+		t.Error("numbers must not be truthy")
+	}
+	if _, err := Truthiness(Unknown); err == nil {
+		t.Error("unknown conditions must be rejected with a clear error")
+	}
+}

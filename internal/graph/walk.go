@@ -1,0 +1,239 @@
+package graph
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// NodeStatus is the outcome of a node during a walk.
+type NodeStatus int
+
+// Walk outcomes.
+const (
+	StatusPending NodeStatus = iota
+	StatusDone
+	StatusFailed
+	StatusSkipped // a dependency failed, so the node never ran
+)
+
+var statusNames = map[NodeStatus]string{
+	StatusPending: "pending",
+	StatusDone:    "done",
+	StatusFailed:  "failed",
+	StatusSkipped: "skipped",
+}
+
+// String returns the status name.
+func (s NodeStatus) String() string { return statusNames[s] }
+
+// WalkReport summarizes a parallel walk.
+type WalkReport struct {
+	Status map[string]NodeStatus
+	Errors map[string]error
+}
+
+// Failed returns the failed node IDs, sorted.
+func (r *WalkReport) Failed() []string {
+	var out []string
+	for n, s := range r.Status {
+		if s == StatusFailed {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Counts returns how many nodes finished in each status.
+func (r *WalkReport) Counts() (done, failed, skipped int) {
+	for _, s := range r.Status {
+		switch s {
+		case StatusDone:
+			done++
+		case StatusFailed:
+			failed++
+		case StatusSkipped:
+			skipped++
+		}
+	}
+	return
+}
+
+// Err folds the walk result into a single error, or nil on full success.
+func (r *WalkReport) Err() error {
+	failed := r.Failed()
+	if len(failed) == 0 {
+		return nil
+	}
+	first := r.Errors[failed[0]]
+	if len(failed) == 1 {
+		return fmt.Errorf("1 operation failed: %s: %w", failed[0], first)
+	}
+	return fmt.Errorf("%d operations failed (first: %s: %s)", len(failed), failed[0], first)
+}
+
+// WalkOptions configure a parallel walk.
+type WalkOptions struct {
+	// Concurrency bounds simultaneous callbacks; <= 0 means unlimited
+	// (bounded only by graph width).
+	Concurrency int
+	// Priority ranks ready nodes; higher runs first. Nil means FIFO in
+	// lexicographic order (the "best effort graph walk" baseline). The
+	// critical-path scheduler passes the node's bottom level here.
+	Priority func(node string) float64
+	// ContinueOnError keeps walking independent branches after a failure
+	// (dependents of the failed node are always skipped). When false, the
+	// walk stops scheduling any new node after the first failure.
+	ContinueOnError bool
+}
+
+// Walk runs fn over every node respecting dependency order, with bounded
+// parallelism. It always returns a complete report; the report's Err()
+// aggregates failures. Context cancellation stops new scheduling and marks
+// unstarted nodes as skipped.
+func (g *Graph) Walk(ctx context.Context, opts WalkOptions, fn func(node string) error) *WalkReport {
+	report := &WalkReport{
+		Status: make(map[string]NodeStatus, len(g.nodes)),
+		Errors: map[string]error{},
+	}
+	if err := g.Validate(); err != nil {
+		// A cyclic graph cannot be walked; mark everything skipped.
+		for n := range g.nodes {
+			report.Status[n] = StatusSkipped
+		}
+		report.Errors["<graph>"] = err
+		if len(g.nodes) > 0 {
+			n := g.Nodes()[0]
+			report.Status[n] = StatusFailed
+			report.Errors[n] = err
+		}
+		return report
+	}
+
+	type doneMsg struct {
+		node string
+		err  error
+	}
+
+	var (
+		mu       sync.Mutex
+		pending  = make(map[string]int, len(g.nodes)) // remaining dep count
+		ready    readyHeap
+		running  int
+		stopping bool
+		doneCh   = make(chan doneMsg)
+	)
+	prio := opts.Priority
+	if prio == nil {
+		prio = func(string) float64 { return 0 }
+	}
+	for n := range g.nodes {
+		pending[n] = len(g.deps[n])
+		report.Status[n] = StatusPending
+	}
+	for n, d := range pending {
+		if d == 0 {
+			heap.Push(&ready, readyNode{id: n, prio: prio(n)})
+		}
+	}
+
+	maxConc := opts.Concurrency
+	if maxConc <= 0 {
+		maxConc = len(g.nodes)
+		if maxConc == 0 {
+			maxConc = 1
+		}
+	}
+
+	// skipDependents marks all transitive dependents of n skipped.
+	skipDependents := func(n string) {
+		for d := range g.TransitiveDependents(n) {
+			if report.Status[d] == StatusPending {
+				report.Status[d] = StatusSkipped
+			}
+		}
+	}
+
+	launch := func() {
+		for running < maxConc && ready.Len() > 0 {
+			item := heap.Pop(&ready).(readyNode)
+			n := item.id
+			if report.Status[n] != StatusPending {
+				continue // skipped while queued
+			}
+			if stopping || ctx.Err() != nil {
+				report.Status[n] = StatusSkipped
+				continue
+			}
+			running++
+			go func(node string) {
+				err := fn(node)
+				doneCh <- doneMsg{node: node, err: err}
+			}(n)
+		}
+	}
+
+	mu.Lock()
+	launch()
+	for running > 0 {
+		mu.Unlock()
+		msg := <-doneCh
+		mu.Lock()
+		running--
+		if msg.err != nil {
+			report.Status[msg.node] = StatusFailed
+			report.Errors[msg.node] = msg.err
+			skipDependents(msg.node)
+			if !opts.ContinueOnError {
+				stopping = true
+			}
+		} else {
+			report.Status[msg.node] = StatusDone
+			for rd := range g.rdeps[msg.node] {
+				pending[rd]--
+				if pending[rd] == 0 && report.Status[rd] == StatusPending {
+					heap.Push(&ready, readyNode{id: rd, prio: prio(rd)})
+				}
+			}
+		}
+		launch()
+	}
+	// Anything still pending had an unsatisfied dependency chain.
+	for n, s := range report.Status {
+		if s == StatusPending {
+			report.Status[n] = StatusSkipped
+		}
+	}
+	mu.Unlock()
+	return report
+}
+
+// readyNode is an entry in the ready queue.
+type readyNode struct {
+	id   string
+	prio float64
+}
+
+// readyHeap is a max-heap by priority with lexicographic tie-breaking for
+// determinism.
+type readyHeap []readyNode
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio > h[j].prio
+	}
+	return h[i].id < h[j].id
+}
+func (h readyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x any)   { *h = append(*h, x.(readyNode)) }
+func (h *readyHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}

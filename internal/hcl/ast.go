@@ -1,0 +1,418 @@
+package hcl
+
+// Node is implemented by every AST element.
+type Node interface {
+	// Range returns the source range the node was parsed from.
+	Range() Range
+}
+
+// File is a parsed configuration file.
+type File struct {
+	Filename string
+	Body     *Body
+}
+
+// Range implements Node.
+func (f *File) Range() Range { return f.Body.Rng }
+
+// Body is the content of a file or block: an ordered mix of attributes and
+// nested blocks.
+type Body struct {
+	Attributes []*Attribute
+	Blocks     []*Block
+	Rng        Range
+}
+
+// Range implements Node.
+func (b *Body) Range() Range { return b.Rng }
+
+// Attribute returns the attribute with the given name, or nil.
+func (b *Body) Attribute(name string) *Attribute {
+	for _, a := range b.Attributes {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// BlocksOfType returns all nested blocks with the given type keyword.
+func (b *Body) BlocksOfType(typ string) []*Block {
+	var out []*Block
+	for _, blk := range b.Blocks {
+		if blk.Type == typ {
+			out = append(out, blk)
+		}
+	}
+	return out
+}
+
+// Block is a labeled configuration block, e.g.
+//
+//	resource "aws_virtual_machine" "vm1" { ... }
+type Block struct {
+	Type        string
+	Labels      []string
+	Body        *Body
+	TypeRange   Range
+	LabelRanges []Range
+	Rng         Range
+}
+
+// Range implements Node.
+func (b *Block) Range() Range { return b.Rng }
+
+// DefRange returns the range of the block header (type + labels), which is
+// the natural "subject" for diagnostics about the block as a whole.
+func (b *Block) DefRange() Range {
+	if n := len(b.LabelRanges); n > 0 {
+		return RangeBetween(b.TypeRange, b.LabelRanges[n-1])
+	}
+	return b.TypeRange
+}
+
+// Attribute is a single "name = expression" definition.
+type Attribute struct {
+	Name      string
+	Expr      Expression
+	NameRange Range
+	Rng       Range
+}
+
+// Range implements Node.
+func (a *Attribute) Range() Range { return a.Rng }
+
+// Expression is implemented by all expression nodes.
+type Expression interface {
+	Node
+	// Variables returns every scope traversal the expression refers to.
+	// This is how the configuration loader discovers dependencies between
+	// resources without evaluating anything.
+	Variables() []Traversal
+}
+
+// --- Traversals ---------------------------------------------------------
+
+// Traverser is one step of a traversal: an attribute access or an index.
+type Traverser interface {
+	traverserSigil()
+	StepString() string
+}
+
+// TraverseRoot is the first step of an absolute traversal: a variable name.
+type TraverseRoot struct{ Name string }
+
+// TraverseAttr is a ".name" attribute access step.
+type TraverseAttr struct{ Name string }
+
+// TraverseIndex is a "[key]" step with a statically-known key
+// (a string or an int).
+type TraverseIndex struct{ Key any }
+
+func (TraverseRoot) traverserSigil()  {}
+func (TraverseAttr) traverserSigil()  {}
+func (TraverseIndex) traverserSigil() {}
+
+// StepString renders the step as it would appear in source.
+func (t TraverseRoot) StepString() string { return t.Name }
+
+// StepString renders the step as it would appear in source.
+func (t TraverseAttr) StepString() string { return "." + t.Name }
+
+// StepString renders the step as it would appear in source.
+func (t TraverseIndex) StepString() string {
+	switch k := t.Key.(type) {
+	case string:
+		return `["` + k + `"]`
+	case int:
+		return "[" + itoa(k) + "]"
+	default:
+		return "[?]"
+	}
+}
+
+// Traversal is a chain of steps rooted at a variable name, such as
+// "aws_virtual_machine.vm1.id" or `var.names[0]`.
+type Traversal []Traverser
+
+// RootName returns the name of the variable the traversal is rooted at.
+func (t Traversal) RootName() string {
+	if len(t) == 0 {
+		return ""
+	}
+	if r, ok := t[0].(TraverseRoot); ok {
+		return r.Name
+	}
+	return ""
+}
+
+// String renders the traversal as it would appear in source.
+func (t Traversal) String() string {
+	s := ""
+	for _, step := range t {
+		s += step.StepString()
+	}
+	return s
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [24]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// --- Expression nodes ---------------------------------------------------
+
+// LiteralExpr is a constant: string, number (float64), bool, or null (nil).
+type LiteralExpr struct {
+	Val any
+	Rng Range
+}
+
+// TemplateExpr is a string with interpolated sub-expressions. Parts is a
+// sequence of LiteralExpr (string pieces) and arbitrary expressions.
+type TemplateExpr struct {
+	Parts []Expression
+	Rng   Range
+}
+
+// ScopeTraversalExpr is a bare reference such as var.name or
+// aws_network_interface.n1.id.
+type ScopeTraversalExpr struct {
+	Traversal Traversal
+	Rng       Range
+}
+
+// RelativeTraversalExpr applies further traversal steps to the result of an
+// arbitrary expression, e.g. func().attr.
+type RelativeTraversalExpr struct {
+	Source    Expression
+	Traversal Traversal // steps only; no root
+	Rng       Range
+}
+
+// IndexExpr is collection[key] where the key is a runtime expression.
+type IndexExpr struct {
+	Collection Expression
+	Key        Expression
+	Rng        Range
+}
+
+// SplatExpr maps a traversal over every element of a list, e.g.
+// aws_virtual_machine.web[*].id.
+type SplatExpr struct {
+	Source Expression
+	Each   Traversal // steps applied to each element; no root
+	Rng    Range
+}
+
+// FunctionCallExpr is name(arg, ...). If ExpandFinal is set, the last
+// argument is a list expanded into individual arguments (the "..." syntax).
+type FunctionCallExpr struct {
+	Name        string
+	Args        []Expression
+	ExpandFinal bool
+	NameRange   Range
+	Rng         Range
+}
+
+// Binary operators.
+type BinaryOp int
+
+// Binary operator kinds, in no particular order.
+const (
+	OpAdd BinaryOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNotEq
+	OpLT
+	OpGT
+	OpLTE
+	OpGTE
+	OpAnd
+	OpOr
+)
+
+var binaryOpNames = map[BinaryOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpEq: "==", OpNotEq: "!=", OpLT: "<", OpGT: ">", OpLTE: "<=", OpGTE: ">=",
+	OpAnd: "&&", OpOr: "||",
+}
+
+// String returns the operator's source spelling.
+func (op BinaryOp) String() string { return binaryOpNames[op] }
+
+// BinaryExpr is lhs OP rhs.
+type BinaryExpr struct {
+	Op       BinaryOp
+	LHS, RHS Expression
+	Rng      Range
+}
+
+// UnaryOp is a unary operator.
+type UnaryOp int
+
+// Unary operator kinds.
+const (
+	OpNegate UnaryOp = iota // -
+	OpNot                   // !
+)
+
+// UnaryExpr is OP operand.
+type UnaryExpr struct {
+	Op      UnaryOp
+	Operand Expression
+	Rng     Range
+}
+
+// ConditionalExpr is cond ? t : f.
+type ConditionalExpr struct {
+	Cond, True, False Expression
+	Rng               Range
+}
+
+// TupleExpr is a list constructor [a, b, c].
+type TupleExpr struct {
+	Items []Expression
+	Rng   Range
+}
+
+// ObjectItem is one key/value entry of an ObjectExpr.
+type ObjectItem struct {
+	Key   Expression // LiteralExpr string for bare keys
+	Value Expression
+}
+
+// ObjectExpr is an object constructor { k = v, ... }.
+type ObjectExpr struct {
+	Items []ObjectItem
+	Rng   Range
+}
+
+// ForExpr is a list or object comprehension:
+//
+//	[for k, v in coll : expr if cond]
+//	{for k, v in coll : keyExpr => valExpr}
+type ForExpr struct {
+	KeyVar   string // empty when only a value variable is bound
+	ValVar   string
+	Coll     Expression
+	KeyExpr  Expression // non-nil for object form
+	ValExpr  Expression
+	CondExpr Expression // optional filter
+	Rng      Range
+}
+
+// Range implementations.
+func (e *LiteralExpr) Range() Range           { return e.Rng }
+func (e *TemplateExpr) Range() Range          { return e.Rng }
+func (e *ScopeTraversalExpr) Range() Range    { return e.Rng }
+func (e *RelativeTraversalExpr) Range() Range { return e.Rng }
+func (e *IndexExpr) Range() Range             { return e.Rng }
+func (e *SplatExpr) Range() Range             { return e.Rng }
+func (e *FunctionCallExpr) Range() Range      { return e.Rng }
+func (e *BinaryExpr) Range() Range            { return e.Rng }
+func (e *UnaryExpr) Range() Range             { return e.Rng }
+func (e *ConditionalExpr) Range() Range       { return e.Rng }
+func (e *TupleExpr) Range() Range             { return e.Rng }
+func (e *ObjectExpr) Range() Range            { return e.Rng }
+func (e *ForExpr) Range() Range               { return e.Rng }
+
+// Variables implementations.
+
+func (e *LiteralExpr) Variables() []Traversal { return nil }
+
+func (e *TemplateExpr) Variables() []Traversal {
+	var out []Traversal
+	for _, p := range e.Parts {
+		out = append(out, p.Variables()...)
+	}
+	return out
+}
+
+func (e *ScopeTraversalExpr) Variables() []Traversal { return []Traversal{e.Traversal} }
+
+func (e *RelativeTraversalExpr) Variables() []Traversal { return e.Source.Variables() }
+
+func (e *IndexExpr) Variables() []Traversal {
+	return append(e.Collection.Variables(), e.Key.Variables()...)
+}
+
+func (e *SplatExpr) Variables() []Traversal { return e.Source.Variables() }
+
+func (e *FunctionCallExpr) Variables() []Traversal {
+	var out []Traversal
+	for _, a := range e.Args {
+		out = append(out, a.Variables()...)
+	}
+	return out
+}
+
+func (e *BinaryExpr) Variables() []Traversal {
+	return append(e.LHS.Variables(), e.RHS.Variables()...)
+}
+
+func (e *UnaryExpr) Variables() []Traversal { return e.Operand.Variables() }
+
+func (e *ConditionalExpr) Variables() []Traversal {
+	out := e.Cond.Variables()
+	out = append(out, e.True.Variables()...)
+	return append(out, e.False.Variables()...)
+}
+
+func (e *TupleExpr) Variables() []Traversal {
+	var out []Traversal
+	for _, it := range e.Items {
+		out = append(out, it.Variables()...)
+	}
+	return out
+}
+
+func (e *ObjectExpr) Variables() []Traversal {
+	var out []Traversal
+	for _, it := range e.Items {
+		out = append(out, it.Key.Variables()...)
+		out = append(out, it.Value.Variables()...)
+	}
+	return out
+}
+
+// Variables omits references to the comprehension's own bound variables.
+func (e *ForExpr) Variables() []Traversal {
+	bound := map[string]bool{e.ValVar: true}
+	if e.KeyVar != "" {
+		bound[e.KeyVar] = true
+	}
+	var out []Traversal
+	out = append(out, e.Coll.Variables()...)
+	for _, sub := range []Expression{e.KeyExpr, e.ValExpr, e.CondExpr} {
+		if sub == nil {
+			continue
+		}
+		for _, tr := range sub.Variables() {
+			if !bound[tr.RootName()] {
+				out = append(out, tr)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,382 @@
+package hcl
+
+import (
+	"strings"
+	"testing"
+)
+
+func parseOK(t *testing.T, src string) *File {
+	t.Helper()
+	f, diags := Parse("test.ccl", src)
+	if diags.HasErrors() {
+		t.Fatalf("unexpected parse errors: %s", diags.Error())
+	}
+	return f
+}
+
+func parseExprOK(t *testing.T, src string) Expression {
+	t.Helper()
+	e, diags := ParseExpression("expr.ccl", src)
+	if diags.HasErrors() {
+		t.Fatalf("unexpected errors parsing %q: %s", src, diags.Error())
+	}
+	return e
+}
+
+// figure2 is the Cloudless paper's Figure 2 program, translated to CCL.
+const figure2 = `
+/* Simplified Terraform code snippet */
+
+data "aws_region" "current" {}
+
+variable "vmName" {
+  type    = "string"
+  default = "cloudless"
+}
+
+resource "aws_network_interface" "n1" {
+  name     = "example-nic"
+  location = data.aws_region.current.name
+}
+
+resource "aws_virtual_machine" "vm1" {
+  name    = var.vmName
+  nic_ids = [aws_network_interface.n1.id]
+}
+`
+
+func TestParseFigure2(t *testing.T) {
+	f := parseOK(t, figure2)
+	if n := len(f.Body.Blocks); n != 4 {
+		t.Fatalf("got %d top-level blocks, want 4", n)
+	}
+	data := f.Body.Blocks[0]
+	if data.Type != "data" || data.Labels[0] != "aws_region" || data.Labels[1] != "current" {
+		t.Errorf("data block = %q %v", data.Type, data.Labels)
+	}
+	vm := f.Body.Blocks[3]
+	if vm.Type != "resource" || vm.Labels[1] != "vm1" {
+		t.Fatalf("vm block = %q %v", vm.Type, vm.Labels)
+	}
+	nics := vm.Body.Attribute("nic_ids")
+	if nics == nil {
+		t.Fatal("nic_ids attribute missing")
+	}
+	vars := nics.Expr.Variables()
+	if len(vars) != 1 || vars[0].String() != "aws_network_interface.n1.id" {
+		t.Errorf("nic_ids refs = %v", vars)
+	}
+	// Source fidelity: the vm1 block header is on line 16 of the snippet.
+	if vm.DefRange().Start.Line != 16 {
+		t.Errorf("vm1 block at line %d, want 16", vm.DefRange().Start.Line)
+	}
+}
+
+func TestParseNestedBlocks(t *testing.T) {
+	f := parseOK(t, `
+resource "aws_vpc" "main" {
+  cidr = "10.0.0.0/16"
+  tags {
+    env  = "prod"
+    team = "infra"
+  }
+}
+`)
+	vpc := f.Body.Blocks[0]
+	tags := vpc.Body.BlocksOfType("tags")
+	if len(tags) != 1 {
+		t.Fatalf("got %d tags blocks", len(tags))
+	}
+	if tags[0].Body.Attribute("env") == nil {
+		t.Error("env attribute missing in nested block")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	e := parseExprOK(t, "1 + 2 * 3")
+	bin, ok := e.(*BinaryExpr)
+	if !ok || bin.Op != OpAdd {
+		t.Fatalf("top = %T", e)
+	}
+	rhs, ok := bin.RHS.(*BinaryExpr)
+	if !ok || rhs.Op != OpMul {
+		t.Fatalf("rhs = %T; multiplication must bind tighter", bin.RHS)
+	}
+}
+
+func TestParseLogicalPrecedence(t *testing.T) {
+	e := parseExprOK(t, "a || b && c == d")
+	or, ok := e.(*BinaryExpr)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("top = %T", e)
+	}
+	and, ok := or.RHS.(*BinaryExpr)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("rhs of || = %v", or.RHS)
+	}
+}
+
+func TestParseConditional(t *testing.T) {
+	e := parseExprOK(t, `x > 3 ? "big" : "small"`)
+	c, ok := e.(*ConditionalExpr)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if _, ok := c.Cond.(*BinaryExpr); !ok {
+		t.Errorf("cond = %T", c.Cond)
+	}
+}
+
+func TestParseTraversal(t *testing.T) {
+	e := parseExprOK(t, "aws_virtual_machine.vm1.network.0.id")
+	st, ok := e.(*ScopeTraversalExpr)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if got := st.Traversal.String(); got != "aws_virtual_machine.vm1.network[0].id" {
+		t.Errorf("traversal = %q", got)
+	}
+}
+
+func TestParseIndexStaticBecomesTraversal(t *testing.T) {
+	e := parseExprOK(t, `var.names["alpha"]`)
+	st, ok := e.(*ScopeTraversalExpr)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	last, ok := st.Traversal[len(st.Traversal)-1].(TraverseIndex)
+	if !ok || last.Key != "alpha" {
+		t.Errorf("last step = %#v", st.Traversal[len(st.Traversal)-1])
+	}
+}
+
+func TestParseIndexDynamic(t *testing.T) {
+	e := parseExprOK(t, "var.names[count.index]")
+	if _, ok := e.(*IndexExpr); !ok {
+		t.Fatalf("got %T, want IndexExpr for dynamic key", e)
+	}
+}
+
+func TestParseSplat(t *testing.T) {
+	e := parseExprOK(t, "aws_virtual_machine.web[*].id")
+	sp, ok := e.(*SplatExpr)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if len(sp.Each) != 1 || sp.Each[0].StepString() != ".id" {
+		t.Errorf("splat steps = %v", sp.Each)
+	}
+	vars := sp.Variables()
+	if len(vars) != 1 || vars[0].String() != "aws_virtual_machine.web" {
+		t.Errorf("splat vars = %v", vars)
+	}
+}
+
+func TestParseFunctionCall(t *testing.T) {
+	e := parseExprOK(t, `cidrsubnet(var.base, 8, 3)`)
+	fc, ok := e.(*FunctionCallExpr)
+	if !ok || fc.Name != "cidrsubnet" || len(fc.Args) != 3 {
+		t.Fatalf("got %#v", e)
+	}
+}
+
+func TestParseFunctionCallExpand(t *testing.T) {
+	e := parseExprOK(t, `max(var.nums...)`)
+	fc, ok := e.(*FunctionCallExpr)
+	if !ok || !fc.ExpandFinal {
+		t.Fatalf("got %#v", e)
+	}
+}
+
+func TestParseTupleAndObject(t *testing.T) {
+	e := parseExprOK(t, `[1, "two", true, null]`)
+	tu, ok := e.(*TupleExpr)
+	if !ok || len(tu.Items) != 4 {
+		t.Fatalf("got %#v", e)
+	}
+	e = parseExprOK(t, `{ name = "x", size = 3 }`)
+	ob, ok := e.(*ObjectExpr)
+	if !ok || len(ob.Items) != 2 {
+		t.Fatalf("got %#v", e)
+	}
+}
+
+func TestParseObjectNewlineSeparated(t *testing.T) {
+	e := parseExprOK(t, "{\n  a = 1\n  b = 2\n}")
+	ob, ok := e.(*ObjectExpr)
+	if !ok || len(ob.Items) != 2 {
+		t.Fatalf("got %#v", e)
+	}
+}
+
+func TestParseForList(t *testing.T) {
+	e := parseExprOK(t, `[for v in var.names : upper(v) if v != ""]`)
+	fe, ok := e.(*ForExpr)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if fe.ValVar != "v" || fe.CondExpr == nil || fe.KeyExpr != nil {
+		t.Errorf("for = %#v", fe)
+	}
+	// Bound variable must not leak into Variables().
+	for _, tr := range fe.Variables() {
+		if tr.RootName() == "v" {
+			t.Error("bound comprehension variable leaked into Variables()")
+		}
+	}
+}
+
+func TestParseForObject(t *testing.T) {
+	e := parseExprOK(t, `{for k, v in var.m : k => v}`)
+	fe, ok := e.(*ForExpr)
+	if !ok || fe.KeyExpr == nil || fe.KeyVar != "k" || fe.ValVar != "v" {
+		t.Fatalf("got %#v", e)
+	}
+}
+
+func TestParseTemplate(t *testing.T) {
+	e := parseExprOK(t, `"vm-${var.name}-${count.index}"`)
+	te, ok := e.(*TemplateExpr)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if len(te.Parts) != 4 { // "vm-", var.name, "-", count.index
+		t.Fatalf("got %d parts", len(te.Parts))
+	}
+	vars := te.Variables()
+	if len(vars) != 2 || vars[0].RootName() != "var" || vars[1].RootName() != "count" {
+		t.Errorf("template vars = %v", vars)
+	}
+}
+
+func TestParseTemplateEscapedDollar(t *testing.T) {
+	e := parseExprOK(t, `"literal $${not_interp}"`)
+	lit, ok := e.(*LiteralExpr)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if lit.Val != "literal ${not_interp}" {
+		t.Errorf("got %q", lit.Val)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	e := parseExprOK(t, `"a\nb\t\"c\""`)
+	lit, ok := e.(*LiteralExpr)
+	if !ok || lit.Val != "a\nb\t\"c\"" {
+		t.Fatalf("got %#v", e)
+	}
+}
+
+func TestParseHeredocTemplate(t *testing.T) {
+	f := parseOK(t, "x = <<EOT\nhello ${var.name}\nworld\nEOT\n")
+	attr := f.Body.Attributes[0]
+	te, ok := attr.Expr.(*TemplateExpr)
+	if !ok {
+		t.Fatalf("got %T", attr.Expr)
+	}
+	vars := te.Variables()
+	if len(vars) != 1 || vars[0].String() != "var.name" {
+		t.Errorf("heredoc vars = %v", vars)
+	}
+}
+
+func TestParseInterpolationPositions(t *testing.T) {
+	f := parseOK(t, `x = "abc${var.foo}"`)
+	te := f.Body.Attributes[0].Expr.(*TemplateExpr)
+	ref := te.Parts[1]
+	rng := ref.Range()
+	// The ${...} sequence starts at column 9 (1-based) of line 1.
+	if rng.Start.Line != 1 || rng.Start.Column != 9 {
+		t.Errorf("interpolation range start = %v, want 1:9", rng.Start)
+	}
+}
+
+func TestParseErrorRecovery(t *testing.T) {
+	src := "a = = 1\nb = 2\n"
+	f, diags := Parse("t.ccl", src)
+	if !diags.HasErrors() {
+		t.Fatal("expected errors")
+	}
+	// The parser must still deliver the following valid attribute.
+	if f.Body.Attribute("b") == nil {
+		t.Error("parser did not recover to parse attribute b")
+	}
+}
+
+func TestParseMissingAssignDiagnostic(t *testing.T) {
+	_, diags := Parse("t.ccl", "a 1\n")
+	if !diags.HasErrors() {
+		t.Fatal("expected errors")
+	}
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Summary, `"="`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("diagnostic should mention '=': %s", diags.Error())
+	}
+}
+
+func TestParseUnclosedBlock(t *testing.T) {
+	_, diags := Parse("t.ccl", "resource \"a\" \"b\" {\n x = 1\n")
+	if !diags.HasErrors() {
+		t.Fatal("expected errors for unclosed block")
+	}
+}
+
+func TestParseTwoAttributesOneLineRejected(t *testing.T) {
+	_, diags := Parse("t.ccl", "a = 1 b = 2\n")
+	if !diags.HasErrors() {
+		t.Fatal("expected error: attributes must be newline-separated")
+	}
+}
+
+func TestParseBlockDefRange(t *testing.T) {
+	f := parseOK(t, `resource "aws_vpc" "main" {}`)
+	def := f.Body.Blocks[0].DefRange()
+	if def.Start.Column != 1 || def.End.Column != 26 {
+		t.Errorf("def range = %v-%v", def.Start, def.End)
+	}
+}
+
+func TestParseExpressionRejectsTrailing(t *testing.T) {
+	_, diags := ParseExpression("e.ccl", "1 + 2 extra")
+	if !diags.HasErrors() {
+		t.Fatal("expected error for trailing tokens")
+	}
+}
+
+func TestParseEmptyFile(t *testing.T) {
+	f := parseOK(t, "")
+	if len(f.Body.Attributes) != 0 || len(f.Body.Blocks) != 0 {
+		t.Error("empty file should produce empty body")
+	}
+}
+
+func TestParseCommentsOnlyFile(t *testing.T) {
+	f := parseOK(t, "# just a comment\n// another\n")
+	if len(f.Body.Blocks) != 0 {
+		t.Error("comments-only file should have no blocks")
+	}
+}
+
+func TestParseMultilineExpressionsInParens(t *testing.T) {
+	f := parseOK(t, "x = (1 +\n 2 +\n 3)\n")
+	if f.Body.Attribute("x") == nil {
+		t.Fatal("x missing")
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	e := parseExprOK(t, "-4 + 2")
+	bin, ok := e.(*BinaryExpr)
+	if !ok || bin.Op != OpAdd {
+		t.Fatalf("got %#v", e)
+	}
+	if _, ok := bin.LHS.(*UnaryExpr); !ok {
+		t.Errorf("lhs = %T", bin.LHS)
+	}
+}

@@ -1,0 +1,147 @@
+// Package hcl implements CCL, the Cloudless Configuration Language: a
+// declarative, HCL-style language for describing cloud infrastructure.
+//
+// The package provides lexing, parsing, an AST with full source-position
+// fidelity, structured diagnostics, and a canonical pretty-printer. Source
+// positions are preserved on every AST node so that downstream tools — the
+// validator, the diagnoser, and the policy controller — can point error
+// reports back at exact lines of configuration, which is one of the core
+// requirements the Cloudless paper places on an IaC debugger (§3.5).
+package hcl
+
+import "fmt"
+
+// Pos is a position within a source file.
+type Pos struct {
+	Line   int // 1-based line number
+	Column int // 1-based column number, in bytes
+	Byte   int // 0-based byte offset
+}
+
+// String returns the position in "line:column" form.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Column) }
+
+// Range identifies a contiguous span of characters in a source file.
+type Range struct {
+	Filename   string
+	Start, End Pos
+}
+
+// RangeBetween returns a range spanning from the start of a to the end of b.
+func RangeBetween(a, b Range) Range {
+	return Range{Filename: a.Filename, Start: a.Start, End: b.End}
+}
+
+// String returns the range in "file:line:column" form.
+func (r Range) String() string {
+	if r.Filename == "" {
+		return r.Start.String()
+	}
+	return fmt.Sprintf("%s:%s", r.Filename, r.Start)
+}
+
+// Contains reports whether the byte offset of pos falls inside the range.
+func (r Range) Contains(pos Pos) bool {
+	return pos.Byte >= r.Start.Byte && pos.Byte < r.End.Byte
+}
+
+// Severity classifies a diagnostic.
+type Severity int
+
+const (
+	// DiagError indicates a problem that prevents further processing.
+	DiagError Severity = iota
+	// DiagWarning indicates a problem that does not block processing.
+	DiagWarning
+)
+
+// String returns "error" or "warning".
+func (s Severity) String() string {
+	if s == DiagError {
+		return "error"
+	}
+	return "warning"
+}
+
+// Diagnostic is a single problem found while processing configuration.
+type Diagnostic struct {
+	Severity Severity
+	Summary  string
+	Detail   string
+	Subject  Range // the source construct the problem refers to
+}
+
+// Error implements the error interface so a Diagnostic can travel as an error.
+func (d *Diagnostic) Error() string {
+	if d.Detail == "" {
+		return fmt.Sprintf("%s: %s: %s", d.Subject, d.Severity, d.Summary)
+	}
+	return fmt.Sprintf("%s: %s: %s; %s", d.Subject, d.Severity, d.Summary, d.Detail)
+}
+
+// Diagnostics is a collection of diagnostics that itself acts as an error.
+type Diagnostics []*Diagnostic
+
+// Append adds diags (or a single diagnostic) and returns the combined set.
+func (ds Diagnostics) Append(more ...*Diagnostic) Diagnostics {
+	return append(ds, more...)
+}
+
+// Extend concatenates another diagnostics set.
+func (ds Diagnostics) Extend(more Diagnostics) Diagnostics {
+	return append(ds, more...)
+}
+
+// HasErrors reports whether the set contains at least one error-severity item.
+func (ds Diagnostics) HasErrors() bool {
+	for _, d := range ds {
+		if d.Severity == DiagError {
+			return true
+		}
+	}
+	return false
+}
+
+// Err returns the set as an error, or nil if it contains no errors.
+func (ds Diagnostics) Err() error {
+	if !ds.HasErrors() {
+		return nil
+	}
+	return ds
+}
+
+// Error implements the error interface, summarizing up to three problems.
+func (ds Diagnostics) Error() string {
+	n := 0
+	msg := ""
+	for _, d := range ds {
+		if d.Severity != DiagError {
+			continue
+		}
+		if n < 3 {
+			if n > 0 {
+				msg += "; "
+			}
+			msg += d.Error()
+		}
+		n++
+	}
+	switch {
+	case n == 0:
+		return "no errors"
+	case n > 3:
+		return fmt.Sprintf("%s; and %d more errors", msg, n-3)
+	default:
+		return msg
+	}
+}
+
+// Errorf builds an error diagnostic at the given range.
+func Errorf(rng Range, format string, args ...any) *Diagnostic {
+	return &Diagnostic{Severity: DiagError, Summary: fmt.Sprintf(format, args...), Subject: rng}
+}
+
+// Warnf builds a warning diagnostic at the given range.
+func Warnf(rng Range, format string, args ...any) *Diagnostic {
+	return &Diagnostic{Severity: DiagWarning, Summary: fmt.Sprintf(format, args...), Subject: rng}
+}

@@ -1,0 +1,356 @@
+package hcl
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Format renders a file in canonical CCL style: two-space indentation,
+// attributes before nested blocks, single blank line between top-level
+// items. The porter (§3.1) uses this to emit generated programs.
+func Format(f *File) string {
+	var b strings.Builder
+	printBody(&b, f.Body, 0, true)
+	return b.String()
+}
+
+// FormatBody renders a body at the given indent level.
+func FormatBody(body *Body, indent int) string {
+	var b strings.Builder
+	printBody(&b, body, indent, false)
+	return b.String()
+}
+
+// FormatExpr renders a single expression in canonical style.
+func FormatExpr(e Expression) string {
+	var b strings.Builder
+	printExpr(&b, e)
+	return b.String()
+}
+
+func printBody(b *strings.Builder, body *Body, indent int, topLevel bool) {
+	pad := strings.Repeat("  ", indent)
+	// Align attribute names within a run of attributes, gofmt-style.
+	width := 0
+	for _, a := range body.Attributes {
+		if len(a.Name) > width {
+			width = len(a.Name)
+		}
+	}
+	for _, a := range body.Attributes {
+		fmt.Fprintf(b, "%s%-*s = ", pad, width, a.Name)
+		printExpr(b, a.Expr)
+		b.WriteByte('\n')
+	}
+	for i, blk := range body.Blocks {
+		if i > 0 || len(body.Attributes) > 0 {
+			if topLevel || len(body.Attributes) > 0 || i > 0 {
+				b.WriteByte('\n')
+			}
+		}
+		printBlock(b, blk, indent)
+	}
+}
+
+func printBlock(b *strings.Builder, blk *Block, indent int) {
+	pad := strings.Repeat("  ", indent)
+	b.WriteString(pad)
+	b.WriteString(blk.Type)
+	for _, l := range blk.Labels {
+		fmt.Fprintf(b, " %q", l)
+	}
+	b.WriteString(" {\n")
+	printBody(b, blk.Body, indent+1, false)
+	b.WriteString(pad)
+	b.WriteString("}\n")
+}
+
+func printExpr(b *strings.Builder, e Expression) {
+	switch t := e.(type) {
+	case *LiteralExpr:
+		printLiteral(b, t.Val)
+	case *TemplateExpr:
+		b.WriteByte('"')
+		for _, part := range t.Parts {
+			if lit, ok := part.(*LiteralExpr); ok {
+				if s, ok := lit.Val.(string); ok {
+					b.WriteString(escapeString(s))
+					continue
+				}
+			}
+			b.WriteString("${")
+			printExpr(b, part)
+			b.WriteString("}")
+		}
+		b.WriteByte('"')
+	case *ScopeTraversalExpr:
+		b.WriteString(t.Traversal.String())
+	case *RelativeTraversalExpr:
+		printExpr(b, t.Source)
+		b.WriteString(Traversal(t.Traversal).String())
+	case *IndexExpr:
+		printExpr(b, t.Collection)
+		b.WriteByte('[')
+		printExpr(b, t.Key)
+		b.WriteByte(']')
+	case *SplatExpr:
+		printExpr(b, t.Source)
+		b.WriteString("[*]")
+		b.WriteString(Traversal(t.Each).String())
+	case *FunctionCallExpr:
+		b.WriteString(t.Name)
+		b.WriteByte('(')
+		for i, a := range t.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printExpr(b, a)
+		}
+		if t.ExpandFinal {
+			b.WriteString("...")
+		}
+		b.WriteByte(')')
+	case *BinaryExpr:
+		// Parenthesize operands whose precedence would otherwise cause the
+		// parser to reassociate: strictly-lower on the left, lower-or-equal
+		// on the right (operators are left-associative).
+		printOperand(b, t.LHS, precedenceOf(t.Op), false)
+		fmt.Fprintf(b, " %s ", t.Op)
+		printOperand(b, t.RHS, precedenceOf(t.Op), true)
+	case *UnaryExpr:
+		if t.Op == OpNegate {
+			b.WriteByte('-')
+		} else {
+			b.WriteByte('!')
+		}
+		printOperand(b, t.Operand, maxPrecedence, true)
+	case *ConditionalExpr:
+		printOperand(b, t.Cond, 1, true)
+		b.WriteString(" ? ")
+		printExpr(b, t.True)
+		b.WriteString(" : ")
+		printExpr(b, t.False)
+	case *TupleExpr:
+		b.WriteByte('[')
+		for i, it := range t.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printExpr(b, it)
+		}
+		b.WriteByte(']')
+	case *ObjectExpr:
+		b.WriteByte('{')
+		for i, it := range t.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			} else {
+				b.WriteByte(' ')
+			}
+			printObjectKey(b, it.Key)
+			b.WriteString(" = ")
+			printExpr(b, it.Value)
+		}
+		if len(t.Items) > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteByte('}')
+	case *ForExpr:
+		open, close := "[", "]"
+		if t.KeyExpr != nil {
+			open, close = "{", "}"
+		}
+		b.WriteString(open)
+		b.WriteString("for ")
+		if t.KeyVar != "" {
+			b.WriteString(t.KeyVar)
+			b.WriteString(", ")
+		}
+		b.WriteString(t.ValVar)
+		b.WriteString(" in ")
+		printExpr(b, t.Coll)
+		b.WriteString(" : ")
+		if t.KeyExpr != nil {
+			printExpr(b, t.KeyExpr)
+			b.WriteString(" => ")
+		}
+		printExpr(b, t.ValExpr)
+		if t.CondExpr != nil {
+			b.WriteString(" if ")
+			printExpr(b, t.CondExpr)
+		}
+		b.WriteString(close)
+	default:
+		b.WriteString("<?expr>")
+	}
+}
+
+// Operator precedence for parenthesization, matching the parser's levels
+// (higher binds tighter).
+var opPrecedence = map[BinaryOp]int{
+	OpOr: 1, OpAnd: 2,
+	OpEq: 3, OpNotEq: 3,
+	OpLT: 4, OpGT: 4, OpLTE: 4, OpGTE: 4,
+	OpAdd: 5, OpSub: 5,
+	OpMul: 6, OpDiv: 6, OpMod: 6,
+}
+
+const maxPrecedence = 7
+
+func precedenceOf(op BinaryOp) int { return opPrecedence[op] }
+
+// printOperand prints a sub-expression of a binary/unary/conditional,
+// parenthesizing when its precedence would change the parse.
+func printOperand(b *strings.Builder, e Expression, parentPrec int, tightSide bool) {
+	needParens := false
+	switch t := e.(type) {
+	case *BinaryExpr:
+		p := precedenceOf(t.Op)
+		needParens = p < parentPrec || (tightSide && p == parentPrec)
+	case *ConditionalExpr:
+		needParens = true
+	}
+	if needParens {
+		b.WriteByte('(')
+		printExpr(b, e)
+		b.WriteByte(')')
+		return
+	}
+	printExpr(b, e)
+}
+
+func printObjectKey(b *strings.Builder, key Expression) {
+	if lit, ok := key.(*LiteralExpr); ok {
+		if s, ok := lit.Val.(string); ok && isBareKey(s) {
+			b.WriteString(s)
+			return
+		}
+	}
+	printExpr(b, key)
+}
+
+func isBareKey(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if i == 0 && !isIdentStart(r) {
+			return false
+		}
+		if i > 0 && !isIdentPart(r) {
+			return false
+		}
+	}
+	return true
+}
+
+func printLiteral(b *strings.Builder, v any) {
+	switch t := v.(type) {
+	case nil:
+		b.WriteString("null")
+	case bool:
+		b.WriteString(strconv.FormatBool(t))
+	case string:
+		b.WriteByte('"')
+		b.WriteString(escapeString(t))
+		b.WriteByte('"')
+	case float64:
+		b.WriteString(formatNumber(t))
+	case int:
+		b.WriteString(strconv.Itoa(t))
+	default:
+		fmt.Fprintf(b, "%v", t)
+	}
+}
+
+func formatNumber(f float64) string {
+	if f == float64(int64(f)) {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+func escapeString(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '$':
+			if i+1 < len(s) && s[i+1] == '{' {
+				b.WriteString(`$$`)
+			} else {
+				b.WriteByte('$')
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// --- AST construction helpers (used by the porter and the policy engine to
+// synthesize programs programmatically) ----------------------------------
+
+// NewLiteral builds a literal expression with no source range.
+func NewLiteral(v any) *LiteralExpr {
+	if i, ok := v.(int); ok {
+		v = float64(i)
+	}
+	return &LiteralExpr{Val: v}
+}
+
+// NewTraversalExpr builds a scope traversal from a dotted path such as
+// "var.region" plus optional extra steps.
+func NewTraversalExpr(parts ...string) *ScopeTraversalExpr {
+	if len(parts) == 0 {
+		return &ScopeTraversalExpr{}
+	}
+	tr := Traversal{TraverseRoot{Name: parts[0]}}
+	for _, p := range parts[1:] {
+		tr = append(tr, TraverseAttr{Name: p})
+	}
+	return &ScopeTraversalExpr{Traversal: tr}
+}
+
+// NewTuple builds a tuple expression.
+func NewTuple(items ...Expression) *TupleExpr { return &TupleExpr{Items: items} }
+
+// NewAttribute builds an attribute definition.
+func NewAttribute(name string, expr Expression) *Attribute {
+	return &Attribute{Name: name, Expr: expr}
+}
+
+// NewBlock builds a block with the given type and labels.
+func NewBlock(typ string, labels ...string) *Block {
+	return &Block{Type: typ, Labels: labels, Body: &Body{}}
+}
+
+// SetAttr sets (or replaces) an attribute on a body.
+func (b *Body) SetAttr(name string, expr Expression) {
+	for _, a := range b.Attributes {
+		if a.Name == name {
+			a.Expr = expr
+			return
+		}
+	}
+	b.Attributes = append(b.Attributes, NewAttribute(name, expr))
+}
+
+// SortAttributes orders attributes by name; useful for canonical output of
+// generated programs.
+func (b *Body) SortAttributes() {
+	sort.SliceStable(b.Attributes, func(i, j int) bool {
+		return b.Attributes[i].Name < b.Attributes[j].Name
+	})
+}

@@ -1,0 +1,193 @@
+package hcl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatRoundTripIdempotent(t *testing.T) {
+	srcs := []string{
+		figure2,
+		`
+resource "aws_subnet" "s" {
+  cidr  = cidrsubnet(var.base, 8, 2)
+  count = var.n > 0 ? var.n : 1
+  tags  = { env = "prod", zone = "a" }
+  list  = [1, 2, 3]
+}
+`,
+		`x = [for v in var.xs : upper(v) if v != ""]`,
+		`y = {for k, v in var.m : k => v}`,
+		`z = aws_vm.web[*].id`,
+	}
+	for _, src := range srcs {
+		f1, diags := Parse("a.ccl", src)
+		if diags.HasErrors() {
+			t.Fatalf("parse 1: %s", diags.Error())
+		}
+		out1 := Format(f1)
+		f2, diags := Parse("b.ccl", out1)
+		if diags.HasErrors() {
+			t.Fatalf("formatted output does not re-parse: %s\n--- output:\n%s", diags.Error(), out1)
+		}
+		out2 := Format(f2)
+		if out1 != out2 {
+			t.Errorf("format not idempotent:\n--- first:\n%s\n--- second:\n%s", out1, out2)
+		}
+	}
+}
+
+func TestFormatAlignment(t *testing.T) {
+	f, _ := Parse("t.ccl", "a = 1\nlonger_name = 2\n")
+	out := Format(f)
+	if !strings.Contains(out, "a           = 1") {
+		t.Errorf("attributes not aligned:\n%s", out)
+	}
+}
+
+func TestFormatExprPrecedenceSafe(t *testing.T) {
+	// The printer uses spaces, and the parser re-reads with the same
+	// precedence, so the round trip preserves structure for these.
+	exprs := []string{
+		`1 + 2 * 3`,
+		`a && b || c`,
+		`x > 3 ? "big" : "small"`,
+		`cidrsubnet(var.base, 8, 3)`,
+	}
+	for _, src := range exprs {
+		e1, d := ParseExpression("e.ccl", src)
+		if d.HasErrors() {
+			t.Fatal(d.Error())
+		}
+		out := FormatExpr(e1)
+		e2, d := ParseExpression("e2.ccl", out)
+		if d.HasErrors() {
+			t.Fatalf("%q re-parse: %s", out, d.Error())
+		}
+		if FormatExpr(e2) != out {
+			t.Errorf("expr format not stable: %q -> %q", out, FormatExpr(e2))
+		}
+	}
+}
+
+func TestFormatStringEscaping(t *testing.T) {
+	f := &File{Body: &Body{}}
+	f.Body.SetAttr("s", NewLiteral("line\nwith \"quotes\" and ${marker}"))
+	out := Format(f)
+	f2, diags := Parse("t.ccl", out)
+	if diags.HasErrors() {
+		t.Fatalf("escaped output does not parse: %s\n%s", diags.Error(), out)
+	}
+	lit, ok := f2.Body.Attribute("s").Expr.(*LiteralExpr)
+	if !ok {
+		t.Fatalf("got %T (interpolation marker must stay literal)", f2.Body.Attribute("s").Expr)
+	}
+	if lit.Val != "line\nwith \"quotes\" and ${marker}" {
+		t.Errorf("round trip = %q", lit.Val)
+	}
+}
+
+// TestFormatLiteralStringsQuickCheck property-tests that any printable string
+// literal survives a format→parse round trip.
+func TestFormatLiteralStringsQuickCheck(t *testing.T) {
+	roundTrip := func(s string) bool {
+		// The language does not admit invalid UTF-8 or NUL in source.
+		for _, r := range s {
+			if r == 0 || r == 0xFFFD {
+				return true
+			}
+		}
+		f := &File{Body: &Body{}}
+		f.Body.SetAttr("v", NewLiteral(s))
+		out := Format(f)
+		f2, diags := Parse("q.ccl", out)
+		if diags.HasErrors() {
+			return false
+		}
+		lit, ok := f2.Body.Attribute("v").Expr.(*LiteralExpr)
+		if !ok {
+			return false
+		}
+		got, ok := lit.Val.(string)
+		return ok && got == s
+	}
+	if err := quick.Check(roundTrip, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatNumberQuickCheck(t *testing.T) {
+	roundTrip := func(n int32) bool {
+		f := &File{Body: &Body{}}
+		f.Body.SetAttr("v", NewLiteral(float64(n)))
+		f2, diags := Parse("q.ccl", Format(f))
+		if diags.HasErrors() {
+			return false
+		}
+		expr := f2.Body.Attribute("v").Expr
+		if n < 0 {
+			u, ok := expr.(*UnaryExpr)
+			if !ok || u.Op != OpNegate {
+				return false
+			}
+			lit, ok := u.Operand.(*LiteralExpr)
+			return ok && lit.Val == float64(-int64(n))
+		}
+		lit, ok := expr.(*LiteralExpr)
+		return ok && lit.Val == float64(n)
+	}
+	if err := quick.Check(roundTrip, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuilderHelpers(t *testing.T) {
+	blk := NewBlock("resource", "aws_vpc", "main")
+	blk.Body.SetAttr("cidr", NewLiteral("10.0.0.0/16"))
+	blk.Body.SetAttr("name", NewTraversalExpr("var", "vpcName"))
+	blk.Body.SetAttr("zones", NewTuple(NewLiteral("a"), NewLiteral("b")))
+	f := &File{Body: &Body{Blocks: []*Block{blk}}}
+	out := Format(f)
+	f2, diags := Parse("gen.ccl", out)
+	if diags.HasErrors() {
+		t.Fatalf("generated program invalid: %s\n%s", diags.Error(), out)
+	}
+	got := f2.Body.Blocks[0]
+	if got.Labels[0] != "aws_vpc" || got.Labels[1] != "main" {
+		t.Errorf("labels = %v", got.Labels)
+	}
+	if len(got.Body.Attributes) != 3 {
+		t.Errorf("attributes = %d", len(got.Body.Attributes))
+	}
+}
+
+func TestSetAttrReplaces(t *testing.T) {
+	b := &Body{}
+	b.SetAttr("x", NewLiteral(1))
+	b.SetAttr("x", NewLiteral(2))
+	if len(b.Attributes) != 1 {
+		t.Fatalf("got %d attributes", len(b.Attributes))
+	}
+	if b.Attribute("x").Expr.(*LiteralExpr).Val != float64(2) {
+		t.Error("SetAttr did not replace value")
+	}
+}
+
+func TestDiagnosticsError(t *testing.T) {
+	var ds Diagnostics
+	if ds.Err() != nil {
+		t.Error("empty diagnostics should have nil Err")
+	}
+	ds = ds.Append(Warnf(Range{}, "just a warning"))
+	if ds.Err() != nil {
+		t.Error("warnings alone should not be an error")
+	}
+	ds = ds.Append(Errorf(Range{Filename: "f.ccl", Start: Pos{Line: 3, Column: 1}}, "boom"))
+	if ds.Err() == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(ds.Error(), "f.ccl:3:1") {
+		t.Errorf("error should carry position: %q", ds.Error())
+	}
+}

@@ -1,0 +1,160 @@
+package hcl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randExpr generates a random expression tree of bounded depth. The shapes
+// cover every printable node type, so the property test exercises the whole
+// printer/parser surface.
+func randExpr(rng *rand.Rand, depth int) Expression {
+	if depth <= 0 {
+		switch rng.Intn(5) {
+		case 0:
+			return NewLiteral(float64(rng.Intn(1000)))
+		case 1:
+			return NewLiteral(randIdent(rng))
+		case 2:
+			return NewLiteral(rng.Intn(2) == 0)
+		case 3:
+			return NewTraversalExpr("var", randIdent(rng))
+		default:
+			return NewTraversalExpr("aws_vpc", randIdent(rng), "id")
+		}
+	}
+	switch rng.Intn(8) {
+	case 0:
+		ops := []BinaryOp{OpAdd, OpSub, OpMul, OpEq, OpAnd, OpOr, OpLT}
+		return &BinaryExpr{
+			Op:  ops[rng.Intn(len(ops))],
+			LHS: randExpr(rng, depth-1),
+			RHS: randExpr(rng, depth-1),
+		}
+	case 1:
+		return &UnaryExpr{Op: OpNot, Operand: &BinaryExpr{
+			Op: OpEq, LHS: randExpr(rng, depth-1), RHS: randExpr(rng, depth-1),
+		}}
+	case 2:
+		return &ConditionalExpr{
+			Cond:  randExpr(rng, depth-1),
+			True:  randExpr(rng, depth-1),
+			False: randExpr(rng, depth-1),
+		}
+	case 3:
+		n := 1 + rng.Intn(3)
+		items := make([]Expression, n)
+		for i := range items {
+			items[i] = randExpr(rng, depth-1)
+		}
+		return NewTuple(items...)
+	case 4:
+		n := 1 + rng.Intn(3)
+		obj := &ObjectExpr{}
+		for i := 0; i < n; i++ {
+			obj.Items = append(obj.Items, ObjectItem{
+				Key:   NewLiteral(randIdent(rng)),
+				Value: randExpr(rng, depth-1),
+			})
+		}
+		return obj
+	case 5:
+		n := rng.Intn(3)
+		args := make([]Expression, n)
+		for i := range args {
+			args[i] = randExpr(rng, depth-1)
+		}
+		return &FunctionCallExpr{Name: "coalesce", Args: args}
+	case 6:
+		return &TemplateExpr{Parts: []Expression{
+			NewLiteral("pfx-"),
+			NewTraversalExpr("var", randIdent(rng)),
+			NewLiteral("-sfx"),
+		}}
+	default:
+		return &IndexExpr{
+			Collection: NewTraversalExpr("var", randIdent(rng)),
+			Key:        randExpr(rng, depth-1),
+		}
+	}
+}
+
+var identPool = []string{"alpha", "beta", "gamma", "delta", "omega", "n1", "x_y"}
+
+func randIdent(rng *rand.Rand) string { return identPool[rng.Intn(len(identPool))] }
+
+// TestRandomExprPrintParseStable: print(x) must parse, and printing the
+// parse must reproduce exactly the same text — with precedence-aware
+// parenthesization, print∘parse is the identity on printer output, so no
+// expression can silently reassociate through a port/refactor cycle.
+func TestRandomExprPrintParseStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		expr := randExpr(rng, 3)
+		out1 := FormatExpr(expr)
+		parsed, diags := ParseExpression("rt.ccl", out1)
+		if diags.HasErrors() {
+			t.Fatalf("case %d: printer output does not parse: %s\n%s", i, diags.Error(), out1)
+		}
+		out2 := FormatExpr(parsed)
+		if out1 != out2 {
+			t.Fatalf("case %d: print∘parse changed the expression:\n  before: %s\n  after:  %s", i, out1, out2)
+		}
+	}
+}
+
+// TestAssociativityPreserved pins the classic reassociation bugs directly.
+func TestAssociativityPreserved(t *testing.T) {
+	aMinusBC := &BinaryExpr{Op: OpSub,
+		LHS: NewTraversalExpr("var", "a"),
+		RHS: &BinaryExpr{Op: OpSub, LHS: NewTraversalExpr("var", "b"), RHS: NewTraversalExpr("var", "c")},
+	}
+	if got := FormatExpr(aMinusBC); got != "var.a - (var.b - var.c)" {
+		t.Errorf("right-nested subtraction = %q", got)
+	}
+	sumTimes := &BinaryExpr{Op: OpMul,
+		LHS: &BinaryExpr{Op: OpAdd, LHS: NewLiteral(1), RHS: NewLiteral(2)},
+		RHS: NewLiteral(3),
+	}
+	if got := FormatExpr(sumTimes); got != "(1 + 2) * 3" {
+		t.Errorf("sum-times = %q", got)
+	}
+	noParens := &BinaryExpr{Op: OpAdd,
+		LHS: &BinaryExpr{Op: OpMul, LHS: NewLiteral(1), RHS: NewLiteral(2)},
+		RHS: NewLiteral(3),
+	}
+	if got := FormatExpr(noParens); got != "1 * 2 + 3" {
+		t.Errorf("needless parens: %q", got)
+	}
+}
+
+// TestRandomFilePrintParseStable does the same at whole-file granularity,
+// with random blocks and attributes.
+func TestRandomFilePrintParseStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 100; i++ {
+		f := &File{Body: &Body{}}
+		nBlocks := 1 + rng.Intn(4)
+		for b := 0; b < nBlocks; b++ {
+			blk := NewBlock("resource", "aws_vpc", randIdent(rng)+itoa(b))
+			nAttrs := 1 + rng.Intn(4)
+			for a := 0; a < nAttrs; a++ {
+				blk.Body.SetAttr(randIdent(rng), randExpr(rng, 2))
+			}
+			f.Body.Blocks = append(f.Body.Blocks, blk)
+		}
+		out1 := Format(f)
+		parsed, diags := Parse("rt.ccl", out1)
+		if diags.HasErrors() {
+			t.Fatalf("case %d: %s\n%s", i, diags.Error(), out1)
+		}
+		out2 := Format(parsed)
+		parsed2, diags := Parse("rt2.ccl", out2)
+		if diags.HasErrors() {
+			t.Fatalf("case %d second parse: %s", i, diags.Error())
+		}
+		if out2 != Format(parsed2) {
+			t.Fatalf("case %d: file format not a fixpoint", i)
+		}
+	}
+}

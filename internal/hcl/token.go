@@ -1,0 +1,101 @@
+package hcl
+
+import "fmt"
+
+// TokenType identifies the lexical class of a token.
+type TokenType int
+
+// Token types produced by the lexer.
+const (
+	TokenEOF TokenType = iota
+	TokenIdent
+	TokenNumber
+	TokenString   // quoted string literal, possibly with interpolations
+	TokenHeredoc  // <<EOT ... EOT raw string
+	TokenLBrace   // {
+	TokenRBrace   // }
+	TokenLBracket // [
+	TokenRBracket // ]
+	TokenLParen   // (
+	TokenRParen   // )
+	TokenComma    // ,
+	TokenDot      // .
+	TokenColon    // :
+	TokenAssign   // =
+	TokenArrow    // =>
+	TokenPlus     // +
+	TokenMinus    // -
+	TokenStar     // *
+	TokenSlash    // /
+	TokenPercent  // %
+	TokenEq       // ==
+	TokenNotEq    // !=
+	TokenLT       // <
+	TokenGT       // >
+	TokenLTE      // <=
+	TokenGTE      // >=
+	TokenAnd      // &&
+	TokenOr       // ||
+	TokenBang     // !
+	TokenQuestion // ?
+	TokenEllipsis // ...
+	TokenNewline  // significant newline (attribute separator)
+	TokenInvalid
+)
+
+var tokenNames = map[TokenType]string{
+	TokenEOF:      "end of file",
+	TokenIdent:    "identifier",
+	TokenNumber:   "number",
+	TokenString:   "string",
+	TokenHeredoc:  "heredoc",
+	TokenLBrace:   `"{"`,
+	TokenRBrace:   `"}"`,
+	TokenLBracket: `"["`,
+	TokenRBracket: `"]"`,
+	TokenLParen:   `"("`,
+	TokenRParen:   `")"`,
+	TokenComma:    `","`,
+	TokenDot:      `"."`,
+	TokenColon:    `":"`,
+	TokenAssign:   `"="`,
+	TokenArrow:    `"=>"`,
+	TokenPlus:     `"+"`,
+	TokenMinus:    `"-"`,
+	TokenStar:     `"*"`,
+	TokenSlash:    `"/"`,
+	TokenPercent:  `"%"`,
+	TokenEq:       `"=="`,
+	TokenNotEq:    `"!="`,
+	TokenLT:       `"<"`,
+	TokenGT:       `">"`,
+	TokenLTE:      `"<="`,
+	TokenGTE:      `">="`,
+	TokenAnd:      `"&&"`,
+	TokenOr:       `"||"`,
+	TokenBang:     `"!"`,
+	TokenQuestion: `"?"`,
+	TokenEllipsis: `"..."`,
+	TokenNewline:  "newline",
+	TokenInvalid:  "invalid token",
+}
+
+// String returns a human-readable name for the token type.
+func (t TokenType) String() string {
+	if n, ok := tokenNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("TokenType(%d)", int(t))
+}
+
+// Token is a single lexeme with its source range.
+type Token struct {
+	Type  TokenType
+	Text  string // raw source text of the token
+	Range Range
+}
+
+// String renders the token for debugging.
+func (t Token) String() string {
+	return fmt.Sprintf("%s %q @%s", t.Type, t.Text, t.Range)
+}

@@ -1,0 +1,477 @@
+package plan
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"cloudless/internal/cloud"
+	"cloudless/internal/config"
+	"cloudless/internal/eval"
+	"cloudless/internal/graph"
+	"cloudless/internal/hcl"
+	"cloudless/internal/schema"
+	"cloudless/internal/state"
+)
+
+// Action is what the applier must do for one instance.
+type Action int
+
+// Actions.
+const (
+	ActionNoop Action = iota
+	ActionCreate
+	ActionUpdate
+	ActionReplace
+	ActionDelete
+)
+
+var actionNames = map[Action]string{
+	ActionNoop:    "no-op",
+	ActionCreate:  "create",
+	ActionUpdate:  "update",
+	ActionReplace: "replace",
+	ActionDelete:  "delete",
+}
+
+// String names the action.
+func (a Action) String() string { return actionNames[a] }
+
+// Change is one planned operation on one resource instance.
+type Change struct {
+	Addr   string
+	Action Action
+	Type   string
+	Region string
+	// ID is the existing cloud ID for update/replace/delete.
+	ID string
+	// Before is the prior attribute set (nil for create).
+	Before map[string]eval.Value
+	// After is the desired attribute set; values referencing not-yet-created
+	// resources are Unknown and resolve during apply.
+	After map[string]eval.Value
+	// ChangedAttrs lists attributes that differ, sorted.
+	ChangedAttrs []string
+	// ForcedBy lists the ForceNew attributes that escalate to replacement.
+	ForcedBy []string
+	// Instance is the configuration instance (nil for pure deletes).
+	Instance *config.Instance
+	// Deps are resource-level dependency addresses (from config for
+	// create/update, from state for delete).
+	Deps []string
+}
+
+// Plan is the full execution plan.
+type Plan struct {
+	Changes map[string]*Change
+	// Graph covers exactly the non-noop changes.
+	Graph *graph.Graph
+	// Values is the value store seeded during planning; the applier
+	// continues filling it.
+	Values *ValueStore
+	// PriorState is the (possibly refreshed) state planning ran against.
+	PriorState *state.State
+	// Stats.
+	Creates, Updates, Replaces, Deletes, Noops int
+	// RefreshReads counts cloud Get calls spent refreshing state.
+	RefreshReads int
+	// EvaluatedInstances counts instances whose attributes were evaluated
+	// (the incremental planner's savings show up here).
+	EvaluatedInstances int
+}
+
+// Options control planning.
+type Options struct {
+	// Refresh re-reads every (in-scope) state entry from the cloud before
+	// diffing. The baseline always refreshes everything.
+	Refresh bool
+	// Cloud is required when Refresh is set.
+	Cloud cloud.Interface
+	// ImpactScope, when non-nil, confines planning to the given
+	// resource-level addresses plus their transitive dependents; everything
+	// else is assumed unchanged (the §3.3 incremental optimization).
+	ImpactScope []string
+}
+
+// Compute builds a plan for the expansion against the prior state.
+func Compute(ctx context.Context, ex *config.Expansion, prior *state.State, opts Options) (*Plan, hcl.Diagnostics) {
+	var diags hcl.Diagnostics
+	if prior == nil {
+		prior = state.New()
+	}
+	p := &Plan{
+		Changes: map[string]*Change{},
+		Graph:   graph.New(),
+		Values:  NewValueStore(ex),
+	}
+
+	// Resource-level dependency graph over configuration, used for
+	// topological evaluation order and impact scoping.
+	cfgGraph := graph.New()
+	for _, inst := range ex.Instances {
+		cfgGraph.AddNode(inst.ResourceAddr())
+	}
+	for _, inst := range ex.Instances {
+		for _, dep := range inst.DependsOn {
+			if cfgGraph.HasNode(dep) {
+				if err := cfgGraph.AddEdge(inst.ResourceAddr(), dep); err != nil {
+					diags = diags.Append(hcl.Errorf(inst.DeclRange, "dependency error: %s", err))
+				}
+			}
+		}
+	}
+	if err := cfgGraph.Validate(); err != nil {
+		return p, diags.Append(hcl.Errorf(hcl.Range{}, "configuration has a dependency cycle: %s", err))
+	}
+
+	// Impact scope: the set of resource-level addresses we must (re)plan.
+	var scope map[string]struct{}
+	if opts.ImpactScope != nil {
+		scope = cfgGraph.ImpactScope(opts.ImpactScope...)
+	}
+	inScope := func(resourceAddr string) bool {
+		if scope == nil {
+			return true
+		}
+		_, ok := scope[resourceAddr]
+		return ok
+	}
+
+	// Refresh. The full planner refreshes every state entry; the
+	// incremental planner only those in scope.
+	prior = prior.Clone()
+	if opts.Refresh {
+		if opts.Cloud == nil {
+			return p, diags.Append(hcl.Errorf(hcl.Range{}, "refresh requested without a cloud connection"))
+		}
+		for _, addr := range prior.Addrs() {
+			rs := prior.Get(addr)
+			resourceAddr := addr
+			if idx := indexOfBracket(addr); idx >= 0 {
+				resourceAddr = addr[:idx]
+			}
+			if !inScope(resourceAddr) {
+				continue
+			}
+			cur, err := opts.Cloud.Get(ctx, rs.Type, rs.ID)
+			p.RefreshReads++
+			switch {
+			case cloud.IsNotFound(err):
+				prior.Remove(addr) // gone out-of-band; will be recreated
+			case err != nil:
+				diags = diags.Append(hcl.Errorf(hcl.Range{}, "refresh %s: %s", addr, err))
+			default:
+				rs.Attrs = cur.Attrs
+				rs.Region = cur.Region
+			}
+		}
+		if diags.HasErrors() {
+			return p, diags
+		}
+	}
+	p.PriorState = prior
+
+	// Evaluate instances in dependency order and decide actions.
+	order, err := cfgGraph.TopoSort()
+	if err != nil {
+		return p, diags.Append(hcl.Errorf(hcl.Range{}, "cycle: %s", err))
+	}
+	instByResource := map[string][]*config.Instance{}
+	for _, inst := range ex.Instances {
+		r := inst.ResourceAddr()
+		instByResource[r] = append(instByResource[r], inst)
+	}
+
+	for _, resourceAddr := range order {
+		for _, inst := range instByResource[resourceAddr] {
+			if inst.Mode == config.DataMode {
+				// Data sources are read locally at plan time.
+				p.Values.Set(inst.Addr, dataSourceValue(inst, ex))
+				continue
+			}
+			prior_ := prior.Get(inst.Addr)
+			if !inScope(resourceAddr) {
+				// Outside the impact scope: assume unchanged; expose the
+				// recorded state value.
+				if prior_ != nil {
+					p.Values.Set(inst.Addr, eval.Object(prior_.Attrs))
+					p.Noops++
+				}
+				continue
+			}
+			change, d := p.diffInstance(inst, prior_)
+			diags = diags.Extend(d)
+			if d.HasErrors() {
+				continue
+			}
+			p.record(change)
+		}
+	}
+
+	// Deletions: state entries with no configuration instance.
+	for _, addr := range prior.Addrs() {
+		if _, exists := ex.ByAddr[addr]; exists {
+			continue
+		}
+		resourceAddr := addr
+		if idx := indexOfBracket(addr); idx >= 0 {
+			resourceAddr = addr[:idx]
+		}
+		if scope != nil && !inScope(resourceAddr) {
+			// An orphan outside the scope is still an orphan; incremental
+			// plans pick it up only when scoped to it. Skip.
+			continue
+		}
+		rs := prior.Get(addr)
+		p.record(&Change{
+			Addr: addr, Action: ActionDelete, Type: rs.Type, Region: rs.Region,
+			ID: rs.ID, Before: rs.Attrs, Deps: rs.Dependencies,
+		})
+	}
+
+	diags = diags.Extend(p.buildGraph(ex, prior))
+	return p, diags
+}
+
+func indexOfBracket(s string) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '[' {
+			return i
+		}
+	}
+	return -1
+}
+
+// diffInstance evaluates desired attributes and compares with prior state.
+func (p *Plan) diffInstance(inst *config.Instance, prior *state.ResourceState) (*Change, hcl.Diagnostics) {
+	rs, _ := schema.LookupResource(inst.Type)
+	desired, diags := p.Values.EvaluateAttrs(inst)
+	if diags.HasErrors() {
+		return nil, diags
+	}
+	p.EvaluatedInstances++
+	// Apply schema defaults so the diff compares what the cloud will hold.
+	if rs != nil {
+		for name, a := range rs.Attrs {
+			if _, set := desired[name]; !set && a.HasDefault {
+				desired[name] = a.Default
+			}
+		}
+	}
+
+	ch := &Change{
+		Addr: inst.Addr, Type: inst.Type, Region: inst.Region,
+		After: desired, Instance: inst, Deps: inst.DependsOn,
+	}
+
+	if prior == nil {
+		ch.Action = ActionCreate
+		// Expose the post-create value: configured attrs plus unknown
+		// computed attributes.
+		p.Values.Set(inst.Addr, postApplyValue(rs, desired, nil))
+		return ch, diags
+	}
+
+	ch.ID = prior.ID
+	ch.Before = prior.Attrs
+	for name, want := range desired {
+		have, exists := prior.Attrs[name]
+		if want.IsUnknown() {
+			// Cannot prove equality yet; treat as a potential change that
+			// the applier re-checks once the value resolves.
+			ch.ChangedAttrs = append(ch.ChangedAttrs, name)
+			continue
+		}
+		if !exists || !have.Equal(want) {
+			ch.ChangedAttrs = append(ch.ChangedAttrs, name)
+			if a := rs.Attr(name); a != nil && a.ForceNew {
+				ch.ForcedBy = append(ch.ForcedBy, name)
+			}
+		}
+	}
+	sort.Strings(ch.ChangedAttrs)
+	sort.Strings(ch.ForcedBy)
+
+	switch {
+	case len(ch.ChangedAttrs) == 0:
+		ch.Action = ActionNoop
+		p.Values.Set(inst.Addr, eval.Object(prior.Attrs))
+	case len(ch.ForcedBy) > 0:
+		ch.Action = ActionReplace
+		p.Values.Set(inst.Addr, postApplyValue(rs, desired, nil))
+	default:
+		ch.Action = ActionUpdate
+		// Computed attrs keep their current values across in-place update.
+		p.Values.Set(inst.Addr, postApplyValue(rs, desired, prior.Attrs))
+	}
+	return ch, diags
+}
+
+// postApplyValue predicts the instance's object value after apply: desired
+// attributes plus computed attributes (known from prior state for updates,
+// unknown otherwise).
+func postApplyValue(rs *schema.ResourceSchema, desired, priorAttrs map[string]eval.Value) eval.Value {
+	obj := make(map[string]eval.Value, len(desired)+4)
+	for k, v := range desired {
+		obj[k] = v
+	}
+	if rs != nil {
+		for name, a := range rs.Attrs {
+			if !a.Computed {
+				continue
+			}
+			if priorAttrs != nil {
+				if v, ok := priorAttrs[name]; ok {
+					obj[name] = v
+					continue
+				}
+			}
+			obj[name] = eval.Unknown
+		}
+	}
+	return eval.Object(obj)
+}
+
+func (p *Plan) record(ch *Change) {
+	if ch == nil {
+		return
+	}
+	p.Changes[ch.Addr] = ch
+	switch ch.Action {
+	case ActionCreate:
+		p.Creates++
+	case ActionUpdate:
+		p.Updates++
+	case ActionReplace:
+		p.Replaces++
+	case ActionDelete:
+		p.Deletes++
+	case ActionNoop:
+		p.Noops++
+	}
+}
+
+// buildGraph wires the execution graph over non-noop changes.
+func (p *Plan) buildGraph(ex *config.Expansion, prior *state.State) hcl.Diagnostics {
+	var diags hcl.Diagnostics
+	active := func(addr string) bool {
+		ch, ok := p.Changes[addr]
+		return ok && ch.Action != ActionNoop
+	}
+	// Instance addresses per resource-level address, across config & state.
+	instancesOf := map[string][]string{}
+	note := func(addr string) {
+		r := addr
+		if idx := indexOfBracket(addr); idx >= 0 {
+			r = addr[:idx]
+		}
+		instancesOf[r] = append(instancesOf[r], addr)
+	}
+	for addr := range p.Changes {
+		note(addr)
+	}
+
+	for addr, ch := range p.Changes {
+		if ch.Action == ActionNoop {
+			continue
+		}
+		p.Graph.AddNode(addr)
+		for _, depResource := range ch.Deps {
+			for _, depInst := range instancesOf[depResource] {
+				if !active(depInst) || depInst == addr {
+					continue
+				}
+				depCh := p.Changes[depInst]
+				if ch.Action == ActionDelete && depCh.Action == ActionDelete {
+					// Destroy order is the reverse of create order: the
+					// dependent (this resource's user) must go first. Here
+					// ch depends on depInst in config terms, so for deletes
+					// the edge flips: depInst waits for ch.
+					if err := p.Graph.AddEdge(depInst, addr); err != nil {
+						diags = diags.Append(hcl.Errorf(hcl.Range{}, "graph: %s", err))
+					}
+					continue
+				}
+				if err := p.Graph.AddEdge(addr, depInst); err != nil {
+					diags = diags.Append(hcl.Errorf(hcl.Range{}, "graph: %s", err))
+				}
+			}
+		}
+	}
+
+	// A delete of an instance that others still depend on (shrinking count)
+	// must wait for those dependents' updates; conversely creates that
+	// reference deleted resources are configuration errors surfaced by the
+	// cloud. Keep the graph acyclic check as the final guard.
+	if err := p.Graph.Validate(); err != nil {
+		diags = diags.Append(hcl.Errorf(hcl.Range{}, "plan graph: %s", err))
+	}
+	return diags
+}
+
+// PendingCount returns the number of operations the applier will perform.
+func (p *Plan) PendingCount() int {
+	return p.Creates + p.Updates + p.Replaces + p.Deletes
+}
+
+// Costs returns the estimated duration of each graph node from the schema's
+// latency model, for critical-path scheduling.
+func (p *Plan) Costs() func(addr string) time.Duration {
+	return func(addr string) time.Duration {
+		ch, ok := p.Changes[addr]
+		if !ok {
+			return 0
+		}
+		rs, ok := schema.LookupResource(ch.Type)
+		if !ok {
+			return time.Second
+		}
+		switch ch.Action {
+		case ActionCreate:
+			return rs.ProvisionTime
+		case ActionUpdate:
+			return rs.UpdateTime
+		case ActionReplace:
+			return rs.DeleteTime + rs.ProvisionTime
+		case ActionDelete:
+			return rs.DeleteTime
+		default:
+			return 0
+		}
+	}
+}
+
+// Summary renders a one-line plan summary like "3 to add, 1 to change,
+// 0 to destroy".
+func (p *Plan) Summary() string {
+	return fmt.Sprintf("%d to add, %d to change, %d to replace, %d to destroy (%d unchanged)",
+		p.Creates, p.Updates, p.Replaces, p.Deletes, p.Noops)
+}
+
+// dataSourceValue evaluates a data source locally: the simulated providers'
+// data sources are pure functions of provider configuration.
+func dataSourceValue(inst *config.Instance, ex *config.Expansion) eval.Value {
+	region := inst.Region
+	switch inst.Type {
+	case "aws_region", "azure_location":
+		return eval.Object(map[string]eval.Value{"name": eval.String(region)})
+	case "aws_availability_zones":
+		return eval.Object(map[string]eval.Value{
+			"region": eval.String(region),
+			"names":  eval.Strings(region+"a", region+"b", region+"c"),
+		})
+	default:
+		rs, ok := schema.LookupResource(inst.Type)
+		if !ok {
+			return eval.Unknown
+		}
+		obj := map[string]eval.Value{}
+		for name, a := range rs.Attrs {
+			if a.Computed {
+				obj[name] = eval.String(name + "-" + region)
+			}
+		}
+		return eval.Object(obj)
+	}
+}

@@ -1,0 +1,438 @@
+// Package plan computes execution plans: it diffs the desired configuration
+// against recorded state, decides create/update/replace/delete actions,
+// builds the dependency graph over pending changes, and — the §3.3
+// optimization — supports incremental planning that confines evaluation and
+// state refresh to the impact scope of a change.
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"cloudless/internal/config"
+	"cloudless/internal/eval"
+	"cloudless/internal/hcl"
+)
+
+// Addr decomposes an instance address.
+type Addr struct {
+	ModulePath string // "" for root
+	Data       bool
+	Type       string
+	Name       string
+	// Key is the instance key: nil, int, or string.
+	Key any
+}
+
+// ParseAddr parses addresses like `module.net.aws_subnet.s[2]` or
+// `data.aws_region.current`.
+func ParseAddr(addr string) (Addr, error) {
+	var out Addr
+	rest := addr
+	if idx := strings.IndexByte(rest, '['); idx >= 0 {
+		if !strings.HasSuffix(rest, "]") || len(rest)-1 <= idx+1 {
+			return out, fmt.Errorf("malformed address %q", addr)
+		}
+		keyRaw := rest[idx+1 : len(rest)-1]
+		rest = rest[:idx]
+		if strings.HasPrefix(keyRaw, `"`) {
+			s, err := strconv.Unquote(keyRaw)
+			if err != nil {
+				return out, fmt.Errorf("malformed key in address %q", addr)
+			}
+			out.Key = s
+		} else {
+			n, err := strconv.Atoi(keyRaw)
+			if err != nil {
+				return out, fmt.Errorf("malformed index in address %q", addr)
+			}
+			out.Key = n
+		}
+	}
+	parts := strings.Split(rest, ".")
+	if len(parts) >= 2 && parts[0] == "module" {
+		out.ModulePath = parts[1]
+		parts = parts[2:]
+	}
+	if len(parts) >= 1 && parts[0] == "data" {
+		out.Data = true
+		parts = parts[1:]
+	}
+	if len(parts) != 2 {
+		return out, fmt.Errorf("malformed address %q", addr)
+	}
+	out.Type, out.Name = parts[0], parts[1]
+	return out, nil
+}
+
+// groupKey identifies one resource-level group within a module.
+type groupKey struct {
+	data bool
+	typ  string
+	name string
+}
+
+// memberRef locates an instance within the group index.
+type memberRef struct {
+	modulePath string
+	gk         groupKey
+	keyRepr    string
+	key        any // nil, int, or string
+}
+
+// ValueStore holds the evaluated object value of every resource instance and
+// provides evaluation scopes that expose them to expressions. It is safe for
+// concurrent use (the applier writes from many workers).
+//
+// Scope roots are cached at group granularity: Set(addr) re-assembles only
+// the group containing addr and marks its root dirty, so building N scopes
+// interleaved with N writes costs O(N·groupSize) instead of O(N²) — the
+// difference between a 100-resource plan taking milliseconds and taking
+// seconds.
+type ValueStore struct {
+	mu   sync.Mutex
+	vals map[string]eval.Value // instance addr -> object value
+	ex   *config.Expansion
+
+	// Static index, built once from the expansion.
+	memberOf map[string]memberRef
+	groups   map[string]map[groupKey][]memberRef // modulePath -> group -> members
+
+	// Caches.
+	assembled    map[string]map[groupKey]eval.Value // group value cache
+	roots        map[string]map[string]eval.Value   // modulePath -> root name -> value
+	dirtyRoots   map[string]map[string]bool         // modulePath -> root name -> dirty
+	moduleDirty  bool                               // "module" root of the root module
+	moduleCached eval.Value
+}
+
+// NewValueStore builds a store for an expansion.
+func NewValueStore(ex *config.Expansion) *ValueStore {
+	vs := &ValueStore{
+		vals:        map[string]eval.Value{},
+		ex:          ex,
+		memberOf:    map[string]memberRef{},
+		groups:      map[string]map[groupKey][]memberRef{},
+		assembled:   map[string]map[groupKey]eval.Value{},
+		roots:       map[string]map[string]eval.Value{},
+		dirtyRoots:  map[string]map[string]bool{},
+		moduleDirty: true,
+	}
+	for _, inst := range ex.Instances {
+		pa, err := ParseAddr(inst.Addr)
+		if err != nil {
+			continue
+		}
+		ref := memberRef{
+			modulePath: inst.ModulePath,
+			gk:         groupKey{data: pa.Data, typ: pa.Type, name: pa.Name},
+			keyRepr:    fmt.Sprintf("%v", pa.Key),
+			key:        pa.Key,
+		}
+		vs.memberOf[inst.Addr] = ref
+		if vs.groups[ref.modulePath] == nil {
+			vs.groups[ref.modulePath] = map[groupKey][]memberRef{}
+			vs.assembled[ref.modulePath] = map[groupKey]eval.Value{}
+			vs.dirtyRoots[ref.modulePath] = map[string]bool{}
+			vs.roots[ref.modulePath] = map[string]eval.Value{}
+		}
+		vs.groups[ref.modulePath][ref.gk] = append(vs.groups[ref.modulePath][ref.gk], ref)
+	}
+	// Everything starts dirty (all values unknown).
+	for mp, byGroup := range vs.groups {
+		for gk := range byGroup {
+			vs.markDirtyLocked(mp, gk)
+		}
+	}
+	return vs
+}
+
+func rootNameOf(gk groupKey) string {
+	if gk.data {
+		return "data"
+	}
+	return gk.typ
+}
+
+func (vs *ValueStore) markDirtyLocked(modulePath string, gk groupKey) {
+	delete(vs.assembled[modulePath], gk)
+	vs.dirtyRoots[modulePath][rootNameOf(gk)] = true
+	if modulePath != "" {
+		vs.moduleDirty = true
+	}
+}
+
+// assembleGroupLocked computes the value of one group: a single object,
+// an index-ordered list, or a key-addressed map.
+func (vs *ValueStore) assembleGroupLocked(modulePath string, gk groupKey) eval.Value {
+	if v, ok := vs.assembled[modulePath][gk]; ok {
+		return v
+	}
+	members := vs.groups[modulePath][gk]
+	var out eval.Value
+	switch members[0].key.(type) {
+	case nil:
+		out = vs.valueOfLocked(modulePath, gk, members[0])
+	case int:
+		maxIdx := -1
+		for _, m := range members {
+			if i := m.key.(int); i > maxIdx {
+				maxIdx = i
+			}
+		}
+		list := make([]eval.Value, maxIdx+1)
+		for i := range list {
+			list[i] = eval.Unknown
+		}
+		for _, m := range members {
+			list[m.key.(int)] = vs.valueOfLocked(modulePath, gk, m)
+		}
+		out = eval.ListOf(list)
+	case string:
+		obj := map[string]eval.Value{}
+		for _, m := range members {
+			obj[m.key.(string)] = vs.valueOfLocked(modulePath, gk, m)
+		}
+		out = eval.Object(obj)
+	}
+	vs.assembled[modulePath][gk] = out
+	return out
+}
+
+func (vs *ValueStore) valueOfLocked(modulePath string, gk groupKey, m memberRef) eval.Value {
+	addr := instanceAddr(modulePath, gk, m)
+	if v, ok := vs.vals[addr]; ok {
+		return v
+	}
+	return eval.Unknown
+}
+
+func instanceAddr(modulePath string, gk groupKey, m memberRef) string {
+	base := gk.typ + "." + gk.name
+	if gk.data {
+		base = "data." + base
+	}
+	if modulePath != "" {
+		base = "module." + modulePath + "." + base
+	}
+	switch k := m.key.(type) {
+	case nil:
+		return base
+	case int:
+		return fmt.Sprintf("%s[%d]", base, k)
+	default:
+		return fmt.Sprintf("%s[%q]", base, k)
+	}
+}
+
+// refreshRootsLocked rebuilds the dirty root objects of one module.
+func (vs *ValueStore) refreshRootsLocked(modulePath string) {
+	dirty := vs.dirtyRoots[modulePath]
+	if len(dirty) == 0 {
+		return
+	}
+	for rootName := range dirty {
+		byName := map[string]eval.Value{}
+		if rootName == "data" {
+			byType := map[string]map[string]eval.Value{}
+			for gk := range vs.groups[modulePath] {
+				if !gk.data {
+					continue
+				}
+				if byType[gk.typ] == nil {
+					byType[gk.typ] = map[string]eval.Value{}
+				}
+				byType[gk.typ][gk.name] = vs.assembleGroupLocked(modulePath, gk)
+			}
+			dr := map[string]eval.Value{}
+			for typ, names := range byType {
+				dr[typ] = eval.Object(names)
+			}
+			vs.roots[modulePath]["data"] = eval.Object(dr)
+			continue
+		}
+		for gk := range vs.groups[modulePath] {
+			if gk.data || gk.typ != rootName {
+				continue
+			}
+			byName[gk.name] = vs.assembleGroupLocked(modulePath, gk)
+		}
+		vs.roots[modulePath][rootName] = eval.Object(byName)
+	}
+	vs.dirtyRoots[modulePath] = map[string]bool{}
+}
+
+// NewEmptyValueStore builds a store with no configuration behind it, used
+// by destroy plans that never evaluate expressions.
+func NewEmptyValueStore() *ValueStore {
+	return NewValueStore(&config.Expansion{ByAddr: map[string]*config.Instance{}})
+}
+
+// RootOutputs exposes the expansion's root output specs.
+func (vs *ValueStore) RootOutputs() map[string]*config.OutputSpec {
+	if vs.ex == nil || vs.ex.Outputs == nil {
+		return nil
+	}
+	return vs.ex.Outputs
+}
+
+// OutputValue evaluates an output spec against current values.
+func (vs *ValueStore) OutputValue(spec *config.OutputSpec) eval.Value {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	return vs.evaluateOutputLocked(spec)
+}
+
+// ResourceAddrOf strips the instance key from an address.
+func ResourceAddrOf(addr string) string {
+	if i := strings.IndexByte(addr, '['); i >= 0 {
+		return addr[:i]
+	}
+	return addr
+}
+
+// Set records the current object value of an instance and invalidates the
+// caches covering it.
+func (vs *ValueStore) Set(addr string, v eval.Value) {
+	vs.mu.Lock()
+	vs.vals[addr] = v
+	if ref, ok := vs.memberOf[addr]; ok {
+		vs.markDirtyLocked(ref.modulePath, ref.gk)
+	}
+	vs.mu.Unlock()
+}
+
+// Get returns the instance's object value, or false.
+func (vs *ValueStore) Get(addr string) (eval.Value, bool) {
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+	v, ok := vs.vals[addr]
+	return v, ok
+}
+
+// ScopeFor builds the evaluation context for an instance: its configuration
+// scope (vars, locals, count/each) extended with every resource, data
+// source, and module output visible from its module. Root objects come from
+// the group cache; only groups written since the last call are reassembled.
+func (vs *ValueStore) ScopeFor(inst *config.Instance) *eval.Context {
+	scope := inst.Scope.Child()
+	vs.mu.Lock()
+	defer vs.mu.Unlock()
+
+	vs.refreshRootsLocked(inst.ModulePath)
+	for rootName, v := range vs.roots[inst.ModulePath] {
+		scope.Variables[rootName] = v
+	}
+	if _, ok := scope.Variables["data"]; !ok {
+		scope.Variables["data"] = eval.Object(nil)
+	}
+
+	// Module outputs are visible from the root module only.
+	if inst.ModulePath == "" && len(vs.ex.ModuleOutputs) > 0 {
+		if vs.moduleDirty {
+			modRoot := map[string]eval.Value{}
+			for callName, outs := range vs.ex.ModuleOutputs {
+				outVals := map[string]eval.Value{}
+				for name, spec := range outs {
+					outVals[name] = vs.evaluateOutputLocked(spec)
+				}
+				modRoot[callName] = eval.Object(outVals)
+			}
+			vs.moduleCached = eval.Object(modRoot)
+			vs.moduleDirty = false
+		}
+		scope.Variables["module"] = vs.moduleCached
+	}
+	return scope
+}
+
+// evaluateOutputLocked computes a module output against current values.
+// Callers hold vs.mu (at least RLock); the nested ScopeFor-like assembly is
+// done through a pseudo instance bound to the module path.
+func (vs *ValueStore) evaluateOutputLocked(spec *config.OutputSpec) eval.Value {
+	// Build a minimal scope: the module's own resources.
+	scope := spec.Scope.Child()
+	roots := map[string]map[string]map[string]eval.Value{} // type -> name -> key -> val
+	for _, other := range vs.ex.Instances {
+		if other.ModulePath != spec.ModulePath {
+			continue
+		}
+		pa, err := ParseAddr(other.Addr)
+		if err != nil || pa.Data {
+			continue
+		}
+		v, ok := vs.vals[other.Addr]
+		if !ok {
+			v = eval.Unknown
+		}
+		if roots[pa.Type] == nil {
+			roots[pa.Type] = map[string]map[string]eval.Value{}
+		}
+		if roots[pa.Type][pa.Name] == nil {
+			roots[pa.Type][pa.Name] = map[string]eval.Value{}
+		}
+		roots[pa.Type][pa.Name][fmt.Sprintf("%v", pa.Key)] = v
+	}
+	for typ, byName := range roots {
+		obj := map[string]eval.Value{}
+		for name, members := range byName {
+			if v, single := members["<nil>"]; single && len(members) == 1 {
+				obj[name] = v
+				continue
+			}
+			// Indexed: decide list vs map by key shape.
+			isList := true
+			for k := range members {
+				if _, err := strconv.Atoi(k); err != nil {
+					isList = false
+					break
+				}
+			}
+			if isList {
+				keys := make([]int, 0, len(members))
+				for k := range members {
+					n, _ := strconv.Atoi(k)
+					keys = append(keys, n)
+				}
+				sort.Ints(keys)
+				list := make([]eval.Value, len(keys))
+				for i, k := range keys {
+					list[i] = members[strconv.Itoa(k)]
+				}
+				obj[name] = eval.ListOf(list)
+			} else {
+				m := map[string]eval.Value{}
+				for k, v := range members {
+					m[k] = v
+				}
+				obj[name] = eval.Object(m)
+			}
+		}
+		scope.Variables[typ] = eval.Object(obj)
+	}
+	v, diags := eval.Evaluate(spec.Expr, scope)
+	if diags.HasErrors() {
+		return eval.Unknown
+	}
+	return v
+}
+
+// EvaluateAttrs computes the concrete attribute values of an instance under
+// the current value store, returning per-attribute diagnostics.
+func (vs *ValueStore) EvaluateAttrs(inst *config.Instance) (map[string]eval.Value, hcl.Diagnostics) {
+	scope := vs.ScopeFor(inst)
+	out := make(map[string]eval.Value, len(inst.Attrs))
+	var diags hcl.Diagnostics
+	for name, expr := range inst.Attrs {
+		v, d := eval.Evaluate(expr, scope)
+		diags = diags.Extend(d)
+		if d.HasErrors() {
+			continue
+		}
+		out[name] = v
+	}
+	return out, diags
+}

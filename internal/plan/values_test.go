@@ -1,0 +1,156 @@
+package plan
+
+import (
+	"testing"
+
+	"cloudless/internal/config"
+	"cloudless/internal/eval"
+)
+
+func expandForValues(t *testing.T, src string) *config.Expansion {
+	t.Helper()
+	m, diags := config.Load(map[string]string{"main.ccl": src})
+	if diags.HasErrors() {
+		t.Fatal(diags.Error())
+	}
+	ex, diags := config.Expand(m, nil, nil)
+	if diags.HasErrors() {
+		t.Fatal(diags.Error())
+	}
+	return ex
+}
+
+const valuesConfig = `
+resource "aws_vpc" "main" {
+  name       = "main"
+  cidr_block = "10.0.0.0/16"
+}
+
+resource "aws_subnet" "s" {
+  count      = 3
+  vpc_id     = aws_vpc.main.id
+  cidr_block = "10.0.1.0/24"
+}
+
+resource "aws_storage_bucket" "kv" {
+  for_each = { a = "x", b = "y" }
+  name     = "bucket-${each.key}"
+}
+
+data "aws_region" "current" {}
+`
+
+func TestValueStoreCacheInvalidation(t *testing.T) {
+	ex := expandForValues(t, valuesConfig)
+	vs := NewValueStore(ex)
+	vpc := ex.ByAddr["aws_vpc.main"]
+
+	// Before any write, everything is unknown.
+	scope := vs.ScopeFor(vpc)
+	v, _ := scope.Lookup("aws_vpc")
+	got, err := v.GetAttr("main")
+	if err != nil || !got.IsUnknown() {
+		t.Fatalf("pre-write value = %v, %v", got, err)
+	}
+
+	// Write, then the scope must expose the new value (cache invalidated).
+	vs.Set("aws_vpc.main", eval.Object(map[string]eval.Value{"id": eval.String("vpc-1")}))
+	scope = vs.ScopeFor(vpc)
+	v, _ = scope.Lookup("aws_vpc")
+	got, _ = v.GetAttr("main")
+	id, err := got.GetAttr("id")
+	if err != nil || id.AsString() != "vpc-1" {
+		t.Fatalf("post-write id = %v, %v", id, err)
+	}
+
+	// Unrelated groups stay assembled across further writes: writing subnet
+	// values must not disturb the vpc root.
+	vs.Set("aws_subnet.s[1]", eval.Object(map[string]eval.Value{"id": eval.String("sub-1")}))
+	scope = vs.ScopeFor(vpc)
+	v, _ = scope.Lookup("aws_vpc")
+	got, _ = v.GetAttr("main")
+	if id, _ := got.GetAttr("id"); id.AsString() != "vpc-1" {
+		t.Fatal("vpc value lost after unrelated write")
+	}
+}
+
+func TestValueStoreCountGroupAssembly(t *testing.T) {
+	ex := expandForValues(t, valuesConfig)
+	vs := NewValueStore(ex)
+	vs.Set("aws_subnet.s[0]", eval.Object(map[string]eval.Value{"id": eval.String("sub-0")}))
+	vs.Set("aws_subnet.s[2]", eval.Object(map[string]eval.Value{"id": eval.String("sub-2")}))
+
+	scope := vs.ScopeFor(ex.ByAddr["aws_vpc.main"])
+	root, _ := scope.Lookup("aws_subnet")
+	group, err := root.GetAttr("s")
+	if err != nil || group.Kind() != eval.KindList {
+		t.Fatalf("subnet group = %v, %v", group, err)
+	}
+	list := group.AsList()
+	if len(list) != 3 {
+		t.Fatalf("list len = %d", len(list))
+	}
+	if id, _ := list[0].GetAttr("id"); id.AsString() != "sub-0" {
+		t.Errorf("s[0] = %v", list[0])
+	}
+	// The unwritten middle element is unknown, not missing.
+	if !list[1].IsUnknown() {
+		t.Errorf("s[1] = %v, want unknown", list[1])
+	}
+	if id, _ := list[2].GetAttr("id"); id.AsString() != "sub-2" {
+		t.Errorf("s[2] = %v", list[2])
+	}
+}
+
+func TestValueStoreForEachGroupAssembly(t *testing.T) {
+	ex := expandForValues(t, valuesConfig)
+	vs := NewValueStore(ex)
+	vs.Set(`aws_storage_bucket.kv["a"]`, eval.Object(map[string]eval.Value{"id": eval.String("bkt-a")}))
+
+	scope := vs.ScopeFor(ex.ByAddr["aws_vpc.main"])
+	root, _ := scope.Lookup("aws_storage_bucket")
+	group, err := root.GetAttr("kv")
+	if err != nil || group.Kind() != eval.KindObject {
+		t.Fatalf("kv group = %v, %v", group, err)
+	}
+	a, err := group.Index(eval.String("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, _ := a.GetAttr("id"); id.AsString() != "bkt-a" {
+		t.Errorf("kv[a] = %v", a)
+	}
+	b, _ := group.Index(eval.String("b"))
+	if !b.IsUnknown() {
+		t.Errorf("kv[b] = %v, want unknown", b)
+	}
+}
+
+func TestValueStoreDataRoot(t *testing.T) {
+	ex := expandForValues(t, valuesConfig)
+	vs := NewValueStore(ex)
+	vs.Set("data.aws_region.current", eval.Object(map[string]eval.Value{"name": eval.String("us-east-1")}))
+	scope := vs.ScopeFor(ex.ByAddr["aws_vpc.main"])
+	data, ok := scope.Lookup("data")
+	if !ok {
+		t.Fatal("data root missing")
+	}
+	region, err := data.GetAttr("aws_region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, _ := region.GetAttr("current")
+	if name, _ := cur.GetAttr("name"); name.AsString() != "us-east-1" {
+		t.Errorf("data value = %v", cur)
+	}
+}
+
+func TestValueStoreSetUnindexedAddrIsSafe(t *testing.T) {
+	// Destroy plans use an empty store and Set addresses with no
+	// configuration behind them; that must not panic or corrupt anything.
+	vs := NewEmptyValueStore()
+	vs.Set("aws_vpc.ghost", eval.Object(map[string]eval.Value{"id": eval.String("x")}))
+	if v, ok := vs.Get("aws_vpc.ghost"); !ok || v.IsUnknown() {
+		t.Fatalf("get = %v, %v", v, ok)
+	}
+}

@@ -1,0 +1,102 @@
+package policy
+
+import (
+	"cloudless/internal/eval"
+	"cloudless/internal/plan"
+)
+
+// Hourly base cost model in dollars, by resource type, mirroring the rough
+// shape of public cloud pricing. Instance-size multipliers refine VMs and
+// databases. Budget policies reason about these estimates.
+var hourlyBase = map[string]float64{
+	"aws_vpc":                 0,
+	"aws_subnet":              0,
+	"aws_internet_gateway":    0,
+	"aws_route_table":         0,
+	"aws_route":               0,
+	"aws_security_group":      0,
+	"aws_network_interface":   0.005,
+	"aws_nat_gateway":         0.045,
+	"aws_virtual_machine":     0.0104, // t3.micro base
+	"aws_load_balancer":       0.0225,
+	"aws_database_instance":   0.017, // db.t3.micro base
+	"aws_storage_bucket":      0.003,
+	"aws_vpn_gateway":         0.05,
+	"aws_vpn_tunnel":          0.05,
+	"aws_dns_record":          0.0007,
+	"azure_resource_group":    0,
+	"azure_virtual_network":   0,
+	"azure_subnet":            0,
+	"azure_network_interface": 0.004,
+	"azure_public_ip":         0.005,
+	"azure_virtual_machine":   0.0104, // Standard_B1s base
+	"azure_vnet_peering":      0.01,
+	"azure_storage_account":   0.002,
+	"azure_sql_server":        0.02,
+	"azure_vpn_gateway":       0.19,
+}
+
+var sizeMultiplier = map[string]float64{
+	// AWS instance types.
+	"t3.micro": 1, "t3.small": 2, "t3.medium": 4, "m5.large": 9.2, "m5.xlarge": 18.5, "c5.xlarge": 16.3,
+	// Azure VM sizes.
+	"Standard_B1s": 1, "Standard_B2s": 4, "Standard_D2s_v3": 9.2, "Standard_F4s": 19,
+	// Database classes.
+	"db.t3.micro": 1, "db.t3.medium": 4, "db.m5.large": 10,
+	// VPN gateway SKUs.
+	"VpnGw1": 1, "VpnGw2": 2.6, "VpnGw3": 6.6,
+}
+
+const hoursPerMonth = 730
+
+// HourlyCost estimates one resource instance's hourly cost from its type
+// and attributes.
+func HourlyCost(typ string, attrs map[string]eval.Value) float64 {
+	base := hourlyBase[typ]
+	mult := 1.0
+	for _, attr := range []string{"instance_type", "size", "instance_class", "sku"} {
+		if v, ok := attrs[attr]; ok && v.Kind() == eval.KindString {
+			if m, ok := sizeMultiplier[v.AsString()]; ok {
+				mult = m
+			}
+		}
+	}
+	cost := base * mult
+	// Storage scales with capacity.
+	if v, ok := attrs["storage_gb"]; ok && v.Kind() == eval.KindNumber {
+		cost += v.AsNumber() * 0.000158 // ~$0.115/GB-month
+	}
+	if v, ok := attrs["multi_az"]; ok && v.Kind() == eval.KindBool && v.AsBool() {
+		cost *= 2
+	}
+	return cost
+}
+
+// EstimateMonthlyCost estimates the monthly cost of the infrastructure a
+// plan produces: everything that will exist after apply (creates, updates,
+// replaces, and untouched resources), excluding deletions.
+func EstimateMonthlyCost(p *plan.Plan) float64 {
+	total := 0.0
+	for _, ch := range p.Changes {
+		if ch.Action == plan.ActionDelete {
+			continue
+		}
+		attrs := ch.After
+		if ch.Action == plan.ActionNoop {
+			attrs = ch.Before
+		}
+		total += HourlyCost(ch.Type, attrs) * hoursPerMonth
+	}
+	// Resources outside the plan's changes (e.g. out of an incremental
+	// plan's scope) still cost money.
+	if p.PriorState != nil {
+		for _, addr := range p.PriorState.Addrs() {
+			if _, covered := p.Changes[addr]; covered {
+				continue
+			}
+			rs := p.PriorState.Get(addr)
+			total += HourlyCost(rs.Type, rs.Attrs) * hoursPerMonth
+		}
+	}
+	return total
+}

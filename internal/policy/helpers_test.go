@@ -1,0 +1,15 @@
+package policy
+
+import "cloudless/internal/drift"
+
+// driftReport fabricates a drift report with n modifications by one actor.
+func driftReport(n int, actor string) *drift.Report {
+	rep := &drift.Report{Method: "test"}
+	for i := 0; i < n; i++ {
+		rep.Items = append(rep.Items, drift.Item{
+			Kind: drift.Modified, Addr: "aws_vpc.main", Type: "aws_vpc",
+			ID: "vpc-1", ChangedAttrs: []string{"enable_dns"}, Actor: actor,
+		})
+	}
+	return rep
+}

@@ -1,0 +1,193 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+
+	"cloudless/internal/config"
+	"cloudless/internal/eval"
+	"cloudless/internal/hcl"
+)
+
+// TemplateSet learns, per resource type and attribute, the distribution of
+// configured values across a corpus of configurations. New programs are
+// compared against the learned templates: a value that deviates from a
+// dominant convention is flagged as an outlier — the §3.6 "turn policy
+// writing into outlier detection" idea.
+type TemplateSet struct {
+	// counts: type -> attr -> rendered value -> occurrences.
+	counts map[string]map[string]map[string]int
+	// totals: type -> number of instances seen.
+	totals map[string]int
+}
+
+// NewTemplateSet builds an empty template set.
+func NewTemplateSet() *TemplateSet {
+	return &TemplateSet{
+		counts: map[string]map[string]map[string]int{},
+		totals: map[string]int{},
+	}
+}
+
+// Learn ingests every managed instance of an expansion.
+func (ts *TemplateSet) Learn(ex *config.Expansion) {
+	for _, inst := range ex.Instances {
+		if inst.Mode != config.ManagedMode {
+			continue
+		}
+		ts.totals[inst.Type]++
+		for name, val := range staticInstanceAttrs(inst) {
+			if !val.IsKnown() || val.IsNull() {
+				continue
+			}
+			if ts.counts[inst.Type] == nil {
+				ts.counts[inst.Type] = map[string]map[string]int{}
+			}
+			if ts.counts[inst.Type][name] == nil {
+				ts.counts[inst.Type][name] = map[string]int{}
+			}
+			ts.counts[inst.Type][name][val.String()]++
+		}
+	}
+}
+
+// Corpus size for a type.
+func (ts *TemplateSet) Samples(typ string) int { return ts.totals[typ] }
+
+// Convention returns the dominant rendered value for (type, attr) and its
+// share of the corpus, when one exists. The rendered form is valid CCL
+// expression syntax, so generators can parse it straight back — this is how
+// synthesis personalizes its output to an organization's existing programs
+// (the paper's retrieval-augmented generation idea, §3.1).
+func (ts *TemplateSet) Convention(typ, attr string) (value string, share float64, ok bool) {
+	hist := ts.counts[typ][attr]
+	if hist == nil {
+		return "", 0, false
+	}
+	total, domCount := 0, 0
+	for v, c := range hist {
+		total += c
+		if c > domCount || (c == domCount && v < value) {
+			value, domCount = v, c
+		}
+	}
+	if total == 0 {
+		return "", 0, false
+	}
+	return value, float64(domCount) / float64(total), true
+}
+
+// Outlier is one deviation from a learned convention.
+type Outlier struct {
+	Addr string
+	Type string
+	Attr string
+	// Value is the deviating value; Dominant is the corpus convention and
+	// Share its frequency in [0,1].
+	Value    string
+	Dominant string
+	Share    float64
+	Range    hcl.Range
+}
+
+// String renders the outlier.
+func (o Outlier) String() string {
+	return fmt.Sprintf("%s: %s = %s deviates from the convention %s (%.0f%% of corpus)",
+		o.Addr, o.Attr, o.Value, o.Dominant, o.Share*100)
+}
+
+// DetectOptions tune outlier detection.
+type DetectOptions struct {
+	// MinSamples is the minimum corpus size per type before conventions
+	// are trusted (default 5).
+	MinSamples int
+	// DominanceThreshold is the minimum share a value needs to count as
+	// the convention (default 0.8).
+	DominanceThreshold float64
+}
+
+func (o DetectOptions) withDefaults() DetectOptions {
+	if o.MinSamples <= 0 {
+		o.MinSamples = 5
+	}
+	if o.DominanceThreshold <= 0 {
+		o.DominanceThreshold = 0.8
+	}
+	return o
+}
+
+// Detect compares a new configuration against the learned templates.
+func (ts *TemplateSet) Detect(ex *config.Expansion, opts DetectOptions) []Outlier {
+	o := opts.withDefaults()
+	var out []Outlier
+	for _, inst := range ex.Instances {
+		if inst.Mode != config.ManagedMode {
+			continue
+		}
+		if ts.totals[inst.Type] < o.MinSamples {
+			continue
+		}
+		attrs := staticInstanceAttrs(inst)
+		for name, val := range attrs {
+			if !val.IsKnown() || val.IsNull() {
+				continue
+			}
+			hist := ts.counts[inst.Type][name]
+			if hist == nil {
+				continue
+			}
+			domVal, domCount := "", 0
+			total := 0
+			for v, c := range hist {
+				total += c
+				if c > domCount || (c == domCount && v < domVal) {
+					domVal, domCount = v, c
+				}
+			}
+			if total < o.MinSamples {
+				continue
+			}
+			share := float64(domCount) / float64(total)
+			if share < o.DominanceThreshold {
+				continue // no convention to deviate from
+			}
+			if val.String() == domVal {
+				continue
+			}
+			out = append(out, Outlier{
+				Addr: inst.Addr, Type: inst.Type, Attr: name,
+				Value: val.String(), Dominant: domVal, Share: share,
+				Range: inst.AttrRange[name],
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr != out[j].Addr {
+			return out[i].Addr < out[j].Addr
+		}
+		return out[i].Attr < out[j].Attr
+	})
+	return out
+}
+
+// staticInstanceAttrs evaluates an instance's attributes with resource
+// references treated as unknown, like the validator does.
+func staticInstanceAttrs(inst *config.Instance) map[string]eval.Value {
+	out := map[string]eval.Value{}
+	for name, expr := range inst.Attrs {
+		scope := inst.Scope.Child()
+		for _, tr := range expr.Variables() {
+			root := tr.RootName()
+			if _, exists := scope.Lookup(root); !exists {
+				scope.Variables[root] = eval.Unknown
+			}
+		}
+		v, diags := eval.Evaluate(expr, scope)
+		if diags.HasErrors() {
+			out[name] = eval.Unknown
+			continue
+		}
+		out[name] = v
+	}
+	return out
+}

@@ -1,0 +1,255 @@
+// Package policy implements the §3.6 "infrastructure controller": an
+// SDN-controller-like component that enforces user policies across the
+// cloud lifecycle. Policies cleanly separate *observations* (plan statistics,
+// cost estimates, drift events, arbitrary runtime metrics) from *actions*
+// (deny a plan, notify, set a variable, scale a count), and are written in
+// CCL itself rather than a separate Datalog-like language — the paper's
+// "higher-level abstractions for authoring policies".
+package policy
+
+import (
+	"fmt"
+
+	"cloudless/internal/eval"
+	"cloudless/internal/hcl"
+)
+
+// Phase is the lifecycle stage a policy attaches to.
+type Phase int
+
+// Lifecycle phases.
+const (
+	// PhasePlan policies run against a computed plan, before apply
+	// (budget guards, change windows, resource requirements).
+	PhasePlan Phase = iota
+	// PhaseDrift policies run against drift reports.
+	PhaseDrift
+	// PhaseOperate policies run against runtime metric observations
+	// (autoscaling).
+	PhaseOperate
+)
+
+var phaseNames = map[Phase]string{
+	PhasePlan:    "plan",
+	PhaseDrift:   "drift",
+	PhaseOperate: "operate",
+}
+
+var phaseByName = map[string]Phase{
+	"plan": PhasePlan, "drift": PhaseDrift, "operate": PhaseOperate,
+}
+
+// String names the phase.
+func (p Phase) String() string { return phaseNames[p] }
+
+// ActionKind enumerates the supported policy actions.
+type ActionKind int
+
+// Action kinds.
+const (
+	// ActionDeny blocks the lifecycle operation (plan phase).
+	ActionDeny ActionKind = iota
+	// ActionNotify emits a message for humans.
+	ActionNotify
+	// ActionSetVariable sets a configuration variable to an expression's
+	// value, evolving the IaC program.
+	ActionSetVariable
+	// ActionScale adjusts a numeric variable by a delta within bounds —
+	// the autoscaling primitive ("scale out the number of VPN tunnels").
+	ActionScale
+	// ActionRevert asks reconciliation to revert drift (drift phase).
+	ActionRevert
+	// ActionAdopt asks reconciliation to adopt drift (drift phase).
+	ActionAdopt
+)
+
+var actionNames = map[ActionKind]string{
+	ActionDeny: "deny", ActionNotify: "notify", ActionSetVariable: "set_variable",
+	ActionScale: "scale", ActionRevert: "revert", ActionAdopt: "adopt",
+}
+
+// String names the action kind.
+func (a ActionKind) String() string { return actionNames[a] }
+
+// Action is one declared action of a policy.
+type Action struct {
+	Kind ActionKind
+	// Message for deny/notify (a CCL expression, may interpolate
+	// observations).
+	Message hcl.Expression
+	// Variable is the target variable for set_variable/scale.
+	Variable string
+	// Value is the expression for set_variable.
+	Value hcl.Expression
+	// Delta/Min/Max bound scale actions.
+	Delta    float64
+	Min, Max float64
+	HasMin   bool
+	HasMax   bool
+}
+
+// Policy is one declared policy.
+type Policy struct {
+	Name string
+	// Phase selects which observations the policy sees.
+	Phase Phase
+	// When is the condition expression over the phase's observation scope.
+	When hcl.Expression
+	// Actions run when the condition holds.
+	Actions   []Action
+	DeclRange hcl.Range
+}
+
+// ParsePolicies loads policy declarations from CCL source. Policies use
+// the block form:
+//
+//	policy "budget-guard" {
+//	  phase = "plan"
+//	  when  = plan.monthly_cost > 500
+//	  deny { message = "monthly cost ${plan.monthly_cost} exceeds budget" }
+//	}
+func ParsePolicies(filename, src string) ([]*Policy, hcl.Diagnostics) {
+	f, diags := hcl.Parse(filename, src)
+	if diags.HasErrors() {
+		return nil, diags
+	}
+	var out []*Policy
+	for _, blk := range f.Body.Blocks {
+		if blk.Type != "policy" {
+			diags = diags.Append(hcl.Errorf(blk.TypeRange,
+				"unsupported block %q in policy file; expected policy", blk.Type))
+			continue
+		}
+		p, d := decodePolicy(blk)
+		diags = diags.Extend(d)
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	return out, diags
+}
+
+func decodePolicy(blk *hcl.Block) (*Policy, hcl.Diagnostics) {
+	var diags hcl.Diagnostics
+	if len(blk.Labels) != 1 {
+		return nil, diags.Append(hcl.Errorf(blk.DefRange(), "policy blocks need exactly one label (the policy name)"))
+	}
+	p := &Policy{Name: blk.Labels[0], DeclRange: blk.DefRange()}
+
+	phaseAttr := blk.Body.Attribute("phase")
+	if phaseAttr == nil {
+		diags = diags.Append(hcl.Errorf(blk.DefRange(), "policy %q is missing its phase attribute", p.Name))
+	} else if lit, ok := phaseAttr.Expr.(*hcl.LiteralExpr); ok {
+		if s, ok := lit.Val.(string); ok {
+			ph, known := phaseByName[s]
+			if !known {
+				diags = diags.Append(hcl.Errorf(phaseAttr.Rng,
+					"unknown phase %q; expected plan, drift, or operate", s))
+			}
+			p.Phase = ph
+		}
+	} else {
+		diags = diags.Append(hcl.Errorf(phaseAttr.Rng, "phase must be a literal string"))
+	}
+
+	whenAttr := blk.Body.Attribute("when")
+	if whenAttr == nil {
+		diags = diags.Append(hcl.Errorf(blk.DefRange(), "policy %q is missing its when condition", p.Name))
+	} else {
+		p.When = whenAttr.Expr
+	}
+
+	for _, sub := range blk.Body.Blocks {
+		var a Action
+		switch sub.Type {
+		case "deny":
+			a.Kind = ActionDeny
+			if m := sub.Body.Attribute("message"); m != nil {
+				a.Message = m.Expr
+			}
+		case "notify":
+			a.Kind = ActionNotify
+			if m := sub.Body.Attribute("message"); m != nil {
+				a.Message = m.Expr
+			}
+		case "set_variable":
+			a.Kind = ActionSetVariable
+			if v := sub.Body.Attribute("name"); v != nil {
+				if lit, ok := v.Expr.(*hcl.LiteralExpr); ok {
+					a.Variable, _ = lit.Val.(string)
+				}
+			}
+			if v := sub.Body.Attribute("value"); v != nil {
+				a.Value = v.Expr
+			}
+			if a.Variable == "" || a.Value == nil {
+				diags = diags.Append(hcl.Errorf(sub.DefRange(), "set_variable needs name and value"))
+				continue
+			}
+		case "scale":
+			a.Kind = ActionScale
+			if v := sub.Body.Attribute("variable"); v != nil {
+				if lit, ok := v.Expr.(*hcl.LiteralExpr); ok {
+					a.Variable, _ = lit.Val.(string)
+				}
+			}
+			if a.Variable == "" {
+				diags = diags.Append(hcl.Errorf(sub.DefRange(), "scale needs a variable"))
+				continue
+			}
+			readNum := func(name string) (float64, bool) {
+				attr := sub.Body.Attribute(name)
+				if attr == nil {
+					return 0, false
+				}
+				v, d := eval.Evaluate(attr.Expr, eval.NewContext())
+				if d.HasErrors() || v.Kind() != eval.KindNumber {
+					diags = diags.Append(hcl.Errorf(attr.Rng, "%s must be a number", name))
+					return 0, false
+				}
+				return v.AsNumber(), true
+			}
+			if d, ok := readNum("delta"); ok {
+				a.Delta = d
+			} else {
+				a.Delta = 1
+			}
+			a.Min, a.HasMin = readNum("min")
+			a.Max, a.HasMax = readNum("max")
+		case "revert":
+			a.Kind = ActionRevert
+		case "adopt":
+			a.Kind = ActionAdopt
+		default:
+			diags = diags.Append(hcl.Errorf(sub.DefRange(),
+				"unknown action block %q; expected deny, notify, set_variable, scale, revert, or adopt", sub.Type))
+			continue
+		}
+		p.Actions = append(p.Actions, a)
+	}
+	if len(p.Actions) == 0 {
+		diags = diags.Append(hcl.Errorf(blk.DefRange(), "policy %q declares no actions", p.Name))
+	}
+	return p, diags
+}
+
+// Decision is one concrete action produced by evaluating policies against
+// observations.
+type Decision struct {
+	Policy  string
+	Kind    ActionKind
+	Message string
+	// Variable/NewValue carry set_variable and scale outcomes.
+	Variable string
+	NewValue eval.Value
+}
+
+// String renders the decision.
+func (d Decision) String() string {
+	switch d.Kind {
+	case ActionSetVariable, ActionScale:
+		return fmt.Sprintf("[%s] %s %s = %s", d.Policy, d.Kind, d.Variable, d.NewValue)
+	default:
+		return fmt.Sprintf("[%s] %s: %s", d.Policy, d.Kind, d.Message)
+	}
+}

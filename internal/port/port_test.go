@@ -1,0 +1,458 @@
+package port
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"cloudless/internal/apply"
+	"cloudless/internal/cloud"
+	"cloudless/internal/config"
+	"cloudless/internal/eval"
+	"cloudless/internal/plan"
+	"cloudless/internal/policy"
+	"cloudless/internal/state"
+)
+
+func newSim() *cloud.Sim {
+	opts := cloud.DefaultOptions()
+	opts.DisableRateLimit = true
+	return cloud.NewSim(opts)
+}
+
+// populateFleet creates a VPC, a subnet, and n uniformly-named NICs
+// directly through the cloud API (non-IaC infrastructure).
+func populateFleet(t *testing.T, sim *cloud.Sim, n int) {
+	t.Helper()
+	ctx := context.Background()
+	vpc, err := sim.Create(ctx, cloud.CreateRequest{Type: "aws_vpc", Region: "us-east-1",
+		Attrs: map[string]eval.Value{"name": eval.String("legacy-net"), "cidr_block": eval.String("10.0.0.0/16")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := sim.Create(ctx, cloud.CreateRequest{Type: "aws_subnet", Region: "us-east-1",
+		Attrs: map[string]eval.Value{"vpc_id": eval.String(vpc.ID), "cidr_block": eval.String("10.0.1.0/24")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		_, err := sim.Create(ctx, cloud.CreateRequest{Type: "aws_network_interface", Region: "us-east-1",
+			Attrs: map[string]eval.Value{
+				"name":      eval.String(fmt.Sprintf("web-nic-%d", i)),
+				"subnet_id": eval.String(sub.ID),
+			}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestImportNaive(t *testing.T) {
+	sim := newSim()
+	populateFleet(t, sim, 3)
+	res, err := Import(context.Background(), sim, ImportOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := res.Files["main.ccl"]
+	// Every resource appears; references are linked, not hard-coded.
+	if got := strings.Count(src, `resource "aws_network_interface"`); got != 3 {
+		t.Errorf("nic blocks = %d\n%s", got, src)
+	}
+	if !strings.Contains(src, "aws_vpc.legacy_net.id") {
+		t.Errorf("vpc reference not linked:\n%s", src)
+	}
+	if strings.Contains(src, `vpc_id     = "vpc-`) || strings.Contains(src, `vpc_id = "vpc-`) {
+		t.Errorf("hard-coded vpc id remains:\n%s", src)
+	}
+	// Computed attrs pruned.
+	if strings.Contains(src, "mac_address") || strings.Contains(src, `id = "`) {
+		t.Errorf("computed attributes not pruned:\n%s", src)
+	}
+	// Default-valued attrs pruned.
+	if strings.Contains(src, "enable_dns") {
+		t.Errorf("default attribute not pruned:\n%s", src)
+	}
+	// State recorded with dependencies.
+	if res.State.Len() != 5 {
+		t.Errorf("state len = %d", res.State.Len())
+	}
+	// Metrics.
+	if res.Metrics.ReferenceRatio < 0.99 {
+		t.Errorf("reference ratio = %f", res.Metrics.ReferenceRatio)
+	}
+}
+
+// TestImportedProgramPlansClean is the import fidelity property: planning
+// the generated program against the generated state must be a no-op.
+func TestImportedProgramPlansClean(t *testing.T) {
+	sim := newSim()
+	populateFleet(t, sim, 3)
+	res, err := Import(context.Background(), sim, ImportOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, diags := config.Load(res.Files)
+	if diags.HasErrors() {
+		t.Fatalf("generated program does not load: %s\n%s", diags.Error(), res.Files["main.ccl"])
+	}
+	ex, diags := config.Expand(m, nil, nil)
+	if diags.HasErrors() {
+		t.Fatal(diags.Error())
+	}
+	p, diags := plan.Compute(context.Background(), ex, res.State, plan.Options{})
+	if diags.HasErrors() {
+		t.Fatal(diags.Error())
+	}
+	if p.PendingCount() != 0 {
+		for a, c := range p.Changes {
+			if c.Action != plan.ActionNoop {
+				t.Logf("%s -> %s (%v)", a, c.Action, c.ChangedAttrs)
+			}
+		}
+		t.Fatalf("imported program is not a fixpoint: %s", p.Summary())
+	}
+}
+
+func TestImportCountCompaction(t *testing.T) {
+	sim := newSim()
+	populateFleet(t, sim, 8)
+	res, err := Import(context.Background(), sim, ImportOptions{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := res.Files["main.ccl"]
+	// Eight NICs compact into one count-form block.
+	if got := strings.Count(src, `resource "aws_network_interface"`); got != 1 {
+		t.Fatalf("nic blocks = %d, want 1:\n%s", got, src)
+	}
+	if !strings.Contains(src, "count") || !strings.Contains(src, "${count.index}") {
+		t.Errorf("count form missing:\n%s", src)
+	}
+	// Compaction ratio: 10 resources in 3 blocks.
+	if res.Metrics.CompactionRatio < 3 {
+		t.Errorf("compaction ratio = %f\n%s", res.Metrics.CompactionRatio, src)
+	}
+	// The compacted program still loads, expands to 10 instances, and is
+	// deployable.
+	m, diags := config.Load(res.Files)
+	if diags.HasErrors() {
+		t.Fatalf("%s\n%s", diags.Error(), src)
+	}
+	ex, diags := config.Expand(m, nil, nil)
+	if diags.HasErrors() {
+		t.Fatal(diags.Error())
+	}
+	if len(ex.Instances) != 10 {
+		t.Errorf("expanded to %d instances, want 10", len(ex.Instances))
+	}
+	// Deploy the compacted program to a FRESH cloud to prove executability.
+	sim2 := newSim()
+	p, diags := plan.Compute(context.Background(), ex, state.New(), plan.Options{})
+	if diags.HasErrors() {
+		t.Fatal(diags.Error())
+	}
+	ares := apply.Apply(context.Background(), sim2, p, apply.Options{})
+	if err := ares.Err(); err != nil {
+		t.Fatalf("compacted program not deployable: %s", err)
+	}
+}
+
+func TestImportModuleExtraction(t *testing.T) {
+	sim := newSim()
+	ctx := context.Background()
+	// Three identical "stacks": vpc + subnet, in different CIDRs.
+	for i := 0; i < 3; i++ {
+		vpc, err := sim.Create(ctx, cloud.CreateRequest{Type: "aws_vpc", Region: "us-east-1",
+			Attrs: map[string]eval.Value{
+				"name":       eval.String(fmt.Sprintf("tenant-%d", i)),
+				"cidr_block": eval.String(fmt.Sprintf("10.%d.0.0/16", i)),
+			}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.Create(ctx, cloud.CreateRequest{Type: "aws_subnet", Region: "us-east-1",
+			Attrs: map[string]eval.Value{
+				"vpc_id":     eval.String(vpc.ID),
+				"cidr_block": eval.String(fmt.Sprintf("10.%d.1.0/24", i)),
+			}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := Import(ctx, sim, ImportOptions{ExtractModules: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.ModuleCount != 1 {
+		t.Fatalf("modules = %d\nfiles: %v\n%s", res.Metrics.ModuleCount,
+			fileNames(res.Files), res.Files["main.ccl"])
+	}
+	main := res.Files["main.ccl"]
+	if got := strings.Count(main, `module "stack_0_`); got != 3 {
+		t.Errorf("module calls = %d\n%s", got, main)
+	}
+	// The modular program loads and expands through the module resolver.
+	resolver := config.MapResolver{}
+	for name, src := range res.Files {
+		if strings.HasPrefix(name, "modules/") {
+			dir := strings.TrimSuffix(name, "/main.ccl")
+			resolver["./"+dir] = map[string]string{"main.ccl": src}
+		}
+	}
+	m, diags := config.Load(map[string]string{"main.ccl": main})
+	if diags.HasErrors() {
+		t.Fatalf("%s\n%s", diags.Error(), main)
+	}
+	ex, diags := config.Expand(m, nil, resolver)
+	if diags.HasErrors() {
+		t.Fatalf("%s\n%s", diags.Error(), main)
+	}
+	if len(ex.Instances) != 6 {
+		t.Errorf("instances = %d, want 6", len(ex.Instances))
+	}
+}
+
+func fileNames(m map[string]string) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func TestQualityMetricsComparison(t *testing.T) {
+	// The E9 shape: optimized output is strictly more compact.
+	sim := newSim()
+	populateFleet(t, sim, 12)
+	naive, err := Import(context.Background(), sim, ImportOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Import(context.Background(), sim, ImportOptions{Optimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Metrics.Lines >= naive.Metrics.Lines {
+		t.Errorf("optimized %d lines >= naive %d lines", opt.Metrics.Lines, naive.Metrics.Lines)
+	}
+	if opt.Metrics.CompactionRatio <= naive.Metrics.CompactionRatio {
+		t.Errorf("compaction %f <= %f", opt.Metrics.CompactionRatio, naive.Metrics.CompactionRatio)
+	}
+}
+
+func TestSynthesizeWebService(t *testing.T) {
+	files, err := Synthesize(SynthSpec{
+		Name: "shop", Template: "web-service", VMCount: 3,
+		WithDatabase: true, WithLoadBalancer: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := files["main.ccl"]
+	for _, want := range []string{"aws_vpc", "aws_subnet", "aws_virtual_machine",
+		"aws_load_balancer", "aws_database_instance", "cidrsubnet"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %s:\n%s", want, src)
+		}
+	}
+	// The synthesized program deploys end to end.
+	sim := newSim()
+	m, diags := config.Load(files)
+	if diags.HasErrors() {
+		t.Fatal(diags.Error())
+	}
+	ex, diags := config.Expand(m, nil, nil)
+	if diags.HasErrors() {
+		t.Fatal(diags.Error())
+	}
+	p, diags := plan.Compute(context.Background(), ex, state.New(), plan.Options{})
+	if diags.HasErrors() {
+		t.Fatal(diags.Error())
+	}
+	res := apply.Apply(context.Background(), sim, p, apply.Options{})
+	if err := res.Err(); err != nil {
+		t.Fatalf("synthesized program failed to deploy: %s", err)
+	}
+	if len(res.Outputs["vm_ids"].AsList()) != 3 {
+		t.Errorf("vm_ids = %v", res.Outputs["vm_ids"])
+	}
+}
+
+func TestSynthesizeVPNMesh(t *testing.T) {
+	files, err := Synthesize(SynthSpec{Name: "edge", Template: "vpn-mesh", TunnelCount: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(files["main.ccl"], "aws_vpn_tunnel") {
+		t.Errorf("%s", files["main.ccl"])
+	}
+}
+
+func TestSynthesizeUnknownTemplate(t *testing.T) {
+	if _, err := Synthesize(SynthSpec{Template: "quantum-cluster"}); err == nil {
+		t.Fatal("unknown template accepted")
+	}
+}
+
+func TestDecomposeIndexed(t *testing.T) {
+	cases := []struct {
+		in     string
+		prefix string
+		suffix string
+		idx    int
+		ok     bool
+	}{
+		{"web-nic-3", "web-nic-", "", 3, true},
+		{"10.2.0.0/16", "10.2.0.0/", "", 16, true}, // splits at the LAST int run
+		{"nothing", "", "", 0, false},
+		{"n7x", "n", "x", 7, true},
+	}
+	for _, c := range cases {
+		p, ok := decomposeIndexed(c.in)
+		if !ok && c.ok {
+			t.Errorf("decompose(%q) failed", c.in)
+			continue
+		}
+		if ok && c.ok && (p.prefix != c.prefix || p.suffix != c.suffix || p.index != c.idx) {
+			t.Errorf("decompose(%q) = %+v", c.in, p)
+		}
+	}
+}
+
+// TestSynthesizeWithConventions verifies corpus personalization: the
+// generator adopts the organization's dominant instance type instead of
+// the library default.
+func TestSynthesizeWithConventions(t *testing.T) {
+	corpusSrc := `
+resource "aws_vpc" "v" { cidr_block = "10.0.0.0/16" }
+resource "aws_subnet" "s" {
+  vpc_id     = aws_vpc.v.id
+  cidr_block = "10.0.1.0/24"
+}
+`
+	for i := 0; i < 6; i++ {
+		corpusSrc += fmt.Sprintf(`
+resource "aws_network_interface" "n%[1]d" {
+  name      = "n-%[1]d"
+  subnet_id = aws_subnet.s.id
+}
+resource "aws_virtual_machine" "vm%[1]d" {
+  name          = "vm-%[1]d"
+  instance_type = "m5.large"
+  nic_ids       = [aws_network_interface.n%[1]d.id]
+}
+`, i)
+	}
+	m, diags := config.Load(map[string]string{"corpus.ccl": corpusSrc})
+	if diags.HasErrors() {
+		t.Fatal(diags.Error())
+	}
+	corpus, diags := config.Expand(m, nil, nil)
+	if diags.HasErrors() {
+		t.Fatal(diags.Error())
+	}
+	ts := policy.NewTemplateSet()
+	ts.Learn(corpus)
+
+	files, err := Synthesize(SynthSpec{Name: "app", Template: "web-service", Conventions: ts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(files["main.ccl"], `"m5.large"`) {
+		t.Errorf("convention not applied:\n%s", files["main.ccl"])
+	}
+	// Without the corpus, the library default stands.
+	plain, err := Synthesize(SynthSpec{Name: "app", Template: "web-service"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain["main.ccl"], `"m5.large"`) {
+		t.Error("default generation should not use the corpus value")
+	}
+}
+
+// TestImportFixpointAllModes: for every import mode, the generated program
+// plus generated state must plan clean against the live cloud — the
+// optimizer may restructure the program, but never its meaning.
+func TestImportFixpointAllModes(t *testing.T) {
+	sim := newSim()
+	ctx := context.Background()
+	// A mixed estate: repeated stacks (module candidates), a uniform fleet
+	// (count candidate), and a singleton.
+	for i := 0; i < 3; i++ {
+		vpc, err := sim.Create(ctx, cloud.CreateRequest{Type: "aws_vpc", Region: "us-east-1",
+			Attrs: map[string]eval.Value{
+				"name":       eval.String(fmt.Sprintf("stack-%d", i)),
+				"cidr_block": eval.String(fmt.Sprintf("10.%d.0.0/16", i)),
+			}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sim.Create(ctx, cloud.CreateRequest{Type: "aws_subnet", Region: "us-east-1",
+			Attrs: map[string]eval.Value{
+				"vpc_id":     eval.String(vpc.ID),
+				"cidr_block": eval.String(fmt.Sprintf("10.%d.1.0/24", i)),
+			}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shared, _ := sim.Create(ctx, cloud.CreateRequest{Type: "aws_vpc", Region: "us-east-1",
+		Attrs: map[string]eval.Value{"name": eval.String("shared"), "cidr_block": eval.String("10.200.0.0/16")}})
+	sub, _ := sim.Create(ctx, cloud.CreateRequest{Type: "aws_subnet", Region: "us-east-1",
+		Attrs: map[string]eval.Value{"vpc_id": eval.String(shared.ID), "cidr_block": eval.String("10.200.1.0/24")}})
+	for i := 0; i < 5; i++ {
+		if _, err := sim.Create(ctx, cloud.CreateRequest{Type: "aws_network_interface", Region: "us-east-1",
+			Attrs: map[string]eval.Value{
+				"name":      eval.String(fmt.Sprintf("fleet-%d", i)),
+				"subnet_id": eval.String(sub.ID),
+			}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, mode := range []struct {
+		name string
+		opts ImportOptions
+	}{
+		{"naive", ImportOptions{}},
+		{"optimized", ImportOptions{Optimize: true}},
+		{"modules", ImportOptions{ExtractModules: true}},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			res, err := Import(ctx, sim, mode.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resolver := config.MapResolver{}
+			mainSrc := map[string]string{}
+			for name, src := range res.Files {
+				if strings.HasPrefix(name, "modules/") {
+					resolver["./"+strings.TrimSuffix(name, "/main.ccl")] = map[string]string{"main.ccl": src}
+				} else {
+					mainSrc[name] = src
+				}
+			}
+			m, diags := config.Load(mainSrc)
+			if diags.HasErrors() {
+				t.Fatalf("%s\n%s", diags.Error(), res.Files["main.ccl"])
+			}
+			ex, diags := config.Expand(m, nil, resolver)
+			if diags.HasErrors() {
+				t.Fatal(diags.Error())
+			}
+			p, diags := plan.Compute(ctx, ex, res.State, plan.Options{Refresh: true, Cloud: sim})
+			if diags.HasErrors() {
+				t.Fatal(diags.Error())
+			}
+			if p.PendingCount() != 0 {
+				for a, c := range p.Changes {
+					if c.Action != plan.ActionNoop {
+						t.Logf("%s -> %s (%v)", a, c.Action, c.ChangedAttrs)
+					}
+				}
+				t.Fatalf("not a fixpoint: %s\n%s", p.Summary(), res.Files["main.ccl"])
+			}
+		})
+	}
+}

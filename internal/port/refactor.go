@@ -1,0 +1,542 @@
+package port
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cloudless/internal/hcl"
+)
+
+// renderOptimized compacts homogeneous fleets into count form before
+// rendering: resources of the same type whose attributes are identical
+// except for a shared "<prefix><index><suffix>" pattern become one block
+// with count and ${count.index} templates — the compact structure the paper
+// says ported programs should use instead of "a straight enumeration of all
+// resources one by one". The returned renames map original block addresses
+// to the compacted instance addresses so the generated state stays aligned
+// with the generated program.
+func renderOptimized(blocks []*resBlock) (*hcl.File, map[string]string) {
+	f := &hcl.File{Body: &hcl.Body{}}
+	renames := map[string]string{}
+	for _, item := range compactBlocks(blocks, renames) {
+		f.Body.Blocks = append(f.Body.Blocks, item)
+	}
+	return f, renames
+}
+
+// compactBlocks groups compatible blocks and emits count-form blocks where
+// possible, preserving deterministic order. Address renames for compacted
+// members are recorded into renames when it is non-nil.
+func compactBlocks(blocks []*resBlock, renames map[string]string) []*hcl.Block {
+	type groupKey struct {
+		typ   string
+		attrs string
+	}
+	groups := map[groupKey][]*resBlock{}
+	var keyOrder []groupKey
+	for _, b := range blocks {
+		names := append([]string(nil), b.order...)
+		sort.Strings(names)
+		k := groupKey{typ: b.typ, attrs: strings.Join(names, ",")}
+		if _, seen := groups[k]; !seen {
+			keyOrder = append(keyOrder, k)
+		}
+		groups[k] = append(groups[k], b)
+	}
+	sort.Slice(keyOrder, func(i, j int) bool {
+		if keyOrder[i].typ != keyOrder[j].typ {
+			return keyOrder[i].typ < keyOrder[j].typ
+		}
+		return keyOrder[i].attrs < keyOrder[j].attrs
+	})
+
+	var out []*hcl.Block
+	for _, k := range keyOrder {
+		members := groups[k]
+		if len(members) < 2 {
+			out = append(out, plainBlock(members[0]))
+			continue
+		}
+		if blk, order, ok := compactToCount(members); ok {
+			out = append(out, blk)
+			if renames != nil {
+				for i, m := range order {
+					renames[m.addr] = fmt.Sprintf("%s.%s[%d]", m.typ, blk.Labels[1], i)
+				}
+			}
+			continue
+		}
+		for _, m := range members {
+			out = append(out, plainBlock(m))
+		}
+	}
+	return out
+}
+
+func plainBlock(b *resBlock) *hcl.Block {
+	blk := hcl.NewBlock("resource", b.typ, b.name)
+	for _, attr := range b.order {
+		blk.Body.SetAttr(attr, b.attrs[attr])
+	}
+	return blk
+}
+
+// indexedPattern captures "<prefix><int><suffix>" decomposition.
+type indexedPattern struct {
+	prefix, suffix string
+	index          int
+}
+
+// decomposeIndexed splits a string at its last integer run.
+func decomposeIndexed(s string) (indexedPattern, bool) {
+	end := -1
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] >= '0' && s[i] <= '9' {
+			end = i + 1
+			break
+		}
+	}
+	if end < 0 {
+		return indexedPattern{}, false
+	}
+	start := end
+	for start > 0 && s[start-1] >= '0' && s[start-1] <= '9' {
+		start--
+	}
+	n, err := strconv.Atoi(s[start:end])
+	if err != nil {
+		return indexedPattern{}, false
+	}
+	return indexedPattern{prefix: s[:start], suffix: s[end:], index: n}, true
+}
+
+// compactToCount attempts to merge the member blocks into one count-form
+// block, also returning the members in index order. All attributes must
+// either be identical across members or be string literals following one
+// shared indexed pattern whose indices are a permutation of 0..n-1.
+func compactToCount(members []*resBlock) (*hcl.Block, []*resBlock, bool) {
+	n := len(members)
+	attrNames := members[0].order
+
+	// Find the ordering attribute: the first attr whose literals decompose
+	// into a consistent indexed pattern covering 0..n-1.
+	var orderIdx []int // position in members -> index value
+	for _, attr := range attrNames {
+		idxs, ok := consistentIndexes(members, attr)
+		if !ok {
+			continue
+		}
+		orderIdx = idxs
+		break
+	}
+	if orderIdx == nil {
+		return nil, nil, false
+	}
+	// Order members by their index value.
+	ordered := make([]*resBlock, n)
+	for pos, idx := range orderIdx {
+		if idx < 0 || idx >= n || ordered[idx] != nil {
+			return nil, nil, false
+		}
+		ordered[idx] = members[pos]
+	}
+
+	blk := hcl.NewBlock("resource", members[0].typ, countGroupName(ordered[0]))
+	blk.Body.SetAttr("count", hcl.NewLiteral(n))
+	for _, attr := range attrNames {
+		expr, ok := countAttrExpr(ordered, attr)
+		if !ok {
+			return nil, nil, false
+		}
+		blk.Body.SetAttr(attr, expr)
+	}
+	return blk, ordered, true
+}
+
+// consistentIndexes checks whether attr decomposes across members into one
+// shared prefix/suffix with distinct indexes, returning them.
+func consistentIndexes(members []*resBlock, attr string) ([]int, bool) {
+	var prefix, suffix string
+	idxs := make([]int, len(members))
+	seen := map[int]bool{}
+	for i, m := range members {
+		lit, ok := m.attrs[attr].(*hcl.LiteralExpr)
+		if !ok {
+			return nil, false
+		}
+		s, ok := lit.Val.(string)
+		if !ok {
+			return nil, false
+		}
+		p, ok := decomposeIndexed(s)
+		if !ok {
+			return nil, false
+		}
+		if i == 0 {
+			prefix, suffix = p.prefix, p.suffix
+		} else if p.prefix != prefix || p.suffix != suffix {
+			return nil, false
+		}
+		if seen[p.index] {
+			return nil, false
+		}
+		seen[p.index] = true
+		idxs[i] = p.index
+	}
+	for i := range members {
+		if !seen[i] {
+			return nil, false // indexes must cover 0..n-1
+		}
+	}
+	return idxs, true
+}
+
+// countAttrExpr builds the attribute expression for the compacted block:
+// either the shared constant or a "${prefix}${count.index}${suffix}"
+// template.
+func countAttrExpr(ordered []*resBlock, attr string) (hcl.Expression, bool) {
+	first := hcl.FormatExpr(ordered[0].attrs[attr])
+	allEqual := true
+	for _, m := range ordered[1:] {
+		if hcl.FormatExpr(m.attrs[attr]) != first {
+			allEqual = false
+			break
+		}
+	}
+	if allEqual {
+		return ordered[0].attrs[attr], true
+	}
+	// Must follow the indexed pattern in member order.
+	var prefix, suffix string
+	for i, m := range ordered {
+		lit, ok := m.attrs[attr].(*hcl.LiteralExpr)
+		if !ok {
+			return nil, false
+		}
+		s, ok := lit.Val.(string)
+		if !ok {
+			return nil, false
+		}
+		p, ok := decomposeIndexed(s)
+		if !ok || p.index != i {
+			return nil, false
+		}
+		if i == 0 {
+			prefix, suffix = p.prefix, p.suffix
+		} else if p.prefix != prefix || p.suffix != suffix {
+			return nil, false
+		}
+	}
+	parts := []hcl.Expression{}
+	if prefix != "" {
+		parts = append(parts, hcl.NewLiteral(prefix))
+	}
+	parts = append(parts, hcl.NewTraversalExpr("count", "index"))
+	if suffix != "" {
+		parts = append(parts, hcl.NewLiteral(suffix))
+	}
+	return &hcl.TemplateExpr{Parts: parts}, true
+}
+
+// countGroupName derives the block name for a compacted group from the
+// zero-index member, stripping its trailing index.
+func countGroupName(first *resBlock) string {
+	if p, ok := decomposeIndexed(first.name); ok {
+		name := strings.Trim(p.prefix+p.suffix, "_-")
+		if name != "" {
+			return name
+		}
+	}
+	return first.name
+}
+
+// --- module extraction ------------------------------------------------------
+
+// renderWithModules first extracts repeated closed components into modules,
+// then compacts what remains. The renames map records how every original
+// block address moved (into a module instance or a count index) so the
+// generated state can be rewritten to match.
+func renderWithModules(blocks []*resBlock) (*hcl.File, map[string]string, map[string]string) {
+	comps := components(blocks)
+
+	// Group components by structural signature.
+	bySig := map[string][][]*resBlock{}
+	var sigOrder []string
+	for _, comp := range comps {
+		sig, ok := componentSignature(comp)
+		if !ok {
+			sig = fmt.Sprintf("opaque-%s", comp[0].addr)
+		}
+		if _, seen := bySig[sig]; !seen {
+			sigOrder = append(sigOrder, sig)
+		}
+		bySig[sig] = append(bySig[sig], comp)
+	}
+	sort.Strings(sigOrder)
+
+	f := &hcl.File{Body: &hcl.Body{}}
+	moduleFiles := map[string]string{}
+	renames := map[string]string{}
+	modCount := 0
+
+	var leftover []*resBlock
+	for _, sig := range sigOrder {
+		group := bySig[sig]
+		if len(group) < 2 || strings.HasPrefix(sig, "opaque-") || len(group[0]) < 2 {
+			for _, comp := range group {
+				leftover = append(leftover, comp...)
+			}
+			continue
+		}
+		modName := fmt.Sprintf("stack_%d", modCount)
+		modCount++
+		modSrc, calls := extractModule(modName, group)
+		moduleFiles["modules/"+modName+"/main.ccl"] = modSrc
+		f.Body.Blocks = append(f.Body.Blocks, calls...)
+		for i, comp := range group {
+			for _, b := range comp {
+				renames[b.addr] = fmt.Sprintf("module.%s_%d.%s.%s", modName, i, b.typ, shortName(b.typ))
+			}
+		}
+	}
+	for _, blk := range compactBlocks(sortBlocks(leftover), renames) {
+		f.Body.Blocks = append(f.Body.Blocks, blk)
+	}
+	return f, moduleFiles, renames
+}
+
+func sortBlocks(blocks []*resBlock) []*resBlock {
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i].addr < blocks[j].addr })
+	return blocks
+}
+
+// components computes connected components of the reference graph.
+func components(blocks []*resBlock) [][]*resBlock {
+	byAddr := map[string]*resBlock{}
+	for _, b := range blocks {
+		byAddr[b.addr] = b
+	}
+	adj := map[string]map[string]bool{}
+	link := func(a, b string) {
+		if adj[a] == nil {
+			adj[a] = map[string]bool{}
+		}
+		adj[a][b] = true
+	}
+	for _, b := range blocks {
+		for _, ref := range blockRefs(b) {
+			if _, ok := byAddr[ref]; ok {
+				link(b.addr, ref)
+				link(ref, b.addr)
+			}
+		}
+	}
+	seen := map[string]bool{}
+	var comps [][]*resBlock
+	for _, b := range sortBlocks(append([]*resBlock(nil), blocks...)) {
+		if seen[b.addr] {
+			continue
+		}
+		var comp []*resBlock
+		stack := []string{b.addr}
+		seen[b.addr] = true
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, byAddr[cur])
+			for next := range adj[cur] {
+				if !seen[next] {
+					seen[next] = true
+					stack = append(stack, next)
+				}
+			}
+		}
+		comps = append(comps, sortBlocks(comp))
+	}
+	return comps
+}
+
+// blockRefs lists the addresses a block's expressions reference.
+func blockRefs(b *resBlock) []string {
+	set := map[string]bool{}
+	for _, expr := range b.attrs {
+		for _, tr := range expr.Variables() {
+			root := tr.RootName()
+			if !strings.Contains(root, "_") || len(tr) < 2 {
+				continue
+			}
+			if a, ok := tr[1].(hcl.TraverseAttr); ok {
+				set[root+"."+a.Name] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// componentSignature canonicalizes a component's structure. Extraction
+// requires each type to appear exactly once in the component so matching
+// across components is unambiguous.
+func componentSignature(comp []*resBlock) (string, bool) {
+	typeCount := map[string]int{}
+	for _, b := range comp {
+		typeCount[b.typ]++
+	}
+	for _, c := range typeCount {
+		if c > 1 {
+			return "", false
+		}
+	}
+	byType := map[string]*resBlock{}
+	var types []string
+	for _, b := range comp {
+		byType[b.typ] = b
+		types = append(types, b.typ)
+	}
+	sort.Strings(types)
+	var sb strings.Builder
+	for _, t := range types {
+		b := byType[t]
+		names := append([]string(nil), b.order...)
+		sort.Strings(names)
+		fmt.Fprintf(&sb, "%s(%s)", t, strings.Join(names, ","))
+		// Reference shape: which types this block references.
+		var refTypes []string
+		for _, ref := range blockRefs(b) {
+			refTypes = append(refTypes, strings.SplitN(ref, ".", 2)[0])
+		}
+		sort.Strings(refTypes)
+		fmt.Fprintf(&sb, "->[%s];", strings.Join(refTypes, ","))
+	}
+	return sb.String(), true
+}
+
+// extractModule builds the module source for a group of isomorphic
+// components, plus one module call per component. Attributes that are
+// identical across all components stay literal in the module; differing
+// attributes become module variables.
+func extractModule(modName string, group [][]*resBlock) (string, []*hcl.Block) {
+	rep := group[0]
+	byTypeAll := make([]map[string]*resBlock, len(group))
+	for i, comp := range group {
+		byTypeAll[i] = map[string]*resBlock{}
+		for _, b := range comp {
+			byTypeAll[i][b.typ] = b
+		}
+	}
+
+	modFile := &hcl.File{Body: &hcl.Body{}}
+	type varSpec struct {
+		name   string
+		values []hcl.Expression // per component
+	}
+	var vars []varSpec
+
+	for _, repBlock := range rep {
+		// Internal references keep the representative's names; normalize
+		// names to short type-derived ones.
+		blk := hcl.NewBlock("resource", repBlock.typ, shortName(repBlock.typ))
+		for _, attr := range repBlock.order {
+			allEqual := true
+			first := hcl.FormatExpr(repBlock.attrs[attr])
+			for i := 1; i < len(group); i++ {
+				other := byTypeAll[i][repBlock.typ]
+				if hcl.FormatExpr(other.attrs[attr]) != first {
+					allEqual = false
+					break
+				}
+			}
+			// Reference expressions are rewritten to module-local names.
+			expr := repBlock.attrs[attr]
+			if isRefExpr(expr) {
+				blk.Body.SetAttr(attr, rewriteRefs(expr, rep))
+				continue
+			}
+			if allEqual {
+				blk.Body.SetAttr(attr, expr)
+				continue
+			}
+			vName := shortName(repBlock.typ) + "_" + attr
+			values := make([]hcl.Expression, len(group))
+			for i := range group {
+				values[i] = byTypeAll[i][repBlock.typ].attrs[attr]
+			}
+			vars = append(vars, varSpec{name: vName, values: values})
+			blk.Body.SetAttr(attr, hcl.NewTraversalExpr("var", vName))
+		}
+		modFile.Body.Blocks = append(modFile.Body.Blocks, blk)
+	}
+
+	// Variable declarations at the top of the module.
+	var varBlocks []*hcl.Block
+	for _, v := range vars {
+		vb := hcl.NewBlock("variable", v.name)
+		varBlocks = append(varBlocks, vb)
+	}
+	modFile.Body.Blocks = append(varBlocks, modFile.Body.Blocks...)
+
+	// Module calls.
+	var calls []*hcl.Block
+	for i := range group {
+		call := hcl.NewBlock("module", fmt.Sprintf("%s_%d", modName, i))
+		call.Body.SetAttr("source", hcl.NewLiteral("./modules/"+modName))
+		for _, v := range vars {
+			call.Body.SetAttr(v.name, v.values[i])
+		}
+		calls = append(calls, call)
+	}
+	return hcl.Format(modFile), calls
+}
+
+func isRefExpr(e hcl.Expression) bool {
+	for _, tr := range e.Variables() {
+		if strings.Contains(tr.RootName(), "_") {
+			return true
+		}
+	}
+	return false
+}
+
+// rewriteRefs renames component-internal references to the module's
+// normalized block names.
+func rewriteRefs(e hcl.Expression, comp []*resBlock) hcl.Expression {
+	rename := map[string]string{} // addr -> new name
+	for _, b := range comp {
+		rename[b.addr] = shortName(b.typ)
+	}
+	switch t := e.(type) {
+	case *hcl.ScopeTraversalExpr:
+		tr := t.Traversal
+		if len(tr) >= 2 {
+			root := tr.RootName()
+			if a, ok := tr[1].(hcl.TraverseAttr); ok {
+				if newName, ok := rename[root+"."+a.Name]; ok {
+					out := append(hcl.Traversal{hcl.TraverseRoot{Name: root}, hcl.TraverseAttr{Name: newName}}, tr[2:]...)
+					return &hcl.ScopeTraversalExpr{Traversal: out}
+				}
+			}
+		}
+		return t
+	case *hcl.TupleExpr:
+		items := make([]hcl.Expression, len(t.Items))
+		for i, it := range t.Items {
+			items[i] = rewriteRefs(it, comp)
+		}
+		return &hcl.TupleExpr{Items: items}
+	default:
+		return e
+	}
+}
+
+func shortName(typ string) string {
+	if i := strings.Index(typ, "_"); i >= 0 {
+		return typ[i+1:]
+	}
+	return typ
+}

@@ -1,0 +1,243 @@
+package port
+
+import (
+	"fmt"
+
+	"cloudless/internal/config"
+	"cloudless/internal/hcl"
+	"cloudless/internal/policy"
+	"cloudless/internal/schema"
+	"cloudless/internal/validate"
+)
+
+// SynthSpec describes the infrastructure to synthesize. This deterministic,
+// grammar-guided synthesizer stands in for the LLM-assisted generation of
+// §3.1 (see DESIGN.md substitutions): what matters architecturally is the
+// decomposition into component templates and the generate→validate loop
+// that guarantees the emitted program passes compile-time validation.
+type SynthSpec struct {
+	// Name prefixes generated resource names.
+	Name string
+	// Template selects the shape: "web-service" or "vpn-mesh".
+	Template string
+	// Region places the infrastructure (default: provider default).
+	Region string
+	// VMCount sizes the web tier (default 2).
+	VMCount int
+	// WithDatabase adds a database to web-service.
+	WithDatabase bool
+	// WithLoadBalancer fronts the web tier with a load balancer.
+	WithLoadBalancer bool
+	// TunnelCount sizes vpn-mesh tunnels (default 2).
+	TunnelCount int
+	// Conventions, when set, personalizes generation to an organization's
+	// existing programs: attributes the spec leaves open take the dominant
+	// value learned from the corpus (≥80% share) instead of the library
+	// default — the §3.1 idea of injecting the user's existing
+	// infrastructure as context.
+	Conventions *policy.TemplateSet
+}
+
+// Synthesize generates a CCL program for the spec and validates it before
+// returning; generation bugs surface as errors here, never at deploy time.
+func Synthesize(spec SynthSpec) (map[string]string, error) {
+	if spec.Name == "" {
+		spec.Name = "app"
+	}
+	if spec.VMCount <= 0 {
+		spec.VMCount = 2
+	}
+	if spec.TunnelCount <= 0 {
+		spec.TunnelCount = 2
+	}
+	if spec.Region == "" {
+		spec.Region = "us-east-1"
+	}
+
+	var f *hcl.File
+	switch spec.Template {
+	case "", "web-service":
+		f = synthWebService(spec)
+	case "vpn-mesh":
+		f = synthVPNMesh(spec)
+	default:
+		return nil, fmt.Errorf("port: unknown synthesis template %q", spec.Template)
+	}
+	if spec.Conventions != nil {
+		applyConventions(f, spec.Conventions)
+	}
+
+	files := map[string]string{"main.ccl": hcl.Format(f)}
+
+	// Generate → validate: the synthesizer's own output must load, expand,
+	// and pass semantic validation.
+	mod, diags := config.Load(files)
+	if diags.HasErrors() {
+		return nil, fmt.Errorf("port: synthesized program does not parse: %s", diags.Error())
+	}
+	ex, diags := config.Expand(mod, nil, nil)
+	if diags.HasErrors() {
+		return nil, fmt.Errorf("port: synthesized program does not expand: %s", diags.Error())
+	}
+	if res := validate.Validate(ex, nil); res.HasErrors() {
+		return nil, fmt.Errorf("port: synthesized program fails validation: %s", res.Errors()[0].Error())
+	}
+	return files, nil
+}
+
+func lit(v any) *hcl.LiteralExpr { return hcl.NewLiteral(v) }
+
+// applyConventions fills unset, non-required attributes of every generated
+// resource with the corpus's dominant value when one exists with ≥80% share.
+func applyConventions(f *hcl.File, ts *policy.TemplateSet) {
+	const minShare = 0.8
+	for _, blk := range f.Body.Blocks {
+		if blk.Type != "resource" || len(blk.Labels) != 2 {
+			continue
+		}
+		typ := blk.Labels[0]
+		rs, ok := schema.LookupResource(typ)
+		if !ok || ts.Samples(typ) == 0 {
+			continue
+		}
+		for _, attrName := range rs.AttrNames() {
+			a := rs.Attr(attrName)
+			if a.Computed || a.Semantic.Kind == schema.SemResourceRef ||
+				a.Semantic.Kind == schema.SemName || blk.Body.Attribute(attrName) != nil {
+				continue
+			}
+			rendered, share, ok := ts.Convention(typ, attrName)
+			if !ok || share < minShare {
+				continue
+			}
+			expr, diags := hcl.ParseExpression("convention", rendered)
+			if diags.HasErrors() {
+				continue
+			}
+			blk.Body.SetAttr(attrName, expr)
+		}
+	}
+}
+
+func synthWebService(spec SynthSpec) *hcl.File {
+	f := &hcl.File{Body: &hcl.Body{}}
+	add := func(b *hcl.Block) { f.Body.Blocks = append(f.Body.Blocks, b) }
+
+	prov := hcl.NewBlock("provider", "aws")
+	prov.Body.SetAttr("region", lit(spec.Region))
+	add(prov)
+
+	nVar := hcl.NewBlock("variable", "vm_count")
+	nVar.Body.SetAttr("type", lit("number"))
+	nVar.Body.SetAttr("default", lit(spec.VMCount))
+	add(nVar)
+
+	vpc := hcl.NewBlock("resource", "aws_vpc", "net")
+	vpc.Body.SetAttr("name", lit(spec.Name+"-net"))
+	vpc.Body.SetAttr("cidr_block", lit("10.0.0.0/16"))
+	add(vpc)
+
+	subnet := hcl.NewBlock("resource", "aws_subnet", "app")
+	subnet.Body.SetAttr("vpc_id", hcl.NewTraversalExpr("aws_vpc", "net", "id"))
+	subnet.Body.SetAttr("cidr_block", &hcl.FunctionCallExpr{
+		Name: "cidrsubnet",
+		Args: []hcl.Expression{
+			hcl.NewTraversalExpr("aws_vpc", "net", "cidr_block"), lit(8), lit(1),
+		},
+	})
+	add(subnet)
+
+	sg := hcl.NewBlock("resource", "aws_security_group", "web")
+	sg.Body.SetAttr("name", lit(spec.Name+"-web"))
+	sg.Body.SetAttr("vpc_id", hcl.NewTraversalExpr("aws_vpc", "net", "id"))
+	sg.Body.SetAttr("ingress_ports", hcl.NewTuple(lit(80), lit(443)))
+	add(sg)
+
+	nic := hcl.NewBlock("resource", "aws_network_interface", "web")
+	nic.Body.SetAttr("count", hcl.NewTraversalExpr("var", "vm_count"))
+	nic.Body.SetAttr("name", &hcl.TemplateExpr{Parts: []hcl.Expression{
+		lit(spec.Name + "-nic-"), hcl.NewTraversalExpr("count", "index"),
+	}})
+	nic.Body.SetAttr("subnet_id", hcl.NewTraversalExpr("aws_subnet", "app", "id"))
+	nic.Body.SetAttr("security_group_ids", hcl.NewTuple(hcl.NewTraversalExpr("aws_security_group", "web", "id")))
+	add(nic)
+
+	vm := hcl.NewBlock("resource", "aws_virtual_machine", "web")
+	vm.Body.SetAttr("count", hcl.NewTraversalExpr("var", "vm_count"))
+	vm.Body.SetAttr("name", &hcl.TemplateExpr{Parts: []hcl.Expression{
+		lit(spec.Name + "-web-"), hcl.NewTraversalExpr("count", "index"),
+	}})
+	vm.Body.SetAttr("nic_ids", hcl.NewTuple(&hcl.RelativeTraversalExpr{
+		Source: &hcl.IndexExpr{
+			Collection: hcl.NewTraversalExpr("aws_network_interface", "web"),
+			Key:        hcl.NewTraversalExpr("count", "index"),
+		},
+		Traversal: hcl.Traversal{hcl.TraverseAttr{Name: "id"}},
+	}))
+	add(vm)
+
+	if spec.WithLoadBalancer {
+		lb := hcl.NewBlock("resource", "aws_load_balancer", "front")
+		lb.Body.SetAttr("name", lit(spec.Name+"-lb"))
+		lb.Body.SetAttr("subnet_ids", hcl.NewTuple(hcl.NewTraversalExpr("aws_subnet", "app", "id")))
+		lb.Body.SetAttr("target_ids", &hcl.SplatExpr{
+			Source: hcl.NewTraversalExpr("aws_virtual_machine", "web"),
+			Each:   hcl.Traversal{hcl.TraverseAttr{Name: "id"}},
+		})
+		add(lb)
+	}
+	if spec.WithDatabase {
+		db := hcl.NewBlock("resource", "aws_database_instance", "main")
+		db.Body.SetAttr("name", lit(spec.Name+"-db"))
+		db.Body.SetAttr("engine", lit("postgres"))
+		db.Body.SetAttr("subnet_ids", hcl.NewTuple(hcl.NewTraversalExpr("aws_subnet", "app", "id")))
+		add(db)
+	}
+
+	out := hcl.NewBlock("output", "vm_ids")
+	out.Body.SetAttr("value", &hcl.SplatExpr{
+		Source: hcl.NewTraversalExpr("aws_virtual_machine", "web"),
+		Each:   hcl.Traversal{hcl.TraverseAttr{Name: "id"}},
+	})
+	add(out)
+	return f
+}
+
+func synthVPNMesh(spec SynthSpec) *hcl.File {
+	f := &hcl.File{Body: &hcl.Body{}}
+	add := func(b *hcl.Block) { f.Body.Blocks = append(f.Body.Blocks, b) }
+
+	prov := hcl.NewBlock("provider", "aws")
+	prov.Body.SetAttr("region", lit(spec.Region))
+	add(prov)
+
+	tVar := hcl.NewBlock("variable", "tunnel_count")
+	tVar.Body.SetAttr("type", lit("number"))
+	tVar.Body.SetAttr("default", lit(spec.TunnelCount))
+	add(tVar)
+
+	vpc := hcl.NewBlock("resource", "aws_vpc", "hub")
+	vpc.Body.SetAttr("name", lit(spec.Name+"-hub"))
+	vpc.Body.SetAttr("cidr_block", lit("10.8.0.0/16"))
+	add(vpc)
+
+	gw := hcl.NewBlock("resource", "aws_vpn_gateway", "hub")
+	gw.Body.SetAttr("vpc_id", hcl.NewTraversalExpr("aws_vpc", "hub", "id"))
+	add(gw)
+
+	tun := hcl.NewBlock("resource", "aws_vpn_tunnel", "mesh")
+	tun.Body.SetAttr("count", hcl.NewTraversalExpr("var", "tunnel_count"))
+	tun.Body.SetAttr("vpn_gateway_id", hcl.NewTraversalExpr("aws_vpn_gateway", "hub", "id"))
+	tun.Body.SetAttr("peer_ip", &hcl.TemplateExpr{Parts: []hcl.Expression{
+		lit("198.51.100."), hcl.NewTraversalExpr("count", "index"),
+	}})
+	add(tun)
+
+	out := hcl.NewBlock("output", "tunnel_ids")
+	out.Body.SetAttr("value", &hcl.SplatExpr{
+		Source: hcl.NewTraversalExpr("aws_vpn_tunnel", "mesh"),
+		Each:   hcl.Traversal{hcl.TraverseAttr{Name: "id"}},
+	})
+	add(out)
+	return f
+}

@@ -1,0 +1,267 @@
+package schema
+
+import (
+	"time"
+
+	"cloudless/internal/eval"
+)
+
+// The AWS-like provider catalog. Types, attributes, and provisioning-time
+// models approximate the real service's control-plane behaviour closely
+// enough for scheduling and drift experiments (see DESIGN.md substitutions).
+func init() {
+	Register(&Provider{
+		Name:          "aws",
+		DefaultRegion: "us-east-1",
+		Regions: []string{
+			"us-east-1", "us-east-2", "us-west-1", "us-west-2",
+			"eu-west-1", "eu-central-1", "ap-southeast-1", "ap-northeast-1",
+		},
+		APIRateLimit: 20,
+		Resources: map[string]*ResourceSchema{
+			"aws_region": {
+				DataSource:    true,
+				ProvisionTime: 50 * time.Millisecond,
+				Attrs: map[string]*AttrSchema{
+					"name": {Type: TypeString, Computed: true, Semantic: Semantic{Kind: SemRegion}},
+				},
+			},
+			"aws_availability_zones": {
+				DataSource:    true,
+				ProvisionTime: 50 * time.Millisecond,
+				Attrs: map[string]*AttrSchema{
+					"region": {Type: TypeString, Semantic: Semantic{Kind: SemRegion}},
+					"names":  {Type: TypeList, Elem: TypeString, Computed: true},
+				},
+			},
+			"aws_vpc": {
+				ProvisionTime: 15 * time.Second,
+				UpdateTime:    5 * time.Second,
+				DeleteTime:    10 * time.Second,
+				Attrs: map[string]*AttrSchema{
+					"id":         {Type: TypeString, Computed: true},
+					"arn":        {Type: TypeString, Computed: true},
+					"name":       {Type: TypeString, Semantic: Semantic{Kind: SemName}},
+					"region":     {Type: TypeString, Semantic: Semantic{Kind: SemRegion}},
+					"cidr_block": {Type: TypeString, Required: true, ForceNew: true, Semantic: Semantic{Kind: SemCIDR}},
+					"enable_dns": {Type: TypeBool, Default: eval.True, HasDefault: true},
+				},
+			},
+			"aws_subnet": {
+				ProvisionTime: 5 * time.Second,
+				UpdateTime:    3 * time.Second,
+				DeleteTime:    4 * time.Second,
+				Attrs: map[string]*AttrSchema{
+					"id":                {Type: TypeString, Computed: true},
+					"name":              {Type: TypeString, Semantic: Semantic{Kind: SemName}},
+					"region":            {Type: TypeString, Semantic: Semantic{Kind: SemRegion}},
+					"vpc_id":            {Type: TypeString, Required: true, ForceNew: true, Semantic: RefTo("aws_vpc")},
+					"cidr_block":        {Type: TypeString, Required: true, ForceNew: true, Semantic: Semantic{Kind: SemCIDR}},
+					"availability_zone": {Type: TypeString},
+				},
+			},
+			"aws_internet_gateway": {
+				ProvisionTime: 10 * time.Second,
+				DeleteTime:    8 * time.Second,
+				Attrs: map[string]*AttrSchema{
+					"id":     {Type: TypeString, Computed: true},
+					"region": {Type: TypeString, Semantic: Semantic{Kind: SemRegion}},
+					"vpc_id": {Type: TypeString, Required: true, ForceNew: true, Semantic: RefTo("aws_vpc")},
+				},
+			},
+			"aws_nat_gateway": {
+				ProvisionTime: 95 * time.Second,
+				DeleteTime:    60 * time.Second,
+				Attrs: map[string]*AttrSchema{
+					"id":        {Type: TypeString, Computed: true},
+					"region":    {Type: TypeString, Semantic: Semantic{Kind: SemRegion}},
+					"subnet_id": {Type: TypeString, Required: true, ForceNew: true, Semantic: RefTo("aws_subnet")},
+				},
+			},
+			"aws_route_table": {
+				ProvisionTime: 5 * time.Second,
+				UpdateTime:    3 * time.Second,
+				DeleteTime:    4 * time.Second,
+				Attrs: map[string]*AttrSchema{
+					"id":     {Type: TypeString, Computed: true},
+					"region": {Type: TypeString, Semantic: Semantic{Kind: SemRegion}},
+					"vpc_id": {Type: TypeString, Required: true, ForceNew: true, Semantic: RefTo("aws_vpc")},
+				},
+			},
+			"aws_route": {
+				ProvisionTime: 3 * time.Second,
+				UpdateTime:    2 * time.Second,
+				DeleteTime:    2 * time.Second,
+				Attrs: map[string]*AttrSchema{
+					"id":               {Type: TypeString, Computed: true},
+					"region":           {Type: TypeString, Semantic: Semantic{Kind: SemRegion}},
+					"route_table_id":   {Type: TypeString, Required: true, ForceNew: true, Semantic: RefTo("aws_route_table")},
+					"destination_cidr": {Type: TypeString, Required: true, Semantic: Semantic{Kind: SemCIDR}},
+					"gateway_id":       {Type: TypeString, Semantic: RefTo("aws_internet_gateway", "aws_nat_gateway", "aws_vpn_gateway")},
+				},
+			},
+			"aws_security_group": {
+				ProvisionTime: 5 * time.Second,
+				UpdateTime:    3 * time.Second,
+				DeleteTime:    4 * time.Second,
+				Attrs: map[string]*AttrSchema{
+					"id":            {Type: TypeString, Computed: true},
+					"region":        {Type: TypeString, Semantic: Semantic{Kind: SemRegion}},
+					"name":          {Type: TypeString, Required: true, Semantic: Semantic{Kind: SemName}},
+					"vpc_id":        {Type: TypeString, Required: true, ForceNew: true, Semantic: RefTo("aws_vpc")},
+					"ingress_ports": {Type: TypeList, Elem: TypeNumber},
+					"egress_ports":  {Type: TypeList, Elem: TypeNumber},
+				},
+			},
+			"aws_network_interface": {
+				ProvisionTime: 8 * time.Second,
+				UpdateTime:    4 * time.Second,
+				DeleteTime:    5 * time.Second,
+				Attrs: map[string]*AttrSchema{
+					"id":                 {Type: TypeString, Computed: true},
+					"mac_address":        {Type: TypeString, Computed: true},
+					"name":               {Type: TypeString, Semantic: Semantic{Kind: SemName}},
+					"region":             {Type: TypeString, Semantic: Semantic{Kind: SemRegion}},
+					"subnet_id":          {Type: TypeString, Required: true, ForceNew: true, Semantic: RefTo("aws_subnet")},
+					"private_ip":         {Type: TypeString, Semantic: Semantic{Kind: SemIPAddress}},
+					"security_group_ids": {Type: TypeList, Elem: TypeString, Semantic: RefTo("aws_security_group")},
+				},
+			},
+			"aws_virtual_machine": {
+				ProvisionTime: 90 * time.Second,
+				UpdateTime:    30 * time.Second,
+				DeleteTime:    45 * time.Second,
+				Attrs: map[string]*AttrSchema{
+					"id":         {Type: TypeString, Computed: true},
+					"private_ip": {Type: TypeString, Computed: true},
+					"public_ip":  {Type: TypeString, Computed: true},
+					"state":      {Type: TypeString, Computed: true},
+					"name":       {Type: TypeString, Required: true, Semantic: Semantic{Kind: SemName}},
+					"region":     {Type: TypeString, Semantic: Semantic{Kind: SemRegion}},
+					"instance_type": {Type: TypeString, Default: eval.String("t3.micro"), HasDefault: true,
+						OneOf: []string{"t3.micro", "t3.small", "t3.medium", "m5.large", "m5.xlarge", "c5.xlarge"}},
+					"image":     {Type: TypeString, ForceNew: true, Default: eval.String("ami-linux-2026"), HasDefault: true},
+					"nic_ids":   {Type: TypeList, Elem: TypeString, Required: true, Semantic: RefTo("aws_network_interface")},
+					"user_data": {Type: TypeString},
+				},
+			},
+			"aws_load_balancer": {
+				ProvisionTime: 180 * time.Second,
+				UpdateTime:    60 * time.Second,
+				DeleteTime:    90 * time.Second,
+				Attrs: map[string]*AttrSchema{
+					"id":         {Type: TypeString, Computed: true},
+					"dns_name":   {Type: TypeString, Computed: true},
+					"name":       {Type: TypeString, Required: true, Semantic: Semantic{Kind: SemName}},
+					"region":     {Type: TypeString, Semantic: Semantic{Kind: SemRegion}},
+					"subnet_ids": {Type: TypeList, Elem: TypeString, Required: true, Semantic: RefTo("aws_subnet")},
+					"target_ids": {Type: TypeList, Elem: TypeString, Semantic: RefTo("aws_virtual_machine")},
+					"scheme": {Type: TypeString, Default: eval.String("internet-facing"), HasDefault: true,
+						OneOf: []string{"internet-facing", "internal"}},
+				},
+			},
+			"aws_database_instance": {
+				ProvisionTime: 420 * time.Second,
+				UpdateTime:    120 * time.Second,
+				DeleteTime:    180 * time.Second,
+				Attrs: map[string]*AttrSchema{
+					"id":       {Type: TypeString, Computed: true},
+					"endpoint": {Type: TypeString, Computed: true},
+					"name":     {Type: TypeString, Required: true, Semantic: Semantic{Kind: SemName}},
+					"region":   {Type: TypeString, Semantic: Semantic{Kind: SemRegion}},
+					"engine": {Type: TypeString, Required: true, ForceNew: true,
+						OneOf: []string{"postgres", "mysql", "aurora"}},
+					"instance_class": {Type: TypeString, Default: eval.String("db.t3.micro"), HasDefault: true,
+						OneOf: []string{"db.t3.micro", "db.t3.medium", "db.m5.large"}},
+					"storage_gb": {Type: TypeNumber, Default: eval.Int(20), HasDefault: true},
+					"multi_az":   {Type: TypeBool, Default: eval.False, HasDefault: true},
+					"password":   {Type: TypeString, Sensitive: true, Semantic: Semantic{Kind: SemSecret}},
+					"subnet_ids": {Type: TypeList, Elem: TypeString, Required: true, Semantic: RefTo("aws_subnet")},
+				},
+			},
+			"aws_storage_bucket": {
+				ProvisionTime: 8 * time.Second,
+				UpdateTime:    4 * time.Second,
+				DeleteTime:    6 * time.Second,
+				Attrs: map[string]*AttrSchema{
+					"id":          {Type: TypeString, Computed: true},
+					"domain_name": {Type: TypeString, Computed: true},
+					"name":        {Type: TypeString, Required: true, ForceNew: true, Semantic: Semantic{Kind: SemName}},
+					"region":      {Type: TypeString, Semantic: Semantic{Kind: SemRegion}},
+					"versioning":  {Type: TypeBool, Default: eval.False, HasDefault: true},
+				},
+			},
+			"aws_vpn_gateway": {
+				ProvisionTime: 120 * time.Second,
+				DeleteTime:    90 * time.Second,
+				Attrs: map[string]*AttrSchema{
+					"id":     {Type: TypeString, Computed: true},
+					"region": {Type: TypeString, Semantic: Semantic{Kind: SemRegion}},
+					"vpc_id": {Type: TypeString, Required: true, ForceNew: true, Semantic: RefTo("aws_vpc")},
+				},
+			},
+			"aws_vpn_tunnel": {
+				ProvisionTime: 60 * time.Second,
+				UpdateTime:    30 * time.Second,
+				DeleteTime:    30 * time.Second,
+				Attrs: map[string]*AttrSchema{
+					"id":             {Type: TypeString, Computed: true},
+					"region":         {Type: TypeString, Semantic: Semantic{Kind: SemRegion}},
+					"vpn_gateway_id": {Type: TypeString, Required: true, ForceNew: true, Semantic: RefTo("aws_vpn_gateway")},
+					"peer_ip":        {Type: TypeString, Required: true, Semantic: Semantic{Kind: SemIPAddress}},
+					"bandwidth_mbps": {Type: TypeNumber, Default: eval.Int(500), HasDefault: true},
+				},
+			},
+			"aws_dns_record": {
+				ProvisionTime: 12 * time.Second,
+				UpdateTime:    8 * time.Second,
+				DeleteTime:    8 * time.Second,
+				Attrs: map[string]*AttrSchema{
+					"id":     {Type: TypeString, Computed: true},
+					"region": {Type: TypeString, Semantic: Semantic{Kind: SemRegion}},
+					"name":   {Type: TypeString, Required: true, Semantic: Semantic{Kind: SemDNSName}},
+					"type": {Type: TypeString, Default: eval.String("A"), HasDefault: true,
+						OneOf: []string{"A", "AAAA", "CNAME", "TXT"}},
+					"value": {Type: TypeString, Required: true},
+					"ttl":   {Type: TypeNumber, Default: eval.Int(300), HasDefault: true},
+				},
+			},
+		},
+	})
+
+	// Cloud-level constraints for the AWS-like provider.
+	mustAdd(&Rule{
+		ID:           "aws/subnet-cidr-within-vpc",
+		Description:  "a subnet's CIDR block must be contained in its VPC's CIDR block",
+		Kind:         RuleCIDRWithinParent,
+		ResourceType: "aws_subnet",
+		Attr:         "cidr_block",
+		RefAttr:      "vpc_id",
+		CIDRAttr:     "cidr_block",
+	})
+	mustAdd(&Rule{
+		ID:           "aws/vm-nic-same-region",
+		Description:  "a virtual machine and its network interfaces must be in the same region",
+		Kind:         RuleSameRegion,
+		ResourceType: "aws_virtual_machine",
+		RefAttr:      "nic_ids",
+		RegionAttr:   "region",
+	})
+	mustAdd(&Rule{
+		ID:           "aws/nic-subnet-same-region",
+		Description:  "a network interface must be in the same region as its subnet",
+		Kind:         RuleSameRegion,
+		ResourceType: "aws_network_interface",
+		RefAttr:      "subnet_id",
+		RegionAttr:   "region",
+	})
+	mustAdd(&Rule{
+		ID:            "aws/db-password-postgres-only",
+		Description:   "database passwords are only supported for the postgres engine; other engines use IAM auth",
+		Kind:          RuleAttrRequiresValue,
+		ResourceType:  "aws_database_instance",
+		Attr:          "password",
+		RequiresAttr:  "engine",
+		RequiresValue: eval.String("postgres"),
+	})
+}

@@ -1,0 +1,207 @@
+package schema
+
+import (
+	"time"
+
+	"cloudless/internal/eval"
+)
+
+// The Azure-like provider catalog. The constraint rules registered here are
+// the paper's own §3.2 examples: VM/NIC region affinity, the
+// disable_password co-requirement, and non-overlapping address spaces for
+// peered virtual networks.
+func init() {
+	Register(&Provider{
+		Name:          "azure",
+		DefaultRegion: "eastus",
+		Regions: []string{
+			"eastus", "eastus2", "westus", "westeurope",
+			"northeurope", "southeastasia", "japaneast",
+		},
+		APIRateLimit: 12,
+		Resources: map[string]*ResourceSchema{
+			"azure_location": {
+				DataSource:    true,
+				ProvisionTime: 50 * time.Millisecond,
+				Attrs: map[string]*AttrSchema{
+					"name": {Type: TypeString, Computed: true, Semantic: Semantic{Kind: SemRegion}},
+				},
+			},
+			"azure_resource_group": {
+				ProvisionTime: 5 * time.Second,
+				UpdateTime:    3 * time.Second,
+				DeleteTime:    20 * time.Second,
+				Attrs: map[string]*AttrSchema{
+					"id":       {Type: TypeString, Computed: true},
+					"name":     {Type: TypeString, Required: true, ForceNew: true, Semantic: Semantic{Kind: SemName}},
+					"location": {Type: TypeString, Required: true, ForceNew: true, Semantic: Semantic{Kind: SemRegion}},
+				},
+			},
+			"azure_virtual_network": {
+				ProvisionTime: 20 * time.Second,
+				UpdateTime:    10 * time.Second,
+				DeleteTime:    15 * time.Second,
+				Attrs: map[string]*AttrSchema{
+					"id":             {Type: TypeString, Computed: true},
+					"name":           {Type: TypeString, Required: true, Semantic: Semantic{Kind: SemName}},
+					"location":       {Type: TypeString, Semantic: Semantic{Kind: SemRegion}},
+					"resource_group": {Type: TypeString, Required: true, ForceNew: true, Semantic: RefTo("azure_resource_group")},
+					"address_space":  {Type: TypeList, Elem: TypeString, Required: true, Semantic: Semantic{Kind: SemCIDR}},
+				},
+			},
+			"azure_subnet": {
+				ProvisionTime: 5 * time.Second,
+				UpdateTime:    3 * time.Second,
+				DeleteTime:    4 * time.Second,
+				Attrs: map[string]*AttrSchema{
+					"id":                 {Type: TypeString, Computed: true},
+					"name":               {Type: TypeString, Semantic: Semantic{Kind: SemName}},
+					"location":           {Type: TypeString, Semantic: Semantic{Kind: SemRegion}},
+					"virtual_network_id": {Type: TypeString, Required: true, ForceNew: true, Semantic: RefTo("azure_virtual_network")},
+					"address_prefix":     {Type: TypeString, Required: true, ForceNew: true, Semantic: Semantic{Kind: SemCIDR}},
+				},
+			},
+			"azure_network_interface": {
+				ProvisionTime: 10 * time.Second,
+				UpdateTime:    5 * time.Second,
+				DeleteTime:    6 * time.Second,
+				Attrs: map[string]*AttrSchema{
+					"id":           {Type: TypeString, Computed: true},
+					"name":         {Type: TypeString, Required: true, Semantic: Semantic{Kind: SemName}},
+					"location":     {Type: TypeString, Semantic: Semantic{Kind: SemRegion}},
+					"subnet_id":    {Type: TypeString, Required: true, ForceNew: true, Semantic: RefTo("azure_subnet")},
+					"private_ip":   {Type: TypeString, Semantic: Semantic{Kind: SemIPAddress}},
+					"public_ip_id": {Type: TypeString, Semantic: RefTo("azure_public_ip")},
+				},
+			},
+			"azure_public_ip": {
+				ProvisionTime: 15 * time.Second,
+				UpdateTime:    8 * time.Second,
+				DeleteTime:    10 * time.Second,
+				Attrs: map[string]*AttrSchema{
+					"id":         {Type: TypeString, Computed: true},
+					"ip_address": {Type: TypeString, Computed: true},
+					"name":       {Type: TypeString, Required: true, Semantic: Semantic{Kind: SemName}},
+					"location":   {Type: TypeString, Semantic: Semantic{Kind: SemRegion}},
+					"allocation": {Type: TypeString, Default: eval.String("dynamic"), HasDefault: true,
+						OneOf: []string{"static", "dynamic"}},
+				},
+			},
+			"azure_virtual_machine": {
+				ProvisionTime: 95 * time.Second,
+				UpdateTime:    35 * time.Second,
+				DeleteTime:    50 * time.Second,
+				Attrs: map[string]*AttrSchema{
+					"id":         {Type: TypeString, Computed: true},
+					"private_ip": {Type: TypeString, Computed: true},
+					"name":       {Type: TypeString, Required: true, Semantic: Semantic{Kind: SemName}},
+					"location":   {Type: TypeString, Semantic: Semantic{Kind: SemRegion}},
+					"size": {Type: TypeString, Default: eval.String("Standard_B1s"), HasDefault: true,
+						OneOf: []string{"Standard_B1s", "Standard_B2s", "Standard_D2s_v3", "Standard_F4s"}},
+					"image":            {Type: TypeString, ForceNew: true, Default: eval.String("ubuntu-22.04"), HasDefault: true},
+					"nic_ids":          {Type: TypeList, Elem: TypeString, Required: true, Semantic: RefTo("azure_network_interface")},
+					"admin_username":   {Type: TypeString, Default: eval.String("azureuser"), HasDefault: true},
+					"admin_password":   {Type: TypeString, Sensitive: true, Semantic: Semantic{Kind: SemSecret}},
+					"disable_password": {Type: TypeBool, Default: eval.True, HasDefault: true},
+				},
+			},
+			"azure_vnet_peering": {
+				ProvisionTime: 25 * time.Second,
+				DeleteTime:    15 * time.Second,
+				Attrs: map[string]*AttrSchema{
+					"id":        {Type: TypeString, Computed: true},
+					"name":      {Type: TypeString, Semantic: Semantic{Kind: SemName}},
+					"location":  {Type: TypeString, Semantic: Semantic{Kind: SemRegion}},
+					"vnet_a_id": {Type: TypeString, Required: true, ForceNew: true, Semantic: RefTo("azure_virtual_network")},
+					"vnet_b_id": {Type: TypeString, Required: true, ForceNew: true, Semantic: RefTo("azure_virtual_network")},
+				},
+			},
+			"azure_storage_account": {
+				ProvisionTime: 30 * time.Second,
+				UpdateTime:    15 * time.Second,
+				DeleteTime:    20 * time.Second,
+				Attrs: map[string]*AttrSchema{
+					"id":       {Type: TypeString, Computed: true},
+					"endpoint": {Type: TypeString, Computed: true},
+					"name":     {Type: TypeString, Required: true, ForceNew: true, Semantic: Semantic{Kind: SemName}},
+					"location": {Type: TypeString, Semantic: Semantic{Kind: SemRegion}},
+					"tier": {Type: TypeString, Default: eval.String("standard"), HasDefault: true,
+						OneOf: []string{"standard", "premium"}},
+				},
+			},
+			"azure_sql_server": {
+				ProvisionTime: 300 * time.Second,
+				UpdateTime:    90 * time.Second,
+				DeleteTime:    120 * time.Second,
+				Attrs: map[string]*AttrSchema{
+					"id":             {Type: TypeString, Computed: true},
+					"fqdn":           {Type: TypeString, Computed: true},
+					"name":           {Type: TypeString, Required: true, ForceNew: true, Semantic: Semantic{Kind: SemName}},
+					"location":       {Type: TypeString, Semantic: Semantic{Kind: SemRegion}},
+					"admin_login":    {Type: TypeString, Default: eval.String("sqladmin"), HasDefault: true},
+					"admin_password": {Type: TypeString, Required: true, Sensitive: true, Semantic: Semantic{Kind: SemSecret}},
+				},
+			},
+			"azure_vpn_gateway": {
+				// Azure VPN gateways are famously slow to provision; this is
+				// the long pole that makes critical-path scheduling matter.
+				ProvisionTime: 900 * time.Second,
+				DeleteTime:    300 * time.Second,
+				Attrs: map[string]*AttrSchema{
+					"id":        {Type: TypeString, Computed: true},
+					"public_ip": {Type: TypeString, Computed: true},
+					"name":      {Type: TypeString, Required: true, Semantic: Semantic{Kind: SemName}},
+					"location":  {Type: TypeString, Semantic: Semantic{Kind: SemRegion}},
+					"vnet_id":   {Type: TypeString, Required: true, ForceNew: true, Semantic: RefTo("azure_virtual_network")},
+					"sku": {Type: TypeString, Default: eval.String("VpnGw1"), HasDefault: true,
+						OneOf: []string{"VpnGw1", "VpnGw2", "VpnGw3"}},
+				},
+			},
+		},
+	})
+
+	// The paper's three §3.2 example constraints, verbatim.
+	mustAdd(&Rule{
+		ID:           "azure/vm-nic-same-region",
+		Description:  "Azure requires that VMs and their attached network interface cards must be in the same cloud region",
+		Kind:         RuleSameRegion,
+		ResourceType: "azure_virtual_machine",
+		RefAttr:      "nic_ids",
+		RegionAttr:   "location",
+	})
+	mustAdd(&Rule{
+		ID:            "azure/vm-password-requires-enable",
+		Description:   "Azure VMs could specify a password only if disable_password is explicitly set to false",
+		Kind:          RuleAttrRequiresValue,
+		ResourceType:  "azure_virtual_machine",
+		Attr:          "admin_password",
+		RequiresAttr:  "disable_password",
+		RequiresValue: eval.False,
+	})
+	mustAdd(&Rule{
+		ID:           "azure/peered-vnets-no-cidr-overlap",
+		Description:  "Azure virtual networks cannot have overlapping address spaces if they are connected through peering",
+		Kind:         RuleNoCIDROverlapWhenPeered,
+		ResourceType: "azure_vnet_peering",
+		PeerAttrA:    "vnet_a_id",
+		PeerAttrB:    "vnet_b_id",
+		CIDRAttr:     "address_space",
+	})
+	mustAdd(&Rule{
+		ID:           "azure/nic-subnet-same-region",
+		Description:  "a network interface must be in the same region as its subnet",
+		Kind:         RuleSameRegion,
+		ResourceType: "azure_network_interface",
+		RefAttr:      "subnet_id",
+		RegionAttr:   "location",
+	})
+	mustAdd(&Rule{
+		ID:           "azure/subnet-prefix-within-vnet",
+		Description:  "a subnet's address prefix must be contained in its virtual network's address space",
+		Kind:         RuleCIDRWithinParent,
+		ResourceType: "azure_subnet",
+		Attr:         "address_prefix",
+		RefAttr:      "virtual_network_id",
+		CIDRAttr:     "address_space",
+	})
+}

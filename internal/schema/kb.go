@@ -1,0 +1,182 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cloudless/internal/eval"
+)
+
+// RuleKind classifies a cloud-level constraint in the knowledge base.
+type RuleKind int
+
+// Rule kinds. Each corresponds to a class of deployment-time error the paper
+// calls out in §3.2 that cloudless computing should catch at compile time.
+const (
+	// RuleSameRegion: the resource and the resource referenced by RefAttr
+	// must be in the same region (e.g. Azure VMs and their NICs).
+	RuleSameRegion RuleKind = iota
+	// RuleAttrRequiresValue: Attr may only be set when RequiresAttr has
+	// the value RequiresValue (e.g. Azure VM passwords require
+	// disable_password = false).
+	RuleAttrRequiresValue
+	// RuleNoCIDROverlapWhenPeered: the two networks referenced by PeerAttrA
+	// and PeerAttrB must not have overlapping address spaces (Azure VNet
+	// peering).
+	RuleNoCIDROverlapWhenPeered
+	// RuleRefWithinParent: the resource referenced by RefAttr must itself
+	// reference the same parent as this resource via ParentAttr (e.g. a
+	// subnet's route table must belong to the subnet's VPC).
+	RuleRefWithinParent
+	// RuleCIDRWithinParent: the CIDR in Attr must be contained within the
+	// CIDR of the parent referenced by RefAttr (e.g. subnets within VPCs).
+	RuleCIDRWithinParent
+)
+
+var ruleKindNames = map[RuleKind]string{
+	RuleSameRegion:              "same-region",
+	RuleAttrRequiresValue:       "attribute-co-requirement",
+	RuleNoCIDROverlapWhenPeered: "no-cidr-overlap-when-peered",
+	RuleRefWithinParent:         "reference-within-parent",
+	RuleCIDRWithinParent:        "cidr-within-parent",
+}
+
+// String returns the kind's name.
+func (k RuleKind) String() string { return ruleKindNames[k] }
+
+// Rule is one cloud-level constraint, expressed declaratively so the
+// knowledge base can evolve as cloud features change without recompiling
+// the validator (§3.2: "update it as cloud features evolve").
+type Rule struct {
+	// ID is a stable identifier, e.g. "azure/vm-nic-same-region".
+	ID string
+	// Description is shown in diagnostics and in knowledge-base listings.
+	Description string
+	// Kind selects the checking algorithm.
+	Kind RuleKind
+	// ResourceType anchors the rule to the type it checks.
+	ResourceType string
+
+	// RefAttr names the attribute holding a resource reference.
+	RefAttr string
+	// RegionAttr names the region attribute on both ends of a same-region
+	// rule ("location" for azure, "region" for aws).
+	RegionAttr string
+	// Attr is the governed attribute for co-requirement and CIDR rules.
+	Attr string
+	// RequiresAttr / RequiresValue define a co-requirement.
+	RequiresAttr  string
+	RequiresValue eval.Value
+	// PeerAttrA / PeerAttrB name the two network references of a peering.
+	PeerAttrA, PeerAttrB string
+	// CIDRAttr names the address-space attribute on the referenced network.
+	CIDRAttr string
+	// ParentAttr names the parent reference on both resources for
+	// RuleRefWithinParent.
+	ParentAttr string
+}
+
+// KnowledgeBase is a versioned collection of constraint rules. Version
+// increments on every mutation so cached validation results can be
+// invalidated when the cloud's behaviour model changes.
+type KnowledgeBase struct {
+	mu      sync.RWMutex
+	rules   map[string]*Rule // by ID
+	byType  map[string][]*Rule
+	version int
+}
+
+// NewKnowledgeBase builds an empty knowledge base.
+func NewKnowledgeBase() *KnowledgeBase {
+	return &KnowledgeBase{rules: map[string]*Rule{}, byType: map[string][]*Rule{}}
+}
+
+// Add inserts or replaces a rule.
+func (kb *KnowledgeBase) Add(r *Rule) error {
+	if r.ID == "" || r.ResourceType == "" {
+		return fmt.Errorf("rule must have an ID and a resource type")
+	}
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
+	if old, ok := kb.rules[r.ID]; ok {
+		kb.removeLocked(old)
+	}
+	kb.rules[r.ID] = r
+	kb.byType[r.ResourceType] = append(kb.byType[r.ResourceType], r)
+	kb.version++
+	return nil
+}
+
+// Remove deletes a rule by ID, reporting whether it existed.
+func (kb *KnowledgeBase) Remove(id string) bool {
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
+	r, ok := kb.rules[id]
+	if !ok {
+		return false
+	}
+	kb.removeLocked(r)
+	kb.version++
+	return true
+}
+
+func (kb *KnowledgeBase) removeLocked(r *Rule) {
+	delete(kb.rules, r.ID)
+	list := kb.byType[r.ResourceType]
+	for i, e := range list {
+		if e.ID == r.ID {
+			kb.byType[r.ResourceType] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+}
+
+// RulesFor returns the rules anchored on a resource type.
+func (kb *KnowledgeBase) RulesFor(typ string) []*Rule {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	out := make([]*Rule, len(kb.byType[typ]))
+	copy(out, kb.byType[typ])
+	return out
+}
+
+// All returns every rule, sorted by ID.
+func (kb *KnowledgeBase) All() []*Rule {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	out := make([]*Rule, 0, len(kb.rules))
+	for _, r := range kb.rules {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Version returns the current mutation counter.
+func (kb *KnowledgeBase) Version() int {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	return kb.version
+}
+
+// Len returns the number of rules.
+func (kb *KnowledgeBase) Len() int {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	return len(kb.rules)
+}
+
+// defaultKB is the built-in knowledge base, populated by provider catalogs.
+var defaultKB = NewKnowledgeBase()
+
+// DefaultKB returns the built-in knowledge base shared by the validator and
+// the cloud simulator (which enforces the same rules at "deploy time" so the
+// experiments can compare compile-time and deploy-time failure).
+func DefaultKB() *KnowledgeBase { return defaultKB }
+
+func mustAdd(r *Rule) {
+	if err := defaultKB.Add(r); err != nil {
+		panic("schema: " + err.Error())
+	}
+}

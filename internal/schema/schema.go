@@ -1,0 +1,226 @@
+// Package schema defines resource type schemas, the semantic type system the
+// Cloudless paper proposes for IaC validation (§3.2), and the knowledge base
+// of cloud-level constraints derived from provider documentation.
+//
+// The design follows the registry pattern: providers register their resource
+// catalogs at init time, and every other subsystem (validator, planner, cloud
+// simulator, porter) consults the same registry, so the "IaC-level compiler"
+// and the "cloud level" can never disagree about a type's shape.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cloudless/internal/eval"
+)
+
+// AttrType is the structural type of an attribute.
+type AttrType int
+
+// Structural attribute types.
+const (
+	TypeString AttrType = iota
+	TypeNumber
+	TypeBool
+	TypeList // list of ElemType
+	TypeMap  // map of string to ElemType
+)
+
+var attrTypeNames = map[AttrType]string{
+	TypeString: "string",
+	TypeNumber: "number",
+	TypeBool:   "bool",
+	TypeList:   "list",
+	TypeMap:    "map",
+}
+
+// String returns the type's name.
+func (t AttrType) String() string { return attrTypeNames[t] }
+
+// AttrSchema describes one attribute of a resource type.
+type AttrSchema struct {
+	Name string
+	Type AttrType
+	// Elem is the element type for lists and maps.
+	Elem AttrType
+	// Required attributes must be set in configuration.
+	Required bool
+	// Computed attributes are assigned by the cloud (e.g. "id"); they may
+	// not be set in configuration.
+	Computed bool
+	// ForceNew marks attributes whose change requires destroying and
+	// recreating the resource — the planner turns such diffs into replace
+	// actions and the rollback planner treats them as irreversible.
+	ForceNew bool
+	// Sensitive marks secrets; state rendering redacts them.
+	Sensitive bool
+	// Default is applied when the attribute is unset.
+	Default eval.Value
+	// HasDefault distinguishes an intentional default from the zero Value.
+	HasDefault bool
+	// Semantic is the attribute's semantic type (§3.2): what the string
+	// *means*, not just that it is a string.
+	Semantic Semantic
+	// OneOf restricts string values to an allowed set when non-empty.
+	OneOf []string
+}
+
+// ResourceSchema describes a resource (or data source) type.
+type ResourceSchema struct {
+	// Type is the full type name, e.g. "aws_virtual_machine".
+	Type string
+	// Provider is the owning provider name, e.g. "aws".
+	Provider string
+	// Attrs maps attribute name to schema.
+	Attrs map[string]*AttrSchema
+	// ProvisionTime is the simulated mean time to create one instance; the
+	// critical-path scheduler and the cloud simulator share this model.
+	ProvisionTime time.Duration
+	// UpdateTime and DeleteTime are the simulated mean times for in-place
+	// update and deletion.
+	UpdateTime time.Duration
+	DeleteTime time.Duration
+	// DataSource marks read-only data sources such as "aws_region".
+	DataSource bool
+}
+
+// Attr returns the schema for an attribute, or nil.
+func (r *ResourceSchema) Attr(name string) *AttrSchema {
+	return r.Attrs[name]
+}
+
+// AttrNames returns attribute names in sorted order.
+func (r *ResourceSchema) AttrNames() []string {
+	names := make([]string, 0, len(r.Attrs))
+	for n := range r.Attrs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RequiredAttrs returns the names of required attributes, sorted.
+func (r *ResourceSchema) RequiredAttrs() []string {
+	var names []string
+	for n, a := range r.Attrs {
+		if a.Required {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Provider is a registered cloud provider with its resource catalog.
+type Provider struct {
+	// Name is the provider prefix, e.g. "aws" or "azure".
+	Name string
+	// Resources maps resource type name to schema.
+	Resources map[string]*ResourceSchema
+	// DefaultRegion is used when configuration does not pin one.
+	DefaultRegion string
+	// Regions lists the provider's available regions.
+	Regions []string
+	// APIRateLimit is the simulated control-plane rate limit in requests
+	// per second; drift-scan experiments (§3.5) depend on it.
+	APIRateLimit float64
+}
+
+// registry is the global provider registry, guarded for concurrent use
+// because tests register scratch providers in parallel.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]*Provider{}
+)
+
+// Register adds a provider to the global registry. Registering the same name
+// twice panics, mirroring gopacket's layer registry: it is a programmer
+// error, not a runtime condition.
+func Register(p *Provider) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[p.Name]; dup {
+		panic(fmt.Sprintf("schema: provider %q registered twice", p.Name))
+	}
+	for typ, rs := range p.Resources {
+		rs.Type = typ
+		rs.Provider = p.Name
+		for name, a := range rs.Attrs {
+			a.Name = name
+		}
+	}
+	registry[p.Name] = p
+}
+
+// LookupProvider returns a registered provider.
+func LookupProvider(name string) (*Provider, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	p, ok := registry[name]
+	return p, ok
+}
+
+// Providers returns registered provider names, sorted.
+func Providers() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LookupResource resolves a resource type name (e.g. "aws_virtual_machine")
+// to its schema by matching the provider prefix.
+func LookupResource(typ string) (*ResourceSchema, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	for _, p := range registry {
+		if rs, ok := p.Resources[typ]; ok {
+			return rs, true
+		}
+	}
+	return nil, false
+}
+
+// ProviderForType returns the provider owning a resource type.
+func ProviderForType(typ string) (*Provider, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	for _, p := range registry {
+		if _, ok := p.Resources[typ]; ok {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// ResourceTypes returns all registered resource type names, sorted.
+func ResourceTypes() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	var names []string
+	for _, p := range registry {
+		for t := range p.Resources {
+			names = append(names, t)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DefaultsFor returns the map of attribute defaults for a resource type.
+func DefaultsFor(rs *ResourceSchema) map[string]eval.Value {
+	out := map[string]eval.Value{}
+	for name, a := range rs.Attrs {
+		if a.HasDefault {
+			out[name] = a.Default
+		}
+	}
+	return out
+}

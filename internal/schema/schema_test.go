@@ -1,0 +1,222 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"cloudless/internal/eval"
+)
+
+func TestProvidersRegistered(t *testing.T) {
+	for _, name := range []string{"aws", "azure"} {
+		p, ok := LookupProvider(name)
+		if !ok {
+			t.Fatalf("provider %q not registered", name)
+		}
+		if len(p.Resources) == 0 {
+			t.Errorf("provider %q has no resources", name)
+		}
+		if p.DefaultRegion == "" || len(p.Regions) == 0 {
+			t.Errorf("provider %q missing region config", name)
+		}
+		if p.APIRateLimit <= 0 {
+			t.Errorf("provider %q missing API rate limit", name)
+		}
+	}
+}
+
+func TestLookupResource(t *testing.T) {
+	rs, ok := LookupResource("aws_virtual_machine")
+	if !ok {
+		t.Fatal("aws_virtual_machine not found")
+	}
+	if rs.Provider != "aws" || rs.Type != "aws_virtual_machine" {
+		t.Errorf("backfilled identity: %q %q", rs.Provider, rs.Type)
+	}
+	if rs.ProvisionTime <= 0 {
+		t.Error("missing provision time model")
+	}
+	if _, ok := LookupResource("gcp_nonexistent"); ok {
+		t.Error("lookup of unknown type should fail")
+	}
+}
+
+func TestSchemaShapeInvariants(t *testing.T) {
+	// Every resource type must have a computed "id" (except data sources,
+	// which may expose other computed attributes instead), and computed
+	// attributes must not be required.
+	for _, typ := range ResourceTypes() {
+		rs, _ := LookupResource(typ)
+		if !rs.DataSource {
+			id := rs.Attr("id")
+			if id == nil || !id.Computed {
+				t.Errorf("%s: missing computed id attribute", typ)
+			}
+		}
+		for name, a := range rs.Attrs {
+			if a.Computed && a.Required {
+				t.Errorf("%s.%s: computed attributes cannot be required", typ, name)
+			}
+			if a.Computed && a.HasDefault {
+				t.Errorf("%s.%s: computed attributes cannot have defaults", typ, name)
+			}
+			if a.Name != name {
+				t.Errorf("%s.%s: name not backfilled", typ, name)
+			}
+		}
+	}
+}
+
+func TestReferenceSemanticsPointAtRealTypes(t *testing.T) {
+	// Knowledge-base quality check: every RefTypes entry must name a
+	// registered resource type.
+	for _, typ := range ResourceTypes() {
+		rs, _ := LookupResource(typ)
+		for name, a := range rs.Attrs {
+			if a.Semantic.Kind != SemResourceRef {
+				continue
+			}
+			for _, ref := range a.Semantic.RefTypes {
+				if _, ok := LookupResource(ref); !ok {
+					t.Errorf("%s.%s references unknown type %q", typ, name, ref)
+				}
+			}
+		}
+	}
+}
+
+func TestRequiredAttrs(t *testing.T) {
+	rs, _ := LookupResource("azure_virtual_machine")
+	req := rs.RequiredAttrs()
+	want := []string{"name", "nic_ids"}
+	if len(req) != len(want) {
+		t.Fatalf("required = %v, want %v", req, want)
+	}
+	for i := range want {
+		if req[i] != want[i] {
+			t.Errorf("required = %v, want %v", req, want)
+		}
+	}
+}
+
+func TestDefaultsFor(t *testing.T) {
+	rs, _ := LookupResource("azure_virtual_machine")
+	d := DefaultsFor(rs)
+	if !d["disable_password"].Equal(eval.True) {
+		t.Errorf("disable_password default = %v", d["disable_password"])
+	}
+	if d["size"].AsString() != "Standard_B1s" {
+		t.Errorf("size default = %v", d["size"])
+	}
+}
+
+func TestSemanticAccepts(t *testing.T) {
+	s := RefTo("aws_vpc", "aws_subnet")
+	if !s.Accepts("aws_subnet") || s.Accepts("aws_virtual_machine") {
+		t.Error("RefTo acceptance wrong")
+	}
+	if (Semantic{Kind: SemCIDR}).Accepts("aws_vpc") {
+		t.Error("non-ref semantics accept nothing")
+	}
+	if !strings.Contains(s.String(), "aws_vpc") {
+		t.Errorf("semantic string = %q", s.String())
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration must panic")
+		}
+	}()
+	Register(&Provider{Name: "aws"})
+}
+
+func TestPaperExampleRulesPresent(t *testing.T) {
+	kb := DefaultKB()
+	for _, id := range []string{
+		"azure/vm-nic-same-region",
+		"azure/vm-password-requires-enable",
+		"azure/peered-vnets-no-cidr-overlap",
+		"aws/subnet-cidr-within-vpc",
+	} {
+		found := false
+		for _, r := range kb.All() {
+			if r.ID == id {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("paper example rule %q missing from knowledge base", id)
+		}
+	}
+}
+
+func TestKnowledgeBaseVersioning(t *testing.T) {
+	kb := NewKnowledgeBase()
+	v0 := kb.Version()
+	r := &Rule{ID: "x/rule", ResourceType: "aws_vpc", Kind: RuleSameRegion}
+	if err := kb.Add(r); err != nil {
+		t.Fatal(err)
+	}
+	if kb.Version() != v0+1 {
+		t.Error("Add must bump version")
+	}
+	if got := kb.RulesFor("aws_vpc"); len(got) != 1 || got[0].ID != "x/rule" {
+		t.Errorf("RulesFor = %v", got)
+	}
+	// Replacing a rule must not duplicate it.
+	if err := kb.Add(&Rule{ID: "x/rule", ResourceType: "aws_vpc", Kind: RuleAttrRequiresValue}); err != nil {
+		t.Fatal(err)
+	}
+	if got := kb.RulesFor("aws_vpc"); len(got) != 1 || got[0].Kind != RuleAttrRequiresValue {
+		t.Errorf("replace failed: %v", got)
+	}
+	if !kb.Remove("x/rule") {
+		t.Error("Remove returned false")
+	}
+	if kb.Remove("x/rule") {
+		t.Error("double remove returned true")
+	}
+	if kb.Len() != 0 {
+		t.Errorf("Len = %d", kb.Len())
+	}
+}
+
+func TestKnowledgeBaseRejectsAnonymousRules(t *testing.T) {
+	kb := NewKnowledgeBase()
+	if err := kb.Add(&Rule{ResourceType: "aws_vpc"}); err == nil {
+		t.Error("rule without ID must be rejected")
+	}
+	if err := kb.Add(&Rule{ID: "a"}); err == nil {
+		t.Error("rule without resource type must be rejected")
+	}
+}
+
+func TestRuleDescriptionsAndNames(t *testing.T) {
+	for _, r := range DefaultKB().All() {
+		if r.Description == "" {
+			t.Errorf("rule %s has no description", r.ID)
+		}
+		if _, ok := LookupResource(r.ResourceType); !ok {
+			t.Errorf("rule %s anchored on unknown type %q", r.ID, r.ResourceType)
+		}
+	}
+}
+
+func TestDataSourcesMarked(t *testing.T) {
+	for _, typ := range []string{"aws_region", "aws_availability_zones", "azure_location"} {
+		rs, ok := LookupResource(typ)
+		if !ok || !rs.DataSource {
+			t.Errorf("%s should be a data source", typ)
+		}
+	}
+}
+
+func TestProviderForType(t *testing.T) {
+	p, ok := ProviderForType("azure_subnet")
+	if !ok || p.Name != "azure" {
+		t.Errorf("ProviderForType = %v, %v", p, ok)
+	}
+}

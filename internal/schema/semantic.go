@@ -1,0 +1,82 @@
+package schema
+
+import "fmt"
+
+// SemKind classifies what a string-typed attribute semantically represents.
+// This is the paper's §3.2 proposal made concrete: instead of treating every
+// attribute as an opaque string, the validator knows that one string is a
+// reference to a network interface and another is a CIDR block, and can
+// reject compositions that mix them up before any API call is made.
+type SemKind int
+
+// Semantic kinds.
+const (
+	// SemNone means the attribute carries no extra semantics.
+	SemNone SemKind = iota
+	// SemResourceRef means the value must be the ID of a resource of the
+	// type named in Semantic.RefTypes.
+	SemResourceRef
+	// SemRegion means the value must be one of the provider's regions.
+	SemRegion
+	// SemCIDR means the value must parse as an IPv4/IPv6 CIDR block.
+	SemCIDR
+	// SemIPAddress means the value must parse as a bare IP address.
+	SemIPAddress
+	// SemName means the value is a human-chosen resource name subject to
+	// the provider's naming rules.
+	SemName
+	// SemSecret means the value is credential material.
+	SemSecret
+	// SemDNSName means the value must look like a DNS hostname.
+	SemDNSName
+)
+
+var semKindNames = map[SemKind]string{
+	SemNone:        "none",
+	SemResourceRef: "resource-reference",
+	SemRegion:      "region",
+	SemCIDR:        "cidr",
+	SemIPAddress:   "ip-address",
+	SemName:        "name",
+	SemSecret:      "secret",
+	SemDNSName:     "dns-name",
+}
+
+// String returns the kind's name.
+func (k SemKind) String() string { return semKindNames[k] }
+
+// Semantic is the semantic type of an attribute.
+type Semantic struct {
+	Kind SemKind
+	// RefTypes lists the resource types whose IDs are acceptable when Kind
+	// is SemResourceRef. Multiple entries model attributes that accept any
+	// of several types (e.g. a route target).
+	RefTypes []string
+}
+
+// RefTo builds a resource-reference semantic type.
+func RefTo(types ...string) Semantic {
+	return Semantic{Kind: SemResourceRef, RefTypes: types}
+}
+
+// Accepts reports whether a reference to the given resource type satisfies
+// this semantic type.
+func (s Semantic) Accepts(resourceType string) bool {
+	if s.Kind != SemResourceRef {
+		return false
+	}
+	for _, t := range s.RefTypes {
+		if t == resourceType {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the semantic type for diagnostics.
+func (s Semantic) String() string {
+	if s.Kind == SemResourceRef {
+		return fmt.Sprintf("reference(%v)", s.RefTypes)
+	}
+	return s.Kind.String()
+}

@@ -1,0 +1,240 @@
+// Package state models the recorded state of a deployed infrastructure: the
+// mapping from configuration addresses to real cloud resources. It provides
+// JSON serialization, deep cloning, fingerprinting, and a versioned history
+// — the §3.4 "time machine" that tracks the mapping between past
+// configurations and their corresponding states.
+package state
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"cloudless/internal/eval"
+)
+
+// ResourceState records one deployed resource instance.
+type ResourceState struct {
+	// Addr is the instance address, e.g. "aws_subnet.s[0]".
+	Addr string
+	// Type is the resource type.
+	Type string
+	// ID is the cloud-assigned identifier.
+	ID string
+	// Region the resource lives in.
+	Region string
+	// Attrs is the full attribute set as last read from the cloud.
+	Attrs map[string]eval.Value
+	// Dependencies are resource-level addresses this instance depended on
+	// at creation; destroy ordering reverses them.
+	Dependencies []string
+	// CreatedAt/UpdatedAt are bookkeeping timestamps.
+	CreatedAt time.Time
+	UpdatedAt time.Time
+}
+
+// Clone deep-copies the resource state.
+func (rs *ResourceState) Clone() *ResourceState {
+	cp := *rs
+	cp.Attrs = make(map[string]eval.Value, len(rs.Attrs))
+	for k, v := range rs.Attrs {
+		cp.Attrs[k] = v
+	}
+	cp.Dependencies = append([]string(nil), rs.Dependencies...)
+	return &cp
+}
+
+// Attr returns an attribute value or eval.Null.
+func (rs *ResourceState) Attr(name string) eval.Value {
+	if v, ok := rs.Attrs[name]; ok {
+		return v
+	}
+	return eval.Null
+}
+
+// State is the complete recorded infrastructure state.
+type State struct {
+	// Serial increments on every commit.
+	Serial int
+	// Resources maps instance address to recorded state.
+	Resources map[string]*ResourceState
+	// Outputs are the root module outputs as of the last apply.
+	Outputs map[string]eval.Value
+}
+
+// New creates an empty state.
+func New() *State {
+	return &State{Resources: map[string]*ResourceState{}, Outputs: map[string]eval.Value{}}
+}
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	c := New()
+	c.Serial = s.Serial
+	for addr, rs := range s.Resources {
+		c.Resources[addr] = rs.Clone()
+	}
+	for k, v := range s.Outputs {
+		c.Outputs[k] = v
+	}
+	return c
+}
+
+// Get returns the resource at an address, or nil.
+func (s *State) Get(addr string) *ResourceState {
+	return s.Resources[addr]
+}
+
+// Set inserts or replaces a resource record.
+func (s *State) Set(rs *ResourceState) {
+	s.Resources[rs.Addr] = rs
+}
+
+// Remove deletes a resource record.
+func (s *State) Remove(addr string) {
+	delete(s.Resources, addr)
+}
+
+// Addrs returns all instance addresses, sorted.
+func (s *State) Addrs() []string {
+	out := make([]string, 0, len(s.Resources))
+	for a := range s.Resources {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of recorded resources.
+func (s *State) Len() int { return len(s.Resources) }
+
+// ByID finds the resource record holding a given cloud ID, or nil.
+func (s *State) ByID(id string) *ResourceState {
+	for _, rs := range s.Resources {
+		if rs.ID == id {
+			return rs
+		}
+	}
+	return nil
+}
+
+// Fingerprint returns a stable hash of the entire state, used to detect
+// divergence between two state snapshots cheaply.
+func (s *State) Fingerprint() string {
+	h := uint64(14695981039346656037)
+	mix := func(str string) {
+		for i := 0; i < len(str); i++ {
+			h ^= uint64(str[i])
+			h *= 1099511628211
+		}
+	}
+	for _, addr := range s.Addrs() {
+		rs := s.Resources[addr]
+		mix(addr)
+		mix(rs.ID)
+		mix(strconv.FormatUint(eval.Object(rs.Attrs).Hash(), 16))
+	}
+	return strconv.FormatUint(h, 16)
+}
+
+// --- Serialization --------------------------------------------------------
+
+type stateJSON struct {
+	Version   int                     `json:"version"`
+	Serial    int                     `json:"serial"`
+	Resources map[string]resourceJSON `json:"resources"`
+	Outputs   map[string]any          `json:"outputs,omitempty"`
+}
+
+type resourceJSON struct {
+	Type         string         `json:"type"`
+	ID           string         `json:"id"`
+	Region       string         `json:"region"`
+	Attrs        map[string]any `json:"attrs"`
+	Dependencies []string       `json:"dependencies,omitempty"`
+	CreatedAt    time.Time      `json:"created_at"`
+	UpdatedAt    time.Time      `json:"updated_at"`
+}
+
+// Encode serializes the state as JSON.
+func (s *State) Encode() ([]byte, error) {
+	out := stateJSON{
+		Version:   1,
+		Serial:    s.Serial,
+		Resources: map[string]resourceJSON{},
+		Outputs:   map[string]any{},
+	}
+	for addr, rs := range s.Resources {
+		attrs := make(map[string]any, len(rs.Attrs))
+		for k, v := range rs.Attrs {
+			attrs[k] = eval.ToGo(v)
+		}
+		out.Resources[addr] = resourceJSON{
+			Type: rs.Type, ID: rs.ID, Region: rs.Region, Attrs: attrs,
+			Dependencies: rs.Dependencies, CreatedAt: rs.CreatedAt, UpdatedAt: rs.UpdatedAt,
+		}
+	}
+	for k, v := range s.Outputs {
+		out.Outputs[k] = eval.ToGo(v)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// Decode parses a serialized state.
+func Decode(data []byte) (*State, error) {
+	var in stateJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("state: decode: %w", err)
+	}
+	if in.Version != 1 {
+		return nil, fmt.Errorf("state: unsupported version %d", in.Version)
+	}
+	s := New()
+	s.Serial = in.Serial
+	for addr, rj := range in.Resources {
+		attrs := make(map[string]eval.Value, len(rj.Attrs))
+		for k, v := range rj.Attrs {
+			attrs[k] = eval.FromGoWithUnknowns(v)
+		}
+		s.Resources[addr] = &ResourceState{
+			Addr: addr, Type: rj.Type, ID: rj.ID, Region: rj.Region,
+			Attrs: attrs, Dependencies: rj.Dependencies,
+			CreatedAt: rj.CreatedAt, UpdatedAt: rj.UpdatedAt,
+		}
+	}
+	for k, v := range in.Outputs {
+		s.Outputs[k] = eval.FromGoWithUnknowns(v)
+	}
+	return s, nil
+}
+
+// SaveFile writes the state to a file atomically (write + rename).
+func (s *State) SaveFile(path string) error {
+	data, err := s.Encode()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("state: write %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("state: rename: %w", err)
+	}
+	return nil
+}
+
+// LoadFile reads a state file; a missing file yields an empty state.
+func LoadFile(path string) (*State, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return New(), nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("state: read %s: %w", path, err)
+	}
+	return Decode(data)
+}

@@ -1,0 +1,195 @@
+package state
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cloudless/internal/eval"
+)
+
+func sampleState() *State {
+	s := New()
+	s.Set(&ResourceState{
+		Addr: "aws_vpc.main", Type: "aws_vpc", ID: "vpc-00000001", Region: "us-east-1",
+		Attrs: map[string]eval.Value{
+			"id":         eval.String("vpc-00000001"),
+			"cidr_block": eval.String("10.0.0.0/16"),
+			"enable_dns": eval.True,
+		},
+		CreatedAt: time.Now().UTC().Truncate(time.Second),
+		UpdatedAt: time.Now().UTC().Truncate(time.Second),
+	})
+	s.Set(&ResourceState{
+		Addr: "aws_subnet.s[0]", Type: "aws_subnet", ID: "subnet-00000001", Region: "us-east-1",
+		Attrs: map[string]eval.Value{
+			"id":     eval.String("subnet-00000001"),
+			"vpc_id": eval.String("vpc-00000001"),
+		},
+		Dependencies: []string{"aws_vpc.main"},
+	})
+	s.Outputs["vpc_id"] = eval.String("vpc-00000001")
+	return s
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := sampleState()
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("len = %d", back.Len())
+	}
+	vpc := back.Get("aws_vpc.main")
+	if vpc == nil || vpc.ID != "vpc-00000001" || !vpc.Attr("enable_dns").Equal(eval.True) {
+		t.Errorf("vpc = %+v", vpc)
+	}
+	sub := back.Get("aws_subnet.s[0]")
+	if len(sub.Dependencies) != 1 || sub.Dependencies[0] != "aws_vpc.main" {
+		t.Errorf("deps = %v", sub.Dependencies)
+	}
+	if !back.Outputs["vpc_id"].Equal(eval.String("vpc-00000001")) {
+		t.Errorf("outputs = %v", back.Outputs)
+	}
+	if s.Fingerprint() != back.Fingerprint() {
+		t.Error("fingerprint changed across serialization")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cloudless.state.json")
+	s := sampleState()
+	if err := s.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint() != s.Fingerprint() {
+		t.Error("file round trip changed state")
+	}
+	// Missing file -> empty state, no error.
+	empty, err := LoadFile(filepath.Join(t.TempDir(), "missing.json"))
+	if err != nil || empty.Len() != 0 {
+		t.Errorf("missing file: %v, %v", empty, err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("{not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Decode([]byte(`{"version": 99}`)); err == nil {
+		t.Error("unknown version accepted")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	s := sampleState()
+	c := s.Clone()
+	c.Get("aws_vpc.main").Attrs["cidr_block"] = eval.String("192.168.0.0/16")
+	c.Remove("aws_subnet.s[0]")
+	if !s.Get("aws_vpc.main").Attr("cidr_block").Equal(eval.String("10.0.0.0/16")) {
+		t.Error("clone attr mutation leaked")
+	}
+	if s.Get("aws_subnet.s[0]") == nil {
+		t.Error("clone removal leaked")
+	}
+}
+
+func TestByID(t *testing.T) {
+	s := sampleState()
+	if rs := s.ByID("subnet-00000001"); rs == nil || rs.Addr != "aws_subnet.s[0]" {
+		t.Errorf("ByID = %+v", rs)
+	}
+	if s.ByID("nope") != nil {
+		t.Error("ByID on missing id")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	a, b := sampleState(), sampleState()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical states fingerprint differently")
+	}
+	b.Get("aws_vpc.main").Attrs["enable_dns"] = eval.False
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("changed state has same fingerprint")
+	}
+}
+
+func TestHistoryTimeMachine(t *testing.T) {
+	h := NewHistory(0)
+	s := New()
+	s.Set(&ResourceState{Addr: "aws_vpc.a", Type: "aws_vpc", ID: "vpc-1",
+		Attrs: map[string]eval.Value{"cidr_block": eval.String("10.0.0.0/16")}})
+	v1 := h.Commit(s, "create vpc", "cfg-aaa")
+
+	s.Get("aws_vpc.a").Attrs["cidr_block"] = eval.String("10.1.0.0/16")
+	v2 := h.Commit(s, "retarget cidr", "cfg-bbb")
+
+	if v2 != v1+1 {
+		t.Errorf("serials = %d, %d", v1, v2)
+	}
+	snap1, err := h.At(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot is isolated from later mutation.
+	if !snap1.State.Get("aws_vpc.a").Attr("cidr_block").Equal(eval.String("10.0.0.0/16")) {
+		t.Error("history snapshot was mutated by later changes")
+	}
+	if h.Latest().Serial != v2 {
+		t.Errorf("latest = %d", h.Latest().Serial)
+	}
+	if _, err := h.At(99); err == nil {
+		t.Error("missing serial accepted")
+	}
+	// Config fingerprint lookup ("roll back to what cfg-aaa produced").
+	if snap := h.FindByConfig("cfg-aaa"); snap == nil || snap.Serial != v1 {
+		t.Errorf("FindByConfig = %+v", snap)
+	}
+	if h.FindByConfig("cfg-zzz") != nil {
+		t.Error("unknown config fingerprint matched")
+	}
+}
+
+func TestHistoryLimit(t *testing.T) {
+	h := NewHistory(3)
+	s := New()
+	for i := 0; i < 10; i++ {
+		h.Commit(s, "c", "")
+	}
+	if h.Len() != 3 {
+		t.Errorf("len = %d", h.Len())
+	}
+	serials := h.Serials()
+	if serials[0] != 8 || serials[2] != 10 {
+		t.Errorf("serials = %v", serials)
+	}
+}
+
+func TestDiffAddrs(t *testing.T) {
+	a := sampleState()
+	b := a.Clone()
+	b.Remove("aws_subnet.s[0]")
+	b.Get("aws_vpc.main").Attrs["enable_dns"] = eval.False
+	b.Set(&ResourceState{Addr: "aws_vpc.extra", Type: "aws_vpc", ID: "vpc-2",
+		Attrs: map[string]eval.Value{}})
+	added, removed, changed := DiffAddrs(a, b)
+	if len(added) != 1 || added[0] != "aws_vpc.extra" {
+		t.Errorf("added = %v", added)
+	}
+	if len(removed) != 1 || removed[0] != "aws_subnet.s[0]" {
+		t.Errorf("removed = %v", removed)
+	}
+	if len(changed) != 1 || changed[0] != "aws_vpc.main" {
+		t.Errorf("changed = %v", changed)
+	}
+}

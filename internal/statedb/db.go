@@ -1,0 +1,258 @@
+package statedb
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"cloudless/internal/eval"
+	"cloudless/internal/state"
+)
+
+// DB is the golden-state database: the authoritative, transactional record
+// of the infrastructure. Updates are scheduled against the logical state and
+// locks here, and only then applied to the physical cloud — the ordering the
+// paper prescribes in §3.4.
+type DB struct {
+	mu      sync.RWMutex
+	current *state.State
+	history *state.History
+	locks   *LockManager
+	nextTxn atomic.Int64
+
+	commits atomic.Int64
+	aborts  atomic.Int64
+}
+
+// Open creates a database seeded with an initial state.
+func Open(initial *state.State, mode LockMode) *DB {
+	if initial == nil {
+		initial = state.New()
+	}
+	db := &DB{
+		current: initial.Clone(),
+		history: state.NewHistory(0),
+		locks:   NewLockManager(mode),
+	}
+	// Align the state serial with its history serial from the start, so
+	// DB.Serial() always names the snapshot History.At can retrieve.
+	db.current.Serial++
+	db.history.Commit(db.current, "initial", "")
+	return db
+}
+
+// Locks exposes the lock manager (for stats and for the applier, which
+// holds locks across the physical apply).
+func (db *DB) Locks() *LockManager { return db.locks }
+
+// History exposes the time machine.
+func (db *DB) History() *state.History { return db.history }
+
+// Snapshot returns a deep copy of the current golden state.
+func (db *DB) Snapshot() *state.State {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.current.Clone()
+}
+
+// Serial returns the current state serial.
+func (db *DB) Serial() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.current.Serial
+}
+
+// CommitCount and AbortCount expose transaction outcome counters.
+func (db *DB) CommitCount() int64 { return db.commits.Load() }
+
+// AbortCount returns the number of aborted transactions.
+func (db *DB) AbortCount() int64 { return db.aborts.Load() }
+
+// Txn is an in-flight transaction: a private read/write view over the
+// golden state plus the set of locks it holds. A transaction only sees its
+// own writes until commit; commit publishes them atomically.
+type Txn struct {
+	id      int64
+	db      *DB
+	locked  map[string]bool
+	writes  map[string]*state.ResourceState
+	deletes map[string]bool
+	outputs map[string]eval.Value
+	done    bool
+	desc    string
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin(description string) *Txn {
+	return &Txn{
+		id:      db.nextTxn.Add(1),
+		db:      db,
+		locked:  map[string]bool{},
+		writes:  map[string]*state.ResourceState{},
+		deletes: map[string]bool{},
+		desc:    description,
+	}
+}
+
+// ID returns the transaction's identifier.
+func (t *Txn) ID() int64 { return t.id }
+
+// Lock acquires locks on the given resource addresses (all-or-nothing,
+// blocking). Addresses already locked by this transaction are skipped.
+func (t *Txn) Lock(ctx context.Context, addrs ...string) error {
+	if t.done {
+		return fmt.Errorf("statedb: transaction %d is finished", t.id)
+	}
+	var need []string
+	for _, a := range addrs {
+		if !t.locked[a] {
+			need = append(need, a)
+		}
+	}
+	if len(need) == 0 {
+		return nil
+	}
+	if err := t.db.locks.Acquire(ctx, t.id, need); err != nil {
+		return err
+	}
+	for _, a := range need {
+		t.locked[a] = true
+	}
+	return nil
+}
+
+// TryLock attempts non-blocking acquisition of all addresses.
+func (t *Txn) TryLock(addrs ...string) bool {
+	if t.done {
+		return false
+	}
+	var need []string
+	for _, a := range addrs {
+		if !t.locked[a] {
+			need = append(need, a)
+		}
+	}
+	if len(need) == 0 {
+		return true
+	}
+	if !t.db.locks.TryAcquire(t.id, need) {
+		return false
+	}
+	for _, a := range need {
+		t.locked[a] = true
+	}
+	return true
+}
+
+// requireLock guards reads/writes: accessing an address without its lock is
+// a programming error that would break isolation.
+func (t *Txn) requireLock(addr string) error {
+	if t.db.locks.Mode() == GlobalLock {
+		if len(t.locked) == 0 {
+			return fmt.Errorf("statedb: txn %d accessed %q without holding the global lock", t.id, addr)
+		}
+		return nil
+	}
+	if !t.locked[addr] {
+		return fmt.Errorf("statedb: txn %d accessed %q without holding its lock", t.id, addr)
+	}
+	return nil
+}
+
+// Get reads a resource through the transaction's view.
+func (t *Txn) Get(addr string) (*state.ResourceState, error) {
+	if err := t.requireLock(addr); err != nil {
+		return nil, err
+	}
+	if t.deletes[addr] {
+		return nil, nil
+	}
+	if rs, ok := t.writes[addr]; ok {
+		return rs.Clone(), nil
+	}
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
+	if rs := t.db.current.Get(addr); rs != nil {
+		return rs.Clone(), nil
+	}
+	return nil, nil
+}
+
+// Put stages a write.
+func (t *Txn) Put(rs *state.ResourceState) error {
+	if err := t.requireLock(rs.Addr); err != nil {
+		return err
+	}
+	delete(t.deletes, rs.Addr)
+	t.writes[rs.Addr] = rs.Clone()
+	return nil
+}
+
+// SetOutputs stages replacement of the recorded root outputs.
+func (t *Txn) SetOutputs(outputs map[string]eval.Value) {
+	t.outputs = make(map[string]eval.Value, len(outputs))
+	for k, v := range outputs {
+		t.outputs[k] = v
+	}
+}
+
+// Delete stages a removal.
+func (t *Txn) Delete(addr string) error {
+	if err := t.requireLock(addr); err != nil {
+		return err
+	}
+	delete(t.writes, addr)
+	t.deletes[addr] = true
+	return nil
+}
+
+// Commit atomically publishes the transaction's writes, bumps the state
+// serial, records a history snapshot, and releases all locks.
+func (t *Txn) Commit() (serial int, err error) {
+	if t.done {
+		return 0, fmt.Errorf("statedb: transaction %d already finished", t.id)
+	}
+	t.db.mu.Lock()
+	for addr, rs := range t.writes {
+		cp := rs.Clone()
+		cp.Addr = addr
+		t.db.current.Set(cp)
+	}
+	for addr := range t.deletes {
+		t.db.current.Remove(addr)
+	}
+	if t.outputs != nil {
+		t.db.current.Outputs = t.outputs
+	}
+	t.db.current.Serial++
+	serial = t.db.current.Serial
+	snapshot := t.db.current
+	t.db.mu.Unlock()
+
+	t.db.history.Commit(snapshot, t.desc, "")
+	t.finish()
+	t.db.commits.Add(1)
+	return serial, nil
+}
+
+// Abort discards the transaction and releases its locks.
+func (t *Txn) Abort() {
+	if t.done {
+		return
+	}
+	t.finish()
+	t.db.aborts.Add(1)
+}
+
+func (t *Txn) finish() {
+	addrs := make([]string, 0, len(t.locked))
+	for a := range t.locked {
+		addrs = append(addrs, a)
+	}
+	t.db.locks.Release(t.id, addrs)
+	t.done = true
+	t.writes = nil
+	t.deletes = nil
+	t.locked = map[string]bool{}
+}

@@ -1,0 +1,288 @@
+// Package statedb implements the golden-state database the paper calls for
+// in §3.4: the authoritative record of the cloud infrastructure, fronted by
+// a lock manager that supports both today's whole-infrastructure lock (the
+// Terraform baseline) and Cloudless's per-resource locks, plus transactions
+// that give concurrent DevOps teams atomic, isolated updates.
+package statedb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LockMode selects the locking granularity.
+type LockMode int
+
+// Lock modes.
+const (
+	// GlobalLock serializes all updates behind one lock — the behaviour of
+	// existing IaC tools the paper criticizes ("existing tools simply lock
+	// the entire cloud infrastructure for modifications at any scale").
+	GlobalLock LockMode = iota
+	// ResourceLock takes one lock per resource address, so disjoint
+	// updates proceed in parallel.
+	ResourceLock
+)
+
+// String names the mode.
+func (m LockMode) String() string {
+	if m == GlobalLock {
+		return "global"
+	}
+	return "per-resource"
+}
+
+// LockStats counts contention, for the E4 experiment.
+type LockStats struct {
+	Acquisitions int64
+	Contended    int64
+	WaitTime     time.Duration
+}
+
+// lockEntry is one lock with a FIFO waiter queue.
+type lockEntry struct {
+	holder  int64 // transaction ID, 0 when free
+	waiters []chan struct{}
+}
+
+// ErrDeadlock is returned when blocking on a lock would close a cycle in
+// the waits-for graph. Single-call Acquire uses sorted acquisition and can
+// never deadlock; transactions that take locks incrementally across calls
+// can, and get this error instead of hanging — the caller aborts and
+// retries, the classic deadlock-detection discipline for a lock-manager-
+// backed IaC database (§3.4).
+var ErrDeadlock = errors.New("statedb: deadlock detected; abort and retry the transaction")
+
+// LockManager hands out address-level locks with deadlock-free ordered
+// acquisition within one call, FIFO fairness, and waits-for-cycle deadlock
+// detection across calls.
+type LockManager struct {
+	mode LockMode
+
+	mu    sync.Mutex
+	locks map[string]*lockEntry
+	stats LockStats
+	// waitingOn maps a blocked transaction to the key it waits for,
+	// for deadlock detection. A transaction blocks on at most one key at
+	// a time because Acquire is sequential.
+	waitingOn map[int64]string
+}
+
+// globalKey is the single address used in GlobalLock mode.
+const globalKey = "\x00global"
+
+// NewLockManager builds a lock manager in the given mode.
+func NewLockManager(mode LockMode) *LockManager {
+	return &LockManager{
+		mode:      mode,
+		locks:     map[string]*lockEntry{},
+		waitingOn: map[int64]string{},
+	}
+}
+
+// Mode returns the locking granularity.
+func (lm *LockManager) Mode() LockMode { return lm.mode }
+
+// Stats returns a snapshot of contention counters.
+func (lm *LockManager) Stats() LockStats {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	return lm.stats
+}
+
+// keysFor maps requested addresses to lock keys under the current mode,
+// sorted for deadlock-free ordered acquisition.
+func (lm *LockManager) keysFor(addrs []string) []string {
+	if lm.mode == GlobalLock {
+		return []string{globalKey}
+	}
+	keys := make([]string, 0, len(addrs))
+	seen := map[string]bool{}
+	for _, a := range addrs {
+		if !seen[a] {
+			seen[a] = true
+			keys = append(keys, a)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Acquire takes locks for all addresses on behalf of a transaction,
+// blocking until they are all held or the context is canceled. Acquisition
+// is in sorted address order, which makes deadlock impossible when every
+// transaction acquires through this method.
+func (lm *LockManager) Acquire(ctx context.Context, txnID int64, addrs []string) error {
+	keys := lm.keysFor(addrs)
+	var held []string
+	for _, key := range keys {
+		if err := lm.acquireOne(ctx, txnID, key); err != nil {
+			lm.release(txnID, held)
+			return err
+		}
+		held = append(held, key)
+	}
+	return nil
+}
+
+// TryAcquire attempts to take all locks without blocking; on any conflict it
+// takes none and returns false.
+func (lm *LockManager) TryAcquire(txnID int64, addrs []string) bool {
+	keys := lm.keysFor(addrs)
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for _, key := range keys {
+		if e, ok := lm.locks[key]; ok && e.holder != 0 && e.holder != txnID {
+			return false
+		}
+	}
+	for _, key := range keys {
+		e := lm.locks[key]
+		if e == nil {
+			e = &lockEntry{}
+			lm.locks[key] = e
+		}
+		e.holder = txnID
+		lm.stats.Acquisitions++
+	}
+	return true
+}
+
+func (lm *LockManager) acquireOne(ctx context.Context, txnID int64, key string) error {
+	start := time.Now()
+	first := true
+	for {
+		lm.mu.Lock()
+		e := lm.locks[key]
+		if e == nil {
+			e = &lockEntry{}
+			lm.locks[key] = e
+		}
+		if e.holder == 0 || e.holder == txnID {
+			e.holder = txnID
+			lm.stats.Acquisitions++
+			if !first {
+				lm.stats.WaitTime += time.Since(start)
+			}
+			lm.mu.Unlock()
+			return nil
+		}
+		if first {
+			lm.stats.Contended++
+			first = false
+		}
+		// Deadlock detection: would blocking on this key close a cycle
+		// holder(key) -> ... -> txnID in the waits-for graph?
+		if lm.wouldDeadlockLocked(txnID, key) {
+			lm.mu.Unlock()
+			return fmt.Errorf("lock on %q: %w", key, ErrDeadlock)
+		}
+		ch := make(chan struct{})
+		e.waiters = append(e.waiters, ch)
+		lm.waitingOn[txnID] = key
+		lm.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			lm.removeWaiter(txnID, key, ch)
+			return fmt.Errorf("lock on %q: %w", key, ctx.Err())
+		case <-ch:
+			// Woken; loop to contend for the lock again (FIFO wakeup order
+			// gives fairness, but re-check under the mutex).
+			lm.mu.Lock()
+			delete(lm.waitingOn, txnID)
+			lm.mu.Unlock()
+		}
+	}
+}
+
+// wouldDeadlockLocked walks the waits-for chain starting at the holder of
+// key, following each transaction's awaited key to its holder; reaching
+// txnID means a cycle.
+func (lm *LockManager) wouldDeadlockLocked(txnID int64, key string) bool {
+	seen := map[int64]bool{}
+	cur := key
+	for {
+		e := lm.locks[cur]
+		if e == nil || e.holder == 0 {
+			return false
+		}
+		holder := e.holder
+		if holder == txnID {
+			return true
+		}
+		if seen[holder] {
+			return false // a cycle not involving us
+		}
+		seen[holder] = true
+		next, waiting := lm.waitingOn[holder]
+		if !waiting {
+			return false
+		}
+		cur = next
+	}
+}
+
+func (lm *LockManager) removeWaiter(txnID int64, key string, ch chan struct{}) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	delete(lm.waitingOn, txnID)
+	e := lm.locks[key]
+	if e == nil {
+		return
+	}
+	for i, w := range e.waiters {
+		if w == ch {
+			e.waiters = append(e.waiters[:i], e.waiters[i+1:]...)
+			return
+		}
+	}
+	// Our channel was already closed by a release between cancellation and
+	// this cleanup: pass the wakeup on so the lock is not stranded.
+	if e.holder == 0 && len(e.waiters) > 0 {
+		next := e.waiters[0]
+		e.waiters = e.waiters[1:]
+		close(next)
+	}
+}
+
+// Release frees the locks a transaction holds on the given addresses.
+func (lm *LockManager) Release(txnID int64, addrs []string) {
+	lm.release(txnID, lm.keysFor(addrs))
+}
+
+func (lm *LockManager) release(txnID int64, keys []string) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for _, key := range keys {
+		e := lm.locks[key]
+		if e == nil || e.holder != txnID {
+			continue
+		}
+		e.holder = 0
+		if len(e.waiters) > 0 {
+			next := e.waiters[0]
+			e.waiters = e.waiters[1:]
+			close(next)
+		} else {
+			delete(lm.locks, key)
+		}
+	}
+}
+
+// Holder reports which transaction holds the lock for an address (0 = none).
+func (lm *LockManager) Holder(addr string) int64 {
+	key := addr
+	if lm.mode == GlobalLock {
+		key = globalKey
+	}
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	if e, ok := lm.locks[key]; ok {
+		return e.holder
+	}
+	return 0
+}

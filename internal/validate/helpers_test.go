@@ -1,0 +1,26 @@
+package validate
+
+import (
+	"testing"
+
+	"cloudless/internal/schema"
+)
+
+// Aliases keeping the custom-rule test readable.
+type schemaRule = schema.Rule
+
+const ruleAttrRequiresValue = schema.RuleAttrRequiresValue
+
+// cloneDefaultKB copies the built-in knowledge base so tests can extend it
+// without mutating global state.
+func cloneDefaultKB(t *testing.T) *schema.KnowledgeBase {
+	t.Helper()
+	kb := schema.NewKnowledgeBase()
+	for _, r := range schema.DefaultKB().All() {
+		cp := *r
+		if err := kb.Add(&cp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return kb
+}

@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"context"
+	"testing"
+
+	"cloudless/internal/config"
+	"cloudless/internal/plan"
+	"cloudless/internal/state"
+	"cloudless/internal/validate"
+)
+
+// expandFiles loads, expands, and validates a generated workload.
+func expandFiles(t *testing.T, files map[string]string) *config.Expansion {
+	t.Helper()
+	m, diags := config.Load(files)
+	if diags.HasErrors() {
+		t.Fatalf("load: %s", diags.Error())
+	}
+	ex, diags := config.Expand(m, nil, nil)
+	if diags.HasErrors() {
+		t.Fatalf("expand: %s", diags.Error())
+	}
+	if res := validate.Validate(ex, nil); res.HasErrors() {
+		t.Fatalf("generated workload fails validation: %+v", res.Errors())
+	}
+	return ex
+}
+
+func planFor(t *testing.T, ex *config.Expansion) *plan.Plan {
+	t.Helper()
+	p, diags := plan.Compute(context.Background(), ex, state.New(), plan.Options{})
+	if diags.HasErrors() {
+		t.Fatalf("plan: %s", diags.Error())
+	}
+	return p
+}
+
+func TestWebTier(t *testing.T) {
+	ex := expandFiles(t, WebTier("shop", 3, 10))
+	// 1 vpc + 3 subnets + 1 sg + 10 nics + 10 vms + 1 lb = 26 instances.
+	if len(ex.Instances) != 26 {
+		t.Fatalf("instances = %d", len(ex.Instances))
+	}
+	p := planFor(t, ex)
+	if p.Creates != 26 {
+		t.Errorf("creates = %d", p.Creates)
+	}
+	// The LB depends on the VMs, which depend on NICs, etc.
+	if p.Graph.Len() != 26 {
+		t.Errorf("graph nodes = %d", p.Graph.Len())
+	}
+	if deps := p.Graph.Dependencies("aws_load_balancer.shop"); len(deps) == 0 {
+		t.Error("lb has no dependencies")
+	}
+}
+
+func TestMicroservicesIndependence(t *testing.T) {
+	ex := expandFiles(t, Microservices(4, 2))
+	p := planFor(t, ex)
+	// Services must be mutually independent: svc0's VM does not reach svc1.
+	scope := p.Graph.ImpactScope("aws_virtual_machine.svc0[0]")
+	for addr := range scope {
+		if len(addr) > 4 && addr[:4] == "aws_" {
+			if containsStr(addr, "svc1") || containsStr(addr, "svc2") {
+				t.Errorf("independence violated: %s in svc0's impact scope", addr)
+			}
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSkewedLatency(t *testing.T) {
+	ex := expandFiles(t, SkewedLatency(12))
+	p := planFor(t, ex)
+	costs := p.Costs()
+	// The chain's bottom level dominates the fan's.
+	levels, longest, err := p.Graph.CriticalPath(costs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levels["aws_vpn_gateway.slow"] <= levels["aws_subnet.aa_fan[0]"] {
+		t.Errorf("chain level %v <= fan level %v",
+			levels["aws_vpn_gateway.slow"], levels["aws_subnet.aa_fan[0]"])
+	}
+	if longest == 0 {
+		t.Error("zero critical path")
+	}
+}
+
+func TestRandomDAGDeterministic(t *testing.T) {
+	a := RandomDAG(30, 42)
+	b := RandomDAG(30, 42)
+	if a["rand.ccl"] != b["rand.ccl"] {
+		t.Error("same seed produced different workloads")
+	}
+	c := RandomDAG(30, 43)
+	if a["rand.ccl"] == c["rand.ccl"] {
+		t.Error("different seeds produced identical workloads")
+	}
+	ex := expandFiles(t, a)
+	if len(ex.Instances) < 30 {
+		t.Errorf("instances = %d", len(ex.Instances))
+	}
+}
+
+func TestTeamGenerators(t *testing.T) {
+	updates, files := DisjointTeams(4, 3)
+	ex := expandFiles(t, files)
+	if len(ex.Instances) != 12 {
+		t.Fatalf("instances = %d", len(ex.Instances))
+	}
+	seen := map[string]bool{}
+	for _, u := range updates {
+		if len(u.Addrs) != 3 {
+			t.Errorf("team %s addrs = %v", u.Team, u.Addrs)
+		}
+		for _, a := range u.Addrs {
+			if seen[a] {
+				t.Errorf("address %s shared between teams", a)
+			}
+			seen[a] = true
+			if ex.ByAddr[a] == nil {
+				t.Errorf("address %s not in config", a)
+			}
+		}
+	}
+
+	over, files2 := OverlappingTeams(3, 2)
+	expandFiles(t, files2)
+	for _, u := range over {
+		found := false
+		for _, a := range u.Addrs {
+			if a == "aws_storage_bucket.shared" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("team %s missing the shared resource", u.Team)
+		}
+	}
+}
