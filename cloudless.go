@@ -35,6 +35,7 @@ import (
 	"cloudless/internal/rollback"
 	"cloudless/internal/state"
 	"cloudless/internal/statedb"
+	"cloudless/internal/telemetry"
 	"cloudless/internal/validate"
 )
 
@@ -88,6 +89,11 @@ type Options struct {
 	Policies string
 	// Principal identifies this stack's changes in cloud activity logs.
 	Principal string
+	// Telemetry, when set, records a lifecycle span for every facade
+	// operation plus the per-layer spans and metrics the internals emit
+	// (apply ops, lock waits, cloud API calls, plan scope). Nil disables
+	// instrumentation at near-zero cost.
+	Telemetry *telemetry.Recorder
 }
 
 // Stack is an infrastructure under cloudless management.
@@ -102,6 +108,7 @@ type Stack struct {
 	engine    *policy.Engine
 	watcher   *drift.Watcher
 	principal string
+	telemetry *telemetry.Recorder
 }
 
 // Open loads, expands, and binds a configuration.
@@ -154,6 +161,13 @@ func Open(opts Options) (*Stack, error) {
 		cloudAPI:  opts.Cloud,
 		db:        statedb.Open(opts.InitialState, mode),
 		principal: principal,
+		telemetry: opts.Telemetry,
+	}
+	if sim, ok := opts.Cloud.(*cloud.Sim); ok && opts.Telemetry != nil {
+		// Route simulator counters (API calls, throttles, injected failures)
+		// into the stack's registry even for calls made without a
+		// telemetry-carrying context.
+		sim.AttachTelemetry(opts.Telemetry.Metrics())
 	}
 	if err := s.reexpand(); err != nil {
 		return nil, err
@@ -204,6 +218,20 @@ func (s *Stack) Var(name string) (any, bool) {
 // DB exposes the golden-state database (locks, history, snapshots).
 func (s *Stack) DB() *statedb.DB { return s.db }
 
+// Telemetry exposes the stack's recorder (nil when telemetry is disabled).
+func (s *Stack) Telemetry() *telemetry.Recorder { return s.telemetry }
+
+// lifecycle attaches the stack's recorder to the context (callers may also
+// supply one via telemetry.WithRecorder) and opens a span covering one
+// facade operation. With no recorder anywhere it returns (ctx, nil); every
+// span method is nil-safe, so call sites need no guards.
+func (s *Stack) lifecycle(ctx context.Context, name string) (context.Context, *telemetry.Span) {
+	if s.telemetry != nil && telemetry.FromContext(ctx) == nil {
+		ctx = telemetry.WithRecorder(ctx, s.telemetry)
+	}
+	return telemetry.StartSpan(ctx, name)
+}
+
 // Cloud exposes the bound cloud interface.
 func (s *Stack) Cloud() cloud.Interface { return s.cloudAPI }
 
@@ -220,12 +248,18 @@ func (s *Stack) Instances() []string {
 // Validate runs compile-time validation: schema structure, semantic types,
 // and the cloud-level knowledge base (§3.2).
 func (s *Stack) Validate() *ValidationResult {
-	return validate.Validate(s.expansion, nil)
+	_, span := s.lifecycle(context.Background(), "lifecycle.validate")
+	res := validate.Validate(s.expansion, nil)
+	span.SetAttr("findings", len(res.Findings))
+	span.End()
+	return res
 }
 
 // Plan computes a full plan against the golden state, refreshing every
 // recorded resource from the cloud first.
 func (s *Stack) Plan(ctx context.Context) (*Plan, error) {
+	ctx, span := s.lifecycle(ctx, "lifecycle.plan")
+	defer span.End()
 	p, diags := plan.Compute(ctx, s.expansion, s.db.Snapshot(), plan.Options{
 		Refresh: true, Cloud: s.cloudAPI,
 	})
@@ -239,6 +273,9 @@ func (s *Stack) Plan(ctx context.Context) (*Plan, error) {
 // of the given resource-level addresses (§3.3), skipping refresh and
 // evaluation outside the scope.
 func (s *Stack) PlanIncremental(ctx context.Context, changed ...string) (*Plan, error) {
+	ctx, span := s.lifecycle(ctx, "lifecycle.plan_incremental")
+	span.SetAttr("changed", len(changed))
+	defer span.End()
 	p, diags := plan.Compute(ctx, s.expansion, s.db.Snapshot(), plan.Options{
 		Refresh: true, Cloud: s.cloudAPI, ImpactScope: changed,
 	})
@@ -250,6 +287,8 @@ func (s *Stack) PlanIncremental(ctx context.Context, changed ...string) (*Plan, 
 
 // PlanOffline plans without refreshing from the cloud (fast, trusts state).
 func (s *Stack) PlanOffline(ctx context.Context) (*Plan, error) {
+	ctx, span := s.lifecycle(ctx, "lifecycle.plan_offline")
+	defer span.End()
 	p, diags := plan.Compute(ctx, s.expansion, s.db.Snapshot(), plan.Options{})
 	if diags.HasErrors() {
 		return p, diags
@@ -276,6 +315,10 @@ func (e *ErrPolicyDenied) Error() string { return "cloudless: policy denied: " +
 // the physical apply, and the golden state and time machine are updated
 // atomically on completion. Failed operations yield IaC-level diagnoses.
 func (s *Stack) Apply(ctx context.Context, p *Plan, opts ApplyOptions) (*ApplyResult, []*Diagnosis, error) {
+	ctx, span := s.lifecycle(ctx, "lifecycle.apply")
+	span.SetAttr("pending", p.Creates+p.Updates+p.Replaces+p.Deletes)
+	span.SetAttr("scheduler", opts.Scheduler.String())
+	defer span.End()
 	if !opts.SkipPolicyCheck {
 		decisions, diags := s.engine.EvaluatePlan(p)
 		if diags.HasErrors() {
@@ -320,6 +363,14 @@ func (s *Stack) Apply(ctx context.Context, p *Plan, opts ApplyOptions) (*ApplyRe
 	if _, err := txn.Commit(); err != nil {
 		return res, nil, err
 	}
+	span.SetAttr("applied", res.Applied)
+	span.SetAttr("failed", len(res.Errors))
+	span.SetAttr("retries", res.Retries)
+	// Record outputs on the lifecycle span with the same redaction the
+	// display path applies: sensitive values never reach a trace file.
+	for name, v := range s.DisplayOutputs() {
+		span.SetAttr("output."+name, fmt.Sprint(v))
+	}
 
 	// Advance the drift watcher past our own activity so it doesn't chew
 	// through events we caused (it filters by principal anyway).
@@ -339,6 +390,8 @@ func (s *Stack) Apply(ctx context.Context, p *Plan, opts ApplyOptions) (*ApplyRe
 // Destroy deletes everything in the golden state, in reverse dependency
 // order, and commits the emptied state.
 func (s *Stack) Destroy(ctx context.Context) (*ApplyResult, error) {
+	ctx, span := s.lifecycle(ctx, "lifecycle.destroy")
+	defer span.End()
 	snapshot := s.db.Snapshot()
 	txn := s.db.Begin("destroy")
 	if err := txn.Lock(ctx, snapshot.Addrs()...); err != nil {
@@ -373,6 +426,8 @@ func (s *Stack) resetWatcher(ctx context.Context) {
 // WatchDrift polls the activity log for out-of-band changes (§3.5). Call
 // repeatedly; the cursor advances automatically.
 func (s *Stack) WatchDrift(ctx context.Context) (*DriftReport, error) {
+	ctx, span := s.lifecycle(ctx, "lifecycle.watch_drift")
+	defer span.End()
 	if s.watcher == nil {
 		s.resetWatcher(ctx)
 		return &DriftReport{Method: "activity-log"}, nil
@@ -382,12 +437,20 @@ func (s *Stack) WatchDrift(ctx context.Context) (*DriftReport, error) {
 
 // ScanDrift performs a full driftctl-style API scan (expensive).
 func (s *Stack) ScanDrift(ctx context.Context) (*DriftReport, error) {
-	return drift.FullScan(ctx, s.cloudAPI, s.db.Snapshot())
+	ctx, span := s.lifecycle(ctx, "lifecycle.scan_drift")
+	defer span.End()
+	rep, err := drift.FullScan(ctx, s.cloudAPI, s.db.Snapshot())
+	if rep != nil {
+		span.SetAttr("drift_items", len(rep.Items))
+	}
+	return rep, err
 }
 
 // ReconcileDrift applies drift-phase policies (or the explicit choice) to a
 // report and commits the updated state.
 func (s *Stack) ReconcileDrift(ctx context.Context, rep *DriftReport, action drift.Action) (*drift.ReconcileResult, error) {
+	ctx, span := s.lifecycle(ctx, "lifecycle.reconcile_drift")
+	defer span.End()
 	snapshot := s.db.Snapshot()
 	res := drift.Reconcile(ctx, s.cloudAPI, snapshot, rep, func(drift.Item) drift.Action { return action }, s.principal)
 	txn := s.db.Begin("reconcile drift")
@@ -470,6 +533,9 @@ func (s *Stack) PlanRollback(serial int) (*RollbackPlan, *State, error) {
 
 // ExecuteRollback runs a rollback plan and commits the resulting state.
 func (s *Stack) ExecuteRollback(ctx context.Context, p *RollbackPlan, target *State) error {
+	ctx, span := s.lifecycle(ctx, "lifecycle.rollback")
+	span.SetAttr("steps", len(p.Steps))
+	defer span.End()
 	current := s.db.Snapshot()
 	txn := s.db.Begin("rollback")
 	var addrs []string
@@ -521,7 +587,7 @@ func (s *Stack) DisplayOutputs() map[string]any {
 	out := s.Outputs()
 	for name := range out {
 		if s.OutputIsSensitive(name) {
-			out[name] = "(sensitive)"
+			out[name] = telemetry.Redacted
 		}
 	}
 	return out

@@ -10,6 +10,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,12 +29,14 @@ import (
 	"cloudless/internal/rollback"
 	"cloudless/internal/state"
 	"cloudless/internal/statedb"
+	"cloudless/internal/telemetry"
 	"cloudless/internal/validate"
 	"cloudless/internal/workload"
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (E1..E10)")
+	only := flag.String("only", "", "run a single experiment (E1..E10, ET)")
+	flag.StringVar(&jsonOut, "json", "", "write machine-readable results (currently: ET) to this file")
 	flag.Parse()
 
 	experiments := []struct {
@@ -51,6 +54,7 @@ func main() {
 		{"E8", "minimal rollback vs destroy-and-redeploy (§3.4)", e8},
 		{"E9", "porting quality: naive vs optimized vs modules (§3.1)", e9},
 		{"E10", "policy controller: decision latency and outlier detection (§3.6)", e10},
+		{"ET", "telemetry instrumentation overhead: traced vs untraced apply and plan", et},
 	}
 	for _, e := range experiments {
 		if *only != "" && !strings.EqualFold(*only, e.id) {
@@ -555,4 +559,150 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// jsonOut, when non-empty, receives machine-readable ET results.
+var jsonOut string
+
+// etResult is the recorded outcome of the ET overhead experiment.
+type etResult struct {
+	Experiment       string               `json:"experiment"`
+	Runs             int                  `json:"runs"`
+	ApplyOffMs       float64              `json:"apply_ms_off"`
+	ApplyOnMs        float64              `json:"apply_ms_on"`
+	ApplyOverheadPct float64              `json:"apply_overhead_pct"`
+	PlanOffMs        float64              `json:"plan_ms_off"`
+	PlanOnMs         float64              `json:"plan_ms_on"`
+	PlanOverheadPct  float64              `json:"plan_overhead_pct"`
+	SpansRecorded    int                  `json:"spans_recorded"`
+	APICalls         int64                `json:"api_calls"`
+	SpanSummary      []telemetry.SpanStat `json:"span_summary"`
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	for i := 1; i < len(s); i++ { // insertion sort; n is tiny
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s[len(s)/2]
+}
+
+// telemetrySummaryTable prints the per-span p50/p95 attribution and API-call
+// counts a traced run produced.
+func telemetrySummaryTable(rec *telemetry.Recorder) {
+	rows := [][]string{}
+	msf := func(d time.Duration) string { return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond)) }
+	for _, st := range rec.Summary() {
+		rows = append(rows, []string{st.Name, fmt.Sprintf("%d", st.Count),
+			msf(st.Total), msf(st.P50), msf(st.P95), msf(st.Max)})
+	}
+	table("span\tcount\ttotal\tp50\tp95\tmax", rows)
+	fmt.Printf("api calls: %d (throttled: %d)\n",
+		rec.Metrics().CounterSum("cloud.api_calls"), rec.Metrics().CounterSum("cloud.throttled"))
+}
+
+// ET: instrumentation overhead. The same E1-style apply (real walk against
+// the simulator, modeled latency scaled way down but still dominant) and
+// E3-style full-refresh plan run with and without a recorder attached; the
+// medians bound the telemetry tax.
+func et() {
+	const (
+		runs = 5
+		vms  = 50
+	)
+	files := workload.WebTier("web", 4, vms)
+
+	simOpts := cloud.DefaultOptions()
+	simOpts.DisableRateLimit = true
+	simOpts.TimeScale = 0.0002 // 90s VM create -> 18ms modeled latency
+
+	runApply := func(traced bool) (float64, *telemetry.Recorder) {
+		sim := cloud.NewSim(simOpts)
+		p := mustPlan(mustExpand(files), state.New(), plan.Options{})
+		ctx := context.Background()
+		var rec *telemetry.Recorder
+		if traced {
+			rec = telemetry.NewRecorder(telemetry.Config{})
+			ctx = telemetry.WithRecorder(ctx, rec)
+		}
+		t0 := time.Now()
+		res := apply.Apply(ctx, sim, p, apply.Options{
+			Concurrency: 10, Scheduler: apply.CriticalPathScheduler, Principal: "cloudless",
+		})
+		if err := res.Err(); err != nil {
+			panic(err)
+		}
+		return float64(time.Since(t0)) / float64(time.Millisecond), rec
+	}
+
+	// A deployed stack for the plan side: full refresh re-reads every
+	// resource, the plan-time hot path.
+	planSim := cloud.NewSim(simOpts)
+	res0 := apply.Apply(context.Background(), planSim,
+		mustPlan(mustExpand(files), state.New(), plan.Options{}),
+		apply.Options{Principal: "cloudless"})
+	if err := res0.Err(); err != nil {
+		panic(err)
+	}
+	planState := res0.State
+	runPlan := func(traced bool) (float64, *telemetry.Recorder) {
+		ctx := context.Background()
+		var rec *telemetry.Recorder
+		if traced {
+			rec = telemetry.NewRecorder(telemetry.Config{})
+			ctx = telemetry.WithRecorder(ctx, rec)
+		}
+		t0 := time.Now()
+		p, diags := plan.Compute(ctx, mustExpand(files), planState, plan.Options{Refresh: true, Cloud: planSim})
+		if diags.HasErrors() {
+			panic(diags.Error())
+		}
+		_ = p
+		return float64(time.Since(t0)) / float64(time.Millisecond), rec
+	}
+
+	var applyOff, applyOn, planOff, planOn []float64
+	var lastRec *telemetry.Recorder
+	var spans int
+	var apiCalls int64
+	for i := 0; i < runs; i++ {
+		off, _ := runApply(false)
+		on, rec := runApply(true)
+		applyOff, applyOn = append(applyOff, off), append(applyOn, on)
+		lastRec, spans = rec, rec.SpanCount()
+		apiCalls = rec.Metrics().CounterSum("cloud.api_calls")
+		pOff, _ := runPlan(false)
+		pOn, _ := runPlan(true)
+		planOff, planOn = append(planOff, pOff), append(planOn, pOn)
+	}
+	res := etResult{
+		Experiment: "ET", Runs: runs,
+		ApplyOffMs: median(applyOff), ApplyOnMs: median(applyOn),
+		PlanOffMs: median(planOff), PlanOnMs: median(planOn),
+		SpansRecorded: spans, APICalls: apiCalls,
+		SpanSummary: lastRec.Summary(),
+	}
+	res.ApplyOverheadPct = (res.ApplyOnMs - res.ApplyOffMs) / res.ApplyOffMs * 100
+	res.PlanOverheadPct = (res.PlanOnMs - res.PlanOffMs) / res.PlanOffMs * 100
+
+	table("phase\tuntraced\ttraced\toverhead", [][]string{
+		{"apply (E1-style)", fmt.Sprintf("%.1fms", res.ApplyOffMs), fmt.Sprintf("%.1fms", res.ApplyOnMs), fmt.Sprintf("%+.1f%%", res.ApplyOverheadPct)},
+		{"plan  (E3-style)", fmt.Sprintf("%.1fms", res.PlanOffMs), fmt.Sprintf("%.1fms", res.PlanOnMs), fmt.Sprintf("%+.1f%%", res.PlanOverheadPct)},
+	})
+	fmt.Printf("spans per traced apply: %d\n", spans)
+	fmt.Println("\ntraced apply attribution:")
+	telemetrySummaryTable(lastRec)
+
+	if jsonOut != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
 }

@@ -21,6 +21,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	cloudless "cloudless"
 	"cloudless/internal/cloud"
@@ -29,6 +30,7 @@ import (
 	"cloudless/internal/port"
 	"cloudless/internal/rollback"
 	"cloudless/internal/state"
+	"cloudless/internal/telemetry"
 )
 
 func main() {
@@ -57,6 +59,8 @@ func main() {
 		err = cmdHistory(args)
 	case "rollback":
 		err = cmdRollback(args)
+	case "metrics":
+		err = cmdMetrics(args)
 	case "help", "-h", "--help":
 		usage()
 		return
@@ -84,6 +88,10 @@ Commands:
   synth      generate a CCL program from a template
   history    list state snapshots in the time machine (-history dir)
   rollback   roll back to a snapshot with minimal redeployment (-to serial)
+  metrics    summarize a trace file written with -trace-out
+
+Lifecycle commands accept -trace-out <file> to record a Chrome/Perfetto
+trace of the run (open at https://ui.perfetto.dev or chrome://tracing).
 `)
 }
 
@@ -96,6 +104,11 @@ type commonFlags struct {
 	timeScale  *float64
 	historyDir *string
 	policies   *string
+	traceOut   *string
+
+	recorder *telemetry.Recorder
+	rootSpan *telemetry.Span
+	baseCtx  context.Context
 }
 
 func newCommon(name string) *commonFlags {
@@ -108,7 +121,43 @@ func newCommon(name string) *commonFlags {
 		timeScale:  fs.Float64("time-scale", 0.0005, "in-process simulator latency scale"),
 		historyDir: fs.String("history", "", "time-machine directory for state snapshots (empty = disabled)"),
 		policies:   fs.String("policies", "", "CCL policy file enforced across the lifecycle"),
+		traceOut:   fs.String("trace-out", "", "write a Chrome/Perfetto trace of this run to the given file"),
 	}
+}
+
+// initTelemetry sets up the recorder and a root span named after the
+// command when -trace-out is given. Call after flag parsing; ctx() then
+// carries the recorder through the whole stack.
+func (c *commonFlags) initTelemetry(cmd string) {
+	c.baseCtx = context.Background()
+	if *c.traceOut == "" {
+		return
+	}
+	c.recorder = telemetry.NewRecorder(telemetry.Config{})
+	c.baseCtx, c.rootSpan = c.recorder.StartSpan(c.baseCtx, "cloudlessctl."+cmd)
+}
+
+// ctx returns the command context, carrying the recorder when tracing.
+func (c *commonFlags) ctx() context.Context {
+	if c.baseCtx == nil {
+		return context.Background()
+	}
+	return c.baseCtx
+}
+
+// writeTrace ends the root span and exports the trace file. Deferred by
+// every lifecycle command so traces survive command errors too.
+func (c *commonFlags) writeTrace() {
+	if c.recorder == nil {
+		return
+	}
+	c.rootSpan.End()
+	if err := c.recorder.WriteChromeTraceFile(*c.traceOut); err != nil {
+		fmt.Fprintf(os.Stderr, "cloudlessctl: write trace: %s\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "trace: %d span(s) written to %s (open at https://ui.perfetto.dev)\n",
+		c.recorder.SpanCount(), *c.traceOut)
 }
 
 // snapshot appends the current state to the time-machine directory with the
@@ -154,6 +203,7 @@ func (c *commonFlags) open() (*cloudless.Stack, error) {
 		Cloud:        c.cloud(),
 		InitialState: st,
 		Policies:     policySrc,
+		Telemetry:    c.recorder,
 	})
 }
 
@@ -164,6 +214,8 @@ func (c *commonFlags) saveState(s *cloudless.Stack) error {
 func cmdValidate(args []string) error {
 	c := newCommon("validate")
 	_ = c.fs.Parse(args)
+	c.initTelemetry("validate")
+	defer c.writeTrace()
 	stack, err := c.open()
 	if err != nil {
 		return err
@@ -192,6 +244,12 @@ func cmdPlanApply(args []string, doApply bool) error {
 	concurrency := c.fs.Int("concurrency", 10, "parallel cloud operations")
 	fifo := c.fs.Bool("fifo", false, "use the baseline FIFO scheduler instead of critical-path-first")
 	_ = c.fs.Parse(args)
+	name := "plan"
+	if doApply {
+		name = "apply"
+	}
+	c.initTelemetry(name)
+	defer c.writeTrace()
 
 	stack, err := c.open()
 	if err != nil {
@@ -203,7 +261,7 @@ func cmdPlanApply(args []string, doApply bool) error {
 		}
 		return fmt.Errorf("validation failed; not planning")
 	}
-	ctx := context.Background()
+	ctx := c.ctx()
 	var p *cloudless.Plan
 	if len(targets) > 0 {
 		p, err = stack.PlanIncremental(ctx, targets...)
@@ -280,11 +338,13 @@ func printPlan(p *cloudless.Plan) {
 func cmdDestroy(args []string) error {
 	c := newCommon("destroy")
 	_ = c.fs.Parse(args)
+	c.initTelemetry("destroy")
+	defer c.writeTrace()
 	stack, err := c.open()
 	if err != nil {
 		return err
 	}
-	res, err := stack.Destroy(context.Background())
+	res, err := stack.Destroy(c.ctx())
 	if err != nil {
 		return err
 	}
@@ -326,6 +386,8 @@ func cmdRollback(args []string) error {
 	to := c.fs.Int("to", 0, "snapshot serial to roll back to (see history)")
 	dryRun := c.fs.Bool("dry-run", false, "print the rollback plan without executing")
 	_ = c.fs.Parse(args)
+	c.initTelemetry("rollback")
+	defer c.writeTrace()
 	if *c.historyDir == "" || *to == 0 {
 		return fmt.Errorf("rollback requires -history <dir> and -to <serial>")
 	}
@@ -349,7 +411,7 @@ func cmdRollback(args []string) error {
 	if *dryRun || len(p.Steps) == 0 {
 		return nil
 	}
-	after, err := rollback.Execute(context.Background(), c.cloud(), current, snap.State, p, "cloudless")
+	after, err := rollback.Execute(c.ctx(), c.cloud(), current, snap.State, p, "cloudless")
 	if err != nil {
 		return err
 	}
@@ -365,11 +427,13 @@ func cmdDrift(args []string) error {
 	scan := c.fs.Bool("scan", false, "full API scan instead of activity-log watch")
 	reconcile := c.fs.String("reconcile", "", `reconcile detected drift: "adopt" or "revert"`)
 	_ = c.fs.Parse(args)
+	c.initTelemetry("drift")
+	defer c.writeTrace()
 	stack, err := c.open()
 	if err != nil {
 		return err
 	}
-	ctx := context.Background()
+	ctx := c.ctx()
 	var rep *cloudless.DriftReport
 	if *scan {
 		rep, err = stack.ScanDrift(ctx)
@@ -476,6 +540,44 @@ func cmdSynth(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote %s (validated)\n", path)
+	}
+	return nil
+}
+
+// cmdMetrics summarizes a trace file produced with -trace-out: a span table
+// (count, total, percentiles) and every counter/gauge/histogram the run
+// recorded.
+func cmdMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	tracePath := fs.String("trace", "trace.json", "trace file written by a lifecycle command's -trace-out")
+	_ = fs.Parse(args)
+	tr, err := telemetry.ReadChromeTraceFile(*tracePath)
+	if err != nil {
+		return err
+	}
+	stats := telemetry.TraceSummary(tr)
+	ms := func(d time.Duration) string {
+		return fmt.Sprintf("%.2f", float64(d)/float64(time.Millisecond))
+	}
+	fmt.Printf("%-34s %6s %10s %10s %10s %10s\n", "span", "count", "total_ms", "p50_ms", "p95_ms", "max_ms")
+	for _, st := range stats {
+		fmt.Printf("%-34s %6d %10s %10s %10s %10s\n",
+			st.Name, st.Count, ms(st.Total), ms(st.P50), ms(st.P95), ms(st.Max))
+	}
+	if len(tr.Metrics) > 0 {
+		fmt.Println("\nmetrics:")
+		for _, mp := range tr.Metrics {
+			switch mp.Kind {
+			case "histogram":
+				fmt.Printf("  %-50s count=%d p50=%.2f p95=%.2f max=%.2f\n",
+					mp.Name, mp.Count, mp.P50, mp.P95, mp.Max)
+			default:
+				fmt.Printf("  %-50s %g\n", mp.Name, mp.Value)
+			}
+		}
+	}
+	if tr.DroppedSpans > 0 {
+		fmt.Printf("\nwarning: %d span(s) dropped (recorder bound reached)\n", tr.DroppedSpans)
 	}
 	return nil
 }

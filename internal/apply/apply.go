@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"cloudless/internal/cloud"
@@ -18,6 +19,7 @@ import (
 	"cloudless/internal/plan"
 	"cloudless/internal/schema"
 	"cloudless/internal/state"
+	"cloudless/internal/telemetry"
 )
 
 // Scheduler selects the ready-node ordering policy.
@@ -105,7 +107,6 @@ func Apply(ctx context.Context, cl cloud.Interface, p *plan.Plan, opts Options) 
 	newState := p.PriorState.Clone()
 	var stateMu sync.Mutex
 	var retries int64
-	var retryMu sync.Mutex
 
 	res := &Result{State: newState, Errors: map[string]error{}, Outputs: map[string]eval.Value{}}
 
@@ -125,23 +126,65 @@ func Apply(ctx context.Context, cl cloud.Interface, p *plan.Plan, opts Options) 
 		return 0.5 + rng.Float64()
 	}
 
-	report := p.Graph.Walk(ctx, graph.WalkOptions{
+	// Telemetry: one span for the whole execution, one per resource
+	// operation, with the scheduler queue-wait vs execute split recorded as
+	// attributes. Everything below is a no-op when no recorder rides ctx.
+	rec := telemetry.FromContext(ctx)
+	execCtx, execSpan := telemetry.StartSpan(ctx, "apply.execute")
+	execSpan.SetAttr("scheduler", o.Scheduler.String())
+	execSpan.SetAttr("concurrency", o.Concurrency)
+	execSpan.SetAttr("operations", p.Graph.Len())
+	var readyMu sync.Mutex
+	readyAt := map[string]time.Time{}
+	spanByAddr := map[string]*telemetry.Span{}
+	walkOpts := graph.WalkOptions{
 		Concurrency:     o.Concurrency,
 		Priority:        priority,
 		ContinueOnError: o.ContinueOnError,
-	}, func(addr string) error {
+	}
+	if rec != nil {
+		walkOpts.OnReady = func(node string) {
+			now := rec.Now()
+			readyMu.Lock()
+			readyAt[node] = now
+			readyMu.Unlock()
+		}
+	}
+
+	report := p.Graph.Walk(ctx, walkOpts, func(addr string) error {
 		ch := p.Changes[addr]
 		if ch == nil {
 			return fmt.Errorf("apply: no change for %s", addr)
 		}
-		err := applyChange(ctx, cl, p, ch, o, func(d time.Duration, attempt int) time.Duration {
-			retryMu.Lock()
-			retries++
-			retryMu.Unlock()
+		opCtx, sp := telemetry.StartSpan(execCtx, "apply.op")
+		var opRetries int64
+		if sp != nil {
+			sp.SetAttr("addr", addr)
+			sp.SetAttr("action", ch.Action.String())
+			sp.SetAttr("type", ch.Type)
+			sp.SetAttr("scheduler", o.Scheduler.String())
+			readyMu.Lock()
+			ready, ok := readyAt[addr]
+			readyMu.Unlock()
+			if ok {
+				sp.SetAttr("queue_wait_ms", durMillis(sp.StartTime().Sub(ready)))
+			}
+		}
+		err := applyChange(opCtx, cl, p, ch, o, func(d time.Duration, attempt int) time.Duration {
+			atomic.AddInt64(&retries, 1)
+			atomic.AddInt64(&opRetries, 1)
 			return time.Duration(float64(d) * float64(int(1)<<attempt) * jitter())
 		}, newState, &stateMu)
 		if err != nil {
 			res.Errors[addr] = err
+		}
+		if sp != nil {
+			sp.SetAttr("retries", atomic.LoadInt64(&opRetries))
+			sp.EndErr(err)
+			sp.SetAttr("exec_ms", durMillis(sp.Duration()))
+			readyMu.Lock()
+			spanByAddr[addr] = sp
+			readyMu.Unlock()
 		}
 		return err
 	})
@@ -149,10 +192,21 @@ func Apply(ctx context.Context, cl cloud.Interface, p *plan.Plan, opts Options) 
 	res.Report = report
 	done, _, _ := report.Counts()
 	res.Applied = done
-	retryMu.Lock()
-	res.Retries = int(retries)
-	retryMu.Unlock()
+	res.Retries = int(atomic.LoadInt64(&retries))
 	res.Elapsed = time.Since(start)
+
+	if rec != nil {
+		markCriticalPath(p.Graph, spanByAddr)
+		failed := len(res.Errors)
+		execSpan.SetAttr("applied", done)
+		execSpan.SetAttr("failed", failed)
+		execSpan.SetAttr("retries", res.Retries)
+		execSpan.End()
+		reg := rec.Metrics()
+		reg.Counter("apply.operations").Add(int64(done))
+		reg.Counter("apply.retries").Add(int64(res.Retries))
+		reg.Counter("apply.failures").Add(int64(failed))
+	}
 
 	// Evaluate root outputs against final values.
 	for name, spec := range p.Values.RootOutputs() {
@@ -160,6 +214,40 @@ func Apply(ctx context.Context, cl cloud.Interface, p *plan.Plan, opts Options) 
 		newState.Outputs[name] = res.Outputs[name]
 	}
 	return res
+}
+
+// durMillis renders a duration as float milliseconds for span attributes.
+func durMillis(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}
+
+// markCriticalPath walks backwards from the operation that finished last,
+// at each step following the dependency that finished latest, and tags the
+// chain's spans — so an exported trace visually answers "which chain bounded
+// the makespan" (the E2 question) without re-running the scheduler.
+func markCriticalPath(g *graph.Graph, spanByAddr map[string]*telemetry.Span) {
+	var cur string
+	var curEnd time.Time
+	for addr, sp := range spanByAddr {
+		if end := sp.EndTime(); cur == "" || end.After(curEnd) {
+			cur, curEnd = addr, end
+		}
+	}
+	for cur != "" {
+		spanByAddr[cur].SetAttr("critical_path", true)
+		next := ""
+		var nextEnd time.Time
+		for _, dep := range g.Dependencies(cur) {
+			sp, ok := spanByAddr[dep]
+			if !ok {
+				continue
+			}
+			if end := sp.EndTime(); next == "" || end.After(nextEnd) {
+				next, nextEnd = dep, end
+			}
+		}
+		cur = next
+	}
 }
 
 // applyChange performs one operation with retries.
@@ -204,6 +292,20 @@ func applyChange(ctx context.Context, cl cloud.Interface, p *plan.Plan, ch *plan
 			}
 		}
 		region := regionOf(ch, attrs)
+
+		// Record the attribute values this operation sends on its span,
+		// redacting schema-declared secrets with the same marker the display
+		// path uses — a trace file must never leak what the terminal hides.
+		if sp := telemetry.SpanFromContext(ctx); sp != nil {
+			sp.SetAttr("region", region)
+			for name, v := range attrs {
+				if a := rs.Attr(name); a != nil && a.Sensitive {
+					sp.SetAttr("attr."+name, telemetry.Redacted)
+				} else {
+					sp.SetAttr("attr."+name, v.String())
+				}
+			}
+		}
 
 		var created *cloud.Resource
 		op := func() error {

@@ -1,0 +1,208 @@
+package apply
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"cloudless/internal/plan"
+	"cloudless/internal/state"
+	"cloudless/internal/telemetry"
+)
+
+// fanConfig is a wide, shallow graph: one VPC, then fanWidth independent
+// buckets, so a concurrency-16 walk genuinely runs 16 ops at once.
+func fanConfig(fanWidth int) string {
+	var b strings.Builder
+	b.WriteString(`resource "aws_vpc" "main" {
+  name       = "fan"
+  cidr_block = "10.0.0.0/16"
+}
+`)
+	for i := 0; i < fanWidth; i++ {
+		fmt.Fprintf(&b, `resource "aws_storage_bucket" "b%d" {
+  name       = "bucket-%d"
+  depends_on = [aws_vpc.main]
+}
+`, i, i)
+	}
+	return b.String()
+}
+
+func TestApplySpanCorrectnessUnderParallelism(t *testing.T) {
+	const fanWidth = 32
+	rec := telemetry.NewRecorder(telemetry.Config{
+		Clock: telemetry.NewVirtualClock(time.Unix(5000, 0), time.Microsecond),
+	})
+	ctx := telemetry.WithRecorder(context.Background(), rec)
+
+	sim := newSim()
+	ex := expandSrc(t, fanConfig(fanWidth))
+	p, diags := plan.Compute(ctx, ex, state.New(), plan.Options{})
+	if diags.HasErrors() {
+		t.Fatalf("plan: %s", diags.Error())
+	}
+	res := Apply(ctx, sim, p, Options{Concurrency: 16, Scheduler: CriticalPathScheduler})
+	if err := res.Err(); err != nil {
+		t.Fatalf("apply: %s", err)
+	}
+
+	spans := rec.Spans()
+	byID := map[telemetry.SpanID]*telemetry.Span{}
+	var exec *telemetry.Span
+	var ops []*telemetry.Span
+	for _, sp := range spans {
+		byID[sp.ID()] = sp
+		switch sp.Name() {
+		case "apply.execute":
+			exec = sp
+		case "apply.op":
+			ops = append(ops, sp)
+		}
+	}
+	if exec == nil {
+		t.Fatal("no apply.execute span recorded")
+	}
+	if len(ops) != fanWidth+1 {
+		t.Fatalf("recorded %d op spans, want %d", len(ops), fanWidth+1)
+	}
+
+	// No orphans: every span's parent is 0 (a root) or itself recorded, and
+	// every op hangs off the execute span.
+	for _, sp := range spans {
+		if pid := sp.ParentID(); pid != 0 {
+			if _, ok := byID[pid]; !ok {
+				t.Errorf("span %s has unrecorded parent %d", sp.Name(), pid)
+			}
+		}
+	}
+	for _, op := range ops {
+		if op.ParentID() != exec.ID() {
+			t.Errorf("op %v not parented to apply.execute", op.Attr("addr"))
+		}
+	}
+
+	// Virtual-clock consistency: strictly positive durations, exact
+	// multiples of the clock step, nested inside the execute span.
+	for _, op := range ops {
+		d := op.Duration()
+		if d <= 0 || d%time.Microsecond != 0 {
+			t.Errorf("op %v duration %s not a positive step multiple", op.Attr("addr"), d)
+		}
+		if op.StartTime().Before(exec.StartTime()) || op.EndTime().After(exec.EndTime()) {
+			t.Errorf("op %v not nested inside apply.execute", op.Attr("addr"))
+		}
+	}
+
+	// Queue-wait vs execute split and scheduler attribution.
+	var critical int
+	for _, op := range ops {
+		qw, ok := op.Attr("queue_wait_ms").(float64)
+		if !ok || qw < 0 {
+			t.Errorf("op %v queue_wait_ms = %v", op.Attr("addr"), op.Attr("queue_wait_ms"))
+		}
+		if _, ok := op.Attr("exec_ms").(float64); !ok {
+			t.Errorf("op %v missing exec_ms", op.Attr("addr"))
+		}
+		if op.Attr("scheduler") != CriticalPathScheduler.String() {
+			t.Errorf("op %v scheduler attr = %v", op.Attr("addr"), op.Attr("scheduler"))
+		}
+		if op.Attr("critical_path") == true {
+			critical++
+		}
+	}
+	if critical == 0 {
+		t.Error("no op tagged critical_path")
+	}
+
+	// The registry saw every operation.
+	if got := rec.Metrics().CounterValue("apply.operations"); got != int64(fanWidth+1) {
+		t.Errorf("apply.operations = %d, want %d", got, fanWidth+1)
+	}
+}
+
+func TestApplyCriticalPathIsDependencyChain(t *testing.T) {
+	rec := telemetry.NewRecorder(telemetry.Config{
+		Clock: telemetry.NewVirtualClock(time.Unix(5000, 0), time.Microsecond),
+	})
+	ctx := telemetry.WithRecorder(context.Background(), rec)
+	sim := newSim()
+	ex := expandSrc(t, webConfig)
+	p, diags := plan.Compute(ctx, ex, state.New(), plan.Options{})
+	if diags.HasErrors() {
+		t.Fatalf("plan: %s", diags.Error())
+	}
+	if err := Apply(ctx, sim, p, Options{Concurrency: 4}).Err(); err != nil {
+		t.Fatalf("apply: %s", err)
+	}
+
+	critical := map[string]bool{}
+	for _, sp := range rec.Spans() {
+		if sp.Name() == "apply.op" && sp.Attr("critical_path") == true {
+			critical[sp.Attr("addr").(string)] = true
+		}
+	}
+	// The longest chain in webConfig is vpc -> subnet -> nic -> vm; the
+	// tagged path must include both endpoints and be a connected chain.
+	if !critical["aws_virtual_machine.web"] {
+		t.Errorf("terminal op not on critical path: %v", critical)
+	}
+	if !critical["aws_vpc.main"] {
+		t.Errorf("root op not on critical path: %v", critical)
+	}
+	for addr := range critical {
+		if p.Graph.HasNode(addr) {
+			continue
+		}
+		t.Errorf("critical-path addr %s not in plan graph", addr)
+	}
+}
+
+func TestApplySensitiveAttrsRedactedInSpans(t *testing.T) {
+	const secret = "hunter2-super-secret"
+	src := `
+resource "aws_vpc" "main" {
+  name       = "v"
+  cidr_block = "10.0.0.0/16"
+}
+resource "aws_subnet" "s" {
+  vpc_id     = aws_vpc.main.id
+  cidr_block = "10.0.1.0/24"
+}
+resource "aws_database_instance" "db" {
+  name       = "db"
+  engine     = "postgres"
+  password   = "` + secret + `"
+  subnet_ids = [aws_subnet.s.id]
+}
+`
+	rec := telemetry.NewRecorder(telemetry.Config{})
+	ctx := telemetry.WithRecorder(context.Background(), rec)
+	sim := newSim()
+	ex := expandSrc(t, src)
+	p, diags := plan.Compute(ctx, ex, state.New(), plan.Options{})
+	if diags.HasErrors() {
+		t.Fatalf("plan: %s", diags.Error())
+	}
+	if err := Apply(ctx, sim, p, Options{}).Err(); err != nil {
+		t.Fatalf("apply: %s", err)
+	}
+
+	var sawMarker bool
+	for _, sp := range rec.Spans() {
+		for _, k := range sp.AttrKeys() {
+			v := fmt.Sprint(sp.Attr(k))
+			if strings.Contains(v, secret) {
+				t.Errorf("span %s attr %s leaks the secret: %q", sp.Name(), k, v)
+			}
+			if k == "attr.password" && v == telemetry.Redacted {
+				sawMarker = true
+			}
+		}
+	}
+	if !sawMarker {
+		t.Error("sensitive attribute not recorded with the redaction marker")
+	}
+}

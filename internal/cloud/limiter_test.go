@@ -1,0 +1,100 @@
+package cloud
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"cloudless/internal/telemetry"
+)
+
+func TestRateLimiterTokenBucket(t *testing.T) {
+	l := newRateLimiter(10, 5)
+	allowed := 0
+	for i := 0; i < 20; i++ {
+		if l.Allow() {
+			allowed++
+		}
+	}
+	if allowed != 5 {
+		t.Fatalf("burst allowed %d calls, want 5", allowed)
+	}
+}
+
+func TestThrottleCountsReachMetricsRegistry(t *testing.T) {
+	opts := DefaultOptions()
+	opts.RateLimitOverride = 50 // burst 100 tokens, then ~20ms per token
+	sim := NewSim(opts)
+
+	reg := telemetry.NewRegistry()
+	sim.AttachTelemetry(reg)
+
+	ctx := context.Background()
+	const calls = 110
+	for i := 0; i < calls; i++ {
+		_, _ = sim.Get(ctx, "aws_vpc", "missing")
+	}
+
+	m := sim.Metrics()
+	if m.Throttled == 0 {
+		t.Fatal("expected throttles beyond the burst, got none")
+	}
+	got := reg.CounterSum("cloud.throttled")
+	if got != m.Throttled {
+		t.Fatalf("registry cloud.throttled = %d, sim metrics = %d", got, m.Throttled)
+	}
+	if api := reg.CounterValue("cloud.api_calls", "op", "get", "type", "aws_vpc"); api != calls {
+		t.Fatalf("cloud.api_calls{op=get,type=aws_vpc} = %d, want %d", api, calls)
+	}
+	// The wait distribution is recorded alongside the count.
+	snap := reg.Snapshot()
+	var sawWait bool
+	for _, mp := range snap {
+		if mp.Kind == "histogram" && mp.Count == m.Throttled && mp.Max > 0 &&
+			mp.Name == "cloud.throttle_wait_ms{provider=aws}" {
+			sawWait = true
+		}
+	}
+	if !sawWait {
+		t.Fatalf("cloud.throttle_wait_ms histogram missing or empty: %+v", snap)
+	}
+}
+
+func TestThrottleCountsViaContextRecorder(t *testing.T) {
+	opts := DefaultOptions()
+	opts.RateLimitOverride = 50
+	sim := NewSim(opts)
+
+	rec := telemetry.NewRecorder(telemetry.Config{})
+	ctx := telemetry.WithRecorder(context.Background(), rec)
+	for i := 0; i < 110; i++ {
+		_, _ = sim.Get(ctx, "aws_vpc", "missing")
+	}
+	if rec.Metrics().CounterSum("cloud.throttled") == 0 {
+		t.Fatal("context-carried recorder saw no throttles")
+	}
+}
+
+func TestCanceledWhileThrottledCounts(t *testing.T) {
+	opts := DefaultOptions()
+	opts.RateLimitOverride = 1 // burst 2: the third call must wait ~1s
+	sim := NewSim(opts)
+	reg := telemetry.NewRegistry()
+	sim.AttachTelemetry(reg)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	var lastErr error
+	for i := 0; i < 5; i++ {
+		_, err := sim.Get(ctx, "aws_vpc", "missing")
+		if err != nil && IsThrottled(err) {
+			lastErr = err
+		}
+	}
+	if lastErr == nil {
+		t.Fatal("expected a throttled error after cancellation")
+	}
+	if reg.CounterSum("cloud.throttled") == 0 {
+		t.Fatal("canceled-while-throttled call not counted")
+	}
+}

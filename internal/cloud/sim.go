@@ -11,6 +11,7 @@ import (
 
 	"cloudless/internal/eval"
 	"cloudless/internal/schema"
+	"cloudless/internal/telemetry"
 )
 
 // Options configure a simulator instance.
@@ -82,6 +83,11 @@ type Sim struct {
 
 	limiters map[string]*rateLimiter // per provider
 	kb       *schema.KnowledgeBase
+
+	// telemetry, when attached, mirrors the traffic counters into a metrics
+	// registry with per-type/op/region labels (E7 attribution). A registry
+	// riding the call context takes precedence per call.
+	telemetry *telemetry.Registry
 }
 
 var _ Interface = (*Sim)(nil)
@@ -113,6 +119,26 @@ func NewSim(opts Options) *Sim {
 	return s
 }
 
+// AttachTelemetry mirrors the simulator's traffic accounting (API calls,
+// throttles, injected failures) into the given registry. Callers that thread
+// a telemetry.Recorder through ctx get the same counters without attaching.
+func (s *Sim) AttachTelemetry(reg *telemetry.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.telemetry = reg
+}
+
+// registryFor resolves the registry to count a call against: the context's
+// recorder wins, then the attached registry, else nil (counting disabled).
+func (s *Sim) registryFor(ctx context.Context) *telemetry.Registry {
+	if rec := telemetry.FromContext(ctx); rec != nil {
+		return rec.Metrics()
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.telemetry
+}
+
 // Metrics returns a snapshot of the traffic counters.
 func (s *Sim) Metrics() Metrics {
 	s.mu.RLock()
@@ -127,22 +153,27 @@ func (s *Sim) ResetMetrics() {
 	s.metrics = Metrics{}
 }
 
-// admit applies rate limiting and failure injection for one call.
-func (s *Sim) admit(ctx context.Context, typ string, mutating bool) error {
+// admit applies rate limiting and failure injection for one call, counting
+// the call (and any throttle or injected failure) into the traffic metrics
+// and, when telemetry is wired up, the metrics registry.
+func (s *Sim) admit(ctx context.Context, op, typ string, mutating bool) error {
 	prov, ok := schema.ProviderForType(typ)
 	if !ok {
-		return &APIError{Code: CodeInvalid, Op: "call", Type: typ,
+		return &APIError{Code: CodeInvalid, Op: op, Type: typ,
 			Message: fmt.Sprintf("UnknownResourceType: no API for resource type %q", typ)}
 	}
 	s.mu.Lock()
 	s.metrics.Calls++
 	lim := s.limiters[prov.Name]
 	s.mu.Unlock()
+	reg := s.registryFor(ctx)
+	reg.Counter("cloud.api_calls", "op", op, "type", typ).Inc()
 
 	if !s.opts.DisableRateLimit {
 		waited, err := lim.Wait(ctx)
 		if err != nil {
-			return &APIError{Code: CodeThrottled, Op: "call", Type: typ, Retryable: true,
+			reg.Counter("cloud.throttled", "provider", prov.Name).Inc()
+			return &APIError{Code: CodeThrottled, Op: op, Type: typ, Retryable: true,
 				Message: "TooManyRequests: request rate exceeded; canceled while throttled"}
 		}
 		if waited > 0 {
@@ -150,6 +181,9 @@ func (s *Sim) admit(ctx context.Context, typ string, mutating bool) error {
 			s.metrics.Throttled++
 			s.metrics.ThrottleWait += waited
 			s.mu.Unlock()
+			reg.Counter("cloud.throttled", "provider", prov.Name).Inc()
+			reg.Histogram("cloud.throttle_wait_ms", "provider", prov.Name).
+				Observe(float64(waited) / float64(time.Millisecond))
 		}
 	}
 	if mutating && s.opts.FailureRate > 0 {
@@ -160,7 +194,8 @@ func (s *Sim) admit(ctx context.Context, typ string, mutating bool) error {
 		}
 		s.mu.Unlock()
 		if fail {
-			return &APIError{Code: CodeInternal, Op: "call", Type: typ, Retryable: true,
+			reg.Counter("cloud.injected_failures", "type", typ).Inc()
+			return &APIError{Code: CodeInternal, Op: op, Type: typ, Retryable: true,
 				Message: "InternalError: an internal error occurred; please retry"}
 		}
 	}
@@ -206,7 +241,7 @@ func (s *Sim) Create(ctx context.Context, req CreateRequest) (*Resource, error) 
 		return nil, &APIError{Code: CodeInvalid, Op: "create", Type: req.Type,
 			Message: "InvalidOperation: data sources cannot be created"}
 	}
-	if err := s.admit(ctx, req.Type, true); err != nil {
+	if err := s.admit(ctx, "create", req.Type, true); err != nil {
 		return nil, err
 	}
 
@@ -272,6 +307,7 @@ func (s *Sim) Create(ctx context.Context, req CreateRequest) (*Resource, error) 
 	s.store[req.Type][id] = res
 	s.metrics.Creates++
 	s.mu.Unlock()
+	s.registryFor(ctx).Counter("cloud.creates", "type", req.Type, "region", region).Inc()
 
 	// Provisioning latency happens outside the lock: real clouds provision
 	// many resources concurrently.
@@ -499,7 +535,7 @@ func (s *Sim) computedValueLocked(name string, rs *schema.ResourceSchema, res *R
 
 // Get fetches a resource by type and ID.
 func (s *Sim) Get(ctx context.Context, typ, id string) (*Resource, error) {
-	if err := s.admit(ctx, typ, false); err != nil {
+	if err := s.admit(ctx, "get", typ, false); err != nil {
 		return nil, err
 	}
 	s.sleepScaled(ctx, s.opts.ReadLatency)
@@ -525,7 +561,7 @@ func (s *Sim) Update(ctx context.Context, req UpdateRequest) (*Resource, error) 
 		return nil, &APIError{Code: CodeInvalid, Op: "update", Type: req.Type,
 			Message: fmt.Sprintf("UnknownResourceType: %q", req.Type)}
 	}
-	if err := s.admit(ctx, req.Type, true); err != nil {
+	if err := s.admit(ctx, "update", req.Type, true); err != nil {
 		return nil, err
 	}
 	s.mu.Lock()
@@ -587,7 +623,7 @@ func (s *Sim) Delete(ctx context.Context, typ, id, principal string) error {
 		return &APIError{Code: CodeInvalid, Op: "delete", Type: typ,
 			Message: fmt.Sprintf("UnknownResourceType: %q", typ)}
 	}
-	if err := s.admit(ctx, typ, true); err != nil {
+	if err := s.admit(ctx, "delete", typ, true); err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -646,7 +682,7 @@ func (s *Sim) referencedByLocked(id string) *Resource {
 // List returns resources of a type, optionally filtered by region, sorted
 // by ID for determinism.
 func (s *Sim) List(ctx context.Context, typ, region string) ([]*Resource, error) {
-	if err := s.admit(ctx, typ, false); err != nil {
+	if err := s.admit(ctx, "list", typ, false); err != nil {
 		return nil, err
 	}
 	s.sleepScaled(ctx, s.opts.ReadLatency)
@@ -671,6 +707,7 @@ func (s *Sim) Activity(ctx context.Context, afterSeq int64) ([]Event, error) {
 	defer s.mu.Unlock()
 	s.metrics.LogReads++
 	s.metrics.Calls++
+	s.telemetry.Counter("cloud.log_reads").Inc()
 	var out []Event
 	for _, e := range s.log {
 		if e.Seq > afterSeq {

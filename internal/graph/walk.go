@@ -88,6 +88,11 @@ type WalkOptions struct {
 	// (dependents of the failed node are always skipped). When false, the
 	// walk stops scheduling any new node after the first failure.
 	ContinueOnError bool
+	// OnReady, when set, is called once per node the moment all of its
+	// dependencies are satisfied (i.e. when it enters the ready queue). It
+	// may run under the walk's internal lock and must not call back into
+	// the walk; the applier uses it to attribute queue-wait vs execute time.
+	OnReady func(node string)
 }
 
 // Walk runs fn over every node respecting dependency order, with bounded
@@ -136,6 +141,9 @@ func (g *Graph) Walk(ctx context.Context, opts WalkOptions, fn func(node string)
 	}
 	for n, d := range pending {
 		if d == 0 {
+			if opts.OnReady != nil {
+				opts.OnReady(n)
+			}
 			heap.Push(&ready, readyNode{id: n, prio: prio(n)})
 		}
 	}
@@ -195,6 +203,9 @@ func (g *Graph) Walk(ctx context.Context, opts WalkOptions, fn func(node string)
 			for rd := range g.rdeps[msg.node] {
 				pending[rd]--
 				if pending[rd] == 0 && report.Status[rd] == StatusPending {
+					if opts.OnReady != nil {
+						opts.OnReady(rd)
+					}
 					heap.Push(&ready, readyNode{id: rd, prio: prio(rd)})
 				}
 			}

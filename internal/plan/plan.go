@@ -13,6 +13,7 @@ import (
 	"cloudless/internal/hcl"
 	"cloudless/internal/schema"
 	"cloudless/internal/state"
+	"cloudless/internal/telemetry"
 )
 
 // Action is what the applier must do for one instance.
@@ -105,6 +106,23 @@ func Compute(ctx context.Context, ex *config.Expansion, prior *state.State, opts
 		Graph:   graph.New(),
 		Values:  NewValueStore(ex),
 	}
+	ctx, span := telemetry.StartSpan(ctx, "plan.compute")
+	defer func() {
+		span.SetAttr("refresh_reads", p.RefreshReads)
+		span.SetAttr("evaluated_instances", p.EvaluatedInstances)
+		span.SetAttr("creates", p.Creates)
+		span.SetAttr("updates", p.Updates)
+		span.SetAttr("replaces", p.Replaces)
+		span.SetAttr("deletes", p.Deletes)
+		span.SetAttr("noops", p.Noops)
+		span.End()
+		if rec := telemetry.FromContext(ctx); rec != nil {
+			reg := rec.Metrics()
+			reg.Counter("plan.computes").Inc()
+			reg.Counter("plan.refresh_reads").Add(int64(p.RefreshReads))
+			reg.Counter("plan.evaluated_instances").Add(int64(p.EvaluatedInstances))
+		}
+	}()
 
 	// Resource-level dependency graph over configuration, used for
 	// topological evaluation order and impact scoping.
@@ -129,6 +147,19 @@ func Compute(ctx context.Context, ex *config.Expansion, prior *state.State, opts
 	var scope map[string]struct{}
 	if opts.ImpactScope != nil {
 		scope = cfgGraph.ImpactScope(opts.ImpactScope...)
+	}
+	// Impact-scope size vs total graph size is the headline incremental-
+	// planning metric (§3.3): the fraction of the graph a change touches.
+	scopeSize := cfgGraph.Len()
+	if scope != nil {
+		scopeSize = len(scope)
+	}
+	span.SetAttr("graph_size", cfgGraph.Len())
+	span.SetAttr("scope_size", scopeSize)
+	if rec := telemetry.FromContext(ctx); rec != nil {
+		reg := rec.Metrics()
+		reg.Gauge("plan.graph_size").Set(float64(cfgGraph.Len()))
+		reg.Gauge("plan.scope_size").Set(float64(scopeSize))
 	}
 	inScope := func(resourceAddr string) bool {
 		if scope == nil {

@@ -12,6 +12,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"cloudless/internal/telemetry"
 )
 
 // LockMode selects the locking granularity.
@@ -118,6 +120,29 @@ func (lm *LockManager) keysFor(addrs []string) []string {
 // transaction acquires through this method.
 func (lm *LockManager) Acquire(ctx context.Context, txnID int64, addrs []string) error {
 	keys := lm.keysFor(addrs)
+	rec := telemetry.FromContext(ctx)
+	var start time.Time
+	if rec != nil {
+		start = rec.Now()
+	}
+	err := lm.acquireAll(ctx, txnID, keys)
+	if rec != nil {
+		reg := rec.Metrics()
+		// Lock-wait distribution (E4) and deadlock-abort count (E5): the
+		// observed Acquire latency includes any blocking behind holders.
+		reg.Histogram("statedb.lock_wait_ms", "mode", lm.mode.String()).
+			Observe(float64(rec.Now().Sub(start)) / float64(time.Millisecond))
+		reg.Counter("statedb.lock_acquires", "mode", lm.mode.String()).Inc()
+		if errors.Is(err, ErrDeadlock) {
+			reg.Counter("statedb.deadlock_aborts").Inc()
+		}
+	}
+	return err
+}
+
+// acquireAll takes the already-sorted keys one at a time, releasing every
+// held key on failure.
+func (lm *LockManager) acquireAll(ctx context.Context, txnID int64, keys []string) error {
 	var held []string
 	for _, key := range keys {
 		if err := lm.acquireOne(ctx, txnID, key); err != nil {

@@ -1,0 +1,72 @@
+// Package telemetry is the observability substrate for the whole stack: a
+// dependency-free tracing and metrics layer (§3.3 critical-path deployment,
+// §3.5 activity-log-native diagnosis both presuppose that operators can see
+// where time and API calls go inside a lifecycle run).
+//
+// The package provides three cooperating pieces:
+//
+//   - Spans with parent/child links, recorded by a bounded in-memory
+//     Recorder and exported as plain JSON or Chrome-trace format
+//     (chrome://tracing / Perfetto).
+//   - A Registry of counters, gauges, and histograms for control-plane
+//     accounting (API calls, 429 throttles, lock waits, deadlock aborts).
+//   - A Clock abstraction so benchmarks and tests run on a deterministic
+//     virtual clock while production uses wall time.
+//
+// Instrumented packages never hold a Recorder directly: the recorder rides
+// the context (WithRecorder/FromContext), and every method in this package
+// is safe on a nil receiver, so instrumentation is free when telemetry is
+// not enabled.
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies timestamps for spans and metrics. Production code uses
+// System; tests and deterministic benches inject a VirtualClock.
+type Clock interface {
+	Now() time.Time
+}
+
+// systemClock reads the wall clock.
+type systemClock struct{}
+
+// Now returns the current wall time.
+func (systemClock) Now() time.Time { return time.Now() }
+
+// System is the wall clock.
+var System Clock = systemClock{}
+
+// VirtualClock is a deterministic manual clock. Each Now() call returns the
+// current virtual time and then advances it by Step, so consecutive reads
+// are strictly ordered and span durations are exact multiples of Step —
+// benches and -race tests get reproducible timings with no sleeping.
+type VirtualClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+// NewVirtualClock starts a virtual clock at start, auto-advancing by step on
+// every Now() read (step 0 means reads do not advance time).
+func NewVirtualClock(start time.Time, step time.Duration) *VirtualClock {
+	return &VirtualClock{now: start, step: step}
+}
+
+// Now returns the virtual time and advances it by the configured step.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.now
+	c.now = c.now.Add(c.step)
+	return t
+}
+
+// Advance moves the virtual clock forward by d.
+func (c *VirtualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}

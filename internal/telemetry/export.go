@@ -1,0 +1,209 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// ChromeEvent is one trace event in Chrome trace-event format ("X" complete
+// events), viewable in chrome://tracing and Perfetto.
+type ChromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`            // microseconds from trace start
+	Dur   float64        `json:"dur,omitempty"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+	CName string         `json:"cname,omitempty"` // viewer color override
+}
+
+// ChromeTrace is the exported trace file: standard traceEvents plus a
+// cloudlessMetrics extension block (extra top-level keys are legal in the
+// object form of the format and ignored by viewers).
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+	Metrics         []MetricPoint `json:"cloudlessMetrics,omitempty"`
+	DroppedSpans    int64         `json:"cloudlessDroppedSpans,omitempty"`
+}
+
+// criticalPathAttr marks spans on the deployment critical path; the exporter
+// colors them so the E2 answer is visible at a glance in Perfetto.
+const criticalPathAttr = "critical_path"
+
+// ChromeTrace renders every ended span plus the metrics snapshot. Spans are
+// assigned to display lanes (tids) so that a child nests inside its parent's
+// lane when the lane is free, and overlapping siblings spread across lanes —
+// a swimlane view of the parallel applier.
+func (r *Recorder) ChromeTrace() *ChromeTrace {
+	out := &ChromeTrace{DisplayTimeUnit: "ms"}
+	if r == nil {
+		return out
+	}
+	spans := r.Spans()
+	out.Metrics = r.Metrics().Snapshot()
+	out.DroppedSpans = r.Dropped()
+	if len(spans) == 0 {
+		return out
+	}
+
+	// Sort by start; parents before their children on ties (a parent starts
+	// no later and ends no earlier than its children).
+	sort.Slice(spans, func(i, j int) bool {
+		si, sj := spans[i], spans[j]
+		if !si.StartTime().Equal(sj.StartTime()) {
+			return si.StartTime().Before(sj.StartTime())
+		}
+		if !si.EndTime().Equal(sj.EndTime()) {
+			return si.EndTime().After(sj.EndTime())
+		}
+		return si.ID() < sj.ID()
+	})
+	epoch := spans[0].StartTime()
+
+	lanes := assignLanes(spans)
+	for _, sp := range spans {
+		args := map[string]any{}
+		for k, v := range sp.Attrs() {
+			args[k] = v
+		}
+		args["span_id"] = uint64(sp.ID())
+		if sp.ParentID() != 0 {
+			args["parent_id"] = uint64(sp.ParentID())
+		}
+		ev := ChromeEvent{
+			Name:  sp.Name(),
+			Cat:   "cloudless",
+			Phase: "X",
+			TS:    float64(sp.StartTime().Sub(epoch)) / float64(time.Microsecond),
+			Dur:   float64(sp.Duration()) / float64(time.Microsecond),
+			PID:   1,
+			TID:   lanes[sp.ID()],
+			Args:  args,
+		}
+		if crit, _ := sp.Attr(criticalPathAttr).(bool); crit {
+			ev.CName = "terrible" // red in the trace viewer palette
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+	return out
+}
+
+// assignLanes gives each span a display lane. Each lane holds a stack of
+// open intervals: a span joins a lane when every still-open interval there
+// is an ancestor that fully contains it (it nests) — preferring its parent's
+// lane — otherwise it opens a new lane. Overlapping siblings therefore fan
+// out across lanes like workers.
+func assignLanes(sorted []*Span) map[SpanID]int {
+	type frame struct {
+		id  SpanID
+		end time.Time
+	}
+	laneOf := make(map[SpanID]int, len(sorted))
+	ancestors := make(map[SpanID]map[SpanID]bool, len(sorted))
+	parents := make(map[SpanID]SpanID, len(sorted))
+	for _, sp := range sorted {
+		parents[sp.ID()] = sp.ParentID()
+	}
+	ancestorOf := func(id SpanID) map[SpanID]bool {
+		if a, ok := ancestors[id]; ok {
+			return a
+		}
+		a := map[SpanID]bool{}
+		for p := parents[id]; p != 0; p = parents[p] {
+			a[p] = true
+			if len(a) > len(sorted) {
+				break // defensive: corrupt parent chain
+			}
+		}
+		ancestors[id] = a
+		return a
+	}
+
+	var stacks [][]frame
+	fits := func(lane int, sp *Span) bool {
+		st := stacks[lane]
+		// Pop finished intervals.
+		for len(st) > 0 && !st[len(st)-1].end.After(sp.StartTime()) {
+			st = st[:len(st)-1]
+		}
+		stacks[lane] = st
+		if len(st) == 0 {
+			return true
+		}
+		top := st[len(st)-1]
+		return ancestorOf(sp.ID())[top.id] && !top.end.Before(sp.EndTime())
+	}
+	for _, sp := range sorted {
+		lane := -1
+		if pl, ok := laneOf[sp.ParentID()]; ok && fits(pl, sp) {
+			lane = pl
+		} else {
+			for l := range stacks {
+				if fits(l, sp) {
+					lane = l
+					break
+				}
+			}
+		}
+		if lane == -1 {
+			stacks = append(stacks, nil)
+			lane = len(stacks) - 1
+		}
+		stacks[lane] = append(stacks[lane], frame{id: sp.ID(), end: sp.EndTime()})
+		laneOf[sp.ID()] = lane
+	}
+	return laneOf
+}
+
+// WriteChromeTrace writes the trace as JSON.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r.ChromeTrace())
+}
+
+// WriteChromeTraceFile writes the trace to a file.
+func (r *Recorder) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: write trace: %w", err)
+	}
+	if err := r.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadChromeTraceFile parses a trace file written by WriteChromeTraceFile.
+func ReadChromeTraceFile(path string) (*ChromeTrace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: read trace: %w", err)
+	}
+	var tr ChromeTrace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return nil, fmt.Errorf("telemetry: parse trace %s: %w", path, err)
+	}
+	return &tr, nil
+}
+
+// TraceSummary computes per-name span stats from an exported trace, so the
+// `cloudlessctl metrics` command can summarize a previously captured file.
+func TraceSummary(tr *ChromeTrace) []SpanStat {
+	durs := map[string][]float64{}
+	for _, ev := range tr.TraceEvents {
+		if ev.Phase != "X" {
+			continue
+		}
+		durs[ev.Name] = append(durs[ev.Name], ev.Dur*float64(time.Microsecond))
+	}
+	return summarize(durs)
+}

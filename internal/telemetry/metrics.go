@@ -1,0 +1,315 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named counters, gauges, and histograms. Instruments are
+// created on first use and identified by name plus an optional sorted label
+// set, Prometheus-style: Counter("cloud.api_calls", "type", "aws_vpc").
+// All methods are safe for concurrent use and on a nil receiver.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// metricKey renders "name{k=v,k=v}" with label pairs sorted by key.
+func metricKey(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteByte('=')
+		b.WriteString(p.v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter returns (creating if needed) the counter for name+labels. Labels
+// are alternating key, value strings. Nil registries return a shared inert
+// counter so call sites need no checks.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[key]
+	if !ok {
+		c = &Counter{}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge for name+labels.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[key]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the histogram for name+labels.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[key]
+	if !ok {
+		h = newHistogram()
+		r.histograms[key] = h
+	}
+	return h
+}
+
+// CounterValue reads a counter without creating it.
+func (r *Registry) CounterValue(name string, labels ...string) int64 {
+	if r == nil {
+		return 0
+	}
+	key := metricKey(name, labels)
+	r.mu.Lock()
+	c := r.counters[key]
+	r.mu.Unlock()
+	return c.Value()
+}
+
+// CounterSum sums every counter whose name matches (across all label sets).
+func (r *Registry) CounterSum(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var sum int64
+	for key, c := range r.counters {
+		if key == name || strings.HasPrefix(key, name+"{") {
+			sum += c.Value()
+		}
+	}
+	return sum
+}
+
+// Counter is a monotonically increasing int64.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reads the count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable float64.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histogramSamples bounds the retained observations per histogram; beyond it
+// new observations overwrite the oldest (count/sum/min/max stay exact).
+const histogramSamples = 2048
+
+// Histogram records float64 observations with exact count/sum/min/max and a
+// bounded sample ring for quantile estimation.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	samples []float64
+	next    int
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{min: math.Inf(1), max: math.Inf(-1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	if len(h.samples) < histogramSamples {
+		h.samples = append(h.samples, v)
+	} else {
+		h.samples[h.next] = v
+		h.next = (h.next + 1) % histogramSamples
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile estimates the q-quantile (0..1) from the retained samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	cp := append([]float64(nil), h.samples...)
+	h.mu.Unlock()
+	return quantile(cp, q)
+}
+
+// quantile computes the q-quantile of an unsorted sample set.
+func quantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Float64s(samples)
+	if q <= 0 {
+		return samples[0]
+	}
+	if q >= 1 {
+		return samples[len(samples)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return samples[idx]
+}
+
+// MetricPoint is one exported instrument value.
+type MetricPoint struct {
+	Name  string  `json:"name"` // metricKey form: name{k=v,...}
+	Kind  string  `json:"kind"` // "counter", "gauge", "histogram"
+	Value float64 `json:"value"`
+	// Histogram-only fields.
+	Count int64   `json:"count,omitempty"`
+	Sum   float64 `json:"sum,omitempty"`
+	Min   float64 `json:"min,omitempty"`
+	Max   float64 `json:"max,omitempty"`
+	P50   float64 `json:"p50,omitempty"`
+	P95   float64 `json:"p95,omitempty"`
+}
+
+// Snapshot exports every instrument, sorted by name.
+func (r *Registry) Snapshot() []MetricPoint {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]MetricPoint, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for key, c := range r.counters {
+		out = append(out, MetricPoint{Name: key, Kind: "counter", Value: float64(c.Value())})
+	}
+	for key, g := range r.gauges {
+		out = append(out, MetricPoint{Name: key, Kind: "gauge", Value: g.Value()})
+	}
+	for key, h := range r.histograms {
+		h.mu.Lock()
+		mp := MetricPoint{
+			Name: key, Kind: "histogram",
+			Count: h.count, Sum: h.sum,
+		}
+		if h.count > 0 {
+			mp.Min, mp.Max = h.min, h.max
+			cp := append([]float64(nil), h.samples...)
+			mp.P50 = quantile(cp, 0.50)
+			mp.P95 = quantile(append([]float64(nil), h.samples...), 0.95)
+			mp.Value = h.sum / float64(h.count)
+		}
+		h.mu.Unlock()
+		out = append(out, mp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

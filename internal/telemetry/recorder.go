@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// defaultMaxSpans bounds the recorder's in-memory span buffer.
+const defaultMaxSpans = 65536
+
+// Config tunes a Recorder.
+type Config struct {
+	// Clock supplies timestamps; defaults to the wall clock.
+	Clock Clock
+	// MaxSpans bounds retained spans (default 65536); spans started past the
+	// bound still function but are dropped from the export, counted in
+	// Dropped.
+	MaxSpans int
+}
+
+// Recorder owns one run's telemetry: a bounded span store plus a metrics
+// registry. It is safe for concurrent use; every method is safe on nil.
+type Recorder struct {
+	clock Clock
+	max   int
+	reg   *Registry
+
+	mu      sync.Mutex
+	spans   []*Span
+	nextID  atomic.Uint64
+	dropped atomic.Int64
+}
+
+// NewRecorder builds a recorder.
+func NewRecorder(cfg Config) *Recorder {
+	if cfg.Clock == nil {
+		cfg.Clock = System
+	}
+	if cfg.MaxSpans <= 0 {
+		cfg.MaxSpans = defaultMaxSpans
+	}
+	return &Recorder{clock: cfg.Clock, max: cfg.MaxSpans, reg: NewRegistry()}
+}
+
+// Metrics returns the recorder's registry (nil-safe).
+func (r *Recorder) Metrics() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// Now reads the recorder's clock; a nil recorder reads the wall clock.
+func (r *Recorder) Now() time.Time {
+	if r == nil {
+		return time.Now()
+	}
+	return r.clock.Now()
+}
+
+// StartSpan opens a span as a child of ctx's current span, and returns a
+// context carrying both this recorder and the new span, so downstream
+// instrumentation nests under it.
+func (r *Recorder) StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if r == nil {
+		return ctx, nil
+	}
+	return StartSpan(WithRecorder(ctx, r), name)
+}
+
+// newSpan allocates and registers a started span.
+func (r *Recorder) newSpan(name string, parent *Span) *Span {
+	sp := &Span{
+		id:    SpanID(r.nextID.Add(1)),
+		name:  name,
+		start: r.clock.Now(),
+		rec:   r,
+	}
+	if parent != nil {
+		sp.parent = parent.id
+	}
+	return sp
+}
+
+// record stores an ended span, honoring the buffer bound.
+func (r *Recorder) record(s *Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.spans) >= r.max {
+		r.mu.Unlock()
+		r.dropped.Add(1)
+		return
+	}
+	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+}
+
+// Spans returns the recorded (ended) spans in completion order.
+func (r *Recorder) Spans() []*Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Span(nil), r.spans...)
+}
+
+// SpanCount returns how many spans were recorded.
+func (r *Recorder) SpanCount() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// Dropped returns how many spans exceeded the buffer bound.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped.Load()
+}
+
+// SpanStat summarizes all spans sharing one name.
+type SpanStat struct {
+	Name  string        `json:"name"`
+	Count int           `json:"count"`
+	Total time.Duration `json:"total_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// Summary groups recorded spans by name with duration percentiles, sorted by
+// total time descending — the per-stage attribution table the bench harness
+// and `cloudlessctl metrics` print.
+func (r *Recorder) Summary() []SpanStat {
+	if r == nil {
+		return nil
+	}
+	durs := map[string][]float64{}
+	for _, sp := range r.Spans() {
+		durs[sp.Name()] = append(durs[sp.Name()], float64(sp.Duration()))
+	}
+	return summarize(durs)
+}
+
+// summarize turns name → duration samples (ns) into sorted SpanStats.
+func summarize(durs map[string][]float64) []SpanStat {
+	out := make([]SpanStat, 0, len(durs))
+	for name, ds := range durs {
+		var total float64
+		var maxD float64
+		for _, d := range ds {
+			total += d
+			if d > maxD {
+				maxD = d
+			}
+		}
+		out = append(out, SpanStat{
+			Name:  name,
+			Count: len(ds),
+			Total: time.Duration(total),
+			P50:   time.Duration(quantile(append([]float64(nil), ds...), 0.50)),
+			P95:   time.Duration(quantile(append([]float64(nil), ds...), 0.95)),
+			Max:   time.Duration(maxD),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

@@ -1,0 +1,232 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Redacted is the marker substituted for sensitive values in every display
+// path: CLI output, span attributes, and exported traces. It matches the
+// marker the root facade uses for `sensitive = true` outputs, so a secret
+// that is redacted on the terminal is redacted in a trace file too.
+const Redacted = "(sensitive)"
+
+// maxAttrLen bounds one attribute value in a span, so traces stay small even
+// when a resource carries a large attribute.
+const maxAttrLen = 256
+
+// SpanID identifies a span within one Recorder.
+type SpanID uint64
+
+// Span is one timed operation. Spans are created through StartSpan, carry
+// string/number attributes, and are recorded when End is called. All methods
+// are safe on a nil *Span, so instrumentation sites need no nil checks.
+type Span struct {
+	mu     sync.Mutex
+	id     SpanID
+	parent SpanID
+	name   string
+	start  time.Time
+	end    time.Time
+	ended  bool
+	attrs  map[string]any
+	rec    *Recorder
+}
+
+// ID returns the span's identifier (0 for nil spans).
+func (s *Span) ID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// ParentID returns the parent span's identifier (0 = root).
+func (s *Span) ParentID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.parent
+}
+
+// Name returns the span name.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// StartTime returns when the span started.
+func (s *Span) StartTime() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
+// EndTime returns when the span ended (zero while still open).
+func (s *Span) EndTime() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.end
+}
+
+// Duration returns end-start for ended spans, 0 otherwise.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		return 0
+	}
+	return s.end.Sub(s.start)
+}
+
+// SetAttr attaches an attribute. Strings are truncated to a bounded length;
+// values may be set until the recorder is exported (the applier tags the
+// critical path post-hoc this way).
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	if str, ok := value.(string); ok && len(str) > maxAttrLen {
+		value = str[:maxAttrLen] + "..."
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.attrs == nil {
+		s.attrs = map[string]any{}
+	}
+	s.attrs[key] = value
+}
+
+// Attr reads an attribute value (nil when absent).
+func (s *Span) Attr(key string) any {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.attrs[key]
+}
+
+// Attrs returns a copy of the attribute map.
+func (s *Span) Attrs() map[string]any {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]any, len(s.attrs))
+	for k, v := range s.attrs {
+		out[k] = v
+	}
+	return out
+}
+
+// AttrKeys returns the attribute names, sorted.
+func (s *Span) AttrKeys() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.attrs))
+	for k := range s.attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// End closes the span at the recorder clock's current time. Ending twice is
+// a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := s.rec.Now()
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.end = now
+	s.mu.Unlock()
+	s.rec.record(s)
+}
+
+// EndErr closes the span, attaching the error (if any) as an attribute.
+func (s *Span) EndErr(err error) {
+	if s == nil {
+		return
+	}
+	if err != nil {
+		s.SetAttr("error", fmt.Sprint(err))
+	}
+	s.End()
+}
+
+// Ended reports whether End was called.
+func (s *Span) Ended() bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ended
+}
+
+// recorderKey and spanKey carry telemetry through call chains.
+type recorderKey struct{}
+type spanKey struct{}
+
+// WithRecorder returns a context carrying the recorder, making every
+// instrumentation site below it live. A nil recorder returns ctx unchanged.
+func WithRecorder(ctx context.Context, rec *Recorder) context.Context {
+	if rec == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, recorderKey{}, rec)
+}
+
+// FromContext extracts the recorder (nil when telemetry is off).
+func FromContext(ctx context.Context) *Recorder {
+	if ctx == nil {
+		return nil
+	}
+	rec, _ := ctx.Value(recorderKey{}).(*Recorder)
+	return rec
+}
+
+// SpanFromContext returns the current span (nil when none).
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// StartSpan opens a child of the context's current span on the context's
+// recorder. When no recorder rides the context it returns (ctx, nil) and the
+// nil span swallows every later call — instrumentation costs two context
+// lookups when telemetry is disabled.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	rec := FromContext(ctx)
+	if rec == nil {
+		return ctx, nil
+	}
+	sp := rec.newSpan(name, SpanFromContext(ctx))
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}

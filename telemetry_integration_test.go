@@ -1,0 +1,113 @@
+package cloudless_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	cloudless "cloudless"
+	"cloudless/internal/telemetry"
+)
+
+// TestTraceNeverContainsSecrets drives a full traced lifecycle with a
+// sensitive resource attribute AND a sensitive output, exports the trace to
+// disk, and proves the secret values appear nowhere in the file — only the
+// redaction marker does.
+func TestTraceNeverContainsSecrets(t *testing.T) {
+	const attrSecret = "hunter2-attr-secret"
+	src := `
+resource "azure_resource_group" "rg" {
+  name     = "rg"
+  location = "eastus"
+}
+resource "azure_sql_server" "db" {
+  name           = "db"
+  admin_password = "` + attrSecret + `"
+}
+output "fqdn"   { value = azure_sql_server.db.fqdn }
+output "db_id" {
+  value     = azure_sql_server.db.id
+  sensitive = true
+}
+`
+	rec := telemetry.NewRecorder(telemetry.Config{})
+	s, err := cloudless.Open(cloudless.Options{
+		Sources:   map[string]string{"main.ccl": src},
+		Cloud:     newSim(),
+		Telemetry: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	s.Validate()
+	p, err := s.Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Apply(ctx, p, cloudless.ApplyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := rec.WriteChromeTraceFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := string(data)
+
+	if strings.Contains(trace, attrSecret) {
+		t.Error("trace file leaks the sensitive resource attribute")
+	}
+	// The sensitive output's real value (the server id) must not appear as
+	// an output attribute; it may legitimately appear as a resource id in
+	// op spans, so check the output attr specifically.
+	if !strings.Contains(trace, telemetry.Redacted) {
+		t.Error("trace file contains no redaction marker at all")
+	}
+	tr, err := telemetry.ReadChromeTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var checkedOutput, checkedAttr bool
+	for _, ev := range tr.TraceEvents {
+		if v, ok := ev.Args["output.db_id"]; ok {
+			checkedOutput = true
+			if v != telemetry.Redacted {
+				t.Errorf("sensitive output recorded as %v", v)
+			}
+		}
+		if v, ok := ev.Args["attr.admin_password"]; ok {
+			checkedAttr = true
+			if v != telemetry.Redacted {
+				t.Errorf("sensitive attr recorded as %v", v)
+			}
+		}
+		if v, ok := ev.Args["output.fqdn"]; ok && v == telemetry.Redacted {
+			t.Error("non-sensitive output redacted")
+		}
+	}
+	if !checkedOutput {
+		t.Error("lifecycle span did not record the output attribute")
+	}
+	if !checkedAttr {
+		t.Error("op span did not record the sensitive attribute")
+	}
+
+	// The lifecycle spans cover the run: validate, plan, and apply all
+	// appear in the same trace.
+	names := map[string]bool{}
+	for _, ev := range tr.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"lifecycle.validate", "lifecycle.plan", "lifecycle.apply", "apply.op", "plan.compute"} {
+		if !names[want] {
+			t.Errorf("trace missing %s span", want)
+		}
+	}
+}
