@@ -57,6 +57,16 @@ type (
 	RollbackPlan = rollback.Plan
 	// State is recorded infrastructure state.
 	State = state.State
+	// StaleBaseError is the typed conflict returned when an apply's plan
+	// was computed against a state serial that other commits have passed.
+	StaleBaseError = statedb.StaleBaseError
+)
+
+// State storage backends for Options.StateBackend.
+const (
+	BackendMemory = statedb.BackendMemory
+	BackendMVCC   = statedb.BackendMVCC
+	BackendWAL    = statedb.BackendWAL
 )
 
 // Scheduler choices for Apply.
@@ -85,6 +95,16 @@ type Options struct {
 	// GlobalLock switches the lock manager to whole-infrastructure
 	// locking (the baseline behaviour). Default: per-resource locks.
 	GlobalLock bool
+	// StateBackend selects the golden-state storage engine: "memory"
+	// (default; sharded in-memory map), "mvcc" (copy-on-write versions per
+	// commit serial, so reads pinned at a serial stay consistent during
+	// concurrent applies), or "wal" (append-only durable commit log with
+	// snapshot compaction and crash recovery).
+	StateBackend string
+	// StateDir is the durable directory for the wal backend (required for
+	// it; ignored otherwise). Existing durable contents win over
+	// InitialState on reopen.
+	StateDir string
 	// Policies is CCL policy source enforced across the lifecycle.
 	Policies string
 	// Principal identifies this stack's changes in cloud activity logs.
@@ -153,13 +173,19 @@ func Open(opts Options) (*Stack, error) {
 	if opts.GlobalLock {
 		mode = statedb.GlobalLock
 	}
+	engine, err := statedb.NewEngine(opts.StateBackend, opts.InitialState, statedb.EngineOptions{
+		Dir: opts.StateDir,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cloudless: %w", err)
+	}
 
 	s := &Stack{
 		module:    module,
 		vars:      vars,
 		resolver:  opts.Modules,
 		cloudAPI:  opts.Cloud,
-		db:        statedb.Open(opts.InitialState, mode),
+		db:        statedb.OpenEngine(engine, mode),
 		principal: principal,
 		telemetry: opts.Telemetry,
 	}
@@ -217,6 +243,10 @@ func (s *Stack) Var(name string) (any, bool) {
 
 // DB exposes the golden-state database (locks, history, snapshots).
 func (s *Stack) DB() *statedb.DB { return s.db }
+
+// Close releases the stack's storage engine resources (e.g. the wal
+// backend's log file). The stack must not be used afterwards.
+func (s *Stack) Close() error { return s.db.Close() }
 
 // Telemetry exposes the stack's recorder (nil when telemetry is disabled).
 func (s *Stack) Telemetry() *telemetry.Recorder { return s.telemetry }
@@ -296,6 +326,26 @@ func (s *Stack) PlanOffline(ctx context.Context) (*Plan, error) {
 	return p, nil
 }
 
+// PlanOfflineAt plans against the golden state as of a past serial instead
+// of the latest. Requires a backend with version retention (mvcc); other
+// backends return statedb.ErrNoSuchSerial for anything but the current
+// serial. The returned plan is pinned at that serial, so applying it against
+// a state that moved on aborts with *StaleBaseError.
+func (s *Stack) PlanOfflineAt(ctx context.Context, serial int) (*Plan, error) {
+	ctx, span := s.lifecycle(ctx, "lifecycle.plan_offline_at")
+	span.SetAttr("pinned_serial", serial)
+	defer span.End()
+	snap, err := s.db.SnapshotAt(serial)
+	if err != nil {
+		return nil, err
+	}
+	p, diags := plan.Compute(ctx, s.expansion, snap, plan.Options{})
+	if diags.HasErrors() {
+		return p, diags
+	}
+	return p, nil
+}
+
 // ApplyOptions tune Apply.
 type ApplyOptions struct {
 	Concurrency int
@@ -317,6 +367,7 @@ func (e *ErrPolicyDenied) Error() string { return "cloudless: policy denied: " +
 func (s *Stack) Apply(ctx context.Context, p *Plan, opts ApplyOptions) (*ApplyResult, []*Diagnosis, error) {
 	ctx, span := s.lifecycle(ctx, "lifecycle.apply")
 	span.SetAttr("pending", p.Creates+p.Updates+p.Replaces+p.Deletes)
+	span.SetAttr("base_serial", p.BaseSerial)
 	span.SetAttr("scheduler", opts.Scheduler.String())
 	defer span.End()
 	if !opts.SkipPolicyCheck {
@@ -329,7 +380,13 @@ func (s *Stack) Apply(ctx context.Context, p *Plan, opts ApplyOptions) (*ApplyRe
 		}
 	}
 
+	// The commit carries the plan's pinned serial: if other transactions
+	// advanced any of these addresses past the plan's base, Commit aborts
+	// with *StaleBaseError instead of clobbering their work.
 	txn := s.db.Begin("apply")
+	if p.BaseSerial > 0 {
+		txn.SetBase(p.BaseSerial)
+	}
 	addrs := make([]string, 0, len(p.Changes))
 	for addr, ch := range p.Changes {
 		if ch.Action != plan.ActionNoop {
@@ -393,7 +450,7 @@ func (s *Stack) Destroy(ctx context.Context) (*ApplyResult, error) {
 	ctx, span := s.lifecycle(ctx, "lifecycle.destroy")
 	defer span.End()
 	snapshot := s.db.Snapshot()
-	txn := s.db.Begin("destroy")
+	txn := s.db.BeginAt("destroy", snapshot.Serial)
 	if err := txn.Lock(ctx, snapshot.Addrs()...); err != nil {
 		return nil, err
 	}
@@ -453,7 +510,7 @@ func (s *Stack) ReconcileDrift(ctx context.Context, rep *DriftReport, action dri
 	defer span.End()
 	snapshot := s.db.Snapshot()
 	res := drift.Reconcile(ctx, s.cloudAPI, snapshot, rep, func(drift.Item) drift.Action { return action }, s.principal)
-	txn := s.db.Begin("reconcile drift")
+	txn := s.db.BeginAt("reconcile drift", snapshot.Serial)
 	var addrs []string
 	for _, it := range rep.Items {
 		if it.Addr != "" {
@@ -537,7 +594,7 @@ func (s *Stack) ExecuteRollback(ctx context.Context, p *RollbackPlan, target *St
 	span.SetAttr("steps", len(p.Steps))
 	defer span.End()
 	current := s.db.Snapshot()
-	txn := s.db.Begin("rollback")
+	txn := s.db.BeginAt("rollback", current.Serial)
 	var addrs []string
 	for _, step := range p.Steps {
 		addrs = append(addrs, step.Addr)

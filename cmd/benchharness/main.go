@@ -35,8 +35,9 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (E1..E10, ET)")
+	only := flag.String("only", "", "run a single experiment (E1..E10, ET, SD)")
 	flag.StringVar(&jsonOut, "json", "", "write machine-readable results (currently: ET) to this file")
+	flag.StringVar(&jsonOutSD, "json-sd", "", "write machine-readable SD results to this file")
 	flag.Parse()
 
 	experiments := []struct {
@@ -55,6 +56,7 @@ func main() {
 		{"E9", "porting quality: naive vs optimized vs modules (§3.1)", e9},
 		{"E10", "policy controller: decision latency and outlier detection (§3.6)", e10},
 		{"ET", "telemetry instrumentation overhead: traced vs untraced apply and plan", et},
+		{"SD", "state storage engines: churn throughput and plan-during-apply (§3.4)", sd},
 	}
 	for _, e := range experiments {
 		if *only != "" && !strings.EqualFold(*only, e.id) {

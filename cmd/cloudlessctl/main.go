@@ -97,14 +97,15 @@ trace of the run (open at https://ui.perfetto.dev or chrome://tracing).
 
 // commonFlags wires the flags shared by lifecycle commands.
 type commonFlags struct {
-	fs         *flag.FlagSet
-	dir        *string
-	statePath  *string
-	cloudURL   *string
-	timeScale  *float64
-	historyDir *string
-	policies   *string
-	traceOut   *string
+	fs           *flag.FlagSet
+	dir          *string
+	statePath    *string
+	cloudURL     *string
+	timeScale    *float64
+	historyDir   *string
+	policies     *string
+	traceOut     *string
+	stateBackend *string
 
 	recorder *telemetry.Recorder
 	rootSpan *telemetry.Span
@@ -122,6 +123,8 @@ func newCommon(name string) *commonFlags {
 		historyDir: fs.String("history", "", "time-machine directory for state snapshots (empty = disabled)"),
 		policies:   fs.String("policies", "", "CCL policy file enforced across the lifecycle"),
 		traceOut:   fs.String("trace-out", "", "write a Chrome/Perfetto trace of this run to the given file"),
+		stateBackend: fs.String("state-backend", "memory",
+			"golden-state storage engine: memory (sharded map), mvcc (versioned snapshots), or wal (durable commit log at <state>.wal/)"),
 	}
 }
 
@@ -198,12 +201,18 @@ func (c *commonFlags) open() (*cloudless.Stack, error) {
 		}
 		policySrc = string(data)
 	}
+	stateDir := ""
+	if *c.stateBackend == cloudless.BackendWAL {
+		stateDir = *c.statePath + ".wal"
+	}
 	return cloudless.Open(cloudless.Options{
 		Dir:          *c.dir,
 		Cloud:        c.cloud(),
 		InitialState: st,
 		Policies:     policySrc,
 		Telemetry:    c.recorder,
+		StateBackend: *c.stateBackend,
+		StateDir:     stateDir,
 	})
 }
 
@@ -220,6 +229,7 @@ func cmdValidate(args []string) error {
 	if err != nil {
 		return err
 	}
+	defer stack.Close()
 	res := stack.Validate()
 	if len(res.Findings) == 0 {
 		fmt.Println("configuration is valid")
@@ -255,6 +265,7 @@ func cmdPlanApply(args []string, doApply bool) error {
 	if err != nil {
 		return err
 	}
+	defer stack.Close()
 	if res := stack.Validate(); res.HasErrors() {
 		for _, f := range res.Errors() {
 			fmt.Println(f.Error())
@@ -332,7 +343,7 @@ func printPlan(p *cloudless.Plan) {
 		}
 		fmt.Println()
 	}
-	fmt.Printf("plan: %s\n", p.Summary())
+	fmt.Printf("plan: %s (base serial %d)\n", p.Summary(), p.BaseSerial)
 }
 
 func cmdDestroy(args []string) error {
@@ -344,6 +355,7 @@ func cmdDestroy(args []string) error {
 	if err != nil {
 		return err
 	}
+	defer stack.Close()
 	res, err := stack.Destroy(c.ctx())
 	if err != nil {
 		return err
@@ -433,6 +445,7 @@ func cmdDrift(args []string) error {
 	if err != nil {
 		return err
 	}
+	defer stack.Close()
 	ctx := c.ctx()
 	var rep *cloudless.DriftReport
 	if *scan {

@@ -176,7 +176,9 @@ func Apply(ctx context.Context, cl cloud.Interface, p *plan.Plan, opts Options) 
 			return time.Duration(float64(d) * float64(int(1)<<attempt) * jitter())
 		}, newState, &stateMu)
 		if err != nil {
+			stateMu.Lock()
 			res.Errors[addr] = err
+			stateMu.Unlock()
 		}
 		if sp != nil {
 			sp.SetAttr("retries", atomic.LoadInt64(&opRetries))

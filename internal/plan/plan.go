@@ -73,6 +73,11 @@ type Plan struct {
 	Values *ValueStore
 	// PriorState is the (possibly refreshed) state planning ran against.
 	PriorState *state.State
+	// BaseSerial is the golden-state serial the plan is pinned at: the
+	// serial of the snapshot planning read. Apply commits carry it so a
+	// commit over a staler base than the current state aborts with a typed
+	// conflict instead of silently clobbering concurrent work (§3.4).
+	BaseSerial int
 	// Stats.
 	Creates, Updates, Replaces, Deletes, Noops int
 	// RefreshReads counts cloud Get calls spent refreshing state.
@@ -102,12 +107,14 @@ func Compute(ctx context.Context, ex *config.Expansion, prior *state.State, opts
 		prior = state.New()
 	}
 	p := &Plan{
-		Changes: map[string]*Change{},
-		Graph:   graph.New(),
-		Values:  NewValueStore(ex),
+		Changes:    map[string]*Change{},
+		Graph:      graph.New(),
+		Values:     NewValueStore(ex),
+		BaseSerial: prior.Serial,
 	}
 	ctx, span := telemetry.StartSpan(ctx, "plan.compute")
 	defer func() {
+		span.SetAttr("base_serial", p.BaseSerial)
 		span.SetAttr("refresh_reads", p.RefreshReads)
 		span.SetAttr("evaluated_instances", p.EvaluatedInstances)
 		span.SetAttr("creates", p.Creates)

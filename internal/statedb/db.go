@@ -13,34 +13,57 @@ import (
 // DB is the golden-state database: the authoritative, transactional record
 // of the infrastructure. Updates are scheduled against the logical state and
 // locks here, and only then applied to the physical cloud — the ordering the
-// paper prescribes in §3.4.
+// paper prescribes in §3.4. Storage is delegated to a pluggable Engine
+// (memory, mvcc, wal); DB layers the lock manager, transactions, and the
+// time machine on top.
 type DB struct {
-	mu      sync.RWMutex
-	current *state.State
+	engine  Engine
 	history *state.History
 	locks   *LockManager
 	nextTxn atomic.Int64
+
+	// commitMu serializes engine commit + history snapshot so the time
+	// machine records every serial exactly once, in order.
+	commitMu sync.Mutex
 
 	commits atomic.Int64
 	aborts  atomic.Int64
 }
 
-// Open creates a database seeded with an initial state.
+// Open creates a database seeded with an initial state, backed by the
+// default sharded memory engine.
 func Open(initial *state.State, mode LockMode) *DB {
-	if initial == nil {
-		initial = state.New()
+	eng, err := NewEngine(BackendMemory, initial, EngineOptions{})
+	if err != nil {
+		// The memory backend cannot fail to construct.
+		panic(err)
 	}
+	return OpenEngine(eng, mode)
+}
+
+// OpenEngine creates a database over an already-constructed storage engine.
+func OpenEngine(eng Engine, mode LockMode) *DB {
 	db := &DB{
-		current: initial.Clone(),
+		engine:  eng,
 		history: state.NewHistory(0),
 		locks:   NewLockManager(mode),
 	}
-	// Align the state serial with its history serial from the start, so
-	// DB.Serial() always names the snapshot History.At can retrieve.
-	db.current.Serial++
-	db.history.Commit(db.current, "initial", "")
+	// Seed the time machine with the engine's current state, so
+	// DB.Serial() always names a snapshot History.At can retrieve.
+	if snap, err := eng.Snapshot(0); err == nil {
+		db.history.CommitOwned(snap, "initial", "")
+	}
 	return db
 }
+
+// Engine exposes the storage backend.
+func (db *DB) Engine() Engine { return db.engine }
+
+// Backend names the storage backend in use.
+func (db *DB) Backend() string { return db.engine.Name() }
+
+// Close releases the storage engine's resources (e.g. the WAL file handle).
+func (db *DB) Close() error { return db.engine.Close() }
 
 // Locks exposes the lock manager (for stats and for the applier, which
 // holds locks across the physical apply).
@@ -51,17 +74,24 @@ func (db *DB) History() *state.History { return db.history }
 
 // Snapshot returns a deep copy of the current golden state.
 func (db *DB) Snapshot() *state.State {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.current.Clone()
+	s, err := db.engine.Snapshot(0)
+	if err != nil {
+		// Latest-serial snapshots cannot fail on any shipped engine.
+		panic(fmt.Sprintf("statedb: snapshot: %v", err))
+	}
+	return s
+}
+
+// SnapshotAt returns a deep copy of the state as of a past serial. Engines
+// without version retention (memory, wal) serve only the current serial and
+// return ErrNoSuchSerial otherwise; the mvcc engine serves any serial inside
+// its retention window.
+func (db *DB) SnapshotAt(serial int) (*state.State, error) {
+	return db.engine.Snapshot(serial)
 }
 
 // Serial returns the current state serial.
-func (db *DB) Serial() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.current.Serial
-}
+func (db *DB) Serial() int { return db.engine.Serial() }
 
 // CommitCount and AbortCount expose transaction outcome counters.
 func (db *DB) CommitCount() int64 { return db.commits.Load() }
@@ -69,25 +99,50 @@ func (db *DB) CommitCount() int64 { return db.commits.Load() }
 // AbortCount returns the number of aborted transactions.
 func (db *DB) AbortCount() int64 { return db.aborts.Load() }
 
+// txnState is the Txn lifecycle: pending until exactly one of Commit or
+// Abort wins; both are idempotent afterwards.
+type txnState int
+
+const (
+	txnPending txnState = iota
+	txnCommitted
+	txnAborted
+)
+
 // Txn is an in-flight transaction: a private read/write view over the
 // golden state plus the set of locks it holds. A transaction only sees its
-// own writes until commit; commit publishes them atomically.
+// own writes until commit; commit publishes them atomically. Commit and
+// Abort are idempotent: finishing an already-finished transaction is a
+// no-op (a repeated Commit returns the original serial), never a panic or
+// a double lock release.
 type Txn struct {
-	id      int64
-	db      *DB
+	id int64
+	db *DB
+
+	mu      sync.Mutex
+	state   txnState
+	serial  int // committed serial, once state == txnCommitted
+	base    int // read-snapshot serial for conflict detection
 	locked  map[string]bool
 	writes  map[string]*state.ResourceState
 	deletes map[string]bool
 	outputs map[string]eval.Value
-	done    bool
 	desc    string
 }
 
-// Begin starts a transaction.
+// Begin starts a transaction with conflict detection disabled.
 func (db *DB) Begin(description string) *Txn {
+	return db.BeginAt(description, BaseUnchecked)
+}
+
+// BeginAt starts a transaction whose reads are pinned at the given base
+// serial: Commit fails with *StaleBaseError if any address it touches was
+// modified by a commit after base. Pass BaseUnchecked to disable.
+func (db *DB) BeginAt(description string, base int) *Txn {
 	return &Txn{
 		id:      db.nextTxn.Add(1),
 		db:      db,
+		base:    base,
 		locked:  map[string]bool{},
 		writes:  map[string]*state.ResourceState{},
 		deletes: map[string]bool{},
@@ -98,10 +153,23 @@ func (db *DB) Begin(description string) *Txn {
 // ID returns the transaction's identifier.
 func (t *Txn) ID() int64 { return t.id }
 
+// Base returns the serial the transaction's reads are pinned at
+// (BaseUnchecked when conflict detection is off).
+func (t *Txn) Base() int { return t.base }
+
+// SetBase pins (or re-pins) the transaction's base serial.
+func (t *Txn) SetBase(serial int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.base = serial
+}
+
 // Lock acquires locks on the given resource addresses (all-or-nothing,
 // blocking). Addresses already locked by this transaction are skipped.
 func (t *Txn) Lock(ctx context.Context, addrs ...string) error {
-	if t.done {
+	t.mu.Lock()
+	if t.state != txnPending {
+		t.mu.Unlock()
 		return fmt.Errorf("statedb: transaction %d is finished", t.id)
 	}
 	var need []string
@@ -110,11 +178,20 @@ func (t *Txn) Lock(ctx context.Context, addrs ...string) error {
 			need = append(need, a)
 		}
 	}
+	t.mu.Unlock()
 	if len(need) == 0 {
 		return nil
 	}
+	// Block on the lock manager without holding t.mu.
 	if err := t.db.locks.Acquire(ctx, t.id, need); err != nil {
 		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != txnPending {
+		// Finished while we were blocking: release what we just took.
+		t.db.locks.Release(t.id, need)
+		return fmt.Errorf("statedb: transaction %d is finished", t.id)
 	}
 	for _, a := range need {
 		t.locked[a] = true
@@ -124,7 +201,9 @@ func (t *Txn) Lock(ctx context.Context, addrs ...string) error {
 
 // TryLock attempts non-blocking acquisition of all addresses.
 func (t *Txn) TryLock(addrs ...string) bool {
-	if t.done {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != txnPending {
 		return false
 	}
 	var need []string
@@ -145,9 +224,12 @@ func (t *Txn) TryLock(addrs ...string) bool {
 	return true
 }
 
-// requireLock guards reads/writes: accessing an address without its lock is
-// a programming error that would break isolation.
-func (t *Txn) requireLock(addr string) error {
+// requireLockLocked guards reads/writes: accessing an address without its
+// lock is a programming error that would break isolation. Caller holds t.mu.
+func (t *Txn) requireLockLocked(addr string) error {
+	if t.state != txnPending {
+		return fmt.Errorf("statedb: transaction %d is finished", t.id)
+	}
 	if t.db.locks.Mode() == GlobalLock {
 		if len(t.locked) == 0 {
 			return fmt.Errorf("statedb: txn %d accessed %q without holding the global lock", t.id, addr)
@@ -162,7 +244,9 @@ func (t *Txn) requireLock(addr string) error {
 
 // Get reads a resource through the transaction's view.
 func (t *Txn) Get(addr string) (*state.ResourceState, error) {
-	if err := t.requireLock(addr); err != nil {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.requireLockLocked(addr); err != nil {
 		return nil, err
 	}
 	if t.deletes[addr] {
@@ -171,17 +255,14 @@ func (t *Txn) Get(addr string) (*state.ResourceState, error) {
 	if rs, ok := t.writes[addr]; ok {
 		return rs.Clone(), nil
 	}
-	t.db.mu.RLock()
-	defer t.db.mu.RUnlock()
-	if rs := t.db.current.Get(addr); rs != nil {
-		return rs.Clone(), nil
-	}
-	return nil, nil
+	return t.db.engine.Get(addr, 0)
 }
 
 // Put stages a write.
 func (t *Txn) Put(rs *state.ResourceState) error {
-	if err := t.requireLock(rs.Addr); err != nil {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.requireLockLocked(rs.Addr); err != nil {
 		return err
 	}
 	delete(t.deletes, rs.Addr)
@@ -191,6 +272,8 @@ func (t *Txn) Put(rs *state.ResourceState) error {
 
 // SetOutputs stages replacement of the recorded root outputs.
 func (t *Txn) SetOutputs(outputs map[string]eval.Value) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.outputs = make(map[string]eval.Value, len(outputs))
 	for k, v := range outputs {
 		t.outputs[k] = v
@@ -199,7 +282,9 @@ func (t *Txn) SetOutputs(outputs map[string]eval.Value) {
 
 // Delete stages a removal.
 func (t *Txn) Delete(addr string) error {
-	if err := t.requireLock(addr); err != nil {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.requireLockLocked(addr); err != nil {
 		return err
 	}
 	delete(t.writes, addr)
@@ -207,51 +292,69 @@ func (t *Txn) Delete(addr string) error {
 	return nil
 }
 
-// Commit atomically publishes the transaction's writes, bumps the state
-// serial, records a history snapshot, and releases all locks.
+// Commit atomically publishes the transaction's writes through the storage
+// engine, records a history snapshot, and releases all locks. Committing an
+// already-committed transaction is a no-op returning the original serial;
+// committing an aborted transaction is an error. When the transaction was
+// pinned with BeginAt/SetBase, a conflicting concurrent commit surfaces as
+// *StaleBaseError and the transaction stays open (abort it and re-plan).
 func (t *Txn) Commit() (serial int, err error) {
-	if t.done {
-		return 0, fmt.Errorf("statedb: transaction %d already finished", t.id)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch t.state {
+	case txnCommitted:
+		return t.serial, nil
+	case txnAborted:
+		return 0, fmt.Errorf("statedb: transaction %d already aborted", t.id)
 	}
-	t.db.mu.Lock()
-	for addr, rs := range t.writes {
-		cp := rs.Clone()
-		cp.Addr = addr
-		t.db.current.Set(cp)
-	}
-	for addr := range t.deletes {
-		t.db.current.Remove(addr)
+	b := &Batch{
+		Base:    t.base,
+		Desc:    t.desc,
+		Writes:  t.writes,
+		Deletes: t.deletes,
 	}
 	if t.outputs != nil {
-		t.db.current.Outputs = t.outputs
+		b.Outputs = t.outputs
+		b.SetOutputs = true
 	}
-	t.db.current.Serial++
-	serial = t.db.current.Serial
-	snapshot := t.db.current
-	t.db.mu.Unlock()
-
-	t.db.history.Commit(snapshot, t.desc, "")
-	t.finish()
+	t.db.commitMu.Lock()
+	serial, err = t.db.engine.Commit(b)
+	if err == nil {
+		if snap, serr := t.db.engine.Snapshot(serial); serr == nil {
+			t.db.history.CommitOwned(snap, t.desc, "")
+		}
+	}
+	t.db.commitMu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	t.serial = serial
+	t.finishLocked(txnCommitted)
 	t.db.commits.Add(1)
 	return serial, nil
 }
 
-// Abort discards the transaction and releases its locks.
+// Abort discards the transaction and releases its locks. Aborting a
+// finished transaction is a no-op.
 func (t *Txn) Abort() {
-	if t.done {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != txnPending {
 		return
 	}
-	t.finish()
+	t.finishLocked(txnAborted)
 	t.db.aborts.Add(1)
 }
 
-func (t *Txn) finish() {
+// finishLocked releases locks exactly once and seals the transaction.
+// Caller holds t.mu with state still txnPending.
+func (t *Txn) finishLocked(final txnState) {
 	addrs := make([]string, 0, len(t.locked))
 	for a := range t.locked {
 		addrs = append(addrs, a)
 	}
 	t.db.locks.Release(t.id, addrs)
-	t.done = true
+	t.state = final
 	t.writes = nil
 	t.deletes = nil
 	t.locked = map[string]bool{}

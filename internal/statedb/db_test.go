@@ -300,19 +300,86 @@ func TestIsolationQuick(t *testing.T) {
 	}
 }
 
-func TestCommitTwiceRejected(t *testing.T) {
+// TestDoubleFinishIsNoop pins the idempotent-finish contract: a second
+// Commit is a no-op returning the original serial, Abort after Commit (and
+// a second Abort) change nothing, and none of them double-release locks or
+// double-count outcomes.
+func TestDoubleFinishIsNoop(t *testing.T) {
 	db := Open(nil, ResourceLock)
 	txn := db.Begin("x")
 	_ = txn.Lock(context.Background(), "aws_vpc.a")
 	_ = txn.Put(rs("aws_vpc.a", 1))
-	if _, err := txn.Commit(); err != nil {
+	serial, err := txn.Commit()
+	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := txn.Commit(); err == nil {
-		t.Error("double commit accepted")
+	// A bystander takes the released lock; the finished txn's repeated
+	// Commit/Abort must not yank it away (the double-unlock hazard).
+	other := db.Begin("bystander")
+	if !other.TryLock("aws_vpc.a") {
+		t.Fatal("lock not released by commit")
+	}
+	again, err := txn.Commit()
+	if err != nil || again != serial {
+		t.Errorf("repeated Commit = (%d, %v), want (%d, nil)", again, err, serial)
+	}
+	txn.Abort()
+	txn.Abort()
+	if db.Locks().Holder("aws_vpc.a") != other.ID() {
+		t.Error("double finish released a lock the txn no longer owned")
+	}
+	other.Abort()
+	if got := db.CommitCount(); got != 1 {
+		t.Errorf("commits = %d, want 1", got)
+	}
+	if got := db.AbortCount(); got != 1 {
+		t.Errorf("aborts = %d, want 1 (only the bystander)", got)
 	}
 	if err := txn.Lock(context.Background(), "aws_vpc.b"); err == nil {
 		t.Error("lock after commit accepted")
+	}
+	if db.Serial() != serial {
+		t.Errorf("serial moved to %d after no-op finishes", db.Serial())
+	}
+}
+
+// TestAbortedTxnCommitRejected: Commit after Abort must fail rather than
+// silently publish discarded writes.
+func TestAbortedTxnCommitRejected(t *testing.T) {
+	db := Open(nil, ResourceLock)
+	txn := db.Begin("x")
+	_ = txn.Lock(context.Background(), "aws_vpc.a")
+	_ = txn.Put(rs("aws_vpc.a", 1))
+	txn.Abort()
+	if _, err := txn.Commit(); err == nil {
+		t.Error("commit after abort accepted")
+	}
+	if db.Snapshot().Get("aws_vpc.a") != nil {
+		t.Error("aborted write published")
+	}
+}
+
+// TestConcurrentDoubleFinishRace hammers Commit/Abort from racing
+// goroutines: exactly one outcome must win, with no panic and no lock-state
+// corruption (run under -race).
+func TestConcurrentDoubleFinishRace(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		db := Open(nil, ResourceLock)
+		txn := db.Begin("race")
+		_ = txn.Lock(context.Background(), "aws_vpc.a")
+		_ = txn.Put(rs("aws_vpc.a", 1))
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); _, _ = txn.Commit() }()
+		go func() { defer wg.Done(); txn.Abort() }()
+		wg.Wait()
+		if db.Locks().Holder("aws_vpc.a") != 0 {
+			t.Fatal("lock leaked by racing finish")
+		}
+		if db.CommitCount()+db.AbortCount() != 1 {
+			t.Fatalf("outcomes = %d commits + %d aborts, want exactly 1 total",
+				db.CommitCount(), db.AbortCount())
+		}
 	}
 }
 

@@ -1,0 +1,151 @@
+package statedb
+
+import (
+	"errors"
+	"fmt"
+
+	"cloudless/internal/eval"
+	"cloudless/internal/state"
+)
+
+// Backend names accepted by NewEngine and the CLIs' -state-backend flag.
+const (
+	// BackendMemory is the default: a sharded in-memory map retaining only
+	// the latest committed version.
+	BackendMemory = "memory"
+	// BackendMVCC keeps copy-on-write versions per commit serial, so readers
+	// pinned at an older serial stay consistent while commits land.
+	BackendMVCC = "mvcc"
+	// BackendWAL layers an append-only commit log plus periodic snapshot
+	// compaction over the memory engine, for crash-recoverable durability.
+	BackendWAL = "wal"
+)
+
+// BaseUnchecked as a Batch.Base disables stale-base conflict detection.
+const BaseUnchecked = -1
+
+// Batch is one atomic commit against an Engine: the staged writes, deletes
+// and (optionally) replaced root outputs of a transaction, plus the serial
+// its reads were pinned at.
+type Batch struct {
+	// Base is the serial the writer's reads were pinned at. Engines reject
+	// the batch with *StaleBaseError when any touched address was modified
+	// by a commit after Base. BaseUnchecked disables the check.
+	Base int
+	// Desc describes the commit (mirrors the transaction description).
+	Desc string
+	// Writes maps address to the new resource state.
+	Writes map[string]*state.ResourceState
+	// Deletes lists addresses to remove.
+	Deletes map[string]bool
+	// Outputs, when SetOutputs is true, replaces the root outputs.
+	Outputs    map[string]eval.Value
+	SetOutputs bool
+}
+
+// addrs returns every address the batch touches.
+func (b *Batch) addrs() []string {
+	out := make([]string, 0, len(b.Writes)+len(b.Deletes))
+	for a := range b.Writes {
+		out = append(out, a)
+	}
+	for a := range b.Deletes {
+		if _, dup := b.Writes[a]; !dup {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// StaleBaseError reports an optimistic-concurrency conflict: a commit's base
+// snapshot predates another commit that touched one of the same addresses.
+// The writer must re-plan against the current serial and retry.
+type StaleBaseError struct {
+	// Addr is the conflicting address.
+	Addr string
+	// Base is the serial the rejected batch was pinned at.
+	Base int
+	// Committed is the serial of the later commit that modified Addr.
+	Committed int
+}
+
+// Error implements error.
+func (e *StaleBaseError) Error() string {
+	return fmt.Sprintf("statedb: stale base serial %d: %q was modified at serial %d; re-plan and retry",
+		e.Base, e.Addr, e.Committed)
+}
+
+// ErrNoSuchSerial is returned by Engine.Snapshot/Get for a serial the engine
+// does not retain (the memory and WAL engines keep only the latest version;
+// the MVCC engine may have compacted it away).
+var ErrNoSuchSerial = errors.New("statedb: no version retained at the requested serial")
+
+// Engine is a pluggable storage backend for the golden-state database: a
+// versioned store of resource states keyed by address, committed atomically
+// at monotonically increasing serials. Implementations must be safe for
+// concurrent use; locking and transaction bookkeeping live above the engine
+// in DB/Txn.
+type Engine interface {
+	// Name returns the backend name (memory, mvcc, wal).
+	Name() string
+	// Serial returns the newest committed serial.
+	Serial() int
+	// Get reads one resource at the given serial (0 = latest). The returned
+	// state is a private copy. A missing address yields (nil, nil); an
+	// unretained serial yields ErrNoSuchSerial.
+	Get(addr string, serial int) (*state.ResourceState, error)
+	// Snapshot materializes a consistent deep-copy state at the given serial
+	// (0 = latest). The caller owns the result.
+	Snapshot(serial int) (*state.State, error)
+	// Commit atomically applies a batch at the next serial and returns it.
+	// A batch with Base >= 0 fails with *StaleBaseError when any touched
+	// address was modified after Base.
+	Commit(b *Batch) (int, error)
+	// Close flushes and releases backend resources (file handles, etc.).
+	Close() error
+}
+
+// EngineOptions tune NewEngine.
+type EngineOptions struct {
+	// Shards is the shard count for the memory and WAL engines
+	// (default DefaultShards).
+	Shards int
+	// Dir is the durable directory for the WAL engine (required for it).
+	Dir string
+	// CompactEvery is the WAL engine's commit count between snapshot
+	// compactions (default 64).
+	CompactEvery int
+	// Retain is the MVCC engine's version-retention horizon: versions more
+	// than Retain serials behind the head become eligible for automatic
+	// compaction. 0 keeps everything.
+	Retain int
+}
+
+// NewEngine builds a backend by name, seeded with the initial state. For a
+// fresh store the seed serial is bumped by one so the first committed
+// snapshot aligns with the history's serial numbering (matching Open); a WAL
+// directory that already holds durable data wins over the seed.
+func NewEngine(backend string, initial *state.State, opts EngineOptions) (Engine, error) {
+	if initial == nil {
+		initial = state.New()
+	}
+	seed := initial.Clone()
+	seed.Serial++
+	switch backend {
+	case BackendMemory, "":
+		return NewMemoryEngine(seed, opts.Shards), nil
+	case BackendMVCC:
+		return NewMVCCEngine(seed, opts.Retain), nil
+	case BackendWAL:
+		if opts.Dir == "" {
+			return nil, fmt.Errorf("statedb: the %s backend requires EngineOptions.Dir", BackendWAL)
+		}
+		return OpenWAL(opts.Dir, seed, opts)
+	default:
+		return nil, fmt.Errorf("statedb: unknown state backend %q (want %s, %s, or %s)",
+			backend, BackendMemory, BackendMVCC, BackendWAL)
+	}
+}
+
+// Backends lists the available backend names.
+func Backends() []string { return []string{BackendMemory, BackendMVCC, BackendWAL} }

@@ -1,0 +1,191 @@
+package statedb
+
+import (
+	"fmt"
+	"sync"
+
+	"cloudless/internal/eval"
+	"cloudless/internal/state"
+)
+
+// DefaultShards is the memory engine's default shard count.
+const DefaultShards = 16
+
+// memShard holds one hash partition of the address space. Point reads take
+// only the shard lock, so disjoint reads and an in-flight commit to other
+// shards never contend.
+type memShard struct {
+	mu        sync.RWMutex
+	resources map[string]*state.ResourceState
+	// lastMod records the serial that last wrote or deleted each address,
+	// for stale-base conflict detection.
+	lastMod map[string]int
+}
+
+// MemoryEngine is the extracted in-memory backend: the address space sharded
+// by FNV hash with per-shard locks, retaining only the latest committed
+// version. Commits and full snapshots serialize on a header lock; point
+// reads only touch one shard.
+type MemoryEngine struct {
+	shards []*memShard
+	// hdr guards the serial, the root outputs, and commit/snapshot
+	// atomicity across shards.
+	hdr     sync.RWMutex
+	serial  int
+	outputs map[string]eval.Value
+}
+
+// NewMemoryEngine builds a memory engine over the seed state (taken as-is,
+// including its serial). shards <= 0 selects DefaultShards.
+func NewMemoryEngine(seed *state.State, shards int) *MemoryEngine {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	e := &MemoryEngine{shards: make([]*memShard, shards)}
+	for i := range e.shards {
+		e.shards[i] = &memShard{resources: map[string]*state.ResourceState{}, lastMod: map[string]int{}}
+	}
+	if seed == nil {
+		seed = state.New()
+	}
+	e.serial = seed.Serial
+	e.outputs = cloneOutputs(seed.Outputs)
+	for addr, rs := range seed.Resources {
+		sh := e.shard(addr)
+		sh.resources[addr] = rs.Clone()
+		sh.lastMod[addr] = seed.Serial
+	}
+	return e
+}
+
+func (e *MemoryEngine) shard(addr string) *memShard {
+	return e.shards[fnv32(addr)%uint32(len(e.shards))]
+}
+
+// fnv32 is FNV-1a over the address, the shard hash.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// Name returns the backend name.
+func (e *MemoryEngine) Name() string { return BackendMemory }
+
+// Serial returns the newest committed serial.
+func (e *MemoryEngine) Serial() int {
+	e.hdr.RLock()
+	defer e.hdr.RUnlock()
+	return e.serial
+}
+
+// Get reads one resource at the given serial (0 = latest). The memory engine
+// retains only the latest version.
+func (e *MemoryEngine) Get(addr string, serial int) (*state.ResourceState, error) {
+	if serial != 0 {
+		e.hdr.RLock()
+		cur := e.serial
+		e.hdr.RUnlock()
+		if serial != cur {
+			return nil, fmt.Errorf("memory engine get %q at serial %d (current %d): %w", addr, serial, cur, ErrNoSuchSerial)
+		}
+	}
+	sh := e.shard(addr)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if rs, ok := sh.resources[addr]; ok {
+		return rs.Clone(), nil
+	}
+	return nil, nil
+}
+
+// Snapshot materializes the latest state. Historical serials are not
+// retained by this backend.
+func (e *MemoryEngine) Snapshot(serial int) (*state.State, error) {
+	e.hdr.RLock()
+	defer e.hdr.RUnlock()
+	if serial != 0 && serial != e.serial {
+		return nil, fmt.Errorf("memory engine snapshot at serial %d (current %d): %w", serial, e.serial, ErrNoSuchSerial)
+	}
+	s := state.New()
+	s.Serial = e.serial
+	s.Outputs = cloneOutputs(e.outputs)
+	for _, sh := range e.shards {
+		sh.mu.RLock()
+		for addr, rs := range sh.resources {
+			s.Resources[addr] = rs.Clone()
+		}
+		sh.mu.RUnlock()
+	}
+	return s, nil
+}
+
+// Commit atomically applies a batch at the next serial.
+func (e *MemoryEngine) Commit(b *Batch) (int, error) {
+	e.hdr.Lock()
+	defer e.hdr.Unlock()
+	return e.commitLocked(b)
+}
+
+// commitLocked applies a batch with the header lock already held; the WAL
+// engine uses the split so it can order the durable append between the
+// conflict check and the in-memory apply.
+func (e *MemoryEngine) commitLocked(b *Batch) (int, error) {
+	if err := e.conflictLocked(b); err != nil {
+		return 0, err
+	}
+	serial := e.serial + 1
+	for addr, rs := range b.Writes {
+		cp := rs.Clone()
+		cp.Addr = addr
+		sh := e.shard(addr)
+		sh.mu.Lock()
+		sh.resources[addr] = cp
+		sh.lastMod[addr] = serial
+		sh.mu.Unlock()
+	}
+	for addr := range b.Deletes {
+		sh := e.shard(addr)
+		sh.mu.Lock()
+		delete(sh.resources, addr)
+		sh.lastMod[addr] = serial
+		sh.mu.Unlock()
+	}
+	if b.SetOutputs {
+		e.outputs = cloneOutputs(b.Outputs)
+	}
+	e.serial = serial
+	return serial, nil
+}
+
+// conflictLocked rejects batches whose base snapshot predates a commit to
+// any touched address. Caller holds hdr.
+func (e *MemoryEngine) conflictLocked(b *Batch) error {
+	if b.Base < 0 {
+		return nil
+	}
+	for _, addr := range b.addrs() {
+		sh := e.shard(addr)
+		sh.mu.RLock()
+		mod := sh.lastMod[addr]
+		sh.mu.RUnlock()
+		if mod > b.Base {
+			return &StaleBaseError{Addr: addr, Base: b.Base, Committed: mod}
+		}
+	}
+	return nil
+}
+
+// Close is a no-op for the memory engine.
+func (e *MemoryEngine) Close() error { return nil }
+
+func cloneOutputs(in map[string]eval.Value) map[string]eval.Value {
+	out := make(map[string]eval.Value, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}

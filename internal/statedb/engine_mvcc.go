@@ -1,0 +1,227 @@
+package statedb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"cloudless/internal/eval"
+	"cloudless/internal/state"
+)
+
+// mvccVersion is one committed version of one address. A nil resource marks
+// a deletion tombstone.
+type mvccVersion struct {
+	serial int
+	rs     *state.ResourceState
+}
+
+// outputsVersion is one committed version of the root outputs.
+type outputsVersion struct {
+	serial  int
+	outputs map[string]eval.Value
+}
+
+// MVCCEngine keeps copy-on-write version chains per address, one entry per
+// commit serial that touched the address. Readers pinned at serial N resolve
+// every lookup to the newest version <= N, so a consistent snapshot needs no
+// coordination with concurrent commits: Plan and CLI reads run against their
+// pinned serial while an Apply transaction commits serial N+1.
+type MVCCEngine struct {
+	mu     sync.RWMutex
+	serial int
+	// oldest is the compaction horizon: serials below it may have been
+	// collapsed away and are no longer readable.
+	oldest  int
+	chains  map[string][]mvccVersion
+	outputs []outputsVersion
+	// retain, when > 0, bounds how far behind the head versions are kept;
+	// commits trigger compaction once the horizon lags by 2*retain.
+	retain int
+}
+
+// NewMVCCEngine builds an MVCC engine over the seed state (taken as-is,
+// including its serial). retain > 0 enables automatic compaction of
+// versions more than retain serials behind the head.
+func NewMVCCEngine(seed *state.State, retain int) *MVCCEngine {
+	if seed == nil {
+		seed = state.New()
+	}
+	e := &MVCCEngine{
+		serial: seed.Serial,
+		oldest: seed.Serial,
+		chains: map[string][]mvccVersion{},
+		retain: retain,
+	}
+	for addr, rs := range seed.Resources {
+		e.chains[addr] = []mvccVersion{{serial: seed.Serial, rs: rs.Clone()}}
+	}
+	e.outputs = []outputsVersion{{serial: seed.Serial, outputs: cloneOutputs(seed.Outputs)}}
+	return e
+}
+
+// Name returns the backend name.
+func (e *MVCCEngine) Name() string { return BackendMVCC }
+
+// Serial returns the newest committed serial.
+func (e *MVCCEngine) Serial() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.serial
+}
+
+// Oldest returns the oldest readable serial (the compaction horizon).
+func (e *MVCCEngine) Oldest() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.oldest
+}
+
+// versionAt resolves the newest version of a chain at or before serial.
+// Caller holds e.mu.
+func versionAt(chain []mvccVersion, serial int) (mvccVersion, bool) {
+	// Chains are ascending by serial; find the last entry <= serial.
+	i := sort.Search(len(chain), func(i int) bool { return chain[i].serial > serial }) - 1
+	if i < 0 {
+		return mvccVersion{}, false
+	}
+	return chain[i], true
+}
+
+// resolve checks a requested serial against the readable window. Caller
+// holds e.mu.
+func (e *MVCCEngine) resolveLocked(serial int) (int, error) {
+	if serial == 0 {
+		return e.serial, nil
+	}
+	if serial > e.serial || serial < e.oldest {
+		return 0, fmt.Errorf("mvcc engine read at serial %d (window [%d, %d]): %w",
+			serial, e.oldest, e.serial, ErrNoSuchSerial)
+	}
+	return serial, nil
+}
+
+// Get reads one resource at the given serial (0 = latest).
+func (e *MVCCEngine) Get(addr string, serial int) (*state.ResourceState, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	at, err := e.resolveLocked(serial)
+	if err != nil {
+		return nil, err
+	}
+	v, ok := versionAt(e.chains[addr], at)
+	if !ok || v.rs == nil {
+		return nil, nil
+	}
+	return v.rs.Clone(), nil
+}
+
+// Snapshot materializes a consistent state at the given serial (0 = latest).
+func (e *MVCCEngine) Snapshot(serial int) (*state.State, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	at, err := e.resolveLocked(serial)
+	if err != nil {
+		return nil, err
+	}
+	s := state.New()
+	s.Serial = at
+	for addr, chain := range e.chains {
+		if v, ok := versionAt(chain, at); ok && v.rs != nil {
+			s.Resources[addr] = v.rs.Clone()
+		}
+	}
+	for i := len(e.outputs) - 1; i >= 0; i-- {
+		if e.outputs[i].serial <= at {
+			s.Outputs = cloneOutputs(e.outputs[i].outputs)
+			break
+		}
+	}
+	return s, nil
+}
+
+// Commit atomically appends a batch's versions at the next serial.
+func (e *MVCCEngine) Commit(b *Batch) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if b.Base >= 0 {
+		for _, addr := range b.addrs() {
+			if chain := e.chains[addr]; len(chain) > 0 {
+				if last := chain[len(chain)-1]; last.serial > b.Base {
+					return 0, &StaleBaseError{Addr: addr, Base: b.Base, Committed: last.serial}
+				}
+			}
+		}
+	}
+	serial := e.serial + 1
+	for addr, rs := range b.Writes {
+		cp := rs.Clone()
+		cp.Addr = addr
+		e.chains[addr] = append(e.chains[addr], mvccVersion{serial: serial, rs: cp})
+	}
+	for addr := range b.Deletes {
+		e.chains[addr] = append(e.chains[addr], mvccVersion{serial: serial, rs: nil})
+	}
+	if b.SetOutputs {
+		e.outputs = append(e.outputs, outputsVersion{serial: serial, outputs: cloneOutputs(b.Outputs)})
+	}
+	e.serial = serial
+	if e.retain > 0 && e.serial-e.oldest > 2*e.retain {
+		e.compactLocked(e.serial - e.retain)
+	}
+	return serial, nil
+}
+
+// CompactBelow drops versions no longer reachable from any serial >= floor,
+// advancing the readable window's lower bound to floor.
+func (e *MVCCEngine) CompactBelow(floor int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.compactLocked(floor)
+}
+
+func (e *MVCCEngine) compactLocked(floor int) {
+	if floor > e.serial {
+		floor = e.serial
+	}
+	if floor <= e.oldest {
+		return
+	}
+	for addr, chain := range e.chains {
+		// Keep the newest version <= floor (it serves reads at floor) plus
+		// everything after it; drop older entries, and whole chains whose
+		// only surviving entry is a tombstone.
+		i := sort.Search(len(chain), func(i int) bool { return chain[i].serial > floor }) - 1
+		if i < 0 {
+			continue
+		}
+		kept := chain[i:]
+		if len(kept) == 1 && kept[0].rs == nil {
+			delete(e.chains, addr)
+			continue
+		}
+		e.chains[addr] = append([]mvccVersion(nil), kept...)
+	}
+	for i := len(e.outputs) - 1; i >= 0; i-- {
+		if e.outputs[i].serial <= floor {
+			e.outputs = append([]outputsVersion(nil), e.outputs[i:]...)
+			break
+		}
+	}
+	e.oldest = floor
+}
+
+// VersionCount reports the total retained version entries (for tests and
+// the SD experiment).
+func (e *MVCCEngine) VersionCount() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	n := 0
+	for _, chain := range e.chains {
+		n += len(chain)
+	}
+	return n
+}
+
+// Close is a no-op for the MVCC engine.
+func (e *MVCCEngine) Close() error { return nil }

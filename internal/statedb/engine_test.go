@@ -1,0 +1,259 @@
+package statedb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"cloudless/internal/eval"
+	"cloudless/internal/state"
+)
+
+// backendsUnderTest honors the CI matrix: with CLOUDLESS_STATE_BACKEND set,
+// only that backend runs; otherwise every backend runs.
+func backendsUnderTest() []string {
+	if b := os.Getenv("CLOUDLESS_STATE_BACKEND"); b != "" {
+		return []string{b}
+	}
+	return Backends()
+}
+
+// newTestEngine builds a backend over the seed, with a temp dir for wal.
+func newTestEngine(t *testing.T, backend string, seed *state.State) Engine {
+	t.Helper()
+	opts := EngineOptions{}
+	if backend == BackendWAL {
+		opts.Dir = t.TempDir()
+	}
+	eng, err := NewEngine(backend, seed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	return eng
+}
+
+func put(addr string, n int) *Batch {
+	return &Batch{
+		Base:   BaseUnchecked,
+		Desc:   "put " + addr,
+		Writes: map[string]*state.ResourceState{addr: rs(addr, n)},
+	}
+}
+
+// TestEngineConformance runs the shared backend contract over every engine:
+// commit/get/delete round trips, serial monotonicity, snapshot isolation
+// from later mutation, outputs replacement, and typed stale-base conflicts.
+func TestEngineConformance(t *testing.T) {
+	for _, backend := range backendsUnderTest() {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			seed := state.New()
+			seed.Set(rs("aws_vpc.seeded", 100))
+			e := newTestEngine(t, backend, seed)
+			if e.Name() != backend {
+				t.Errorf("Name() = %q, want %q", e.Name(), backend)
+			}
+			base := e.Serial()
+			if base <= seed.Serial {
+				t.Errorf("fresh engine serial = %d, want > seed's %d", base, seed.Serial)
+			}
+			got, err := e.Get("aws_vpc.seeded", 0)
+			if err != nil || got == nil || got.Attr("n").AsInt() != 100 {
+				t.Fatalf("seeded read = %+v, %v", got, err)
+			}
+
+			// Commit a write and a delete.
+			s1, err := e.Commit(put("aws_vpc.a", 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s1 != base+1 {
+				t.Errorf("serial after commit = %d, want %d", s1, base+1)
+			}
+			s2, err := e.Commit(&Batch{
+				Base:    BaseUnchecked,
+				Writes:  map[string]*state.ResourceState{"aws_vpc.b": rs("aws_vpc.b", 2)},
+				Deletes: map[string]bool{"aws_vpc.seeded": true},
+			})
+			if err != nil || s2 != s1+1 {
+				t.Fatalf("second commit = %d, %v", s2, err)
+			}
+			if got, _ := e.Get("aws_vpc.seeded", 0); got != nil {
+				t.Error("deleted address still readable at latest")
+			}
+			snap, err := e.Snapshot(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if snap.Serial != s2 || snap.Len() != 2 {
+				t.Errorf("snapshot serial=%d len=%d, want %d and 2", snap.Serial, snap.Len(), s2)
+			}
+
+			// The materialized snapshot is the caller's: mutating it must
+			// not leak back into the engine.
+			snap.Get("aws_vpc.a").Attrs["n"] = eval.Int(999)
+			snap.Remove("aws_vpc.b")
+			if got, _ := e.Get("aws_vpc.a", 0); got.Attr("n").AsInt() != 1 {
+				t.Error("snapshot mutation leaked into engine")
+			}
+
+			// Outputs replacement.
+			if _, err := e.Commit(&Batch{
+				Base:       BaseUnchecked,
+				Outputs:    map[string]eval.Value{"url": eval.String("https://x")},
+				SetOutputs: true,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			snap, _ = e.Snapshot(0)
+			if snap.Outputs["url"].AsString() != "https://x" {
+				t.Error("outputs not replaced")
+			}
+
+			// Stale base: a batch pinned before s2 touching aws_vpc.b
+			// (modified at s2) must fail with the typed conflict...
+			_, err = e.Commit(&Batch{
+				Base:   s1,
+				Writes: map[string]*state.ResourceState{"aws_vpc.b": rs("aws_vpc.b", 9)},
+			})
+			var stale *StaleBaseError
+			if !errors.As(err, &stale) {
+				t.Fatalf("stale commit error = %v, want *StaleBaseError", err)
+			}
+			if stale.Addr != "aws_vpc.b" || stale.Base != s1 || stale.Committed != s2 {
+				t.Errorf("conflict detail = %+v", stale)
+			}
+			// ...while a disjoint batch at the same stale base is fine.
+			if _, err := e.Commit(&Batch{
+				Base:   s1,
+				Writes: map[string]*state.ResourceState{"aws_vpc.c": rs("aws_vpc.c", 3)},
+			}); err != nil {
+				t.Errorf("disjoint stale-base commit rejected: %v", err)
+			}
+
+			// Unretained serials answer with the typed sentinel.
+			if _, err := e.Snapshot(e.Serial() + 100); !errors.Is(err, ErrNoSuchSerial) {
+				t.Errorf("future-serial snapshot error = %v, want ErrNoSuchSerial", err)
+			}
+		})
+	}
+}
+
+// TestEngineConcurrentReadsDuringCommits exercises every backend with point
+// reads and snapshots racing a committer (run under -race).
+func TestEngineConcurrentReadsDuringCommits(t *testing.T) {
+	for _, backend := range backendsUnderTest() {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			e := newTestEngine(t, backend, nil)
+			const addrs = 8
+			for i := 0; i < addrs; i++ {
+				if _, err := e.Commit(put(fmt.Sprintf("aws_vpc.a%d", i), 0)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for r := 0; r < 4; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						addr := fmt.Sprintf("aws_vpc.a%d", r%addrs)
+						if _, err := e.Get(addr, 0); err != nil {
+							t.Errorf("get: %v", err)
+							return
+						}
+						if _, err := e.Snapshot(0); err != nil {
+							t.Errorf("snapshot: %v", err)
+							return
+						}
+					}
+				}(r)
+			}
+			for i := 0; i < 100; i++ {
+				if _, err := e.Commit(put(fmt.Sprintf("aws_vpc.a%d", i%addrs), i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			close(stop)
+			wg.Wait()
+		})
+	}
+}
+
+// TestDBOnEveryBackend drives the full DB/Txn stack (locks, history,
+// commit/abort) over each engine to prove the database semantics are
+// backend-independent.
+func TestDBOnEveryBackend(t *testing.T) {
+	for _, backend := range backendsUnderTest() {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			eng := newTestEngine(t, backend, nil)
+			db := OpenEngine(eng, ResourceLock)
+			if db.Backend() != backend {
+				t.Errorf("Backend() = %q", db.Backend())
+			}
+			txn := db.Begin("create")
+			if err := txn.Lock(ctxb(), "aws_vpc.a"); err != nil {
+				t.Fatal(err)
+			}
+			if err := txn.Put(rs("aws_vpc.a", 1)); err != nil {
+				t.Fatal(err)
+			}
+			if db.Snapshot().Get("aws_vpc.a") != nil {
+				t.Error("uncommitted write visible")
+			}
+			serial, err := txn.Commit()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if db.Serial() != serial {
+				t.Errorf("db serial %d != commit serial %d", db.Serial(), serial)
+			}
+			if snap, err := db.History().At(serial); err != nil || snap.State.Get("aws_vpc.a") == nil {
+				t.Errorf("history at %d: %v", serial, err)
+			}
+
+			// Stale-base conflict through the Txn layer: pin a txn at the
+			// current serial, let a rival commit to the address, then try.
+			pinned := db.BeginAt("late", db.Serial())
+			rival := db.Begin("rival")
+			if err := rival.Lock(ctxb(), "aws_vpc.a"); err != nil {
+				t.Fatal(err)
+			}
+			_ = rival.Put(rs("aws_vpc.a", 2))
+			if _, err := rival.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			if err := pinned.Lock(ctxb(), "aws_vpc.a"); err != nil {
+				t.Fatal(err)
+			}
+			_ = pinned.Put(rs("aws_vpc.a", 3))
+			_, err = pinned.Commit()
+			var stale *StaleBaseError
+			if !errors.As(err, &stale) {
+				t.Fatalf("pinned commit error = %v, want *StaleBaseError", err)
+			}
+			// The conflicted txn is still open: the caller aborts it.
+			pinned.Abort()
+			if db.Locks().Holder("aws_vpc.a") != 0 {
+				t.Error("conflicted txn leaked its lock")
+			}
+			if got := db.Snapshot().Get("aws_vpc.a").Attr("n").AsInt(); got != 2 {
+				t.Errorf("rival's write = %d, want 2", got)
+			}
+		})
+	}
+}
+
+func ctxb() context.Context { return context.Background() }

@@ -1,0 +1,363 @@
+package statedb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"cloudless/internal/state"
+)
+
+// WAL file layout inside the engine directory:
+//
+//	snapshot.json — full state at the last compaction (state JSON format)
+//	wal.log       — commits since, each framed as
+//	                [uint32 payload length][uint32 CRC-32][payload JSON]
+//
+// Replay on Open applies every intact record after the snapshot; a torn
+// tail (short frame or checksum mismatch, the crash-mid-commit case) is
+// dropped and the log truncated back to the last durable commit.
+const (
+	walLogName      = "wal.log"
+	walSnapshotName = "snapshot.json"
+	// DefaultCompactEvery is the commit count between snapshot compactions.
+	DefaultCompactEvery = 64
+)
+
+// walRecord is the JSON payload of one framed commit.
+type walRecord struct {
+	Serial  int      `json:"serial"`
+	Desc    string   `json:"desc,omitempty"`
+	Deletes []string `json:"deletes,omitempty"`
+	// Writes carries the batch's writes (and, when SetOutputs, the new
+	// outputs) re-using the versioned state serialization.
+	Writes     json.RawMessage `json:"writes,omitempty"`
+	SetOutputs bool            `json:"set_outputs,omitempty"`
+}
+
+// WALEngine is the durable backend: a sharded memory engine for reads, an
+// append-only fsynced commit log for durability, and periodic compaction to
+// the snapshot format persist.go already uses.
+type WALEngine struct {
+	mu  sync.Mutex
+	mem *MemoryEngine
+	dir string
+	f   *os.File
+	// commitsSinceCompact triggers compaction every compactEvery commits.
+	commitsSinceCompact int
+	compactEvery        int
+	closed              bool
+}
+
+// OpenWAL opens (or creates) a durable engine in dir. When the directory
+// already holds a snapshot or log, the durable contents win and seed is
+// ignored; otherwise the seed becomes the initial durable snapshot.
+func OpenWAL(dir string, seed *state.State, opts EngineOptions) (*WALEngine, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("statedb: create wal dir: %w", err)
+	}
+	compactEvery := opts.CompactEvery
+	if compactEvery <= 0 {
+		compactEvery = DefaultCompactEvery
+	}
+	e := &WALEngine{dir: dir, compactEvery: compactEvery}
+
+	base, haveDurable, err := loadWALSnapshot(dir)
+	if err != nil {
+		return nil, err
+	}
+	logPath := filepath.Join(dir, walLogName)
+	if st, err := os.Stat(logPath); err == nil && st.Size() > 0 {
+		haveDurable = true
+	}
+	if !haveDurable {
+		if seed == nil {
+			seed = state.New()
+		}
+		base = seed.Clone()
+		// Make the seed durable immediately so a reopen before the first
+		// commit recovers the same serial.
+		if err := writeWALSnapshot(dir, base); err != nil {
+			return nil, err
+		}
+	}
+	e.mem = NewMemoryEngine(base, opts.Shards)
+
+	if err := e.replay(logPath); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("statedb: open wal log: %w", err)
+	}
+	e.f = f
+	return e, nil
+}
+
+// loadWALSnapshot reads the compacted snapshot, reporting whether one
+// existed.
+func loadWALSnapshot(dir string) (*state.State, bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, walSnapshotName))
+	if os.IsNotExist(err) {
+		return state.New(), false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("statedb: read wal snapshot: %w", err)
+	}
+	s, err := state.Decode(data)
+	if err != nil {
+		return nil, false, fmt.Errorf("statedb: decode wal snapshot: %w", err)
+	}
+	return s, true, nil
+}
+
+// writeWALSnapshot persists a full state atomically (write + rename).
+func writeWALSnapshot(dir string, s *state.State) error {
+	return s.SaveFile(filepath.Join(dir, walSnapshotName))
+}
+
+// replay applies every intact log record with a serial above the snapshot's,
+// truncating the file at the first torn or corrupt frame.
+func (e *WALEngine) replay(logPath string) error {
+	data, err := os.ReadFile(logPath)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("statedb: read wal log: %w", err)
+	}
+	durable := 0 // byte offset of the last fully-applied record
+	off := 0
+	for {
+		rec, next, ok := nextWALRecord(data, off)
+		if !ok {
+			break
+		}
+		if rec.Serial > e.mem.Serial() {
+			b, err := rec.toBatch()
+			if err != nil {
+				// A decodable frame with an undecodable payload is treated
+				// like a torn tail: recover to the last good commit.
+				break
+			}
+			if _, err := e.mem.Commit(b); err != nil {
+				return fmt.Errorf("statedb: replay wal serial %d: %w", rec.Serial, err)
+			}
+		}
+		durable = next
+		off = next
+	}
+	if durable < len(data) {
+		if err := os.Truncate(logPath, int64(durable)); err != nil {
+			return fmt.Errorf("statedb: truncate torn wal tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// nextWALRecord decodes one frame at off; ok is false for a torn or corrupt
+// frame (short header, short payload, or CRC mismatch).
+func nextWALRecord(data []byte, off int) (walRecord, int, bool) {
+	var rec walRecord
+	if off+8 > len(data) {
+		return rec, off, false
+	}
+	n := int(binary.LittleEndian.Uint32(data[off:]))
+	sum := binary.LittleEndian.Uint32(data[off+4:])
+	if n <= 0 || off+8+n > len(data) {
+		return rec, off, false
+	}
+	payload := data[off+8 : off+8+n]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return rec, off, false
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, off, false
+	}
+	return rec, off + 8 + n, true
+}
+
+// toBatch converts a replayed record back into an engine batch.
+func (r *walRecord) toBatch() (*Batch, error) {
+	b := &Batch{
+		Base:    BaseUnchecked,
+		Desc:    r.Desc,
+		Writes:  map[string]*state.ResourceState{},
+		Deletes: map[string]bool{},
+	}
+	if len(r.Writes) > 0 {
+		ws, err := state.Decode(r.Writes)
+		if err != nil {
+			return nil, err
+		}
+		for addr, rs := range ws.Resources {
+			rs.Addr = addr
+			b.Writes[addr] = rs
+		}
+		if r.SetOutputs {
+			b.Outputs = ws.Outputs
+			b.SetOutputs = true
+		}
+	}
+	for _, addr := range r.Deletes {
+		b.Deletes[addr] = true
+	}
+	return b, nil
+}
+
+// encodeRecord frames one commit for the log.
+func encodeRecord(b *Batch, serial int) ([]byte, error) {
+	rec := walRecord{Serial: serial, Desc: b.Desc, SetOutputs: b.SetOutputs}
+	for addr := range b.Deletes {
+		rec.Deletes = append(rec.Deletes, addr)
+	}
+	ws := state.New()
+	ws.Serial = serial
+	for addr, rs := range b.Writes {
+		cp := rs.Clone()
+		cp.Addr = addr
+		ws.Resources[addr] = cp
+	}
+	if b.SetOutputs {
+		ws.Outputs = b.Outputs
+	}
+	raw, err := ws.Encode()
+	if err != nil {
+		return nil, err
+	}
+	// Encode emits indented JSON; compact it so frames stay small.
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		return nil, err
+	}
+	rec.Writes = buf.Bytes()
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+	return frame, nil
+}
+
+// Name returns the backend name.
+func (e *WALEngine) Name() string { return BackendWAL }
+
+// Serial returns the newest durable serial.
+func (e *WALEngine) Serial() int { return e.mem.Serial() }
+
+// Get reads one resource at the given serial (0 = latest).
+func (e *WALEngine) Get(addr string, serial int) (*state.ResourceState, error) {
+	return e.mem.Get(addr, serial)
+}
+
+// Snapshot materializes the latest state.
+func (e *WALEngine) Snapshot(serial int) (*state.State, error) {
+	return e.mem.Snapshot(serial)
+}
+
+// Commit appends the batch to the log (fsynced) and then applies it to the
+// in-memory index; a crash between the two replays the record on reopen.
+func (e *WALEngine) Commit(b *Batch) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return 0, fmt.Errorf("statedb: wal engine is closed")
+	}
+	// Conflict-check first so rejected batches never reach the durable log.
+	e.mem.hdr.Lock()
+	if err := e.mem.conflictLocked(b); err != nil {
+		e.mem.hdr.Unlock()
+		return 0, err
+	}
+	serial := e.mem.serial + 1
+	frame, err := encodeRecord(b, serial)
+	if err != nil {
+		e.mem.hdr.Unlock()
+		return 0, fmt.Errorf("statedb: encode wal record: %w", err)
+	}
+	if _, err := e.f.Write(frame); err != nil {
+		e.mem.hdr.Unlock()
+		return 0, fmt.Errorf("statedb: append wal record: %w", err)
+	}
+	if err := e.f.Sync(); err != nil {
+		e.mem.hdr.Unlock()
+		return 0, fmt.Errorf("statedb: sync wal: %w", err)
+	}
+	unchecked := *b
+	unchecked.Base = BaseUnchecked // already checked above
+	if _, err := e.mem.commitLocked(&unchecked); err != nil {
+		e.mem.hdr.Unlock()
+		return 0, err
+	}
+	e.mem.hdr.Unlock()
+
+	e.commitsSinceCompact++
+	if e.commitsSinceCompact >= e.compactEvery {
+		if err := e.compactLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return serial, nil
+}
+
+// Compact forces a snapshot compaction: the full state is written to
+// snapshot.json and the log reset.
+func (e *WALEngine) Compact() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.compactLocked()
+}
+
+func (e *WALEngine) compactLocked() error {
+	snap, err := e.mem.Snapshot(0)
+	if err != nil {
+		return err
+	}
+	if err := writeWALSnapshot(e.dir, snap); err != nil {
+		return fmt.Errorf("statedb: compact wal: %w", err)
+	}
+	if err := e.f.Truncate(0); err != nil {
+		return fmt.Errorf("statedb: reset wal log: %w", err)
+	}
+	if _, err := e.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("statedb: rewind wal log: %w", err)
+	}
+	e.commitsSinceCompact = 0
+	return nil
+}
+
+// LogSize reports the current log length in bytes (for tests and the SD
+// experiment).
+func (e *WALEngine) LogSize() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, err := os.Stat(filepath.Join(e.dir, walLogName))
+	if err != nil {
+		return 0
+	}
+	return st.Size()
+}
+
+// Close syncs and releases the log file.
+func (e *WALEngine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	if err := e.f.Sync(); err != nil {
+		e.f.Close()
+		return err
+	}
+	return e.f.Close()
+}

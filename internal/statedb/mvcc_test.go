@@ -1,0 +1,217 @@
+package statedb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"cloudless/internal/state"
+)
+
+// TestMVCCPinnedReaderIsolation is the headline MVCC guarantee: a reader
+// pinned at serial N never observes writes from serial N+1 (or later), even
+// while those commits land concurrently. 16 concurrent transactions write
+// under -race while pinned readers continuously re-verify their snapshots.
+func TestMVCCPinnedReaderIsolation(t *testing.T) {
+	e := NewMVCCEngine(nil, 0)
+	defer e.Close()
+
+	// Lay down a known baseline: addr i holds value i at pinSerial.
+	const addrs = 8
+	for i := 0; i < addrs; i++ {
+		if _, err := e.Commit(put(fmt.Sprintf("aws_vpc.a%d", i), i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pinSerial := e.Serial()
+	pinned, err := e.Snapshot(pinSerial)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 16
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 25; i++ {
+				addr := fmt.Sprintf("aws_vpc.a%d", (w+i)%addrs)
+				if _, err := e.Commit(put(addr, 1000+w*100+i)); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Readers pinned at pinSerial race the writers the whole time.
+	readErr := make(chan error, 4)
+	done := make(chan struct{})
+	for r := 0; r < 4; r++ {
+		go func() {
+			for {
+				select {
+				case <-done:
+					readErr <- nil
+					return
+				default:
+				}
+				for i := 0; i < addrs; i++ {
+					addr := fmt.Sprintf("aws_vpc.a%d", i)
+					got, err := e.Get(addr, pinSerial)
+					if err != nil {
+						readErr <- fmt.Errorf("pinned get %s: %w", addr, err)
+						return
+					}
+					if n := got.Attr("n").AsInt(); n != i {
+						readErr <- fmt.Errorf("pinned reader at serial %d saw %s=%d, want %d", pinSerial, addr, n, i)
+						return
+					}
+				}
+				snap, err := e.Snapshot(pinSerial)
+				if err != nil {
+					readErr <- fmt.Errorf("pinned snapshot: %w", err)
+					return
+				}
+				if snap.Serial != pinSerial {
+					readErr <- fmt.Errorf("pinned snapshot serial = %d, want %d", snap.Serial, pinSerial)
+					return
+				}
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(done)
+	for r := 0; r < 4; r++ {
+		if err := <-readErr; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// After all 400 commits: the pinned snapshot still reads as before,
+	// the latest snapshot reflects the churn, and re-materializing at
+	// pinSerial matches the copy taken before the churn started.
+	if e.Serial() != pinSerial+writers*25 {
+		t.Errorf("final serial = %d, want %d", e.Serial(), pinSerial+writers*25)
+	}
+	again, err := e.Snapshot(pinSerial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < addrs; i++ {
+		addr := fmt.Sprintf("aws_vpc.a%d", i)
+		if got := again.Get(addr).Attr("n").AsInt(); got != pinned.Get(addr).Attr("n").AsInt() {
+			t.Errorf("re-materialized %s = %d, want %d", addr, got, i)
+		}
+	}
+	latest, _ := e.Snapshot(0)
+	anyChanged := false
+	for i := 0; i < addrs; i++ {
+		if latest.Get(fmt.Sprintf("aws_vpc.a%d", i)).Attr("n").AsInt() >= 1000 {
+			anyChanged = true
+		}
+	}
+	if !anyChanged {
+		t.Error("writers' churn not visible at latest serial")
+	}
+}
+
+// TestMVCCSerialBoundary pins the exact N / N+1 boundary: a snapshot at N
+// taken *after* N+1 committed still shows N's world.
+func TestMVCCSerialBoundary(t *testing.T) {
+	e := NewMVCCEngine(nil, 0)
+	defer e.Close()
+	n, err := e.Commit(put("aws_vpc.x", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Commit(&Batch{
+		Base:    BaseUnchecked,
+		Writes:  map[string]*state.ResourceState{"aws_vpc.x": rs("aws_vpc.x", 2), "aws_vpc.y": rs("aws_vpc.y", 2)},
+		Deletes: nil,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	atN, err := e.Snapshot(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := atN.Get("aws_vpc.x").Attr("n").AsInt(); got != 1 {
+		t.Errorf("snapshot at N: x = %d, want 1", got)
+	}
+	if atN.Get("aws_vpc.y") != nil {
+		t.Error("snapshot at N shows resource created at N+1")
+	}
+	// Point reads at N agree.
+	if got, _ := e.Get("aws_vpc.y", n); got != nil {
+		t.Error("Get at N shows resource created at N+1")
+	}
+	// Deletes are versioned too: delete x at N+2, N+1 still shows it.
+	if _, err := e.Commit(&Batch{Base: BaseUnchecked, Deletes: map[string]bool{"aws_vpc.x": true}}); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := e.Get("aws_vpc.x", n+1); err != nil || got == nil || got.Attr("n").AsInt() != 2 {
+		t.Errorf("Get x at N+1 after delete at N+2 = %v, %v; want n=2", got, err)
+	}
+	if got, _ := e.Get("aws_vpc.x", 0); got != nil {
+		t.Error("deleted resource visible at latest")
+	}
+}
+
+// TestMVCCCompaction checks that CompactBelow drops unreachable versions,
+// that compacted serials answer ErrNoSuchSerial, and that retention-driven
+// auto-compaction keeps the version count bounded.
+func TestMVCCCompaction(t *testing.T) {
+	e := NewMVCCEngine(nil, 0)
+	defer e.Close()
+	var serials []int
+	for i := 0; i < 10; i++ {
+		s, err := e.Commit(put("aws_vpc.x", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		serials = append(serials, s)
+	}
+	before := e.VersionCount()
+	floor := serials[7]
+	e.CompactBelow(floor)
+	if e.Oldest() != floor {
+		t.Errorf("Oldest() = %d, want %d", e.Oldest(), floor)
+	}
+	if after := e.VersionCount(); after >= before {
+		t.Errorf("version count %d not reduced from %d", after, before)
+	}
+	// The floor itself stays readable; older serials are gone.
+	if got, err := e.Get("aws_vpc.x", floor); err != nil || got.Attr("n").AsInt() != 7 {
+		t.Errorf("read at floor = %v, %v", got, err)
+	}
+	if _, err := e.Snapshot(serials[2]); !errors.Is(err, ErrNoSuchSerial) {
+		t.Errorf("compacted snapshot error = %v, want ErrNoSuchSerial", err)
+	}
+	if _, err := e.Get("aws_vpc.x", serials[2]); !errors.Is(err, ErrNoSuchSerial) {
+		t.Errorf("compacted get error = %v, want ErrNoSuchSerial", err)
+	}
+
+	// Retention-driven auto-compaction: retain=5 must keep the horizon
+	// within 2*retain of the head no matter how many commits land.
+	r := NewMVCCEngine(nil, 5)
+	defer r.Close()
+	for i := 0; i < 100; i++ {
+		if _, err := r.Commit(put("aws_vpc.y", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lag := r.Serial() - r.Oldest(); lag > 10 {
+		t.Errorf("auto-compaction horizon lags %d serials, want <= 10", lag)
+	}
+	// The last retain serials are always readable.
+	for s := r.Serial() - 5; s <= r.Serial(); s++ {
+		if _, err := r.Snapshot(s); err != nil {
+			t.Errorf("retained serial %d unreadable: %v", s, err)
+		}
+	}
+}

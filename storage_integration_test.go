@@ -1,0 +1,230 @@
+package cloudless_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"testing"
+
+	cloudless "cloudless"
+	"cloudless/internal/cloud"
+	"cloudless/internal/statedb"
+)
+
+// openStackOn opens the shared test stack on a specific storage backend.
+func openStackOn(t *testing.T, sim cloud.Interface, backend, stateDir string) *cloudless.Stack {
+	t.Helper()
+	s, err := cloudless.Open(cloudless.Options{
+		Sources:      map[string]string{"main.ccl": stackConfig},
+		Cloud:        sim,
+		StateBackend: backend,
+		StateDir:     stateDir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestMVCCPlanDuringApply is the acceptance test for the mvcc backend: a
+// plan started while an apply is in flight returns results consistent with
+// the pre-apply serial — and keeps doing so after the apply commits, because
+// the backend retains the pinned version.
+func TestMVCCPlanDuringApply(t *testing.T) {
+	opts := cloud.DefaultOptions()
+	opts.DisableRateLimit = true
+	// Real latency so the scale-out apply stays in flight long enough for
+	// concurrent plans to overlap it (15s modeled VM create -> ~7.5ms).
+	opts.TimeScale = 0.0005
+	sim := cloud.NewSim(opts)
+	ctx := context.Background()
+	s := openStackOn(t, sim, cloudless.BackendMVCC, "")
+
+	// Deploy the initial 2-VM stack.
+	p, err := s.Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Apply(ctx, p, cloudless.ApplyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	preSerial := s.DB().Serial()
+	preLen := s.DB().Snapshot().Len()
+	if preLen != 6 {
+		t.Fatalf("deployed resources = %d, want 6", preLen)
+	}
+
+	// Scale out 2 -> 4 VMs and start the apply in the background.
+	if err := s.SetVar("vm_count", 4); err != nil {
+		t.Fatal(err)
+	}
+	scaleOut, err := s.PlanOffline(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaleOut.BaseSerial != preSerial {
+		t.Fatalf("scale-out plan base = %d, want %d", scaleOut.BaseSerial, preSerial)
+	}
+	if scaleOut.Creates != 4 { // 2 NICs + 2 VMs
+		t.Fatalf("scale-out plan: %s", scaleOut.Summary())
+	}
+	applyDone := make(chan error, 1)
+	go func() {
+		_, _, err := s.Apply(ctx, scaleOut, cloudless.ApplyOptions{})
+		applyDone <- err
+	}()
+
+	// While the apply is in flight, keep planning against the pre-apply
+	// serial. Every such plan must describe the pre-apply world: 4 creates
+	// pending, nothing from the concurrent apply visible.
+	concurrent := 0
+	var lastConcurrent *cloudless.Plan
+loop:
+	for {
+		select {
+		case err := <-applyDone:
+			if err != nil {
+				t.Fatal(err)
+			}
+			break loop
+		default:
+		}
+		inFlight := s.DB().Serial() == preSerial // apply has not committed yet
+		cp, err := s.PlanOfflineAt(ctx, preSerial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cp.BaseSerial != preSerial {
+			t.Fatalf("concurrent plan base = %d, want %d", cp.BaseSerial, preSerial)
+		}
+		if cp.Creates != 4 || cp.Updates != 0 || cp.Deletes != 0 {
+			t.Fatalf("concurrent plan inconsistent with pre-apply serial: %s", cp.Summary())
+		}
+		if inFlight {
+			concurrent++
+			lastConcurrent = cp
+		}
+	}
+	if concurrent == 0 {
+		t.Fatal("no plan overlapped the in-flight apply; raise the sim TimeScale")
+	}
+	t.Logf("%d plans completed while the apply was in flight", concurrent)
+
+	// The apply committed: latest state moved on, but the pinned serial
+	// still answers with the pre-apply world.
+	if s.DB().Serial() <= preSerial {
+		t.Fatalf("apply did not advance the serial (still %d)", s.DB().Serial())
+	}
+	if got := s.DB().Snapshot().Len(); got != 10 {
+		t.Errorf("post-apply resources = %d, want 10", got)
+	}
+	old, err := s.DB().SnapshotAt(preSerial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Len() != preLen || old.Serial != preSerial {
+		t.Errorf("pinned snapshot len=%d serial=%d, want %d and %d", old.Len(), old.Serial, preLen, preSerial)
+	}
+	post, err := s.PlanOfflineAt(ctx, preSerial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post.Creates != 4 {
+		t.Errorf("post-apply pinned plan: %s, want 4 creates", post.Summary())
+	}
+	fresh, err := s.PlanOffline(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.PendingCount() != 0 {
+		t.Errorf("latest-serial plan not converged: %s", fresh.Summary())
+	}
+
+	// Applying a plan pinned before the apply must abort with the typed
+	// stale-base conflict instead of clobbering the committed scale-out.
+	_, _, err = s.Apply(ctx, lastConcurrent, cloudless.ApplyOptions{})
+	var stale *cloudless.StaleBaseError
+	if !errors.As(err, &stale) {
+		t.Fatalf("stale apply error = %v, want *StaleBaseError", err)
+	}
+	if stale.Base != preSerial {
+		t.Errorf("conflict base = %d, want %d", stale.Base, preSerial)
+	}
+	// The committed world is untouched by the aborted apply's state commit.
+	if got := s.DB().Snapshot().Len(); got != 10 {
+		t.Errorf("resources after aborted stale apply = %d, want 10", got)
+	}
+}
+
+// TestStackLifecycleOnEveryBackend runs plan/apply/destroy on each storage
+// backend (or just $CLOUDLESS_STATE_BACKEND under the CI matrix) to prove the
+// facade is backend-agnostic.
+func TestStackLifecycleOnEveryBackend(t *testing.T) {
+	backends := statedb.Backends()
+	if b := os.Getenv("CLOUDLESS_STATE_BACKEND"); b != "" {
+		backends = []string{b}
+	}
+	for _, backend := range backends {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			ctx := context.Background()
+			dir := ""
+			if backend == cloudless.BackendWAL {
+				dir = t.TempDir()
+			}
+			s := openStackOn(t, newSim(), backend, dir)
+			if got := s.DB().Backend(); got != backend {
+				t.Fatalf("backend = %q, want %q", got, backend)
+			}
+			p, err := s.Plan(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := s.Apply(ctx, p, cloudless.ApplyOptions{}); err != nil {
+				t.Fatal(err)
+			}
+			if got := len(s.Outputs()["vm_ids"].([]any)); got != 2 {
+				t.Errorf("vm_ids = %d, want 2", got)
+			}
+			p2, err := s.Plan(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p2.PendingCount() != 0 {
+				t.Errorf("re-plan not converged: %s", p2.Summary())
+			}
+			serial := s.DB().Serial()
+
+			if backend == cloudless.BackendWAL {
+				// Durability: close, reopen on the same directory with no
+				// initial state, and the golden state must be back.
+				if err := s.Close(); err != nil {
+					t.Fatal(err)
+				}
+				re := openStackOn(t, s.Cloud(), backend, dir)
+				if re.DB().Serial() != serial {
+					t.Fatalf("reopened serial = %d, want %d", re.DB().Serial(), serial)
+				}
+				if re.DB().Snapshot().Len() != 6 {
+					t.Fatalf("reopened resources = %d, want 6", re.DB().Snapshot().Len())
+				}
+				rp, err := re.PlanOffline(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rp.PendingCount() != 0 {
+					t.Errorf("plan after crash-free reopen: %s", rp.Summary())
+				}
+				s = re
+			}
+
+			if _, err := s.Destroy(ctx); err != nil {
+				t.Fatal(err)
+			}
+			if s.DB().Snapshot().Len() != 0 {
+				t.Errorf("state not emptied by destroy")
+			}
+		})
+	}
+}
