@@ -22,6 +22,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"cloudless/internal/apply"
 	"cloudless/internal/cloud"
@@ -32,6 +33,7 @@ import (
 	"cloudless/internal/hcl"
 	"cloudless/internal/plan"
 	"cloudless/internal/policy"
+	"cloudless/internal/provider"
 	"cloudless/internal/rollback"
 	"cloudless/internal/state"
 	"cloudless/internal/statedb"
@@ -114,6 +116,23 @@ type Options struct {
 	// (apply ops, lock waits, cloud API calls, plan scope). Nil disables
 	// instrumentation at near-zero cost.
 	Telemetry *telemetry.Recorder
+
+	// Provider runtime knobs (DESIGN.md S22). Every cloud call the stack
+	// makes — apply ops, drift scans, plan refresh, activity tailing — goes
+	// through one shared internal/provider.Runtime that owns read caching,
+	// in-flight dedup, AIMD adaptive concurrency, and retry. Zero values
+	// mean the runtime defaults.
+
+	// ProviderCacheTTL bounds read-cache entry lifetime (default 30s;
+	// negative disables caching).
+	ProviderCacheTTL time.Duration
+	// ProviderMaxRetries bounds attempts per cloud call (default 4).
+	ProviderMaxRetries int
+	// ProviderRetryBase seeds full-jitter exponential backoff (default 50ms).
+	ProviderRetryBase time.Duration
+	// ProviderMaxInFlight is the AIMD concurrency-window ceiling per cloud
+	// provider (default 64).
+	ProviderMaxInFlight int
 }
 
 // Stack is an infrastructure under cloudless management.
@@ -180,16 +199,30 @@ func Open(opts Options) (*Stack, error) {
 		return nil, fmt.Errorf("cloudless: %w", err)
 	}
 
+	// All cloud access routes through one provider runtime per stack; a
+	// caller that passes an already-wrapped Runtime (e.g. another stack's
+	// Cloud()) shares that one instead of stacking dispatchers.
+	popts := provider.Options{
+		CacheTTL:    opts.ProviderCacheTTL,
+		MaxRetries:  opts.ProviderMaxRetries,
+		RetryBase:   opts.ProviderRetryBase,
+		MaxInFlight: opts.ProviderMaxInFlight,
+	}
+	if opts.Telemetry != nil {
+		popts.Registry = opts.Telemetry.Metrics()
+	}
+	runtime := provider.New(opts.Cloud, popts)
+
 	s := &Stack{
 		module:    module,
 		vars:      vars,
 		resolver:  opts.Modules,
-		cloudAPI:  opts.Cloud,
+		cloudAPI:  runtime,
 		db:        statedb.OpenEngine(engine, mode),
 		principal: principal,
 		telemetry: opts.Telemetry,
 	}
-	if sim, ok := opts.Cloud.(*cloud.Sim); ok && opts.Telemetry != nil {
+	if sim, ok := provider.Unwrap(opts.Cloud).(*cloud.Sim); ok && opts.Telemetry != nil {
 		// Route simulator counters (API calls, throttles, injected failures)
 		// into the stack's registry even for calls made without a
 		// telemetry-carrying context.
@@ -262,8 +295,13 @@ func (s *Stack) lifecycle(ctx context.Context, name string) (context.Context, *t
 	return telemetry.StartSpan(ctx, name)
 }
 
-// Cloud exposes the bound cloud interface.
+// Cloud exposes the bound cloud interface — the stack's provider runtime,
+// so sharing it with another stack shares cache, coalescing, and the AIMD
+// window too.
 func (s *Stack) Cloud() cloud.Interface { return s.cloudAPI }
+
+// Provider exposes the stack's provider runtime for stats inspection.
+func (s *Stack) Provider() *provider.Runtime { return s.cloudAPI.(*provider.Runtime) }
 
 // Instances lists the expanded instance addresses.
 func (s *Stack) Instances() []string {

@@ -35,9 +35,10 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (E1..E10, ET, SD)")
+	only := flag.String("only", "", "run a single experiment (E1..E10, ET, SD, PV)")
 	flag.StringVar(&jsonOut, "json", "", "write machine-readable results (currently: ET) to this file")
 	flag.StringVar(&jsonOutSD, "json-sd", "", "write machine-readable SD results to this file")
+	flag.StringVar(&jsonOutPV, "json-pv", "", "write machine-readable PV results to this file")
 	flag.Parse()
 
 	experiments := []struct {
@@ -57,6 +58,7 @@ func main() {
 		{"E10", "policy controller: decision latency and outlier detection (§3.6)", e10},
 		{"ET", "telemetry instrumentation overhead: traced vs untraced apply and plan", et},
 		{"SD", "state storage engines: churn throughput and plan-during-apply (§3.4)", sd},
+		{"PV", "provider runtime: coalesced drift scans and AIMD apply under 429s", pv},
 	}
 	for _, e := range experiments {
 		if *only != "" && !strings.EqualFold(*only, e.id) {

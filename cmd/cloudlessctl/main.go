@@ -28,6 +28,7 @@ import (
 	"cloudless/internal/drift"
 	"cloudless/internal/plan"
 	"cloudless/internal/port"
+	"cloudless/internal/provider"
 	"cloudless/internal/rollback"
 	"cloudless/internal/state"
 	"cloudless/internal/telemetry"
@@ -107,6 +108,10 @@ type commonFlags struct {
 	traceOut     *string
 	stateBackend *string
 
+	providerTTL      *time.Duration
+	providerRetries  *int
+	providerInFlight *int
+
 	recorder *telemetry.Recorder
 	rootSpan *telemetry.Span
 	baseCtx  context.Context
@@ -125,6 +130,12 @@ func newCommon(name string) *commonFlags {
 		traceOut:   fs.String("trace-out", "", "write a Chrome/Perfetto trace of this run to the given file"),
 		stateBackend: fs.String("state-backend", "memory",
 			"golden-state storage engine: memory (sharded map), mvcc (versioned snapshots), or wal (durable commit log at <state>.wal/)"),
+		providerTTL: fs.Duration("provider-cache-ttl", 0,
+			"provider-runtime read-cache TTL (0 = default 30s, negative = disable caching)"),
+		providerRetries: fs.Int("provider-retries", 0,
+			"provider-runtime retry attempts per cloud call (0 = default 4)"),
+		providerInFlight: fs.Int("provider-max-inflight", 0,
+			"provider-runtime AIMD concurrency-window ceiling per cloud provider (0 = default 64)"),
 	}
 }
 
@@ -188,6 +199,17 @@ func (c *commonFlags) cloud() cloud.Interface {
 	return cloud.NewSim(opts)
 }
 
+// runtime wraps the raw cloud endpoint in a provider runtime for the
+// commands that talk to the cloud without opening a stack (import,
+// rollback); stack-based commands get theirs from cloudless.Open.
+func (c *commonFlags) runtime() cloud.Interface {
+	return provider.New(c.cloud(), provider.Options{
+		CacheTTL:    *c.providerTTL,
+		MaxRetries:  *c.providerRetries,
+		MaxInFlight: *c.providerInFlight,
+	})
+}
+
 func (c *commonFlags) open() (*cloudless.Stack, error) {
 	st, err := state.LoadFile(*c.statePath)
 	if err != nil {
@@ -206,13 +228,16 @@ func (c *commonFlags) open() (*cloudless.Stack, error) {
 		stateDir = *c.statePath + ".wal"
 	}
 	return cloudless.Open(cloudless.Options{
-		Dir:          *c.dir,
-		Cloud:        c.cloud(),
-		InitialState: st,
-		Policies:     policySrc,
-		Telemetry:    c.recorder,
-		StateBackend: *c.stateBackend,
-		StateDir:     stateDir,
+		Dir:                 *c.dir,
+		Cloud:               c.cloud(),
+		InitialState:        st,
+		Policies:            policySrc,
+		Telemetry:           c.recorder,
+		StateBackend:        *c.stateBackend,
+		StateDir:            stateDir,
+		ProviderCacheTTL:    *c.providerTTL,
+		ProviderMaxRetries:  *c.providerRetries,
+		ProviderMaxInFlight: *c.providerInFlight,
 	})
 }
 
@@ -423,7 +448,7 @@ func cmdRollback(args []string) error {
 	if *dryRun || len(p.Steps) == 0 {
 		return nil
 	}
-	after, err := rollback.Execute(c.ctx(), c.cloud(), current, snap.State, p, "cloudless")
+	after, err := rollback.Execute(c.ctx(), c.runtime(), current, snap.State, p, "cloudless")
 	if err != nil {
 		return err
 	}
@@ -502,7 +527,7 @@ func cmdImport(args []string) error {
 	optimize := c.fs.Bool("optimize", true, "compact homogeneous fleets with count")
 	_ = c.fs.Parse(args)
 
-	res, err := port.Import(context.Background(), c.cloud(), port.ImportOptions{
+	res, err := port.Import(context.Background(), c.runtime(), port.ImportOptions{
 		Optimize: *optimize, ExtractModules: *modules,
 	})
 	if err != nil {

@@ -1,14 +1,15 @@
 // Package apply executes plans against a cloud: a concurrency-bounded
 // parallel walk over the plan graph with pluggable scheduling (the baseline
-// FIFO graph walk vs the §3.3 critical-path-first scheduler), retry with
-// exponential backoff on transient cloud errors, and value propagation so
-// attributes referencing freshly-created resources resolve to real IDs.
+// FIFO graph walk vs the §3.3 critical-path-first scheduler) and value
+// propagation so attributes referencing freshly-created resources resolve
+// to real IDs. Retry, backoff, and adaptive cloud concurrency live in the
+// provider runtime (internal/provider), which every operation routes
+// through — the walk's Concurrency only governs graph-ordering parallelism.
 package apply
 
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"cloudless/internal/eval"
 	"cloudless/internal/graph"
 	"cloudless/internal/plan"
+	"cloudless/internal/provider"
 	"cloudless/internal/schema"
 	"cloudless/internal/state"
 	"cloudless/internal/telemetry"
@@ -49,9 +51,11 @@ type Options struct {
 	// same default Terraform uses).
 	Concurrency int
 	Scheduler   Scheduler
-	// MaxRetries bounds attempts per operation on retryable errors.
+	// MaxRetries bounds attempts per operation on retryable errors. It is
+	// forwarded to the provider runtime when the applier has to wrap a bare
+	// cloud itself; a caller-supplied runtime keeps its own policy.
 	MaxRetries int
-	// RetryBase is the initial backoff (doubling per attempt, with jitter).
+	// RetryBase seeds the runtime's full-jitter exponential backoff.
 	RetryBase time.Duration
 	// Principal is recorded in the cloud activity log.
 	Principal string
@@ -104,6 +108,12 @@ func Apply(ctx context.Context, cl cloud.Interface, p *plan.Plan, opts Options) 
 	o := (&opts).withDefaults()
 	start := time.Now()
 
+	// All cloud I/O goes through the provider runtime: callers that hand us
+	// a bare simulator or HTTP client get one wrapped on the spot (retry
+	// policy from our options); a runtime handed down from the facade is
+	// used as-is, so its cache and AIMD window are shared across layers.
+	cl = provider.New(cl, provider.Options{MaxRetries: o.MaxRetries, RetryBase: o.RetryBase})
+
 	newState := p.PriorState.Clone()
 	var stateMu sync.Mutex
 	var retries int64
@@ -116,14 +126,6 @@ func Apply(ctx context.Context, cl cloud.Interface, p *plan.Plan, opts Options) 
 		if err == nil {
 			priority = func(addr string) float64 { return float64(levels[addr]) }
 		}
-	}
-
-	rng := rand.New(rand.NewSource(1))
-	var rngMu sync.Mutex
-	jitter := func() float64 {
-		rngMu.Lock()
-		defer rngMu.Unlock()
-		return 0.5 + rng.Float64()
 	}
 
 	// Telemetry: one span for the whole execution, one per resource
@@ -157,7 +159,7 @@ func Apply(ctx context.Context, cl cloud.Interface, p *plan.Plan, opts Options) 
 			return fmt.Errorf("apply: no change for %s", addr)
 		}
 		opCtx, sp := telemetry.StartSpan(execCtx, "apply.op")
-		var opRetries int64
+		opCtx, opRetries := provider.WithRetryCounter(opCtx)
 		if sp != nil {
 			sp.SetAttr("addr", addr)
 			sp.SetAttr("action", ch.Action.String())
@@ -170,18 +172,15 @@ func Apply(ctx context.Context, cl cloud.Interface, p *plan.Plan, opts Options) 
 				sp.SetAttr("queue_wait_ms", durMillis(sp.StartTime().Sub(ready)))
 			}
 		}
-		err := applyChange(opCtx, cl, p, ch, o, func(d time.Duration, attempt int) time.Duration {
-			atomic.AddInt64(&retries, 1)
-			atomic.AddInt64(&opRetries, 1)
-			return time.Duration(float64(d) * float64(int(1)<<attempt) * jitter())
-		}, newState, &stateMu)
+		err := applyChange(opCtx, cl, p, ch, o, newState, &stateMu)
+		atomic.AddInt64(&retries, opRetries.Load())
 		if err != nil {
 			stateMu.Lock()
 			res.Errors[addr] = err
 			stateMu.Unlock()
 		}
 		if sp != nil {
-			sp.SetAttr("retries", atomic.LoadInt64(&opRetries))
+			sp.SetAttr("retries", opRetries.Load())
 			sp.EndErr(err)
 			sp.SetAttr("exec_ms", durMillis(sp.Duration()))
 			readyMu.Lock()
@@ -252,22 +251,17 @@ func markCriticalPath(g *graph.Graph, spanByAddr map[string]*telemetry.Span) {
 	}
 }
 
-// applyChange performs one operation with retries.
+// applyChange performs one operation; the provider runtime behind cl owns
+// retries and backoff.
 func applyChange(ctx context.Context, cl cloud.Interface, p *plan.Plan, ch *plan.Change,
-	o Options, backoff func(time.Duration, int) time.Duration,
-	newState *state.State, stateMu *sync.Mutex) error {
+	o Options, newState *state.State, stateMu *sync.Mutex) error {
 
 	switch ch.Action {
 	case plan.ActionDelete:
-		if err := withRetry(ctx, o, backoff, func() error {
-			err := cl.Delete(ctx, ch.Type, ch.ID, o.Principal)
-			if cloud.IsNotFound(err) {
-				return nil // already gone: deletion is idempotent
-			}
-			return err
-		}); err != nil {
+		if err := cl.Delete(ctx, ch.Type, ch.ID, o.Principal); err != nil && !cloud.IsNotFound(err) {
 			return err
 		}
+		// A 404 means already gone: deletion is idempotent.
 		stateMu.Lock()
 		newState.Remove(ch.Addr)
 		stateMu.Unlock()
@@ -351,7 +345,7 @@ func applyChange(ctx context.Context, cl cloud.Interface, p *plan.Plan, ch *plan
 			}
 			return err
 		}
-		if err := withRetry(ctx, o, backoff, op); err != nil {
+		if err := op(); err != nil {
 			return err
 		}
 
@@ -385,29 +379,6 @@ func regionOf(ch *plan.Change, attrs map[string]eval.Value) string {
 		}
 	}
 	return ch.Region
-}
-
-// withRetry runs op with exponential backoff on retryable cloud errors.
-func withRetry(ctx context.Context, o Options, backoff func(time.Duration, int) time.Duration, op func() error) error {
-	var err error
-	for attempt := 0; attempt < o.MaxRetries; attempt++ {
-		err = op()
-		if err == nil || !cloud.IsRetryable(err) {
-			return err
-		}
-		if attempt == o.MaxRetries-1 {
-			break
-		}
-		d := backoff(o.RetryBase, attempt)
-		t := time.NewTimer(d)
-		select {
-		case <-ctx.Done():
-			t.Stop()
-			return ctx.Err()
-		case <-t.C:
-		}
-	}
-	return fmt.Errorf("after %d attempts: %w", o.MaxRetries, err)
 }
 
 // Destroy builds and applies a plan that deletes everything in the state,

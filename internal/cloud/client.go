@@ -6,11 +6,21 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"strconv"
 	"time"
 )
+
+// retryAfterHeader parses a whole-seconds Retry-After response header.
+func retryAfterHeader(resp *http.Response) time.Duration {
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
 
 // Client talks to a cloud Server over HTTP and satisfies the same Interface
 // as the in-process simulator, so the rest of the system cannot tell whether
@@ -23,10 +33,30 @@ type Client struct {
 var _ Interface = (*Client)(nil)
 
 // NewClient builds a client for the given base URL (e.g.
-// "http://127.0.0.1:8444"). A nil httpClient gets a default with timeouts.
+// "http://127.0.0.1:8444"). A nil httpClient gets a transport tuned for the
+// provider runtime's concurrency: the default transport caps idle
+// connections per host at 2, which under a few dozen concurrent calls to
+// one control-plane endpoint churns through TCP handshakes; and a single
+// whole-request timeout is replaced by per-phase timeouts so a stalled
+// server surfaces as an error in seconds, not minutes.
 func NewClient(baseURL string, httpClient *http.Client) *Client {
 	if httpClient == nil {
-		httpClient = &http.Client{Timeout: 5 * time.Minute}
+		httpClient = &http.Client{
+			Transport: &http.Transport{
+				Proxy: http.ProxyFromEnvironment,
+				DialContext: (&net.Dialer{
+					Timeout:   10 * time.Second,
+					KeepAlive: 30 * time.Second,
+				}).DialContext,
+				MaxIdleConns:          256,
+				MaxIdleConnsPerHost:   128,
+				MaxConnsPerHost:       0, // concurrency is the runtime's job
+				IdleConnTimeout:       90 * time.Second,
+				ResponseHeaderTimeout: 30 * time.Second,
+				ExpectContinueTimeout: time.Second,
+			},
+			Timeout: 5 * time.Minute, // last-resort bound; ctx governs per call
+		}
 	}
 	return &Client{base: baseURL, http: httpClient}
 }
@@ -45,21 +75,33 @@ func (c *Client) do(ctx context.Context, method, path string, body any, out any)
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
+		// A canceled caller is not a transport fault: surface the context
+		// error as-is so the provider runtime never retries it.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return ctxErr
+		}
 		return &APIError{Code: CodeInternal, Op: method, Message: "transport: " + err.Error(), Retryable: true}
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return ctxErr
+		}
 		return &APIError{Code: CodeInternal, Op: method, Message: "read response: " + err.Error(), Retryable: true}
 	}
 	if resp.StatusCode >= 400 {
 		var ae APIError
 		if json.Unmarshal(data, &ae) == nil && ae.Message != "" {
+			if ae.RetryAfter == 0 {
+				ae.RetryAfter = retryAfterHeader(resp)
+			}
 			return &ae
 		}
 		return &APIError{Code: resp.StatusCode, Op: method,
-			Message:   fmt.Sprintf("HTTP %d: %s", resp.StatusCode, string(data)),
-			Retryable: resp.StatusCode == CodeThrottled || resp.StatusCode >= 500}
+			Message:    fmt.Sprintf("HTTP %d: %s", resp.StatusCode, string(data)),
+			Retryable:  resp.StatusCode == CodeThrottled || resp.StatusCode >= 500,
+			RetryAfter: retryAfterHeader(resp)}
 	}
 	if out != nil && len(data) > 0 {
 		if err := json.Unmarshal(data, out); err != nil {

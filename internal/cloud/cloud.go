@@ -99,6 +99,9 @@ type APIError struct {
 	ID        string `json:"id,omitempty"`
 	Message   string `json:"message"`
 	Retryable bool   `json:"retryable"`
+	// RetryAfter is the server's backpressure hint on 429s: do not retry
+	// sooner than this. Zero means no hint.
+	RetryAfter time.Duration `json:"retry_after_ns,omitempty"`
 }
 
 // Error implements the error interface.

@@ -62,7 +62,13 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if status == CodeThrottled {
-		w.Header().Set("Retry-After", "1")
+		// Whole seconds for plain HTTP clients; the JSON body carries the
+		// precise hint for the cloudless client.
+		secs := int(ae.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
 	}
 	w.WriteHeader(status)
 	_, _ = w.Write(marshalJSON(ae))

@@ -84,6 +84,11 @@ type Sim struct {
 	limiters map[string]*rateLimiter // per provider
 	kb       *schema.KnowledgeBase
 
+	// injectThrottle fails the next N admitted calls with a fast 429 (plus
+	// a Retry-After hint), independent of the token buckets — the PV bench
+	// and conformance tests use it to script throttling bursts.
+	injectThrottle int
+
 	// telemetry, when attached, mirrors the traffic counters into a metrics
 	// registry with per-type/op/region labels (E7 attribution). A registry
 	// riding the call context takes precedence per call.
@@ -139,6 +144,14 @@ func (s *Sim) registryFor(ctx context.Context) *telemetry.Registry {
 	return s.telemetry
 }
 
+// InjectThrottles makes the next n admitted calls fail fast with a 429
+// carrying a Retry-After hint, regardless of the token buckets.
+func (s *Sim) InjectThrottles(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.injectThrottle += n
+}
+
 // Metrics returns a snapshot of the traffic counters.
 func (s *Sim) Metrics() Metrics {
 	s.mu.RLock()
@@ -165,9 +178,20 @@ func (s *Sim) admit(ctx context.Context, op, typ string, mutating bool) error {
 	s.mu.Lock()
 	s.metrics.Calls++
 	lim := s.limiters[prov.Name]
+	throttled := s.injectThrottle > 0
+	if throttled {
+		s.injectThrottle--
+		s.metrics.Throttled++
+	}
 	s.mu.Unlock()
 	reg := s.registryFor(ctx)
 	reg.Counter("cloud.api_calls", "op", op, "type", typ).Inc()
+	if throttled {
+		reg.Counter("cloud.throttled", "provider", prov.Name).Inc()
+		return &APIError{Code: CodeThrottled, Op: op, Type: typ, Retryable: true,
+			RetryAfter: 5 * time.Millisecond,
+			Message:    "TooManyRequests: request rate exceeded; retry after backoff"}
+	}
 
 	if !s.opts.DisableRateLimit {
 		waited, err := lim.Wait(ctx)
@@ -202,23 +226,29 @@ func (s *Sim) admit(ctx context.Context, op, typ string, mutating bool) error {
 	return nil
 }
 
-// sleepScaled models operation latency with ±20% deterministic jitter.
-func (s *Sim) sleepScaled(ctx context.Context, d time.Duration) {
+// sleepScaled models operation latency with ±20% deterministic jitter. It
+// reports whether the caller's context expired mid-sleep: read paths abort
+// on that (the caller hung up before the response), while mutating paths
+// ignore it — a real control plane finishes a provisioning operation even
+// if the client disconnects.
+func (s *Sim) sleepScaled(ctx context.Context, d time.Duration) error {
 	if s.opts.TimeScale <= 0 || d <= 0 {
-		return
+		return ctx.Err()
 	}
 	s.mu.Lock()
 	jitter := 0.8 + 0.4*s.rng.Float64()
 	s.mu.Unlock()
 	scaled := time.Duration(float64(d) * s.opts.TimeScale * jitter)
 	if scaled <= 0 {
-		return
+		return ctx.Err()
 	}
 	t := time.NewTimer(scaled)
 	defer t.Stop()
 	select {
 	case <-ctx.Done():
+		return ctx.Err()
 	case <-t.C:
+		return nil
 	}
 }
 
@@ -538,7 +568,9 @@ func (s *Sim) Get(ctx context.Context, typ, id string) (*Resource, error) {
 	if err := s.admit(ctx, "get", typ, false); err != nil {
 		return nil, err
 	}
-	s.sleepScaled(ctx, s.opts.ReadLatency)
+	if err := s.sleepScaled(ctx, s.opts.ReadLatency); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	s.metrics.Reads++
 	r := s.store[typ][id]
@@ -685,7 +717,9 @@ func (s *Sim) List(ctx context.Context, typ, region string) ([]*Resource, error)
 	if err := s.admit(ctx, "list", typ, false); err != nil {
 		return nil, err
 	}
-	s.sleepScaled(ctx, s.opts.ReadLatency)
+	if err := s.sleepScaled(ctx, s.opts.ReadLatency); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	s.metrics.Lists++
 	var out []*Resource

@@ -9,12 +9,16 @@ package drift
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"cloudless/internal/cloud"
 	"cloudless/internal/eval"
+	"cloudless/internal/provider"
 	"cloudless/internal/schema"
 	"cloudless/internal/state"
 )
@@ -108,15 +112,27 @@ func diffAttrs(typ string, recorded, current map[string]eval.Value) []string {
 	return changed
 }
 
+// scanFanOut bounds concurrent List calls during a full scan. The provider
+// runtime's AIMD gate adapts the effective cloud concurrency below this; the
+// bound here only keeps the goroutine count proportionate.
+const scanFanOut = 16
+
 // FullScan detects drift the way industry tools like driftctl do: list every
 // resource of every type in every region through the rate-limited cloud API
 // and compare against state. Thorough but expensive — the E7 experiment
-// measures exactly how expensive.
+// measures exactly how expensive. The List calls fan out through the
+// provider runtime (which coalesces identical Lists across concurrent
+// scanners); reads are marked fresh, because the whole point of a scan is
+// observing out-of-band change no cache TTL can bound. Results are compared
+// in deterministic (type, region) order regardless of arrival order.
 func FullScan(ctx context.Context, cl cloud.Interface, st *state.State) (*Report, error) {
 	start := time.Now()
 	rep := &Report{Method: "full-scan"}
 
-	seen := map[string]bool{} // cloud IDs seen during the scan
+	type scanJob struct {
+		typ, region string
+	}
+	var jobs []scanJob
 	for _, provName := range schema.Providers() {
 		prov, _ := schema.LookupProvider(provName)
 		types := make([]string, 0, len(prov.Resources))
@@ -128,28 +144,85 @@ func FullScan(ctx context.Context, cl cloud.Interface, st *state.State) (*Report
 		sort.Strings(types)
 		for _, typ := range types {
 			for _, region := range prov.Regions {
-				list, err := cl.List(ctx, typ, region)
-				rep.APICalls++
-				if err != nil {
-					return rep, fmt.Errorf("drift scan %s in %s: %w", typ, region, err)
+				jobs = append(jobs, scanJob{typ: typ, region: region})
+			}
+		}
+	}
+
+	scanCtx, cancel := context.WithCancel(provider.WithFresh(ctx))
+	defer cancel()
+	lists := make([][]*cloud.Resource, len(jobs))
+	errs := make([]error, len(jobs))
+	// Workers claim jobs from an ordered cursor rather than racing a
+	// semaphore: every scan walks the (type, region) list in the same order,
+	// so concurrent scanners stay in lockstep and their Lists coalesce in
+	// the provider runtime instead of interleaving disjoint job ranges.
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	workers := scanFanOut
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(jobs) {
+					return
 				}
-				for _, res := range list {
-					seen[res.ID] = true
-					rs := st.ByID(res.ID)
-					if rs == nil {
-						rep.Items = append(rep.Items, Item{
-							Kind: Unmanaged, Type: res.Type, ID: res.ID,
-							CloudAttrs: res.Attrs,
-						})
-						continue
-					}
-					if changed := diffAttrs(res.Type, rs.Attrs, res.Attrs); len(changed) > 0 {
-						rep.Items = append(rep.Items, Item{
-							Kind: Modified, Addr: rs.Addr, Type: res.Type, ID: res.ID,
-							ChangedAttrs: changed, CloudAttrs: res.Attrs,
-						})
-					}
+				if scanCtx.Err() != nil {
+					errs[i] = scanCtx.Err()
+					continue
 				}
+				lists[i], errs[i] = cl.List(scanCtx, jobs[i].typ, jobs[i].region)
+				if errs[i] != nil {
+					cancel() // no point finishing the sweep
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	rep.APICalls = len(jobs)
+	// Report the first real failure, not the context cancellations that
+	// aborting the rest of the sweep produced.
+	var firstErr error
+	for i, job := range jobs {
+		err := errs[i]
+		if err == nil {
+			continue
+		}
+		wrapped := fmt.Errorf("drift scan %s in %s: %w", job.typ, job.region, err)
+		if firstErr == nil {
+			firstErr = wrapped
+		}
+		if ctx.Err() == nil && !errors.Is(err, context.Canceled) {
+			firstErr = wrapped
+			break
+		}
+	}
+	if firstErr != nil {
+		return rep, firstErr
+	}
+	seen := map[string]bool{} // cloud IDs seen during the scan
+	for i := range jobs {
+		for _, res := range lists[i] {
+			seen[res.ID] = true
+			rs := st.ByID(res.ID)
+			if rs == nil {
+				rep.Items = append(rep.Items, Item{
+					Kind: Unmanaged, Type: res.Type, ID: res.ID,
+					CloudAttrs: res.Attrs,
+				})
+				continue
+			}
+			if changed := diffAttrs(res.Type, rs.Attrs, res.Attrs); len(changed) > 0 {
+				rep.Items = append(rep.Items, Item{
+					Kind: Modified, Addr: rs.Addr, Type: res.Type, ID: res.ID,
+					ChangedAttrs: changed, CloudAttrs: res.Attrs,
+				})
 			}
 		}
 	}

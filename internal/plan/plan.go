@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"cloudless/internal/cloud"
@@ -11,10 +12,15 @@ import (
 	"cloudless/internal/eval"
 	"cloudless/internal/graph"
 	"cloudless/internal/hcl"
+	"cloudless/internal/provider"
 	"cloudless/internal/schema"
 	"cloudless/internal/state"
 	"cloudless/internal/telemetry"
 )
+
+// refreshFanOut bounds concurrent refresh Gets; the provider runtime's
+// adaptive window governs actual cloud concurrency underneath.
+const refreshFanOut = 16
 
 // Action is what the applier must do for one instance.
 type Action int
@@ -177,23 +183,47 @@ func Compute(ctx context.Context, ex *config.Expansion, prior *state.State, opts
 	}
 
 	// Refresh. The full planner refreshes every state entry; the
-	// incremental planner only those in scope.
+	// incremental planner only those in scope. The Gets fan out through the
+	// provider runtime as fresh reads (refresh exists to observe
+	// out-of-band change, so cached values would defeat it); results are
+	// folded back in address order so diagnostics stay deterministic.
 	prior = prior.Clone()
 	if opts.Refresh {
 		if opts.Cloud == nil {
 			return p, diags.Append(hcl.Errorf(hcl.Range{}, "refresh requested without a cloud connection"))
 		}
+		var addrs []string
 		for _, addr := range prior.Addrs() {
-			rs := prior.Get(addr)
 			resourceAddr := addr
 			if idx := indexOfBracket(addr); idx >= 0 {
 				resourceAddr = addr[:idx]
 			}
-			if !inScope(resourceAddr) {
-				continue
+			if inScope(resourceAddr) {
+				addrs = append(addrs, addr)
 			}
-			cur, err := opts.Cloud.Get(ctx, rs.Type, rs.ID)
-			p.RefreshReads++
+		}
+		type refreshed struct {
+			cur *cloud.Resource
+			err error
+		}
+		results := make([]refreshed, len(addrs))
+		fctx := provider.WithFresh(ctx)
+		sem := make(chan struct{}, refreshFanOut)
+		var wg sync.WaitGroup
+		for i, addr := range addrs {
+			wg.Add(1)
+			go func(i int, rs *state.ResourceState) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				results[i].cur, results[i].err = opts.Cloud.Get(fctx, rs.Type, rs.ID)
+			}(i, prior.Get(addr))
+		}
+		wg.Wait()
+		p.RefreshReads = len(addrs)
+		for i, addr := range addrs {
+			rs := prior.Get(addr)
+			cur, err := results[i].cur, results[i].err
 			switch {
 			case cloud.IsNotFound(err):
 				prior.Remove(addr) // gone out-of-band; will be recreated

@@ -1,0 +1,100 @@
+package provider
+
+import (
+	"strings"
+	"sync"
+	"time"
+)
+
+// Cache keys: Gets are keyed by (type, id), Lists by (type, region). The
+// list prefix covers every region variant of a type — a write to any
+// resource of a type invalidates all of its list entries, including the
+// all-regions ("") one.
+func getKey(typ, id string) string      { return "get/" + typ + "/" + id }
+func listKey(typ, region string) string { return "list/" + typ + "/" + region }
+func listPrefix(typ string) string      { return "list/" + typ + "/" }
+
+// cacheMaxEntries bounds the cache; on overflow the sweep drops expired
+// entries first and then arbitrary ones (map order) until under the cap.
+// The cache is a TTL cache, not an LRU: precision of eviction matters far
+// less than never exceeding the bound.
+const cacheMaxEntries = 8192
+
+type cacheEntry struct {
+	val     any
+	expires time.Time
+}
+
+// ttlCache is the runtime's read-through cache. A nil-TTL (disabled) cache
+// still accepts calls and just never stores anything.
+type ttlCache struct {
+	mu       sync.Mutex
+	ttl      time.Duration
+	disabled bool
+	m        map[string]cacheEntry
+}
+
+func newTTLCache(ttl time.Duration) *ttlCache {
+	return &ttlCache{ttl: ttl, disabled: ttl < 0, m: map[string]cacheEntry{}}
+}
+
+func (c *ttlCache) get(key string, now time.Time) (any, bool) {
+	if c.disabled {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	if now.After(e.expires) {
+		delete(c.m, key)
+		return nil, false
+	}
+	return e.val, true
+}
+
+func (c *ttlCache) put(key string, val any, now time.Time) {
+	if c.disabled {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.m) >= cacheMaxEntries {
+		c.sweepLocked(now)
+	}
+	c.m[key] = cacheEntry{val: val, expires: now.Add(c.ttl)}
+}
+
+func (c *ttlCache) invalidate(key string) {
+	c.mu.Lock()
+	delete(c.m, key)
+	c.mu.Unlock()
+}
+
+func (c *ttlCache) invalidatePrefix(prefix string) {
+	c.mu.Lock()
+	for k := range c.m {
+		if strings.HasPrefix(k, prefix) {
+			delete(c.m, k)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// sweepLocked evicts expired entries, then arbitrary ones until the cache
+// is at most half full — amortizing the sweep across many puts.
+func (c *ttlCache) sweepLocked(now time.Time) {
+	for k, e := range c.m {
+		if now.After(e.expires) {
+			delete(c.m, k)
+		}
+	}
+	for k := range c.m {
+		if len(c.m) <= cacheMaxEntries/2 {
+			break
+		}
+		delete(c.m, k)
+	}
+}

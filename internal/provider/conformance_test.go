@@ -1,0 +1,186 @@
+package provider
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"cloudless/internal/cloud"
+	"cloudless/internal/eval"
+)
+
+// The conformance suite runs the same scenarios against the in-process
+// simulator and the HTTP client (fronting the same simulator over a real
+// network path) — both behind a Runtime — and asserts identical observable
+// behaviour: a mid-request cancellation surfaces as the caller's context
+// error on both paths, never a retryable transport error; injected 429
+// bursts are absorbed by the runtime's retry on both paths.
+
+type endpoint struct {
+	name string
+	make func(t *testing.T, opts cloud.Options, ropts Options) (*Runtime, *cloud.Sim)
+}
+
+func endpoints() []endpoint {
+	return []endpoint{
+		{name: "sim", make: func(t *testing.T, opts cloud.Options, ropts Options) (*Runtime, *cloud.Sim) {
+			sim := cloud.NewSim(opts)
+			return New(sim, ropts), sim
+		}},
+		{name: "http", make: func(t *testing.T, opts cloud.Options, ropts Options) (*Runtime, *cloud.Sim) {
+			sim := cloud.NewSim(opts)
+			srv := httptest.NewServer(cloud.NewServer(sim, slog.New(slog.NewTextHandler(io.Discard, nil))))
+			t.Cleanup(srv.Close)
+			return New(cloud.NewClient(srv.URL, nil), ropts), sim
+		}},
+	}
+}
+
+func seedVPC(t *testing.T, sim *cloud.Sim) *cloud.Resource {
+	t.Helper()
+	vpc, err := sim.Create(context.Background(), cloud.CreateRequest{
+		Type: "aws_vpc", Region: "us-east-1",
+		Attrs:     map[string]eval.Value{"name": eval.String("conf"), "cidr_block": eval.String("10.0.0.0/16")},
+		Principal: "seed",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vpc
+}
+
+func TestConformanceMidRequestCancellation(t *testing.T) {
+	for _, ep := range endpoints() {
+		t.Run(ep.name, func(t *testing.T) {
+			opts := cloud.DefaultOptions()
+			opts.DisableRateLimit = true
+			// ~200ms wall reads (20s modeled × 0.01 scale) while creates
+			// stay fast enough for test setup.
+			opts.TimeScale = 0.01
+			opts.ReadLatency = 20 * time.Second
+			rt, sim := ep.make(t, opts, Options{})
+			vpc := seedVPC(t, sim)
+
+			ctx, cancel := context.WithCancel(context.Background())
+			go func() {
+				time.Sleep(20 * time.Millisecond)
+				cancel()
+			}()
+			start := time.Now()
+			_, err := rt.Get(ctx, "aws_vpc", vpc.ID)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("%s: mid-request cancel => %v, want context.Canceled", ep.name, err)
+			}
+			// The call must abort near the cancel, not ride out the full
+			// read latency (and must not burn retries on a dead context).
+			if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+				t.Errorf("%s: canceled get took %v, want prompt abort", ep.name, elapsed)
+			}
+			if calls := sim.Metrics().Calls; calls > 2 {
+				t.Errorf("%s: %d upstream calls after cancel, want no retry storm", ep.name, calls)
+			}
+
+			// List behaves the same.
+			lctx, lcancel := context.WithCancel(context.Background())
+			go func() {
+				time.Sleep(20 * time.Millisecond)
+				lcancel()
+			}()
+			if _, err := rt.List(lctx, "aws_vpc", "us-east-1"); !errors.Is(err, context.Canceled) {
+				t.Fatalf("%s: canceled list => %v, want context.Canceled", ep.name, err)
+			}
+		})
+	}
+}
+
+func TestConformanceCancelDoesNotPoisonFollowers(t *testing.T) {
+	for _, ep := range endpoints() {
+		t.Run(ep.name, func(t *testing.T) {
+			opts := cloud.DefaultOptions()
+			opts.DisableRateLimit = true
+			opts.TimeScale = 0.01
+			opts.ReadLatency = 15 * time.Second
+			rt, sim := ep.make(t, opts, Options{})
+			vpc := seedVPC(t, sim)
+
+			// One canceling reader and one patient reader coalesce onto the
+			// same flight; the patient one must still get the resource.
+			fctx := WithFresh(context.Background())
+			cctx, cancel := context.WithCancel(fctx)
+			var wg sync.WaitGroup
+			var cancelErr, followErr error
+			var followRes *cloud.Resource
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				_, cancelErr = rt.Get(cctx, "aws_vpc", vpc.ID)
+			}()
+			go func() {
+				defer wg.Done()
+				time.Sleep(10 * time.Millisecond) // join the in-flight read
+				followRes, followErr = rt.Get(fctx, "aws_vpc", vpc.ID)
+			}()
+			time.Sleep(40 * time.Millisecond)
+			cancel()
+			wg.Wait()
+			if !errors.Is(cancelErr, context.Canceled) {
+				t.Errorf("%s: canceling reader => %v, want Canceled", ep.name, cancelErr)
+			}
+			if followErr != nil || followRes == nil || followRes.ID != vpc.ID {
+				t.Errorf("%s: patient reader => %v, %v; want the resource", ep.name, followRes, followErr)
+			}
+		})
+	}
+}
+
+func TestConformance429Burst(t *testing.T) {
+	for _, ep := range endpoints() {
+		t.Run(ep.name, func(t *testing.T) {
+			opts := cloud.DefaultOptions()
+			opts.DisableRateLimit = true
+			ropts := Options{RetryBase: time.Millisecond, MaxRetries: 8}
+			rt, sim := ep.make(t, opts, ropts)
+			vpc := seedVPC(t, sim)
+
+			const burst = 6
+			sim.InjectThrottles(burst)
+			fctx := WithFresh(context.Background())
+			var wg sync.WaitGroup
+			errs := make([]error, 8)
+			for i := range errs {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					// Distinct keys so the burst is absorbed by retries,
+					// not hidden by coalescing.
+					if i%2 == 0 {
+						_, errs[i] = rt.Get(fctx, "aws_vpc", vpc.ID+string(rune('a'+i)))
+					} else {
+						_, errs[i] = rt.List(fctx, "aws_vpc", "us-east-1")
+					}
+				}(i)
+			}
+			wg.Wait()
+			for i, err := range errs {
+				if err != nil && !cloud.IsNotFound(err) {
+					t.Errorf("%s: caller %d => %v, want burst absorbed by retry", ep.name, i, err)
+				}
+			}
+			if got := sim.Metrics().Throttled; got != burst {
+				t.Errorf("%s: sim throttled %d calls, want %d", ep.name, got, burst)
+			}
+			st := rt.Stats()
+			if st.Retries < burst {
+				t.Errorf("%s: runtime retries = %d, want >= %d (every 429 retried)", ep.name, st.Retries, burst)
+			}
+			if st.Throttles != int64(burst) {
+				t.Errorf("%s: runtime observed %d throttles, want %d", ep.name, st.Throttles, burst)
+			}
+		})
+	}
+}

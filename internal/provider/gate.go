@@ -1,0 +1,143 @@
+package provider
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// gate is an AIMD concurrency limiter for one provider, in the spirit of
+// TCP congestion control applied to control-plane calls: the window grows
+// by 1/W per success (one full slot per round trip across the window) and
+// halves on congestion — a 429 or a latency spike — with a cooldown so a
+// burst of concurrent failures counts as one congestion event rather than
+// collapsing the window multiplicatively per call.
+//
+// The window starts at the ceiling: cloud control planes advertise their
+// limits via 429s, so the cheap strategy is to start optimistic and let
+// multiplicative decrease find the real capacity.
+type gate struct {
+	mu       sync.Mutex
+	window   float64 // current congestion window (slots)
+	maxW     float64
+	fixed    bool // DisableAdaptive: window pinned at maxW
+	inflight int
+	queued   int
+	wake     chan struct{} // closed-and-remade broadcast on release/grow
+
+	ewma         time.Duration // smoothed call latency
+	lastDecrease time.Time
+}
+
+const (
+	gateMinWindow    = 1.0
+	gateCooldown     = 100 * time.Millisecond
+	latencySpikeMult = 4 // latency > mult×EWMA counts as congestion
+	latencySpikeMin  = 50 * time.Millisecond
+)
+
+func newGate(maxInFlight float64, fixed bool) *gate {
+	return &gate{window: maxInFlight, maxW: maxInFlight, fixed: fixed, wake: make(chan struct{})}
+}
+
+// Acquire blocks until an in-flight slot is available under the current
+// window, or ctx is done.
+func (g *gate) Acquire(ctx context.Context) error {
+	g.mu.Lock()
+	for float64(g.inflight) >= g.window {
+		g.queued++
+		ch := g.wake
+		g.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			g.mu.Lock()
+			g.queued--
+			g.mu.Unlock()
+			return ctx.Err()
+		case <-ch:
+		}
+		g.mu.Lock()
+		g.queued--
+	}
+	g.inflight++
+	g.mu.Unlock()
+	return nil
+}
+
+// Release frees the slot taken by Acquire.
+func (g *gate) Release() {
+	g.mu.Lock()
+	g.inflight--
+	g.broadcastLocked()
+	g.mu.Unlock()
+}
+
+// OnSuccess applies additive increase and latency-spike detection.
+func (g *gate) OnSuccess(latency time.Duration, now time.Time) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	spike := g.ewma > 0 && latency > latencySpikeMin && latency > latencySpikeMult*g.ewma
+	// EWMA with α=0.3: responsive enough to track mode shifts, smooth
+	// enough that one slow call is a spike, not the new normal.
+	if g.ewma == 0 {
+		g.ewma = latency
+	} else {
+		g.ewma = time.Duration(0.7*float64(g.ewma) + 0.3*float64(latency))
+	}
+	if g.fixed {
+		return
+	}
+	if spike {
+		g.decreaseLocked(now)
+		return
+	}
+	if g.window < g.maxW {
+		g.window += 1 / g.window
+		if g.window > g.maxW {
+			g.window = g.maxW
+		}
+		g.broadcastLocked()
+	}
+}
+
+// OnCongestion applies multiplicative decrease (halving, floored) for an
+// explicit throttle signal.
+func (g *gate) OnCongestion(now time.Time) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.fixed {
+		return
+	}
+	g.decreaseLocked(now)
+}
+
+func (g *gate) decreaseLocked(now time.Time) {
+	if now.Sub(g.lastDecrease) < gateCooldown {
+		return
+	}
+	g.lastDecrease = now
+	g.window /= 2
+	if g.window < gateMinWindow {
+		g.window = gateMinWindow
+	}
+}
+
+// broadcastLocked wakes every goroutine blocked in Acquire.
+func (g *gate) broadcastLocked() {
+	close(g.wake)
+	g.wake = make(chan struct{})
+}
+
+// Window returns the current congestion window.
+func (g *gate) Window() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.window
+}
+
+// Queued returns how many callers are waiting for a slot.
+func (g *gate) Queued() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.queued
+}
