@@ -21,6 +21,7 @@ package cloudless
 import (
 	"context"
 	"fmt"
+	"os"
 	"sort"
 	"time"
 
@@ -57,6 +58,8 @@ type (
 	Decision = policy.Decision
 	// RollbackPlan is a computed rollback.
 	RollbackPlan = rollback.Plan
+	// RecoverReport summarizes a crashed run's journal recovery.
+	RecoverReport = apply.RecoverReport
 	// State is recorded infrastructure state.
 	State = state.State
 	// StaleBaseError is the typed conflict returned when an apply's plan
@@ -107,6 +110,13 @@ type Options struct {
 	// it; ignored otherwise). Existing durable contents win over
 	// InitialState on reopen.
 	StateDir string
+	// JournalPath, when set, makes mutating operations crash-safe: every
+	// apply, destroy, and rollback runs under a durable write-ahead journal
+	// at this path (intents and per-op begin/done records, fsynced before
+	// each cloud call). The journal is discarded after a fully successful
+	// commit; if it survives — the process crashed or an op failed — the
+	// next Plan or Apply recovers it first (see Stack.Recover).
+	JournalPath string
 	// Policies is CCL policy source enforced across the lifecycle.
 	Policies string
 	// Principal identifies this stack's changes in cloud activity logs.
@@ -142,12 +152,13 @@ type Stack struct {
 	vars      map[string]eval.Value
 	resolver  config.ModuleResolver
 
-	cloudAPI  cloud.Interface
-	db        *statedb.DB
-	engine    *policy.Engine
-	watcher   *drift.Watcher
-	principal string
-	telemetry *telemetry.Recorder
+	cloudAPI    cloud.Interface
+	db          *statedb.DB
+	engine      *policy.Engine
+	watcher     *drift.Watcher
+	principal   string
+	telemetry   *telemetry.Recorder
+	journalPath string
 }
 
 // Open loads, expands, and binds a configuration.
@@ -214,13 +225,14 @@ func Open(opts Options) (*Stack, error) {
 	runtime := provider.New(opts.Cloud, popts)
 
 	s := &Stack{
-		module:    module,
-		vars:      vars,
-		resolver:  opts.Modules,
-		cloudAPI:  runtime,
-		db:        statedb.OpenEngine(engine, mode),
-		principal: principal,
-		telemetry: opts.Telemetry,
+		module:      module,
+		vars:        vars,
+		resolver:    opts.Modules,
+		cloudAPI:    runtime,
+		db:          statedb.OpenEngine(engine, mode),
+		principal:   principal,
+		telemetry:   opts.Telemetry,
+		journalPath: opts.JournalPath,
 	}
 	if sim, ok := provider.Unwrap(opts.Cloud).(*cloud.Sim); ok && opts.Telemetry != nil {
 		// Route simulator counters (API calls, throttles, injected failures)
@@ -323,9 +335,104 @@ func (s *Stack) Validate() *ValidationResult {
 	return res
 }
 
+// HasStaleJournal reports whether a crashed run's journal is waiting at
+// Options.JournalPath.
+func (s *Stack) HasStaleJournal() bool {
+	if s.journalPath == "" {
+		return false
+	}
+	js, err := apply.ReadJournal(s.journalPath)
+	return err == nil && js != nil
+}
+
+// Recover reconciles a crashed run's journal (apply, destroy, or rollback)
+// against the cloud and commits the reconciled state: completed ops are
+// folded in from their done records, in-doubt ops are re-driven under their
+// original idempotency keys, and orphaned resources are adopted or deleted
+// via the activity log. Returns (nil, nil) when there is nothing to recover.
+// The journal is removed only after a fully clean recovery, so a crash
+// during recovery itself is handled by calling Recover again.
+func (s *Stack) Recover(ctx context.Context) (*RecoverReport, error) {
+	if s.journalPath == "" {
+		return nil, nil
+	}
+	js, err := apply.ReadJournal(s.journalPath)
+	if err != nil || js == nil {
+		return nil, err
+	}
+	ctx, span := s.lifecycle(ctx, "lifecycle.recover")
+	defer span.End()
+	span.SetAttr("journal_id", js.Meta.ID)
+	span.SetAttr("journal_kind", js.Meta.Kind)
+
+	base := s.db.Snapshot()
+	st, rep, err := apply.Recover(ctx, s.cloudAPI, js, base, apply.Options{Principal: s.principal})
+	if err != nil {
+		return rep, err
+	}
+	span.SetAttr("confirmed", rep.Confirmed)
+	span.SetAttr("resumed", rep.Resumed)
+	span.SetAttr("orphans_adopted", len(rep.OrphansAdopted))
+	span.SetAttr("orphans_deleted", len(rep.OrphansDeleted))
+
+	// Commit everything the reconciled state and the base disagree on.
+	seen := map[string]bool{}
+	var addrs []string
+	for _, a := range base.Addrs() {
+		seen[a] = true
+		addrs = append(addrs, a)
+	}
+	for _, a := range st.Addrs() {
+		if !seen[a] {
+			addrs = append(addrs, a)
+		}
+	}
+	sort.Strings(addrs)
+	txn := s.db.Begin("recover")
+	if err := txn.Lock(ctx, addrs...); err != nil {
+		return rep, fmt.Errorf("cloudless: recover: acquire locks: %w", err)
+	}
+	defer txn.Abort()
+	for _, addr := range addrs {
+		if rs := st.Get(addr); rs != nil {
+			if err := txn.Put(rs); err != nil {
+				return rep, err
+			}
+		} else if err := txn.Delete(addr); err != nil {
+			return rep, err
+		}
+	}
+	if _, err := txn.Commit(); err != nil {
+		return rep, err
+	}
+	if err := rep.Err(); err != nil {
+		// Some in-doubt op could not be resolved (e.g. the cloud was
+		// unreachable); keep the journal so a later Recover retries it.
+		return rep, err
+	}
+	if err := os.Remove(s.journalPath); err != nil && !os.IsNotExist(err) {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// recoverStale runs Recover when a crashed run's journal is present; it is
+// invoked automatically at the head of Plan and Apply so no run ever builds
+// on a state the cloud has silently moved past.
+func (s *Stack) recoverStale(ctx context.Context) (*RecoverReport, error) {
+	if !s.HasStaleJournal() {
+		return nil, nil
+	}
+	return s.Recover(ctx)
+}
+
 // Plan computes a full plan against the golden state, refreshing every
-// recorded resource from the cloud first.
+// recorded resource from the cloud first. A stale journal from a crashed
+// run is recovered (and committed) before planning.
 func (s *Stack) Plan(ctx context.Context) (*Plan, error) {
+	if _, err := s.recoverStale(ctx); err != nil {
+		return nil, err
+	}
 	ctx, span := s.lifecycle(ctx, "lifecycle.plan")
 	defer span.End()
 	p, diags := plan.Compute(ctx, s.expansion, s.db.Snapshot(), plan.Options{
@@ -341,6 +448,9 @@ func (s *Stack) Plan(ctx context.Context) (*Plan, error) {
 // of the given resource-level addresses (§3.3), skipping refresh and
 // evaluation outside the scope.
 func (s *Stack) PlanIncremental(ctx context.Context, changed ...string) (*Plan, error) {
+	if _, err := s.recoverStale(ctx); err != nil {
+		return nil, err
+	}
 	ctx, span := s.lifecycle(ctx, "lifecycle.plan_incremental")
 	span.SetAttr("changed", len(changed))
 	defer span.End()
@@ -398,11 +508,28 @@ type ErrPolicyDenied struct{ Message string }
 // Error implements error.
 func (e *ErrPolicyDenied) Error() string { return "cloudless: policy denied: " + e.Message }
 
+// ErrJournalRecovered is returned by Apply when a crashed run's journal was
+// found and recovered before the apply could start. The recovery moved the
+// golden state, so the plan in hand predates it — re-plan and apply again.
+type ErrJournalRecovered struct{ Report *RecoverReport }
+
+// Error implements error.
+func (e *ErrJournalRecovered) Error() string {
+	return "cloudless: recovered a crashed run's journal; the plan is stale — re-plan and retry"
+}
+
 // Apply executes a plan transactionally: plan-phase policies run first,
 // per-resource (or global) locks are held for every pending address across
 // the physical apply, and the golden state and time machine are updated
 // atomically on completion. Failed operations yield IaC-level diagnoses.
 func (s *Stack) Apply(ctx context.Context, p *Plan, opts ApplyOptions) (*ApplyResult, []*Diagnosis, error) {
+	if s.HasStaleJournal() {
+		rep, err := s.Recover(ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, nil, &ErrJournalRecovered{Report: rep}
+	}
 	ctx, span := s.lifecycle(ctx, "lifecycle.apply")
 	span.SetAttr("pending", p.Creates+p.Updates+p.Replaces+p.Deletes)
 	span.SetAttr("base_serial", p.BaseSerial)
@@ -437,12 +564,35 @@ func (s *Stack) Apply(ctx context.Context, p *Plan, opts ApplyOptions) (*ApplyRe
 	}
 	defer txn.Abort()
 
+	var j *apply.Journal
+	if s.journalPath != "" {
+		nj, err := apply.NewJournal(s.journalPath, apply.Meta{
+			Kind: "apply", BaseSerial: p.BaseSerial, Principal: s.principal,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		j = nj
+	}
 	res := apply.Apply(ctx, s.cloudAPI, p, apply.Options{
 		Concurrency:     opts.Concurrency,
 		Scheduler:       opts.Scheduler,
 		Principal:       s.principal,
 		ContinueOnError: true,
+		Journal:         j,
 	})
+	keepJournal := true
+	if j != nil {
+		// The journal is discarded only after a zero-error apply whose state
+		// committed; anything less leaves it for Recover to reconcile.
+		defer func() {
+			if keepJournal {
+				_ = j.Close()
+			} else {
+				_ = j.Discard()
+			}
+		}()
+	}
 
 	// Publish results for the locked addresses.
 	for _, addr := range addrs {
@@ -457,6 +607,9 @@ func (s *Stack) Apply(ctx context.Context, p *Plan, opts ApplyOptions) (*ApplyRe
 	txn.SetOutputs(res.State.Outputs)
 	if _, err := txn.Commit(); err != nil {
 		return res, nil, err
+	}
+	if res.Err() == nil {
+		keepJournal = false
 	}
 	span.SetAttr("applied", res.Applied)
 	span.SetAttr("failed", len(res.Errors))
@@ -485,6 +638,11 @@ func (s *Stack) Apply(ctx context.Context, p *Plan, opts ApplyOptions) (*ApplyRe
 // Destroy deletes everything in the golden state, in reverse dependency
 // order, and commits the emptied state.
 func (s *Stack) Destroy(ctx context.Context) (*ApplyResult, error) {
+	if s.HasStaleJournal() {
+		if _, err := s.Recover(ctx); err != nil {
+			return nil, err
+		}
+	}
 	ctx, span := s.lifecycle(ctx, "lifecycle.destroy")
 	defer span.End()
 	snapshot := s.db.Snapshot()
@@ -493,9 +651,29 @@ func (s *Stack) Destroy(ctx context.Context) (*ApplyResult, error) {
 		return nil, err
 	}
 	defer txn.Abort()
+	var j *apply.Journal
+	if s.journalPath != "" {
+		nj, err := apply.NewJournal(s.journalPath, apply.Meta{
+			Kind: "destroy", BaseSerial: snapshot.Serial, Principal: s.principal,
+		})
+		if err != nil {
+			return nil, err
+		}
+		j = nj
+	}
 	res := apply.Destroy(ctx, s.cloudAPI, snapshot, apply.Options{
-		Principal: s.principal, ContinueOnError: true,
+		Principal: s.principal, ContinueOnError: true, Journal: j,
 	})
+	keepJournal := true
+	if j != nil {
+		defer func() {
+			if keepJournal {
+				_ = j.Close()
+			} else {
+				_ = j.Discard()
+			}
+		}()
+	}
 	for _, addr := range snapshot.Addrs() {
 		if res.State.Get(addr) == nil {
 			if err := txn.Delete(addr); err != nil {
@@ -505,6 +683,9 @@ func (s *Stack) Destroy(ctx context.Context) (*ApplyResult, error) {
 	}
 	if _, err := txn.Commit(); err != nil {
 		return res, err
+	}
+	if res.Err() == nil {
+		keepJournal = false
 	}
 	return res, res.Err()
 }
@@ -641,7 +822,28 @@ func (s *Stack) ExecuteRollback(ctx context.Context, p *RollbackPlan, target *St
 		return err
 	}
 	defer txn.Abort()
-	after, err := rollback.Execute(ctx, s.cloudAPI, current, target, p, s.principal)
+	var j *apply.Journal
+	if s.journalPath != "" {
+		nj, jerr := apply.NewJournal(s.journalPath, apply.Meta{
+			Kind: "rollback", BaseSerial: current.Serial, Principal: s.principal,
+		})
+		if jerr != nil {
+			return jerr
+		}
+		j = nj
+	}
+	after, err := rollback.ExecuteJournaled(ctx, s.cloudAPI, current, target, p,
+		rollback.ExecOptions{Principal: s.principal, Journal: j})
+	keepJournal := true
+	if j != nil {
+		defer func() {
+			if keepJournal {
+				_ = j.Close() // left for Recover
+			} else {
+				_ = j.Discard()
+			}
+		}()
+	}
 	if err != nil {
 		return err
 	}
@@ -654,8 +856,11 @@ func (s *Stack) ExecuteRollback(ctx context.Context, p *RollbackPlan, target *St
 			return derr
 		}
 	}
-	_, err = txn.Commit()
-	return err
+	if _, err = txn.Commit(); err != nil {
+		return err
+	}
+	keepJournal = false
+	return nil
 }
 
 // Outputs returns the last-applied root outputs as plain Go values.

@@ -35,10 +35,11 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (E1..E10, ET, SD, PV)")
+	only := flag.String("only", "", "run a single experiment (E1..E10, ET, SD, PV, CR)")
 	flag.StringVar(&jsonOut, "json", "", "write machine-readable results (currently: ET) to this file")
 	flag.StringVar(&jsonOutSD, "json-sd", "", "write machine-readable SD results to this file")
 	flag.StringVar(&jsonOutPV, "json-pv", "", "write machine-readable PV results to this file")
+	flag.StringVar(&jsonOutCR, "json-cr", "", "write machine-readable CR results to this file")
 	flag.Parse()
 
 	experiments := []struct {
@@ -59,6 +60,7 @@ func main() {
 		{"ET", "telemetry instrumentation overhead: traced vs untraced apply and plan", et},
 		{"SD", "state storage engines: churn throughput and plan-during-apply (§3.4)", sd},
 		{"PV", "provider runtime: coalesced drift scans and AIMD apply under 429s", pv},
+		{"CR", "crash recovery: randomized kill/restart/recover convergence (§3.5, §3.6)", cr},
 	}
 	for _, e := range experiments {
 		if *only != "" && !strings.EqualFold(*only, e.id) {

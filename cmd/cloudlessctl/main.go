@@ -15,15 +15,19 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	cloudless "cloudless"
+	"cloudless/internal/apply"
 	"cloudless/internal/cloud"
 	"cloudless/internal/drift"
 	"cloudless/internal/plan"
@@ -60,6 +64,8 @@ func main() {
 		err = cmdHistory(args)
 	case "rollback":
 		err = cmdRollback(args)
+	case "recover":
+		err = cmdRecover(args)
 	case "metrics":
 		err = cmdMetrics(args)
 	case "help", "-h", "--help":
@@ -89,6 +95,7 @@ Commands:
   synth      generate a CCL program from a template
   history    list state snapshots in the time machine (-history dir)
   rollback   roll back to a snapshot with minimal redeployment (-to serial)
+  recover    reconcile a crashed run's journal (<state>.journal) with the cloud
   metrics    summarize a trace file written with -trace-out
 
 Lifecycle commands accept -trace-out <file> to record a Chrome/Perfetto
@@ -157,6 +164,36 @@ func (c *commonFlags) ctx() context.Context {
 		return context.Background()
 	}
 	return c.baseCtx
+}
+
+// withSignals installs graceful-shutdown handling for a mutating command:
+// the first SIGINT/SIGTERM cancels the context — in-flight cloud operations
+// drain, their journal records land, and the partial result commits so the
+// journal and state agree — and a second signal kills the process hard (the
+// journal is fsynced before every cloud call, so even a hard kill is
+// recoverable with `cloudlessctl recover`). The returned stop func releases
+// the handler.
+func withSignals(ctx context.Context) (context.Context, func()) {
+	ctx, cancel := context.WithCancel(ctx)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		if _, ok := <-ch; !ok {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "cloudlessctl: interrupt — draining in-flight operations (interrupt again to kill)")
+		cancel()
+		if _, ok := <-ch; !ok {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "cloudlessctl: killed; run `cloudlessctl recover` to reconcile")
+		os.Exit(130)
+	}()
+	return ctx, func() {
+		signal.Stop(ch)
+		close(ch)
+		cancel()
+	}
 }
 
 // writeTrace ends the root span and exports the trace file. Deferred by
@@ -235,6 +272,7 @@ func (c *commonFlags) open() (*cloudless.Stack, error) {
 		Telemetry:           c.recorder,
 		StateBackend:        *c.stateBackend,
 		StateDir:            stateDir,
+		JournalPath:         *c.statePath + ".journal",
 		ProviderCacheTTL:    *c.providerTTL,
 		ProviderMaxRetries:  *c.providerRetries,
 		ProviderMaxInFlight: *c.providerInFlight,
@@ -319,13 +357,28 @@ func cmdPlanApply(args []string, doApply bool) error {
 	if *fifo {
 		sched = cloudless.SchedulerFIFO
 	}
-	res, diagnoses, err := stack.Apply(ctx, p, cloudless.ApplyOptions{
+	applyCtx, stop := withSignals(ctx)
+	res, diagnoses, err := stack.Apply(applyCtx, p, cloudless.ApplyOptions{
 		Concurrency: *concurrency, Scheduler: sched,
 	})
+	stop()
 	for _, d := range diagnoses {
 		fmt.Print(d.String())
 	}
 	if err != nil {
+		// Partial results are already committed to the golden state; persist
+		// them so the state file and the kept journal tell the same story.
+		if res != nil {
+			if serr := c.saveState(stack); serr != nil {
+				return errors.Join(err, serr)
+			}
+		}
+		var rec *cloudless.ErrJournalRecovered
+		if errors.As(err, &rec) {
+			fmt.Printf("recovered crashed run: %d confirmed, %d resumed, %d orphan(s) adopted, %d deleted\n",
+				rec.Report.Confirmed, rec.Report.Resumed,
+				len(rec.Report.OrphansAdopted), len(rec.Report.OrphansDeleted))
+		}
 		return err
 	}
 	fmt.Printf("applied %d change(s) in %s (%d retries)\n", res.Applied, res.Elapsed.Round(1e6), res.Retries)
@@ -381,8 +434,15 @@ func cmdDestroy(args []string) error {
 		return err
 	}
 	defer stack.Close()
-	res, err := stack.Destroy(c.ctx())
+	ctx, stop := withSignals(c.ctx())
+	res, err := stack.Destroy(ctx)
+	stop()
 	if err != nil {
+		if res != nil {
+			if serr := c.saveState(stack); serr != nil {
+				return errors.Join(err, serr)
+			}
+		}
 		return err
 	}
 	fmt.Printf("destroyed %d resource(s)\n", res.Applied)
@@ -448,15 +508,75 @@ func cmdRollback(args []string) error {
 	if *dryRun || len(p.Steps) == 0 {
 		return nil
 	}
-	after, err := rollback.Execute(c.ctx(), c.runtime(), current, snap.State, p, "cloudless")
+	journalPath := *c.statePath + ".journal"
+	if js, err := apply.ReadJournal(journalPath); err != nil {
+		return err
+	} else if js != nil {
+		return fmt.Errorf("a crashed run's journal exists at %s; run `cloudlessctl recover` first", journalPath)
+	}
+	j, err := apply.NewJournal(journalPath, apply.Meta{Kind: "rollback", Principal: "cloudless"})
 	if err != nil {
 		return err
 	}
+	ctx, stop := withSignals(c.ctx())
+	after, err := rollback.ExecuteJournaled(ctx, c.runtime(), current, snap.State, p,
+		rollback.ExecOptions{Principal: "cloudless", Journal: j})
+	stop()
+	if err != nil {
+		_ = j.Close() // keep for `cloudlessctl recover`
+		if after != nil {
+			if serr := after.SaveFile(*c.statePath); serr != nil {
+				return errors.Join(err, serr)
+			}
+		}
+		return err
+	}
+	_ = j.Discard()
 	if err := after.SaveFile(*c.statePath); err != nil {
 		return err
 	}
 	fmt.Printf("rolled back: %d in-place revert(s), %d redeployment(s)\n", p.Reverts, p.Redeployments)
 	return nil
+}
+
+// cmdRecover reconciles a crashed run's journal with the cloud without
+// needing the configuration: completed ops are folded in from their done
+// records, in-doubt ops re-driven under their original idempotency keys,
+// and orphans adopted or deleted via the activity log.
+func cmdRecover(args []string) error {
+	c := newCommon("recover")
+	_ = c.fs.Parse(args)
+	c.initTelemetry("recover")
+	defer c.writeTrace()
+	journalPath := *c.statePath + ".journal"
+	js, err := apply.ReadJournal(journalPath)
+	if err != nil {
+		return err
+	}
+	if js == nil {
+		fmt.Printf("no journal at %s; nothing to recover\n", journalPath)
+		return nil
+	}
+	st, err := state.LoadFile(*c.statePath)
+	if err != nil {
+		return err
+	}
+	ctx, stop := withSignals(c.ctx())
+	reconciled, rep, err := apply.Recover(ctx, c.runtime(), js, st, apply.Options{Principal: js.Meta.Principal})
+	stop()
+	if err != nil {
+		return err
+	}
+	if err := reconciled.SaveFile(*c.statePath); err != nil {
+		return err
+	}
+	fmt.Printf("recovered %s journal %s: %d confirmed, %d resumed, %d orphan(s) adopted, %d orphan(s) deleted (%s)\n",
+		js.Meta.Kind, js.Meta.ID, rep.Confirmed, rep.Resumed,
+		len(rep.OrphansAdopted), len(rep.OrphansDeleted), rep.Elapsed.Round(time.Millisecond))
+	if err := rep.Err(); err != nil {
+		return fmt.Errorf("recovery incomplete (journal kept for retry): %w", err)
+	}
+	return os.Remove(journalPath)
 }
 
 func cmdDrift(args []string) error {

@@ -9,7 +9,9 @@ package apply
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -61,6 +63,17 @@ type Options struct {
 	Principal string
 	// ContinueOnError keeps independent branches running after a failure.
 	ContinueOnError bool
+	// Journal, when set, makes the apply crash-safe: intents are durably
+	// recorded before the first op, a begin record is fsynced before every
+	// cloud call, and creates carry idempotency keys derived from the
+	// journal's run ID so a crashed run's retry never duplicates.
+	Journal *Journal
+
+	// idemPrefix seeds per-op idempotency keys; set by Apply from the
+	// journal's run ID, or generated fresh so even journal-less applies get
+	// replay-safe creates (a transport error mid-create retried by the
+	// provider runtime is the same in-doubt problem at smaller scale).
+	idemPrefix string
 }
 
 func (o *Options) withDefaults() Options {
@@ -96,6 +109,9 @@ type Result struct {
 // Err folds failures into one error.
 func (r *Result) Err() error {
 	if r.Report == nil {
+		for _, err := range r.Errors {
+			return err
+		}
 		return nil
 	}
 	return r.Report.Err()
@@ -119,6 +135,19 @@ func Apply(ctx context.Context, cl cloud.Interface, p *plan.Plan, opts Options) 
 	var retries int64
 
 	res := &Result{State: newState, Errors: map[string]error{}, Outputs: map[string]eval.Value{}}
+
+	// Idempotency keys: the journal's run ID when journaling (stable across
+	// crash and recovery), a fresh run ID otherwise.
+	if o.Journal != nil {
+		o.idemPrefix = o.Journal.Meta().ID
+		if err := o.Journal.LogIntents(planIntents(p)); err != nil {
+			res.Errors["journal"] = err
+			res.Elapsed = time.Since(start)
+			return res
+		}
+	} else if o.idemPrefix == "" {
+		o.idemPrefix = fmt.Sprintf("run-%d", time.Now().UnixNano())
+	}
 
 	var priority func(string) float64
 	if o.Scheduler == CriticalPathScheduler {
@@ -251,20 +280,71 @@ func markCriticalPath(g *graph.Graph, spanByAddr map[string]*telemetry.Span) {
 	}
 }
 
+// planIntents flattens the plan's non-noop changes into journal intents,
+// sorted by address for deterministic journals.
+func planIntents(p *plan.Plan) []Intent {
+	var out []Intent
+	for addr, ch := range p.Changes {
+		if ch.Action == plan.ActionNoop {
+			continue
+		}
+		in := Intent{Addr: addr, Action: ch.Action.String(), Type: ch.Type,
+			Region: ch.Region, ID: ch.ID, Deps: ch.Deps}
+		attrs := ch.After
+		if ch.Action == plan.ActionDelete {
+			attrs = ch.Before
+		}
+		if v, ok := attrs["name"]; ok && v.IsKnown() && v.Kind() == eval.KindString {
+			in.Name = v.AsString()
+		}
+		out = append(out, in)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// DefinitiveFailure reports whether an op error proves the cloud rejected
+// the request without mutating anything — only those may be journaled as
+// "fail". Everything else (transport faults, cancellation, simulated
+// crashes) leaves the op in doubt, and recovery must re-check it.
+func DefinitiveFailure(err error) bool {
+	var ae *cloud.APIError
+	if !errors.As(err, &ae) {
+		return false
+	}
+	return ae.Code >= 400 && ae.Code < 500 && ae.Code != cloud.CodeThrottled && !ae.Retryable
+}
+
 // applyChange performs one operation; the provider runtime behind cl owns
 // retries and backoff.
 func applyChange(ctx context.Context, cl cloud.Interface, p *plan.Plan, ch *plan.Change,
 	o Options, newState *state.State, stateMu *sync.Mutex) error {
 
+	j := o.Journal
 	switch ch.Action {
 	case plan.ActionDelete:
+		if j != nil {
+			if err := j.Begin(OpRecord{Addr: ch.Addr, Action: ch.Action.String(),
+				Type: ch.Type, Region: ch.Region, ID: ch.ID}); err != nil {
+				return err
+			}
+		}
 		if err := cl.Delete(ctx, ch.Type, ch.ID, o.Principal); err != nil && !cloud.IsNotFound(err) {
+			if j != nil && DefinitiveFailure(err) {
+				_ = j.Fail(ch.Addr, ch.Action.String(), err)
+			}
 			return err
 		}
 		// A 404 means already gone: deletion is idempotent.
 		stateMu.Lock()
 		newState.Remove(ch.Addr)
 		stateMu.Unlock()
+		if j != nil {
+			if err := j.Done(OpRecord{Addr: ch.Addr, Action: ch.Action.String(),
+				Type: ch.Type, Region: ch.Region, ID: ch.ID}); err != nil {
+				return err
+			}
+		}
 		return nil
 
 	case plan.ActionCreate, plan.ActionUpdate, plan.ActionReplace:
@@ -303,6 +383,48 @@ func applyChange(ctx context.Context, cl cloud.Interface, p *plan.Plan, ch *plan
 			}
 		}
 
+		// The idempotency key is stable for this run+address: a crashed run
+		// recovering under the same journal ID retries the create under the
+		// same key and gets the original resource back.
+		idemKey := o.idemPrefix + "/" + ch.Addr
+
+		// For updates, compute the delta up front so the journal records
+		// exactly what is about to be sent.
+		var delta map[string]eval.Value
+		if ch.Action == plan.ActionUpdate {
+			// Only send genuinely-changed, non-computed attributes.
+			delta = map[string]eval.Value{}
+			for _, name := range ch.ChangedAttrs {
+				a := rs.Attr(name)
+				if a == nil || a.Computed {
+					continue
+				}
+				v, ok := attrs[name]
+				if !ok {
+					continue
+				}
+				if before, had := ch.Before[name]; had && before.Equal(v) {
+					continue // resolved to the same value: no change
+				}
+				delta[name] = v
+			}
+		}
+
+		if j != nil {
+			rec := OpRecord{Addr: ch.Addr, Action: ch.Action.String(), Type: ch.Type,
+				Region: region, ID: ch.ID, Deps: ch.Deps}
+			switch ch.Action {
+			case plan.ActionCreate, plan.ActionReplace:
+				rec.IdemKey = idemKey
+				rec.Attrs = AttrsOut(attrs)
+			case plan.ActionUpdate:
+				rec.Attrs = AttrsOut(delta)
+			}
+			if err := j.Begin(rec); err != nil {
+				return err
+			}
+		}
+
 		var created *cloud.Resource
 		op := func() error {
 			var err error
@@ -310,24 +432,9 @@ func applyChange(ctx context.Context, cl cloud.Interface, p *plan.Plan, ch *plan
 			case plan.ActionCreate:
 				created, err = cl.Create(ctx, cloud.CreateRequest{
 					Type: ch.Type, Region: region, Attrs: attrs, Principal: o.Principal,
+					IdempotencyKey: idemKey,
 				})
 			case plan.ActionUpdate:
-				// Only send genuinely-changed, non-computed attributes.
-				delta := map[string]eval.Value{}
-				for _, name := range ch.ChangedAttrs {
-					a := rs.Attr(name)
-					if a == nil || a.Computed {
-						continue
-					}
-					v, ok := attrs[name]
-					if !ok {
-						continue
-					}
-					if before, had := ch.Before[name]; had && before.Equal(v) {
-						continue // resolved to the same value: no change
-					}
-					delta[name] = v
-				}
 				if len(delta) == 0 {
 					created, err = cl.Get(ctx, ch.Type, ch.ID)
 					return err
@@ -341,11 +448,15 @@ func applyChange(ctx context.Context, cl cloud.Interface, p *plan.Plan, ch *plan
 				}
 				created, err = cl.Create(ctx, cloud.CreateRequest{
 					Type: ch.Type, Region: region, Attrs: attrs, Principal: o.Principal,
+					IdempotencyKey: idemKey,
 				})
 			}
 			return err
 		}
 		if err := op(); err != nil {
+			if j != nil && DefinitiveFailure(err) {
+				_ = j.Fail(ch.Addr, ch.Action.String(), err)
+			}
 			return err
 		}
 
@@ -364,6 +475,13 @@ func applyChange(ctx context.Context, cl cloud.Interface, p *plan.Plan, ch *plan
 		newState.Set(rsState)
 		stateMu.Unlock()
 
+		if j != nil {
+			if err := j.Done(OpRecord{Addr: ch.Addr, Action: ch.Action.String(),
+				Type: ch.Type, Region: created.Region, ID: created.ID,
+				Attrs: AttrsOut(created.Attrs), Deps: ch.Deps}); err != nil {
+				return err
+			}
+		}
 		p.Values.Set(ch.Addr, eval.Object(created.Attrs))
 		return nil
 

@@ -1,0 +1,382 @@
+// Apply journal: a durable write-ahead record of every operation an apply
+// intends to perform, begins, and finishes, using the same CRC-framed log
+// format as the golden-state WAL (internal/wal). The contract that makes
+// applies crash-safe:
+//
+//  1. The full op list ("intents") is journaled and fsynced before the first
+//     cloud call, so recovery always knows what the plan was going to do.
+//  2. A "begin" record is journaled and fsynced BEFORE the op touches the
+//     cloud. A crash can therefore never leave a cloud mutation the journal
+//     does not know about.
+//  3. A "done" record is appended after the op (no fsync — losing one only
+//     makes recovery re-check an op that turns out to be complete, which the
+//     idempotency machinery absorbs).
+//
+// An op with a begin but no done is "in doubt": the process died somewhere
+// between issuing the call and recording the response. Recovery re-issues
+// in-doubt creates under their original idempotency keys and re-checks
+// updates/deletes, then sweeps the activity log for orphans (see recover.go).
+package apply
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"cloudless/internal/eval"
+	"cloudless/internal/plan"
+	"cloudless/internal/wal"
+)
+
+// ErrJournalKilled is returned by appends after Kill — the chaos harness's
+// stand-in for the process being dead. An applier seeing it must abort the
+// op before touching the cloud, exactly as a dead process would.
+var ErrJournalKilled = errors.New("apply: journal killed (simulated crash)")
+
+// Journal record kinds.
+const (
+	recMeta    = "meta"
+	recIntents = "intents"
+	recBegin   = "begin"
+	recDone    = "done"
+	recFail    = "fail"
+)
+
+// Meta identifies one apply run. Its ID seeds every idempotency key
+// (ID + "/" + addr), so a restarted recovery retries creates under the keys
+// the crashed run used.
+type Meta struct {
+	ID         string    `json:"id"`
+	Kind       string    `json:"kind"` // "apply", "destroy", "rollback"
+	CreatedAt  time.Time `json:"created_at"`
+	BaseSerial int       `json:"base_serial"`
+	Principal  string    `json:"principal"`
+}
+
+// Intent is one planned operation, recorded before any execution. Name is
+// the planned "name" attribute when known — the orphan sweep uses
+// (type, region, name) to match an unclaimed cloud resource back to the
+// plan entry that wanted it.
+type Intent struct {
+	Addr   string   `json:"addr"`
+	Action string   `json:"action"`
+	Type   string   `json:"type"`
+	Region string   `json:"region"`
+	ID     string   `json:"id,omitempty"`
+	Name   string   `json:"name,omitempty"`
+	Deps   []string `json:"deps,omitempty"`
+}
+
+// OpRecord is a begin or done entry for one operation. For begin, ID is the
+// pre-existing target (update/delete/replace) and Attrs the resolved values
+// about to be sent; for done, ID/Region/Attrs describe the resulting
+// resource (empty for deletes).
+type OpRecord struct {
+	Addr    string         `json:"addr"`
+	Action  string         `json:"action"`
+	Type    string         `json:"type"`
+	Region  string         `json:"region,omitempty"`
+	ID      string         `json:"id,omitempty"`
+	IdemKey string         `json:"idem_key,omitempty"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+	Deps    []string       `json:"deps,omitempty"`
+	Error   string         `json:"error,omitempty"`
+}
+
+// journalRecord is the JSON payload of one frame.
+type journalRecord struct {
+	Kind    string    `json:"kind"`
+	Meta    *Meta     `json:"meta,omitempty"`
+	Intents []Intent  `json:"intents,omitempty"`
+	Op      *OpRecord `json:"op,omitempty"`
+}
+
+// Journal is the write side, safe for concurrent use by the apply walk.
+type Journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	meta   Meta
+	killed bool
+}
+
+// NewJournal creates a journal file (truncating any stale one — the caller
+// must have recovered it first) and durably writes the meta record.
+func NewJournal(path string, meta Meta) (*Journal, error) {
+	if meta.ID == "" {
+		meta.ID = fmt.Sprintf("%s-%d", meta.Kind, time.Now().UnixNano())
+	}
+	if meta.Kind == "" {
+		meta.Kind = "apply"
+	}
+	if meta.CreatedAt.IsZero() {
+		meta.CreatedAt = time.Now()
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("apply: create journal: %w", err)
+	}
+	j := &Journal{f: f, path: path, meta: meta}
+	if err := j.append(journalRecord{Kind: recMeta, Meta: &meta}, true); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// Meta returns the run identity.
+func (j *Journal) Meta() Meta { return j.meta }
+
+// Path returns the journal file path.
+func (j *Journal) Path() string { return j.path }
+
+// IdemKey derives the idempotency key for a create at addr. Stable across
+// crash and recovery of the same run — that stability is the whole point.
+func (j *Journal) IdemKey(addr string) string { return j.meta.ID + "/" + addr }
+
+// LogIntents durably records the full op list in one frame, before any op
+// runs.
+func (j *Journal) LogIntents(intents []Intent) error {
+	return j.append(journalRecord{Kind: recIntents, Intents: intents}, true)
+}
+
+// Begin durably records that an op is about to touch the cloud. MUST be
+// fsynced before the call goes out: this is the invariant recovery leans on.
+func (j *Journal) Begin(op OpRecord) error {
+	op.Action = normalizeAction(op.Action)
+	return j.append(journalRecord{Kind: recBegin, Op: &op}, true)
+}
+
+// Done records that an op completed, with the resulting resource identity.
+// Not fsynced: losing a done record is safe (recovery re-checks the op).
+func (j *Journal) Done(op OpRecord) error {
+	op.Action = normalizeAction(op.Action)
+	return j.append(journalRecord{Kind: recDone, Op: &op}, false)
+}
+
+// Fail records a definitive op failure (the cloud rejected it; nothing was
+// mutated or the error is terminal). Best-effort, not fsynced.
+func (j *Journal) Fail(addr, action string, err error) error {
+	return j.append(journalRecord{Kind: recFail,
+		Op: &OpRecord{Addr: addr, Action: normalizeAction(action), Error: err.Error()}}, false)
+}
+
+func normalizeAction(a string) string {
+	if a == "" {
+		return plan.ActionCreate.String()
+	}
+	return a
+}
+
+func (j *Journal) append(rec journalRecord, sync bool) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("apply: encode journal record: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.killed {
+		return ErrJournalKilled
+	}
+	if j.f == nil {
+		return errors.New("apply: journal closed")
+	}
+	if _, err := j.f.Write(wal.Encode(payload)); err != nil {
+		return fmt.Errorf("apply: append journal: %w", err)
+	}
+	if sync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("apply: sync journal: %w", err)
+		}
+	}
+	return nil
+}
+
+// Sync flushes the journal to disk (graceful-shutdown path).
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.killed || j.f == nil {
+		return nil
+	}
+	return j.f.Sync()
+}
+
+// Close syncs and closes the file, leaving it on disk for recovery to
+// inspect.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	f := j.f
+	j.f = nil
+	if !j.killed {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// Discard closes and deletes the journal — called only after the apply's
+// outcome is durably committed to the golden state, at which point the
+// journal has nothing left to say.
+func (j *Journal) Discard() error {
+	if err := j.Close(); err != nil {
+		return err
+	}
+	if err := os.Remove(j.path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// Kill simulates the process dying: every subsequent append fails with
+// ErrJournalKilled and nothing more reaches the disk. Chaos harness only.
+func (j *Journal) Kill() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.killed = true
+}
+
+// KillTorn is Kill preceded by a half-written frame, simulating death in the
+// middle of a journal write. Replay must drop the torn tail.
+func (j *Journal) KillTorn() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.killed && j.f != nil {
+		frame := wal.Encode([]byte(`{"kind":"done","op":{"addr":"torn"}}`))
+		j.f.Write(frame[:len(frame)/2])
+	}
+	j.killed = true
+}
+
+// OpStatus aggregates the journal's knowledge of one op.
+type OpStatus struct {
+	Begin *OpRecord
+	Done  *OpRecord
+	// FailError is non-empty when the op failed definitively.
+	FailError string
+}
+
+// InDoubt reports whether the op started but never (durably) finished.
+func (s *OpStatus) InDoubt() bool {
+	return s.Begin != nil && s.Done == nil && s.FailError == ""
+}
+
+// JournalState is the replayed contents of a journal file.
+type JournalState struct {
+	Meta    Meta
+	Intents []Intent
+	// Ops indexes begin/done/fail records by address.
+	Ops map[string]*OpStatus
+	// Path is the file the state was read from.
+	Path string
+}
+
+// IntentFor returns the recorded intent for addr, or nil.
+func (js *JournalState) IntentFor(addr string) *Intent {
+	for i := range js.Intents {
+		if js.Intents[i].Addr == addr {
+			return &js.Intents[i]
+		}
+	}
+	return nil
+}
+
+// InDoubt lists addresses whose ops began but never durably finished, in
+// intent order.
+func (js *JournalState) InDoubt() []string {
+	var out []string
+	for _, in := range js.Intents {
+		if st := js.Ops[in.Addr]; st != nil && st.InDoubt() {
+			out = append(out, in.Addr)
+		}
+	}
+	return out
+}
+
+// ReadJournal replays a journal file, dropping any torn tail. A missing file
+// returns (nil, nil): nothing to recover.
+func ReadJournal(path string) (*JournalState, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("apply: read journal: %w", err)
+	}
+	js := &JournalState{Ops: map[string]*OpStatus{}, Path: path}
+	wal.Scan(data, func(payload []byte) bool {
+		var rec journalRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return false // CRC-intact but undecodable: treat as torn
+		}
+		switch rec.Kind {
+		case recMeta:
+			if rec.Meta != nil {
+				js.Meta = *rec.Meta
+			}
+		case recIntents:
+			js.Intents = append(js.Intents, rec.Intents...)
+		case recBegin, recDone, recFail:
+			if rec.Op == nil {
+				break
+			}
+			st := js.Ops[rec.Op.Addr]
+			if st == nil {
+				st = &OpStatus{}
+				js.Ops[rec.Op.Addr] = st
+			}
+			op := *rec.Op
+			switch rec.Kind {
+			case recBegin:
+				// A fresh begin supersedes any earlier completed op on the
+				// same address (rollback journals a recreate as a delete op
+				// followed by a create op under one addr).
+				st.Begin = &op
+				st.Done = nil
+				st.FailError = ""
+			case recDone:
+				st.Done = &op
+			case recFail:
+				st.FailError = op.Error
+			}
+		}
+		return true
+	})
+	if js.Meta.ID == "" && len(js.Intents) == 0 && len(js.Ops) == 0 {
+		// Nothing durable survived (e.g. a journal torn inside its first
+		// frame): treat as absent.
+		return nil, nil
+	}
+	return js, nil
+}
+
+// AttrsOut converts resolved attribute values to their wire (JSON) form for
+// journaling. Unknown sentinels survive the round-trip, though by the time
+// an op begins every attr must already be known.
+// AttrsOut converts resolved attribute values to their wire (JSON) form for
+// journaling.
+func AttrsOut(attrs map[string]eval.Value) map[string]any {
+	out := make(map[string]any, len(attrs))
+	for k, v := range attrs {
+		out[k] = eval.ToGo(v)
+	}
+	return out
+}
+
+// AttrsIn converts journaled attributes back to eval values.
+func AttrsIn(attrs map[string]any) map[string]eval.Value {
+	out := make(map[string]eval.Value, len(attrs))
+	for k, v := range attrs {
+		out[k] = eval.FromGoWithUnknowns(v)
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package apply
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cloudless/internal/eval"
+)
+
+func tempJournal(t *testing.T) (*Journal, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "apply.journal")
+	j, err := NewJournal(path, Meta{Kind: "apply", Principal: "cloudless", BaseSerial: 3})
+	if err != nil {
+		t.Fatalf("new journal: %s", err)
+	}
+	return j, path
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	j, path := tempJournal(t)
+	intents := []Intent{
+		{Addr: "aws_vpc.main", Action: "create", Type: "aws_vpc", Region: "us-east-1", Name: "main"},
+		{Addr: "aws_subnet.s[0]", Action: "create", Type: "aws_subnet", Region: "us-east-1",
+			Name: "s-0", Deps: []string{"aws_vpc.main"}},
+		{Addr: "aws_vpc.old", Action: "delete", Type: "aws_vpc", Region: "us-east-1", ID: "vpc-00000009"},
+	}
+	if err := j.LogIntents(intents); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Begin(OpRecord{Addr: "aws_vpc.main", Action: "create", Type: "aws_vpc",
+		Region: "us-east-1", IdemKey: j.IdemKey("aws_vpc.main"),
+		Attrs: AttrsOut(map[string]eval.Value{"name": eval.String("main")})}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Done(OpRecord{Addr: "aws_vpc.main", Action: "create", Type: "aws_vpc",
+		Region: "us-east-1", ID: "vpc-00000001"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Begin(OpRecord{Addr: "aws_subnet.s[0]", Action: "create", Type: "aws_subnet",
+		Region: "us-east-1", IdemKey: j.IdemKey("aws_subnet.s[0]")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Fail("aws_vpc.old", "delete", errors.New("Conflict: in use")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	js, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js == nil {
+		t.Fatal("journal read back nil")
+	}
+	if js.Meta.Kind != "apply" || js.Meta.BaseSerial != 3 || js.Meta.ID == "" {
+		t.Errorf("meta = %+v", js.Meta)
+	}
+	if len(js.Intents) != 3 {
+		t.Fatalf("%d intents, want 3", len(js.Intents))
+	}
+	if js.IntentFor("aws_subnet.s[0]").Name != "s-0" {
+		t.Errorf("intent lookup: %+v", js.IntentFor("aws_subnet.s[0]"))
+	}
+	vpc := js.Ops["aws_vpc.main"]
+	if vpc == nil || vpc.Begin == nil || vpc.Done == nil || vpc.InDoubt() {
+		t.Errorf("vpc status = %+v", vpc)
+	}
+	if got := AttrsIn(vpc.Begin.Attrs); !got["name"].Equal(eval.String("main")) {
+		t.Errorf("begin attrs = %v", got)
+	}
+	if vpc.Begin.IdemKey != js.Meta.ID+"/aws_vpc.main" {
+		t.Errorf("idem key = %q", vpc.Begin.IdemKey)
+	}
+	sub := js.Ops["aws_subnet.s[0]"]
+	if sub == nil || !sub.InDoubt() {
+		t.Errorf("subnet status = %+v", sub)
+	}
+	if got := js.InDoubt(); len(got) != 1 || got[0] != "aws_subnet.s[0]" {
+		t.Errorf("in-doubt = %v", got)
+	}
+	if old := js.Ops["aws_vpc.old"]; old == nil || old.FailError == "" || old.InDoubt() {
+		t.Errorf("failed op status = %+v", old)
+	}
+}
+
+func TestJournalTornTailDropped(t *testing.T) {
+	j, path := tempJournal(t)
+	if err := j.Begin(OpRecord{Addr: "aws_vpc.a", Action: "create", Type: "aws_vpc"}); err != nil {
+		t.Fatal(err)
+	}
+	j.KillTorn() // half-written frame, then dead
+	j.Close()
+
+	js, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js == nil {
+		t.Fatal("journal read back nil")
+	}
+	if st := js.Ops["aws_vpc.a"]; st == nil || !st.InDoubt() {
+		t.Errorf("status = %+v", st)
+	}
+	if _, ok := js.Ops["torn"]; ok {
+		t.Error("torn frame surfaced in replay")
+	}
+}
+
+func TestJournalKillStopsAppends(t *testing.T) {
+	j, path := tempJournal(t)
+	j.Kill()
+	if err := j.Begin(OpRecord{Addr: "aws_vpc.a"}); !errors.Is(err, ErrJournalKilled) {
+		t.Errorf("err = %v, want ErrJournalKilled", err)
+	}
+	if err := j.Sync(); err != nil {
+		t.Errorf("sync after kill: %v", err)
+	}
+	_ = path
+}
+
+func TestJournalDiscardRemovesFile(t *testing.T) {
+	j, path := tempJournal(t)
+	if err := j.Discard(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("journal still on disk: %v", err)
+	}
+	if js, err := ReadJournal(path); err != nil || js != nil {
+		t.Errorf("read discarded journal: %v, %v", js, err)
+	}
+}
+
+func TestReadJournalMissingFile(t *testing.T) {
+	js, err := ReadJournal(filepath.Join(t.TempDir(), "nope.journal"))
+	if err != nil || js != nil {
+		t.Errorf("got %v, %v; want nil, nil", js, err)
+	}
+}

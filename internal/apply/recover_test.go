@@ -1,0 +1,356 @@
+package apply
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"cloudless/internal/cloud"
+	"cloudless/internal/eval"
+	"cloudless/internal/plan"
+	"cloudless/internal/state"
+)
+
+// planFor computes a plan for src against prior state.
+func planFor(t *testing.T, src string, prior *state.State) *plan.Plan {
+	t.Helper()
+	ex := expandSrc(t, src)
+	p, diags := plan.Compute(context.Background(), ex, prior, plan.Options{})
+	if diags.HasErrors() {
+		t.Fatalf("plan: %s", diags.Error())
+	}
+	return p
+}
+
+// assertConverged verifies the cloud holds exactly the desired resources:
+// re-planning yields no changes, every state entry exists in the cloud, and
+// the cloud has no resources state does not know about.
+func assertConverged(t *testing.T, sim *cloud.Sim, src string, st *state.State) {
+	t.Helper()
+	p := planFor(t, src, st)
+	if n := len(nonNoop(p)); n != 0 {
+		t.Errorf("re-plan has %d pending changes, want 0: %v", n, nonNoop(p))
+	}
+	ctx := context.Background()
+	inCloud := 0
+	for _, addr := range st.Addrs() {
+		rs := st.Get(addr)
+		if _, err := sim.Get(ctx, rs.Type, rs.ID); err != nil {
+			t.Errorf("state entry %s (%s) missing from cloud: %s", addr, rs.ID, err)
+		}
+	}
+	inCloud = sim.TotalResources()
+	if inCloud != st.Len() {
+		t.Errorf("cloud holds %d resources, state holds %d (orphans or losses)", inCloud, st.Len())
+	}
+}
+
+func nonNoop(p *plan.Plan) []string {
+	var out []string
+	for addr, ch := range p.Changes {
+		if ch.Action != plan.ActionNoop {
+			out = append(out, addr)
+		}
+	}
+	return out
+}
+
+func TestApplyWithJournalDiscardAfterSuccess(t *testing.T) {
+	sim := newSim()
+	path := filepath.Join(t.TempDir(), "apply.journal")
+	j, err := NewJournal(path, Meta{Kind: "apply", Principal: "cloudless"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := planFor(t, webConfig, state.New())
+	res := Apply(context.Background(), sim, p, Options{Journal: j})
+	if err := res.Err(); err != nil {
+		t.Fatalf("apply: %s", err)
+	}
+
+	// Every non-noop op has durable begin + done before discard.
+	js, err := ReadJournal(path)
+	if err != nil || js == nil {
+		t.Fatalf("read journal: %v, %v", js, err)
+	}
+	if len(js.Intents) != 5 {
+		t.Errorf("%d intents, want 5", len(js.Intents))
+	}
+	if got := js.InDoubt(); len(got) != 0 {
+		t.Errorf("in-doubt after clean apply: %v", got)
+	}
+	for _, in := range js.Intents {
+		st := js.Ops[in.Addr]
+		if st == nil || st.Begin == nil || st.Done == nil {
+			t.Errorf("%s: incomplete journal entry %+v", in.Addr, st)
+		}
+	}
+	if err := j.Discard(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Crash after the cloud committed a create but before the done record: the
+// op is in doubt, and recovery must resume it without a duplicate.
+func TestRecoverResumesInDoubtCreate(t *testing.T) {
+	sim := newSim()
+	path := filepath.Join(t.TempDir(), "apply.journal")
+	j, err := NewJournal(path, Meta{Kind: "apply", Principal: "cloudless"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Kill on the 3rd mutating op, after it lands server-side.
+	sim.InjectCrash(cloud.CrashAfterOp, 3, func() { j.Kill(); cancel() })
+
+	p := planFor(t, webConfig, state.New())
+	res := Apply(ctx, sim, p, Options{Journal: j, ContinueOnError: true})
+	if res.Err() == nil {
+		t.Fatal("apply survived an injected crash")
+	}
+	j.Close()
+
+	created := sim.TotalResources()
+	if created == 0 {
+		t.Fatal("crash fired before anything landed")
+	}
+
+	// --- restart ---
+	js, err := ReadJournal(path)
+	if err != nil || js == nil {
+		t.Fatalf("read journal: %v, %v", js, err)
+	}
+	if len(js.InDoubt()) == 0 {
+		t.Fatal("no in-doubt ops recorded")
+	}
+	recovered, rep, err := Recover(context.Background(), sim, js, state.New(), Options{})
+	if err != nil {
+		t.Fatalf("recover: %s", err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatalf("recover report: %s", err)
+	}
+	if rep.Resumed == 0 {
+		t.Error("nothing resumed")
+	}
+	// The in-doubt create was answered from the idempotency index.
+	if sim.Metrics().IdemReplays == 0 {
+		t.Error("in-doubt create was not replayed idempotently")
+	}
+
+	// Continue: re-plan from the reconciled state and finish the remainder.
+	p2 := planFor(t, webConfig, recovered)
+	res2 := Apply(context.Background(), sim, p2, Options{})
+	if err := res2.Err(); err != nil {
+		t.Fatalf("continuation apply: %s", err)
+	}
+	assertConverged(t, sim, webConfig, res2.State)
+	// Zero duplicate creates: exactly the 5 desired resources exist.
+	if sim.TotalResources() != 5 {
+		t.Errorf("cloud holds %d resources, want 5", sim.TotalResources())
+	}
+}
+
+// Crash before the op reaches the cloud: begin is journaled but nothing
+// mutated; recovery provisions it fresh under the journaled idempotency key.
+func TestRecoverRunsNeverStartedOp(t *testing.T) {
+	sim := newSim()
+	path := filepath.Join(t.TempDir(), "apply.journal")
+	j, err := NewJournal(path, Meta{Kind: "apply", Principal: "cloudless"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sim.InjectCrash(cloud.CrashBeforeOp, 1, func() { j.Kill(); cancel() })
+
+	p := planFor(t, webConfig, state.New())
+	res := Apply(ctx, sim, p, Options{Journal: j})
+	if res.Err() == nil {
+		t.Fatal("apply survived an injected crash")
+	}
+	j.Close()
+	if sim.TotalResources() != 0 {
+		t.Fatalf("before-op crash still mutated the cloud: %d resources", sim.TotalResources())
+	}
+
+	js, err := ReadJournal(path)
+	if err != nil || js == nil {
+		t.Fatalf("read journal: %v, %v", js, err)
+	}
+	recovered, rep, err := Recover(context.Background(), sim, js, state.New(), Options{})
+	if err != nil {
+		t.Fatalf("recover: %s", err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatalf("recover report: %s", err)
+	}
+	p2 := planFor(t, webConfig, recovered)
+	res2 := Apply(context.Background(), sim, p2, Options{})
+	if err := res2.Err(); err != nil {
+		t.Fatalf("continuation apply: %s", err)
+	}
+	assertConverged(t, sim, webConfig, res2.State)
+}
+
+// A resource in the cloud that neither state nor a done record accounts for
+// is adopted when it matches a journaled intent, deleted otherwise.
+func TestRecoverOrphanSweep(t *testing.T) {
+	sim := newSim()
+	ctx := context.Background()
+
+	// An orphan that matches a planned intent (type+region+name)...
+	wanted, err := sim.Create(ctx, cloud.CreateRequest{
+		Type: "aws_vpc", Region: "us-east-1",
+		Attrs:     map[string]eval.Value{"name": eval.String("main"), "cidr_block": eval.String("10.0.0.0/16")},
+		Principal: "cloudless",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...and one no intent wants.
+	stray, err := sim.Create(ctx, cloud.CreateRequest{
+		Type: "aws_vpc", Region: "us-east-1",
+		Attrs:     map[string]eval.Value{"name": eval.String("stray"), "cidr_block": eval.String("10.9.0.0/16")},
+		Principal: "cloudless",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	js := &JournalState{
+		Meta: Meta{ID: "apply-test", Kind: "apply", Principal: "cloudless"},
+		Intents: []Intent{
+			{Addr: "aws_vpc.main", Action: "create", Type: "aws_vpc", Region: "us-east-1", Name: "main"},
+		},
+		Ops: map[string]*OpStatus{},
+	}
+	recovered, rep, err := Recover(ctx, sim, js, state.New(), Options{})
+	if err != nil {
+		t.Fatalf("recover: %s", err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatalf("recover report: %s", err)
+	}
+	if len(rep.OrphansAdopted) != 1 || rep.OrphansAdopted[0] != wanted.ID {
+		t.Errorf("adopted = %v, want [%s]", rep.OrphansAdopted, wanted.ID)
+	}
+	if len(rep.OrphansDeleted) != 1 || rep.OrphansDeleted[0] != stray.ID {
+		t.Errorf("deleted = %v, want [%s]", rep.OrphansDeleted, stray.ID)
+	}
+	if got := recovered.Get("aws_vpc.main"); got == nil || got.ID != wanted.ID {
+		t.Errorf("adopted state = %+v", got)
+	}
+	if _, err := sim.Get(ctx, "aws_vpc", stray.ID); !cloud.IsNotFound(err) {
+		t.Errorf("stray still exists: %v", err)
+	}
+	// Foreign-principal resources are out of scope for the sweep.
+	foreign, err := sim.Create(ctx, cloud.CreateRequest{
+		Type: "aws_vpc", Region: "us-east-1",
+		Attrs:     map[string]eval.Value{"name": eval.String("theirs"), "cidr_block": eval.String("10.8.0.0/16")},
+		Principal: "legacy-script",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep2, err := Recover(ctx, sim, js, recovered, Options{})
+	if err != nil {
+		t.Fatalf("second recover: %s", err)
+	}
+	for _, id := range rep2.OrphansDeleted {
+		if id == foreign.ID {
+			t.Error("sweep deleted a foreign principal's resource")
+		}
+	}
+	if _, err := sim.Get(ctx, "aws_vpc", foreign.ID); err != nil {
+		t.Errorf("foreign resource gone: %v", err)
+	}
+}
+
+// Recovery is idempotent: running it twice from the same journal converges
+// to the same state with no extra cloud damage — the property that makes a
+// crash during recovery itself safe.
+func TestRecoverIdempotent(t *testing.T) {
+	sim := newSim()
+	path := filepath.Join(t.TempDir(), "apply.journal")
+	j, err := NewJournal(path, Meta{Kind: "apply", Principal: "cloudless"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sim.InjectCrash(cloud.CrashAfterOp, 2, func() { j.Kill(); cancel() })
+	p := planFor(t, webConfig, state.New())
+	if res := Apply(ctx, sim, p, Options{Journal: j}); res.Err() == nil {
+		t.Fatal("apply survived an injected crash")
+	}
+	j.Close()
+
+	js, err := ReadJournal(path)
+	if err != nil || js == nil {
+		t.Fatalf("read journal: %v, %v", js, err)
+	}
+	st1, rep1, err := Recover(context.Background(), sim, js, state.New(), Options{})
+	if err != nil || rep1.Err() != nil {
+		t.Fatalf("first recover: %v / %v", err, rep1.Err())
+	}
+	resourcesAfterFirst := sim.TotalResources()
+	st2, rep2, err := Recover(context.Background(), sim, js, state.New(), Options{})
+	if err != nil || rep2.Err() != nil {
+		t.Fatalf("second recover: %v / %v", err, rep2.Err())
+	}
+	if sim.TotalResources() != resourcesAfterFirst {
+		t.Errorf("second recovery changed the cloud: %d -> %d", resourcesAfterFirst, sim.TotalResources())
+	}
+	if st1.Fingerprint() != st2.Fingerprint() {
+		t.Error("recoveries diverged")
+	}
+}
+
+// An op the cloud definitively rejected (journaled fail) is not re-driven.
+func TestRecoverSkipsDefinitiveFailures(t *testing.T) {
+	sim := newSim()
+	js := &JournalState{
+		Meta: Meta{ID: "apply-test", Kind: "apply", Principal: "cloudless"},
+		Intents: []Intent{
+			{Addr: "aws_vpc.bad", Action: "create", Type: "aws_vpc", Region: "us-east-1", Name: "bad"},
+		},
+		Ops: map[string]*OpStatus{
+			"aws_vpc.bad": {
+				Begin:     &OpRecord{Addr: "aws_vpc.bad", Action: "create", Type: "aws_vpc", Region: "us-east-1"},
+				FailError: "InvalidParameter: required property \"cidr_block\" was not provided",
+			},
+		},
+	}
+	st, rep, err := Recover(context.Background(), sim, js, state.New(), Options{})
+	if err != nil || rep.Err() != nil {
+		t.Fatalf("recover: %v / %v", err, rep.Err())
+	}
+	if rep.Resumed != 0 || st.Len() != 0 || sim.TotalResources() != 0 {
+		t.Errorf("failed op was re-driven: resumed=%d state=%d cloud=%d",
+			rep.Resumed, st.Len(), sim.TotalResources())
+	}
+}
+
+func TestDefinitiveFailureClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{&cloud.APIError{Code: cloud.CodeInvalid}, true},
+		{&cloud.APIError{Code: cloud.CodeConflict}, true},
+		{&cloud.APIError{Code: cloud.CodeNotFound}, true},
+		{&cloud.APIError{Code: cloud.CodeThrottled, Retryable: true}, false},
+		{&cloud.APIError{Code: cloud.CodeInternal, Retryable: true}, false},
+		{cloud.ErrCrashed, false},
+		{context.Canceled, false},
+		{errors.New("transport: connection reset"), false},
+	}
+	for _, c := range cases {
+		if got := DefinitiveFailure(c.err); got != c.want {
+			t.Errorf("DefinitiveFailure(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}

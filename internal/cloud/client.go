@@ -61,7 +61,7 @@ func NewClient(baseURL string, httpClient *http.Client) *Client {
 	return &Client{base: baseURL, http: httpClient}
 }
 
-func (c *Client) do(ctx context.Context, method, path string, body any, out any) error {
+func (c *Client) do(ctx context.Context, method, path string, body any, out any, headers ...[2]string) error {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(marshalJSON(body))
@@ -72,6 +72,9 @@ func (c *Client) do(ctx context.Context, method, path string, body any, out any)
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for _, h := range headers {
+		req.Header.Set(h[0], h[1])
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -111,14 +114,21 @@ func (c *Client) do(ctx context.Context, method, path string, body any, out any)
 	return nil
 }
 
-// Create implements Interface.
+// Create implements Interface. The idempotency key travels both in the body
+// and as the standard Idempotency-Key header, so intermediaries (and the
+// server) can honor it without parsing JSON.
 func (c *Client) Create(ctx context.Context, req CreateRequest) (*Resource, error) {
+	var headers [][2]string
+	if req.IdempotencyKey != "" {
+		headers = append(headers, [2]string{"Idempotency-Key", req.IdempotencyKey})
+	}
 	var w wireResource
 	err := c.do(ctx, http.MethodPost, "/v1/resources/"+url.PathEscape(req.Type), wireCreate{
-		Region:    req.Region,
-		Attrs:     attrsToWire(req.Attrs),
-		Principal: req.Principal,
-	}, &w)
+		Region:         req.Region,
+		Attrs:          attrsToWire(req.Attrs),
+		Principal:      req.Principal,
+		IdempotencyKey: req.IdempotencyKey,
+	}, &w, headers...)
 	if err != nil {
 		return nil, err
 	}

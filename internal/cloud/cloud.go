@@ -68,6 +68,14 @@ type CreateRequest struct {
 	// Principal identifies the caller for the activity log ("cloudless",
 	// "legacy-script", a team name...). Drift detection keys off this.
 	Principal string
+	// IdempotencyKey, when non-empty, makes the create replay-safe: if a
+	// resource was already provisioned under the same key (and still
+	// exists), the cloud returns that resource instead of creating a
+	// duplicate. This is how a crashed-and-restarted applier retries an
+	// in-doubt create without orphaning the first attempt. Mirrors the
+	// client-token mechanisms of real clouds (EC2 ClientToken, Azure
+	// client-request-id).
+	IdempotencyKey string
 }
 
 // UpdateRequest mutates attributes of an existing resource.

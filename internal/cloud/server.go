@@ -88,11 +88,16 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 			Message: "MalformedRequest: " + err.Error()})
 		return
 	}
+	idemKey := body.IdempotencyKey
+	if idemKey == "" {
+		idemKey = r.Header.Get("Idempotency-Key")
+	}
 	res, err := s.sim.Create(r.Context(), CreateRequest{
-		Type:      typ,
-		Region:    body.Region,
-		Attrs:     attrsFromWire(body.Attrs),
-		Principal: principalOf(r, body.Principal),
+		Type:           typ,
+		Region:         body.Region,
+		Attrs:          attrsFromWire(body.Attrs),
+		Principal:      principalOf(r, body.Principal),
+		IdempotencyKey: idemKey,
 	})
 	if err != nil {
 		s.writeError(w, err)

@@ -66,6 +66,9 @@ type Metrics struct {
 	Throttled    int64
 	ThrottleWait time.Duration
 	Failures     int64
+	// IdemReplays counts creates answered from the idempotency index
+	// instead of provisioning a duplicate (CR experiment).
+	IdemReplays int64
 }
 
 // Sim is the in-memory cloud simulator. It is safe for concurrent use.
@@ -88,6 +91,19 @@ type Sim struct {
 	// a Retry-After hint), independent of the token buckets — the PV bench
 	// and conformance tests use it to script throttling bursts.
 	injectThrottle int
+
+	// idem maps idempotency keys to the identity provisioned under them,
+	// so a replayed create returns the original resource (see
+	// CreateRequest.IdempotencyKey). Real clouds expire these after hours;
+	// the sim keeps them for its lifetime.
+	idem map[string]idemEntry
+
+	// crash, when armed via InjectCrash, simulates the client process dying
+	// at an op boundary: the callback fires (killing the journal, cancelling
+	// the context) and the call returns ErrCrashed. CrashAfterOp fires after
+	// the mutation is durable server-side — the realistic "response lost on
+	// the wire" case that leaves an op in doubt.
+	crash *crashInjection
 
 	// telemetry, when attached, mirrors the traffic counters into a metrics
 	// registry with per-type/op/region labels (E7 attribution). A registry
@@ -112,6 +128,7 @@ func NewSim(opts Options) *Sim {
 		rng:       rand.New(rand.NewSource(opts.Seed)),
 		limiters:  map[string]*rateLimiter{},
 		kb:        schema.DefaultKB(),
+		idem:      map[string]idemEntry{},
 	}
 	for _, name := range schema.Providers() {
 		p, _ := schema.LookupProvider(name)
@@ -150,6 +167,79 @@ func (s *Sim) InjectThrottles(n int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.injectThrottle += n
+}
+
+// idemEntry records what an idempotency key provisioned.
+type idemEntry struct {
+	typ string
+	id  string
+}
+
+// CrashPoint identifies where in a mutating operation an injected crash
+// fires.
+type CrashPoint int
+
+// Crash points. BeforeOp models the client dying before the request reaches
+// the control plane (nothing mutated); AfterOp models the far nastier case
+// where the mutation is durable server-side but the response is lost — the
+// op is in doubt until recovery cross-checks the activity log.
+const (
+	CrashBeforeOp CrashPoint = iota
+	CrashAfterOp
+)
+
+// ErrCrashed is returned by a mutating call interrupted by an injected
+// crash. It is deliberately not an *APIError and not retryable: the
+// simulated process is dead and cannot retry.
+var ErrCrashed = fmt.Errorf("cloud: simulated client crash")
+
+type crashInjection struct {
+	point  CrashPoint
+	afterN int // fires on the Nth mutating op reaching the point (1-based)
+	fn     func()
+}
+
+// InjectCrash arms a one-shot crash at the given point of the Nth following
+// mutating operation (create, update, or delete). When it fires, fn runs
+// synchronously (the chaos harness uses it to kill the apply journal and
+// cancel the apply context, simulating process death) and the operation
+// returns ErrCrashed.
+func (s *Sim) InjectCrash(point CrashPoint, afterN int, fn func()) {
+	if afterN < 1 {
+		afterN = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.crash = &crashInjection{point: point, afterN: afterN, fn: fn}
+}
+
+// ClearCrash disarms any pending crash injection.
+func (s *Sim) ClearCrash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.crash = nil
+}
+
+// maybeCrash fires an armed crash injection if this mutating op reaches its
+// point and countdown.
+func (s *Sim) maybeCrash(point CrashPoint) error {
+	s.mu.Lock()
+	c := s.crash
+	if c == nil || c.point != point {
+		s.mu.Unlock()
+		return nil
+	}
+	c.afterN--
+	if c.afterN > 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	s.crash = nil
+	s.mu.Unlock()
+	if c.fn != nil {
+		c.fn()
+	}
+	return ErrCrashed
 }
 
 // Metrics returns a snapshot of the traffic counters.
@@ -274,6 +364,9 @@ func (s *Sim) Create(ctx context.Context, req CreateRequest) (*Resource, error) 
 	if err := s.admit(ctx, "create", req.Type, true); err != nil {
 		return nil, err
 	}
+	if err := s.maybeCrash(CrashBeforeOp); err != nil {
+		return nil, err
+	}
 
 	prov, _ := schema.ProviderForType(req.Type)
 	region := req.Region
@@ -286,6 +379,23 @@ func (s *Sim) Create(ctx context.Context, req CreateRequest) (*Resource, error) 
 	}
 
 	s.mu.Lock()
+	// Idempotency-key replay comes before validation: the original create
+	// already owns the unique name this request carries, so validating the
+	// replay against it would reject the retry of our own in-flight op.
+	if req.IdempotencyKey != "" {
+		if ent, ok := s.idem[req.IdempotencyKey]; ok {
+			if r := s.store[ent.typ][ent.id]; r != nil {
+				s.metrics.IdemReplays++
+				out := r.Clone()
+				s.mu.Unlock()
+				s.registryFor(ctx).Counter("cloud.idem_replays", "type", req.Type).Inc()
+				return out, nil
+			}
+			// The keyed resource was deleted since; fall through and
+			// provision a fresh one under the same key.
+			delete(s.idem, req.IdempotencyKey)
+		}
+	}
 	if err := s.validateCreateLocked(rs, region, req.Attrs); err != nil {
 		s.mu.Unlock()
 		return nil, err
@@ -335,6 +445,11 @@ func (s *Sim) Create(ctx context.Context, req CreateRequest) (*Resource, error) 
 		s.store[req.Type] = map[string]*Resource{}
 	}
 	s.store[req.Type][id] = res
+	// The idempotency claim is durable as soon as the identity is reserved:
+	// a replay racing the provisioning sleep still finds the key.
+	if req.IdempotencyKey != "" {
+		s.idem[req.IdempotencyKey] = idemEntry{typ: req.Type, id: id}
+	}
 	s.metrics.Creates++
 	s.mu.Unlock()
 	s.registryFor(ctx).Counter("cloud.creates", "type", req.Type, "region", region).Inc()
@@ -351,6 +466,9 @@ func (s *Sim) Create(ctx context.Context, req CreateRequest) (*Resource, error) 
 	s.appendEventLocked(OpCreate, res, req.Principal, nil)
 	out := res.Clone()
 	s.mu.Unlock()
+	if err := s.maybeCrash(CrashAfterOp); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -596,6 +714,9 @@ func (s *Sim) Update(ctx context.Context, req UpdateRequest) (*Resource, error) 
 	if err := s.admit(ctx, "update", req.Type, true); err != nil {
 		return nil, err
 	}
+	if err := s.maybeCrash(CrashBeforeOp); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	r := s.store[req.Type][req.ID]
 	if r == nil {
@@ -643,6 +764,9 @@ func (s *Sim) Update(ctx context.Context, req UpdateRequest) (*Resource, error) 
 	s.appendEventLocked(OpUpdate, r, req.Principal, changed)
 	out := r.Clone()
 	s.mu.Unlock()
+	if err := s.maybeCrash(CrashAfterOp); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -656,6 +780,9 @@ func (s *Sim) Delete(ctx context.Context, typ, id, principal string) error {
 			Message: fmt.Sprintf("UnknownResourceType: %q", typ)}
 	}
 	if err := s.admit(ctx, "delete", typ, true); err != nil {
+		return err
+	}
+	if err := s.maybeCrash(CrashBeforeOp); err != nil {
 		return err
 	}
 	s.mu.Lock()
@@ -679,6 +806,9 @@ func (s *Sim) Delete(ctx context.Context, typ, id, principal string) error {
 	delete(s.store[typ], id)
 	s.appendEventLocked(OpDelete, r, principal, nil)
 	s.mu.Unlock()
+	if err := s.maybeCrash(CrashAfterOp); err != nil {
+		return err
+	}
 	return nil
 }
 

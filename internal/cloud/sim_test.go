@@ -503,3 +503,139 @@ func TestDataSourceCannotBeCreated(t *testing.T) {
 		t.Fatal("data source create accepted")
 	}
 }
+
+func TestIdempotentCreateReplay(t *testing.T) {
+	s := newTestSim()
+	ctx := context.Background()
+	req := CreateRequest{
+		Type: "aws_vpc", Region: "us-east-1", Attrs: vpcAttrs("idem"),
+		Principal: "test", IdempotencyKey: "job-1/aws_vpc.idem",
+	}
+	first, err := s.Create(ctx, req)
+	if err != nil {
+		t.Fatalf("create: %s", err)
+	}
+	// A retry of the same request must return the original resource, not a
+	// duplicate — even though the name now "conflicts" with itself.
+	second, err := s.Create(ctx, req)
+	if err != nil {
+		t.Fatalf("replay: %s", err)
+	}
+	if second.ID != first.ID {
+		t.Errorf("replay returned %s, want %s", second.ID, first.ID)
+	}
+	if s.Count("aws_vpc") != 1 {
+		t.Errorf("count = %d, want 1", s.Count("aws_vpc"))
+	}
+	m := s.Metrics()
+	if m.Creates != 1 || m.IdemReplays != 1 {
+		t.Errorf("creates=%d idem_replays=%d, want 1/1", m.Creates, m.IdemReplays)
+	}
+	// Only one create event: a replay is not a second provisioning.
+	events, _ := s.Activity(ctx, 0)
+	if len(events) != 1 {
+		t.Errorf("%d activity events, want 1", len(events))
+	}
+
+	// A different key with a different name provisions a fresh resource.
+	other := req
+	other.IdempotencyKey = "job-1/aws_vpc.other"
+	other.Attrs = vpcAttrs("other")
+	third, err := s.Create(ctx, other)
+	if err != nil {
+		t.Fatalf("different key: %s", err)
+	}
+	if third.ID == first.ID {
+		t.Error("different key replayed the first resource")
+	}
+
+	// After the keyed resource is deleted, the same key provisions anew.
+	if err := s.Delete(ctx, "aws_vpc", first.ID, "test"); err != nil {
+		t.Fatalf("delete: %s", err)
+	}
+	fresh, err := s.Create(ctx, req)
+	if err != nil {
+		t.Fatalf("recreate: %s", err)
+	}
+	if fresh.ID == first.ID {
+		t.Error("key replayed a deleted resource")
+	}
+}
+
+func TestInjectCrashBeforeOp(t *testing.T) {
+	s := newTestSim()
+	ctx := context.Background()
+	fired := false
+	s.InjectCrash(CrashBeforeOp, 1, func() { fired = true })
+	_, err := s.Create(ctx, CreateRequest{
+		Type: "aws_vpc", Region: "us-east-1", Attrs: vpcAttrs("c"), Principal: "test",
+	})
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	if !fired {
+		t.Error("crash callback did not fire")
+	}
+	// Before-op crash: nothing mutated, nothing logged.
+	if s.Count("aws_vpc") != 0 {
+		t.Errorf("count = %d, want 0", s.Count("aws_vpc"))
+	}
+	if s.LastSeq() != 0 {
+		t.Errorf("activity seq = %d, want 0", s.LastSeq())
+	}
+	// The injection is one-shot: the retry succeeds.
+	mustCreate(t, s, "aws_vpc", "us-east-1", vpcAttrs("c"))
+}
+
+func TestInjectCrashAfterOpLeavesInDoubtResource(t *testing.T) {
+	s := newTestSim()
+	ctx := context.Background()
+	s.InjectCrash(CrashAfterOp, 2, nil) // fire on the second mutating op
+	mustCreate(t, s, "aws_vpc", "us-east-1", vpcAttrs("a"))
+	_, err := s.Create(ctx, CreateRequest{
+		Type: "aws_vpc", Region: "us-east-1", Attrs: vpcAttrs("b"),
+		Principal: "test", IdempotencyKey: "k-b",
+	})
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	// After-op crash: the mutation is durable server-side (the in-doubt
+	// case) and visible in the activity log...
+	if s.Count("aws_vpc") != 2 {
+		t.Errorf("count = %d, want 2", s.Count("aws_vpc"))
+	}
+	events, _ := s.Activity(ctx, 0)
+	if len(events) != 2 {
+		t.Fatalf("%d activity events, want 2", len(events))
+	}
+	// ...and an idempotent retry recovers the resource the response lost.
+	got, err := s.Create(ctx, CreateRequest{
+		Type: "aws_vpc", Region: "us-east-1", Attrs: vpcAttrs("b"),
+		Principal: "test", IdempotencyKey: "k-b",
+	})
+	if err != nil {
+		t.Fatalf("retry: %s", err)
+	}
+	if got.ID != events[1].ID {
+		t.Errorf("retry returned %s, want the in-doubt resource %s", got.ID, events[1].ID)
+	}
+}
+
+func TestInjectCrashDuringDelete(t *testing.T) {
+	s := newTestSim()
+	ctx := context.Background()
+	vpc := mustCreate(t, s, "aws_vpc", "us-east-1", vpcAttrs("d"))
+	s.InjectCrash(CrashAfterOp, 1, nil)
+	err := s.Delete(ctx, "aws_vpc", vpc.ID, "test")
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("err = %v, want ErrCrashed", err)
+	}
+	// Deletion went through server-side; the retry sees 404, which a
+	// crash-safe applier must tolerate.
+	if s.Count("aws_vpc") != 0 {
+		t.Errorf("count = %d, want 0", s.Count("aws_vpc"))
+	}
+	if err := s.Delete(ctx, "aws_vpc", vpc.ID, "test"); !IsNotFound(err) {
+		t.Errorf("retry err = %v, want 404", err)
+	}
+}

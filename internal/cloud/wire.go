@@ -41,11 +41,14 @@ func fromWire(w wireResource) *Resource {
 	}
 }
 
-// wireCreate is the POST body for resource creation.
+// wireCreate is the POST body for resource creation. The idempotency key
+// also travels as the Idempotency-Key header; the body field wins when both
+// are present.
 type wireCreate struct {
-	Region    string         `json:"region,omitempty"`
-	Attrs     map[string]any `json:"attrs"`
-	Principal string         `json:"principal,omitempty"`
+	Region         string         `json:"region,omitempty"`
+	Attrs          map[string]any `json:"attrs"`
+	Principal      string         `json:"principal,omitempty"`
+	IdempotencyKey string         `json:"idempotency_key,omitempty"`
 }
 
 // wireUpdate is the PATCH body for resource updates.

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 
+	"cloudless/internal/apply"
 	"cloudless/internal/cloud"
 	"cloudless/internal/eval"
 	"cloudless/internal/graph"
@@ -80,6 +81,19 @@ func Compute(current, target *state.State) *Plan {
 	p := &Plan{}
 	recreate := map[string]bool{}
 
+	// Reference-aware comparison: when an address already carries a
+	// different cloud ID than the snapshot recorded (an earlier — possibly
+	// crashed — rollback recreated it), target attributes referencing the
+	// old ID are compared against the live one. A reference that followed
+	// the recreation is intact, not diverged.
+	idMap := map[string]string{}
+	for _, addr := range target.Addrs() {
+		tgt := target.Get(addr)
+		if cur := current.Get(addr); cur != nil && tgt.ID != "" && cur.ID != "" && cur.ID != tgt.ID {
+			idMap[tgt.ID] = cur.ID
+		}
+	}
+
 	// Pass 1: classify direct differences.
 	kindOf := map[string]StepKind{}
 	reason := map[string]string{}
@@ -92,7 +106,7 @@ func Compute(current, target *state.State) *Plan {
 			recreate[addr] = true
 			continue
 		}
-		changed, forced := classifyDiff(tgt.Type, cur.Attrs, tgt.Attrs)
+		changed, forced := classifyDiff(tgt.Type, cur.Attrs, tgt.Attrs, idMap)
 		switch {
 		case len(changed) == 0:
 			continue
@@ -185,8 +199,9 @@ func Compute(current, target *state.State) *Plan {
 }
 
 // classifyDiff returns changed configurable attrs and the subset that is
-// ForceNew (irreversible in place).
-func classifyDiff(typ string, cur, tgt map[string]eval.Value) (changed, forced []string) {
+// ForceNew (irreversible in place). Target values are passed through idMap
+// so references follow recreated resources' live IDs.
+func classifyDiff(typ string, cur, tgt map[string]eval.Value, idMap map[string]string) (changed, forced []string) {
 	rs, ok := schema.LookupResource(typ)
 	for name, want := range tgt {
 		if ok {
@@ -194,6 +209,7 @@ func classifyDiff(typ string, cur, tgt map[string]eval.Value) (changed, forced [
 				continue
 			}
 		}
+		want = remapValue(want, idMap)
 		have, exists := cur[name]
 		if exists && have.Equal(want) {
 			continue
@@ -281,14 +297,71 @@ func orderByDependencies(addrs []string, st *state.State) []string {
 	return order
 }
 
+// ExecOptions configures Execute.
+type ExecOptions struct {
+	Principal string
+	// Journal, when non-nil, makes the rollback crash-safe: intents are
+	// durably recorded before the first cloud call and every op is framed by
+	// begin/done records. A crashed rollback is reconciled with
+	// apply.Recover and finished by re-computing the rollback plan from the
+	// reconciled state.
+	Journal *apply.Journal
+}
+
 // Execute runs a rollback plan against the cloud, rewriting references to
 // recreated resources as their IDs change. Destruction happens for all
 // recreated resources up front, dependents first, because real clouds (and
 // the simulator) refuse to delete a resource that is still referenced.
 // It returns the resulting state.
 func Execute(ctx context.Context, cl cloud.Interface, current, target *state.State, p *Plan, principal string) (*state.State, error) {
+	return ExecuteJournaled(ctx, cl, current, target, p, ExecOptions{Principal: principal})
+}
+
+// ExecuteJournaled is Execute with crash-safety options.
+func ExecuteJournaled(ctx context.Context, cl cloud.Interface, current, target *state.State, p *Plan, opts ExecOptions) (*state.State, error) {
+	principal := opts.Principal
+	j := opts.Journal
+	if j != nil {
+		if err := j.LogIntents(planIntents(p, current)); err != nil {
+			return current.Clone(), fmt.Errorf("rollback: journal intents: %w", err)
+		}
+	}
 	out := current.Clone()
 	remap := map[string]string{} // old cloud ID -> new cloud ID
+
+	// Seed the remap from live reality: when an address already carries a
+	// different cloud ID than the snapshot recorded (a previous — possibly
+	// crashed — rollback recreated it), references in target attributes must
+	// follow the live ID. In-run recreations overwrite these entries as they
+	// happen.
+	for _, addr := range target.Addrs() {
+		tgt := target.Get(addr)
+		if cur := current.Get(addr); cur != nil && tgt.ID != "" && cur.ID != "" && cur.ID != tgt.ID {
+			remap[tgt.ID] = cur.ID
+		}
+	}
+
+	del := func(addr, typ, id, phase string) error {
+		if j != nil {
+			if err := j.Begin(apply.OpRecord{Addr: addr, Action: "delete", Type: typ, ID: id}); err != nil {
+				return err
+			}
+		}
+		err := cl.Delete(ctx, typ, id, principal)
+		if err != nil && !cloud.IsNotFound(err) {
+			if j != nil && apply.DefinitiveFailure(err) {
+				_ = j.Fail(addr, "delete", err)
+			}
+			return fmt.Errorf("rollback %s (%s): %w", addr, phase, err)
+		}
+		if j != nil {
+			if err := j.Done(apply.OpRecord{Addr: addr, Action: "delete", Type: typ, ID: id}); err != nil {
+				return err
+			}
+		}
+		out.Remove(addr)
+		return nil
+	}
 
 	// Destroy phase: recreated resources, dependents before dependencies
 	// (the create-ordered step list reversed).
@@ -301,10 +374,9 @@ func Execute(ctx context.Context, cl cloud.Interface, current, target *state.Sta
 		if cur == nil {
 			continue
 		}
-		if err := cl.Delete(ctx, cur.Type, cur.ID, principal); err != nil && !cloud.IsNotFound(err) {
-			return out, fmt.Errorf("rollback %s (destroy phase): %w", step.Addr, err)
+		if err := del(step.Addr, cur.Type, cur.ID, "destroy phase"); err != nil {
+			return out, err
 		}
-		out.Remove(step.Addr)
 	}
 
 	for _, step := range p.Steps {
@@ -314,18 +386,29 @@ func Execute(ctx context.Context, cl cloud.Interface, current, target *state.Sta
 			if rs == nil {
 				continue
 			}
-			if err := cl.Delete(ctx, rs.Type, rs.ID, principal); err != nil && !cloud.IsNotFound(err) {
-				return out, fmt.Errorf("rollback %s: %w", step.Addr, err)
+			if err := del(step.Addr, rs.Type, rs.ID, "delete phase"); err != nil {
+				return out, err
 			}
-			out.Remove(step.Addr)
 
 		case Recreate, CreateMissing:
 			tgtRS := target.Get(step.Addr)
 			attrs := remapRefs(step.Attrs, remap)
-			created, err := cl.Create(ctx, cloud.CreateRequest{
+			req := cloud.CreateRequest{
 				Type: step.Type, Region: tgtRS.Region, Attrs: attrs, Principal: principal,
-			})
+			}
+			if j != nil {
+				req.IdempotencyKey = j.IdemKey(step.Addr)
+				if err := j.Begin(apply.OpRecord{Addr: step.Addr, Action: "create",
+					Type: step.Type, Region: tgtRS.Region, IdemKey: req.IdempotencyKey,
+					Attrs: apply.AttrsOut(attrs), Deps: tgtRS.Dependencies}); err != nil {
+					return out, err
+				}
+			}
+			created, err := cl.Create(ctx, req)
 			if err != nil {
+				if j != nil && apply.DefinitiveFailure(err) {
+					_ = j.Fail(step.Addr, "create", err)
+				}
 				return out, fmt.Errorf("rollback %s (create phase): %w", step.Addr, err)
 			}
 			if tgtRS.ID != "" {
@@ -333,6 +416,13 @@ func Execute(ctx context.Context, cl cloud.Interface, current, target *state.Sta
 			}
 			if cur := current.Get(step.Addr); cur != nil && cur.ID != "" {
 				remap[cur.ID] = created.ID
+			}
+			if j != nil {
+				if err := j.Done(apply.OpRecord{Addr: step.Addr, Action: "create",
+					Type: step.Type, Region: created.Region, ID: created.ID,
+					Attrs: apply.AttrsOut(created.Attrs), Deps: tgtRS.Dependencies}); err != nil {
+					return out, err
+				}
 			}
 			out.Set(&state.ResourceState{
 				Addr: step.Addr, Type: step.Type, ID: created.ID, Region: created.Region,
@@ -356,16 +446,68 @@ func Execute(ctx context.Context, cl cloud.Interface, current, target *state.Sta
 			if len(delta) == 0 {
 				continue
 			}
+			if j != nil {
+				if err := j.Begin(apply.OpRecord{Addr: step.Addr, Action: "update",
+					Type: step.Type, ID: rs.ID, Attrs: apply.AttrsOut(delta)}); err != nil {
+					return out, err
+				}
+			}
 			updated, err := cl.Update(ctx, cloud.UpdateRequest{
 				Type: step.Type, ID: rs.ID, Attrs: delta, Principal: principal,
 			})
 			if err != nil {
+				if j != nil && apply.DefinitiveFailure(err) {
+					_ = j.Fail(step.Addr, "update", err)
+				}
 				return out, fmt.Errorf("rollback %s (revert phase): %w", step.Addr, err)
+			}
+			if j != nil {
+				if err := j.Done(apply.OpRecord{Addr: step.Addr, Action: "update",
+					Type: step.Type, ID: rs.ID, Attrs: apply.AttrsOut(updated.Attrs)}); err != nil {
+					return out, err
+				}
 			}
 			rs.Attrs = updated.Attrs
 		}
 	}
 	return out, nil
+}
+
+// planIntents journals what the rollback is about to do, so recovery can
+// adopt orphaned recreations and the operator can see what a crashed
+// rollback was attempting.
+func planIntents(p *Plan, current *state.State) []apply.Intent {
+	intents := make([]apply.Intent, 0, len(p.Steps))
+	for _, step := range p.Steps {
+		in := apply.Intent{Addr: step.Addr, Type: step.Type}
+		switch step.Kind {
+		case DeleteExtra:
+			in.Action = "delete"
+			if rs := current.Get(step.Addr); rs != nil {
+				in.ID = rs.ID
+				in.Region = rs.Region
+			}
+		case Recreate:
+			in.Action = "replace"
+			if rs := current.Get(step.Addr); rs != nil {
+				in.ID = rs.ID
+				in.Region = rs.Region
+			}
+		case CreateMissing:
+			in.Action = "create"
+		case RevertInPlace:
+			in.Action = "update"
+			if rs := current.Get(step.Addr); rs != nil {
+				in.ID = rs.ID
+				in.Region = rs.Region
+			}
+		}
+		if v, ok := step.Attrs["name"]; ok && !v.IsNull() && v.Kind() == eval.KindString {
+			in.Name = v.AsString()
+		}
+		intents = append(intents, in)
+	}
+	return intents
 }
 
 // remapRefs substitutes recreated resources' old IDs with their new IDs in

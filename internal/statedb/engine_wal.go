@@ -2,23 +2,23 @@ package statedb
 
 import (
 	"bytes"
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
 	"sync"
 
 	"cloudless/internal/state"
+	"cloudless/internal/wal"
 )
 
 // WAL file layout inside the engine directory:
 //
 //	snapshot.json — full state at the last compaction (state JSON format)
-//	wal.log       — commits since, each framed as
-//	                [uint32 payload length][uint32 CRC-32][payload JSON]
+//	wal.log       — commits since, each a CRC-framed JSON record in the
+//	                shared internal/wal frame format (also used by the
+//	                apply journal)
 //
 // Replay on Open applies every intact record after the snapshot; a torn
 // tail (short frame or checksum mismatch, the crash-mid-commit case) is
@@ -135,15 +135,19 @@ func (e *WALEngine) replay(logPath string) error {
 	durable := 0 // byte offset of the last fully-applied record
 	off := 0
 	for {
-		rec, next, ok := nextWALRecord(data, off)
+		payload, next, ok := wal.Next(data, off)
 		if !ok {
+			break
+		}
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			// A CRC-intact frame with an undecodable payload is treated
+			// like a torn tail: recover to the last good commit.
 			break
 		}
 		if rec.Serial > e.mem.Serial() {
 			b, err := rec.toBatch()
 			if err != nil {
-				// A decodable frame with an undecodable payload is treated
-				// like a torn tail: recover to the last good commit.
 				break
 			}
 			if _, err := e.mem.Commit(b); err != nil {
@@ -159,28 +163,6 @@ func (e *WALEngine) replay(logPath string) error {
 		}
 	}
 	return nil
-}
-
-// nextWALRecord decodes one frame at off; ok is false for a torn or corrupt
-// frame (short header, short payload, or CRC mismatch).
-func nextWALRecord(data []byte, off int) (walRecord, int, bool) {
-	var rec walRecord
-	if off+8 > len(data) {
-		return rec, off, false
-	}
-	n := int(binary.LittleEndian.Uint32(data[off:]))
-	sum := binary.LittleEndian.Uint32(data[off+4:])
-	if n <= 0 || off+8+n > len(data) {
-		return rec, off, false
-	}
-	payload := data[off+8 : off+8+n]
-	if crc32.ChecksumIEEE(payload) != sum {
-		return rec, off, false
-	}
-	if err := json.Unmarshal(payload, &rec); err != nil {
-		return rec, off, false
-	}
-	return rec, off + 8 + n, true
 }
 
 // toBatch converts a replayed record back into an engine batch.
@@ -241,11 +223,7 @@ func encodeRecord(b *Batch, serial int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	frame := make([]byte, 8+len(payload))
-	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
-	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
-	copy(frame[8:], payload)
-	return frame, nil
+	return wal.Encode(payload), nil
 }
 
 // Name returns the backend name.

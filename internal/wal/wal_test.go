@@ -1,0 +1,97 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		[]byte(`{"serial":1}`),
+		[]byte("x"),
+		bytes.Repeat([]byte("abc"), 1000),
+	}
+	var log []byte
+	for _, p := range payloads {
+		log = append(log, Encode(p)...)
+	}
+	var got [][]byte
+	durable := Scan(log, func(p []byte) bool {
+		cp := append([]byte(nil), p...)
+		got = append(got, cp)
+		return true
+	})
+	if durable != len(log) {
+		t.Fatalf("durable = %d, want %d", durable, len(log))
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("decoded %d frames, want %d", len(got), len(payloads))
+	}
+	for i := range payloads {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Errorf("frame %d: got %q want %q", i, got[i], payloads[i])
+		}
+	}
+}
+
+func TestTornTailDropped(t *testing.T) {
+	good := Encode([]byte("intact"))
+	torn := Encode([]byte("this frame will be cut"))
+	for cut := 1; cut < len(torn); cut++ {
+		log := append(append([]byte(nil), good...), torn[:cut]...)
+		n := 0
+		durable := Scan(log, func([]byte) bool { n++; return true })
+		if n != 1 {
+			t.Fatalf("cut=%d: decoded %d frames, want 1", cut, n)
+		}
+		if durable != len(good) {
+			t.Fatalf("cut=%d: durable = %d, want %d", cut, durable, len(good))
+		}
+	}
+}
+
+func TestCRCCorruptionStopsReplay(t *testing.T) {
+	a := Encode([]byte("first"))
+	b := Encode([]byte("second"))
+	log := append(append([]byte(nil), a...), b...)
+	// Flip one payload byte of the second frame.
+	log[len(a)+HeaderSize] ^= 0xff
+	n := 0
+	durable := Scan(log, func([]byte) bool { n++; return true })
+	if n != 1 || durable != len(a) {
+		t.Fatalf("got %d frames, durable %d; want 1 frame, durable %d", n, durable, len(a))
+	}
+}
+
+func TestLengthOverflowRejected(t *testing.T) {
+	// A header claiming a payload far past the buffer (and past MaxFrameSize)
+	// must be treated as torn, not allocated.
+	hdr := make([]byte, HeaderSize)
+	binary.LittleEndian.PutUint32(hdr, 0xffffffff)
+	if _, _, ok := Next(hdr, 0); ok {
+		t.Fatal("oversized length accepted")
+	}
+	if _, _, ok := Next(hdr, -4); ok {
+		t.Fatal("negative offset accepted")
+	}
+	// Zero-length frames are invalid too.
+	binary.LittleEndian.PutUint32(hdr, 0)
+	if _, _, ok := Next(hdr, 0); ok {
+		t.Fatal("zero length accepted")
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	a := Encode([]byte("a"))
+	b := Encode([]byte("b"))
+	log := append(append([]byte(nil), a...), b...)
+	n := 0
+	durable := Scan(log, func([]byte) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("decoded %d frames, want 1 (early stop)", n)
+	}
+	if durable != len(a) {
+		t.Fatalf("durable = %d, want %d", durable, len(a))
+	}
+}

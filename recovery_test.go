@@ -1,0 +1,160 @@
+package cloudless_test
+
+// Facade-level crash safety: a stack opened with JournalPath journals every
+// apply; a crash mid-apply leaves a journal that the next stack (same cloud,
+// same state) recovers automatically at Plan time, converging to exactly the
+// desired resources.
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	cloudless "cloudless"
+	"cloudless/internal/cloud"
+)
+
+func openJournaled(t *testing.T, sim cloud.Interface, journalPath string, initial *cloudless.State) *cloudless.Stack {
+	t.Helper()
+	s, err := cloudless.Open(cloudless.Options{
+		Sources:      map[string]string{"main.ccl": stackConfig},
+		Cloud:        sim,
+		JournalPath:  journalPath,
+		InitialState: initial,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStackJournalDiscardedAfterCleanApply(t *testing.T) {
+	sim := newSim()
+	journalPath := filepath.Join(t.TempDir(), "apply.journal")
+	s := openJournaled(t, sim, journalPath, nil)
+	defer s.Close()
+	ctx := context.Background()
+
+	p, err := s.Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Apply(ctx, p, cloudless.ApplyOptions{}); err != nil {
+		t.Fatalf("apply: %s", err)
+	}
+	if s.HasStaleJournal() {
+		t.Error("journal survived a clean apply")
+	}
+}
+
+func TestStackCrashMidApplyRecoversOnNextPlan(t *testing.T) {
+	sim := newSim()
+	journalPath := filepath.Join(t.TempDir(), "apply.journal")
+	ctx := context.Background()
+
+	// First "process": crash after the 3rd mutating op lands (its response
+	// is lost, leaving the op in doubt).
+	s1 := openJournaled(t, sim, journalPath, nil)
+	p, err := s1.Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyCtx, cancel := context.WithCancel(ctx)
+	sim.InjectCrash(cloud.CrashAfterOp, 3, cancel)
+	_, _, err = s1.Apply(applyCtx, p, cloudless.ApplyOptions{})
+	sim.ClearCrash()
+	cancel()
+	if err == nil {
+		t.Fatal("apply succeeded despite injected crash")
+	}
+	if !s1.HasStaleJournal() {
+		t.Fatal("no journal left behind by the crashed apply")
+	}
+	// The crashed process's partial commit is its surviving state file.
+	survived := s1.DB().Snapshot()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second "process": a plain Plan auto-recovers the journal first, then
+	// a normal apply finishes the run.
+	s2 := openJournaled(t, sim, journalPath, survived)
+	defer s2.Close()
+	if !s2.HasStaleJournal() {
+		t.Fatal("stale journal not visible to the restarted stack")
+	}
+	p2, err := s2.Plan(ctx)
+	if err != nil {
+		t.Fatalf("plan with stale journal: %s", err)
+	}
+	if s2.HasStaleJournal() {
+		t.Error("plan did not recover the stale journal")
+	}
+	if p2.PendingCount() > 0 {
+		if _, _, err := s2.Apply(ctx, p2, cloudless.ApplyOptions{}); err != nil {
+			t.Fatalf("continuation apply: %s", err)
+		}
+	}
+
+	// Converged: cloud and state agree exactly, and re-planning is a noop.
+	final := s2.DB().Snapshot()
+	if got := sim.TotalResources(); got != final.Len() {
+		t.Errorf("cloud holds %d resources, state %d", got, final.Len())
+	}
+	for _, addr := range final.Addrs() {
+		rs := final.Get(addr)
+		if _, err := sim.Get(ctx, rs.Type, rs.ID); err != nil {
+			t.Errorf("state entry %s missing from cloud: %s", addr, err)
+		}
+	}
+	p3, err := s2.Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.PendingCount() != 0 {
+		t.Errorf("re-plan has %d pending changes, want 0", p3.PendingCount())
+	}
+}
+
+func TestStackApplyWithStaleJournalReturnsTypedError(t *testing.T) {
+	sim := newSim()
+	journalPath := filepath.Join(t.TempDir(), "apply.journal")
+	ctx := context.Background()
+
+	s1 := openJournaled(t, sim, journalPath, nil)
+	p, err := s1.Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyCtx, cancel := context.WithCancel(ctx)
+	sim.InjectCrash(cloud.CrashBeforeOp, 2, cancel)
+	_, _, _ = s1.Apply(applyCtx, p, cloudless.ApplyOptions{})
+	sim.ClearCrash()
+	cancel()
+	survived := s1.DB().Snapshot()
+	s1.Close()
+
+	// Feeding the stale plan straight into Apply on a fresh stack recovers
+	// first and demands a re-plan instead of double-applying.
+	s2 := openJournaled(t, sim, journalPath, survived)
+	defer s2.Close()
+	_, _, err = s2.Apply(ctx, p, cloudless.ApplyOptions{})
+	if _, ok := err.(*cloudless.ErrJournalRecovered); !ok {
+		t.Fatalf("err = %v, want *ErrJournalRecovered", err)
+	}
+	if s2.HasStaleJournal() {
+		t.Error("apply did not recover the stale journal")
+	}
+	p2, err := s2.Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.PendingCount() > 0 {
+		if _, _, err := s2.Apply(ctx, p2, cloudless.ApplyOptions{}); err != nil {
+			t.Fatalf("re-planned apply: %s", err)
+		}
+	}
+	if got, want := sim.TotalResources(), s2.DB().Snapshot().Len(); got != want {
+		t.Errorf("cloud holds %d resources, state %d", got, want)
+	}
+}
