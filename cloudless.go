@@ -31,7 +31,9 @@ import (
 	"cloudless/internal/diagnose"
 	"cloudless/internal/drift"
 	"cloudless/internal/eval"
+	"cloudless/internal/guard"
 	"cloudless/internal/hcl"
+	"cloudless/internal/health"
 	"cloudless/internal/plan"
 	"cloudless/internal/policy"
 	"cloudless/internal/provider"
@@ -143,6 +145,31 @@ type Options struct {
 	// ProviderMaxInFlight is the AIMD concurrency-window ceiling per cloud
 	// provider (default 64).
 	ProviderMaxInFlight int
+
+	// Guarded-apply knobs (DESIGN.md S24). When GuardApplies is set, every
+	// Apply runs health-gated: each create/update is probed until the
+	// resource turns ready before dependents unblock, a per-run/per-region
+	// failure fuse stops admitting ops into domains that fail too much, and
+	// when resources never turn ready (or a fuse trips) the touched blast
+	// radius is automatically reverted under the journal.
+
+	// GuardApplies turns guarded execution on.
+	GuardApplies bool
+	// GuardCanary in (0, 1) applies a dependency-closed canary fraction of
+	// each changeset first and releases the rest only if the canary
+	// converges healthy. Zero disables the canary split.
+	GuardCanary float64
+	// GuardMaxFailures trips a failure domain's fuse at this many failures
+	// (default 3).
+	GuardMaxFailures int
+	// GuardMaxFailureFraction trips a domain when failed/planned reaches
+	// this fraction of the domain's planned ops (default 0.5).
+	GuardMaxFailureFraction float64
+	// HealthProbeTimeout bounds the per-resource readiness wait (default 30s).
+	HealthProbeTimeout time.Duration
+	// HealthProbeInterval is the first probe poll gap; polls back off
+	// exponentially from it (default 10ms).
+	HealthProbeInterval time.Duration
 }
 
 // Stack is an infrastructure under cloudless management.
@@ -159,6 +186,7 @@ type Stack struct {
 	principal   string
 	telemetry   *telemetry.Recorder
 	journalPath string
+	guardOpts   *guard.Options
 }
 
 // Open loads, expands, and binds a configuration.
@@ -233,6 +261,17 @@ func Open(opts Options) (*Stack, error) {
 		principal:   principal,
 		telemetry:   opts.Telemetry,
 		journalPath: opts.JournalPath,
+	}
+	if opts.GuardApplies {
+		s.guardOpts = &guard.Options{
+			Canary:             opts.GuardCanary,
+			MaxFailures:        opts.GuardMaxFailures,
+			MaxFailureFraction: opts.GuardMaxFailureFraction,
+			Probe: health.ProbeOptions{
+				Timeout:  opts.HealthProbeTimeout,
+				Interval: opts.HealthProbeInterval,
+			},
+		}
 	}
 	if sim, ok := provider.Unwrap(opts.Cloud).(*cloud.Sim); ok && opts.Telemetry != nil {
 		// Route simulator counters (API calls, throttles, injected failures)
@@ -574,17 +613,26 @@ func (s *Stack) Apply(ctx context.Context, p *Plan, opts ApplyOptions) (*ApplyRe
 		}
 		j = nj
 	}
-	res := apply.Apply(ctx, s.cloudAPI, p, apply.Options{
+	applyOpts := apply.Options{
 		Concurrency:     opts.Concurrency,
 		Scheduler:       opts.Scheduler,
 		Principal:       s.principal,
 		ContinueOnError: true,
 		Journal:         j,
-	})
+	}
+	var res *ApplyResult
+	if s.guardOpts != nil {
+		span.SetAttr("guarded", true)
+		res = guard.Run(ctx, s.cloudAPI, p, applyOpts, *s.guardOpts)
+	} else {
+		res = apply.Apply(ctx, s.cloudAPI, p, applyOpts)
+	}
 	keepJournal := true
 	if j != nil {
-		// The journal is discarded only after a zero-error apply whose state
-		// committed; anything less leaves it for Recover to reconcile.
+		// The journal is discarded after a zero-error apply whose state
+		// committed, or after a guarded apply whose auto-rollback fully
+		// reverted the blast radius (the cloud matches what state records
+		// either way); anything less leaves it for Recover to reconcile.
 		defer func() {
 			if keepJournal {
 				_ = j.Close()
@@ -608,12 +656,17 @@ func (s *Stack) Apply(ctx context.Context, p *Plan, opts ApplyOptions) (*ApplyRe
 	if _, err := txn.Commit(); err != nil {
 		return res, nil, err
 	}
-	if res.Err() == nil {
+	if res.Err() == nil || res.Reverted {
 		keepJournal = false
 	}
 	span.SetAttr("applied", res.Applied)
 	span.SetAttr("failed", len(res.Errors))
 	span.SetAttr("retries", res.Retries)
+	if s.guardOpts != nil {
+		span.SetAttr("gate_failures", res.GateFailures)
+		span.SetAttr("fuse_tripped", len(res.FuseTripped))
+		span.SetAttr("reverted", res.Reverted)
+	}
 	// Record outputs on the lifecycle span with the same redaction the
 	// display path applies: sensitive values never reach a trace file.
 	for name, v := range s.DisplayOutputs() {

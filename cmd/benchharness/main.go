@@ -35,11 +35,12 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (E1..E10, ET, SD, PV, CR)")
+	only := flag.String("only", "", "run a single experiment (E1..E10, ET, SD, PV, CR, HG)")
 	flag.StringVar(&jsonOut, "json", "", "write machine-readable results (currently: ET) to this file")
 	flag.StringVar(&jsonOutSD, "json-sd", "", "write machine-readable SD results to this file")
 	flag.StringVar(&jsonOutPV, "json-pv", "", "write machine-readable PV results to this file")
 	flag.StringVar(&jsonOutCR, "json-cr", "", "write machine-readable CR results to this file")
+	flag.StringVar(&jsonOutHG, "json-hg", "", "write machine-readable HG results to this file")
 	flag.Parse()
 
 	experiments := []struct {
@@ -61,6 +62,7 @@ func main() {
 		{"SD", "state storage engines: churn throughput and plan-during-apply (§3.4)", sd},
 		{"PV", "provider runtime: coalesced drift scans and AIMD apply under 429s", pv},
 		{"CR", "crash recovery: randomized kill/restart/recover convergence (§3.5, §3.6)", cr},
+		{"HG", "health-gated progressive applies: guarded vs unguarded under readiness faults (§24)", hg},
 	}
 	for _, e := range experiments {
 		if *only != "" && !strings.EqualFold(*only, e.id) {

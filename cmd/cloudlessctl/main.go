@@ -4,6 +4,7 @@
 //	cloudlessctl validate  -dir ./infra
 //	cloudlessctl plan      -dir ./infra -state cloudless.state.json [-cloud URL]
 //	cloudlessctl apply     -dir ./infra -state cloudless.state.json [-target addr]...
+//	cloudlessctl apply     -dir ./infra -guard -canary 0.2 -max-failures 3
 //	cloudlessctl destroy   -state cloudless.state.json
 //	cloudlessctl drift     -state cloudless.state.json [-scan]
 //	cloudlessctl import    -out ./imported [-modules]
@@ -88,7 +89,7 @@ func usage() {
 Commands:
   validate   compile-time validation (schema, semantic types, cloud constraints)
   plan       compute an execution plan
-  apply      plan and apply
+  apply      plan and apply (-guard health-gates it; -canary 0.2 canaries a fifth first)
   destroy    delete everything in the state
   drift      detect out-of-band changes (activity log; -scan for full scan)
   import     port existing cloud resources to a CCL program + state
@@ -118,6 +119,13 @@ type commonFlags struct {
 	providerTTL      *time.Duration
 	providerRetries  *int
 	providerInFlight *int
+
+	// Guarded-apply flags; registered only by commands that apply.
+	guard            *bool
+	guardCanary      *float64
+	guardMaxFailures *int
+	guardMaxFailFrac *float64
+	healthTimeout    *time.Duration
 
 	recorder *telemetry.Recorder
 	rootSpan *telemetry.Span
@@ -264,7 +272,7 @@ func (c *commonFlags) open() (*cloudless.Stack, error) {
 	if *c.stateBackend == cloudless.BackendWAL {
 		stateDir = *c.statePath + ".wal"
 	}
-	return cloudless.Open(cloudless.Options{
+	opts := cloudless.Options{
 		Dir:                 *c.dir,
 		Cloud:               c.cloud(),
 		InitialState:        st,
@@ -276,7 +284,15 @@ func (c *commonFlags) open() (*cloudless.Stack, error) {
 		ProviderCacheTTL:    *c.providerTTL,
 		ProviderMaxRetries:  *c.providerRetries,
 		ProviderMaxInFlight: *c.providerInFlight,
-	})
+	}
+	if c.guard != nil && *c.guard {
+		opts.GuardApplies = true
+		opts.GuardCanary = *c.guardCanary
+		opts.GuardMaxFailures = *c.guardMaxFailures
+		opts.GuardMaxFailureFraction = *c.guardMaxFailFrac
+		opts.HealthProbeTimeout = *c.healthTimeout
+	}
+	return cloudless.Open(opts)
 }
 
 func (c *commonFlags) saveState(s *cloudless.Stack) error {
@@ -316,6 +332,16 @@ func cmdPlanApply(args []string, doApply bool) error {
 	c.fs.Var(&targets, "target", "confine planning to the impact scope of this resource address (repeatable)")
 	concurrency := c.fs.Int("concurrency", 10, "parallel cloud operations")
 	fifo := c.fs.Bool("fifo", false, "use the baseline FIFO scheduler instead of critical-path-first")
+	c.guard = c.fs.Bool("guard", false,
+		"health-gate the apply: probe each resource until ready, trip a failure fuse per run/region, auto-revert the blast radius when resources never turn ready")
+	c.guardCanary = c.fs.Float64("canary", 0,
+		"with -guard: apply this dependency-closed fraction of the changeset first and release the rest only if it converges healthy (0 disables)")
+	c.guardMaxFailures = c.fs.Int("max-failures", 0,
+		"with -guard: trip a failure domain's fuse at this many failures (0 = default 3)")
+	c.guardMaxFailFrac = c.fs.Float64("max-failure-frac", 0,
+		"with -guard: trip a domain at this failed/planned fraction (0 = default 0.5)")
+	c.healthTimeout = c.fs.Duration("health-timeout", 0,
+		"with -guard: per-resource readiness wait bound (0 = default 30s)")
 	_ = c.fs.Parse(args)
 	name := "plan"
 	if doApply {
@@ -364,6 +390,15 @@ func cmdPlanApply(args []string, doApply bool) error {
 	stop()
 	for _, d := range diagnoses {
 		fmt.Print(d.String())
+	}
+	if res != nil && (res.GateFailures > 0 || len(res.FuseTripped) > 0) {
+		fmt.Printf("guard: %d op(s) never turned ready; tripped fuses: %s\n",
+			res.GateFailures, strings.Join(res.FuseTripped, ", "))
+		if res.Reverted {
+			fmt.Printf("guard: auto-rollback reverted %d resource(s)\n", len(res.RolledBack))
+		} else if len(res.RolledBack) > 0 {
+			fmt.Printf("guard: auto-rollback of %d resource(s) did not complete; run recover\n", len(res.RolledBack))
+		}
 	}
 	if err != nil {
 		// Partial results are already committed to the golden state; persist

@@ -19,6 +19,7 @@ import (
 	"cloudless/internal/cloud"
 	"cloudless/internal/eval"
 	"cloudless/internal/graph"
+	"cloudless/internal/health"
 	"cloudless/internal/plan"
 	"cloudless/internal/provider"
 	"cloudless/internal/schema"
@@ -68,12 +69,36 @@ type Options struct {
 	// cloud call, and creates carry idempotency keys derived from the
 	// journal's run ID so a crashed run's retry never duplicates.
 	Journal *Journal
+	// Guard, when set, enables health-gated execution (DESIGN.md S24):
+	// every create/update is probed until ready before its op counts as
+	// done and dependents unblock, and a per-run/per-region failure fuse
+	// stops admitting new ops in a domain that has failed too much.
+	Guard *GuardConfig
 
 	// idemPrefix seeds per-op idempotency keys; set by Apply from the
 	// journal's run ID, or generated fresh so even journal-less applies get
 	// replay-safe creates (a transport error mid-create retried by the
 	// provider runtime is the same in-doubt problem at smaller scale).
 	idemPrefix string
+	// healthWaitNs accumulates readiness-probe wait across ops; set by
+	// Apply.
+	healthWaitNs *int64
+}
+
+// GuardConfig configures health-gated execution.
+type GuardConfig struct {
+	// Probe bounds the per-resource readiness wait.
+	Probe health.ProbeOptions
+	// MaxFailures and MaxFailureFraction are the fuse trip thresholds,
+	// applied per failure domain (the whole run, and each region). Zero
+	// means the health package defaults (3 failures / 0.5 of the domain's
+	// planned ops).
+	MaxFailures        int
+	MaxFailureFraction float64
+	// Fuse, when set, is used instead of building one from the thresholds.
+	// The canary orchestration in internal/guard shares one fuse across
+	// waves so failure counts accumulate over the whole changeset.
+	Fuse *health.Fuse
 }
 
 func (o *Options) withDefaults() Options {
@@ -104,17 +129,42 @@ type Result struct {
 	Outputs map[string]eval.Value
 	// Errors by address.
 	Errors map[string]error
+
+	// Guarded-apply accounting (zero values when Guard is off).
+	//
+	// HealthWait is the total time spent in readiness probes; GateFailures
+	// counts ops whose resource never turned ready despite the API ACK;
+	// FuseTripped lists failure domains whose circuit breaker opened.
+	HealthWait   time.Duration
+	GateFailures int
+	FuseTripped  []string
+	// RolledBack lists the addresses reverted by the auto-rollback, and
+	// Reverted reports that the rollback completed cleanly — both set by
+	// the orchestration in internal/guard, never by Apply itself.
+	RolledBack []string
+	Reverted   bool
 }
 
-// Err folds failures into one error.
+// Err folds failures into one error, deterministically: addresses are
+// folded in sorted order with a count, so CLI output and test assertions
+// are stable run-to-run.
 func (r *Result) Err() error {
-	if r.Report == nil {
-		for _, err := range r.Errors {
-			return err
-		}
+	if r.Report != nil {
+		return r.Report.Err()
+	}
+	if len(r.Errors) == 0 {
 		return nil
 	}
-	return r.Report.Err()
+	addrs := make([]string, 0, len(r.Errors))
+	for a := range r.Errors {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	first := r.Errors[addrs[0]]
+	if len(addrs) == 1 {
+		return fmt.Errorf("1 operation failed: %s: %w", addrs[0], first)
+	}
+	return fmt.Errorf("%d operations failed (first: %s: %s)", len(addrs), addrs[0], first)
 }
 
 // Apply executes the plan and returns the new state. The returned state
@@ -149,6 +199,28 @@ func Apply(ctx context.Context, cl cloud.Interface, p *plan.Plan, opts Options) 
 		o.idemPrefix = fmt.Sprintf("run-%d", time.Now().UnixNano())
 	}
 
+	// Guarded mode: every op reports into the fuse, and the walk consults
+	// it before admitting new ops. The fuse is usually built here from the
+	// plan's per-domain op counts; the canary orchestration passes a shared
+	// one spanning all waves.
+	var fuse *health.Fuse
+	var healthWait int64
+	if o.Guard != nil {
+		o.healthWaitNs = &healthWait
+		fuse = o.Guard.Fuse
+		if fuse == nil {
+			reg := telemetry.FromContext(ctx).Metrics()
+			fuse = health.NewFuse(health.FuseOptions{
+				MaxFailures:        o.Guard.MaxFailures,
+				MaxFailureFraction: o.Guard.MaxFailureFraction,
+				OnTrip: func(domain string) {
+					reg.Counter("apply.fuse_trips", "domain", domain).Inc()
+				},
+			})
+			SeedFuse(fuse, p)
+		}
+	}
+
 	var priority func(string) float64
 	if o.Scheduler == CriticalPathScheduler {
 		levels, _, err := p.Graph.CriticalPath(p.Costs())
@@ -172,6 +244,15 @@ func Apply(ctx context.Context, cl cloud.Interface, p *plan.Plan, opts Options) 
 		Concurrency:     o.Concurrency,
 		Priority:        priority,
 		ContinueOnError: o.ContinueOnError,
+	}
+	if fuse != nil {
+		walkOpts.Admit = func(addr string) bool {
+			ch := p.Changes[addr]
+			if ch == nil || ch.Action == plan.ActionNoop {
+				return true
+			}
+			return fuse.Allow(changeDomains(ch)...)
+		}
 	}
 	if rec != nil {
 		walkOpts.OnReady = func(node string) {
@@ -203,6 +284,13 @@ func Apply(ctx context.Context, cl cloud.Interface, p *plan.Plan, opts Options) 
 		}
 		err := applyChange(opCtx, cl, p, ch, o, newState, &stateMu)
 		atomic.AddInt64(&retries, opRetries.Load())
+		if fuse != nil && ch.Action != plan.ActionNoop {
+			if err != nil {
+				fuse.Failure(changeDomains(ch)...)
+			} else {
+				fuse.Success(changeDomains(ch)...)
+			}
+		}
 		if err != nil {
 			stateMu.Lock()
 			res.Errors[addr] = err
@@ -224,6 +312,15 @@ func Apply(ctx context.Context, cl cloud.Interface, p *plan.Plan, opts Options) 
 	res.Applied = done
 	res.Retries = int(atomic.LoadInt64(&retries))
 	res.Elapsed = time.Since(start)
+	if fuse != nil {
+		res.HealthWait = time.Duration(atomic.LoadInt64(&healthWait))
+		res.FuseTripped = fuse.Tripped()
+		for _, err := range res.Errors {
+			if health.IsGateError(err) {
+				res.GateFailures++
+			}
+		}
+	}
 
 	if rec != nil {
 		markCriticalPath(p.Graph, spanByAddr)
@@ -277,6 +374,30 @@ func markCriticalPath(g *graph.Graph, spanByAddr map[string]*telemetry.Span) {
 			}
 		}
 		cur = next
+	}
+}
+
+// changeDomains returns the failure domains an op belongs to: the whole run
+// plus its region.
+func changeDomains(ch *plan.Change) []string {
+	attrs := ch.After
+	if ch.Action == plan.ActionDelete {
+		attrs = ch.Before
+	}
+	return health.Domains(regionOf(ch, attrs))
+}
+
+// SeedFuse registers the plan's non-noop op counts into the fuse's failure
+// domains, so fractional trip thresholds are relative to what the run (and
+// each region) actually planned to do.
+func SeedFuse(f *health.Fuse, p *plan.Plan) {
+	for _, ch := range p.Changes {
+		if ch.Action == plan.ActionNoop {
+			continue
+		}
+		for _, d := range changeDomains(ch) {
+			f.Plan(d, 1)
+		}
 	}
 }
 
@@ -460,6 +581,33 @@ func applyChange(ctx context.Context, cl cloud.Interface, p *plan.Plan, ch *plan
 			return err
 		}
 
+		// Health gate: the API ACKed, but in guarded mode the op is not done
+		// until the resource turns ready. A resource that never does is a
+		// failure — but it exists, so its identity is recorded in state and
+		// journal below either way; the blast radius (dependents) is cut by
+		// returning the gate error, and cleanup is the auto-rollback's job.
+		var gateErr error
+		if o.Guard != nil {
+			waited, perr := health.Probe(ctx, cl, ch.Type, created.ID, o.Guard.Probe)
+			if o.healthWaitNs != nil {
+				atomic.AddInt64(o.healthWaitNs, int64(waited))
+			}
+			if sp := telemetry.SpanFromContext(ctx); sp != nil {
+				sp.SetAttr("health_wait_ms", durMillis(waited))
+			}
+			if rec := telemetry.FromContext(ctx); rec != nil {
+				rec.Metrics().Histogram("apply.health_wait_ms", "type", ch.Type).
+					Observe(durMillis(waited))
+			}
+			if perr != nil {
+				var ge *health.GateError
+				if errors.As(perr, &ge) {
+					ge.Addr = ch.Addr
+				}
+				gateErr = perr
+			}
+		}
+
 		stateMu.Lock()
 		prev := newState.Get(ch.Addr)
 		rsState := &state.ResourceState{
@@ -481,6 +629,10 @@ func applyChange(ctx context.Context, cl cloud.Interface, p *plan.Plan, ch *plan
 				Attrs: AttrsOut(created.Attrs), Deps: ch.Deps}); err != nil {
 				return err
 			}
+		}
+		if gateErr != nil {
+			// State and journal know the resource; dependents must not run.
+			return gateErr
 		}
 		p.Values.Set(ch.Addr, eval.Object(created.Attrs))
 		return nil

@@ -186,6 +186,17 @@ func (c *Client) List(ctx context.Context, typ, region string) ([]*Resource, err
 	return out, nil
 }
 
+// Health implements Interface.
+func (c *Client) Health(ctx context.Context, typ, id string) (*HealthReport, error) {
+	var rep HealthReport
+	err := c.do(ctx, http.MethodGet,
+		"/v1/resources/"+url.PathEscape(typ)+"/"+url.PathEscape(id)+"/health", nil, &rep)
+	if err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
 // Activity implements Interface.
 func (c *Client) Activity(ctx context.Context, afterSeq int64) ([]Event, error) {
 	var events []Event

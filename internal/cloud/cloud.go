@@ -179,4 +179,7 @@ type Interface interface {
 	List(ctx context.Context, typ, region string) ([]*Resource, error)
 	// Activity returns log events with Seq > afterSeq, in order.
 	Activity(ctx context.Context, afterSeq int64) ([]Event, error)
+	// Health reports a resource's readiness (provisioning/ready/degraded/
+	// failed). Guarded applies probe it before declaring an op done.
+	Health(ctx context.Context, typ, id string) (*HealthReport, error)
 }

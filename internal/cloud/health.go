@@ -1,0 +1,290 @@
+// Resource health: the readiness lifecycle that exists between "the API call
+// returned" and "the resource actually works". Real clouds expose it as
+// instance status checks / provisioning states; the simulator models it as a
+// per-resource state machine
+//
+//	provisioning -> ready | degraded | failed
+//
+// driven by a configurable readiness delay, optional flap schedules, and
+// fault injection (InjectUnhealthy). The guarded apply path (internal/apply,
+// internal/guard) probes this endpoint before declaring an op done — the
+// paper's §3 point that the lifecycle does not end at the ACK.
+package cloud
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// HealthStatus is a resource's readiness state.
+type HealthStatus string
+
+// Health states. A resource is born Provisioning, normally turns Ready after
+// its readiness delay, and stays there unless an injection or flap schedule
+// says otherwise. Degraded and Failed are both "not ready"; Failed is
+// terminal while Degraded may recover (flaps).
+const (
+	HealthProvisioning HealthStatus = "provisioning"
+	HealthReady        HealthStatus = "ready"
+	HealthDegraded     HealthStatus = "degraded"
+	HealthFailed       HealthStatus = "failed"
+	HealthUnknown      HealthStatus = "unknown"
+)
+
+// Ready reports whether the status is the one healthy terminal state.
+func (h HealthStatus) Ready() bool { return h == HealthReady }
+
+// HealthReport is the probe response for one resource.
+type HealthReport struct {
+	Status    HealthStatus `json:"status"`
+	Reason    string       `json:"reason,omitempty"`
+	CheckedAt time.Time    `json:"checked_at"`
+}
+
+// FlapStep is one leg of a flap schedule: hold Status for the modeled
+// duration For (scaled by Options.TimeScale like every other latency). A
+// schedule cycles forever, modeling a resource that oscillates between
+// states.
+type FlapStep struct {
+	For    time.Duration
+	Status HealthStatus
+}
+
+// UnhealthySpec targets upcoming creates with an unhealthy outcome: the next
+// Count matching resources never turn ready — after provisioning they land
+// in Status (default failed), or cycle through Flap when set. Empty filter
+// fields match everything.
+type UnhealthySpec struct {
+	// Count is how many creates this spec consumes; 0 means 1.
+	Count int
+	// Type, Region and Name filter which creates are affected. Name matches
+	// the "name" attribute.
+	Type   string
+	Region string
+	Name   string
+	// Status is the terminal state after provisioning (default failed).
+	Status HealthStatus
+	// Reason is surfaced in health reports.
+	Reason string
+	// Flap, when set, overrides Status with a cycling schedule.
+	Flap []FlapStep
+}
+
+// healthRec tracks one resource's readiness lifecycle.
+type healthRec struct {
+	provisioned bool      // create call completed server-side
+	readyAt     time.Time // when provisioning -> ready (or the flap base)
+	status      HealthStatus
+	reason      string
+	flap        []FlapStep
+}
+
+// InjectUnhealthy arms an unhealthiness injection: the next spec.Count
+// creates matching the spec's filters produce resources that never turn
+// ready. Follows the InjectCrash/InjectThrottles pattern; pending specs are
+// visible via Injections and cleared by ClearInjections.
+func (s *Sim) InjectUnhealthy(spec UnhealthySpec) {
+	if spec.Count <= 0 {
+		spec.Count = 1
+	}
+	if spec.Status == "" {
+		spec.Status = HealthFailed
+	}
+	if spec.Reason == "" {
+		spec.Reason = "InjectedFault: resource failed post-provisioning checks"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.unhealthy = append(s.unhealthy, spec)
+}
+
+// SetHealth overrides a live resource's health directly (tests and the HG
+// bench degrade already-created resources with it). Status ready clears any
+// injected outcome.
+func (s *Sim) SetHealth(typ, id string, status HealthStatus, reason string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := s.health[typ+"/"+id]
+	if rec == nil {
+		rec = &healthRec{provisioned: true, readyAt: time.Now()}
+		if s.health == nil {
+			s.health = map[string]*healthRec{}
+		}
+		s.health[typ+"/"+id] = rec
+	}
+	rec.flap = nil
+	if status == HealthReady {
+		rec.status = ""
+		rec.reason = ""
+		return
+	}
+	rec.status = status
+	rec.reason = reason
+}
+
+// applyUnhealthyLocked consumes the first pending spec matching a create and
+// stamps its outcome onto the record.
+func (s *Sim) applyUnhealthyLocked(rec *healthRec, typ, region, name string) {
+	for i := range s.unhealthy {
+		sp := &s.unhealthy[i]
+		if sp.Count <= 0 {
+			continue
+		}
+		if sp.Type != "" && sp.Type != typ {
+			continue
+		}
+		if sp.Region != "" && sp.Region != region {
+			continue
+		}
+		if sp.Name != "" && sp.Name != name {
+			continue
+		}
+		sp.Count--
+		rec.status = sp.Status
+		rec.reason = sp.Reason
+		rec.flap = sp.Flap
+		if sp.Count == 0 {
+			s.compactUnhealthyLocked()
+		}
+		return
+	}
+}
+
+func (s *Sim) compactUnhealthyLocked() {
+	kept := s.unhealthy[:0]
+	for _, sp := range s.unhealthy {
+		if sp.Count > 0 {
+			kept = append(kept, sp)
+		}
+	}
+	s.unhealthy = kept
+}
+
+// scaledFlat is sleepScaled's deterministic cousin: modeled duration times
+// TimeScale, no jitter, no sleeping. Readiness deadlines use it so probes
+// see a stable schedule.
+func (s *Sim) scaledFlat(d time.Duration) time.Duration {
+	if s.opts.TimeScale <= 0 || d <= 0 {
+		return 0
+	}
+	return time.Duration(float64(d) * s.opts.TimeScale)
+}
+
+// healthLocked computes the current report for a record.
+func healthLocked(rec *healthRec, now time.Time) HealthReport {
+	rep := HealthReport{Status: HealthReady, CheckedAt: now}
+	if rec == nil {
+		// Resource predates health tracking (or was seeded directly):
+		// consider it ready rather than unknown so probes of legacy state
+		// succeed.
+		return rep
+	}
+	if !rec.provisioned || now.Before(rec.readyAt) {
+		rep.Status = HealthProvisioning
+		return rep
+	}
+	if len(rec.flap) > 0 {
+		var total time.Duration
+		for _, st := range rec.flap {
+			total += st.For
+		}
+		if total <= 0 {
+			last := rec.flap[len(rec.flap)-1]
+			rep.Status = last.Status
+			rep.Reason = rec.reason
+			return rep
+		}
+		pos := now.Sub(rec.readyAt) % total
+		for _, st := range rec.flap {
+			if pos < st.For {
+				rep.Status = st.Status
+				if !st.Status.Ready() {
+					rep.Reason = rec.reason
+				}
+				return rep
+			}
+			pos -= st.For
+		}
+		rep.Status = rec.flap[len(rec.flap)-1].Status
+		rep.Reason = rec.reason
+		return rep
+	}
+	if rec.status != "" {
+		rep.Status = rec.status
+		rep.Reason = rec.reason
+	}
+	return rep
+}
+
+// Health reports a resource's readiness. It is a read: rate-limited like any
+// probe a real agent would issue, but cheaper than a full Get.
+func (s *Sim) Health(ctx context.Context, typ, id string) (*HealthReport, error) {
+	if err := s.admit(ctx, "health", typ, false); err != nil {
+		return nil, err
+	}
+	if err := s.sleepScaled(ctx, s.opts.ReadLatency/4); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics.HealthReads++
+	if s.store[typ][id] == nil {
+		return nil, &APIError{Code: CodeNotFound, Op: "health", Type: typ, ID: id,
+			Message: fmt.Sprintf("ResourceNotFound: %s %q does not exist", prettyType(typ), id)}
+	}
+	rep := healthLocked(s.health[typ+"/"+id], time.Now())
+	return &rep, nil
+}
+
+// CrashInfo describes a pending crash injection.
+type CrashInfo struct {
+	Point CrashPoint
+	// Remaining is the countdown: the injection fires on the Remaining-th
+	// mutating op from now.
+	Remaining int
+}
+
+// InjectionState is a snapshot of every armed fault injector. Chaos tests
+// assert a trial consumed its faults by checking the state drained.
+type InjectionState struct {
+	// Throttles is how many injected 429s remain.
+	Throttles int
+	// Crash is the pending crash injection, if armed.
+	Crash *CrashInfo
+	// Unhealthy lists pending unhealthiness specs with their remaining
+	// counts.
+	Unhealthy []UnhealthySpec
+}
+
+// Empty reports whether no injections are pending.
+func (is InjectionState) Empty() bool {
+	return is.Throttles == 0 && is.Crash == nil && len(is.Unhealthy) == 0
+}
+
+// Injections returns a snapshot of all pending fault injections.
+func (s *Sim) Injections() InjectionState {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := InjectionState{Throttles: s.injectThrottle}
+	if s.crash != nil {
+		st.Crash = &CrashInfo{Point: s.crash.point, Remaining: s.crash.afterN}
+	}
+	for _, sp := range s.unhealthy {
+		if sp.Count > 0 {
+			st.Unhealthy = append(st.Unhealthy, sp)
+		}
+	}
+	return st
+}
+
+// ClearInjections disarms every pending injection: throttles, crash, and
+// unhealthiness. Already-created unhealthy resources keep their state (use
+// SetHealth to repair them).
+func (s *Sim) ClearInjections() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.injectThrottle = 0
+	s.crash = nil
+	s.unhealthy = nil
+}

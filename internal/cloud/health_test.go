@@ -1,0 +1,196 @@
+package cloud
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"cloudless/internal/eval"
+)
+
+func createVPC(t *testing.T, sim *Sim, name string) *Resource {
+	t.Helper()
+	res, err := sim.Create(context.Background(), CreateRequest{
+		Type: "aws_vpc", Region: "us-east-1", Principal: "test",
+		Attrs: map[string]eval.Value{
+			"name":       eval.String(name),
+			"cidr_block": eval.String("10.0.0.0/16"),
+		},
+	})
+	if err != nil {
+		t.Fatalf("create %s: %s", name, err)
+	}
+	return res
+}
+
+func TestHealthLifecycleReadyAfterDelay(t *testing.T) {
+	opts := DefaultOptions()
+	opts.DisableRateLimit = true
+	opts.TimeScale = 0.001
+	opts.ReadinessDelay = 60 * time.Second // 60ms wall-clock
+	sim := NewSim(opts)
+
+	res := createVPC(t, sim, "main")
+	rep, err := sim.Health(context.Background(), "aws_vpc", res.ID)
+	if err != nil {
+		t.Fatalf("health: %s", err)
+	}
+	if rep.Status != HealthProvisioning {
+		t.Fatalf("fresh resource is %s, want provisioning", rep.Status)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rep, err = sim.Health(context.Background(), "aws_vpc", res.ID)
+		if err != nil {
+			t.Fatalf("health: %s", err)
+		}
+		if rep.Status == HealthReady {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resource never turned ready (last %s)", rep.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if sim.Metrics().HealthReads < 2 {
+		t.Errorf("HealthReads = %d, want >= 2", sim.Metrics().HealthReads)
+	}
+}
+
+func TestHealthZeroDelayImmediatelyReady(t *testing.T) {
+	opts := DefaultOptions()
+	opts.DisableRateLimit = true
+	sim := NewSim(opts)
+	res := createVPC(t, sim, "main")
+	rep, err := sim.Health(context.Background(), "aws_vpc", res.ID)
+	if err != nil {
+		t.Fatalf("health: %s", err)
+	}
+	if rep.Status != HealthReady {
+		t.Fatalf("status = %s, want ready", rep.Status)
+	}
+}
+
+func TestHealthNotFound(t *testing.T) {
+	opts := DefaultOptions()
+	opts.DisableRateLimit = true
+	sim := NewSim(opts)
+	_, err := sim.Health(context.Background(), "aws_vpc", "vpc-nope")
+	if !IsNotFound(err) {
+		t.Fatalf("err = %v, want 404", err)
+	}
+}
+
+func TestInjectUnhealthyTargetsNextCreate(t *testing.T) {
+	opts := DefaultOptions()
+	opts.DisableRateLimit = true
+	sim := NewSim(opts)
+	sim.InjectUnhealthy(UnhealthySpec{Type: "aws_vpc", Name: "bad"})
+
+	good := createVPC(t, sim, "good") // name filter skips this one
+	bad := createVPC(t, sim, "bad")
+
+	rep, _ := sim.Health(context.Background(), "aws_vpc", good.ID)
+	if rep.Status != HealthReady {
+		t.Errorf("unmatched create is %s, want ready", rep.Status)
+	}
+	rep, _ = sim.Health(context.Background(), "aws_vpc", bad.ID)
+	if rep.Status != HealthFailed {
+		t.Errorf("injected create is %s, want failed", rep.Status)
+	}
+	if rep.Reason == "" {
+		t.Error("injected failure carries no reason")
+	}
+	if !sim.Injections().Empty() {
+		t.Errorf("spec not consumed: %+v", sim.Injections())
+	}
+}
+
+func TestInjectUnhealthyFlapSchedule(t *testing.T) {
+	opts := DefaultOptions()
+	opts.DisableRateLimit = true
+	opts.TimeScale = 0 // readyAt = creation time: the flap base
+	sim := NewSim(opts)
+	sim.InjectUnhealthy(UnhealthySpec{Flap: []FlapStep{
+		{For: 40 * time.Millisecond, Status: HealthDegraded},
+		{For: 40 * time.Millisecond, Status: HealthReady},
+	}})
+	res := createVPC(t, sim, "flappy")
+
+	seen := map[HealthStatus]bool{}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) && (!seen[HealthDegraded] || !seen[HealthReady]) {
+		rep, err := sim.Health(context.Background(), "aws_vpc", res.ID)
+		if err != nil {
+			t.Fatalf("health: %s", err)
+		}
+		seen[rep.Status] = true
+		time.Sleep(3 * time.Millisecond)
+	}
+	if !seen[HealthDegraded] || !seen[HealthReady] {
+		t.Fatalf("flap schedule never cycled: saw %v", seen)
+	}
+}
+
+func TestSetHealthOverridesAndRepairs(t *testing.T) {
+	opts := DefaultOptions()
+	opts.DisableRateLimit = true
+	sim := NewSim(opts)
+	res := createVPC(t, sim, "main")
+
+	sim.SetHealth("aws_vpc", res.ID, HealthDegraded, "operator says so")
+	rep, _ := sim.Health(context.Background(), "aws_vpc", res.ID)
+	if rep.Status != HealthDegraded || rep.Reason != "operator says so" {
+		t.Fatalf("got %+v, want degraded", rep)
+	}
+	sim.SetHealth("aws_vpc", res.ID, HealthReady, "")
+	rep, _ = sim.Health(context.Background(), "aws_vpc", res.ID)
+	if rep.Status != HealthReady {
+		t.Fatalf("repair did not take: %+v", rep)
+	}
+}
+
+func TestHealthRecordDroppedOnDelete(t *testing.T) {
+	opts := DefaultOptions()
+	opts.DisableRateLimit = true
+	sim := NewSim(opts)
+	sim.InjectUnhealthy(UnhealthySpec{})
+	res := createVPC(t, sim, "doomed")
+	if err := sim.Delete(context.Background(), "aws_vpc", res.ID, "test"); err != nil {
+		t.Fatalf("delete: %s", err)
+	}
+	if _, err := sim.Health(context.Background(), "aws_vpc", res.ID); !IsNotFound(err) {
+		t.Fatalf("health after delete: %v, want 404", err)
+	}
+}
+
+func TestInjectionsSnapshotAndClear(t *testing.T) {
+	opts := DefaultOptions()
+	opts.DisableRateLimit = true
+	sim := NewSim(opts)
+	if !sim.Injections().Empty() {
+		t.Fatal("fresh sim has pending injections")
+	}
+	sim.InjectThrottles(2)
+	sim.InjectCrash(CrashAfterOp, 5, func() {})
+	sim.InjectUnhealthy(UnhealthySpec{Count: 3, Type: "aws_vpc"})
+
+	st := sim.Injections()
+	if st.Throttles != 2 {
+		t.Errorf("Throttles = %d, want 2", st.Throttles)
+	}
+	if st.Crash == nil || st.Crash.Point != CrashAfterOp || st.Crash.Remaining != 5 {
+		t.Errorf("Crash = %+v, want after-op/5", st.Crash)
+	}
+	if len(st.Unhealthy) != 1 || st.Unhealthy[0].Count != 3 {
+		t.Errorf("Unhealthy = %+v, want one spec with count 3", st.Unhealthy)
+	}
+	if st.Empty() {
+		t.Error("Empty() with everything armed")
+	}
+
+	sim.ClearInjections()
+	if got := sim.Injections(); !got.Empty() {
+		t.Errorf("after ClearInjections: %+v", got)
+	}
+}

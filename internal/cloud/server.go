@@ -17,6 +17,7 @@ import (
 //	GET    /v1/resources/{type}/{id}   get
 //	PATCH  /v1/resources/{type}/{id}   update
 //	DELETE /v1/resources/{type}/{id}   delete (?principal=)
+//	GET    /v1/resources/{type}/{id}/health   readiness probe
 //	GET    /v1/activity                activity log (?after=seq)
 //	GET    /v1/metrics                 traffic counters
 //	GET    /healthz                    liveness
@@ -37,6 +38,7 @@ func NewServer(sim *Sim, logger *slog.Logger) *Server {
 	s.mux.HandleFunc("GET /v1/resources/{type}/{id}", s.handleGet)
 	s.mux.HandleFunc("PATCH /v1/resources/{type}/{id}", s.handleUpdate)
 	s.mux.HandleFunc("DELETE /v1/resources/{type}/{id}", s.handleDelete)
+	s.mux.HandleFunc("GET /v1/resources/{type}/{id}/health", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/activity", s.handleActivity)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -157,6 +159,15 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.sim.Health(r.Context(), r.PathValue("type"), r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, rep)
 }
 
 func (s *Server) handleActivity(w http.ResponseWriter, r *http.Request) {

@@ -40,6 +40,10 @@ type Options struct {
 	EnforceConstraints bool
 	// ReadLatency is the modeled latency of read calls before scaling.
 	ReadLatency time.Duration
+	// ReadinessDelay is the modeled gap between a create returning and the
+	// resource turning ready (health lifecycle). Scaled by TimeScale; zero
+	// means resources are ready the moment the create call returns.
+	ReadinessDelay time.Duration
 }
 
 // DefaultOptions returns options suitable for tests: tiny time scale, no
@@ -69,6 +73,8 @@ type Metrics struct {
 	// IdemReplays counts creates answered from the idempotency index
 	// instead of provisioning a duplicate (CR experiment).
 	IdemReplays int64
+	// HealthReads counts readiness probes (HG experiment).
+	HealthReads int64
 }
 
 // Sim is the in-memory cloud simulator. It is safe for concurrent use.
@@ -97,6 +103,11 @@ type Sim struct {
 	// CreateRequest.IdempotencyKey). Real clouds expire these after hours;
 	// the sim keeps them for its lifetime.
 	idem map[string]idemEntry
+
+	// health tracks per-resource readiness lifecycles, keyed type+"/"+id;
+	// unhealthy holds pending InjectUnhealthy specs (see health.go).
+	health    map[string]*healthRec
+	unhealthy []UnhealthySpec
 
 	// crash, when armed via InjectCrash, simulates the client process dying
 	// at an op boundary: the callback fires (killing the journal, cancelling
@@ -129,6 +140,7 @@ func NewSim(opts Options) *Sim {
 		limiters:  map[string]*rateLimiter{},
 		kb:        schema.DefaultKB(),
 		idem:      map[string]idemEntry{},
+		health:    map[string]*healthRec{},
 	}
 	for _, name := range schema.Providers() {
 		p, _ := schema.LookupProvider(name)
@@ -445,6 +457,12 @@ func (s *Sim) Create(ctx context.Context, req CreateRequest) (*Resource, error) 
 		s.store[req.Type] = map[string]*Resource{}
 	}
 	s.store[req.Type][id] = res
+	// Start the readiness lifecycle: born provisioning, with any pending
+	// unhealthiness injection stamped now so the outcome is decided by
+	// creation order, not probe timing.
+	hrec := &healthRec{}
+	s.applyUnhealthyLocked(hrec, req.Type, region, stringAttr(req.Attrs, "name"))
+	s.health[req.Type+"/"+id] = hrec
 	// The idempotency claim is durable as soon as the identity is reserved:
 	// a replay racing the provisioning sleep still finds the key.
 	if req.IdempotencyKey != "" {
@@ -463,6 +481,8 @@ func (s *Sim) Create(ctx context.Context, req CreateRequest) (*Resource, error) 
 		res.Attrs["state"] = eval.String("running")
 	}
 	res.UpdatedAt = time.Now()
+	hrec.provisioned = true
+	hrec.readyAt = time.Now().Add(s.scaledFlat(s.opts.ReadinessDelay))
 	s.appendEventLocked(OpCreate, res, req.Principal, nil)
 	out := res.Clone()
 	s.mu.Unlock()
@@ -804,6 +824,7 @@ func (s *Sim) Delete(ctx context.Context, typ, id, principal string) error {
 
 	s.mu.Lock()
 	delete(s.store[typ], id)
+	delete(s.health, typ+"/"+id)
 	s.appendEventLocked(OpDelete, r, principal, nil)
 	s.mu.Unlock()
 	if err := s.maybeCrash(CrashAfterOp); err != nil {

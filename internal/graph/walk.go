@@ -93,6 +93,13 @@ type WalkOptions struct {
 	// may run under the walk's internal lock and must not call back into
 	// the walk; the applier uses it to attribute queue-wait vs execute time.
 	OnReady func(node string)
+	// Admit, when set, is consulted as each ready node is about to launch.
+	// Returning false marks the node skipped (not failed) without running
+	// it; in-flight nodes are unaffected and drain normally. The guarded
+	// apply's failure fuse uses it to stop admitting ops in a tripped
+	// domain. Like OnReady it may run under the walk's internal lock and
+	// must not call back into the walk.
+	Admit func(node string) bool
 }
 
 // Walk runs fn over every node respecting dependency order, with bounded
@@ -173,6 +180,10 @@ func (g *Graph) Walk(ctx context.Context, opts WalkOptions, fn func(node string)
 				continue // skipped while queued
 			}
 			if stopping || ctx.Err() != nil {
+				report.Status[n] = StatusSkipped
+				continue
+			}
+			if opts.Admit != nil && !opts.Admit(n) {
 				report.Status[n] = StatusSkipped
 				continue
 			}

@@ -1,0 +1,214 @@
+package guard
+
+import (
+	"context"
+	"testing"
+
+	"cloudless/internal/apply"
+	"cloudless/internal/cloud"
+	"cloudless/internal/config"
+	"cloudless/internal/graph"
+	"cloudless/internal/plan"
+	"cloudless/internal/state"
+)
+
+const webConfig = `
+resource "aws_vpc" "main" {
+  name       = "main"
+  cidr_block = "10.0.0.0/16"
+}
+
+resource "aws_subnet" "s" {
+  count      = 2
+  name       = "s-${count.index}"
+  vpc_id     = aws_vpc.main.id
+  cidr_block = cidrsubnet(aws_vpc.main.cidr_block, 8, count.index)
+}
+
+resource "aws_network_interface" "nic" {
+  name      = "nic"
+  subnet_id = aws_subnet.s[0].id
+}
+
+resource "aws_virtual_machine" "web" {
+  name    = "web"
+  nic_ids = [aws_network_interface.nic.id]
+}
+`
+
+func newSim() *cloud.Sim {
+	opts := cloud.DefaultOptions()
+	opts.DisableRateLimit = true
+	return cloud.NewSim(opts)
+}
+
+func planFor(t *testing.T, src string, prior *state.State) *plan.Plan {
+	t.Helper()
+	m, diags := config.Load(map[string]string{"main.ccl": src})
+	if diags.HasErrors() {
+		t.Fatalf("load: %s", diags.Error())
+	}
+	ex, diags := config.Expand(m, nil, nil)
+	if diags.HasErrors() {
+		t.Fatalf("expand: %s", diags.Error())
+	}
+	p, diags := plan.Compute(context.Background(), ex, prior, plan.Options{})
+	if diags.HasErrors() {
+		t.Fatalf("plan: %s", diags.Error())
+	}
+	return p
+}
+
+func TestRunHealthyCanaryReleasesRest(t *testing.T) {
+	sim := newSim()
+	p := planFor(t, webConfig, state.New())
+	res := Run(context.Background(), sim, p, apply.Options{ContinueOnError: true},
+		Options{Canary: 0.4})
+	if err := res.Err(); err != nil {
+		t.Fatalf("guarded canary apply failed: %s", err)
+	}
+	done, failed, skipped := res.Report.Counts()
+	if done != 5 || failed != 0 || skipped != 0 {
+		t.Fatalf("counts done/failed/skipped = %d/%d/%d, want 5/0/0", done, failed, skipped)
+	}
+	if res.Applied != 5 {
+		t.Errorf("Applied = %d, want 5", res.Applied)
+	}
+	if sim.TotalResources() != 5 {
+		t.Errorf("cloud holds %d resources, want 5", sim.TotalResources())
+	}
+	if res.Reverted || len(res.RolledBack) != 0 {
+		t.Errorf("healthy run reverted: %v", res.RolledBack)
+	}
+}
+
+func TestRunCanaryFailureHoldsRestAndReverts(t *testing.T) {
+	sim := newSim()
+	// The canary slice (ceil(0.4*5)=2: vpc + subnet s[0]) is poisoned at its
+	// root; the main wave must never be admitted, and the blast radius — only
+	// what was actually built — is reverted.
+	sim.InjectUnhealthy(cloud.UnhealthySpec{Type: "aws_vpc"})
+	p := planFor(t, webConfig, state.New())
+	res := Run(context.Background(), sim, p, apply.Options{ContinueOnError: true},
+		Options{Canary: 0.4})
+
+	if res.Err() == nil {
+		t.Fatal("poisoned canary reported success")
+	}
+	if res.GateFailures != 1 {
+		t.Errorf("GateFailures = %d, want 1", res.GateFailures)
+	}
+	// Everything outside the failed canary root is skipped, not failed.
+	for _, addr := range []string{"aws_subnet.s[0]", "aws_subnet.s[1]",
+		"aws_network_interface.nic", "aws_virtual_machine.web"} {
+		if got := res.Report.Status[addr]; got != graph.StatusSkipped {
+			t.Errorf("%s = %s, want skipped", addr, got)
+		}
+	}
+	if !res.Reverted {
+		t.Fatal("auto-rollback did not complete")
+	}
+	if len(res.RolledBack) != 1 || res.RolledBack[0] != "aws_vpc.main" {
+		t.Errorf("RolledBack = %v, want [aws_vpc.main]", res.RolledBack)
+	}
+	if n := sim.TotalResources(); n != 0 {
+		t.Errorf("cloud holds %d resources after revert, want 0", n)
+	}
+	if res.State.Get("aws_vpc.main") != nil {
+		t.Error("reverted resource still in state")
+	}
+}
+
+func TestRunAutoRollbackRevertsWholeConnectedSlice(t *testing.T) {
+	sim := newSim()
+	// The nic never turns ready: by then the vpc and both subnets exist and
+	// are healthy — but they are the same connected slice of this run's work,
+	// so "fully reverted" means they go too.
+	sim.InjectUnhealthy(cloud.UnhealthySpec{Type: "aws_network_interface"})
+	p := planFor(t, webConfig, state.New())
+	res := Run(context.Background(), sim, p, apply.Options{ContinueOnError: true}, Options{})
+
+	if res.GateFailures != 1 {
+		t.Fatalf("GateFailures = %d, want 1", res.GateFailures)
+	}
+	if !res.Reverted {
+		t.Fatal("auto-rollback did not complete")
+	}
+	want := []string{"aws_network_interface.nic", "aws_subnet.s[0]", "aws_subnet.s[1]", "aws_vpc.main"}
+	if len(res.RolledBack) != len(want) {
+		t.Fatalf("RolledBack = %v, want %v", res.RolledBack, want)
+	}
+	for i, a := range want {
+		if res.RolledBack[i] != a {
+			t.Fatalf("RolledBack = %v, want %v", res.RolledBack, want)
+		}
+	}
+	if n := sim.TotalResources(); n != 0 {
+		t.Errorf("cloud holds %d resources after revert, want 0 (broken or half-applied left behind)", n)
+	}
+}
+
+func TestRunIndependentSubgraphSurvivesRevert(t *testing.T) {
+	const src = `
+resource "aws_vpc" "a" {
+  name       = "a"
+  cidr_block = "10.0.0.0/16"
+}
+
+resource "aws_subnet" "a0" {
+  name       = "a0"
+  vpc_id     = aws_vpc.a.id
+  cidr_block = "10.0.1.0/24"
+}
+
+resource "aws_vpc" "b" {
+  name       = "b"
+  cidr_block = "10.1.0.0/16"
+}
+`
+	sim := newSim()
+	sim.InjectUnhealthy(cloud.UnhealthySpec{Type: "aws_vpc", Name: "b"})
+	p := planFor(t, src, state.New())
+	res := Run(context.Background(), sim, p, apply.Options{ContinueOnError: true}, Options{})
+
+	if !res.Reverted {
+		t.Fatal("auto-rollback did not complete")
+	}
+	if len(res.RolledBack) != 1 || res.RolledBack[0] != "aws_vpc.b" {
+		t.Fatalf("RolledBack = %v, want only the disconnected failure", res.RolledBack)
+	}
+	// The healthy component survives intact in cloud and state.
+	for _, addr := range []string{"aws_vpc.a", "aws_subnet.a0"} {
+		rs := res.State.Get(addr)
+		if rs == nil {
+			t.Fatalf("%s swept away by an unrelated failure", addr)
+		}
+		if _, err := sim.Get(context.Background(), rs.Type, rs.ID); err != nil {
+			t.Errorf("%s missing from cloud: %s", addr, err)
+		}
+	}
+	if res.State.Get("aws_vpc.b") != nil {
+		t.Error("reverted resource still in state")
+	}
+	if n := sim.TotalResources(); n != 2 {
+		t.Errorf("cloud holds %d resources, want 2", n)
+	}
+}
+
+func TestRunDisableRollbackLeavesEvidence(t *testing.T) {
+	sim := newSim()
+	sim.InjectUnhealthy(cloud.UnhealthySpec{Type: "aws_vpc"})
+	p := planFor(t, webConfig, state.New())
+	res := Run(context.Background(), sim, p, apply.Options{ContinueOnError: true},
+		Options{DisableRollback: true})
+
+	if res.Reverted || len(res.RolledBack) != 0 {
+		t.Fatalf("rollback ran despite DisableRollback: %v", res.RolledBack)
+	}
+	if res.State.Get("aws_vpc.main") == nil {
+		t.Error("never-ready resource dropped from state; operators can't inspect it")
+	}
+	if sim.TotalResources() == 0 {
+		t.Error("never-ready resource deleted from cloud despite DisableRollback")
+	}
+}

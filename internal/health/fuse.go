@@ -1,0 +1,163 @@
+package health
+
+import (
+	"sort"
+	"sync"
+)
+
+// RunDomain is the whole-run failure domain every op belongs to; regional
+// domains are "region:<name>".
+const RunDomain = "run"
+
+// RegionDomain names the failure domain of one region.
+func RegionDomain(region string) string {
+	if region == "" {
+		region = "default"
+	}
+	return "region:" + region
+}
+
+// Domains returns the failure domains an op in the given region belongs to.
+func Domains(region string) []string {
+	return []string{RunDomain, RegionDomain(region)}
+}
+
+// FuseOptions configure the circuit breaker's trip thresholds. Both apply
+// per domain; a domain trips when either is crossed.
+type FuseOptions struct {
+	// MaxFailures trips a domain at this many failures (default 3;
+	// negative disables the absolute threshold).
+	MaxFailures int
+	// MaxFailureFraction trips a domain when failed/planned reaches this
+	// fraction of the domain's planned ops (default 0.5; negative or zero
+	// with no planned counts disables the fractional threshold). Because
+	// the fraction is of the domain's own planned ops, a small region trips
+	// on fewer failures than the whole run — which is what keeps a sick
+	// region from dragging healthy ones down with it.
+	MaxFailureFraction float64
+	// OnTrip, when set, is called once per domain at the moment it trips
+	// (telemetry, logging). Called without internal locks held.
+	OnTrip func(domain string)
+}
+
+func (o FuseOptions) withDefaults() FuseOptions {
+	if o.MaxFailures == 0 {
+		o.MaxFailures = 3
+	}
+	if o.MaxFailureFraction == 0 {
+		o.MaxFailureFraction = 0.5
+	}
+	return o
+}
+
+// Fuse is the failure-rate circuit breaker guarding an apply run. Every op
+// reports its domains (run + region); once a domain accumulates too many
+// failures the fuse trips for that domain and Allow refuses new admissions
+// there, while ops already in flight drain normally. A tripped fuse stays
+// tripped for the life of the run — there is no half-open probe state,
+// because the run's remedy is rollback, not patience.
+type Fuse struct {
+	opts FuseOptions
+
+	mu      sync.Mutex
+	planned map[string]int
+	failed  map[string]int
+	done    map[string]int
+	tripped map[string]bool
+}
+
+// NewFuse builds a fuse.
+func NewFuse(opts FuseOptions) *Fuse {
+	return &Fuse{
+		opts:    opts.withDefaults(),
+		planned: map[string]int{},
+		failed:  map[string]int{},
+		done:    map[string]int{},
+		tripped: map[string]bool{},
+	}
+}
+
+// Plan registers n planned ops in a domain; the fractional threshold is
+// relative to these counts.
+func (f *Fuse) Plan(domain string, n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.planned[domain] += n
+}
+
+// Allow reports whether a new op touching the given domains may be admitted.
+func (f *Fuse) Allow(domains ...string) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, d := range domains {
+		if f.tripped[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Success records a completed op in its domains.
+func (f *Fuse) Success(domains ...string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, d := range domains {
+		f.done[d]++
+	}
+}
+
+// Failure records a failed op in its domains, tripping any domain that
+// crosses a threshold.
+func (f *Fuse) Failure(domains ...string) {
+	f.mu.Lock()
+	var newlyTripped []string
+	for _, d := range domains {
+		f.done[d]++
+		f.failed[d]++
+		if f.tripped[d] {
+			continue
+		}
+		if f.crossedLocked(d) {
+			f.tripped[d] = true
+			newlyTripped = append(newlyTripped, d)
+		}
+	}
+	f.mu.Unlock()
+	if f.opts.OnTrip != nil {
+		for _, d := range newlyTripped {
+			f.opts.OnTrip(d)
+		}
+	}
+}
+
+func (f *Fuse) crossedLocked(d string) bool {
+	if f.opts.MaxFailures > 0 && f.failed[d] >= f.opts.MaxFailures {
+		return true
+	}
+	if f.opts.MaxFailureFraction > 0 {
+		if planned := f.planned[d]; planned > 0 &&
+			float64(f.failed[d])/float64(planned) >= f.opts.MaxFailureFraction {
+			return true
+		}
+	}
+	return false
+}
+
+// Tripped returns the tripped domains, sorted.
+func (f *Fuse) Tripped() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var out []string
+	for d := range f.tripped {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Failures returns the total failure count in the run domain.
+func (f *Fuse) Failures() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failed[RunDomain]
+}

@@ -1,0 +1,261 @@
+package health
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"cloudless/internal/cloud"
+	"cloudless/internal/graph"
+)
+
+// scriptedCloud serves a fixed sequence of health reports (last repeats).
+type scriptedCloud struct {
+	cloud.Interface // nil: only Health is implemented
+	reports         []cloud.HealthReport
+	errs            []error
+	calls           int
+}
+
+func (s *scriptedCloud) Health(ctx context.Context, typ, id string) (*cloud.HealthReport, error) {
+	i := s.calls
+	s.calls++
+	if i < len(s.errs) && s.errs[i] != nil {
+		return nil, s.errs[i]
+	}
+	if i >= len(s.reports) {
+		i = len(s.reports) - 1
+	}
+	rep := s.reports[i]
+	return &rep, nil
+}
+
+func TestProbeWaitsForReady(t *testing.T) {
+	cl := &scriptedCloud{reports: []cloud.HealthReport{
+		{Status: cloud.HealthProvisioning},
+		{Status: cloud.HealthProvisioning},
+		{Status: cloud.HealthReady},
+	}}
+	waited, err := Probe(context.Background(), cl, "aws_vpc", "vpc-1", ProbeOptions{
+		Timeout: time.Second, Interval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("probe: %s", err)
+	}
+	if cl.calls != 3 {
+		t.Errorf("calls = %d, want 3", cl.calls)
+	}
+	if waited <= 0 {
+		t.Errorf("waited = %s, want > 0", waited)
+	}
+}
+
+func TestProbeFailedIsTerminal(t *testing.T) {
+	cl := &scriptedCloud{reports: []cloud.HealthReport{
+		{Status: cloud.HealthFailed, Reason: "InjectedFault"},
+	}}
+	start := time.Now()
+	_, err := Probe(context.Background(), cl, "aws_vm", "i-1", ProbeOptions{
+		Timeout: 10 * time.Second, Interval: time.Millisecond,
+	})
+	var ge *GateError
+	if !errors.As(err, &ge) {
+		t.Fatalf("err = %v, want *GateError", err)
+	}
+	if ge.Status != cloud.HealthFailed || ge.Reason != "InjectedFault" {
+		t.Errorf("gate error %+v lost status/reason", ge)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("terminal failure burned the timeout instead of returning immediately")
+	}
+	if !IsGateError(err) {
+		t.Error("IsGateError is false for a GateError")
+	}
+}
+
+func TestProbeTimesOutOnEndlessProvisioning(t *testing.T) {
+	cl := &scriptedCloud{reports: []cloud.HealthReport{{Status: cloud.HealthProvisioning}}}
+	_, err := Probe(context.Background(), cl, "aws_vm", "i-1", ProbeOptions{
+		Timeout: 30 * time.Millisecond, Interval: 2 * time.Millisecond,
+	})
+	var ge *GateError
+	if !errors.As(err, &ge) {
+		t.Fatalf("err = %v, want *GateError", err)
+	}
+	if ge.Status != cloud.HealthProvisioning {
+		t.Errorf("gate status = %s, want provisioning", ge.Status)
+	}
+}
+
+func TestProbeToleratesTransientErrors(t *testing.T) {
+	cl := &scriptedCloud{
+		errs: []error{errors.New("transport hiccup"), nil},
+		reports: []cloud.HealthReport{
+			{Status: cloud.HealthReady}, // consumed on the 1st (errored) call's index
+			{Status: cloud.HealthReady},
+		},
+	}
+	if _, err := Probe(context.Background(), cl, "aws_vm", "i-1", ProbeOptions{
+		Timeout: time.Second, Interval: time.Millisecond,
+	}); err != nil {
+		t.Fatalf("probe gave up on a transient error: %s", err)
+	}
+}
+
+func TestProbeHonorsContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cl := &scriptedCloud{errs: []error{ctx.Err()}, reports: []cloud.HealthReport{{}}}
+	_, err := Probe(ctx, cl, "aws_vm", "i-1", ProbeOptions{Timeout: time.Second})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestFuseAbsoluteThreshold(t *testing.T) {
+	var trips []string
+	f := NewFuse(FuseOptions{MaxFailures: 2, MaxFailureFraction: -1,
+		OnTrip: func(d string) { trips = append(trips, d) }})
+	doms := Domains("us-east-1")
+	f.Plan(RunDomain, 10)
+	if !f.Allow(doms...) {
+		t.Fatal("fresh fuse refuses admission")
+	}
+	f.Failure(doms...)
+	if !f.Allow(doms...) {
+		t.Fatal("tripped after 1 failure with MaxFailures=2")
+	}
+	f.Failure(doms...)
+	if f.Allow(doms...) {
+		t.Fatal("not tripped after 2 failures")
+	}
+	if len(trips) != 2 { // run + region trip together here
+		t.Errorf("OnTrip fired %d times, want 2 (%v)", len(trips), trips)
+	}
+	if got := f.Tripped(); len(got) != 2 {
+		t.Errorf("Tripped() = %v", got)
+	}
+	if f.Failures() != 2 {
+		t.Errorf("Failures() = %d, want 2", f.Failures())
+	}
+}
+
+func TestFuseFractionIsPerDomain(t *testing.T) {
+	// 2 of 10 run ops fail — under the 0.5 run fraction. But both failures
+	// are the sick region's only 2 planned ops: its domain trips alone.
+	f := NewFuse(FuseOptions{MaxFailures: -1, MaxFailureFraction: 0.5})
+	f.Plan(RunDomain, 10)
+	f.Plan(RegionDomain("westus"), 2)
+	f.Plan(RegionDomain("eastus"), 8)
+	f.Failure(RunDomain, RegionDomain("westus"))
+	f.Failure(RunDomain, RegionDomain("westus"))
+	if f.Allow(RunDomain, RegionDomain("westus")) {
+		t.Error("sick region still admitting")
+	}
+	if !f.Allow(RunDomain, RegionDomain("eastus")) {
+		t.Error("healthy sibling region blocked")
+	}
+	if got := f.Tripped(); len(got) != 1 || got[0] != "region:westus" {
+		t.Errorf("Tripped() = %v, want [region:westus]", got)
+	}
+}
+
+func TestRegionDomainDefault(t *testing.T) {
+	if got := RegionDomain(""); got != "region:default" {
+		t.Errorf("RegionDomain(\"\") = %q", got)
+	}
+}
+
+func waveGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	// Two disconnected slices: vpcA -> subnetA -> vmA, and vpcB -> subnetB.
+	g := graph.New()
+	for _, n := range []string{"vpcA", "subnetA", "vmA", "vpcB", "subnetB"} {
+		g.AddNode(n)
+	}
+	mustEdge := func(from, to string) {
+		if err := g.AddEdge(from, to); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustEdge("subnetA", "vpcA")
+	mustEdge("vmA", "subnetA")
+	mustEdge("subnetB", "vpcB")
+	return g
+}
+
+func TestCanaryWaveIsDependencyClosed(t *testing.T) {
+	g := waveGraph(t)
+	pending := []string{"vpcA", "subnetA", "vmA", "vpcB", "subnetB"}
+	wave, rest := CanaryWave(g, pending, 0.6)
+	if len(wave) == 0 || len(rest) == 0 {
+		t.Fatalf("no split: wave=%v rest=%v", wave, rest)
+	}
+	inWave := map[string]bool{}
+	for _, a := range wave {
+		inWave[a] = true
+	}
+	for _, a := range wave {
+		for dep := range g.TransitiveDependencies(a) {
+			if !inWave[dep] {
+				t.Errorf("wave member %s depends on %s outside the wave", a, dep)
+			}
+		}
+	}
+	if len(wave)+len(rest) != len(pending) {
+		t.Errorf("wave %v + rest %v does not cover pending", wave, rest)
+	}
+	// Largest-closure-first: the 3-node A slice fits the ceil(0.6*5)=3 budget.
+	want := map[string]bool{"vpcA": true, "subnetA": true, "vmA": true}
+	for _, a := range wave {
+		if !want[a] {
+			t.Errorf("wave picked %s; want the full A slice %v", a, wave)
+		}
+	}
+}
+
+func TestCanaryWaveDeterministic(t *testing.T) {
+	g := waveGraph(t)
+	pending := []string{"vpcB", "vmA", "subnetA", "subnetB", "vpcA"}
+	w1, r1 := CanaryWave(g, pending, 0.4)
+	w2, r2 := CanaryWave(g, pending, 0.4)
+	if len(w1) != len(w2) || len(r1) != len(r2) {
+		t.Fatalf("nondeterministic split: %v/%v vs %v/%v", w1, r1, w2, r2)
+	}
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			t.Fatalf("nondeterministic wave: %v vs %v", w1, w2)
+		}
+	}
+}
+
+func TestCanaryWaveNoSplitCases(t *testing.T) {
+	g := waveGraph(t)
+	pending := []string{"vpcA", "subnetA"}
+	if wave, _ := CanaryWave(g, pending, 0); wave != nil {
+		t.Errorf("fraction 0 split: %v", wave)
+	}
+	if wave, _ := CanaryWave(g, pending, 1); wave != nil {
+		t.Errorf("fraction 1 split: %v", wave)
+	}
+	if wave, _ := CanaryWave(g, []string{"vpcA"}, 0.5); wave != nil {
+		t.Errorf("singleton split: %v", wave)
+	}
+	// A fully connected chain cannot be split below its closure size: the
+	// fallback takes the smallest candidate, and if that swallows everything
+	// there is no split.
+	chain := graph.New()
+	chain.AddNode("a")
+	chain.AddNode("b")
+	_ = chain.AddEdge("b", "a")
+	wave, rest := CanaryWave(chain, []string{"a", "b"}, 0.5)
+	if wave == nil {
+		// Acceptable: closure swallowed everything is only for full cover.
+		if len(rest) != 2 {
+			t.Errorf("rest = %v", rest)
+		}
+	} else if len(wave) != 1 || wave[0] != "a" {
+		t.Errorf("chain wave = %v, want [a]", wave)
+	}
+}

@@ -1,0 +1,100 @@
+package health
+
+import (
+	"math"
+	"sort"
+
+	"cloudless/internal/graph"
+)
+
+// CanaryWave picks a dependency-closed first wave from the pending change
+// set: roughly fraction·len(pending) addresses such that every dependency a
+// wave member has inside pending is also in the wave. Selection is by whole
+// dependency chains — each pending node is considered with its full closure
+// of pending dependencies — so a canary exercises complete vertical slices
+// (vpc → subnet → vm), not just a layer of roots. Deterministic: pending is
+// walked in sorted order, smallest-closure-first, so repeated plans canary
+// the same slice.
+//
+// The graph is the plan graph; dependencies through nodes outside pending
+// (noops) are followed transitively. fraction <= 0 or >= 1, or a pending set
+// of size <= 1, yields no split (nil wave, everything released at once).
+func CanaryWave(g *graph.Graph, pending []string, fraction float64) (wave, rest []string) {
+	if fraction <= 0 || fraction >= 1 || len(pending) <= 1 {
+		return nil, append([]string(nil), pending...)
+	}
+	inPending := make(map[string]bool, len(pending))
+	for _, a := range pending {
+		inPending[a] = true
+	}
+	target := int(math.Ceil(fraction * float64(len(pending))))
+	if target < 1 {
+		target = 1
+	}
+
+	// Closure of each pending node: itself plus its transitive pending
+	// dependencies.
+	type cand struct {
+		addr    string
+		closure []string
+	}
+	cands := make([]cand, 0, len(pending))
+	for _, a := range pending {
+		cl := []string{a}
+		if g.HasNode(a) {
+			for dep := range g.TransitiveDependencies(a) {
+				if inPending[dep] {
+					cl = append(cl, dep)
+				}
+			}
+		}
+		cands = append(cands, cand{addr: a, closure: cl})
+	}
+	// Largest closure first: a leaf drags its whole chain in, so the wave
+	// prefers one complete slice over a layer of disconnected roots. A
+	// candidate is taken only if its unchosen remainder fits the budget;
+	// when nothing fits, the smallest candidate is taken so the wave is
+	// never empty.
+	sort.Slice(cands, func(i, j int) bool {
+		if len(cands[i].closure) != len(cands[j].closure) {
+			return len(cands[i].closure) > len(cands[j].closure)
+		}
+		return cands[i].addr < cands[j].addr
+	})
+
+	chosen := map[string]bool{}
+	for _, c := range cands {
+		added := 0
+		for _, a := range c.closure {
+			if !chosen[a] {
+				added++
+			}
+		}
+		if added == 0 || len(chosen)+added > target {
+			continue
+		}
+		for _, a := range c.closure {
+			chosen[a] = true
+		}
+	}
+	if len(chosen) == 0 {
+		small := cands[len(cands)-1]
+		for _, a := range small.closure {
+			chosen[a] = true
+		}
+	}
+	if len(chosen) >= len(pending) {
+		// The closures swallowed everything: no meaningful split.
+		return nil, append([]string(nil), pending...)
+	}
+	for _, a := range pending {
+		if chosen[a] {
+			wave = append(wave, a)
+		} else {
+			rest = append(rest, a)
+		}
+	}
+	sort.Strings(wave)
+	sort.Strings(rest)
+	return wave, rest
+}

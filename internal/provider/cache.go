@@ -11,6 +11,7 @@ import (
 // resource of a type invalidates all of its list entries, including the
 // all-regions ("") one.
 func getKey(typ, id string) string      { return "get/" + typ + "/" + id }
+func healthKey(typ, id string) string   { return "health/" + typ + "/" + id }
 func listKey(typ, region string) string { return "list/" + typ + "/" + region }
 func listPrefix(typ string) string      { return "list/" + typ + "/" }
 

@@ -184,3 +184,38 @@ func TestConformance429Burst(t *testing.T) {
 		})
 	}
 }
+
+func TestConformanceHealthLifecycle(t *testing.T) {
+	for _, ep := range endpoints() {
+		t.Run(ep.name, func(t *testing.T) {
+			opts := cloud.DefaultOptions()
+			opts.DisableRateLimit = true
+			rt, sim := ep.make(t, opts, Options{})
+
+			// Missing resources 404 identically on both paths.
+			if _, err := rt.Health(context.Background(), "aws_vpc", "vpc-nope"); !cloud.IsNotFound(err) {
+				t.Fatalf("%s: health of missing resource => %v, want 404", ep.name, err)
+			}
+
+			vpc := seedVPC(t, sim)
+			rep, err := rt.Health(context.Background(), "aws_vpc", vpc.ID)
+			if err != nil {
+				t.Fatalf("%s: health: %s", ep.name, err)
+			}
+			if rep.Status != cloud.HealthReady {
+				t.Fatalf("%s: status = %s, want ready", ep.name, rep.Status)
+			}
+
+			// Degrade server-side; a cached report must not mask it under
+			// WithFresh (the guarded probe path).
+			sim.SetHealth("aws_vpc", vpc.ID, cloud.HealthDegraded, "conformance")
+			rep, err = rt.Health(WithFresh(context.Background()), "aws_vpc", vpc.ID)
+			if err != nil {
+				t.Fatalf("%s: fresh health: %s", ep.name, err)
+			}
+			if rep.Status != cloud.HealthDegraded || rep.Reason != "conformance" {
+				t.Fatalf("%s: fresh report = %+v, want degraded/conformance", ep.name, rep)
+			}
+		})
+	}
+}

@@ -396,6 +396,7 @@ func (r *Runtime) Create(ctx context.Context, req cloud.CreateRequest) (*cloud.R
 	res := v.(*cloud.Resource)
 	r.cache.put(getKey(req.Type, res.ID), res.Clone(), r.now())
 	r.cache.invalidatePrefix(listPrefix(req.Type))
+	r.cache.invalidate(healthKey(req.Type, res.ID))
 	return res, nil
 }
 
@@ -421,6 +422,7 @@ func (r *Runtime) Update(ctx context.Context, req cloud.UpdateRequest) (*cloud.R
 	res := v.(*cloud.Resource)
 	r.cache.put(getKey(req.Type, res.ID), res.Clone(), r.now())
 	r.cache.invalidatePrefix(listPrefix(req.Type))
+	r.cache.invalidate(healthKey(req.Type, res.ID))
 	return res, nil
 }
 
@@ -433,6 +435,7 @@ func (r *Runtime) Delete(ctx context.Context, typ, id, principal string) error {
 	// executed server-side, and a 404 means the entry is stale anyway.
 	r.cache.invalidate(getKey(typ, id))
 	r.cache.invalidatePrefix(listPrefix(typ))
+	r.cache.invalidate(healthKey(typ, id))
 	return err
 }
 
@@ -454,6 +457,22 @@ func (r *Runtime) List(ctx context.Context, typ, region string) ([]*cloud.Resour
 		out[i] = res.Clone()
 	}
 	return out, nil
+}
+
+// Health implements cloud.Interface. Probes are cacheable reads: concurrent
+// probes of the same resource coalesce, and a cached report serves casual
+// readers. The guarded apply's probe loop runs under WithFresh — readiness
+// is exactly the kind of out-of-band change no TTL can bound — which still
+// coalesces and refills the cache for everyone else.
+func (r *Runtime) Health(ctx context.Context, typ, id string) (*cloud.HealthReport, error) {
+	v, err := r.read(ctx, "health", typ, healthKey(typ, id), true, func(cctx context.Context) (any, error) {
+		return r.upstream.Health(cctx, typ, id)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := *v.(*cloud.HealthReport)
+	return &rep, nil
 }
 
 // Activity implements cloud.Interface. Results are never cached (the log
@@ -493,6 +512,7 @@ func (r *Runtime) observeEvents(events []cloud.Event) {
 		}
 		r.cache.invalidate(getKey(e.Type, e.ID))
 		r.cache.invalidatePrefix(listPrefix(e.Type))
+		r.cache.invalidate(healthKey(e.Type, e.ID))
 		if e.Seq > last {
 			last = e.Seq
 		}

@@ -142,6 +142,18 @@ func (f *fakeCloud) Delete(ctx context.Context, typ, id, principal string) error
 	return nil
 }
 
+func (f *fakeCloud) Health(ctx context.Context, typ, id string) (*cloud.HealthReport, error) {
+	if err := f.popErr(); err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.res[typ+"/"+id]; !ok {
+		return nil, &cloud.APIError{Code: cloud.CodeNotFound, Op: "health", Type: typ, ID: id, Message: "ResourceNotFound"}
+	}
+	return &cloud.HealthReport{Status: cloud.HealthReady}, nil
+}
+
 func (f *fakeCloud) Activity(ctx context.Context, afterSeq int64) ([]cloud.Event, error) {
 	f.mu.Lock()
 	f.acts++
