@@ -31,6 +31,7 @@ import (
 	"cloudless/internal/diagnose"
 	"cloudless/internal/drift"
 	"cloudless/internal/eval"
+	"cloudless/internal/events"
 	"cloudless/internal/guard"
 	"cloudless/internal/hcl"
 	"cloudless/internal/health"
@@ -62,6 +63,12 @@ type (
 	RollbackPlan = rollback.Plan
 	// RecoverReport summarizes a crashed run's journal recovery.
 	RecoverReport = apply.RecoverReport
+	// Event is one live ops-plane transition (see internal/events).
+	Event = events.Event
+	// EventFilter selects event kinds for Subscribe.
+	EventFilter = events.Filter
+	// EventSubscription is a bounded live view of the stack's event bus.
+	EventSubscription = events.Subscription
 	// State is recorded infrastructure state.
 	State = state.State
 	// StaleBaseError is the typed conflict returned when an apply's plan
@@ -187,6 +194,8 @@ type Stack struct {
 	telemetry   *telemetry.Recorder
 	journalPath string
 	guardOpts   *guard.Options
+	bus         *events.Bus
+	flight      *events.FlightRecorder
 }
 
 // Open loads, expands, and binds a configuration.
@@ -241,11 +250,17 @@ func Open(opts Options) (*Stack, error) {
 	// All cloud access routes through one provider runtime per stack; a
 	// caller that passes an already-wrapped Runtime (e.g. another stack's
 	// Cloud()) shares that one instead of stacking dispatchers.
+	// The live ops plane: one bus per stack. Every layer below publishes
+	// into it; Subscribe, ApplyOptions.OnEvent, and the flight recorder
+	// consume it. Publishing with no subscribers is nearly free.
+	bus := events.NewBus(nil)
+
 	popts := provider.Options{
 		CacheTTL:    opts.ProviderCacheTTL,
 		MaxRetries:  opts.ProviderMaxRetries,
 		RetryBase:   opts.ProviderRetryBase,
 		MaxInFlight: opts.ProviderMaxInFlight,
+		Bus:         bus,
 	}
 	if opts.Telemetry != nil {
 		popts.Registry = opts.Telemetry.Metrics()
@@ -261,6 +276,17 @@ func Open(opts Options) (*Stack, error) {
 		principal:   principal,
 		telemetry:   opts.Telemetry,
 		journalPath: opts.JournalPath,
+		bus:         bus,
+	}
+	if opts.JournalPath != "" {
+		// Flight recorder: the journal's sibling artifact. A run that dies
+		// with no live subscriber still leaves its event tail for
+		// post-mortem reconstruction.
+		fr, err := events.NewFlightRecorder(opts.JournalPath+".events.jsonl", bus)
+		if err != nil {
+			return nil, fmt.Errorf("cloudless: open flight recorder: %w", err)
+		}
+		s.flight = fr
 	}
 	if opts.GuardApplies {
 		s.guardOpts = &guard.Options{
@@ -329,8 +355,18 @@ func (s *Stack) Var(name string) (any, bool) {
 func (s *Stack) DB() *statedb.DB { return s.db }
 
 // Close releases the stack's storage engine resources (e.g. the wal
-// backend's log file). The stack must not be used afterwards.
-func (s *Stack) Close() error { return s.db.Close() }
+// backend's log file), flushes the flight recorder, and shuts down the
+// event bus. The stack must not be used afterwards.
+func (s *Stack) Close() error {
+	err := s.db.Close()
+	if s.flight != nil {
+		if ferr := s.flight.Close(); err == nil {
+			err = ferr
+		}
+	}
+	s.bus.Close()
+	return err
+}
 
 // Telemetry exposes the stack's recorder (nil when telemetry is disabled).
 func (s *Stack) Telemetry() *telemetry.Recorder { return s.telemetry }
@@ -343,16 +379,44 @@ func (s *Stack) lifecycle(ctx context.Context, name string) (context.Context, *t
 	if s.telemetry != nil && telemetry.FromContext(ctx) == nil {
 		ctx = telemetry.WithRecorder(ctx, s.telemetry)
 	}
+	if events.FromContext(ctx) == nil {
+		ctx = events.WithBus(ctx, s.bus)
+	}
 	return telemetry.StartSpan(ctx, name)
 }
+
+// Events exposes the stack's live event bus.
+func (s *Stack) Events() *events.Bus { return s.bus }
+
+// Subscribe registers a live consumer of the stack's ops-plane events. The
+// returned subscription's channel receives every matching event published
+// after the call; a consumer that falls behind loses oldest events first
+// (see Subscription.Dropped) — publishers never block. Close the
+// subscription when done.
+func (s *Stack) Subscribe(filter EventFilter) *EventSubscription {
+	return s.bus.Subscribe(filter, 0)
+}
+
+// FlightRecorderPath returns the JSONL events artifact location ("" when no
+// journal path is configured).
+func (s *Stack) FlightRecorderPath() string { return s.flight.Path() }
 
 // Cloud exposes the bound cloud interface — the stack's provider runtime,
 // so sharing it with another stack shares cache, coalescing, and the AIMD
 // window too.
 func (s *Stack) Cloud() cloud.Interface { return s.cloudAPI }
 
-// Provider exposes the stack's provider runtime for stats inspection.
-func (s *Stack) Provider() *provider.Runtime { return s.cloudAPI.(*provider.Runtime) }
+// Provider exposes the stack's provider runtime for stats inspection. It
+// returns nil when the bound cloud interface is not a runtime (possible for
+// stacks constructed through test seams or future non-runtime paths);
+// callers must treat nil as "no runtime stats available".
+func (s *Stack) Provider() *provider.Runtime {
+	rt, ok := s.cloudAPI.(*provider.Runtime)
+	if !ok {
+		return nil
+	}
+	return rt
+}
 
 // Instances lists the expanded instance addresses.
 func (s *Stack) Instances() []string {
@@ -539,6 +603,13 @@ type ApplyOptions struct {
 	Scheduler   apply.Scheduler
 	// SkipPolicyCheck bypasses plan-phase policies.
 	SkipPolicyCheck bool
+	// OnEvent, when set, receives every ops-plane event published during
+	// this apply (run/wave lifecycle, per-op progress, health gates, fuse
+	// trips, rollbacks, provider signals), in order, on a dedicated
+	// goroutine. The callback must not block for long: events queue in a
+	// bounded buffer and the oldest are dropped if it falls behind. Apply
+	// drains the queue before returning, so the callback sees the whole run.
+	OnEvent func(Event)
 }
 
 // ErrPolicyDenied is returned when a plan-phase policy denies the apply.
@@ -574,6 +645,24 @@ func (s *Stack) Apply(ctx context.Context, p *Plan, opts ApplyOptions) (*ApplyRe
 	span.SetAttr("base_serial", p.BaseSerial)
 	span.SetAttr("scheduler", opts.Scheduler.String())
 	defer span.End()
+
+	// OnEvent: a private subscription pumped to the callback. Registered
+	// before run_start is published and drained after run_finish, so the
+	// callback observes the complete run.
+	if opts.OnEvent != nil {
+		sub := s.bus.Subscribe(events.Filter{}, 4*events.DefaultBuffer)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for e := range sub.C() {
+				opts.OnEvent(e)
+			}
+		}()
+		defer func() {
+			sub.Close()
+			<-done
+		}()
+	}
 	if !opts.SkipPolicyCheck {
 		decisions, diags := s.engine.EvaluatePlan(p)
 		if diags.HasErrors() {
@@ -620,6 +709,14 @@ func (s *Stack) Apply(ctx context.Context, p *Plan, opts ApplyOptions) (*ApplyRe
 		ContinueOnError: true,
 		Journal:         j,
 	}
+	runID := ""
+	if j != nil {
+		runID = j.Meta().ID
+	}
+	s.bus.Publish(events.Event{Kind: "apply.run_start", Run: runID,
+		Principal: s.principal,
+		N:         int64(p.Creates + p.Updates + p.Replaces + p.Deletes)})
+
 	var res *ApplyResult
 	if s.guardOpts != nil {
 		span.SetAttr("guarded", true)
@@ -627,6 +724,7 @@ func (s *Stack) Apply(ctx context.Context, p *Plan, opts ApplyOptions) (*ApplyRe
 	} else {
 		res = apply.Apply(ctx, s.cloudAPI, p, applyOpts)
 	}
+	s.publishRunFinish(runID, res)
 	keepJournal := true
 	if j != nil {
 		// The journal is discarded after a zero-error apply whose state
@@ -688,6 +786,33 @@ func (s *Stack) Apply(ctx context.Context, p *Plan, opts ApplyOptions) (*ApplyRe
 	return res, diagnoses, res.Err()
 }
 
+// publishRunFinish emits the run-terminating event plus a provider-runtime
+// stats snapshot (cache hit / coalesce / throttle counters), so a watcher
+// sees how the dispatch layer behaved without polling Stats itself.
+func (s *Stack) publishRunFinish(runID string, res *ApplyResult) {
+	fin := events.Event{Kind: "apply.run_finish", Run: runID,
+		N: int64(res.Applied), Retries: int64(res.Retries),
+		Ms: float64(res.Elapsed) / float64(time.Millisecond)}
+	if err := res.Err(); err != nil {
+		fin.Err = err.Error()
+	}
+	s.bus.Publish(fin)
+	if rt := s.Provider(); rt != nil {
+		st := rt.Stats()
+		for _, c := range []struct {
+			name string
+			v    int64
+		}{
+			{"calls", st.Calls}, {"retries", st.Retries}, {"throttles", st.Throttles},
+			{"cache_hits", st.CacheHits}, {"cache_misses", st.CacheMisses},
+			{"coalesced", st.Coalesced},
+		} {
+			s.bus.Publish(events.Event{Kind: "provider.stats", Run: runID,
+				Action: c.name, N: c.v})
+		}
+	}
+}
+
 // Destroy deletes everything in the golden state, in reverse dependency
 // order, and commits the emptied state.
 func (s *Stack) Destroy(ctx context.Context) (*ApplyResult, error) {
@@ -714,9 +839,17 @@ func (s *Stack) Destroy(ctx context.Context) (*ApplyResult, error) {
 		}
 		j = nj
 	}
+	runID := ""
+	if j != nil {
+		runID = j.Meta().ID
+	}
+	s.bus.Publish(events.Event{Kind: "apply.run_start", Run: runID,
+		Principal: s.principal, Action: "destroy",
+		N: int64(len(snapshot.Addrs()))})
 	res := apply.Destroy(ctx, s.cloudAPI, snapshot, apply.Options{
 		Principal: s.principal, ContinueOnError: true, Journal: j,
 	})
+	s.publishRunFinish(runID, res)
 	keepJournal := true
 	if j != nil {
 		defer func() {

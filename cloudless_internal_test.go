@@ -1,0 +1,45 @@
+package cloudless
+
+import (
+	"testing"
+
+	"cloudless/internal/cloud"
+)
+
+// TestProviderNilWhenNotRuntime covers the comma-ok path in Stack.Provider:
+// a stack whose bound cloud interface is not a provider.Runtime must return
+// nil instead of panicking. Open always wraps in a Runtime, so the
+// non-runtime binding is constructed directly, the way a test seam would.
+func TestProviderNilWhenNotRuntime(t *testing.T) {
+	s := &Stack{cloudAPI: cloud.NewSim(cloud.DefaultOptions())}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Provider() panicked: %v", r)
+		}
+	}()
+	if rt := s.Provider(); rt != nil {
+		t.Fatalf("Provider() = %v, want nil for a bare simulator", rt)
+	}
+	// publishRunFinish is the facade's own consumer of the nil contract.
+	s.publishRunFinish("run-x", &ApplyResult{Errors: map[string]error{}})
+}
+
+// TestProviderReturnsRuntime pins the happy path alongside the nil one.
+func TestProviderReturnsRuntime(t *testing.T) {
+	s, err := Open(Options{
+		Sources: map[string]string{"main.ccl": `
+resource "aws_vpc" "main" {
+  name       = "t"
+  cidr_block = "10.0.0.0/16"
+}
+`},
+		Cloud: cloud.NewSim(cloud.DefaultOptions()),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Provider() == nil {
+		t.Fatal("Provider() = nil for an Open()ed stack")
+	}
+}

@@ -1,0 +1,204 @@
+package main
+
+// EV: live ops plane overhead — the event bus must be free to ignore. Three
+// measurements back the claim:
+//
+//  1. Sustained publish throughput: events/sec through a bus with one
+//     draining subscriber (the apply hot path calls Publish inline, so this
+//     bounds how much lifecycle traffic the bus can absorb).
+//  2. Subscriber fan-out tax on a real apply: the ET-style 50-VM walk runs
+//     with no bus, with an idle bus on the context, and with one actively
+//     draining subscriber; medians bound the overhead a watcher adds.
+//  3. Drop accounting under a slow subscriber: a consumer that cannot keep
+//     up loses events (drop-oldest, by design) but never loses count —
+//     received + dropped must equal published exactly.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"cloudless/internal/apply"
+	"cloudless/internal/cloud"
+	"cloudless/internal/events"
+	"cloudless/internal/plan"
+	"cloudless/internal/state"
+	"cloudless/internal/workload"
+)
+
+var jsonOutEV string
+
+type evResult struct {
+	Experiment            string  `json:"experiment"`
+	Runs                  int     `json:"runs"`
+	PublishEventsPerSec   float64 `json:"publish_events_per_sec"`
+	ApplyNoBusMs          float64 `json:"apply_ms_no_bus"`
+	ApplyIdleBusMs        float64 `json:"apply_ms_idle_bus"`
+	ApplySubscribedMs     float64 `json:"apply_ms_subscribed"`
+	SubscriberOverheadPct float64 `json:"subscriber_overhead_pct"`
+	EventsPerApply        int64   `json:"events_per_apply"`
+	SlowPublished         int64   `json:"slow_published"`
+	SlowReceived          int64   `json:"slow_received"`
+	SlowDropped           int64   `json:"slow_dropped"`
+	SlowAccountingExact   bool    `json:"slow_accounting_exact"`
+}
+
+func ev() {
+	const (
+		runs = 7
+		vms  = 50
+	)
+	files := workload.WebTier("web", 4, vms)
+
+	simOpts := cloud.DefaultOptions()
+	simOpts.DisableRateLimit = true
+	simOpts.TimeScale = 0.0002 // 90s VM create -> 18ms modeled latency
+
+	// 1. Sustained publish throughput with a draining subscriber.
+	const pubN = 200_000
+	thrBus := events.NewBus(nil)
+	thrSub := thrBus.Subscribe(events.Filter{}, events.DefaultBuffer)
+	thrDone := make(chan struct{})
+	go func() {
+		defer close(thrDone)
+		for range thrSub.C() {
+		}
+	}()
+	t0 := time.Now()
+	for i := 0; i < pubN; i++ {
+		thrBus.Publish(events.Event{Kind: "bench.tick", Addr: "aws_vpc.bench"})
+	}
+	pubElapsed := time.Since(t0)
+	thrSub.Close()
+	<-thrDone
+	thrBus.Close()
+
+	// 2. Apply wall-clock: no bus vs idle bus vs one draining subscriber.
+	runApply := func(mode string) (float64, int64) {
+		sim := cloud.NewSim(simOpts)
+		p := mustPlan(mustExpand(files), state.New(), plan.Options{})
+		ctx := context.Background()
+		var bus *events.Bus
+		var sub *events.Subscription
+		var done chan struct{}
+		var delivered int64
+		switch mode {
+		case "idle", "subscribed":
+			bus = events.NewBus(nil)
+			ctx = events.WithBus(ctx, bus)
+		}
+		if mode == "subscribed" {
+			sub = bus.Subscribe(events.Filter{}, 4*events.DefaultBuffer)
+			done = make(chan struct{})
+			go func() {
+				defer close(done)
+				for range sub.C() {
+					delivered++
+				}
+			}()
+		}
+		start := time.Now()
+		res := apply.Apply(ctx, sim, p, apply.Options{
+			Concurrency: 10, Scheduler: apply.CriticalPathScheduler, Principal: "cloudless",
+		})
+		if err := res.Err(); err != nil {
+			panic(err)
+		}
+		ms := float64(time.Since(start)) / float64(time.Millisecond)
+		if sub != nil {
+			sub.Close()
+			<-done
+			if d := sub.Dropped(); d != 0 {
+				panic(fmt.Sprintf("EV: active subscriber dropped %d events on a %d-op apply", d, vms))
+			}
+		}
+		if bus != nil {
+			bus.Close()
+		}
+		return ms, delivered
+	}
+
+	var noBus, idleBus, subscribed []float64
+	var perApply int64
+	for i := 0; i < runs; i++ {
+		off, _ := runApply("none")
+		idle, _ := runApply("idle")
+		on, n := runApply("subscribed")
+		noBus, idleBus, subscribed = append(noBus, off), append(idleBus, idle), append(subscribed, on)
+		perApply = n
+	}
+
+	// 3. Slow subscriber: tiny buffer, deliberate per-event stall. The
+	// sentinel is published last and drop-oldest never evicts the newest
+	// event, so seeing it means everything before was delivered or dropped.
+	const slowN = 20_000
+	slowBus := events.NewBus(nil)
+	slowSub := slowBus.Subscribe(events.Filter{}, 64)
+	var slowReceived int64
+	slowDone := make(chan struct{})
+	go func() {
+		defer close(slowDone)
+		for e := range slowSub.C() {
+			if e.Kind == "bench.done" {
+				return
+			}
+			slowReceived++
+			time.Sleep(20 * time.Microsecond)
+		}
+	}()
+	for i := 0; i < slowN; i++ {
+		slowBus.Publish(events.Event{Kind: "bench.tick"})
+	}
+	slowBus.Publish(events.Event{Kind: "bench.done"})
+	<-slowDone
+	slowDropped := slowSub.Dropped()
+	slowSub.Close()
+	slowBus.Close()
+
+	res := evResult{
+		Experiment: "EV", Runs: runs,
+		PublishEventsPerSec: float64(pubN) / pubElapsed.Seconds(),
+		ApplyNoBusMs:        median(noBus),
+		ApplyIdleBusMs:      median(idleBus),
+		ApplySubscribedMs:   median(subscribed),
+		EventsPerApply:      perApply,
+		SlowPublished:       slowN,
+		SlowReceived:        slowReceived,
+		SlowDropped:         slowDropped,
+		SlowAccountingExact: slowReceived+slowDropped == slowN,
+	}
+	res.SubscriberOverheadPct = (res.ApplySubscribedMs - res.ApplyNoBusMs) / res.ApplyNoBusMs * 100
+
+	table("metric\tvalue", [][]string{
+		{"publish throughput (1 drainer)", fmt.Sprintf("%.0f events/sec", res.PublishEventsPerSec)},
+		{"apply, no bus (median)", fmt.Sprintf("%.1fms", res.ApplyNoBusMs)},
+		{"apply, idle bus (median)", fmt.Sprintf("%.1fms", res.ApplyIdleBusMs)},
+		{"apply, 1 subscriber (median)", fmt.Sprintf("%.1fms", res.ApplySubscribedMs)},
+		{"subscriber overhead", fmt.Sprintf("%+.2f%%", res.SubscriberOverheadPct)},
+		{"events per apply", fmt.Sprintf("%d", res.EventsPerApply)},
+		{"slow subscriber published", fmt.Sprintf("%d", res.SlowPublished)},
+		{"slow subscriber received", fmt.Sprintf("%d", res.SlowReceived)},
+		{"slow subscriber dropped", fmt.Sprintf("%d", res.SlowDropped)},
+		{"accounting exact", fmt.Sprintf("%v", res.SlowAccountingExact)},
+	})
+
+	if !res.SlowAccountingExact {
+		panic(fmt.Sprintf("EV: drop accounting leaks: received %d + dropped %d != published %d",
+			res.SlowReceived, res.SlowDropped, res.SlowPublished))
+	}
+	if res.SlowDropped == 0 {
+		panic("EV: the slow subscriber dropped nothing — the backpressure path never exercised")
+	}
+	if jsonOutEV != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		if err := os.WriteFile(jsonOutEV, append(data, '\n'), 0o644); err != nil {
+			panic(err)
+		}
+		fmt.Printf("wrote %s\n", jsonOutEV)
+	}
+}

@@ -35,12 +35,13 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (E1..E10, ET, SD, PV, CR, HG)")
+	only := flag.String("only", "", "run a single experiment (E1..E10, ET, SD, PV, CR, HG, EV)")
 	flag.StringVar(&jsonOut, "json", "", "write machine-readable results (currently: ET) to this file")
 	flag.StringVar(&jsonOutSD, "json-sd", "", "write machine-readable SD results to this file")
 	flag.StringVar(&jsonOutPV, "json-pv", "", "write machine-readable PV results to this file")
 	flag.StringVar(&jsonOutCR, "json-cr", "", "write machine-readable CR results to this file")
 	flag.StringVar(&jsonOutHG, "json-hg", "", "write machine-readable HG results to this file")
+	flag.StringVar(&jsonOutEV, "json-ev", "", "write machine-readable EV results to this file")
 	flag.Parse()
 
 	experiments := []struct {
@@ -63,6 +64,7 @@ func main() {
 		{"PV", "provider runtime: coalesced drift scans and AIMD apply under 429s", pv},
 		{"CR", "crash recovery: randomized kill/restart/recover convergence (§3.5, §3.6)", cr},
 		{"HG", "health-gated progressive applies: guarded vs unguarded under readiness faults (§24)", hg},
+		{"EV", "live ops plane: event-bus throughput, subscriber tax on apply, drop accounting (§25)", ev},
 	}
 	for _, e := range experiments {
 		if *only != "" && !strings.EqualFold(*only, e.id) {

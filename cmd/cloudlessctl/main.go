@@ -5,6 +5,8 @@
 //	cloudlessctl plan      -dir ./infra -state cloudless.state.json [-cloud URL]
 //	cloudlessctl apply     -dir ./infra -state cloudless.state.json [-target addr]...
 //	cloudlessctl apply     -dir ./infra -guard -canary 0.2 -max-failures 3
+//	cloudlessctl apply     -dir ./infra -watch
+//	cloudlessctl tail      -cloud http://host:8080 [-since 42]
 //	cloudlessctl destroy   -state cloudless.state.json
 //	cloudlessctl drift     -state cloudless.state.json [-scan]
 //	cloudlessctl import    -out ./imported [-modules]
@@ -57,6 +59,8 @@ func main() {
 		err = cmdDestroy(args)
 	case "drift":
 		err = cmdDrift(args)
+	case "tail":
+		err = cmdTail(args)
 	case "import":
 		err = cmdImport(args)
 	case "synth":
@@ -89,15 +93,17 @@ func usage() {
 Commands:
   validate   compile-time validation (schema, semantic types, cloud constraints)
   plan       compute an execution plan
-  apply      plan and apply (-guard health-gates it; -canary 0.2 canaries a fifth first)
+  apply      plan and apply (-guard health-gates it; -canary 0.2 canaries a fifth first;
+             -watch streams live per-op progress, gate results, and rollbacks)
   destroy    delete everything in the state
   drift      detect out-of-band changes (activity log; -scan for full scan)
+  tail       follow a cloud endpoint's activity log live (long-poll; -since resumes)
   import     port existing cloud resources to a CCL program + state
   synth      generate a CCL program from a template
   history    list state snapshots in the time machine (-history dir)
   rollback   roll back to a snapshot with minimal redeployment (-to serial)
   recover    reconcile a crashed run's journal (<state>.journal) with the cloud
-  metrics    summarize a trace file written with -trace-out
+  metrics    summarize a trace file written with -trace-out (-prom for Prometheus text)
 
 Lifecycle commands accept -trace-out <file> to record a Chrome/Perfetto
 trace of the run (open at https://ui.perfetto.dev or chrome://tracing).
@@ -332,6 +338,8 @@ func cmdPlanApply(args []string, doApply bool) error {
 	c.fs.Var(&targets, "target", "confine planning to the impact scope of this resource address (repeatable)")
 	concurrency := c.fs.Int("concurrency", 10, "parallel cloud operations")
 	fifo := c.fs.Bool("fifo", false, "use the baseline FIFO scheduler instead of critical-path-first")
+	watch := c.fs.Bool("watch", false,
+		"stream live progress while applying: per-op results, wave boundaries, health-gate outcomes, fuse trips, rollbacks")
 	c.guard = c.fs.Bool("guard", false,
 		"health-gate the apply: probe each resource until ready, trip a failure fuse per run/region, auto-revert the blast radius when resources never turn ready")
 	c.guardCanary = c.fs.Float64("canary", 0,
@@ -383,10 +391,16 @@ func cmdPlanApply(args []string, doApply bool) error {
 	if *fifo {
 		sched = cloudless.SchedulerFIFO
 	}
+	applyOpts := cloudless.ApplyOptions{Concurrency: *concurrency, Scheduler: sched}
+	if *watch {
+		applyOpts.OnEvent = func(e cloudless.Event) {
+			if line := watchLine(e); line != "" {
+				fmt.Fprintln(os.Stderr, line)
+			}
+		}
+	}
 	applyCtx, stop := withSignals(ctx)
-	res, diagnoses, err := stack.Apply(applyCtx, p, cloudless.ApplyOptions{
-		Concurrency: *concurrency, Scheduler: sched,
-	})
+	res, diagnoses, err := stack.Apply(applyCtx, p, applyOpts)
 	stop()
 	for _, d := range diagnoses {
 		fmt.Print(d.String())
@@ -675,6 +689,90 @@ func cmdDrift(args []string) error {
 	return c.saveState(stack)
 }
 
+// watchLine renders a live apply event as a one-line progress entry, or ""
+// for kinds that would only add noise at the terminal (op_begin, raw
+// provider counters).
+func watchLine(e cloudless.Event) string {
+	switch e.Kind {
+	case "apply.run_start":
+		return fmt.Sprintf("run %s: %d pending change(s)", e.Run, e.N)
+	case "apply.wave_start":
+		return fmt.Sprintf("wave %s: %d op(s)", e.Wave, e.N)
+	case "apply.op_done":
+		line := fmt.Sprintf("  ok    %-7s %s (%.0fms", e.Action, e.Addr, e.Ms)
+		if e.Retries > 0 {
+			line += fmt.Sprintf(", %d retries", e.Retries)
+		}
+		return line + ")"
+	case "apply.op_fail":
+		return fmt.Sprintf("  FAIL  %-7s %s: %s", e.Action, e.Addr, e.Err)
+	case "apply.gate_pass":
+		return fmt.Sprintf("  ready %s after %.0fms", e.Addr, e.Ms)
+	case "apply.gate_fail":
+		return fmt.Sprintf("  UNHEALTHY %s: %s", e.Addr, e.Err)
+	case "apply.fuse_trip":
+		return fmt.Sprintf("fuse tripped: %s — halting the domain", e.Domain)
+	case "apply.rollback_start":
+		return fmt.Sprintf("auto-rollback: reverting %d resource(s)", e.N)
+	case "apply.rollback_finish":
+		if e.Err != "" {
+			return fmt.Sprintf("auto-rollback incomplete: %s", e.Err)
+		}
+		return fmt.Sprintf("auto-rollback done: %d resource(s) in %.0fms", e.N, e.Ms)
+	case "apply.wave_finish":
+		return fmt.Sprintf("wave %s done: %d applied, %d retries, %.0fms", e.Wave, e.N, e.Retries, e.Ms)
+	case "apply.run_finish":
+		if e.Err != "" {
+			return fmt.Sprintf("run %s finished with errors: %s", e.Run, e.Err)
+		}
+		return fmt.Sprintf("run %s finished: %d applied in %.0fms", e.Run, e.N, e.Ms)
+	case "provider.throttled":
+		return fmt.Sprintf("  throttled by %s on %s %s (window -> %.0f)", e.Provider, e.Action, e.Type, e.Window)
+	}
+	return ""
+}
+
+// cmdTail follows a cloud endpoint's activity log live: long-poll from a
+// watermark, print each batch, resume from the last printed seq. Every
+// iteration is a fresh request carrying the watermark, so a dropped
+// response never loses or repeats events.
+func cmdTail(args []string) error {
+	fs := flag.NewFlagSet("tail", flag.ExitOnError)
+	cloudURL := fs.String("cloud", "", "cloud API base URL to follow (required: the point is watching a shared endpoint)")
+	since := fs.Int64("since", 0, "resume after this activity sequence number (0 replays the whole log)")
+	wait := fs.Duration("wait", 25*time.Second, "server-side long-poll hold per request")
+	once := fs.Bool("once", false, "print the backlog and exit instead of following")
+	_ = fs.Parse(args)
+	if *cloudURL == "" {
+		return fmt.Errorf("tail requires -cloud: an in-process simulator has no other writers to watch")
+	}
+	cl := cloud.NewClient(*cloudURL, nil)
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	watermark := *since
+	for {
+		evs, err := cloud.WaitActivity(ctx, cl, watermark, *wait)
+		if ctx.Err() != nil {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		for _, e := range evs {
+			line := fmt.Sprintf("#%d %s %-6s %s/%s %s by %s",
+				e.Seq, e.Time.Format(time.RFC3339), e.Op, e.Type, e.ID, e.Region, e.Principal)
+			if len(e.Changed) > 0 {
+				line += " (" + strings.Join(e.Changed, ", ") + ")"
+			}
+			fmt.Println(line)
+			watermark = e.Seq
+		}
+		if *once {
+			return nil
+		}
+	}
+}
+
 func cmdImport(args []string) error {
 	c := newCommon("import")
 	out := c.fs.String("out", "imported", "output directory")
@@ -743,10 +841,14 @@ func cmdSynth(args []string) error {
 func cmdMetrics(args []string) error {
 	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
 	tracePath := fs.String("trace", "trace.json", "trace file written by a lifecycle command's -trace-out")
+	prom := fs.Bool("prom", false, "emit the trace's metrics in Prometheus text exposition format and exit")
 	_ = fs.Parse(args)
 	tr, err := telemetry.ReadChromeTraceFile(*tracePath)
 	if err != nil {
 		return err
+	}
+	if *prom {
+		return telemetry.WritePrometheus(os.Stdout, tr.Metrics)
 	}
 	stats := telemetry.TraceSummary(tr)
 	ms := func(d time.Duration) string {

@@ -18,6 +18,7 @@ import (
 
 	"cloudless/internal/cloud"
 	"cloudless/internal/eval"
+	"cloudless/internal/events"
 	"cloudless/internal/graph"
 	"cloudless/internal/health"
 	"cloudless/internal/plan"
@@ -74,6 +75,9 @@ type Options struct {
 	// done and dependents unblock, and a per-run/per-region failure fuse
 	// stops admitting new ops in a domain that has failed too much.
 	Guard *GuardConfig
+	// Wave labels this execution's events on the bus ("canary", "main");
+	// empty means the whole changeset runs as one wave ("all").
+	Wave string
 
 	// idemPrefix seeds per-op idempotency keys; set by Apply from the
 	// journal's run ID, or generated fresh so even journal-less applies get
@@ -199,6 +203,18 @@ func Apply(ctx context.Context, cl cloud.Interface, p *plan.Plan, opts Options) 
 		o.idemPrefix = fmt.Sprintf("run-%d", time.Now().UnixNano())
 	}
 
+	// Event bus: every lifecycle transition below is published for live
+	// consumers (Stack.Subscribe, -watch, the flight recorder). A nil bus
+	// makes each Publish a no-op, so the unwatched hot path stays clean.
+	bus := events.FromContext(ctx)
+	wave := o.Wave
+	if wave == "" {
+		wave = "all"
+	}
+	waveOps := p.Creates + p.Updates + p.Replaces + p.Deletes
+	bus.Publish(events.Event{Kind: "apply.wave_start", Run: o.idemPrefix,
+		Wave: wave, N: int64(waveOps)})
+
 	// Guarded mode: every op reports into the fuse, and the walk consults
 	// it before admitting new ops. The fuse is usually built here from the
 	// plan's per-domain op counts; the canary orchestration passes a shared
@@ -215,6 +231,8 @@ func Apply(ctx context.Context, cl cloud.Interface, p *plan.Plan, opts Options) 
 				MaxFailureFraction: o.Guard.MaxFailureFraction,
 				OnTrip: func(domain string) {
 					reg.Counter("apply.fuse_trips", "domain", domain).Inc()
+					bus.Publish(events.Event{Kind: "apply.fuse_trip",
+						Run: o.idemPrefix, Domain: domain})
 				},
 			})
 			SeedFuse(fuse, p)
@@ -270,6 +288,11 @@ func Apply(ctx context.Context, cl cloud.Interface, p *plan.Plan, opts Options) 
 		}
 		opCtx, sp := telemetry.StartSpan(execCtx, "apply.op")
 		opCtx, opRetries := provider.WithRetryCounter(opCtx)
+		opStart := time.Now()
+		if ch.Action != plan.ActionNoop {
+			bus.Publish(events.Event{Kind: "apply.op_begin", Run: o.idemPrefix,
+				Wave: wave, Addr: addr, Type: ch.Type, Action: ch.Action.String()})
+		}
 		if sp != nil {
 			sp.SetAttr("addr", addr)
 			sp.SetAttr("action", ch.Action.String())
@@ -284,6 +307,15 @@ func Apply(ctx context.Context, cl cloud.Interface, p *plan.Plan, opts Options) 
 		}
 		err := applyChange(opCtx, cl, p, ch, o, newState, &stateMu)
 		atomic.AddInt64(&retries, opRetries.Load())
+		if ch.Action != plan.ActionNoop {
+			ev := events.Event{Kind: "apply.op_done", Run: o.idemPrefix,
+				Wave: wave, Addr: addr, Type: ch.Type, Action: ch.Action.String(),
+				Retries: opRetries.Load(), Ms: durMillis(time.Since(opStart))}
+			if err != nil {
+				ev.Kind, ev.Err = "apply.op_fail", err.Error()
+			}
+			bus.Publish(ev)
+		}
 		if fuse != nil && ch.Action != plan.ActionNoop {
 			if err != nil {
 				fuse.Failure(changeDomains(ch)...)
@@ -340,6 +372,9 @@ func Apply(ctx context.Context, cl cloud.Interface, p *plan.Plan, opts Options) 
 		res.Outputs[name] = p.Values.OutputValue(spec)
 		newState.Outputs[name] = res.Outputs[name]
 	}
+	bus.Publish(events.Event{Kind: "apply.wave_finish", Run: o.idemPrefix,
+		Wave: wave, N: int64(res.Applied), Retries: int64(res.Retries),
+		Ms: durMillis(res.Elapsed)})
 	return res
 }
 
@@ -599,13 +634,18 @@ func applyChange(ctx context.Context, cl cloud.Interface, p *plan.Plan, ch *plan
 				rec.Metrics().Histogram("apply.health_wait_ms", "type", ch.Type).
 					Observe(durMillis(waited))
 			}
+			gateEv := events.Event{Kind: "apply.gate_pass", Run: o.idemPrefix,
+				Addr: ch.Addr, Type: ch.Type, ID: created.ID, Region: created.Region,
+				Ms: durMillis(waited)}
 			if perr != nil {
 				var ge *health.GateError
 				if errors.As(perr, &ge) {
 					ge.Addr = ch.Addr
 				}
 				gateErr = perr
+				gateEv.Kind, gateEv.Err = "apply.gate_fail", perr.Error()
 			}
+			events.FromContext(ctx).Publish(gateEv)
 		}
 
 		stateMu.Lock()

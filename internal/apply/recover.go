@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"cloudless/internal/cloud"
+	evbus "cloudless/internal/events"
 	"cloudless/internal/plan"
 	"cloudless/internal/provider"
 	"cloudless/internal/state"
@@ -75,6 +76,10 @@ func Recover(ctx context.Context, cl cloud.Interface, js *JournalState,
 	rep := &RecoverReport{JournalID: js.Meta.ID, Kind: js.Meta.Kind, Errors: map[string]error{}}
 	st := base.Clone()
 
+	bus := evbus.FromContext(ctx)
+	bus.Publish(evbus.Event{Kind: "recover.start", Run: js.Meta.ID,
+		Action: js.Meta.Kind, N: int64(len(js.Intents))})
+
 	for i := range js.Intents {
 		in := &js.Intents[i]
 		ops := js.Ops[in.Addr]
@@ -84,6 +89,8 @@ func Recover(ctx context.Context, cl cloud.Interface, js *JournalState,
 		if ops.Done != nil {
 			applyDoneRecord(st, ops.Done)
 			rep.Confirmed++
+			bus.Publish(evbus.Event{Kind: "recover.op", Run: js.Meta.ID,
+				Addr: in.Addr, Type: in.Type, Action: "confirmed"})
 			continue
 		}
 		if ops.FailError != "" {
@@ -91,16 +98,22 @@ func Recover(ctx context.Context, cl cloud.Interface, js *JournalState,
 		}
 		if err := redriveOp(ctx, cl, st, js, ops.Begin, o); err != nil {
 			rep.Errors[in.Addr] = err
+			bus.Publish(evbus.Event{Kind: "recover.op", Run: js.Meta.ID,
+				Addr: in.Addr, Type: in.Type, Action: "failed", Err: err.Error()})
 			continue
 		}
 		rep.Resumed++
+		bus.Publish(evbus.Event{Kind: "recover.op", Run: js.Meta.ID,
+			Addr: in.Addr, Type: in.Type, Action: "resumed"})
 	}
 
-	if err := sweepOrphans(ctx, cl, st, js, o, rep); err != nil {
-		rep.Elapsed = time.Since(start)
+	err := sweepOrphans(ctx, cl, st, js, o, rep)
+	rep.Elapsed = time.Since(start)
+	bus.Publish(evbus.Event{Kind: "recover.finish", Run: js.Meta.ID,
+		N: int64(rep.Confirmed + rep.Resumed), Ms: durMillis(rep.Elapsed)})
+	if err != nil {
 		return st, rep, err
 	}
-	rep.Elapsed = time.Since(start)
 	return st, rep, nil
 }
 
@@ -256,6 +269,8 @@ func sweepOrphans(ctx context.Context, cl cloud.Interface, st *state.State,
 				CreatedAt: now, UpdatedAt: now,
 			})
 			rep.OrphansAdopted = append(rep.OrphansAdopted, res.ID)
+			evbus.FromContext(ctx).Publish(evbus.Event{Kind: "recover.op",
+				Run: js.Meta.ID, Addr: addr, Type: res.Type, ID: res.ID, Action: "adopted"})
 			continue
 		}
 		if err := cl.Delete(ctx, res.Type, res.ID, o.Principal); err != nil && !cloud.IsNotFound(err) {
@@ -263,6 +278,8 @@ func sweepOrphans(ctx context.Context, cl cloud.Interface, st *state.State,
 			continue
 		}
 		rep.OrphansDeleted = append(rep.OrphansDeleted, res.ID)
+		evbus.FromContext(ctx).Publish(evbus.Event{Kind: "recover.op",
+			Run: js.Meta.ID, Type: res.Type, ID: res.ID, Action: "deleted"})
 	}
 	return nil
 }

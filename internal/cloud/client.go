@@ -207,9 +207,43 @@ func (c *Client) Activity(ctx context.Context, afterSeq int64) ([]Event, error) 
 	return events, nil
 }
 
+// WaitActivity long-polls GET /v1/events: it blocks server-side up to wait
+// for events past afterSeq and returns (nil, nil) on a quiet timeout. The
+// caller's ctx must outlive wait (the request context governs the poll).
+func (c *Client) WaitActivity(ctx context.Context, afterSeq int64, wait time.Duration) ([]Event, error) {
+	var events []Event
+	path := "/v1/events?since=" + strconv.FormatInt(afterSeq, 10) +
+		"&wait_ms=" + strconv.FormatInt(wait.Milliseconds(), 10)
+	if err := c.do(ctx, http.MethodGet, path, nil, &events); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
 // Metrics fetches the server-side traffic counters.
 func (c *Client) Metrics(ctx context.Context) (Metrics, error) {
 	var m Metrics
 	err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, &m)
 	return m, err
+}
+
+// PrometheusMetrics fetches the server's Prometheus text exposition.
+func (c *Client) PrometheusMetrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", fmt.Errorf("cloud client: build request: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("cloud client: GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	return string(data), nil
 }

@@ -183,3 +183,42 @@ type Interface interface {
 	// failed). Guarded applies probe it before declaring an op done.
 	Health(ctx context.Context, typ, id string) (*HealthReport, error)
 }
+
+// ActivityWaiter is the optional long-poll extension of Interface: block up
+// to wait for events past afterSeq, returning (nil, nil) on a quiet timeout.
+// Sim and Client implement it natively; WaitActivity degrades gracefully for
+// implementations that don't.
+type ActivityWaiter interface {
+	WaitActivity(ctx context.Context, afterSeq int64, wait time.Duration) ([]Event, error)
+}
+
+// WaitActivity long-polls cl when it implements ActivityWaiter and falls
+// back to sleep-and-poll otherwise, so event tails work against any
+// Interface (including fakes and wrappers that don't forward the extension).
+func WaitActivity(ctx context.Context, cl Interface, afterSeq int64, wait time.Duration) ([]Event, error) {
+	if aw, ok := cl.(ActivityWaiter); ok {
+		return aw.WaitActivity(ctx, afterSeq, wait)
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		events, err := cl.Activity(ctx, afterSeq)
+		if err != nil || len(events) > 0 {
+			return events, err
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, nil
+		}
+		pause := 200 * time.Millisecond
+		if pause > remaining {
+			pause = remaining
+		}
+		timer := time.NewTimer(pause)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-timer.C:
+		}
+	}
+}

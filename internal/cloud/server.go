@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"cloudless/internal/telemetry"
 )
 
 // Server exposes a Sim over HTTP with a small JSON API:
@@ -19,7 +21,9 @@ import (
 //	DELETE /v1/resources/{type}/{id}   delete (?principal=)
 //	GET    /v1/resources/{type}/{id}/health   readiness probe
 //	GET    /v1/activity                activity log (?after=seq)
+//	GET    /v1/events                  long-poll event stream (?since=seq&wait_ms=)
 //	GET    /v1/metrics                 traffic counters
+//	GET    /metrics                    Prometheus text exposition
 //	GET    /healthz                    liveness
 type Server struct {
 	sim *Sim
@@ -40,7 +44,14 @@ func NewServer(sim *Sim, logger *slog.Logger) *Server {
 	s.mux.HandleFunc("DELETE /v1/resources/{type}/{id}", s.handleDelete)
 	s.mux.HandleFunc("GET /v1/resources/{type}/{id}/health", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/activity", s.handleActivity)
+	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /metrics", s.handlePrometheus)
+	if sim.TelemetryRegistry() == nil {
+		// The server is an ops surface: make sure /metrics has a registry to
+		// expose even when the embedder didn't attach one.
+		sim.AttachTelemetry(telemetry.NewRegistry())
+	}
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_, _ = io.WriteString(w, "ok\n")
@@ -192,8 +203,60 @@ func (s *Server) handleActivity(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, events)
 }
 
+// maxEventWait caps the long-poll hold time so proxies and the server's own
+// WriteTimeout never see an indefinitely parked handler.
+const maxEventWait = 60 * time.Second
+
+// defaultEventWait is the hold time when the client sends no wait_ms.
+const defaultEventWait = 25 * time.Second
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	since := int64(0)
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			s.writeError(w, &APIError{Code: CodeInvalid, Op: "events",
+				Message: "MalformedRequest: invalid since parameter"})
+			return
+		}
+		since = n
+	}
+	wait := defaultEventWait
+	if v := q.Get("wait_ms"); v != "" {
+		ms, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || ms < 0 {
+			s.writeError(w, &APIError{Code: CodeInvalid, Op: "events",
+				Message: "MalformedRequest: invalid wait_ms parameter"})
+			return
+		}
+		wait = time.Duration(ms) * time.Millisecond
+		if wait > maxEventWait {
+			wait = maxEventWait
+		}
+	}
+	events, err := s.sim.WaitActivity(r.Context(), since, wait)
+	if err != nil {
+		// Client went away mid-poll; nothing useful to write.
+		if r.Context().Err() != nil {
+			return
+		}
+		s.writeError(w, err)
+		return
+	}
+	if events == nil {
+		events = []Event{}
+	}
+	s.writeJSON(w, http.StatusOK, events)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.sim.Metrics())
+}
+
+func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.sim.TelemetryRegistry().Prometheus(w)
 }
 
 // principalOf prefers the explicit body/query principal, then the

@@ -120,6 +120,11 @@ type Sim struct {
 	// registry with per-type/op/region labels (E7 attribution). A registry
 	// riding the call context takes precedence per call.
 	telemetry *telemetry.Registry
+
+	// notify is a broadcast channel for activity-log appends: WaitActivity
+	// parks on it, appendEventLocked closes and clears it. Lazily created so
+	// the common no-waiter case costs nothing.
+	notify chan struct{}
 }
 
 var _ Interface = (*Sim)(nil)
@@ -160,6 +165,13 @@ func (s *Sim) AttachTelemetry(reg *telemetry.Registry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.telemetry = reg
+}
+
+// TelemetryRegistry returns the attached registry, or nil when none is.
+func (s *Sim) TelemetryRegistry() *telemetry.Registry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.telemetry
 }
 
 // registryFor resolves the registry to count a call against: the context's
@@ -909,6 +921,41 @@ func (s *Sim) LastSeq() int64 {
 	return s.logSeq
 }
 
+// WaitActivity is the long-poll form of Activity: it blocks up to wait for
+// at least one event past afterSeq, returning immediately when events are
+// already available and (nil, nil) on a quiet timeout. Cancellation surfaces
+// as ctx.Err(). Like Activity, waiting bypasses rate limiting.
+func (s *Sim) WaitActivity(ctx context.Context, afterSeq int64, wait time.Duration) ([]Event, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		s.mu.Lock()
+		if s.logSeq > afterSeq {
+			s.mu.Unlock()
+			return s.Activity(ctx, afterSeq)
+		}
+		if s.notify == nil {
+			s.notify = make(chan struct{})
+		}
+		ch := s.notify
+		s.mu.Unlock()
+
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, nil
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-timer.C:
+			return nil, nil
+		case <-ch:
+			timer.Stop()
+		}
+	}
+}
+
 func (s *Sim) appendEventLocked(op EventOp, r *Resource, principal string, changed []string) {
 	if principal == "" {
 		principal = "unknown"
@@ -924,6 +971,10 @@ func (s *Sim) appendEventLocked(op EventOp, r *Resource, principal string, chang
 		Principal: principal,
 		Changed:   changed,
 	})
+	if s.notify != nil {
+		close(s.notify)
+		s.notify = nil
+	}
 }
 
 // Count returns how many resources of a type exist (all regions).

@@ -18,6 +18,7 @@ import (
 
 	"cloudless/internal/cloud"
 	"cloudless/internal/eval"
+	evbus "cloudless/internal/events"
 	"cloudless/internal/provider"
 	"cloudless/internal/schema"
 	"cloudless/internal/state"
@@ -72,6 +73,20 @@ type Report struct {
 
 // HasDrift reports whether anything diverged.
 func (r *Report) HasDrift() bool { return len(r.Items) > 0 }
+
+// publishItems announces each detection on the context's event bus, tagged
+// with the detection method in Wave ("full-scan" / "activity-log").
+func publishItems(ctx context.Context, method string, items []Item) {
+	bus := evbus.FromContext(ctx)
+	if bus == nil {
+		return
+	}
+	for _, it := range items {
+		bus.Publish(evbus.Event{Kind: "drift.detected", Action: it.Kind.String(),
+			Addr: it.Addr, Type: it.Type, ID: it.ID, Principal: it.Actor,
+			Wave: method, N: int64(len(it.ChangedAttrs))})
+	}
+}
 
 func sortItems(items []Item) {
 	sort.Slice(items, func(i, j int) bool {
@@ -235,6 +250,7 @@ func FullScan(ctx context.Context, cl cloud.Interface, st *state.State) (*Report
 		}
 	}
 	sortItems(rep.Items)
+	publishItems(ctx, rep.Method, rep.Items)
 	rep.Elapsed = time.Since(start)
 	return rep, nil
 }
@@ -344,6 +360,7 @@ func (w *Watcher) Poll(ctx context.Context, st *state.State) (*Report, error) {
 		}
 	}
 	sortItems(rep.Items)
+	publishItems(ctx, rep.Method, rep.Items)
 	rep.Elapsed = time.Since(start)
 	return rep, nil
 }

@@ -1,0 +1,138 @@
+package events
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"sync"
+	"time"
+)
+
+func wallClock() int64 { return time.Now().UnixNano() }
+
+// flightKeep bounds the events a FlightRecorder retains per run.
+const flightKeep = 2048
+
+// FlightRecorder persists a bounded tail of bus events to a JSONL artifact
+// next to the journal, for post-mortem reconstruction of a run that died
+// with no live subscriber attached. Events are written through on arrival
+// (crash-safe up to OS buffering); when a new run starts (apply.run_start or
+// recover.start) the file is rewritten from the retained tail so one
+// artifact never grows without bound across runs.
+type FlightRecorder struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	w    *bufio.Writer
+	tail []Event // bounded at flightKeep
+	sub  *Subscription
+	done chan struct{}
+}
+
+// NewFlightRecorder opens (creating or appending) the artifact at path and
+// starts consuming the bus in a goroutine. Close flushes and detaches.
+func NewFlightRecorder(path string, bus *Bus) (*FlightRecorder, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	r := &FlightRecorder{
+		path: path,
+		f:    f,
+		w:    bufio.NewWriter(f),
+		sub:  bus.Subscribe(Filter{}, 1024),
+		done: make(chan struct{}),
+	}
+	go r.run()
+	return r, nil
+}
+
+// Path returns the artifact location.
+func (r *FlightRecorder) Path() string {
+	if r == nil {
+		return ""
+	}
+	return r.path
+}
+
+func (r *FlightRecorder) run() {
+	defer close(r.done)
+	for e := range r.sub.C() {
+		r.record(e)
+	}
+}
+
+func (r *FlightRecorder) record(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e.Kind == "apply.run_start" || e.Kind == "recover.start" {
+		// New run: restart the artifact so it holds this run's events (the
+		// retained tail of the previous run stays in memory only).
+		r.tail = r.tail[:0]
+		r.w.Flush()
+		if err := r.f.Truncate(0); err == nil {
+			r.f.Seek(0, 0)
+			r.w.Reset(r.f)
+		}
+	}
+	r.tail = append(r.tail, e)
+	if len(r.tail) > flightKeep {
+		// Over budget: rewrite the file from the bounded tail.
+		r.tail = append(r.tail[:0], r.tail[len(r.tail)-flightKeep:]...)
+		r.w.Flush()
+		if err := r.f.Truncate(0); err == nil {
+			r.f.Seek(0, 0)
+			r.w.Reset(r.f)
+			for _, te := range r.tail {
+				r.writeLine(te)
+			}
+			r.w.Flush()
+			return
+		}
+	}
+	r.writeLine(e)
+	r.w.Flush()
+}
+
+func (r *FlightRecorder) writeLine(e Event) {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	r.w.Write(b)
+	r.w.WriteByte('\n')
+}
+
+// Close detaches from the bus, drains buffered events, flushes, and closes
+// the artifact.
+func (r *FlightRecorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	r.sub.Close()
+	<-r.done
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.w.Flush()
+	return r.f.Close()
+}
+
+// ReadFlightLog loads a flight-recorder artifact back into events, tolerant
+// of a torn final line from a crash mid-write.
+func ReadFlightLog(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []Event
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var e Event
+		if json.Unmarshal(sc.Bytes(), &e) == nil && e.Kind != "" {
+			out = append(out, e)
+		}
+	}
+	return out, sc.Err()
+}

@@ -16,6 +16,7 @@ import (
 
 	"cloudless/internal/apply"
 	"cloudless/internal/cloud"
+	"cloudless/internal/events"
 	"cloudless/internal/graph"
 	"cloudless/internal/health"
 	"cloudless/internal/plan"
@@ -51,6 +52,7 @@ type Options struct {
 func Run(ctx context.Context, cl cloud.Interface, p *plan.Plan, applyOpts apply.Options, opts Options) *apply.Result {
 	start := time.Now()
 	reg := telemetry.FromContext(ctx).Metrics()
+	bus := events.FromContext(ctx)
 
 	// One fuse across all waves, seeded with the FULL plan's per-domain op
 	// counts: a canary failure and a main-wave failure in the same region
@@ -60,6 +62,7 @@ func Run(ctx context.Context, cl cloud.Interface, p *plan.Plan, applyOpts apply.
 		MaxFailureFraction: opts.MaxFailureFraction,
 		OnTrip: func(domain string) {
 			reg.Counter("apply.fuse_trips", "domain", domain).Inc()
+			bus.Publish(events.Event{Kind: "apply.fuse_trip", Domain: domain})
 		},
 	})
 	apply.SeedFuse(fuse, p)
@@ -75,12 +78,16 @@ func Run(ctx context.Context, cl cloud.Interface, p *plan.Plan, applyOpts apply.
 		// Wave 1: the canary slice. Changes and the value store are shared
 		// with the full plan, so attribute references resolved during the
 		// canary carry into the main wave.
-		canaryRes := apply.Apply(ctx, cl, subPlan(p, wave, p.PriorState), applyOpts)
+		canaryOpts := applyOpts
+		canaryOpts.Wave = "canary"
+		canaryRes := apply.Apply(ctx, cl, subPlan(p, wave, p.PriorState), canaryOpts)
 		res = canaryRes
 		if len(canaryRes.Errors) == 0 && ctx.Err() == nil {
 			// Canary converged healthy: release the rest, starting from the
 			// state the canary produced.
-			mainRes := apply.Apply(ctx, cl, subPlan(p, rest, canaryRes.State), applyOpts)
+			mainOpts := applyOpts
+			mainOpts.Wave = "main"
+			mainRes := apply.Apply(ctx, cl, subPlan(p, rest, canaryRes.State), mainOpts)
 			res = mergeResults(canaryRes, mainRes)
 		} else {
 			// Canary failed: the rest is never admitted.
@@ -206,6 +213,9 @@ func autoRollback(ctx context.Context, cl cloud.Interface, p *plan.Plan,
 		return
 	}
 	telemetry.FromContext(ctx).Metrics().Counter("apply.auto_rollbacks").Inc()
+	bus := events.FromContext(ctx)
+	rbStart := time.Now()
+	bus.Publish(events.Event{Kind: "apply.rollback_start", N: int64(len(scope))})
 
 	// Scoped views: what the run left behind vs what was there before, for
 	// the blast radius only. Compute reverts updates in place and deletes
@@ -238,9 +248,13 @@ func autoRollback(ctx context.Context, cl cloud.Interface, p *plan.Plan,
 	}
 	res.RolledBack = rolled
 	res.Reverted = err == nil
+	fin := events.Event{Kind: "apply.rollback_finish", N: int64(len(rolled)),
+		Ms: float64(time.Since(rbStart)) / float64(time.Millisecond)}
 	if err != nil {
 		res.Errors["<rollback>"] = err
+		fin.Err = err.Error()
 	}
+	bus.Publish(fin)
 }
 
 // blastRadius computes the addresses the auto-rollback must revert: the

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"cloudless/internal/cloud"
+	"cloudless/internal/events"
 	"cloudless/internal/schema"
 	"cloudless/internal/telemetry"
 )
@@ -71,6 +72,9 @@ type Options struct {
 	// Registry receives runtime metrics when no recorder rides the call
 	// context. May be nil.
 	Registry *telemetry.Registry
+	// Bus receives runtime signal events (throttles, AIMD gate resizes,
+	// activity tail) when no bus rides the call context. May be nil.
+	Bus *events.Bus
 	// Seed seeds backoff jitter (default 1, deterministic).
 	Seed int64
 }
@@ -233,6 +237,15 @@ func (r *Runtime) registryFor(ctx context.Context) *telemetry.Registry {
 	return r.opts.Registry
 }
 
+// busFor resolves the event bus for one call: the context's bus wins, then
+// the configured bus, else nil (whose methods are all no-ops).
+func (r *Runtime) busFor(ctx context.Context) *events.Bus {
+	if b := events.FromContext(ctx); b != nil {
+		return b
+	}
+	return r.opts.Bus
+}
+
 func (r *Runtime) now() time.Time { return r.opts.Clock.Now() }
 
 // gateFor returns the AIMD gate for a resource type's provider.
@@ -319,8 +332,17 @@ func (r *Runtime) call(ctx context.Context, op, typ string, fn func(context.Cont
 		if ae, ok := asAPIError(err); ok && ae.Code == cloud.CodeThrottled {
 			r.stats.throttles.Add(1)
 			retryAfter = ae.RetryAfter
+			before := g.Window()
 			g.OnCongestion(r.now())
-			reg.Gauge("provider.window", "provider", gateKey).Set(g.Window())
+			after := g.Window()
+			reg.Gauge("provider.window", "provider", gateKey).Set(after)
+			bus := r.busFor(ctx)
+			bus.Publish(events.Event{Kind: "provider.throttled",
+				Provider: gateKey, Action: op, Type: typ, Window: after})
+			if after != before {
+				bus.Publish(events.Event{Kind: "provider.gate_resize",
+					Provider: gateKey, Window: after})
+			}
 		}
 		if !cloud.IsRetryable(err) || ctx.Err() != nil {
 			return nil, err
@@ -489,24 +511,42 @@ func (r *Runtime) Activity(ctx context.Context, afterSeq int64) ([]cloud.Event, 
 	if err != nil {
 		return nil, err
 	}
-	events := v.([]cloud.Event)
-	r.observeEvents(events)
-	out := make([]cloud.Event, len(events))
-	copy(out, events)
+	evs := v.([]cloud.Event)
+	r.observeEvents(ctx, evs)
+	out := make([]cloud.Event, len(evs))
+	copy(out, evs)
 	return out, nil
+}
+
+// WaitActivity implements cloud.ActivityWaiter: it long-polls the upstream
+// (natively when the upstream supports it, by polling otherwise), bypassing
+// the runtime's gates and cache — activity reads are deliberately cheap and
+// a parked poll must not hold an AIMD slot. Events still flow through
+// observeEvents, so a tail keeps the cache coherent exactly like Activity.
+func (r *Runtime) WaitActivity(ctx context.Context, afterSeq int64, wait time.Duration) ([]cloud.Event, error) {
+	evs, err := cloud.WaitActivity(ctx, r.upstream, afterSeq, wait)
+	if err != nil {
+		return nil, err
+	}
+	r.observeEvents(ctx, evs)
+	return evs, nil
 }
 
 // observeEvents applies activity-log invalidation: every event newer than
 // the watermark evicts the cache entries for its resource and type. The
 // watermark only advances after the evictions run, so overlapping readers
-// at worst invalidate twice, never skip.
-func (r *Runtime) observeEvents(events []cloud.Event) {
-	if len(events) == 0 {
+// at worst invalidate twice, never skip. The watermark advance doubles as
+// an exactly-once claim for the bus: the reader whose CAS lands owns the
+// (cur, last] range and republishes exactly those events as cloud.activity
+// — overlapping readers never produce duplicates, and since ranges abut,
+// never leave gaps.
+func (r *Runtime) observeEvents(ctx context.Context, evs []cloud.Event) {
+	if len(evs) == 0 {
 		return
 	}
 	seen := r.seen.Load()
 	last := seen
-	for _, e := range events {
+	for _, e := range evs {
 		if e.Seq <= seen {
 			continue
 		}
@@ -519,7 +559,23 @@ func (r *Runtime) observeEvents(events []cloud.Event) {
 	}
 	for {
 		cur := r.seen.Load()
-		if last <= cur || r.seen.CompareAndSwap(cur, last) {
+		if last <= cur {
+			return
+		}
+		if r.seen.CompareAndSwap(cur, last) {
+			bus := r.busFor(ctx)
+			if bus == nil {
+				return
+			}
+			for _, e := range evs {
+				if e.Seq <= cur || e.Seq > last {
+					continue
+				}
+				bus.Publish(events.Event{Kind: "cloud.activity",
+					CloudSeq: e.Seq, Time: e.Time.UnixNano(),
+					Action: string(e.Op), Type: e.Type, ID: e.ID,
+					Region: e.Region, Principal: e.Principal})
+			}
 			return
 		}
 	}

@@ -278,7 +278,7 @@ func TestActivityEventsInvalidate(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A foreign event for vpc-1 flows through the runtime.
-	rt.observeEvents([]cloud.Event{{Seq: 7, Op: cloud.OpUpdate, Type: "aws_vpc", ID: "vpc-1", Principal: "legacy"}})
+	rt.observeEvents(context.Background(), []cloud.Event{{Seq: 7, Op: cloud.OpUpdate, Type: "aws_vpc", ID: "vpc-1", Principal: "legacy"}})
 	if _, err := rt.Get(ctx, "aws_vpc", "vpc-1"); err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +286,7 @@ func TestActivityEventsInvalidate(t *testing.T) {
 		t.Errorf("upstream gets = %d, want 2 (event invalidated the entry)", f.getCount())
 	}
 	// The same seq again must not invalidate twice.
-	rt.observeEvents([]cloud.Event{{Seq: 7, Op: cloud.OpUpdate, Type: "aws_vpc", ID: "vpc-1", Principal: "legacy"}})
+	rt.observeEvents(context.Background(), []cloud.Event{{Seq: 7, Op: cloud.OpUpdate, Type: "aws_vpc", ID: "vpc-1", Principal: "legacy"}})
 	if _, err := rt.Get(ctx, "aws_vpc", "vpc-1"); err != nil {
 		t.Fatal(err)
 	}
@@ -627,7 +627,7 @@ func TestConcurrentMixedTrafficRace(t *testing.T) {
 					_, _ = rt.Update(ctx, cloud.UpdateRequest{Type: "aws_vpc", ID: "vpc-1",
 						Attrs: map[string]eval.Value{"name": eval.String("x")}})
 				case 3:
-					rt.observeEvents([]cloud.Event{{Seq: seq.Add(1), Type: "aws_vpc", ID: "vpc-1"}})
+					rt.observeEvents(context.Background(), []cloud.Event{{Seq: seq.Add(1), Type: "aws_vpc", ID: "vpc-1"}})
 				case 4:
 					_, _ = rt.Get(WithFresh(ctx), "aws_vpc", "vpc-1")
 				}

@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders a metric snapshot in the Prometheus text exposition
+// format (version 0.0.4). Counters and gauges map directly; histograms are
+// rendered summary-style with quantile series plus _sum and _count. Metric
+// names are sanitized (dots and other invalid runes become underscores) and
+// label values escaped per the format rules.
+func WritePrometheus(w io.Writer, points []MetricPoint) error {
+	for _, p := range points {
+		name, labels := splitMetricKey(p.Name)
+		pname := promName(name)
+		switch p.Kind {
+		case "counter":
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s%s %s\n",
+				pname, pname, promLabels(labels, "", ""), promFloat(p.Value)); err != nil {
+				return err
+			}
+		case "gauge":
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %s\n",
+				pname, pname, promLabels(labels, "", ""), promFloat(p.Value)); err != nil {
+				return err
+			}
+		case "histogram":
+			if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", pname); err != nil {
+				return err
+			}
+			if p.Count > 0 {
+				for _, q := range []struct {
+					q string
+					v float64
+				}{{"0.5", p.P50}, {"0.95", p.P95}} {
+					if _, err := fmt.Fprintf(w, "%s%s %s\n",
+						pname, promLabels(labels, "quantile", q.q), promFloat(q.v)); err != nil {
+						return err
+					}
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
+				pname, promLabels(labels, "", ""), promFloat(p.Sum),
+				pname, promLabels(labels, "", ""), p.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Prometheus writes the registry's current snapshot to w in text exposition
+// format. Safe on a nil registry (writes nothing).
+func (r *Registry) Prometheus(w io.Writer) error {
+	return WritePrometheus(w, r.Snapshot())
+}
+
+// splitMetricKey parses the registry's "name{k=v,k=v}" key form back into
+// the bare name and label pairs.
+func splitMetricKey(key string) (string, [][2]string) {
+	open := strings.IndexByte(key, '{')
+	if open < 0 || !strings.HasSuffix(key, "}") {
+		return key, nil
+	}
+	name := key[:open]
+	body := key[open+1 : len(key)-1]
+	if body == "" {
+		return name, nil
+	}
+	var labels [][2]string
+	for _, pair := range strings.Split(body, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok {
+			continue
+		}
+		labels = append(labels, [2]string{k, v})
+	}
+	return name, labels
+}
+
+// promName sanitizes a metric name to [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabels renders a label set (plus an optional extra pair, used for
+// quantiles) as {k="v",...}, or "" when empty.
+func promLabels(labels [][2]string, extraK, extraV string) string {
+	if len(labels) == 0 && extraK == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	n := 0
+	write := func(k, v string) {
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		n++
+		b.WriteString(promName(k))
+		b.WriteString(`="`)
+		b.WriteString(promEscape(v))
+		b.WriteByte('"')
+	}
+	for _, kv := range labels {
+		write(kv[0], kv[1])
+	}
+	if extraK != "" {
+		write(extraK, extraV)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promEscape escapes a label value per the exposition format: backslash,
+// double-quote, and newline.
+func promEscape(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// promFloat renders a float the way Prometheus expects (no exponent for
+// integral values in the common range).
+func promFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cloud.api_calls", "type", "aws_vpc", "op", "create").Add(7)
+	r.Gauge("provider.gate_window", "provider", "aws").Set(3.5)
+	h := r.Histogram("apply.op_ms")
+	for _, v := range []float64{1, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := r.Prometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE cloud_api_calls counter",
+		`cloud_api_calls{op="create",type="aws_vpc"} 7`,
+		"# TYPE provider_gate_window gauge",
+		`provider_gate_window{provider="aws"} 3.5`,
+		"# TYPE apply_op_ms summary",
+		`apply_op_ms{quantile="0.5"}`,
+		`apply_op_ms{quantile="0.95"}`,
+		"apply_op_ms_sum 110",
+		"apply_op_ms_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+func TestPrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("weird.name-2", "path", `a\b"c`).Inc()
+	var b strings.Builder
+	if err := r.Prometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `weird_name_2{path="a\\b\"c"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", b.String())
+	}
+}
+
+func TestNilRegistryPrometheus(t *testing.T) {
+	var r *Registry
+	var b strings.Builder
+	if err := r.Prometheus(&b); err != nil || b.Len() != 0 {
+		t.Fatalf("nil registry wrote %q (err %v)", b.String(), err)
+	}
+}
+
+// TestRegistryPrometheusRace races concurrent counter/histogram writers
+// against a Prometheus snapshot reader; run with -race. The assertions are
+// deliberately light — the test's value is the race detector's verdict on
+// the Snapshot/Observe/Add interleavings.
+func TestRegistryPrometheusRace(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("race.calls", "worker", "seed").Inc() // non-empty before readers start
+	var wg sync.WaitGroup
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				r.Counter("race.calls", "worker", string(rune('a'+w))).Inc()
+				r.Histogram("race.latency_ms").Observe(float64(i % 50))
+				r.Gauge("race.depth").Set(float64(i))
+			}
+		}(w)
+	}
+
+	for i := 0; i < 200; i++ {
+		var b strings.Builder
+		if err := r.Prometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		if b.Len() == 0 {
+			t.Fatal("snapshot empty despite seeded counter")
+		}
+	}
+	wg.Wait()
+
+	var b strings.Builder
+	if err := r.Prometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "race_calls{") || !strings.Contains(b.String(), "race_latency_ms_count") {
+		t.Fatalf("final exposition incomplete:\n%s", b.String())
+	}
+}
