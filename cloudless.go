@@ -196,6 +196,7 @@ type Stack struct {
 	guardOpts   *guard.Options
 	bus         *events.Bus
 	flight      *events.FlightRecorder
+	replanCache *plan.ReplanCache
 }
 
 // Open loads, expands, and binds a configuration.
@@ -277,6 +278,7 @@ func Open(opts Options) (*Stack, error) {
 		telemetry:   opts.Telemetry,
 		journalPath: opts.JournalPath,
 		bus:         bus,
+		replanCache: plan.NewReplanCache(),
 	}
 	if opts.JournalPath != "" {
 		// Flight recorder: the journal's sibling artifact. A run that dies
@@ -566,6 +568,54 @@ func (s *Stack) PlanIncremental(ctx context.Context, changed ...string) (*Plan, 
 	return p, nil
 }
 
+// Replan computes a plan through the stack's replan cache: declarations
+// whose fingerprint is unchanged since the last (re)plan and whose recorded
+// state has not moved replay their memoized diffs, and only the dirty
+// subtree — edited decls, changed inputs, drifted or committed addresses,
+// plus transitive dependents — is re-evaluated. The result is byte-identical
+// to Plan; the first call after Open is effectively a full plan that warms
+// the cache. Refreshes recorded state (batched) like Plan does, so drift
+// observed by the refresh dirties exactly the drifted subtrees.
+func (s *Stack) Replan(ctx context.Context) (*Plan, error) {
+	if _, err := s.recoverStale(ctx); err != nil {
+		return nil, err
+	}
+	ctx, span := s.lifecycle(ctx, "lifecycle.replan")
+	defer span.End()
+	p, diags := plan.Compute(ctx, s.expansion, s.db.Snapshot(), plan.Options{
+		Refresh: true, Cloud: s.cloudAPI, Cache: s.replanCache,
+	})
+	if diags.HasErrors() {
+		return p, diags
+	}
+	return p, nil
+}
+
+// ReplanOffline is Replan without the cloud refresh: it trusts recorded
+// state (like PlanOffline) and re-evaluates only the subtree dirtied by
+// configuration edits or state commits since the previous cached plan. This
+// is the edit-loop fast path: a one-resource change in a large graph costs
+// one subtree, not a full evaluation sweep.
+func (s *Stack) ReplanOffline(ctx context.Context) (*Plan, error) {
+	ctx, span := s.lifecycle(ctx, "lifecycle.replan_offline")
+	defer span.End()
+	p, diags := plan.Compute(ctx, s.expansion, s.db.Snapshot(), plan.Options{
+		Cache: s.replanCache,
+	})
+	if diags.HasErrors() {
+		return p, diags
+	}
+	return p, nil
+}
+
+// ReplanStats reports what the last Replan/ReplanOffline did: the
+// invalidation type ("cold", "config", "state", "clean"), dirty-seed counts,
+// and how many resources replayed from cache vs re-evaluated.
+func (s *Stack) ReplanStats() plan.CacheStats { return s.replanCache.LastStats() }
+
+// InvalidateReplanCache forces the next Replan to be a full replan.
+func (s *Stack) InvalidateReplanCache() { s.replanCache.InvalidateAll() }
+
 // PlanOffline plans without refreshing from the cloud (fast, trusts state).
 func (s *Stack) PlanOffline(ctx context.Context) (*Plan, error) {
 	ctx, span := s.lifecycle(ctx, "lifecycle.plan_offline")
@@ -603,6 +653,10 @@ type ApplyOptions struct {
 	Scheduler   apply.Scheduler
 	// SkipPolicyCheck bypasses plan-phase policies.
 	SkipPolicyCheck bool
+	// BatchOps coalesces concurrent creates and reads into bulk cloud
+	// calls, cutting control-plane round-trips on wide changesets (see
+	// apply.Options.BatchOps).
+	BatchOps bool
 	// OnEvent, when set, receives every ops-plane event published during
 	// this apply (run/wave lifecycle, per-op progress, health gates, fuse
 	// trips, rollbacks, provider signals), in order, on a dedicated
@@ -708,6 +762,7 @@ func (s *Stack) Apply(ctx context.Context, p *Plan, opts ApplyOptions) (*ApplyRe
 		Principal:       s.principal,
 		ContinueOnError: true,
 		Journal:         j,
+		BatchOps:        opts.BatchOps,
 	}
 	runID := ""
 	if j != nil {

@@ -35,13 +35,15 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (E1..E10, ET, SD, PV, CR, HG, EV)")
+	only := flag.String("only", "", "run a single experiment (E1..E10, ET, SD, PV, CR, HG, EV, SC)")
 	flag.StringVar(&jsonOut, "json", "", "write machine-readable results (currently: ET) to this file")
 	flag.StringVar(&jsonOutSD, "json-sd", "", "write machine-readable SD results to this file")
 	flag.StringVar(&jsonOutPV, "json-pv", "", "write machine-readable PV results to this file")
 	flag.StringVar(&jsonOutCR, "json-cr", "", "write machine-readable CR results to this file")
 	flag.StringVar(&jsonOutHG, "json-hg", "", "write machine-readable HG results to this file")
 	flag.StringVar(&jsonOutEV, "json-ev", "", "write machine-readable EV results to this file")
+	flag.StringVar(&jsonOutSC, "json-sc", "", "write machine-readable SC results to this file")
+	flag.StringVar(&baselineSC, "baseline-sc", "", "compare SC against a recorded BENCH_scale.json; exit 1 on >5% regression")
 	flag.Parse()
 
 	experiments := []struct {
@@ -65,6 +67,7 @@ func main() {
 		{"CR", "crash recovery: randomized kill/restart/recover convergence (§3.5, §3.6)", cr},
 		{"HG", "health-gated progressive applies: guarded vs unguarded under readiness faults (§24)", hg},
 		{"EV", "live ops plane: event-bus throughput, subscriber tax on apply, drop accounting (§25)", ev},
+		{"SC", "scale-out planning core: incremental replan, parallel evaluation, bulk ops (§26)", sc},
 	}
 	for _, e := range experiments {
 		if *only != "" && !strings.EqualFold(*only, e.id) {

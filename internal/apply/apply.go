@@ -78,6 +78,16 @@ type Options struct {
 	// Wave labels this execution's events on the bus ("canary", "main");
 	// empty means the whole changeset runs as one wave ("all").
 	Wave string
+	// BatchOps coalesces concurrent creates and reads into bulk cloud
+	// calls (cloud.BatchCreate / cloud.BatchGet): a wave of independent
+	// creates the walker unblocks together costs one admitted round-trip
+	// instead of one per resource. Per-op semantics — journal begin/done
+	// records, idempotency keys, health gating — are untouched; only the
+	// wire dispatch is shared.
+	BatchOps bool
+	// BatchLinger overrides how long the first op of a batching window
+	// waits for company (default 2ms).
+	BatchLinger time.Duration
 
 	// idemPrefix seeds per-op idempotency keys; set by Apply from the
 	// journal's run ID, or generated fresh so even journal-less applies get
@@ -183,6 +193,13 @@ func Apply(ctx context.Context, cl cloud.Interface, p *plan.Plan, opts Options) 
 	// policy from our options); a runtime handed down from the facade is
 	// used as-is, so its cache and AIMD window are shared across layers.
 	cl = provider.New(cl, provider.Options{MaxRetries: o.MaxRetries, RetryBase: o.RetryBase})
+
+	// Batched dispatch sits above the runtime: ops still arrive one per
+	// graph node, but concurrent calls share wire batches (which the
+	// runtime admits through its gate as single requests).
+	if o.BatchOps {
+		cl = cloud.NewCoalescer(cl, cloud.CoalescerOptions{Linger: o.BatchLinger})
+	}
 
 	newState := p.PriorState.Clone()
 	var stateMu sync.Mutex

@@ -43,6 +43,8 @@ func NewServer(sim *Sim, logger *slog.Logger) *Server {
 	s.mux.HandleFunc("PATCH /v1/resources/{type}/{id}", s.handleUpdate)
 	s.mux.HandleFunc("DELETE /v1/resources/{type}/{id}", s.handleDelete)
 	s.mux.HandleFunc("GET /v1/resources/{type}/{id}/health", s.handleHealth)
+	s.mux.HandleFunc("POST /v1/batch/create", s.handleBatchCreate)
+	s.mux.HandleFunc("POST /v1/batch/get", s.handleBatchGet)
 	s.mux.HandleFunc("GET /v1/activity", s.handleActivity)
 	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
@@ -130,7 +132,34 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	list, err := s.sim.List(r.Context(), r.PathValue("type"), r.URL.Query().Get("region"))
+	typ := r.PathValue("type")
+	q := r.URL.Query()
+	// Pagination params switch the response shape from the legacy bare
+	// array to the page object; clients that never send them never see it.
+	if q.Has("limit") || q.Has("page_token") {
+		limit := 0
+		if v := q.Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				s.writeError(w, &APIError{Code: CodeInvalid, Op: "list", Type: typ,
+					Message: "MalformedRequest: invalid limit parameter"})
+				return
+			}
+			limit = n
+		}
+		page, err := s.sim.ListPage(r.Context(), typ, q.Get("region"), limit, q.Get("page_token"))
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		out := wireListPage{Resources: make([]wireResource, len(page.Resources)), NextPageToken: page.NextPageToken}
+		for i, res := range page.Resources {
+			out.Resources[i] = toWire(res)
+		}
+		s.writeJSON(w, http.StatusOK, out)
+		return
+	}
+	list, err := s.sim.List(r.Context(), typ, q.Get("region"))
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -140,6 +169,51 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		out[i] = toWire(res)
 	}
 	s.writeJSON(w, http.StatusOK, out)
+}
+
+// maxBatchBody bounds batch request bodies; batches carry up to maxBatchItems
+// attribute maps, so they get a larger allowance than single-item calls.
+const maxBatchBody = 16 << 20
+
+func (s *Server) handleBatchCreate(w http.ResponseWriter, r *http.Request) {
+	var body wireBatchCreate
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBatchBody)).Decode(&body); err != nil {
+		s.writeError(w, &APIError{Code: CodeInvalid, Op: "batch_create",
+			Message: "MalformedRequest: " + err.Error()})
+		return
+	}
+	reqs := make([]CreateRequest, len(body.Items))
+	for i, item := range body.Items {
+		reqs[i] = CreateRequest{
+			Type:           item.Type,
+			Region:         item.Region,
+			Attrs:          attrsFromWire(item.Attrs),
+			Principal:      principalOf(r, item.Principal),
+			IdempotencyKey: item.IdempotencyKey,
+		}
+	}
+	results, err := s.sim.BatchCreate(r.Context(), reqs)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.log.Info("batch create", "items", len(reqs))
+	s.writeJSON(w, http.StatusOK, toWireBatchResults(results))
+}
+
+func (s *Server) handleBatchGet(w http.ResponseWriter, r *http.Request) {
+	var body wireBatchGet
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBatchBody)).Decode(&body); err != nil {
+		s.writeError(w, &APIError{Code: CodeInvalid, Op: "batch_get",
+			Message: "MalformedRequest: " + err.Error()})
+		return
+	}
+	results, err := s.sim.BatchGet(r.Context(), body.Keys)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, toWireBatchResults(results))
 }
 
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {

@@ -70,6 +70,12 @@ type Metrics struct {
 	Throttled    int64
 	ThrottleWait time.Duration
 	Failures     int64
+	// BatchCalls counts batched control-plane calls — each admits (and is
+	// rate-limited as) ONE call regardless of item count — and BatchItems
+	// the items they carried. The SC experiment reads the ratio as its
+	// calls-per-resource figure.
+	BatchCalls int64
+	BatchItems int64
 	// IdemReplays counts creates answered from the idempotency index
 	// instead of provisioning a duplicate (CR experiment).
 	IdemReplays int64
@@ -391,7 +397,21 @@ func (s *Sim) Create(ctx context.Context, req CreateRequest) (*Resource, error) 
 	if err := s.maybeCrash(CrashBeforeOp); err != nil {
 		return nil, err
 	}
+	out, err := s.provisionOne(ctx, rs, req)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.maybeCrash(CrashAfterOp); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
 
+// provisionOne runs the post-admission create path: validation, quota,
+// identity reservation, provisioning latency, and the activity-log event.
+// Create and BatchCreate share it; the batch path admits once per batch and
+// then provisions items concurrently, the way real control planes do.
+func (s *Sim) provisionOne(ctx context.Context, rs *schema.ResourceSchema, req CreateRequest) (*Resource, error) {
 	prov, _ := schema.ProviderForType(req.Type)
 	region := req.Region
 	if region == "" {
@@ -498,9 +518,6 @@ func (s *Sim) Create(ctx context.Context, req CreateRequest) (*Resource, error) 
 	s.appendEventLocked(OpCreate, res, req.Principal, nil)
 	out := res.Clone()
 	s.mu.Unlock()
-	if err := s.maybeCrash(CrashAfterOp); err != nil {
-		return nil, err
-	}
 	return out, nil
 }
 

@@ -1,0 +1,159 @@
+package config
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"cloudless/internal/hcl"
+)
+
+// Declaration fingerprinting for incremental replanning. A decl hash digests
+// everything on the configuration side that can change a resource's plan
+// outcome: the printed attribute expressions, count/for_each, the dependency
+// set, the resolved instance addresses and regions, and — crucially — the
+// VALUES of every variable and local the expressions reference, so editing a
+// tfvars-style input dirties exactly the decls that read it, not the whole
+// graph. What a decl hash deliberately excludes is source position: moving a
+// block or reformatting a file re-plans nothing.
+
+// DeclHashes fingerprints every resource-level address of the expansion.
+// Two expansions that assign the same hash to an address are guaranteed to
+// plan identically for it given identical prior state and identical planned
+// values of its dependencies (which the dirty-subtree closure accounts for).
+func (ex *Expansion) DeclHashes() map[string]uint64 {
+	insts := map[string][]*Instance{}
+	for _, inst := range ex.Instances {
+		r := inst.ResourceAddr()
+		insts[r] = append(insts[r], inst)
+	}
+	out := make(map[string]uint64, len(insts))
+	for r, list := range insts {
+		out[r] = declHash(list)
+	}
+	return out
+}
+
+// declHash digests one declaration through its (sorted, shared-decl)
+// instances.
+func declHash(insts []*Instance) uint64 {
+	h := fnv.New64a()
+	w := func(parts ...string) {
+		for _, p := range parts {
+			h.Write([]byte(p))
+			h.Write([]byte{0})
+		}
+	}
+	first := insts[0]
+	w(first.ModulePath, string(rune(first.Mode)), first.Type, first.Name)
+
+	// Attribute expressions, printed canonically, in name order. The
+	// instances of one decl share the expression map, so this runs once.
+	names := make([]string, 0, len(first.Attrs))
+	for name := range first.Attrs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w("a:"+name, hcl.FormatExpr(first.Attrs[name]))
+	}
+	w(first.DependsOn...)
+
+	// Referenced variable and local VALUES: a changed input must dirty its
+	// readers even though the printed expressions are unchanged. The values
+	// come from the instance scope, which bound them at expansion; hashing
+	// the referenced root attribute (var.zones, local.tags) is granular
+	// enough that unrelated inputs stay clean.
+	for _, ref := range scopeRefs(first) {
+		w("v:" + ref.name)
+		writeU64(h, ref.hash)
+	}
+
+	// Instance addressing: count/for_each changes surface here (and in the
+	// printed expressions above), as do provider-driven region moves.
+	sort.Slice(insts, func(i, j int) bool { return insts[i].Addr < insts[j].Addr })
+	for _, inst := range insts {
+		w("i:"+inst.Addr, inst.Region)
+	}
+	return h.Sum64()
+}
+
+type scopeRef struct {
+	name string
+	hash uint64
+}
+
+// scopeRefs collects the var.<name> / local.<name> roots referenced by the
+// declaration's expressions, with the hash of each referenced value.
+func scopeRefs(inst *Instance) []scopeRef {
+	seen := map[string]uint64{}
+	collect := func(e hcl.Expression) {
+		for _, tr := range e.Variables() {
+			root := tr.RootName()
+			if root != "var" && root != "local" {
+				continue
+			}
+			if len(tr) < 2 {
+				continue
+			}
+			attr, ok := tr[1].(hcl.TraverseAttr)
+			if !ok {
+				continue
+			}
+			key := root + "." + attr.Name
+			if _, done := seen[key]; done {
+				continue
+			}
+			var hv uint64
+			if obj, ok := inst.Scope.Lookup(root); ok {
+				if v, err := obj.GetAttr(attr.Name); err == nil {
+					hv = v.Hash()
+				}
+			}
+			seen[key] = hv
+		}
+	}
+	for _, e := range inst.Attrs {
+		collect(e)
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]scopeRef, len(keys))
+	for i, k := range keys {
+		out[i] = scopeRef{name: k, hash: seen[k]}
+	}
+	return out
+}
+
+func writeU64(h interface{ Write([]byte) (int, error) }, v uint64) {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	h.Write(b[:])
+}
+
+// DirtyDecls compares two hash sets and returns the resource-level addresses
+// that changed, appeared, or disappeared, sorted — the seed set for the
+// incremental planner's impact-scope closure.
+func DirtyDecls(old, new map[string]uint64) []string {
+	set := map[string]bool{}
+	for addr, h := range new {
+		if oh, ok := old[addr]; !ok || oh != h {
+			set[addr] = true
+		}
+	}
+	for addr := range old {
+		if _, ok := new[addr]; !ok {
+			set[addr] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for addr := range set {
+		out = append(out, addr)
+	}
+	sort.Strings(out)
+	return out
+}

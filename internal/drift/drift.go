@@ -132,12 +132,38 @@ func diffAttrs(typ string, recorded, current map[string]eval.Value) []string {
 // bound here only keeps the goroutine count proportionate.
 const scanFanOut = 16
 
+// scanPageSize bounds one listing response during a full scan. Large fleets
+// are walked page by page (cloud.ListPaged, "strictly after" tokens) so no
+// single response has to carry 100k resources; small fleets still cost one
+// call per (type, region), exactly as before pagination.
+const scanPageSize = 1000
+
+// listJob drains one (type, region) listing page by page, counting every
+// control-plane round-trip into calls.
+func listJob(ctx context.Context, cl cloud.Interface, typ, region string, calls *atomic.Int64) ([]*cloud.Resource, error) {
+	var out []*cloud.Resource
+	token := ""
+	for {
+		calls.Add(1)
+		page, err := cloud.ListPaged(ctx, cl, typ, region, scanPageSize, token)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, page.Resources...)
+		if page.NextPageToken == "" {
+			return out, nil
+		}
+		token = page.NextPageToken
+	}
+}
+
 // FullScan detects drift the way industry tools like driftctl do: list every
 // resource of every type in every region through the rate-limited cloud API
 // and compare against state. Thorough but expensive — the E7 experiment
-// measures exactly how expensive. The List calls fan out through the
-// provider runtime (which coalesces identical Lists across concurrent
-// scanners); reads are marked fresh, because the whole point of a scan is
+// measures exactly how expensive. Listing is paginated (scanPageSize per
+// response) and fans out through the provider runtime (which coalesces
+// identical Lists across concurrent scanners); reads are marked fresh,
+// because the whole point of a scan is
 // observing out-of-band change no cache TTL can bound. Results are compared
 // in deterministic (type, region) order regardless of arrival order.
 func FullScan(ctx context.Context, cl cloud.Interface, st *state.State) (*Report, error) {
@@ -168,6 +194,7 @@ func FullScan(ctx context.Context, cl cloud.Interface, st *state.State) (*Report
 	defer cancel()
 	lists := make([][]*cloud.Resource, len(jobs))
 	errs := make([]error, len(jobs))
+	var apiCalls atomic.Int64
 	// Workers claim jobs from an ordered cursor rather than racing a
 	// semaphore: every scan walks the (type, region) list in the same order,
 	// so concurrent scanners stay in lockstep and their Lists coalesce in
@@ -191,7 +218,7 @@ func FullScan(ctx context.Context, cl cloud.Interface, st *state.State) (*Report
 					errs[i] = scanCtx.Err()
 					continue
 				}
-				lists[i], errs[i] = cl.List(scanCtx, jobs[i].typ, jobs[i].region)
+				lists[i], errs[i] = listJob(scanCtx, cl, jobs[i].typ, jobs[i].region, &apiCalls)
 				if errs[i] != nil {
 					cancel() // no point finishing the sweep
 				}
@@ -200,7 +227,7 @@ func FullScan(ctx context.Context, cl cloud.Interface, st *state.State) (*Report
 	}
 	wg.Wait()
 
-	rep.APICalls = len(jobs)
+	rep.APICalls = int(apiCalls.Load())
 	// Report the first real failure, not the context cancellations that
 	// aborting the rest of the sweep produced.
 	var firstErr error
@@ -309,6 +336,40 @@ func (w *Watcher) Poll(ctx context.Context, st *state.State) (*Report, error) {
 			a.changed[c] = true
 		}
 	}
+	// First pass: decide which foreign events need a verifying read — an
+	// OpCreate of an unmanaged ID or an OpUpdate of a managed one. The
+	// reads then go out as batched gets (one admitted call per
+	// MaxBatchItems chunk) instead of one Get per event, which is what
+	// keeps a busy poll cheap on a 100k-resource fleet.
+	var keys []cloud.ResourceKey
+	for _, id := range order {
+		a := byID[id]
+		rs := st.ByID(id)
+		if (a.ev.Op == cloud.OpCreate && rs == nil) || (a.ev.Op == cloud.OpUpdate && rs != nil) {
+			keys = append(keys, cloud.ResourceKey{Type: a.ev.Type, ID: id})
+		}
+	}
+	verified := make(map[string]cloud.BatchResult, len(keys))
+	_, batched := w.cl.(cloud.BatchGetter)
+	for start := 0; start < len(keys); start += cloud.MaxBatchItems {
+		end := start + cloud.MaxBatchItems
+		if end > len(keys) {
+			end = len(keys)
+		}
+		chunk := keys[start:end]
+		results, err := cloud.BatchGet(ctx, w.cl, chunk)
+		if batched {
+			rep.APICalls++
+		} else {
+			rep.APICalls += len(chunk)
+		}
+		if err != nil {
+			return rep, fmt.Errorf("drift watch: %w", err)
+		}
+		for i, k := range chunk {
+			verified[k.ID] = results[i]
+		}
+	}
 	for _, id := range order {
 		a := byID[id]
 		rs := st.ByID(id)
@@ -321,41 +382,39 @@ func (w *Watcher) Poll(ctx context.Context, st *state.State) (*Report, error) {
 			}
 		case cloud.OpCreate:
 			if rs == nil {
-				res, err := w.cl.Get(ctx, a.ev.Type, id)
-				rep.APICalls++
-				if err != nil {
-					if cloud.IsNotFound(err) {
+				got := verified[id]
+				if got.Err != nil {
+					if cloud.IsNotFound(got.Err) {
 						continue // created and deleted between polls
 					}
-					return rep, err
+					return rep, got.Err
 				}
 				rep.Items = append(rep.Items, Item{
 					Kind: Unmanaged, Type: a.ev.Type, ID: id, Actor: a.ev.Principal,
-					CloudAttrs: res.Attrs,
+					CloudAttrs: got.Resource.Attrs,
 				})
 			}
 		case cloud.OpUpdate:
 			if rs == nil {
 				continue // churn on an unmanaged resource
 			}
-			res, err := w.cl.Get(ctx, a.ev.Type, id)
-			rep.APICalls++
-			if err != nil {
-				if cloud.IsNotFound(err) {
+			got := verified[id]
+			if got.Err != nil {
+				if cloud.IsNotFound(got.Err) {
 					rep.Items = append(rep.Items, Item{
 						Kind: Deleted, Addr: rs.Addr, Type: a.ev.Type, ID: id, Actor: a.ev.Principal,
 					})
 					continue
 				}
-				return rep, err
+				return rep, got.Err
 			}
-			changed := diffAttrs(a.ev.Type, rs.Attrs, res.Attrs)
+			changed := diffAttrs(a.ev.Type, rs.Attrs, got.Resource.Attrs)
 			if len(changed) == 0 {
 				continue // e.g. changed back before we looked
 			}
 			rep.Items = append(rep.Items, Item{
 				Kind: Modified, Addr: rs.Addr, Type: a.ev.Type, ID: id,
-				ChangedAttrs: changed, Actor: a.ev.Principal, CloudAttrs: res.Attrs,
+				ChangedAttrs: changed, Actor: a.ev.Principal, CloudAttrs: got.Resource.Attrs,
 			})
 		}
 	}

@@ -2,6 +2,7 @@ package drift
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"cloudless/internal/apply"
@@ -276,5 +277,120 @@ func TestFullScanVsWatcherAPICost(t *testing.T) {
 	if watch.APICalls*10 > scan.APICalls {
 		t.Errorf("watcher (%d calls) should be >10x cheaper than scan (%d calls)",
 			watch.APICalls, scan.APICalls)
+	}
+}
+
+// TestWatcherPollBatchesVerifyingGets: a poll that has to verify many
+// foreign events must spend one batched call per MaxBatchItems chunk, not
+// one Get per event.
+func TestWatcherPollBatchesVerifyingGets(t *testing.T) {
+	opts := cloud.DefaultOptions()
+	opts.DisableRateLimit = true
+	sim := cloud.NewSim(opts)
+	ctx := context.Background()
+
+	// 30 managed VPCs.
+	st := state.New()
+	ids := make([]string, 30)
+	for i := range ids {
+		res, err := sim.Create(ctx, cloud.CreateRequest{
+			Type: "aws_vpc", Region: "us-east-1",
+			Attrs: map[string]eval.Value{
+				"name":       eval.String(fmt.Sprintf("v-%d", i)),
+				"cidr_block": eval.String("10.0.0.0/16"),
+			},
+			Principal: "cloudless",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = res.ID
+		st.Set(&state.ResourceState{
+			Addr: fmt.Sprintf("aws_vpc.v[%d]", i), Type: "aws_vpc",
+			ID: res.ID, Region: res.Region, Attrs: res.Attrs,
+		})
+	}
+	w := NewWatcher(sim, "cloudless", sim.LastSeq())
+
+	// A foreign principal touches every one of them.
+	for _, id := range ids {
+		if _, err := sim.Update(ctx, cloud.UpdateRequest{
+			Type: "aws_vpc", ID: id,
+			Attrs:     map[string]eval.Value{"enable_dns": eval.False},
+			Principal: "legacy-script",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rep, err := w.Poll(ctx, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Items) != len(ids) {
+		t.Fatalf("items = %d, want %d", len(rep.Items), len(ids))
+	}
+	for _, it := range rep.Items {
+		if it.Kind != Modified || it.Actor != "legacy-script" {
+			t.Errorf("item = %+v", it)
+		}
+	}
+	// 30 verifications in one batched call (sim implements BatchGetter).
+	if rep.APICalls != 1 {
+		t.Errorf("poll spent %d API calls verifying %d events, want 1", rep.APICalls, len(ids))
+	}
+	if got := sim.Metrics().BatchItems; got != int64(len(ids)) {
+		t.Errorf("batched items = %d, want %d", got, len(ids))
+	}
+}
+
+// TestFullScanPaginatesLargeTypes: a type whose population exceeds one page
+// is walked page by page, every resource observed exactly once.
+func TestFullScanPaginatesLargeTypes(t *testing.T) {
+	opts := cloud.DefaultOptions()
+	opts.DisableRateLimit = true
+	sim := cloud.NewSim(opts)
+	ctx := context.Background()
+
+	st := state.New()
+	const n = scanPageSize + 50
+	for start := 0; start < n; start += cloud.MaxBatchItems {
+		end := start + cloud.MaxBatchItems
+		if end > n {
+			end = n
+		}
+		reqs := make([]cloud.CreateRequest, 0, end-start)
+		for i := start; i < end; i++ {
+			reqs = append(reqs, cloud.CreateRequest{
+				Type: "aws_storage_bucket", Region: "us-east-1",
+				Attrs:     map[string]eval.Value{"name": eval.String(fmt.Sprintf("b-%06d", i))},
+				Principal: "cloudless",
+			})
+		}
+		results, err := sim.BatchCreate(ctx, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, r := range results {
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+			st.Set(&state.ResourceState{
+				Addr: fmt.Sprintf("aws_storage_bucket.b[%d]", start+j), Type: "aws_storage_bucket",
+				ID: r.Resource.ID, Region: r.Resource.Region, Attrs: r.Resource.Attrs,
+			})
+		}
+	}
+
+	rep, err := FullScan(ctx, sim, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HasDrift() {
+		t.Fatalf("clean fleet reported drift: %d items", len(rep.Items))
+	}
+	// The bucket type needed two pages; every other (type, region) one.
+	if rep.APICalls < 51 {
+		t.Errorf("scan used %d API calls; expected at least one page per (type, region) plus the overflow page", rep.APICalls)
 	}
 }

@@ -1,0 +1,269 @@
+package graph
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the scale-out evaluation scheduler: a partitioned
+// work-stealing pool over the DAG. Walk (walk.go) spawns one goroutine per
+// node and funnels readiness through a central heap — the right shape for
+// I/O-bound applies where nodes block on the cloud and priority matters. At
+// 100k nodes of CPU-bound expression evaluation that shape inverts: per-node
+// goroutines and a contended global heap dominate the work itself. StealWalk
+// instead runs a fixed set of workers, each owning a LIFO deque seeded with
+// one slice of the graph's weakly-connected components; a worker descends
+// its own partition depth-first (good locality: a dependent usually reads
+// values its worker just wrote) and steals from a peer's deque only when its
+// own drains, so imbalanced partitions still level out.
+
+// Components returns the weakly-connected components of the graph — the
+// independent subtrees that share no edges and can be processed with no
+// cross-partition synchronization. Each component is sorted, and components
+// are ordered by their smallest member, so the decomposition is
+// deterministic for a given graph.
+func (g *Graph) Components() [][]string {
+	seen := make(map[string]bool, len(g.nodes))
+	var comps [][]string
+	for _, start := range g.Nodes() {
+		if seen[start] {
+			continue
+		}
+		comp := []string{}
+		stack := []string{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, n)
+			for next := range g.deps[n] {
+				if !seen[next] {
+					seen[next] = true
+					stack = append(stack, next)
+				}
+			}
+			for next := range g.rdeps[n] {
+				if !seen[next] {
+					seen[next] = true
+					stack = append(stack, next)
+				}
+			}
+		}
+		sort.Strings(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// StealWalk executes fn once per node, dependencies before dependents, on a
+// pool of `workers` goroutines with per-worker deques and work stealing.
+// fn must be safe for concurrent invocation on distinct nodes. StealWalk
+// blocks until every node ran and returns a *CycleError if the graph is
+// cyclic (in which case an unspecified subset of nodes has run).
+//
+// Scheduling is intentionally order-free beyond the dependency constraint:
+// callers that need deterministic output must merge results in a canonical
+// order afterwards, which also makes their output independent of the worker
+// count (the plan layer's sorted-merge does exactly this).
+func (g *Graph) StealWalk(workers int, fn func(id string)) error {
+	n := len(g.nodes)
+	if n == 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+
+	ids := g.Nodes()
+	idx := make(map[string]int, n)
+	for i, id := range ids {
+		idx[id] = i
+	}
+	pending := make([]int32, n)
+	dependents := make([][]int32, n)
+	for i, id := range ids {
+		pending[i] = int32(len(g.deps[id]))
+		if rds := g.rdeps[id]; len(rds) > 0 {
+			out := make([]int32, 0, len(rds))
+			for rd := range rds {
+				out = append(out, int32(idx[rd]))
+			}
+			sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+			dependents[i] = out
+		}
+	}
+
+	p := &stealPool{
+		ids:        ids,
+		pending:    pending,
+		dependents: dependents,
+		fn:         fn,
+		deques:     make([]workerDeque, workers),
+	}
+	p.cond = sync.NewCond(&p.parkMu)
+	p.remaining.Store(int64(n))
+
+	// Partition seeding: deal components round-robin so each worker starts
+	// on its own independent slice of the graph.
+	for ci, comp := range g.Components() {
+		w := ci % workers
+		for _, id := range comp {
+			i := idx[id]
+			if pending[i] == 0 {
+				p.deques[w].push(int32(i))
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p.run(w)
+		}(w)
+	}
+	wg.Wait()
+	if p.remaining.Load() > 0 {
+		return &CycleError{Cycle: g.findCycle()}
+	}
+	return nil
+}
+
+// workerDeque is one worker's local queue: the owner pushes and pops at the
+// back (LIFO, depth-first descent), thieves take from the front (FIFO, so a
+// steal tends to grab the oldest — largest — pending subtree).
+type workerDeque struct {
+	mu sync.Mutex
+	q  []int32
+}
+
+func (d *workerDeque) push(i int32) {
+	d.mu.Lock()
+	d.q = append(d.q, i)
+	d.mu.Unlock()
+}
+
+func (d *workerDeque) pop() (int32, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.q) == 0 {
+		return 0, false
+	}
+	i := d.q[len(d.q)-1]
+	d.q = d.q[:len(d.q)-1]
+	return i, true
+}
+
+func (d *workerDeque) stealFront() (int32, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.q) == 0 {
+		return 0, false
+	}
+	i := d.q[0]
+	d.q = d.q[1:]
+	return i, true
+}
+
+type stealPool struct {
+	ids        []string
+	pending    []int32
+	dependents [][]int32
+	fn         func(id string)
+	deques     []workerDeque
+
+	remaining atomic.Int64
+
+	parkMu sync.Mutex
+	cond   *sync.Cond
+	parked int
+	done   bool
+}
+
+// run is one worker's loop: drain the local deque, then steal, then park.
+func (p *stealPool) run(w int) {
+	self := &p.deques[w]
+	for {
+		if i, ok := self.pop(); ok {
+			p.exec(w, i)
+			continue
+		}
+		if i, ok := p.steal(w); ok {
+			p.exec(w, i)
+			continue
+		}
+		p.parkMu.Lock()
+		if p.done {
+			p.parkMu.Unlock()
+			return
+		}
+		// Re-check under the park lock: a push signals under this lock, so
+		// either we see the work here or the signal reaches our Wait.
+		if p.anyQueued() {
+			p.parkMu.Unlock()
+			continue
+		}
+		if p.parked == len(p.deques)-1 || p.remaining.Load() == 0 {
+			// Everyone else is already parked and there is no work: either
+			// the walk is complete or the leftovers form a cycle. Both end it.
+			p.done = true
+			p.cond.Broadcast()
+			p.parkMu.Unlock()
+			return
+		}
+		p.parked++
+		p.cond.Wait()
+		p.parked--
+		p.parkMu.Unlock()
+	}
+}
+
+// exec runs one node and publishes newly-ready dependents onto the worker's
+// own deque (depth-first descent into the subtree it just unlocked).
+func (p *stealPool) exec(w int, i int32) {
+	p.fn(p.ids[i])
+	p.remaining.Add(-1)
+	ready := false
+	for _, rd := range p.dependents[i] {
+		if atomic.AddInt32(&p.pending[rd], -1) == 0 {
+			p.deques[w].push(rd)
+			ready = true
+		}
+	}
+	if ready || p.remaining.Load() == 0 {
+		p.parkMu.Lock()
+		if p.parked > 0 || p.remaining.Load() == 0 {
+			p.cond.Broadcast()
+		}
+		p.parkMu.Unlock()
+	}
+}
+
+// steal scans peers round-robin from the worker's right-hand neighbour.
+func (p *stealPool) steal(w int) (int32, bool) {
+	for off := 1; off < len(p.deques); off++ {
+		if i, ok := p.deques[(w+off)%len(p.deques)].stealFront(); ok {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// anyQueued reports whether any deque holds work. Called under parkMu.
+func (p *stealPool) anyQueued() bool {
+	for i := range p.deques {
+		d := &p.deques[i]
+		d.mu.Lock()
+		n := len(d.q)
+		d.mu.Unlock()
+		if n > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestStealWalkRunsAllNodesDepsFirst(t *testing.T) {
+	g := New()
+	// Three independent chains plus a diamond, to exercise partition seeding.
+	for c := 0; c < 3; c++ {
+		for i := 0; i < 10; i++ {
+			g.AddNode(fmt.Sprintf("chain%d-%d", c, i))
+			if i > 0 {
+				mustEdge(t, g, fmt.Sprintf("chain%d-%d", c, i), fmt.Sprintf("chain%d-%d", c, i-1))
+			}
+		}
+	}
+	g.AddNode("d-top")
+	g.AddNode("d-left")
+	g.AddNode("d-right")
+	g.AddNode("d-bottom")
+	mustEdge(t, g, "d-left", "d-top")
+	mustEdge(t, g, "d-right", "d-top")
+	mustEdge(t, g, "d-bottom", "d-left")
+	mustEdge(t, g, "d-bottom", "d-right")
+
+	for _, workers := range []int{1, 2, 8, 64} {
+		var mu sync.Mutex
+		pos := map[string]int{}
+		n := 0
+		if err := g.StealWalk(workers, func(id string) {
+			mu.Lock()
+			pos[id] = n
+			n++
+			mu.Unlock()
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(pos) != g.Len() {
+			t.Fatalf("workers=%d: ran %d of %d nodes", workers, len(pos), g.Len())
+		}
+		for _, node := range g.Nodes() {
+			for _, dep := range g.Dependencies(node) {
+				if pos[dep] > pos[node] {
+					t.Fatalf("workers=%d: %s ran before its dependency %s", workers, node, dep)
+				}
+			}
+		}
+	}
+}
+
+func TestStealWalkCycle(t *testing.T) {
+	g := New()
+	mustEdge(t, g, "a", "b")
+	mustEdge(t, g, "b", "c")
+	mustEdge(t, g, "c", "a")
+	err := g.StealWalk(4, func(string) {})
+	if _, ok := err.(*CycleError); !ok {
+		t.Fatalf("want CycleError, got %v", err)
+	}
+}
+
+func TestStealWalkEmptyAndSingle(t *testing.T) {
+	if err := New().StealWalk(4, func(string) { t.Fatal("fn on empty graph") }); err != nil {
+		t.Fatal(err)
+	}
+	g := New()
+	g.AddNode("only")
+	ran := 0
+	if err := g.StealWalk(8, func(string) { ran++ }); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("ran=%d", ran)
+	}
+}
+
+func TestStealWalkRandomDAGStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		g := New()
+		n := 200
+		for i := 0; i < n; i++ {
+			g.AddNode(fmt.Sprintf("n%03d", i))
+		}
+		// Edges only point to lower indices: acyclic by construction.
+		for i := 1; i < n; i++ {
+			for _, j := range rng.Perm(i)[:rng.Intn(min(i, 4))] {
+				mustEdge(t, g, fmt.Sprintf("n%03d", i), fmt.Sprintf("n%03d", j))
+			}
+		}
+		var ran atomic.Int64
+		if err := g.StealWalk(1+rng.Intn(16), func(string) { ran.Add(1) }); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if int(ran.Load()) != n {
+			t.Fatalf("trial %d: ran %d of %d", trial, ran.Load(), n)
+		}
+	}
+}
+
+func TestComponentsDeterministicAndDisjoint(t *testing.T) {
+	g := New()
+	mustEdge(t, g, "a2", "a1")
+	mustEdge(t, g, "a3", "a1")
+	mustEdge(t, g, "b2", "b1")
+	g.AddNode("lone")
+	first := fmt.Sprint(g.Components())
+	for i := 0; i < 5; i++ {
+		if got := fmt.Sprint(g.Components()); got != first {
+			t.Fatalf("components not deterministic: %s vs %s", first, got)
+		}
+	}
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("want 3 components, got %v", comps)
+	}
+	total := 0
+	for _, c := range comps {
+		total += len(c)
+	}
+	if total != g.Len() {
+		t.Fatalf("components cover %d of %d nodes", total, g.Len())
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,311 @@
+package plan
+
+import (
+	"hash/fnv"
+	"sort"
+	"sync"
+
+	"cloudless/internal/config"
+	"cloudless/internal/eval"
+	"cloudless/internal/state"
+)
+
+// ReplanCache makes consecutive plans incremental: it remembers, from the
+// last successful Compute, each declaration's fingerprint and each instance's
+// diff and planned value, keyed by (decl hash, prior-state identity). On the
+// next plan only the dirty subtree — declarations whose fingerprint moved,
+// instances whose recorded state moved, and their transitive dependents —
+// is re-evaluated; everything else replays its cached diff, producing a plan
+// byte-identical to a full replan at a fraction of the evaluation cost.
+//
+// Invalidation is typed, and the layers compose:
+//
+//   - config: a decl-hash mismatch (edit, variable change, count change)
+//     dirties that declaration and, via the graph closure, its dependents.
+//   - state: a statedb serial advance (apply, drift reconcile, rollback,
+//     concurrent writer) triggers per-address revalidation against each
+//     entry's recorded state fingerprint, so a commit that touched three
+//     addresses dirties three subtrees, not the world.
+//   - scope: an explicit -target scope intersects — a clean in-target
+//     resource replays, a dirty out-of-target resource stays unplanned
+//     exactly as it would in an uncached targeted plan.
+//   - explicit: InvalidateAll / InvalidateAddrs for callers that know
+//     something the fingerprints cannot see.
+//
+// A ReplanCache is safe for concurrent use, but cached plans build on each
+// other: use one cache per stack.
+type ReplanCache struct {
+	mu     sync.Mutex
+	hashes map[string]uint64 // resource addr -> decl hash
+	serial int               // statedb serial entries were validated at
+	// refreshed records whether the cached plan ran against a cloud-refreshed
+	// prior. If so, stored fingerprints may differ from the statedb content
+	// at the same serial, and the serial fast-path below is not sound.
+	refreshed bool
+	entries   map[string]*cacheEntry
+	stats     CacheStats
+}
+
+// cacheEntry is one instance's memoized plan outcome.
+type cacheEntry struct {
+	declHash uint64
+	stateFP  uint64 // fingerprint of the prior state entry (0 = absent)
+	change   *Change
+	value    eval.Value
+	hasValue bool
+}
+
+// CacheStats describes the last cached Compute for observability and tests.
+type CacheStats struct {
+	// Invalidation is the dominant reason work was redone: "cold" (no prior
+	// plan), "config" (decl edits), "state" (serial moved), "explicit"
+	// (forced), or "clean" (full replay).
+	Invalidation string
+	// DirtyConfig / DirtyState count seed resources per invalidation type.
+	DirtyConfig, DirtyState int
+	// Replayed / Evaluated count resource-level addresses served from cache
+	// vs re-evaluated.
+	Replayed, Evaluated int
+}
+
+// NewReplanCache returns an empty cache; the first Compute through it is a
+// full plan that seeds it.
+func NewReplanCache() *ReplanCache { return &ReplanCache{} }
+
+// LastStats returns the stats of the most recent Compute that used the cache.
+func (c *ReplanCache) LastStats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// InvalidateAll drops everything; the next plan is a full replan.
+func (c *ReplanCache) InvalidateAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hashes = nil
+	c.entries = nil
+	c.stats = CacheStats{Invalidation: "explicit"}
+}
+
+// InvalidateAddrs drops the entries of specific resource-level addresses
+// (e.g. from a drift watcher's findings) so they re-evaluate next plan.
+func (c *ReplanCache) InvalidateAddrs(addrs ...string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.hashes == nil {
+		return
+	}
+	for _, r := range addrs {
+		delete(c.hashes, r)
+	}
+}
+
+// dirtySeeds compares the cache against the current expansion and (already
+// refreshed) prior state, returning the seed set of resource-level addresses
+// that must re-plan. cold reports that the cache has no usable prior plan.
+// Drift surfaces here naturally: a refresh that changed recorded attributes
+// changes the state fingerprint, dirtying exactly the drifted addresses.
+func (c *ReplanCache) dirtySeeds(hashes map[string]uint64, instsByResource map[string][]*config.Instance, prior *state.State, refreshed bool) (seeds []string, cold bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.hashes == nil {
+		c.stats = CacheStats{Invalidation: "cold"}
+		return nil, true
+	}
+	// The serial fast-path (state unmoved, skip per-address fingerprints) is
+	// sound only when neither side's prior was refreshed from the cloud: a
+	// refresh can change recorded attributes without moving the serial.
+	serialMatch := prior.Serial == c.serial && !refreshed && !c.refreshed
+	var cfgDirty, stateDirty int
+	for r, insts := range instsByResource {
+		h := hashes[r]
+		if oh, ok := c.hashes[r]; !ok || oh != h {
+			seeds = append(seeds, r)
+			cfgDirty++
+			continue
+		}
+		for _, inst := range insts {
+			if inst.Mode == config.DataMode {
+				continue
+			}
+			e := c.entries[inst.Addr]
+			if e == nil || e.declHash != h {
+				seeds = append(seeds, r)
+				cfgDirty++
+				break
+			}
+			if !serialMatch && e.stateFP != stateFingerprint(prior.Get(inst.Addr)) {
+				seeds = append(seeds, r)
+				stateDirty++
+				break
+			}
+		}
+	}
+	sort.Strings(seeds)
+	st := CacheStats{DirtyConfig: cfgDirty, DirtyState: stateDirty}
+	switch {
+	case cfgDirty == 0 && stateDirty == 0:
+		st.Invalidation = "clean"
+	case stateDirty > cfgDirty:
+		st.Invalidation = "state"
+	default:
+		st.Invalidation = "config"
+	}
+	c.stats = st
+	return seeds, false
+}
+
+// replay returns the cached entries for a clean resource's instances, or
+// (nil, false) if any instance is missing — in which case the caller must
+// evaluate the resource after all.
+func (c *ReplanCache) replay(insts []*config.Instance) ([]*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*cacheEntry, 0, len(insts))
+	for _, inst := range insts {
+		if inst.Mode == config.DataMode {
+			out = append(out, nil)
+			continue
+		}
+		e := c.entries[inst.Addr]
+		if e == nil {
+			return nil, false
+		}
+		out = append(out, e)
+	}
+	return out, true
+}
+
+// replanOutcome is what happened to one resource during a cached Compute.
+type replanOutcome int
+
+const (
+	outcomeSkipped   replanOutcome = iota // out of target scope: nothing cached
+	outcomeReplayed                       // served from cache, entries still valid
+	outcomeEvaluated                      // evaluated fresh, cacheable
+	outcomeFailed                         // evaluated with diagnostics: never cache
+)
+
+// commit records a finished Compute: fresh evaluations insert entries,
+// replays are kept, and anything skipped or failed is dropped so the next
+// plan re-derives it.
+func (c *ReplanCache) commit(hashes map[string]uint64, prior *state.State, instsByResource map[string][]*config.Instance, outcomes map[string]replanOutcome, p *Plan, refreshed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries == nil {
+		c.entries = map[string]*cacheEntry{}
+	}
+	replayed, evaluated := 0, 0
+	for r, insts := range instsByResource {
+		switch outcomes[r] {
+		case outcomeReplayed:
+			replayed++
+			continue
+		case outcomeSkipped, outcomeFailed:
+			for _, inst := range insts {
+				delete(c.entries, inst.Addr)
+			}
+			delete(hashes, r)
+			continue
+		}
+		evaluated++
+		h := hashes[r]
+		for _, inst := range insts {
+			if inst.Mode == config.DataMode {
+				continue
+			}
+			e := &cacheEntry{
+				declHash: h,
+				stateFP:  stateFingerprint(prior.Get(inst.Addr)),
+			}
+			if ch, ok := p.Changes[inst.Addr]; ok {
+				e.change = cloneChange(ch)
+			}
+			if v, ok := p.Values.Get(inst.Addr); ok {
+				e.value, e.hasValue = v, true
+			}
+			c.entries[inst.Addr] = e
+		}
+	}
+	// Entries of resources that left the configuration entirely.
+	current := map[string]bool{}
+	for _, insts := range instsByResource {
+		for _, inst := range insts {
+			current[inst.Addr] = true
+		}
+	}
+	for addr := range c.entries {
+		if !current[addr] {
+			delete(c.entries, addr)
+		}
+	}
+	c.hashes = hashes
+	c.serial = prior.Serial
+	c.refreshed = refreshed
+	c.stats.Replayed = replayed
+	c.stats.Evaluated = evaluated
+}
+
+// stateFingerprint digests one recorded resource: identity plus the full
+// attribute set. Refresh folds out-of-band cloud changes into the prior
+// state, so drifted addresses change fingerprints even at the same serial.
+func stateFingerprint(rs *state.ResourceState) uint64 {
+	if rs == nil {
+		return 0
+	}
+	h := fnv.New64a()
+	for _, s := range []string{rs.Addr, rs.Type, rs.ID, rs.Region} {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	names := make([]string, 0, len(rs.Attrs))
+	for name := range rs.Attrs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h.Write([]byte(name))
+		writeU64(h, rs.Attrs[name].Hash())
+	}
+	for _, d := range rs.Dependencies {
+		h.Write([]byte(d))
+		h.Write([]byte{0})
+	}
+	fp := h.Sum64()
+	if fp == 0 {
+		fp = 1 // reserve 0 for "no prior state"
+	}
+	return fp
+}
+
+func writeU64(h interface{ Write([]byte) (int, error) }, v uint64) {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	h.Write(b[:])
+}
+
+// cloneChange copies a change deeply enough that cache and plan never share
+// mutable structure (eval.Value is immutable; maps and slices are not).
+func cloneChange(ch *Change) *Change {
+	cp := *ch
+	cp.Before = cloneAttrMap(ch.Before)
+	cp.After = cloneAttrMap(ch.After)
+	cp.ChangedAttrs = append([]string(nil), ch.ChangedAttrs...)
+	cp.ForcedBy = append([]string(nil), ch.ForcedBy...)
+	cp.Deps = append([]string(nil), ch.Deps...)
+	return &cp
+}
+
+func cloneAttrMap(m map[string]eval.Value) map[string]eval.Value {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]eval.Value, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -3,8 +3,8 @@ package plan
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
-	"sync"
 	"time"
 
 	"cloudless/internal/cloud"
@@ -17,10 +17,6 @@ import (
 	"cloudless/internal/state"
 	"cloudless/internal/telemetry"
 )
-
-// refreshFanOut bounds concurrent refresh Gets; the provider runtime's
-// adaptive window governs actual cloud concurrency underneath.
-const refreshFanOut = 16
 
 // Action is what the applier must do for one instance.
 type Action int
@@ -104,6 +100,19 @@ type Options struct {
 	// resource-level addresses plus their transitive dependents; everything
 	// else is assumed unchanged (the §3.3 incremental optimization).
 	ImpactScope []string
+	// Concurrency is the worker count for partitioned parallel evaluation
+	// (0 means GOMAXPROCS). The plan is byte-identical for every value:
+	// workers only race on dependency-independent instances, and results
+	// merge in address order.
+	Concurrency int
+	// Cache, when non-nil, makes the plan an incremental replan: only
+	// declarations whose fingerprint changed, addresses whose recorded state
+	// moved, and their transitive dependents are re-evaluated; everything
+	// else replays its memoized diff from the previous plan through this
+	// cache. The resulting plan is byte-identical to a full replan. Composes
+	// with ImpactScope (intersection) and with Refresh (a refresh that
+	// observes drift dirties exactly the drifted subtrees).
+	Cache *ReplanCache
 }
 
 // Compute builds a plan for the expansion against the prior state.
@@ -198,32 +207,39 @@ func Compute(ctx context.Context, ex *config.Expansion, prior *state.State, opts
 			if idx := indexOfBracket(addr); idx >= 0 {
 				resourceAddr = addr[:idx]
 			}
-			if inScope(resourceAddr) {
+			// A cached replan refreshes everything: refresh is how drift is
+			// observed, and the cache turns an observed drift into a dirty
+			// subtree, so narrowing the reads would blind the invalidation.
+			// The reads are batched, so a full refresh is round-trip-cheap.
+			if opts.Cache != nil || inScope(resourceAddr) {
 				addrs = append(addrs, addr)
 			}
 		}
-		type refreshed struct {
-			cur *cloud.Resource
-			err error
-		}
-		results := make([]refreshed, len(addrs))
-		fctx := provider.WithFresh(ctx)
-		sem := make(chan struct{}, refreshFanOut)
-		var wg sync.WaitGroup
+		// Refresh reads go out as batched gets: one wire call per
+		// MaxBatchItems chunk instead of one per resource, so refreshing a
+		// 10k-entry state costs ~40 round-trips, not 10k.
+		keys := make([]cloud.ResourceKey, len(addrs))
 		for i, addr := range addrs {
-			wg.Add(1)
-			go func(i int, rs *state.ResourceState) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				results[i].cur, results[i].err = opts.Cloud.Get(fctx, rs.Type, rs.ID)
-			}(i, prior.Get(addr))
+			rs := prior.Get(addr)
+			keys[i] = cloud.ResourceKey{Type: rs.Type, ID: rs.ID}
 		}
-		wg.Wait()
+		fctx := provider.WithFresh(ctx)
+		results := make([]cloud.BatchResult, 0, len(addrs))
+		for start := 0; start < len(keys); start += cloud.MaxBatchItems {
+			end := start + cloud.MaxBatchItems
+			if end > len(keys) {
+				end = len(keys)
+			}
+			batch, err := cloud.BatchGet(fctx, opts.Cloud, keys[start:end])
+			if err != nil {
+				return p, diags.Append(hcl.Errorf(hcl.Range{}, "refresh: %s", err))
+			}
+			results = append(results, batch...)
+		}
 		p.RefreshReads = len(addrs)
 		for i, addr := range addrs {
 			rs := prior.Get(addr)
-			cur, err := results[i].cur, results[i].err
+			cur, err := results[i].Resource, results[i].Err
 			switch {
 			case cloud.IsNotFound(err):
 				prior.Remove(addr) // gone out-of-band; will be recreated
@@ -240,19 +256,84 @@ func Compute(ctx context.Context, ex *config.Expansion, prior *state.State, opts
 	}
 	p.PriorState = prior
 
-	// Evaluate instances in dependency order and decide actions.
-	order, err := cfgGraph.TopoSort()
-	if err != nil {
-		return p, diags.Append(hcl.Errorf(hcl.Range{}, "cycle: %s", err))
-	}
+	// Evaluate instances in dependency order, partitioned across the
+	// work-stealing pool. Workers touch only their own per-resource result
+	// slot (plus the concurrency-safe ValueStore), and the fold below merges
+	// everything in address order — so the plan (changes, counters,
+	// diagnostics) is byte-identical for any worker count, including 1.
 	instByResource := map[string][]*config.Instance{}
 	for _, inst := range ex.Instances {
 		r := inst.ResourceAddr()
 		instByResource[r] = append(instByResource[r], inst)
 	}
 
-	for _, resourceAddr := range order {
-		for _, inst := range instByResource[resourceAddr] {
+	// Incremental replan: fingerprint the declarations and ask the cache for
+	// the dirty seeds, then close over dependents. A nil dirtyScope means
+	// everything is dirty (no cache, or a cold one).
+	var declHashes map[string]uint64
+	var dirtyScope map[string]struct{}
+	if opts.Cache != nil {
+		declHashes = ex.DeclHashes()
+		if seeds, cold := opts.Cache.dirtySeeds(declHashes, instByResource, prior, opts.Refresh); !cold {
+			dirtyScope = cfgGraph.ImpactScope(seeds...)
+		}
+	}
+	inDirty := func(resourceAddr string) bool {
+		if dirtyScope == nil {
+			return true
+		}
+		_, ok := dirtyScope[resourceAddr]
+		return ok
+	}
+
+	type resourceResult struct {
+		changes   []*Change
+		diags     hcl.Diagnostics
+		evaluated int
+		noops     int
+		outcome   replanOutcome
+	}
+	resourceAddrs := cfgGraph.Nodes()
+	results := make(map[string]*resourceResult, len(resourceAddrs))
+	for _, addr := range resourceAddrs {
+		results[addr] = &resourceResult{}
+	}
+	workers := opts.Concurrency
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	walkErr := cfgGraph.StealWalk(workers, func(resourceAddr string) {
+		res := results[resourceAddr]
+		insts := instByResource[resourceAddr]
+
+		// Clean resource under a warm cache: replay the memoized diffs and
+		// planned values instead of re-evaluating. The replayed records are
+		// exactly what evaluation would produce, so dirty dependents read
+		// identical upstream values and the merged plan is byte-identical.
+		if opts.Cache != nil && inScope(resourceAddr) && !inDirty(resourceAddr) {
+			if entries, ok := opts.Cache.replay(insts); ok {
+				for i, inst := range insts {
+					if inst.Mode == config.DataMode {
+						p.Values.Set(inst.Addr, dataSourceValue(inst, ex))
+						continue
+					}
+					e := entries[i]
+					if e.hasValue {
+						p.Values.Set(inst.Addr, e.value)
+					}
+					if e.change != nil {
+						ch := cloneChange(e.change)
+						ch.Instance = inst
+						res.changes = append(res.changes, ch)
+					}
+				}
+				res.outcome = outcomeReplayed
+				return
+			}
+		}
+
+		res.outcome = outcomeEvaluated
+		for _, inst := range insts {
 			if inst.Mode == config.DataMode {
 				// Data sources are read locally at plan time.
 				p.Values.Set(inst.Addr, dataSourceValue(inst, ex))
@@ -262,18 +343,35 @@ func Compute(ctx context.Context, ex *config.Expansion, prior *state.State, opts
 			if !inScope(resourceAddr) {
 				// Outside the impact scope: assume unchanged; expose the
 				// recorded state value.
+				res.outcome = outcomeSkipped
 				if prior_ != nil {
 					p.Values.Set(inst.Addr, eval.Object(prior_.Attrs))
-					p.Noops++
+					res.noops++
 				}
 				continue
 			}
 			change, d := p.diffInstance(inst, prior_)
-			diags = diags.Extend(d)
+			res.diags = res.diags.Extend(d)
 			if d.HasErrors() {
+				res.outcome = outcomeFailed
 				continue
 			}
-			p.record(change)
+			res.evaluated++
+			res.changes = append(res.changes, change)
+		}
+	})
+	if walkErr != nil {
+		return p, diags.Append(hcl.Errorf(hcl.Range{}, "cycle: %s", walkErr))
+	}
+	outcomes := make(map[string]replanOutcome, len(resourceAddrs))
+	for _, resourceAddr := range resourceAddrs {
+		res := results[resourceAddr]
+		diags = diags.Extend(res.diags)
+		p.EvaluatedInstances += res.evaluated
+		p.Noops += res.noops
+		outcomes[resourceAddr] = res.outcome
+		for _, ch := range res.changes {
+			p.record(ch)
 		}
 	}
 
@@ -299,6 +397,16 @@ func Compute(ctx context.Context, ex *config.Expansion, prior *state.State, opts
 	}
 
 	diags = diags.Extend(p.buildGraph(ex, prior))
+
+	// Seed the cache from this plan so the next Compute replays what did not
+	// move. An errored plan never commits: its outcomes may be partial.
+	if opts.Cache != nil && !diags.HasErrors() {
+		opts.Cache.commit(declHashes, prior, instByResource, outcomes, p, opts.Refresh)
+		st := opts.Cache.LastStats()
+		span.SetAttr("replan_invalidation", st.Invalidation)
+		span.SetAttr("replan_replayed", st.Replayed)
+		span.SetAttr("replan_evaluated", st.Evaluated)
+	}
 	return p, diags
 }
 
@@ -318,7 +426,6 @@ func (p *Plan) diffInstance(inst *config.Instance, prior *state.ResourceState) (
 	if diags.HasErrors() {
 		return nil, diags
 	}
-	p.EvaluatedInstances++
 	// Apply schema defaults so the diff compares what the cloud will hold.
 	if rs != nil {
 		for name, a := range rs.Attrs {

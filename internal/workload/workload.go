@@ -146,14 +146,20 @@ resource "aws_vpc" "r" {
 	if subnets < 1 {
 		subnets = 1
 	}
+	// cidrsubnet needs enough new bits for the subnet count; 8 keeps the
+	// historical layout for small graphs, wider bits unlock scale runs.
+	bits := 8
+	for (1 << bits) < subnets {
+		bits++
+	}
 	fmt.Fprintf(&b, `
 resource "aws_subnet" "r" {
   count      = %d
   name       = "r-sub-${count.index}"
   vpc_id     = aws_vpc.r.id
-  cidr_block = cidrsubnet(aws_vpc.r.cidr_block, 8, count.index)
+  cidr_block = cidrsubnet(aws_vpc.r.cidr_block, %d, count.index)
 }
-`, subnets)
+`, subnets, bits)
 	vms := n - subnets
 	for i := 0; i < vms; i++ {
 		sub := rng.Intn(subnets)

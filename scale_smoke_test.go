@@ -1,0 +1,70 @@
+package cloudless_test
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"cloudless/internal/apply"
+	"cloudless/internal/plan"
+	"cloudless/internal/state"
+	"cloudless/internal/workload"
+)
+
+// TestScaleSmoke is the CI guard for the scale-out planning core: on a
+// ~2k-instance random DAG, a one-resource edit must replan with fewer than
+// 10% of a full replan's instance evaluations (it is 1 vs 2001 today, so the
+// bound leaves a wide margin before failing), byte-identical output, and the
+// batched apply must spend at most a fifth of the unbatched walker's
+// one-call-per-resource budget. Gated behind CLOUDLESS_SCALE_SMOKE so the
+// ordinary test run stays fast; CI sets it in a dedicated job.
+func TestScaleSmoke(t *testing.T) {
+	if os.Getenv("CLOUDLESS_SCALE_SMOKE") == "" {
+		t.Skip("set CLOUDLESS_SCALE_SMOKE=1 to run the 2k-instance scale smoke")
+	}
+	ctx := context.Background()
+	files := workload.RandomDAG(1333, 7)
+	ex := expandFiles(t, files)
+	sim := newSim()
+
+	p, diags := plan.Compute(ctx, ex, state.New(), plan.Options{})
+	if diags.HasErrors() {
+		t.Fatal(diags.Error())
+	}
+	created := len(p.Changes)
+	res := apply.Apply(ctx, sim, p, apply.Options{
+		Principal: "cloudless", Concurrency: 128, BatchOps: true,
+	})
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if calls := sim.Metrics().Calls; calls*5 > int64(created) {
+		t.Errorf("batched apply admitted %d calls for %d resources: batching below 5x", calls, created)
+	}
+	st := res.State
+
+	cache := plan.NewReplanCache()
+	if _, diags := plan.Compute(ctx, ex, st, plan.Options{Cache: cache}); diags.HasErrors() {
+		t.Fatal(diags.Error())
+	}
+
+	files["rand.ccl"] = replaceOnce(files["rand.ccl"],
+		`name    = "r-vm-1"`, `name    = "r-vm-1-edited"`)
+	ex2 := expandFiles(t, files)
+
+	full, diags := plan.Compute(ctx, ex2, st, plan.Options{})
+	if diags.HasErrors() {
+		t.Fatal(diags.Error())
+	}
+	incr, diags := plan.Compute(ctx, ex2, st, plan.Options{Cache: cache})
+	if diags.HasErrors() {
+		t.Fatal(diags.Error())
+	}
+	if encodeFacadePlan(incr) != encodeFacadePlan(full) {
+		t.Fatal("incremental replan diverged from full replan")
+	}
+	if incr.EvaluatedInstances*10 >= full.EvaluatedInstances {
+		t.Errorf("incremental replan evaluated %d of %d instances (>= 10%%)",
+			incr.EvaluatedInstances, full.EvaluatedInstances)
+	}
+}
