@@ -1,0 +1,111 @@
+package cloudless_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	cloudless "cloudless"
+)
+
+// TestStackCloseDrains is the draining-close regression test: Close must
+// wait for in-flight lifecycle operations instead of yanking the engine out
+// from under them, refuse operations arriving afterwards with the typed
+// *ErrStackClosed, and stay idempotent. Run under -race this also proves the
+// drain gate itself is data-race free.
+func TestStackCloseDrains(t *testing.T) {
+	sim := newSim()
+	s := openStack(t, sim, "")
+	ctx := context.Background()
+	p, err := s.Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	results := make([]error, 10)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			if i == 0 {
+				_, _, results[i] = s.Apply(ctx, p, cloudless.ApplyOptions{})
+				return
+			}
+			_, results[i] = s.Plan(ctx)
+		}(i)
+	}
+	close(start)
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	wg.Wait()
+
+	// Every racing op either completed before the drain finished or was
+	// refused up front with the typed error — never a torn half-run.
+	var closed *cloudless.ErrStackClosed
+	for i, err := range results {
+		if err != nil && !errors.As(err, &closed) {
+			t.Errorf("op %d: unexpected error %v", i, err)
+		}
+	}
+
+	// Post-close: typed refusals everywhere, and Close is idempotent.
+	if _, err := s.Plan(ctx); !errors.As(err, &closed) {
+		t.Fatalf("Plan after Close: got %v, want *ErrStackClosed", err)
+	}
+	if _, _, err := s.Apply(ctx, p, cloudless.ApplyOptions{}); !errors.As(err, &closed) {
+		t.Fatalf("Apply after Close: got %v, want *ErrStackClosed", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := s.CloseContext(ctx); err != nil {
+		t.Fatalf("CloseContext after Close: %v", err)
+	}
+}
+
+// TestStackCloseContextHonorsDeadline: a Close with an already-expired
+// context must not release resources out from under an in-flight op; it
+// reports the deadline error while the operation keeps running, and a later
+// unbounded Close finishes the drain.
+func TestStackCloseContextHonorsDeadline(t *testing.T) {
+	sim := newSim()
+	s := openStack(t, sim, "")
+	ctx := context.Background()
+	p, err := s.Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	applyStarted := make(chan struct{})
+	applyDone := make(chan error, 1)
+	go func() {
+		_, _, err := s.Apply(ctx, p, cloudless.ApplyOptions{
+			OnEvent: func(e cloudless.Event) {
+				if e.Kind == "apply.run_start" {
+					close(applyStarted)
+				}
+			},
+		})
+		applyDone <- err
+	}()
+	<-applyStarted
+
+	expired, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := s.CloseContext(expired); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CloseContext(expired) = %v, want context.Canceled", err)
+	}
+	// The in-flight apply must still complete cleanly: its engine was not
+	// released mid-run.
+	if err := <-applyDone; err != nil {
+		t.Fatalf("apply interrupted by timed-out close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("final Close: %v", err)
+	}
+}

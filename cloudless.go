@@ -15,14 +15,15 @@
 //	p, diags := stack.Plan(ctx)      // diff against golden state
 //	result, err := stack.Apply(ctx, p)
 //
+// Stack is a thin single-workspace client of internal/workspace, the
+// hostable per-tenant core; cmd/cloudlessd hosts many workspaces in one
+// process behind an HTTP API (DESIGN.md S27).
+//
 // See the examples directory for runnable end-to-end scenarios.
 package cloudless
 
 import (
 	"context"
-	"fmt"
-	"os"
-	"sort"
 	"time"
 
 	"cloudless/internal/apply"
@@ -30,11 +31,7 @@ import (
 	"cloudless/internal/config"
 	"cloudless/internal/diagnose"
 	"cloudless/internal/drift"
-	"cloudless/internal/eval"
 	"cloudless/internal/events"
-	"cloudless/internal/guard"
-	"cloudless/internal/hcl"
-	"cloudless/internal/health"
 	"cloudless/internal/plan"
 	"cloudless/internal/policy"
 	"cloudless/internal/provider"
@@ -43,6 +40,7 @@ import (
 	"cloudless/internal/statedb"
 	"cloudless/internal/telemetry"
 	"cloudless/internal/validate"
+	"cloudless/internal/workspace"
 )
 
 // Re-exported names so most callers only import the root package.
@@ -74,6 +72,19 @@ type (
 	// StaleBaseError is the typed conflict returned when an apply's plan
 	// was computed against a state serial that other commits have passed.
 	StaleBaseError = statedb.StaleBaseError
+
+	// ApplyOptions tune Apply.
+	ApplyOptions = workspace.ApplyOptions
+	// ErrPolicyDenied is returned when a plan-phase policy denies the apply.
+	ErrPolicyDenied = workspace.ErrPolicyDenied
+	// ErrJournalRecovered is returned by Apply when a crashed run's journal
+	// was found and recovered before the apply could start: the recovery
+	// moved the golden state, so re-plan and apply again.
+	ErrJournalRecovered = workspace.ErrJournalRecovered
+	// ErrStackClosed is the typed error lifecycle calls return once Close
+	// has begun: the stack drains in-flight operations but admits no new
+	// ones.
+	ErrStackClosed = workspace.ErrClosed
 )
 
 // State storage backends for Options.StateBackend.
@@ -179,213 +190,84 @@ type Options struct {
 	HealthProbeInterval time.Duration
 }
 
-// Stack is an infrastructure under cloudless management.
-type Stack struct {
-	module    *config.Module
-	expansion *config.Expansion
-	vars      map[string]eval.Value
-	resolver  config.ModuleResolver
+// config converts public options into the workspace core's config.
+func (o Options) config() workspace.Config {
+	return workspace.Config{
+		Sources:                 o.Sources,
+		Dir:                     o.Dir,
+		Vars:                    o.Vars,
+		Cloud:                   o.Cloud,
+		Modules:                 o.Modules,
+		InitialState:            o.InitialState,
+		GlobalLock:              o.GlobalLock,
+		StateBackend:            o.StateBackend,
+		StateDir:                o.StateDir,
+		JournalPath:             o.JournalPath,
+		Policies:                o.Policies,
+		Principal:               o.Principal,
+		Telemetry:               o.Telemetry,
+		ProviderCacheTTL:        o.ProviderCacheTTL,
+		ProviderMaxRetries:      o.ProviderMaxRetries,
+		ProviderRetryBase:       o.ProviderRetryBase,
+		ProviderMaxInFlight:     o.ProviderMaxInFlight,
+		GuardApplies:            o.GuardApplies,
+		GuardCanary:             o.GuardCanary,
+		GuardMaxFailures:        o.GuardMaxFailures,
+		GuardMaxFailureFraction: o.GuardMaxFailureFraction,
+		HealthProbeTimeout:      o.HealthProbeTimeout,
+		HealthProbeInterval:     o.HealthProbeInterval,
+	}
+}
 
-	cloudAPI    cloud.Interface
-	db          *statedb.DB
-	engine      *policy.Engine
-	watcher     *drift.Watcher
-	principal   string
-	telemetry   *telemetry.Recorder
-	journalPath string
-	guardOpts   *guard.Options
-	bus         *events.Bus
-	flight      *events.FlightRecorder
-	replanCache *plan.ReplanCache
+// Stack is an infrastructure under cloudless management: a thin
+// single-workspace client of the internal/workspace core. The zero value
+// is not usable; construct with Open.
+type Stack struct {
+	ws *workspace.Workspace
+
+	// cloudAPI and bus mirror the workspace's bindings. They exist as
+	// fields (rather than reads through ws) so package-internal test seams
+	// can exercise Provider and event publication on a bare Stack without
+	// wiring a whole workspace.
+	cloudAPI cloud.Interface
+	bus      *events.Bus
 }
 
 // Open loads, expands, and binds a configuration.
 func Open(opts Options) (*Stack, error) {
-	if opts.Cloud == nil {
-		return nil, fmt.Errorf("cloudless: Options.Cloud is required")
-	}
-	var module *config.Module
-	var diags hcl.Diagnostics
-	switch {
-	case opts.Sources != nil:
-		module, diags = config.Load(opts.Sources)
-	case opts.Dir != "":
-		module, diags = config.LoadDir(opts.Dir)
-		if opts.Modules == nil {
-			opts.Modules = config.DirResolver{Root: opts.Dir}
-		}
-	default:
-		return nil, fmt.Errorf("cloudless: either Options.Sources or Options.Dir must be set")
-	}
-	if diags.HasErrors() {
-		return nil, diags
-	}
-
-	vars := map[string]eval.Value{}
-	for k, v := range opts.Vars {
-		vars[k] = eval.FromGo(v)
-	}
-	// Managed variables include declared defaults, so policy scale targets
-	// work without the caller re-passing every default.
-	for name, decl := range module.Variables {
-		if _, given := vars[name]; !given && decl.HasDefault {
-			vars[name] = decl.Default
-		}
-	}
-	principal := opts.Principal
-	if principal == "" {
-		principal = "cloudless"
-	}
-
-	mode := statedb.ResourceLock
-	if opts.GlobalLock {
-		mode = statedb.GlobalLock
-	}
-	engine, err := statedb.NewEngine(opts.StateBackend, opts.InitialState, statedb.EngineOptions{
-		Dir: opts.StateDir,
-	})
+	ws, err := workspace.New(opts.config())
 	if err != nil {
-		return nil, fmt.Errorf("cloudless: %w", err)
-	}
-
-	// All cloud access routes through one provider runtime per stack; a
-	// caller that passes an already-wrapped Runtime (e.g. another stack's
-	// Cloud()) shares that one instead of stacking dispatchers.
-	// The live ops plane: one bus per stack. Every layer below publishes
-	// into it; Subscribe, ApplyOptions.OnEvent, and the flight recorder
-	// consume it. Publishing with no subscribers is nearly free.
-	bus := events.NewBus(nil)
-
-	popts := provider.Options{
-		CacheTTL:    opts.ProviderCacheTTL,
-		MaxRetries:  opts.ProviderMaxRetries,
-		RetryBase:   opts.ProviderRetryBase,
-		MaxInFlight: opts.ProviderMaxInFlight,
-		Bus:         bus,
-	}
-	if opts.Telemetry != nil {
-		popts.Registry = opts.Telemetry.Metrics()
-	}
-	runtime := provider.New(opts.Cloud, popts)
-
-	s := &Stack{
-		module:      module,
-		vars:        vars,
-		resolver:    opts.Modules,
-		cloudAPI:    runtime,
-		db:          statedb.OpenEngine(engine, mode),
-		principal:   principal,
-		telemetry:   opts.Telemetry,
-		journalPath: opts.JournalPath,
-		bus:         bus,
-		replanCache: plan.NewReplanCache(),
-	}
-	if opts.JournalPath != "" {
-		// Flight recorder: the journal's sibling artifact. A run that dies
-		// with no live subscriber still leaves its event tail for
-		// post-mortem reconstruction.
-		fr, err := events.NewFlightRecorder(opts.JournalPath+".events.jsonl", bus)
-		if err != nil {
-			return nil, fmt.Errorf("cloudless: open flight recorder: %w", err)
-		}
-		s.flight = fr
-	}
-	if opts.GuardApplies {
-		s.guardOpts = &guard.Options{
-			Canary:             opts.GuardCanary,
-			MaxFailures:        opts.GuardMaxFailures,
-			MaxFailureFraction: opts.GuardMaxFailureFraction,
-			Probe: health.ProbeOptions{
-				Timeout:  opts.HealthProbeTimeout,
-				Interval: opts.HealthProbeInterval,
-			},
-		}
-	}
-	if sim, ok := provider.Unwrap(opts.Cloud).(*cloud.Sim); ok && opts.Telemetry != nil {
-		// Route simulator counters (API calls, throttles, injected failures)
-		// into the stack's registry even for calls made without a
-		// telemetry-carrying context.
-		sim.AttachTelemetry(opts.Telemetry.Metrics())
-	}
-	if err := s.reexpand(); err != nil {
 		return nil, err
 	}
-
-	if opts.Policies != "" {
-		ps, diags := policy.ParsePolicies("policies.ccl", opts.Policies)
-		if diags.HasErrors() {
-			return nil, diags
-		}
-		s.engine = policy.NewEngine(ps)
-		for k, v := range vars {
-			s.engine.Vars[k] = v
-		}
-	} else {
-		s.engine = policy.NewEngine(nil)
-	}
-	return s, nil
-}
-
-// reexpand recomputes the expansion from the module and current vars.
-func (s *Stack) reexpand() error {
-	ex, diags := config.Expand(s.module, s.vars, s.resolver)
-	if diags.HasErrors() {
-		return diags
-	}
-	s.expansion = ex
-	return nil
+	return &Stack{ws: ws, cloudAPI: ws.Cloud(), bus: ws.Events()}, nil
 }
 
 // SetVar changes an input variable (e.g. applying a policy decision) and
 // re-expands the configuration.
-func (s *Stack) SetVar(name string, value any) error {
-	s.vars[name] = eval.FromGo(value)
-	s.engine.Vars[name] = s.vars[name]
-	return s.reexpand()
-}
+func (s *Stack) SetVar(name string, value any) error { return s.ws.SetVar(name, value) }
 
 // Var reads a managed variable's current value.
-func (s *Stack) Var(name string) (any, bool) {
-	v, ok := s.vars[name]
-	if !ok {
-		return nil, false
-	}
-	return eval.ToGo(v), true
-}
+func (s *Stack) Var(name string) (any, bool) { return s.ws.Var(name) }
 
 // DB exposes the golden-state database (locks, history, snapshots).
-func (s *Stack) DB() *statedb.DB { return s.db }
+func (s *Stack) DB() *statedb.DB { return s.ws.DB() }
 
-// Close releases the stack's storage engine resources (e.g. the wal
-// backend's log file), flushes the flight recorder, and shuts down the
-// event bus. The stack must not be used afterwards.
-func (s *Stack) Close() error {
-	err := s.db.Close()
-	if s.flight != nil {
-		if ferr := s.flight.Close(); err == nil {
-			err = ferr
-		}
-	}
-	s.bus.Close()
-	return err
-}
+// Close drains and releases the stack: lifecycle calls made after Close
+// begins fail with *ErrStackClosed, in-flight plan/apply/drift/recover
+// operations run to completion first, and only then are the storage
+// engine, flight recorder, and event bus released. Close is idempotent —
+// concurrent and repeated calls all return the first close's error. Use
+// CloseContext to bound the drain wait.
+func (s *Stack) Close() error { return s.ws.Close(context.Background()) }
+
+// CloseContext is Close with a bounded wait: when ctx expires before
+// in-flight operations finish it returns ctx.Err() and the stack stays
+// mid-drain (new calls still fail, resources not yet released); call it
+// again to finish once the stragglers exit.
+func (s *Stack) CloseContext(ctx context.Context) error { return s.ws.Close(ctx) }
 
 // Telemetry exposes the stack's recorder (nil when telemetry is disabled).
-func (s *Stack) Telemetry() *telemetry.Recorder { return s.telemetry }
-
-// lifecycle attaches the stack's recorder to the context (callers may also
-// supply one via telemetry.WithRecorder) and opens a span covering one
-// facade operation. With no recorder anywhere it returns (ctx, nil); every
-// span method is nil-safe, so call sites need no guards.
-func (s *Stack) lifecycle(ctx context.Context, name string) (context.Context, *telemetry.Span) {
-	if s.telemetry != nil && telemetry.FromContext(ctx) == nil {
-		ctx = telemetry.WithRecorder(ctx, s.telemetry)
-	}
-	if events.FromContext(ctx) == nil {
-		ctx = events.WithBus(ctx, s.bus)
-	}
-	return telemetry.StartSpan(ctx, name)
-}
+func (s *Stack) Telemetry() *telemetry.Recorder { return s.ws.Telemetry() }
 
 // Events exposes the stack's live event bus.
 func (s *Stack) Events() *events.Bus { return s.bus }
@@ -395,13 +277,11 @@ func (s *Stack) Events() *events.Bus { return s.bus }
 // after the call; a consumer that falls behind loses oldest events first
 // (see Subscription.Dropped) — publishers never block. Close the
 // subscription when done.
-func (s *Stack) Subscribe(filter EventFilter) *EventSubscription {
-	return s.bus.Subscribe(filter, 0)
-}
+func (s *Stack) Subscribe(filter EventFilter) *EventSubscription { return s.ws.Subscribe(filter) }
 
 // FlightRecorderPath returns the JSONL events artifact location ("" when no
 // journal path is configured).
-func (s *Stack) FlightRecorderPath() string { return s.flight.Path() }
+func (s *Stack) FlightRecorderPath() string { return s.ws.FlightRecorderPath() }
 
 // Cloud exposes the bound cloud interface — the stack's provider runtime,
 // so sharing it with another stack shares cache, coalescing, and the AIMD
@@ -421,34 +301,15 @@ func (s *Stack) Provider() *provider.Runtime {
 }
 
 // Instances lists the expanded instance addresses.
-func (s *Stack) Instances() []string {
-	out := make([]string, 0, len(s.expansion.Instances))
-	for _, inst := range s.expansion.Instances {
-		out = append(out, inst.Addr)
-	}
-	sort.Strings(out)
-	return out
-}
+func (s *Stack) Instances() []string { return s.ws.Instances() }
 
 // Validate runs compile-time validation: schema structure, semantic types,
 // and the cloud-level knowledge base (§3.2).
-func (s *Stack) Validate() *ValidationResult {
-	_, span := s.lifecycle(context.Background(), "lifecycle.validate")
-	res := validate.Validate(s.expansion, nil)
-	span.SetAttr("findings", len(res.Findings))
-	span.End()
-	return res
-}
+func (s *Stack) Validate() *ValidationResult { return s.ws.Validate() }
 
 // HasStaleJournal reports whether a crashed run's journal is waiting at
 // Options.JournalPath.
-func (s *Stack) HasStaleJournal() bool {
-	if s.journalPath == "" {
-		return false
-	}
-	js, err := apply.ReadJournal(s.journalPath)
-	return err == nil && js != nil
-}
+func (s *Stack) HasStaleJournal() bool { return s.ws.HasStaleJournal() }
 
 // Recover reconciles a crashed run's journal (apply, destroy, or rollback)
 // against the cloud and commits the reconciled state: completed ops are
@@ -457,115 +318,18 @@ func (s *Stack) HasStaleJournal() bool {
 // via the activity log. Returns (nil, nil) when there is nothing to recover.
 // The journal is removed only after a fully clean recovery, so a crash
 // during recovery itself is handled by calling Recover again.
-func (s *Stack) Recover(ctx context.Context) (*RecoverReport, error) {
-	if s.journalPath == "" {
-		return nil, nil
-	}
-	js, err := apply.ReadJournal(s.journalPath)
-	if err != nil || js == nil {
-		return nil, err
-	}
-	ctx, span := s.lifecycle(ctx, "lifecycle.recover")
-	defer span.End()
-	span.SetAttr("journal_id", js.Meta.ID)
-	span.SetAttr("journal_kind", js.Meta.Kind)
-
-	base := s.db.Snapshot()
-	st, rep, err := apply.Recover(ctx, s.cloudAPI, js, base, apply.Options{Principal: s.principal})
-	if err != nil {
-		return rep, err
-	}
-	span.SetAttr("confirmed", rep.Confirmed)
-	span.SetAttr("resumed", rep.Resumed)
-	span.SetAttr("orphans_adopted", len(rep.OrphansAdopted))
-	span.SetAttr("orphans_deleted", len(rep.OrphansDeleted))
-
-	// Commit everything the reconciled state and the base disagree on.
-	seen := map[string]bool{}
-	var addrs []string
-	for _, a := range base.Addrs() {
-		seen[a] = true
-		addrs = append(addrs, a)
-	}
-	for _, a := range st.Addrs() {
-		if !seen[a] {
-			addrs = append(addrs, a)
-		}
-	}
-	sort.Strings(addrs)
-	txn := s.db.Begin("recover")
-	if err := txn.Lock(ctx, addrs...); err != nil {
-		return rep, fmt.Errorf("cloudless: recover: acquire locks: %w", err)
-	}
-	defer txn.Abort()
-	for _, addr := range addrs {
-		if rs := st.Get(addr); rs != nil {
-			if err := txn.Put(rs); err != nil {
-				return rep, err
-			}
-		} else if err := txn.Delete(addr); err != nil {
-			return rep, err
-		}
-	}
-	if _, err := txn.Commit(); err != nil {
-		return rep, err
-	}
-	if err := rep.Err(); err != nil {
-		// Some in-doubt op could not be resolved (e.g. the cloud was
-		// unreachable); keep the journal so a later Recover retries it.
-		return rep, err
-	}
-	if err := os.Remove(s.journalPath); err != nil && !os.IsNotExist(err) {
-		return rep, err
-	}
-	return rep, nil
-}
-
-// recoverStale runs Recover when a crashed run's journal is present; it is
-// invoked automatically at the head of Plan and Apply so no run ever builds
-// on a state the cloud has silently moved past.
-func (s *Stack) recoverStale(ctx context.Context) (*RecoverReport, error) {
-	if !s.HasStaleJournal() {
-		return nil, nil
-	}
-	return s.Recover(ctx)
-}
+func (s *Stack) Recover(ctx context.Context) (*RecoverReport, error) { return s.ws.Recover(ctx) }
 
 // Plan computes a full plan against the golden state, refreshing every
 // recorded resource from the cloud first. A stale journal from a crashed
 // run is recovered (and committed) before planning.
-func (s *Stack) Plan(ctx context.Context) (*Plan, error) {
-	if _, err := s.recoverStale(ctx); err != nil {
-		return nil, err
-	}
-	ctx, span := s.lifecycle(ctx, "lifecycle.plan")
-	defer span.End()
-	p, diags := plan.Compute(ctx, s.expansion, s.db.Snapshot(), plan.Options{
-		Refresh: true, Cloud: s.cloudAPI,
-	})
-	if diags.HasErrors() {
-		return p, diags
-	}
-	return p, nil
-}
+func (s *Stack) Plan(ctx context.Context) (*Plan, error) { return s.ws.Plan(ctx) }
 
 // PlanIncremental computes an incremental plan confined to the impact scope
 // of the given resource-level addresses (§3.3), skipping refresh and
 // evaluation outside the scope.
 func (s *Stack) PlanIncremental(ctx context.Context, changed ...string) (*Plan, error) {
-	if _, err := s.recoverStale(ctx); err != nil {
-		return nil, err
-	}
-	ctx, span := s.lifecycle(ctx, "lifecycle.plan_incremental")
-	span.SetAttr("changed", len(changed))
-	defer span.End()
-	p, diags := plan.Compute(ctx, s.expansion, s.db.Snapshot(), plan.Options{
-		Refresh: true, Cloud: s.cloudAPI, ImpactScope: changed,
-	})
-	if diags.HasErrors() {
-		return p, diags
-	}
-	return p, nil
+	return s.ws.PlanIncremental(ctx, changed...)
 }
 
 // Replan computes a plan through the stack's replan cache: declarations
@@ -576,56 +340,25 @@ func (s *Stack) PlanIncremental(ctx context.Context, changed ...string) (*Plan, 
 // to Plan; the first call after Open is effectively a full plan that warms
 // the cache. Refreshes recorded state (batched) like Plan does, so drift
 // observed by the refresh dirties exactly the drifted subtrees.
-func (s *Stack) Replan(ctx context.Context) (*Plan, error) {
-	if _, err := s.recoverStale(ctx); err != nil {
-		return nil, err
-	}
-	ctx, span := s.lifecycle(ctx, "lifecycle.replan")
-	defer span.End()
-	p, diags := plan.Compute(ctx, s.expansion, s.db.Snapshot(), plan.Options{
-		Refresh: true, Cloud: s.cloudAPI, Cache: s.replanCache,
-	})
-	if diags.HasErrors() {
-		return p, diags
-	}
-	return p, nil
-}
+func (s *Stack) Replan(ctx context.Context) (*Plan, error) { return s.ws.Replan(ctx) }
 
 // ReplanOffline is Replan without the cloud refresh: it trusts recorded
 // state (like PlanOffline) and re-evaluates only the subtree dirtied by
 // configuration edits or state commits since the previous cached plan. This
 // is the edit-loop fast path: a one-resource change in a large graph costs
 // one subtree, not a full evaluation sweep.
-func (s *Stack) ReplanOffline(ctx context.Context) (*Plan, error) {
-	ctx, span := s.lifecycle(ctx, "lifecycle.replan_offline")
-	defer span.End()
-	p, diags := plan.Compute(ctx, s.expansion, s.db.Snapshot(), plan.Options{
-		Cache: s.replanCache,
-	})
-	if diags.HasErrors() {
-		return p, diags
-	}
-	return p, nil
-}
+func (s *Stack) ReplanOffline(ctx context.Context) (*Plan, error) { return s.ws.ReplanOffline(ctx) }
 
 // ReplanStats reports what the last Replan/ReplanOffline did: the
 // invalidation type ("cold", "config", "state", "clean"), dirty-seed counts,
 // and how many resources replayed from cache vs re-evaluated.
-func (s *Stack) ReplanStats() plan.CacheStats { return s.replanCache.LastStats() }
+func (s *Stack) ReplanStats() plan.CacheStats { return s.ws.ReplanStats() }
 
 // InvalidateReplanCache forces the next Replan to be a full replan.
-func (s *Stack) InvalidateReplanCache() { s.replanCache.InvalidateAll() }
+func (s *Stack) InvalidateReplanCache() { s.ws.InvalidateReplanCache() }
 
 // PlanOffline plans without refreshing from the cloud (fast, trusts state).
-func (s *Stack) PlanOffline(ctx context.Context) (*Plan, error) {
-	ctx, span := s.lifecycle(ctx, "lifecycle.plan_offline")
-	defer span.End()
-	p, diags := plan.Compute(ctx, s.expansion, s.db.Snapshot(), plan.Options{})
-	if diags.HasErrors() {
-		return p, diags
-	}
-	return p, nil
-}
+func (s *Stack) PlanOffline(ctx context.Context) (*Plan, error) { return s.ws.PlanOffline(ctx) }
 
 // PlanOfflineAt plans against the golden state as of a past serial instead
 // of the latest. Requires a backend with version retention (mvcc); other
@@ -633,53 +366,7 @@ func (s *Stack) PlanOffline(ctx context.Context) (*Plan, error) {
 // serial. The returned plan is pinned at that serial, so applying it against
 // a state that moved on aborts with *StaleBaseError.
 func (s *Stack) PlanOfflineAt(ctx context.Context, serial int) (*Plan, error) {
-	ctx, span := s.lifecycle(ctx, "lifecycle.plan_offline_at")
-	span.SetAttr("pinned_serial", serial)
-	defer span.End()
-	snap, err := s.db.SnapshotAt(serial)
-	if err != nil {
-		return nil, err
-	}
-	p, diags := plan.Compute(ctx, s.expansion, snap, plan.Options{})
-	if diags.HasErrors() {
-		return p, diags
-	}
-	return p, nil
-}
-
-// ApplyOptions tune Apply.
-type ApplyOptions struct {
-	Concurrency int
-	Scheduler   apply.Scheduler
-	// SkipPolicyCheck bypasses plan-phase policies.
-	SkipPolicyCheck bool
-	// BatchOps coalesces concurrent creates and reads into bulk cloud
-	// calls, cutting control-plane round-trips on wide changesets (see
-	// apply.Options.BatchOps).
-	BatchOps bool
-	// OnEvent, when set, receives every ops-plane event published during
-	// this apply (run/wave lifecycle, per-op progress, health gates, fuse
-	// trips, rollbacks, provider signals), in order, on a dedicated
-	// goroutine. The callback must not block for long: events queue in a
-	// bounded buffer and the oldest are dropped if it falls behind. Apply
-	// drains the queue before returning, so the callback sees the whole run.
-	OnEvent func(Event)
-}
-
-// ErrPolicyDenied is returned when a plan-phase policy denies the apply.
-type ErrPolicyDenied struct{ Message string }
-
-// Error implements error.
-func (e *ErrPolicyDenied) Error() string { return "cloudless: policy denied: " + e.Message }
-
-// ErrJournalRecovered is returned by Apply when a crashed run's journal was
-// found and recovered before the apply could start. The recovery moved the
-// golden state, so the plan in hand predates it — re-plan and apply again.
-type ErrJournalRecovered struct{ Report *RecoverReport }
-
-// Error implements error.
-func (e *ErrJournalRecovered) Error() string {
-	return "cloudless: recovered a crashed run's journal; the plan is stale — re-plan and retry"
+	return s.ws.PlanOfflineAt(ctx, serial)
 }
 
 // Apply executes a plan transactionally: plan-phase policies run first,
@@ -687,449 +374,60 @@ func (e *ErrJournalRecovered) Error() string {
 // the physical apply, and the golden state and time machine are updated
 // atomically on completion. Failed operations yield IaC-level diagnoses.
 func (s *Stack) Apply(ctx context.Context, p *Plan, opts ApplyOptions) (*ApplyResult, []*Diagnosis, error) {
-	if s.HasStaleJournal() {
-		rep, err := s.Recover(ctx)
-		if err != nil {
-			return nil, nil, err
-		}
-		return nil, nil, &ErrJournalRecovered{Report: rep}
-	}
-	ctx, span := s.lifecycle(ctx, "lifecycle.apply")
-	span.SetAttr("pending", p.Creates+p.Updates+p.Replaces+p.Deletes)
-	span.SetAttr("base_serial", p.BaseSerial)
-	span.SetAttr("scheduler", opts.Scheduler.String())
-	defer span.End()
-
-	// OnEvent: a private subscription pumped to the callback. Registered
-	// before run_start is published and drained after run_finish, so the
-	// callback observes the complete run.
-	if opts.OnEvent != nil {
-		sub := s.bus.Subscribe(events.Filter{}, 4*events.DefaultBuffer)
-		done := make(chan struct{})
-		go func() {
-			defer close(done)
-			for e := range sub.C() {
-				opts.OnEvent(e)
-			}
-		}()
-		defer func() {
-			sub.Close()
-			<-done
-		}()
-	}
-	if !opts.SkipPolicyCheck {
-		decisions, diags := s.engine.EvaluatePlan(p)
-		if diags.HasErrors() {
-			return nil, nil, diags
-		}
-		if denied, msg := policy.Denied(decisions); denied {
-			return nil, nil, &ErrPolicyDenied{Message: msg}
-		}
-	}
-
-	// The commit carries the plan's pinned serial: if other transactions
-	// advanced any of these addresses past the plan's base, Commit aborts
-	// with *StaleBaseError instead of clobbering their work.
-	txn := s.db.Begin("apply")
-	if p.BaseSerial > 0 {
-		txn.SetBase(p.BaseSerial)
-	}
-	addrs := make([]string, 0, len(p.Changes))
-	for addr, ch := range p.Changes {
-		if ch.Action != plan.ActionNoop {
-			addrs = append(addrs, addr)
-		}
-	}
-	sort.Strings(addrs)
-	if err := txn.Lock(ctx, addrs...); err != nil {
-		return nil, nil, fmt.Errorf("cloudless: acquire locks: %w", err)
-	}
-	defer txn.Abort()
-
-	var j *apply.Journal
-	if s.journalPath != "" {
-		nj, err := apply.NewJournal(s.journalPath, apply.Meta{
-			Kind: "apply", BaseSerial: p.BaseSerial, Principal: s.principal,
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		j = nj
-	}
-	applyOpts := apply.Options{
-		Concurrency:     opts.Concurrency,
-		Scheduler:       opts.Scheduler,
-		Principal:       s.principal,
-		ContinueOnError: true,
-		Journal:         j,
-		BatchOps:        opts.BatchOps,
-	}
-	runID := ""
-	if j != nil {
-		runID = j.Meta().ID
-	}
-	s.bus.Publish(events.Event{Kind: "apply.run_start", Run: runID,
-		Principal: s.principal,
-		N:         int64(p.Creates + p.Updates + p.Replaces + p.Deletes)})
-
-	var res *ApplyResult
-	if s.guardOpts != nil {
-		span.SetAttr("guarded", true)
-		res = guard.Run(ctx, s.cloudAPI, p, applyOpts, *s.guardOpts)
-	} else {
-		res = apply.Apply(ctx, s.cloudAPI, p, applyOpts)
-	}
-	s.publishRunFinish(runID, res)
-	keepJournal := true
-	if j != nil {
-		// The journal is discarded after a zero-error apply whose state
-		// committed, or after a guarded apply whose auto-rollback fully
-		// reverted the blast radius (the cloud matches what state records
-		// either way); anything less leaves it for Recover to reconcile.
-		defer func() {
-			if keepJournal {
-				_ = j.Close()
-			} else {
-				_ = j.Discard()
-			}
-		}()
-	}
-
-	// Publish results for the locked addresses.
-	for _, addr := range addrs {
-		if rs := res.State.Get(addr); rs != nil {
-			if err := txn.Put(rs); err != nil {
-				return res, nil, err
-			}
-		} else if err := txn.Delete(addr); err != nil {
-			return res, nil, err
-		}
-	}
-	txn.SetOutputs(res.State.Outputs)
-	if _, err := txn.Commit(); err != nil {
-		return res, nil, err
-	}
-	if res.Err() == nil || res.Reverted {
-		keepJournal = false
-	}
-	span.SetAttr("applied", res.Applied)
-	span.SetAttr("failed", len(res.Errors))
-	span.SetAttr("retries", res.Retries)
-	if s.guardOpts != nil {
-		span.SetAttr("gate_failures", res.GateFailures)
-		span.SetAttr("fuse_tripped", len(res.FuseTripped))
-		span.SetAttr("reverted", res.Reverted)
-	}
-	// Record outputs on the lifecycle span with the same redaction the
-	// display path applies: sensitive values never reach a trace file.
-	for name, v := range s.DisplayOutputs() {
-		span.SetAttr("output."+name, fmt.Sprint(v))
-	}
-
-	// Advance the drift watcher past our own activity so it doesn't chew
-	// through events we caused (it filters by principal anyway).
-	if s.watcher == nil {
-		s.resetWatcher(ctx)
-	}
-
-	var diagnoses []*Diagnosis
-	for addr, applyErr := range res.Errors {
-		inst := s.expansion.ByAddr[addr]
-		diagnoses = append(diagnoses, diagnose.Explain(applyErr, inst, s.expansion))
-	}
-	sort.Slice(diagnoses, func(i, j int) bool { return diagnoses[i].Addr < diagnoses[j].Addr })
-	return res, diagnoses, res.Err()
+	return s.ws.Apply(ctx, p, opts)
 }
 
 // publishRunFinish emits the run-terminating event plus a provider-runtime
-// stats snapshot (cache hit / coalesce / throttle counters), so a watcher
-// sees how the dispatch layer behaved without polling Stats itself.
+// stats snapshot; retained as a Stack method so package-internal seams can
+// drive it on a bare Stack (nil bus and non-runtime clouds are safe).
 func (s *Stack) publishRunFinish(runID string, res *ApplyResult) {
-	fin := events.Event{Kind: "apply.run_finish", Run: runID,
-		N: int64(res.Applied), Retries: int64(res.Retries),
-		Ms: float64(res.Elapsed) / float64(time.Millisecond)}
-	if err := res.Err(); err != nil {
-		fin.Err = err.Error()
-	}
-	s.bus.Publish(fin)
-	if rt := s.Provider(); rt != nil {
-		st := rt.Stats()
-		for _, c := range []struct {
-			name string
-			v    int64
-		}{
-			{"calls", st.Calls}, {"retries", st.Retries}, {"throttles", st.Throttles},
-			{"cache_hits", st.CacheHits}, {"cache_misses", st.CacheMisses},
-			{"coalesced", st.Coalesced},
-		} {
-			s.bus.Publish(events.Event{Kind: "provider.stats", Run: runID,
-				Action: c.name, N: c.v})
-		}
-	}
+	workspace.PublishRunFinish(s.bus, s.Provider(), runID, res)
 }
 
 // Destroy deletes everything in the golden state, in reverse dependency
 // order, and commits the emptied state.
-func (s *Stack) Destroy(ctx context.Context) (*ApplyResult, error) {
-	if s.HasStaleJournal() {
-		if _, err := s.Recover(ctx); err != nil {
-			return nil, err
-		}
-	}
-	ctx, span := s.lifecycle(ctx, "lifecycle.destroy")
-	defer span.End()
-	snapshot := s.db.Snapshot()
-	txn := s.db.BeginAt("destroy", snapshot.Serial)
-	if err := txn.Lock(ctx, snapshot.Addrs()...); err != nil {
-		return nil, err
-	}
-	defer txn.Abort()
-	var j *apply.Journal
-	if s.journalPath != "" {
-		nj, err := apply.NewJournal(s.journalPath, apply.Meta{
-			Kind: "destroy", BaseSerial: snapshot.Serial, Principal: s.principal,
-		})
-		if err != nil {
-			return nil, err
-		}
-		j = nj
-	}
-	runID := ""
-	if j != nil {
-		runID = j.Meta().ID
-	}
-	s.bus.Publish(events.Event{Kind: "apply.run_start", Run: runID,
-		Principal: s.principal, Action: "destroy",
-		N: int64(len(snapshot.Addrs()))})
-	res := apply.Destroy(ctx, s.cloudAPI, snapshot, apply.Options{
-		Principal: s.principal, ContinueOnError: true, Journal: j,
-	})
-	s.publishRunFinish(runID, res)
-	keepJournal := true
-	if j != nil {
-		defer func() {
-			if keepJournal {
-				_ = j.Close()
-			} else {
-				_ = j.Discard()
-			}
-		}()
-	}
-	for _, addr := range snapshot.Addrs() {
-		if res.State.Get(addr) == nil {
-			if err := txn.Delete(addr); err != nil {
-				return res, err
-			}
-		}
-	}
-	if _, err := txn.Commit(); err != nil {
-		return res, err
-	}
-	if res.Err() == nil {
-		keepJournal = false
-	}
-	return res, res.Err()
-}
-
-// resetWatcher (re)starts the drift watcher at the cloud's current log tail.
-func (s *Stack) resetWatcher(ctx context.Context) {
-	tail := int64(0)
-	if events, err := s.cloudAPI.Activity(ctx, 0); err == nil && len(events) > 0 {
-		tail = events[len(events)-1].Seq
-	}
-	s.watcher = drift.NewWatcher(s.cloudAPI, s.principal, tail)
-}
+func (s *Stack) Destroy(ctx context.Context) (*ApplyResult, error) { return s.ws.Destroy(ctx) }
 
 // WatchDrift polls the activity log for out-of-band changes (§3.5). Call
 // repeatedly; the cursor advances automatically.
-func (s *Stack) WatchDrift(ctx context.Context) (*DriftReport, error) {
-	ctx, span := s.lifecycle(ctx, "lifecycle.watch_drift")
-	defer span.End()
-	if s.watcher == nil {
-		s.resetWatcher(ctx)
-		return &DriftReport{Method: "activity-log"}, nil
-	}
-	return s.watcher.Poll(ctx, s.db.Snapshot())
-}
+func (s *Stack) WatchDrift(ctx context.Context) (*DriftReport, error) { return s.ws.WatchDrift(ctx) }
 
 // ScanDrift performs a full driftctl-style API scan (expensive).
-func (s *Stack) ScanDrift(ctx context.Context) (*DriftReport, error) {
-	ctx, span := s.lifecycle(ctx, "lifecycle.scan_drift")
-	defer span.End()
-	rep, err := drift.FullScan(ctx, s.cloudAPI, s.db.Snapshot())
-	if rep != nil {
-		span.SetAttr("drift_items", len(rep.Items))
-	}
-	return rep, err
-}
+func (s *Stack) ScanDrift(ctx context.Context) (*DriftReport, error) { return s.ws.ScanDrift(ctx) }
 
 // ReconcileDrift applies drift-phase policies (or the explicit choice) to a
 // report and commits the updated state.
 func (s *Stack) ReconcileDrift(ctx context.Context, rep *DriftReport, action drift.Action) (*drift.ReconcileResult, error) {
-	ctx, span := s.lifecycle(ctx, "lifecycle.reconcile_drift")
-	defer span.End()
-	snapshot := s.db.Snapshot()
-	res := drift.Reconcile(ctx, s.cloudAPI, snapshot, rep, func(drift.Item) drift.Action { return action }, s.principal)
-	txn := s.db.BeginAt("reconcile drift", snapshot.Serial)
-	var addrs []string
-	for _, it := range rep.Items {
-		if it.Addr != "" {
-			addrs = append(addrs, it.Addr)
-		}
-	}
-	// Imported unmanaged resources get new addresses too.
-	for _, a := range res.State.Addrs() {
-		if snapshot.Get(a) == nil {
-			addrs = append(addrs, a)
-		}
-	}
-	if err := txn.Lock(ctx, addrs...); err != nil {
-		return res, err
-	}
-	defer txn.Abort()
-	for _, addr := range addrs {
-		if rs := res.State.Get(addr); rs != nil {
-			if err := txn.Put(rs); err != nil {
-				return res, err
-			}
-		} else if err := txn.Delete(addr); err != nil {
-			return res, err
-		}
-	}
-	if _, err := txn.Commit(); err != nil {
-		return res, err
-	}
-	return res, nil
+	return s.ws.ReconcileDrift(ctx, rep, action)
 }
 
 // PolicyDecisionsForDrift evaluates drift-phase policies over a report.
 func (s *Stack) PolicyDecisionsForDrift(rep *DriftReport) ([]Decision, error) {
-	decs, diags := s.engine.EvaluateDrift(rep)
-	if diags.HasErrors() {
-		return decs, diags
-	}
-	return decs, nil
+	return s.ws.PolicyDecisionsForDrift(rep)
 }
 
 // Observe feeds runtime metrics to operate-phase policies (autoscaling).
 // Returned set_variable/scale decisions are already applied to the stack's
 // variables; call Plan+Apply afterwards to enact them.
-func (s *Stack) Observe(metrics map[string]any) ([]Decision, error) {
-	m := make(map[string]eval.Value, len(metrics))
-	for k, v := range metrics {
-		m[k] = eval.FromGo(v)
-	}
-	decs, diags := s.engine.Observe(m)
-	if diags.HasErrors() {
-		return decs, diags
-	}
-	changed := false
-	for _, d := range decs {
-		if d.Kind == policy.ActionScale || d.Kind == policy.ActionSetVariable {
-			s.vars[d.Variable] = d.NewValue
-			changed = true
-		}
-	}
-	if changed {
-		if err := s.reexpand(); err != nil {
-			return decs, err
-		}
-	}
-	return decs, nil
-}
+func (s *Stack) Observe(metrics map[string]any) ([]Decision, error) { return s.ws.Observe(metrics) }
 
 // PlanRollback computes a minimal rollback to a historical serial (§3.4).
 func (s *Stack) PlanRollback(serial int) (*RollbackPlan, *State, error) {
-	snap, err := s.db.History().At(serial)
-	if err != nil {
-		return nil, nil, err
-	}
-	current := s.db.Snapshot()
-	return rollback.Compute(current, snap.State), snap.State, nil
+	return s.ws.PlanRollback(serial)
 }
 
 // ExecuteRollback runs a rollback plan and commits the resulting state.
 func (s *Stack) ExecuteRollback(ctx context.Context, p *RollbackPlan, target *State) error {
-	ctx, span := s.lifecycle(ctx, "lifecycle.rollback")
-	span.SetAttr("steps", len(p.Steps))
-	defer span.End()
-	current := s.db.Snapshot()
-	txn := s.db.BeginAt("rollback", current.Serial)
-	var addrs []string
-	for _, step := range p.Steps {
-		addrs = append(addrs, step.Addr)
-	}
-	if err := txn.Lock(ctx, addrs...); err != nil {
-		return err
-	}
-	defer txn.Abort()
-	var j *apply.Journal
-	if s.journalPath != "" {
-		nj, jerr := apply.NewJournal(s.journalPath, apply.Meta{
-			Kind: "rollback", BaseSerial: current.Serial, Principal: s.principal,
-		})
-		if jerr != nil {
-			return jerr
-		}
-		j = nj
-	}
-	after, err := rollback.ExecuteJournaled(ctx, s.cloudAPI, current, target, p,
-		rollback.ExecOptions{Principal: s.principal, Journal: j})
-	keepJournal := true
-	if j != nil {
-		defer func() {
-			if keepJournal {
-				_ = j.Close() // left for Recover
-			} else {
-				_ = j.Discard()
-			}
-		}()
-	}
-	if err != nil {
-		return err
-	}
-	for _, addr := range addrs {
-		if rs := after.Get(addr); rs != nil {
-			if perr := txn.Put(rs); perr != nil {
-				return perr
-			}
-		} else if derr := txn.Delete(addr); derr != nil {
-			return derr
-		}
-	}
-	if _, err = txn.Commit(); err != nil {
-		return err
-	}
-	keepJournal = false
-	return nil
+	return s.ws.ExecuteRollback(ctx, p, target)
 }
 
 // Outputs returns the last-applied root outputs as plain Go values.
-func (s *Stack) Outputs() map[string]any {
-	out := map[string]any{}
-	for k, v := range s.db.Snapshot().Outputs {
-		out[k] = eval.ToGo(v)
-	}
-	return out
-}
+func (s *Stack) Outputs() map[string]any { return s.ws.Outputs() }
 
 // OutputIsSensitive reports whether an output is declared sensitive;
 // display layers substitute a redaction marker for such values.
-func (s *Stack) OutputIsSensitive(name string) bool {
-	if spec, ok := s.expansion.Outputs[name]; ok {
-		return spec.Sensitive
-	}
-	return false
-}
+func (s *Stack) OutputIsSensitive(name string) bool { return s.ws.OutputIsSensitive(name) }
 
 // DisplayOutputs returns outputs with sensitive values redacted, for
 // printing to terminals and logs.
-func (s *Stack) DisplayOutputs() map[string]any {
-	out := s.Outputs()
-	for name := range out {
-		if s.OutputIsSensitive(name) {
-			out[name] = telemetry.Redacted
-		}
-	}
-	return out
-}
+func (s *Stack) DisplayOutputs() map[string]any { return s.ws.DisplayOutputs() }

@@ -35,7 +35,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (E1..E10, ET, SD, PV, CR, HG, EV, SC)")
+	only := flag.String("only", "", "run a single experiment (E1..E10, ET, SD, PV, CR, HG, EV, SC, SV)")
 	flag.StringVar(&jsonOut, "json", "", "write machine-readable results (currently: ET) to this file")
 	flag.StringVar(&jsonOutSD, "json-sd", "", "write machine-readable SD results to this file")
 	flag.StringVar(&jsonOutPV, "json-pv", "", "write machine-readable PV results to this file")
@@ -43,6 +43,7 @@ func main() {
 	flag.StringVar(&jsonOutHG, "json-hg", "", "write machine-readable HG results to this file")
 	flag.StringVar(&jsonOutEV, "json-ev", "", "write machine-readable EV results to this file")
 	flag.StringVar(&jsonOutSC, "json-sc", "", "write machine-readable SC results to this file")
+	flag.StringVar(&jsonOutSV, "json-sv", "", "write machine-readable SV results to this file")
 	flag.StringVar(&baselineSC, "baseline-sc", "", "compare SC against a recorded BENCH_scale.json; exit 1 on >5% regression")
 	flag.Parse()
 
@@ -68,6 +69,7 @@ func main() {
 		{"HG", "health-gated progressive applies: guarded vs unguarded under readiness faults (§24)", hg},
 		{"EV", "live ops plane: event-bus throughput, subscriber tax on apply, drop accounting (§25)", ev},
 		{"SC", "scale-out planning core: incremental replan, parallel evaluation, bulk ops (§26)", sc},
+		{"SV", "workspace server: multi-tenant job latency and fairness under 2x overload (§27)", sv},
 	}
 	for _, e := range experiments {
 		if *only != "" && !strings.EqualFold(*only, e.id) {

@@ -73,6 +73,8 @@ func main() {
 		err = cmdRecover(args)
 	case "metrics":
 		err = cmdMetrics(args)
+	case "workspaces":
+		err = cmdWorkspaces(args)
 	case "help", "-h", "--help":
 		usage()
 		return
@@ -104,9 +106,14 @@ Commands:
   rollback   roll back to a snapshot with minimal redeployment (-to serial)
   recover    reconcile a crashed run's journal (<state>.journal) with the cloud
   metrics    summarize a trace file written with -trace-out (-prom for Prometheus text)
+  workspaces list/create/delete workspaces on a cloudlessd server (-server URL)
 
 Lifecycle commands accept -trace-out <file> to record a Chrome/Perfetto
 trace of the run (open at https://ui.perfetto.dev or chrome://tracing).
+
+Remote mode: plan, apply, drift, recover, and tail accept
+-server <url> -workspace <name> [-token <tok>] to run against a workspace
+hosted by cloudlessd instead of a local state file.
 `)
 }
 
@@ -125,6 +132,11 @@ type commonFlags struct {
 	providerTTL      *time.Duration
 	providerRetries  *int
 	providerInFlight *int
+
+	// Remote-mode flags (see remote.go).
+	server    *string
+	workspace *string
+	token     *string
 
 	// Guarded-apply flags; registered only by commands that apply.
 	guard            *bool
@@ -157,6 +169,9 @@ func newCommon(name string) *commonFlags {
 			"provider-runtime retry attempts per cloud call (0 = default 4)"),
 		providerInFlight: fs.Int("provider-max-inflight", 0,
 			"provider-runtime AIMD concurrency-window ceiling per cloud provider (0 = default 64)"),
+		server:    fs.String("server", "", "cloudlessd base URL: run this command against a hosted workspace instead of a local state file"),
+		workspace: fs.String("workspace", "", "hosted workspace name (required with -server)"),
+		token:     fs.String("token", "", "bearer token for -server (empty when the server runs without auth)"),
 	}
 }
 
@@ -351,6 +366,9 @@ func cmdPlanApply(args []string, doApply bool) error {
 	c.healthTimeout = c.fs.Duration("health-timeout", 0,
 		"with -guard: per-resource readiness wait bound (0 = default 30s)")
 	_ = c.fs.Parse(args)
+	if c.remote() {
+		return c.remotePlanApply(doApply, *watch, false, *concurrency)
+	}
 	name := "plan"
 	if doApply {
 		name = "apply"
@@ -595,6 +613,9 @@ func cmdRollback(args []string) error {
 func cmdRecover(args []string) error {
 	c := newCommon("recover")
 	_ = c.fs.Parse(args)
+	if c.remote() {
+		return c.remoteRecover()
+	}
 	c.initTelemetry("recover")
 	defer c.writeTrace()
 	journalPath := *c.statePath + ".journal"
@@ -633,6 +654,9 @@ func cmdDrift(args []string) error {
 	scan := c.fs.Bool("scan", false, "full API scan instead of activity-log watch")
 	reconcile := c.fs.String("reconcile", "", `reconcile detected drift: "adopt" or "revert"`)
 	_ = c.fs.Parse(args)
+	if c.remote() {
+		return c.remoteDrift(*scan, *reconcile)
+	}
 	c.initTelemetry("drift")
 	defer c.writeTrace()
 	stack, err := c.open()
@@ -742,7 +766,13 @@ func cmdTail(args []string) error {
 	since := fs.Int64("since", 0, "resume after this activity sequence number (0 replays the whole log)")
 	wait := fs.Duration("wait", 25*time.Second, "server-side long-poll hold per request")
 	once := fs.Bool("once", false, "print the backlog and exit instead of following")
+	serverURL := fs.String("server", "", "cloudlessd base URL: tail a hosted workspace's event feed instead of a cloud activity log")
+	workspaceName := fs.String("workspace", "", "hosted workspace name (required with -server)")
+	token := fs.String("token", "", "bearer token for -server")
 	_ = fs.Parse(args)
+	if *serverURL != "" {
+		return remoteTail(*serverURL, *token, *workspaceName, *since, *wait, *once)
+	}
 	if *cloudURL == "" {
 		return fmt.Errorf("tail requires -cloud: an in-process simulator has no other writers to watch")
 	}

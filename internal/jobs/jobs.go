@@ -1,0 +1,426 @@
+// Package jobs is an async job queue with per-tenant weighted fair
+// scheduling and adaptive admission control (DESIGN.md S27). cloudlessd
+// runs every lifecycle operation — plan, apply, drift, recover — as a job
+// here, so one tenant's 10k-resource apply cannot starve another tenant's
+// one-line plan: dispatch order is start-time fair queueing over tenants
+// (sched.go), and the worker pool sits behind the provider runtime's AIMD
+// gate so sustained congestion shrinks effective concurrency instead of
+// piling on.
+//
+// The queue itself persists nothing: resumability comes from the layer
+// below (a crashed apply job leaves its workspace journal, and a recover
+// job — submitted explicitly or by the automatic recovery at the head of
+// the next plan/apply — resumes it).
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"cloudless/internal/cloud"
+	"cloudless/internal/provider"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job states. Terminal states are succeeded, failed, and canceled.
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusSucceeded Status = "succeeded"
+	StatusFailed    Status = "failed"
+	StatusCanceled  Status = "canceled"
+)
+
+// Terminal reports whether a status is final.
+func (s Status) Terminal() bool {
+	return s == StatusSucceeded || s == StatusFailed || s == StatusCanceled
+}
+
+// ErrClosed is returned by Submit after Shutdown has begun.
+var ErrClosed = errors.New("jobs: queue closed")
+
+type jobIDKey struct{}
+
+// JobID returns the running job's ID from a context passed to Request.Fn
+// ("" outside a job). Fns use it to key artifacts they produce.
+func JobID(ctx context.Context) string {
+	id, _ := ctx.Value(jobIDKey{}).(string)
+	return id
+}
+
+// ErrQueueFull is the typed admission error for a tenant over its backlog
+// limit. Callers should back off and resubmit.
+type ErrQueueFull struct {
+	Tenant string
+	Limit  int
+}
+
+// Error implements error.
+func (e *ErrQueueFull) Error() string {
+	return fmt.Sprintf("jobs: tenant %s backlog full (limit %d)", e.Tenant, e.Limit)
+}
+
+// Request describes one job to submit.
+type Request struct {
+	// Tenant is the fairness bucket (workspace name in cloudlessd).
+	Tenant string
+	// Kind labels the work ("plan", "apply", "drift", "recover", ...).
+	Kind string
+	// Cost is the job's scheduling cost in abstract units (default 1).
+	// Bigger jobs push their tenant's virtual time further ahead, so a
+	// tenant submitting heavy applies yields dispatch slots to tenants
+	// submitting cheap plans.
+	Cost float64
+	// Fn does the work. The context is canceled by Cancel and by queue
+	// shutdown; Fn must honor it.
+	Fn func(ctx context.Context) (any, error)
+}
+
+// View is a copyable snapshot of a job.
+type View struct {
+	ID        string    `json:"id"`
+	Tenant    string    `json:"tenant"`
+	Kind      string    `json:"kind"`
+	Status    Status    `json:"status"`
+	Submitted time.Time `json:"submitted"`
+	Started   time.Time `json:"started,omitempty"`
+	Finished  time.Time `json:"finished,omitempty"`
+	Err       string    `json:"error,omitempty"`
+}
+
+// Job is one unit of queued work. All state is guarded by the queue's
+// lock; read it through Snapshot/Result/Wait.
+type Job struct {
+	q      *Queue
+	id     string
+	tenant string
+	kind   string
+	fn     func(ctx context.Context) (any, error)
+
+	status    Status
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	err       error
+	result    any
+	cancel    context.CancelFunc
+	done      chan struct{}
+}
+
+// ID returns the job's queue-unique identifier.
+func (j *Job) ID() string { return j.id }
+
+// Snapshot returns a copy of the job's current state.
+func (j *Job) Snapshot() View {
+	j.q.mu.Lock()
+	defer j.q.mu.Unlock()
+	return j.viewLocked()
+}
+
+func (j *Job) viewLocked() View {
+	v := View{
+		ID: j.id, Tenant: j.tenant, Kind: j.kind, Status: j.status,
+		Submitted: j.submitted, Started: j.started, Finished: j.finished,
+	}
+	if j.err != nil {
+		v.Err = j.err.Error()
+	}
+	return v
+}
+
+// Wait blocks until the job reaches a terminal state or ctx is done, then
+// returns the final snapshot.
+func (j *Job) Wait(ctx context.Context) (View, error) {
+	select {
+	case <-j.done:
+		return j.Snapshot(), nil
+	case <-ctx.Done():
+		return j.Snapshot(), ctx.Err()
+	}
+}
+
+// Result returns the Fn return values once the job is terminal (nil, nil
+// before that, and for canceled jobs).
+func (j *Job) Result() (any, error) {
+	j.q.mu.Lock()
+	defer j.q.mu.Unlock()
+	if !j.status.Terminal() {
+		return nil, nil
+	}
+	return j.result, j.err
+}
+
+// Options tune New.
+type Options struct {
+	// Workers is the dispatch ceiling (default 4). The effective ceiling
+	// adapts below this under congestion unless FixedAdmission is set.
+	Workers int
+	// FixedAdmission pins concurrency at Workers (no AIMD adaptation).
+	FixedAdmission bool
+	// MaxQueuedPerTenant bounds one tenant's backlog (default 256);
+	// Submit past it fails with *ErrQueueFull.
+	MaxQueuedPerTenant int
+	// DefaultWeight is the fair-share weight for tenants not in Weights
+	// (default 1).
+	DefaultWeight float64
+	// Weights grants specific tenants a larger or smaller fair share.
+	Weights map[string]float64
+	// Clock supplies timestamps (default time.Now); tests pin it.
+	Clock func() time.Time
+}
+
+// Queue runs submitted jobs on a worker pool in fair-share order.
+type Queue struct {
+	opts Options
+	gate *provider.AdmissionGate
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	sched      *sfq
+	jobs       map[string]*Job
+	backlog    map[string]int // queued per tenant, for admission
+	nextID     int
+	closed     bool
+	wg         sync.WaitGroup
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+}
+
+// New builds and starts a queue.
+func New(opts Options) *Queue {
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+	if opts.MaxQueuedPerTenant <= 0 {
+		opts.MaxQueuedPerTenant = 256
+	}
+	if opts.DefaultWeight <= 0 {
+		opts.DefaultWeight = 1
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	q := &Queue{
+		opts:    opts,
+		gate:    provider.NewAdmissionGate(opts.Workers, opts.FixedAdmission),
+		sched:   newSFQ(),
+		jobs:    map[string]*Job{},
+		backlog: map[string]int{},
+	}
+	q.cond = sync.NewCond(&q.mu)
+	q.baseCtx, q.baseCancel = context.WithCancel(context.Background())
+	for i := 0; i < opts.Workers; i++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q
+}
+
+// Gate exposes the admission gate (window/queue introspection).
+func (q *Queue) Gate() *provider.AdmissionGate { return q.gate }
+
+func (q *Queue) weight(tenant string) float64 {
+	if w, ok := q.opts.Weights[tenant]; ok && w > 0 {
+		return w
+	}
+	return q.opts.DefaultWeight
+}
+
+// Submit enqueues a job. It fails fast with ErrClosed after Shutdown and
+// with *ErrQueueFull when the tenant's backlog is at its limit.
+func (q *Queue) Submit(req Request) (*Job, error) {
+	if req.Fn == nil {
+		return nil, errors.New("jobs: Request.Fn is required")
+	}
+	if req.Tenant == "" {
+		req.Tenant = "default"
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, ErrClosed
+	}
+	if q.backlog[req.Tenant] >= q.opts.MaxQueuedPerTenant {
+		return nil, &ErrQueueFull{Tenant: req.Tenant, Limit: q.opts.MaxQueuedPerTenant}
+	}
+	q.nextID++
+	j := &Job{
+		q: q, id: fmt.Sprintf("j-%06d", q.nextID),
+		tenant: req.Tenant, kind: req.Kind, fn: req.Fn,
+		status: StatusQueued, submitted: q.opts.Clock(),
+		done: make(chan struct{}),
+	}
+	q.jobs[j.id] = j
+	q.backlog[req.Tenant]++
+	q.sched.push(req.Tenant, q.weight(req.Tenant), req.Cost, j)
+	q.cond.Signal()
+	return j, nil
+}
+
+// Get returns a job by ID.
+func (q *Queue) Get(id string) (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	return j, ok
+}
+
+// List snapshots jobs, newest first; tenant "" lists all tenants.
+func (q *Queue) List(tenant string) []View {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []View
+	for _, j := range q.jobs {
+		if tenant == "" || j.tenant == tenant {
+			out = append(out, j.viewLocked())
+		}
+	}
+	// Deterministic order: IDs are zero-padded sequence numbers.
+	sort.Slice(out, func(i, k int) bool { return out[i].ID > out[k].ID })
+	return out
+}
+
+// Cancel stops a job: a queued job is removed and marked canceled, a
+// running job has its context canceled (it stays running until Fn returns,
+// then finishes canceled). Canceling a terminal job is a no-op. Reports
+// whether the job exists.
+func (q *Queue) Cancel(id string) bool {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	if !ok {
+		q.mu.Unlock()
+		return false
+	}
+	switch j.status {
+	case StatusQueued:
+		q.sched.remove(j)
+		q.backlog[j.tenant]--
+		j.status = StatusCanceled
+		j.err = context.Canceled
+		j.finished = q.opts.Clock()
+		close(j.done)
+	case StatusRunning:
+		j.cancel()
+	}
+	q.mu.Unlock()
+	return true
+}
+
+// next blocks for the next dispatchable job; nil means the queue closed.
+func (q *Queue) next() *Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if j := q.sched.pop(); j != nil {
+			q.backlog[j.tenant]--
+			return j
+		}
+		if q.closed {
+			return nil
+		}
+		q.cond.Wait()
+	}
+}
+
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for {
+		j := q.next()
+		if j == nil {
+			return
+		}
+		// Admission: under congestion the AIMD window drops below the
+		// worker count and excess workers block here, shrinking effective
+		// concurrency without abandoning the job they already claimed.
+		if err := q.gate.Acquire(q.baseCtx); err != nil {
+			q.finish(j, nil, err)
+			continue
+		}
+		jctx, cancel := context.WithCancel(context.WithValue(q.baseCtx, jobIDKey{}, j.id))
+		q.mu.Lock()
+		j.status = StatusRunning
+		j.started = q.opts.Clock()
+		j.cancel = cancel
+		q.mu.Unlock()
+
+		res, err := j.fn(jctx)
+		latency := q.opts.Clock().Sub(j.started)
+		cancel()
+		q.gate.Release()
+		now := q.opts.Clock()
+		if cloud.IsThrottled(err) {
+			q.gate.OnCongestion(now)
+		} else {
+			q.gate.OnSuccess(latency, now)
+		}
+		q.finish(j, res, err)
+	}
+}
+
+// finish moves a dispatched job to its terminal state.
+func (q *Queue) finish(j *Job, res any, err error) {
+	q.mu.Lock()
+	j.result = res
+	j.err = err
+	j.finished = q.opts.Clock()
+	switch {
+	case errors.Is(err, context.Canceled):
+		j.status = StatusCanceled
+	case err != nil:
+		j.status = StatusFailed
+	default:
+		j.status = StatusSucceeded
+	}
+	close(j.done)
+	q.mu.Unlock()
+}
+
+// QueuedLen reports how many jobs are waiting for dispatch.
+func (q *Queue) QueuedLen() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.sched.len()
+}
+
+// Shutdown stops the queue: new submits fail, still-queued jobs are
+// canceled, and running jobs get until ctx expires to finish before their
+// contexts are canceled. Always waits for workers to exit.
+func (q *Queue) Shutdown(ctx context.Context) error {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		for {
+			j := q.sched.pop()
+			if j == nil {
+				break
+			}
+			q.backlog[j.tenant]--
+			j.status = StatusCanceled
+			j.err = context.Canceled
+			j.finished = q.opts.Clock()
+			close(j.done)
+		}
+		q.cond.Broadcast()
+	}
+	q.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		q.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,46 @@
+package provider
+
+import (
+	"context"
+	"time"
+)
+
+// AdmissionGate exports the runtime's AIMD congestion gate for reuse as an
+// admission controller outside the dispatch layer (the jobs queue sits one
+// of these in front of its workers, so sustained downstream congestion —
+// throttled or latency-spiking jobs — shrinks how many jobs run at once
+// instead of piling more load onto a struggling cloud).
+type AdmissionGate struct{ g *gate }
+
+// NewAdmissionGate builds a gate with the given concurrency ceiling.
+// fixed pins the window at the ceiling (no adaptation).
+func NewAdmissionGate(maxInFlight int, fixed bool) *AdmissionGate {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	return &AdmissionGate{g: newGate(float64(maxInFlight), fixed)}
+}
+
+// Acquire blocks until a slot is available under the current window, or
+// ctx is done.
+func (a *AdmissionGate) Acquire(ctx context.Context) error { return a.g.Acquire(ctx) }
+
+// Release frees the slot taken by Acquire.
+func (a *AdmissionGate) Release() { a.g.Release() }
+
+// OnSuccess applies additive increase, with internal latency-spike
+// detection (a call much slower than the smoothed latency counts as
+// congestion).
+func (a *AdmissionGate) OnSuccess(latency time.Duration, now time.Time) {
+	a.g.OnSuccess(latency, now)
+}
+
+// OnCongestion applies multiplicative decrease for an explicit throttle
+// signal.
+func (a *AdmissionGate) OnCongestion(now time.Time) { a.g.OnCongestion(now) }
+
+// Window returns the current congestion window (slots).
+func (a *AdmissionGate) Window() float64 { return a.g.Window() }
+
+// Queued returns how many callers are waiting for a slot.
+func (a *AdmissionGate) Queued() int { return a.g.Queued() }

@@ -1,0 +1,227 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"cloudless/internal/jobs"
+	"cloudless/internal/state"
+)
+
+// Client is the Go client for the cloudlessd API (cloudlessctl's remote
+// mode and the test/bench harnesses ride on it).
+type Client struct {
+	base  string
+	token string
+	http  *http.Client
+}
+
+// NewClient builds a client for the server at base (e.g.
+// "http://127.0.0.1:8445"). token may be empty when the server runs
+// without auth.
+func NewClient(base, token string, hc *http.Client) *Client {
+	if hc == nil {
+		// Timeout must exceed the long-poll ceiling.
+		hc = &http.Client{Timeout: maxEventWait + 30*time.Second}
+	}
+	return &Client{base: base, token: token, http: hc}
+}
+
+// APIError is a non-2xx response.
+type APIError struct {
+	Code    int
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("cloudlessd: %s (HTTP %d)", e.Message, e.Code)
+}
+
+// do runs one request, decoding a JSON response into out (nil discards).
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode >= 300 {
+		var ae apiError
+		if json.Unmarshal(raw, &ae) == nil && ae.Error != "" {
+			return &APIError{Code: resp.StatusCode, Message: ae.Error}
+		}
+		return &APIError{Code: resp.StatusCode, Message: string(raw)}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, out)
+}
+
+// Healthz checks server liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}
+
+// ListWorkspaces returns the workspace names this principal can access.
+func (c *Client) ListWorkspaces(ctx context.Context) ([]string, error) {
+	var out struct {
+		Workspaces []string `json:"workspaces"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/workspaces", nil, &out)
+	return out.Workspaces, err
+}
+
+// CreateWorkspace opens a workspace on the server.
+func (c *Client) CreateWorkspace(ctx context.Context, req CreateWorkspaceRequest) (WorkspaceInfo, error) {
+	var out WorkspaceInfo
+	err := c.do(ctx, http.MethodPost, "/v1/workspaces", req, &out)
+	return out, err
+}
+
+// GetWorkspace describes a workspace.
+func (c *Client) GetWorkspace(ctx context.Context, name string) (WorkspaceInfo, error) {
+	var out WorkspaceInfo
+	err := c.do(ctx, http.MethodGet, "/v1/workspaces/"+url.PathEscape(name), nil, &out)
+	return out, err
+}
+
+// DeleteWorkspace drain-closes a workspace.
+func (c *Client) DeleteWorkspace(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/workspaces/"+url.PathEscape(name), nil, nil)
+}
+
+// SubmitJob queues a lifecycle job and returns its initial status.
+func (c *Client) SubmitJob(ctx context.Context, ws string, req JobRequest) (JobStatus, error) {
+	var out JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/workspaces/"+url.PathEscape(ws)+"/jobs", req, &out)
+	return out, err
+}
+
+// GetJob fetches a job's status; waitMS > 0 long-polls for completion.
+func (c *Client) GetJob(ctx context.Context, ws, id string, waitMS int) (JobStatus, error) {
+	path := "/v1/workspaces/" + url.PathEscape(ws) + "/jobs/" + url.PathEscape(id)
+	if waitMS > 0 {
+		path += "?wait_ms=" + strconv.Itoa(waitMS)
+	}
+	var out JobStatus
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// WaitJob polls until the job is terminal or ctx is done.
+func (c *Client) WaitJob(ctx context.Context, ws, id string) (JobStatus, error) {
+	for {
+		st, err := c.GetJob(ctx, ws, id, 10_000)
+		if err != nil {
+			return st, err
+		}
+		if st.Status.Terminal() {
+			return st, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
+	}
+}
+
+// ListJobs lists the workspace's jobs, newest first.
+func (c *Client) ListJobs(ctx context.Context, ws string) ([]jobs.View, error) {
+	var out struct {
+		Jobs []jobs.View `json:"jobs"`
+	}
+	err := c.do(ctx, http.MethodGet, "/v1/workspaces/"+url.PathEscape(ws)+"/jobs", nil, &out)
+	return out.Jobs, err
+}
+
+// CancelJob cancels a queued or running job.
+func (c *Client) CancelJob(ctx context.Context, ws, id string) (JobStatus, error) {
+	var out JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/workspaces/"+url.PathEscape(ws)+"/jobs/"+url.PathEscape(id)+"/cancel", struct{}{}, &out)
+	return out, err
+}
+
+// PlanArtifact fetches the diff artifact a plan job stored.
+func (c *Client) PlanArtifact(ctx context.Context, ws, id string) (PlanSummary, error) {
+	var out PlanSummary
+	err := c.do(ctx, http.MethodGet, "/v1/workspaces/"+url.PathEscape(ws)+"/jobs/"+url.PathEscape(id)+"/plan", nil, &out)
+	return out, err
+}
+
+// Events long-polls the workspace event stream from a watermark. Resume by
+// passing the returned page's Next as the next call's since.
+func (c *Client) Events(ctx context.Context, ws string, since int64, wait time.Duration) (EventsPage, error) {
+	path := fmt.Sprintf("/v1/workspaces/%s/events?since=%d", url.PathEscape(ws), since)
+	if wait > 0 {
+		path += "&wait_ms=" + strconv.FormatInt(wait.Milliseconds(), 10)
+	}
+	var out EventsPage
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// State fetches the workspace's golden state.
+func (c *Client) State(ctx context.Context, ws string) (*state.State, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/workspaces/"+url.PathEscape(ws)+"/state", nil)
+	if err != nil {
+		return nil, err
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		return nil, &APIError{Code: resp.StatusCode, Message: string(raw)}
+	}
+	return state.Decode(raw)
+}
+
+// ResultAs decodes a JobStatus result (a map after JSON round-tripping)
+// into the kind's typed summary.
+func ResultAs[T any](st JobStatus) (T, error) {
+	var out T
+	raw, err := json.Marshal(st.Result)
+	if err != nil {
+		return out, err
+	}
+	err = json.Unmarshal(raw, &out)
+	return out, err
+}

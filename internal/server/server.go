@@ -1,0 +1,654 @@
+// Package server is cloudlessd's HTTP/JSON control plane (DESIGN.md S27):
+// an authenticated multi-tenant API over a workspace.Manager and a
+// jobs.Queue. Bearer tokens map to principals; each workspace carries an
+// ACL (creator + configured admins); every lifecycle operation runs as an
+// async job with per-tenant fair scheduling; events stream per workspace
+// via long-poll with watermark resume; and /metrics aggregates every
+// workspace's registry under a `workspace` label.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cloudless/internal/drift"
+	"cloudless/internal/events"
+	"cloudless/internal/jobs"
+	"cloudless/internal/plan"
+	"cloudless/internal/telemetry"
+	"cloudless/internal/workspace"
+)
+
+const (
+	// maxBody bounds request bodies (sources included).
+	maxBody = 4 << 20
+	// maxEventWait / defaultEventWait bound the events long-poll, matching
+	// the cloud sim's wire behaviour.
+	maxEventWait = 60 * time.Second
+	// artifactKeep bounds retained plan/drift artifacts per server.
+	artifactKeep = 256
+)
+
+// Options configure New.
+type Options struct {
+	// Manager hosts the workspaces. Required.
+	Manager *workspace.Manager
+	// Queue runs the jobs. Required.
+	Queue *jobs.Queue
+	// Tokens maps bearer token -> principal. Empty disables auth entirely
+	// (every request runs as principal "anonymous" with full access) —
+	// meant for local development only.
+	Tokens map[string]string
+	// Admins lists principals that can access every workspace.
+	Admins []string
+	// Logger receives request-level logs (nil = slog default).
+	Logger *slog.Logger
+}
+
+// artifacts is a bounded store of job outputs that later jobs or GETs
+// reference (plans for apply-by-reference, drift reports for reconcile).
+type artifacts struct {
+	mu    sync.Mutex
+	plans map[string]*plan.Plan
+	drift map[string]*drift.Report
+	order []string
+}
+
+func (a *artifacts) put(jobID string, p *plan.Plan, d *drift.Report) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if p != nil {
+		a.plans[jobID] = p
+	}
+	if d != nil {
+		a.drift[jobID] = d
+	}
+	a.order = append(a.order, jobID)
+	for len(a.order) > artifactKeep {
+		old := a.order[0]
+		a.order = a.order[1:]
+		delete(a.plans, old)
+		delete(a.drift, old)
+	}
+}
+
+func (a *artifacts) getPlan(jobID string) *plan.Plan {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.plans[jobID]
+}
+
+func (a *artifacts) getDrift(jobID string) *drift.Report {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.drift[jobID]
+}
+
+// Server is the cloudlessd API.
+type Server struct {
+	mgr    *workspace.Manager
+	queue  *jobs.Queue
+	tokens map[string]string
+	admins map[string]bool
+	log    *slog.Logger
+	art    *artifacts
+
+	mu   sync.Mutex
+	acls map[string]map[string]bool // workspace -> allowed principals
+
+	mux  *http.ServeMux
+	http *http.Server
+}
+
+// New builds the API server.
+func New(opts Options) *Server {
+	if opts.Logger == nil {
+		opts.Logger = slog.Default()
+	}
+	s := &Server{
+		mgr:    opts.Manager,
+		queue:  opts.Queue,
+		tokens: opts.Tokens,
+		admins: map[string]bool{},
+		log:    opts.Logger,
+		art:    &artifacts{plans: map[string]*plan.Plan{}, drift: map[string]*drift.Report{}},
+		acls:   map[string]map[string]bool{},
+	}
+	for _, a := range opts.Admins {
+		s.admins[a] = true
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/workspaces", s.auth(s.handleListWorkspaces))
+	mux.HandleFunc("POST /v1/workspaces", s.auth(s.handleCreateWorkspace))
+	mux.HandleFunc("GET /v1/workspaces/{name}", s.auth(s.workspaceHandler(s.handleGetWorkspace)))
+	mux.HandleFunc("DELETE /v1/workspaces/{name}", s.auth(s.workspaceHandler(s.handleDeleteWorkspace)))
+	mux.HandleFunc("POST /v1/workspaces/{name}/jobs", s.auth(s.workspaceHandler(s.handleSubmitJob)))
+	mux.HandleFunc("GET /v1/workspaces/{name}/jobs", s.auth(s.workspaceHandler(s.handleListJobs)))
+	mux.HandleFunc("GET /v1/workspaces/{name}/jobs/{id}", s.auth(s.workspaceHandler(s.handleGetJob)))
+	mux.HandleFunc("POST /v1/workspaces/{name}/jobs/{id}/cancel", s.auth(s.workspaceHandler(s.handleCancelJob)))
+	mux.HandleFunc("GET /v1/workspaces/{name}/jobs/{id}/plan", s.auth(s.workspaceHandler(s.handlePlanArtifact)))
+	mux.HandleFunc("GET /v1/workspaces/{name}/events", s.auth(s.workspaceHandler(s.handleEvents)))
+	mux.HandleFunc("GET /v1/workspaces/{name}/state", s.auth(s.workspaceHandler(s.handleState)))
+	s.mux = mux
+	return s
+}
+
+// Handler exposes the routed handler (httptest servers mount this).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ListenAndServe serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	s.http = &http.Server{
+		Addr:              addr,
+		Handler:           s.mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		// Write timeout must exceed the events long-poll ceiling.
+		WriteTimeout: maxEventWait + 30*time.Second,
+		IdleTimeout:  2 * time.Minute,
+	}
+	err := s.http.ListenAndServe()
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains in flight-first order: stop accepting HTTP, stop the job
+// queue (running jobs get ctx's budget), then drain-close every workspace.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var first error
+	if s.http != nil {
+		if err := s.http.Shutdown(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := s.queue.Shutdown(ctx); err != nil && first == nil {
+		first = err
+	}
+	if err := s.mgr.CloseAll(ctx); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// ---- auth & ACLs ----
+
+type principalKey struct{}
+
+// auth resolves the bearer token to a principal and stashes it in the
+// request context. With no tokens configured every request is admitted as
+// "anonymous".
+func (s *Server) auth(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		principal := "anonymous"
+		if len(s.tokens) > 0 {
+			h := r.Header.Get("Authorization")
+			tok, ok := strings.CutPrefix(h, "Bearer ")
+			if !ok || tok == "" {
+				writeError(w, http.StatusUnauthorized, "missing bearer token")
+				return
+			}
+			p, ok := s.tokens[tok]
+			if !ok {
+				writeError(w, http.StatusUnauthorized, "unknown token")
+				return
+			}
+			principal = p
+		}
+		next(w, r.WithContext(context.WithValue(r.Context(), principalKey{}, principal)))
+	}
+}
+
+func principalOf(r *http.Request) string {
+	p, _ := r.Context().Value(principalKey{}).(string)
+	return p
+}
+
+// allowed reports whether the principal can touch the workspace.
+func (s *Server) allowed(principal, ws string) bool {
+	if s.admins[principal] || len(s.tokens) == 0 {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acls[ws][principal]
+}
+
+// grant adds the principal to a workspace's ACL.
+func (s *Server) grant(principal, ws string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.acls[ws] == nil {
+		s.acls[ws] = map[string]bool{}
+	}
+	s.acls[ws][principal] = true
+}
+
+// workspaceHandler resolves {name}, enforces the ACL, and hands the
+// workspace to the inner handler.
+func (s *Server) workspaceHandler(next func(http.ResponseWriter, *http.Request, string, *workspace.Workspace)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if !s.allowed(principalOf(r), name) {
+			writeError(w, http.StatusForbidden, "workspace access denied")
+			return
+		}
+		ws, err := s.mgr.Get(name)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		next(w, r, name, ws)
+	}
+}
+
+// ---- handlers ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok", "workspaces": s.mgr.Len(), "jobs_queued": s.queue.QueuedLen(),
+	})
+}
+
+// handleMetrics aggregates every workspace's registry into one scrape,
+// each point labeled with its workspace, plus process-wide queue gauges.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var all []telemetry.MetricPoint
+	for _, name := range s.mgr.List() {
+		ws, err := s.mgr.Get(name)
+		if err != nil {
+			continue
+		}
+		reg := ws.Telemetry().Metrics()
+		if reg == nil {
+			continue
+		}
+		all = append(all, telemetry.Relabel(reg.Snapshot(), "workspace", name)...)
+	}
+	all = append(all,
+		telemetry.MetricPoint{Name: "cloudless_jobs_queued", Kind: "gauge", Value: float64(s.queue.QueuedLen())},
+		telemetry.MetricPoint{Name: "cloudless_jobs_window", Kind: "gauge", Value: s.queue.Gate().Window()},
+		telemetry.MetricPoint{Name: "cloudless_workspaces", Kind: "gauge", Value: float64(s.mgr.Len())},
+	)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = telemetry.WritePrometheus(w, all)
+}
+
+func (s *Server) handleListWorkspaces(w http.ResponseWriter, r *http.Request) {
+	principal := principalOf(r)
+	var out []string
+	for _, name := range s.mgr.List() {
+		if s.allowed(principal, name) {
+			out = append(out, name)
+		}
+	}
+	if out == nil {
+		out = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"workspaces": out})
+}
+
+func (s *Server) handleCreateWorkspace(w http.ResponseWriter, r *http.Request) {
+	var req CreateWorkspaceRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if !workspace.ValidName(req.Name) {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid workspace name %q", req.Name))
+		return
+	}
+	if len(req.Sources) == 0 {
+		writeError(w, http.StatusBadRequest, "sources are required")
+		return
+	}
+	principal := principalOf(r)
+	cfg := workspace.Config{
+		Sources:      req.Sources,
+		Vars:         toGoVars(req.Vars),
+		Policies:     req.Policies,
+		StateBackend: req.StateBackend,
+		Principal:    req.Name,
+		GuardApplies: req.GuardApplies,
+		GuardCanary:  req.GuardCanary,
+	}
+	ws, err := s.mgr.Open(req.Name, cfg)
+	if err != nil {
+		var exists *workspace.ErrWorkspaceExists
+		if errors.As(err, &exists) {
+			writeError(w, http.StatusConflict, err.Error())
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.grant(principal, req.Name)
+	s.log.Info("workspace created", "workspace", req.Name, "principal", principal)
+	writeJSON(w, http.StatusCreated, s.info(req.Name, ws, false))
+}
+
+func (s *Server) info(name string, ws *workspace.Workspace, verbose bool) WorkspaceInfo {
+	snap := ws.DB().Snapshot()
+	inf := WorkspaceInfo{Name: name, Serial: snap.Serial, Resources: len(snap.Addrs())}
+	if verbose {
+		inf.Instances = ws.Instances()
+		inf.Outputs = ws.DisplayOutputs()
+	}
+	return inf
+}
+
+func (s *Server) handleGetWorkspace(w http.ResponseWriter, r *http.Request, name string, ws *workspace.Workspace) {
+	writeJSON(w, http.StatusOK, s.info(name, ws, true))
+}
+
+func (s *Server) handleDeleteWorkspace(w http.ResponseWriter, r *http.Request, name string, _ *workspace.Workspace) {
+	if err := s.mgr.Close(r.Context(), name); err != nil {
+		var closed *workspace.ErrClosed
+		if errors.As(err, &closed) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			writeError(w, http.StatusConflict, err.Error())
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.log.Info("workspace closed", "workspace", name)
+	writeJSON(w, http.StatusOK, map[string]any{"closed": name})
+}
+
+// handleSubmitJob queues one lifecycle operation. The job's tenant is the
+// workspace, so the queue's fair scheduler arbitrates between workspaces.
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request, name string, ws *workspace.Workspace) {
+	var req JobRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	fn, cost, err := s.jobFn(name, ws, req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	job, err := s.queue.Submit(jobs.Request{Tenant: name, Kind: req.Kind, Cost: cost, Fn: fn})
+	if err != nil {
+		var full *jobs.ErrQueueFull
+		if errors.As(err, &full) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err.Error())
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, JobStatus{View: job.Snapshot()})
+}
+
+// jobFn builds the work function for a job request. Each fn returns the
+// kind's wire summary, so job results marshal cleanly.
+func (s *Server) jobFn(name string, ws *workspace.Workspace, req JobRequest) (func(ctx context.Context) (any, error), float64, error) {
+	switch req.Kind {
+	case "plan":
+		return func(ctx context.Context) (any, error) {
+			p, err := ws.Replan(ctx)
+			if err != nil {
+				return nil, err
+			}
+			// The full plan is retained server-side as an artifact: GETtable
+			// as a diff, and consumable by a later apply via plan_job.
+			s.art.put(jobs.JobID(ctx), p, nil)
+			return summarizePlan(p), nil
+		}, 1, nil
+	case "apply":
+		cost := float64(len(ws.Instances()))
+		if cost < 1 {
+			cost = 1
+		}
+		planJob := req.PlanJob
+		return func(ctx context.Context) (any, error) {
+			var p *plan.Plan
+			if planJob != "" {
+				if p = s.art.getPlan(planJob); p == nil {
+					return nil, fmt.Errorf("plan artifact %s not found (expired or never a plan job)", planJob)
+				}
+			} else {
+				var err error
+				if p, err = ws.Replan(ctx); err != nil {
+					return nil, err
+				}
+			}
+			res, _, err := ws.Apply(ctx, p, workspace.ApplyOptions{
+				Concurrency: req.Concurrency, BatchOps: req.BatchOps,
+			})
+			if res == nil {
+				return nil, err
+			}
+			sum := summarizeApply(res, ws.DB().Snapshot().Serial, ws.DisplayOutputs())
+			return sum, err
+		}, cost, nil
+	case "destroy":
+		cost := float64(len(ws.DB().Snapshot().Addrs()))
+		if cost < 1 {
+			cost = 1
+		}
+		return func(ctx context.Context) (any, error) {
+			res, err := ws.Destroy(ctx)
+			if res == nil {
+				return nil, err
+			}
+			return summarizeApply(res, ws.DB().Snapshot().Serial, nil), err
+		}, cost, nil
+	case "drift":
+		return func(ctx context.Context) (any, error) {
+			rep, err := ws.WatchDrift(ctx)
+			if err != nil {
+				return nil, err
+			}
+			s.art.put(jobs.JobID(ctx), nil, rep)
+			return summarizeDrift(rep), nil
+		}, 1, nil
+	case "scan":
+		return func(ctx context.Context) (any, error) {
+			rep, err := ws.ScanDrift(ctx)
+			if err != nil {
+				return nil, err
+			}
+			s.art.put(jobs.JobID(ctx), nil, rep)
+			return summarizeDrift(rep), nil
+		}, 2, nil
+	case "reconcile":
+		action, ok := map[string]drift.Action{
+			"adopt": drift.Adopt, "revert": drift.Revert, "notify": drift.Notify,
+		}[req.Action]
+		if !ok {
+			return nil, 0, fmt.Errorf("unknown reconcile action %q (adopt|revert|notify)", req.Action)
+		}
+		driftJob := req.DriftJob
+		if driftJob == "" {
+			return nil, 0, errors.New("reconcile requires drift_job (a finished drift/scan job id)")
+		}
+		return func(ctx context.Context) (any, error) {
+			rep := s.art.getDrift(driftJob)
+			if rep == nil {
+				return nil, fmt.Errorf("drift artifact %s not found (expired or never a drift job)", driftJob)
+			}
+			res, err := ws.ReconcileDrift(ctx, rep, action)
+			if err != nil {
+				return nil, err
+			}
+			sum := ReconcileSummary{Adopted: res.Adopted, Reverted: res.Reverted, Notified: res.Notified}
+			if len(res.Errors) > 0 {
+				sum.Errors = map[string]string{}
+				for k, e := range res.Errors {
+					sum.Errors[k] = e.Error()
+				}
+			}
+			return sum, nil
+		}, 1, nil
+	case "recover":
+		return func(ctx context.Context) (any, error) {
+			rep, err := ws.Recover(ctx)
+			if err != nil {
+				return nil, err
+			}
+			return summarizeRecover(rep), nil
+		}, 1, nil
+	default:
+		return nil, 0, fmt.Errorf("unknown job kind %q (plan|apply|destroy|drift|scan|reconcile|recover)", req.Kind)
+	}
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, _ *http.Request, name string, _ *workspace.Workspace) {
+	views := s.queue.List(name)
+	if views == nil {
+		views = []jobs.View{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+}
+
+// jobForWorkspace fetches a job and checks it belongs to the workspace (a
+// tenant must not read another tenant's jobs through its own ACL).
+func (s *Server) jobForWorkspace(w http.ResponseWriter, name, id string) (*jobs.Job, bool) {
+	job, ok := s.queue.Get(id)
+	if !ok || job.Snapshot().Tenant != name {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("job %s not found in workspace %s", id, name))
+		return nil, false
+	}
+	return job, true
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request, name string, _ *workspace.Workspace) {
+	job, ok := s.jobForWorkspace(w, name, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	// ?wait_ms long-polls for completion.
+	if ms, _ := strconv.Atoi(r.URL.Query().Get("wait_ms")); ms > 0 {
+		wait := time.Duration(ms) * time.Millisecond
+		if wait > maxEventWait {
+			wait = maxEventWait
+		}
+		wctx, cancel := context.WithTimeout(r.Context(), wait)
+		_, _ = job.Wait(wctx)
+		cancel()
+	}
+	st := JobStatus{View: job.Snapshot()}
+	if res, _ := job.Result(); res != nil {
+		st.Result = res
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request, name string, _ *workspace.Workspace) {
+	job, ok := s.jobForWorkspace(w, name, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	s.queue.Cancel(job.ID())
+	writeJSON(w, http.StatusOK, JobStatus{View: job.Snapshot()})
+}
+
+// handlePlanArtifact serves the stored diff artifact of a plan job.
+func (s *Server) handlePlanArtifact(w http.ResponseWriter, r *http.Request, name string, _ *workspace.Workspace) {
+	job, ok := s.jobForWorkspace(w, name, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	p := s.art.getPlan(job.ID())
+	if p == nil {
+		writeError(w, http.StatusNotFound, "no plan artifact for this job (not a plan job, or expired)")
+		return
+	}
+	writeJSON(w, http.StatusOK, summarizePlan(p))
+}
+
+// handleEvents long-polls the workspace's event bus with watermark resume:
+// ?since=N returns events with Seq > N, waiting up to ?wait_ms for the
+// first one. Subscribe-then-replay makes the handoff gapless.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, name string, ws *workspace.Workspace) {
+	q := r.URL.Query()
+	since, _ := strconv.ParseInt(q.Get("since"), 10, 64)
+	wait := time.Duration(0)
+	if ms, err := strconv.Atoi(q.Get("wait_ms")); err == nil && ms > 0 {
+		wait = time.Duration(ms) * time.Millisecond
+		if wait > maxEventWait {
+			wait = maxEventWait
+		}
+	}
+	bus := ws.Events()
+	var evs []events.Event
+	if wait > 0 {
+		sub := bus.Subscribe(events.Filter{}, 0)
+		defer sub.Close()
+		evs = bus.Since(since)
+		if len(evs) == 0 {
+			timer := time.NewTimer(wait)
+			defer timer.Stop()
+			select {
+			case <-sub.C():
+				// Small linger so one response batches a burst instead of
+				// one round-trip per event.
+				time.Sleep(5 * time.Millisecond)
+				evs = bus.Since(since)
+			case <-timer.C:
+			case <-r.Context().Done():
+				return
+			}
+		}
+	} else {
+		evs = bus.Since(since)
+	}
+	page := EventsPage{Events: make([]WireEvent, 0, len(evs)), Next: since}
+	for _, e := range evs {
+		page.Events = append(page.Events, WireEvent(e))
+		if e.Seq > page.Next {
+			page.Next = e.Seq
+		}
+	}
+	writeJSON(w, http.StatusOK, page)
+}
+
+// handleState serves the workspace's golden state (the state-file JSON).
+func (s *Server) handleState(w http.ResponseWriter, _ *http.Request, name string, ws *workspace.Workspace) {
+	raw, err := ws.DB().Snapshot().Encode()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(raw)
+}
+
+// ---- helpers ----
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, apiError{Error: msg, Code: code})
+}
+
+// readJSON decodes a bounded request body, writing a 400 on failure.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		writeError(w, http.StatusBadRequest, "decode body: "+err.Error())
+		return false
+	}
+	return true
+}

@@ -58,6 +58,40 @@ func (r *Registry) Prometheus(w io.Writer) error {
 	return WritePrometheus(w, r.Snapshot())
 }
 
+// Relabel returns a copy of points with an extra label pair injected into
+// every metric key, preserving the registry's canonical sorted-label form.
+// A multi-workspace host uses this to merge per-workspace registries into
+// one scrape with a distinguishing label.
+func Relabel(points []MetricPoint, key, value string) []MetricPoint {
+	out := make([]MetricPoint, len(points))
+	for i, p := range points {
+		name, labels := splitMetricKey(p.Name)
+		at := len(labels)
+		for j, kv := range labels {
+			if kv[0] >= key {
+				at = j
+				break
+			}
+		}
+		labels = append(labels[:at], append([][2]string{{key, value}}, labels[at:]...)...)
+		var b strings.Builder
+		b.WriteString(name)
+		b.WriteByte('{')
+		for j, kv := range labels {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(kv[0])
+			b.WriteByte('=')
+			b.WriteString(kv[1])
+		}
+		b.WriteByte('}')
+		p.Name = b.String()
+		out[i] = p
+	}
+	return out
+}
+
 // splitMetricKey parses the registry's "name{k=v,k=v}" key form back into
 // the bare name and label pairs.
 func splitMetricKey(key string) (string, [][2]string) {

@@ -1,0 +1,227 @@
+package workspace_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"cloudless/internal/cloud"
+	"cloudless/internal/events"
+	"cloudless/internal/workspace"
+)
+
+func newSim() cloud.Interface {
+	opts := cloud.DefaultOptions()
+	opts.DisableRateLimit = true
+	return cloud.NewSim(opts)
+}
+
+// tenantSource gives each tenant its own tiny two-resource program. Names
+// embed the tenant so the shared simulated account stays readable, though
+// isolation must hold regardless.
+func tenantSource(tenant string) map[string]string {
+	return map[string]string{"main.ccl": fmt.Sprintf(`
+resource "aws_vpc" "net" {
+  name       = "net-%[1]s"
+  cidr_block = "10.0.0.0/16"
+}
+resource "aws_subnet" "app" {
+  vpc_id     = aws_vpc.net.id
+  cidr_block = cidrsubnet(aws_vpc.net.cidr_block, 8, 1)
+}
+output "vpc_id" { value = aws_vpc.net.id }
+`, tenant)}
+}
+
+// TestManagerHostsManyIsolatedWorkspaces drives 100 workspaces through
+// open -> plan -> apply concurrently on one shared cloud endpoint and then
+// checks there is zero cross-tenant observation: each workspace's golden
+// state holds exactly its own two resources, serials advanced independently,
+// and each event bus carries exactly one run's events.
+func TestManagerHostsManyIsolatedWorkspaces(t *testing.T) {
+	mgr := workspace.NewManager(workspace.ManagerOptions{Cloud: newSim()})
+	ctx := context.Background()
+
+	const n = 100
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("tenant-%03d", i)
+			ws, err := mgr.Open(name, workspace.Config{Sources: tenantSource(name)})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			p, err := ws.Plan(ctx)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s plan: %w", name, err)
+				return
+			}
+			if _, _, err := ws.Apply(ctx, p, workspace.ApplyOptions{}); err != nil {
+				errs[i] = fmt.Errorf("%s apply: %w", name, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := mgr.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+
+	vpcIDs := map[string]string{}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("tenant-%03d", i)
+		ws, err := mgr.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := ws.DB().Snapshot()
+		if len(snap.Addrs()) != 2 {
+			t.Errorf("%s: state holds %d resources, want 2 (%v)", name, len(snap.Addrs()), snap.Addrs())
+		}
+		if snap.Serial < 1 {
+			t.Errorf("%s: serial = %d, want >= 1", name, snap.Serial)
+		}
+		id, _ := ws.Outputs()["vpc_id"].(string)
+		if id == "" {
+			t.Errorf("%s: no vpc_id output", name)
+		} else if prev, dup := vpcIDs[id]; dup {
+			t.Errorf("%s: vpc_id %s already owned by %s", name, id, prev)
+		} else {
+			vpcIDs[id] = name
+		}
+		// Event-plane isolation: the bus must have seen exactly this
+		// workspace's single run, nothing from its 99 neighbours.
+		runs := map[string]bool{}
+		finishes := 0
+		for _, e := range ws.Events().Since(0) {
+			if e.Run != "" {
+				runs[e.Run] = true
+			}
+			if e.Kind == "apply.run_finish" {
+				finishes++
+			}
+		}
+		if len(runs) != 1 || finishes != 1 {
+			t.Errorf("%s: bus saw %d runs / %d run_finish events, want 1/1", name, len(runs), finishes)
+		}
+	}
+
+	if err := mgr.CloseAll(ctx); err != nil {
+		t.Fatalf("CloseAll: %v", err)
+	}
+	if got := mgr.Len(); got != 0 {
+		t.Fatalf("Len after CloseAll = %d, want 0", got)
+	}
+}
+
+func TestManagerOpenValidation(t *testing.T) {
+	mgr := workspace.NewManager(workspace.ManagerOptions{Cloud: newSim()})
+	if _, err := mgr.Open("../evil", workspace.Config{Sources: tenantSource("x")}); err == nil {
+		t.Fatal("path-traversal name accepted")
+	}
+	if _, err := mgr.Open("", workspace.Config{Sources: tenantSource("x")}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := mgr.Open("a", workspace.Config{Sources: tenantSource("a")}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := mgr.Open("a", workspace.Config{Sources: tenantSource("a")})
+	var exists *workspace.ErrWorkspaceExists
+	if !errors.As(err, &exists) {
+		t.Fatalf("duplicate open: got %v, want *ErrWorkspaceExists", err)
+	}
+	_, err = mgr.Get("missing")
+	var notFound *workspace.ErrWorkspaceNotFound
+	if !errors.As(err, &notFound) {
+		t.Fatalf("Get(missing): got %v, want *ErrWorkspaceNotFound", err)
+	}
+}
+
+// TestWorkspaceCloseRejectsNewWork proves the drain gate: after Close
+// returns, every lifecycle entry point fails with *ErrClosed and a second
+// Close is an idempotent no-op.
+func TestWorkspaceCloseRejectsNewWork(t *testing.T) {
+	mgr := workspace.NewManager(workspace.ManagerOptions{Cloud: newSim()})
+	ctx := context.Background()
+	ws, err := mgr.Open("solo", workspace.Config{Sources: tenantSource("solo")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Close(ctx, "solo"); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	var closed *workspace.ErrClosed
+	if _, err := ws.Plan(ctx); !errors.As(err, &closed) {
+		t.Fatalf("Plan after close: got %v, want *ErrClosed", err)
+	}
+	if closed.Name != "solo" {
+		t.Fatalf("ErrClosed.Name = %q", closed.Name)
+	}
+	if _, err := ws.ScanDrift(ctx); !errors.As(err, &closed) {
+		t.Fatalf("ScanDrift after close: got %v, want *ErrClosed", err)
+	}
+	if err := ws.Close(ctx); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// TestWorkspaceCloseDrainsInFlight races many appliers against Close under
+// the race detector: ops admitted before Close completes fully; ops arriving
+// after are refused; Close itself returns only once nothing is in flight.
+func TestWorkspaceCloseDrainsInFlight(t *testing.T) {
+	mgr := workspace.NewManager(workspace.ManagerOptions{Cloud: newSim()})
+	ctx := context.Background()
+	ws, err := mgr.Open("drain", workspace.Config{Sources: tenantSource("drain")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ws.Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	results := make([]error, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			if i == 0 {
+				_, _, results[i] = ws.Apply(ctx, p, workspace.ApplyOptions{})
+				return
+			}
+			_, results[i] = ws.Plan(ctx)
+		}(i)
+	}
+	close(start)
+	if err := ws.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	wg.Wait()
+	// Every op either ran to completion before the drain or was refused with
+	// the typed error — never a torn in-between.
+	var closed *workspace.ErrClosed
+	for i, err := range results {
+		if err != nil && !errors.As(err, &closed) {
+			t.Errorf("op %d: unexpected error %v", i, err)
+		}
+	}
+	// The bus is closed with the workspace; subscriptions observe EOF rather
+	// than hanging.
+	sub := ws.Events().Subscribe(events.Filter{}, 1)
+	if sub != nil {
+		sub.Close()
+	}
+}

@@ -1,0 +1,1128 @@
+// Package workspace is the hostable per-tenant core of cloudless (DESIGN.md
+// S27). A Workspace owns everything one managed infrastructure needs — the
+// expanded configuration, a golden-state engine, a policy engine, a drift
+// watcher, a journal path, an event bus, a flight recorder, a replan cache,
+// and a provider runtime with its own AIMD gates and read cache — so many
+// workspaces can live in one process with per-tenant isolation by
+// construction. The public cloudless.Stack facade is a thin single-workspace
+// client of this core; cloudlessd's Manager hosts many of them.
+package workspace
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"cloudless/internal/apply"
+	"cloudless/internal/cloud"
+	"cloudless/internal/config"
+	"cloudless/internal/diagnose"
+	"cloudless/internal/drift"
+	"cloudless/internal/eval"
+	"cloudless/internal/events"
+	"cloudless/internal/guard"
+	"cloudless/internal/hcl"
+	"cloudless/internal/health"
+	"cloudless/internal/plan"
+	"cloudless/internal/policy"
+	"cloudless/internal/provider"
+	"cloudless/internal/rollback"
+	"cloudless/internal/state"
+	"cloudless/internal/statedb"
+	"cloudless/internal/telemetry"
+	"cloudless/internal/validate"
+)
+
+// Config configures New. It mirrors the public cloudless.Options field for
+// field (the facade converts one into the other) plus the workspace name.
+type Config struct {
+	// Name identifies the workspace (tenant) in journals, events, and the
+	// server API. Empty is allowed for single-workspace (facade) use.
+	Name string
+	// Sources maps filename to CCL source. Exactly one of Sources or Dir
+	// must be set.
+	Sources map[string]string
+	// Dir loads all .ccl files from a directory.
+	Dir string
+	// Vars supplies input variable values (plain Go values).
+	Vars map[string]any
+	// Cloud is the control plane to deploy onto. Required. A raw endpoint
+	// (simulator or HTTP client) is wrapped in this workspace's own
+	// provider runtime — separate AIMD gates, read cache, and retry budget
+	// per tenant; passing an existing *provider.Runtime shares it instead.
+	Cloud cloud.Interface
+	// Modules resolves module sources; defaults to directory resolution
+	// relative to Dir when Dir is set.
+	Modules config.ModuleResolver
+	// InitialState seeds the golden-state database.
+	InitialState *state.State
+	// GlobalLock switches the lock manager to whole-infrastructure locking.
+	GlobalLock bool
+	// StateBackend selects the golden-state storage engine ("memory",
+	// "mvcc", "wal").
+	StateBackend string
+	// StateDir is the durable directory for the wal backend.
+	StateDir string
+	// JournalPath makes mutating operations crash-safe (see cloudless.Options).
+	JournalPath string
+	// Policies is CCL policy source enforced across the lifecycle.
+	Policies string
+	// Principal identifies this workspace's changes in cloud activity logs.
+	Principal string
+	// Telemetry records lifecycle spans and metrics (nil disables).
+	Telemetry *telemetry.Recorder
+
+	// Provider runtime knobs (DESIGN.md S22).
+	ProviderCacheTTL    time.Duration
+	ProviderMaxRetries  int
+	ProviderRetryBase   time.Duration
+	ProviderMaxInFlight int
+
+	// Guarded-apply knobs (DESIGN.md S24).
+	GuardApplies            bool
+	GuardCanary             float64
+	GuardMaxFailures        int
+	GuardMaxFailureFraction float64
+	HealthProbeTimeout      time.Duration
+	HealthProbeInterval     time.Duration
+}
+
+// ErrClosed is returned for lifecycle calls on a workspace that is closing
+// or closed: Close drains in-flight operations but admits no new ones.
+type ErrClosed struct{ Name string }
+
+// Error implements error.
+func (e *ErrClosed) Error() string {
+	if e.Name == "" {
+		return "cloudless: workspace is closed"
+	}
+	return "cloudless: workspace " + e.Name + " is closed"
+}
+
+// ErrPolicyDenied is returned when a plan-phase policy denies the apply.
+type ErrPolicyDenied struct{ Message string }
+
+// Error implements error.
+func (e *ErrPolicyDenied) Error() string { return "cloudless: policy denied: " + e.Message }
+
+// ErrJournalRecovered is returned by Apply when a crashed run's journal was
+// found and recovered before the apply could start. The recovery moved the
+// golden state, so the plan in hand predates it — re-plan and apply again.
+type ErrJournalRecovered struct{ Report *apply.RecoverReport }
+
+// Error implements error.
+func (e *ErrJournalRecovered) Error() string {
+	return "cloudless: recovered a crashed run's journal; the plan is stale — re-plan and retry"
+}
+
+// ApplyOptions tune Apply.
+type ApplyOptions struct {
+	Concurrency int
+	Scheduler   apply.Scheduler
+	// SkipPolicyCheck bypasses plan-phase policies.
+	SkipPolicyCheck bool
+	// BatchOps coalesces concurrent creates and reads into bulk cloud calls.
+	BatchOps bool
+	// OnEvent, when set, receives every ops-plane event published during
+	// this apply, in order, on a dedicated goroutine; Apply drains the
+	// queue before returning.
+	OnEvent func(events.Event)
+}
+
+// Workspace is one managed infrastructure: the unit of tenancy. All methods
+// are safe for concurrent use; lifecycle methods fail with *ErrClosed once
+// Close has begun.
+type Workspace struct {
+	name      string
+	module    *config.Module
+	expansion *config.Expansion
+	vars      map[string]eval.Value
+	resolver  config.ModuleResolver
+
+	cloudAPI    cloud.Interface
+	db          *statedb.DB
+	engine      *policy.Engine
+	watcher     *drift.Watcher
+	principal   string
+	telemetry   *telemetry.Recorder
+	journalPath string
+	guardOpts   *guard.Options
+	bus         *events.Bus
+	flight      *events.FlightRecorder
+	replanCache *plan.ReplanCache
+
+	// Draining close: beginOp/endOp track in-flight lifecycle operations;
+	// Close flips closing, waits for the drained signal, then releases
+	// resources exactly once.
+	drain drainGate
+}
+
+// New loads, expands, and binds a configuration into a workspace.
+func New(cfg Config) (*Workspace, error) {
+	if cfg.Cloud == nil {
+		return nil, fmt.Errorf("cloudless: Options.Cloud is required")
+	}
+	var module *config.Module
+	var diags hcl.Diagnostics
+	switch {
+	case cfg.Sources != nil:
+		module, diags = config.Load(cfg.Sources)
+	case cfg.Dir != "":
+		module, diags = config.LoadDir(cfg.Dir)
+		if cfg.Modules == nil {
+			cfg.Modules = config.DirResolver{Root: cfg.Dir}
+		}
+	default:
+		return nil, fmt.Errorf("cloudless: either Options.Sources or Options.Dir must be set")
+	}
+	if diags.HasErrors() {
+		return nil, diags
+	}
+
+	vars := map[string]eval.Value{}
+	for k, v := range cfg.Vars {
+		vars[k] = eval.FromGo(v)
+	}
+	// Managed variables include declared defaults, so policy scale targets
+	// work without the caller re-passing every default.
+	for name, decl := range module.Variables {
+		if _, given := vars[name]; !given && decl.HasDefault {
+			vars[name] = decl.Default
+		}
+	}
+	principal := cfg.Principal
+	if principal == "" {
+		if cfg.Name != "" {
+			principal = cfg.Name
+		} else {
+			principal = "cloudless"
+		}
+	}
+
+	mode := statedb.ResourceLock
+	if cfg.GlobalLock {
+		mode = statedb.GlobalLock
+	}
+	engine, err := statedb.NewEngine(cfg.StateBackend, cfg.InitialState, statedb.EngineOptions{
+		Dir: cfg.StateDir,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cloudless: %w", err)
+	}
+
+	// All cloud access routes through one provider runtime per workspace; a
+	// caller that passes an already-wrapped Runtime (e.g. another stack's
+	// Cloud()) shares that one instead of stacking dispatchers.
+	// The live ops plane: one bus per workspace. Every layer below publishes
+	// into it; Subscribe, ApplyOptions.OnEvent, and the flight recorder
+	// consume it. Publishing with no subscribers is nearly free.
+	bus := events.NewBus(nil)
+
+	popts := provider.Options{
+		CacheTTL:    cfg.ProviderCacheTTL,
+		MaxRetries:  cfg.ProviderMaxRetries,
+		RetryBase:   cfg.ProviderRetryBase,
+		MaxInFlight: cfg.ProviderMaxInFlight,
+		Bus:         bus,
+	}
+	if cfg.Telemetry != nil {
+		popts.Registry = cfg.Telemetry.Metrics()
+	}
+	runtime := provider.New(cfg.Cloud, popts)
+
+	w := &Workspace{
+		name:        cfg.Name,
+		module:      module,
+		vars:        vars,
+		resolver:    cfg.Modules,
+		cloudAPI:    runtime,
+		db:          statedb.OpenEngine(engine, mode),
+		principal:   principal,
+		telemetry:   cfg.Telemetry,
+		journalPath: cfg.JournalPath,
+		bus:         bus,
+		replanCache: plan.NewReplanCache(),
+	}
+	w.drain.init()
+	if cfg.JournalPath != "" {
+		// Flight recorder: the journal's sibling artifact. A run that dies
+		// with no live subscriber still leaves its event tail for
+		// post-mortem reconstruction.
+		fr, err := events.NewFlightRecorder(cfg.JournalPath+".events.jsonl", bus)
+		if err != nil {
+			return nil, fmt.Errorf("cloudless: open flight recorder: %w", err)
+		}
+		w.flight = fr
+	}
+	if cfg.GuardApplies {
+		w.guardOpts = &guard.Options{
+			Canary:             cfg.GuardCanary,
+			MaxFailures:        cfg.GuardMaxFailures,
+			MaxFailureFraction: cfg.GuardMaxFailureFraction,
+			Probe: health.ProbeOptions{
+				Timeout:  cfg.HealthProbeTimeout,
+				Interval: cfg.HealthProbeInterval,
+			},
+		}
+	}
+	if sim, ok := provider.Unwrap(cfg.Cloud).(*cloud.Sim); ok && cfg.Telemetry != nil {
+		// Route simulator counters (API calls, throttles, injected failures)
+		// into the workspace's registry even for calls made without a
+		// telemetry-carrying context.
+		sim.AttachTelemetry(cfg.Telemetry.Metrics())
+	}
+	if err := w.reexpand(); err != nil {
+		return nil, err
+	}
+
+	if cfg.Policies != "" {
+		ps, diags := policy.ParsePolicies("policies.ccl", cfg.Policies)
+		if diags.HasErrors() {
+			return nil, diags
+		}
+		w.engine = policy.NewEngine(ps)
+		for k, v := range vars {
+			w.engine.Vars[k] = v
+		}
+	} else {
+		w.engine = policy.NewEngine(nil)
+	}
+	return w, nil
+}
+
+// Name returns the workspace's name ("" for facade-opened workspaces).
+func (w *Workspace) Name() string { return w.name }
+
+// reexpand recomputes the expansion from the module and current vars.
+func (w *Workspace) reexpand() error {
+	ex, diags := config.Expand(w.module, w.vars, w.resolver)
+	if diags.HasErrors() {
+		return diags
+	}
+	w.expansion = ex
+	return nil
+}
+
+// SetVar changes an input variable (e.g. applying a policy decision) and
+// re-expands the configuration.
+func (w *Workspace) SetVar(name string, value any) error {
+	w.vars[name] = eval.FromGo(value)
+	w.engine.Vars[name] = w.vars[name]
+	return w.reexpand()
+}
+
+// Var reads a managed variable's current value.
+func (w *Workspace) Var(name string) (any, bool) {
+	v, ok := w.vars[name]
+	if !ok {
+		return nil, false
+	}
+	return eval.ToGo(v), true
+}
+
+// DB exposes the golden-state database (locks, history, snapshots).
+func (w *Workspace) DB() *statedb.DB { return w.db }
+
+// Close drains and releases the workspace: new lifecycle calls fail with
+// *ErrClosed immediately, in-flight plan/apply/drift/recover operations run
+// to completion (or until their own contexts cancel), and only then are the
+// storage engine, flight recorder, and event bus released. Close is
+// idempotent; concurrent and repeated calls all return the first close's
+// error. ctx bounds the wait for in-flight operations: when it expires the
+// workspace stays mid-drain (resources are NOT released) and Close returns
+// ctx.Err() — call Close again to finish once the stragglers exit.
+func (w *Workspace) Close(ctx context.Context) error {
+	release, err := w.drain.close(ctx)
+	if err != nil || !release {
+		return err
+	}
+	cerr := w.db.Close()
+	if w.flight != nil {
+		if ferr := w.flight.Close(); cerr == nil {
+			cerr = ferr
+		}
+	}
+	w.bus.Close()
+	w.drain.finish(cerr)
+	return cerr
+}
+
+// Telemetry exposes the workspace's recorder (nil when telemetry is disabled).
+func (w *Workspace) Telemetry() *telemetry.Recorder { return w.telemetry }
+
+// lifecycle attaches the workspace's recorder to the context (callers may
+// also supply one via telemetry.WithRecorder) and opens a span covering one
+// facade operation. With no recorder anywhere it returns (ctx, nil); every
+// span method is nil-safe, so call sites need no guards.
+func (w *Workspace) lifecycle(ctx context.Context, name string) (context.Context, *telemetry.Span) {
+	if w.telemetry != nil && telemetry.FromContext(ctx) == nil {
+		ctx = telemetry.WithRecorder(ctx, w.telemetry)
+	}
+	if events.FromContext(ctx) == nil {
+		ctx = events.WithBus(ctx, w.bus)
+	}
+	return telemetry.StartSpan(ctx, name)
+}
+
+// begin admits one lifecycle operation, failing fast once Close has begun.
+func (w *Workspace) begin() error { return w.drain.begin(w.name) }
+
+// end retires one lifecycle operation admitted by begin.
+func (w *Workspace) end() { w.drain.end() }
+
+// Events exposes the workspace's live event bus.
+func (w *Workspace) Events() *events.Bus { return w.bus }
+
+// Subscribe registers a live consumer of the workspace's ops-plane events.
+func (w *Workspace) Subscribe(filter events.Filter) *events.Subscription {
+	return w.bus.Subscribe(filter, 0)
+}
+
+// FlightRecorderPath returns the JSONL events artifact location ("" when no
+// journal path is configured).
+func (w *Workspace) FlightRecorderPath() string { return w.flight.Path() }
+
+// Cloud exposes the bound cloud interface — the workspace's provider
+// runtime, so sharing it with another workspace shares cache, coalescing,
+// and the AIMD window too.
+func (w *Workspace) Cloud() cloud.Interface { return w.cloudAPI }
+
+// Provider exposes the workspace's provider runtime for stats inspection.
+// It returns nil when the bound cloud interface is not a runtime; callers
+// must treat nil as "no runtime stats available".
+func (w *Workspace) Provider() *provider.Runtime {
+	rt, ok := w.cloudAPI.(*provider.Runtime)
+	if !ok {
+		return nil
+	}
+	return rt
+}
+
+// Instances lists the expanded instance addresses.
+func (w *Workspace) Instances() []string {
+	out := make([]string, 0, len(w.expansion.Instances))
+	for _, inst := range w.expansion.Instances {
+		out = append(out, inst.Addr)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate runs compile-time validation: schema structure, semantic types,
+// and the cloud-level knowledge base (§3.2).
+func (w *Workspace) Validate() *validate.Result {
+	_, span := w.lifecycle(context.Background(), "lifecycle.validate")
+	res := validate.Validate(w.expansion, nil)
+	span.SetAttr("findings", len(res.Findings))
+	span.End()
+	return res
+}
+
+// HasStaleJournal reports whether a crashed run's journal is waiting at
+// Config.JournalPath.
+func (w *Workspace) HasStaleJournal() bool {
+	if w.journalPath == "" {
+		return false
+	}
+	js, err := apply.ReadJournal(w.journalPath)
+	return err == nil && js != nil
+}
+
+// Recover reconciles a crashed run's journal (apply, destroy, or rollback)
+// against the cloud and commits the reconciled state: completed ops are
+// folded in from their done records, in-doubt ops are re-driven under their
+// original idempotency keys, and orphaned resources are adopted or deleted
+// via the activity log. Returns (nil, nil) when there is nothing to recover.
+// The journal is removed only after a fully clean recovery, so a crash
+// during recovery itself is handled by calling Recover again.
+func (w *Workspace) Recover(ctx context.Context) (*apply.RecoverReport, error) {
+	if err := w.begin(); err != nil {
+		return nil, err
+	}
+	defer w.end()
+	return w.recover(ctx)
+}
+
+// recover is Recover without the drain gate, for reuse under an already-
+// admitted operation (the auto-recovery at the head of Plan and Apply).
+func (w *Workspace) recover(ctx context.Context) (*apply.RecoverReport, error) {
+	if w.journalPath == "" {
+		return nil, nil
+	}
+	js, err := apply.ReadJournal(w.journalPath)
+	if err != nil || js == nil {
+		return nil, err
+	}
+	ctx, span := w.lifecycle(ctx, "lifecycle.recover")
+	defer span.End()
+	span.SetAttr("journal_id", js.Meta.ID)
+	span.SetAttr("journal_kind", js.Meta.Kind)
+
+	base := w.db.Snapshot()
+	st, rep, err := apply.Recover(ctx, w.cloudAPI, js, base, apply.Options{Principal: w.principal})
+	if err != nil {
+		return rep, err
+	}
+	span.SetAttr("confirmed", rep.Confirmed)
+	span.SetAttr("resumed", rep.Resumed)
+	span.SetAttr("orphans_adopted", len(rep.OrphansAdopted))
+	span.SetAttr("orphans_deleted", len(rep.OrphansDeleted))
+
+	// Commit everything the reconciled state and the base disagree on.
+	seen := map[string]bool{}
+	var addrs []string
+	for _, a := range base.Addrs() {
+		seen[a] = true
+		addrs = append(addrs, a)
+	}
+	for _, a := range st.Addrs() {
+		if !seen[a] {
+			addrs = append(addrs, a)
+		}
+	}
+	sort.Strings(addrs)
+	txn := w.db.Begin("recover")
+	if err := txn.Lock(ctx, addrs...); err != nil {
+		return rep, fmt.Errorf("cloudless: recover: acquire locks: %w", err)
+	}
+	defer txn.Abort()
+	for _, addr := range addrs {
+		if rs := st.Get(addr); rs != nil {
+			if err := txn.Put(rs); err != nil {
+				return rep, err
+			}
+		} else if err := txn.Delete(addr); err != nil {
+			return rep, err
+		}
+	}
+	if _, err := txn.Commit(); err != nil {
+		return rep, err
+	}
+	if err := rep.Err(); err != nil {
+		// Some in-doubt op could not be resolved (e.g. the cloud was
+		// unreachable); keep the journal so a later Recover retries it.
+		return rep, err
+	}
+	if err := os.Remove(w.journalPath); err != nil && !os.IsNotExist(err) {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// recoverStale runs recovery when a crashed run's journal is present; it is
+// invoked automatically at the head of Plan and Apply so no run ever builds
+// on a state the cloud has silently moved past.
+func (w *Workspace) recoverStale(ctx context.Context) (*apply.RecoverReport, error) {
+	if !w.HasStaleJournal() {
+		return nil, nil
+	}
+	return w.recover(ctx)
+}
+
+// Plan computes a full plan against the golden state, refreshing every
+// recorded resource from the cloud first. A stale journal from a crashed
+// run is recovered (and committed) before planning.
+func (w *Workspace) Plan(ctx context.Context) (*plan.Plan, error) {
+	if err := w.begin(); err != nil {
+		return nil, err
+	}
+	defer w.end()
+	if _, err := w.recoverStale(ctx); err != nil {
+		return nil, err
+	}
+	ctx, span := w.lifecycle(ctx, "lifecycle.plan")
+	defer span.End()
+	p, diags := plan.Compute(ctx, w.expansion, w.db.Snapshot(), plan.Options{
+		Refresh: true, Cloud: w.cloudAPI,
+	})
+	if diags.HasErrors() {
+		return p, diags
+	}
+	return p, nil
+}
+
+// PlanIncremental computes an incremental plan confined to the impact scope
+// of the given resource-level addresses (§3.3), skipping refresh and
+// evaluation outside the scope.
+func (w *Workspace) PlanIncremental(ctx context.Context, changed ...string) (*plan.Plan, error) {
+	if err := w.begin(); err != nil {
+		return nil, err
+	}
+	defer w.end()
+	if _, err := w.recoverStale(ctx); err != nil {
+		return nil, err
+	}
+	ctx, span := w.lifecycle(ctx, "lifecycle.plan_incremental")
+	span.SetAttr("changed", len(changed))
+	defer span.End()
+	p, diags := plan.Compute(ctx, w.expansion, w.db.Snapshot(), plan.Options{
+		Refresh: true, Cloud: w.cloudAPI, ImpactScope: changed,
+	})
+	if diags.HasErrors() {
+		return p, diags
+	}
+	return p, nil
+}
+
+// Replan computes a plan through the workspace's replan cache: declarations
+// whose fingerprint is unchanged since the last (re)plan and whose recorded
+// state has not moved replay their memoized diffs, and only the dirty
+// subtree is re-evaluated. The result is byte-identical to Plan.
+func (w *Workspace) Replan(ctx context.Context) (*plan.Plan, error) {
+	if err := w.begin(); err != nil {
+		return nil, err
+	}
+	defer w.end()
+	if _, err := w.recoverStale(ctx); err != nil {
+		return nil, err
+	}
+	ctx, span := w.lifecycle(ctx, "lifecycle.replan")
+	defer span.End()
+	p, diags := plan.Compute(ctx, w.expansion, w.db.Snapshot(), plan.Options{
+		Refresh: true, Cloud: w.cloudAPI, Cache: w.replanCache,
+	})
+	if diags.HasErrors() {
+		return p, diags
+	}
+	return p, nil
+}
+
+// ReplanOffline is Replan without the cloud refresh: it trusts recorded
+// state (like PlanOffline) and re-evaluates only the subtree dirtied by
+// configuration edits or state commits since the previous cached plan.
+func (w *Workspace) ReplanOffline(ctx context.Context) (*plan.Plan, error) {
+	if err := w.begin(); err != nil {
+		return nil, err
+	}
+	defer w.end()
+	ctx, span := w.lifecycle(ctx, "lifecycle.replan_offline")
+	defer span.End()
+	p, diags := plan.Compute(ctx, w.expansion, w.db.Snapshot(), plan.Options{
+		Cache: w.replanCache,
+	})
+	if diags.HasErrors() {
+		return p, diags
+	}
+	return p, nil
+}
+
+// ReplanStats reports what the last Replan/ReplanOffline did.
+func (w *Workspace) ReplanStats() plan.CacheStats { return w.replanCache.LastStats() }
+
+// InvalidateReplanCache forces the next Replan to be a full replan.
+func (w *Workspace) InvalidateReplanCache() { w.replanCache.InvalidateAll() }
+
+// PlanOffline plans without refreshing from the cloud (fast, trusts state).
+func (w *Workspace) PlanOffline(ctx context.Context) (*plan.Plan, error) {
+	if err := w.begin(); err != nil {
+		return nil, err
+	}
+	defer w.end()
+	ctx, span := w.lifecycle(ctx, "lifecycle.plan_offline")
+	defer span.End()
+	p, diags := plan.Compute(ctx, w.expansion, w.db.Snapshot(), plan.Options{})
+	if diags.HasErrors() {
+		return p, diags
+	}
+	return p, nil
+}
+
+// PlanOfflineAt plans against the golden state as of a past serial instead
+// of the latest. Requires a backend with version retention (mvcc).
+func (w *Workspace) PlanOfflineAt(ctx context.Context, serial int) (*plan.Plan, error) {
+	if err := w.begin(); err != nil {
+		return nil, err
+	}
+	defer w.end()
+	ctx, span := w.lifecycle(ctx, "lifecycle.plan_offline_at")
+	span.SetAttr("pinned_serial", serial)
+	defer span.End()
+	snap, err := w.db.SnapshotAt(serial)
+	if err != nil {
+		return nil, err
+	}
+	p, diags := plan.Compute(ctx, w.expansion, snap, plan.Options{})
+	if diags.HasErrors() {
+		return p, diags
+	}
+	return p, nil
+}
+
+// Apply executes a plan transactionally: plan-phase policies run first,
+// per-resource (or global) locks are held for every pending address across
+// the physical apply, and the golden state and time machine are updated
+// atomically on completion. Failed operations yield IaC-level diagnoses.
+func (w *Workspace) Apply(ctx context.Context, p *plan.Plan, opts ApplyOptions) (*apply.Result, []*diagnose.Diagnosis, error) {
+	if err := w.begin(); err != nil {
+		return nil, nil, err
+	}
+	defer w.end()
+	if w.HasStaleJournal() {
+		rep, err := w.recover(ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, nil, &ErrJournalRecovered{Report: rep}
+	}
+	ctx, span := w.lifecycle(ctx, "lifecycle.apply")
+	span.SetAttr("pending", p.Creates+p.Updates+p.Replaces+p.Deletes)
+	span.SetAttr("base_serial", p.BaseSerial)
+	span.SetAttr("scheduler", opts.Scheduler.String())
+	defer span.End()
+
+	// OnEvent: a private subscription pumped to the callback. Registered
+	// before run_start is published and drained after run_finish, so the
+	// callback observes the complete run.
+	if opts.OnEvent != nil {
+		sub := w.bus.Subscribe(events.Filter{}, 4*events.DefaultBuffer)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for e := range sub.C() {
+				opts.OnEvent(e)
+			}
+		}()
+		defer func() {
+			sub.Close()
+			<-done
+		}()
+	}
+	if !opts.SkipPolicyCheck {
+		decisions, diags := w.engine.EvaluatePlan(p)
+		if diags.HasErrors() {
+			return nil, nil, diags
+		}
+		if denied, msg := policy.Denied(decisions); denied {
+			return nil, nil, &ErrPolicyDenied{Message: msg}
+		}
+	}
+
+	// The commit carries the plan's pinned serial: if other transactions
+	// advanced any of these addresses past the plan's base, Commit aborts
+	// with *StaleBaseError instead of clobbering their work.
+	txn := w.db.Begin("apply")
+	if p.BaseSerial > 0 {
+		txn.SetBase(p.BaseSerial)
+	}
+	addrs := make([]string, 0, len(p.Changes))
+	for addr, ch := range p.Changes {
+		if ch.Action != plan.ActionNoop {
+			addrs = append(addrs, addr)
+		}
+	}
+	sort.Strings(addrs)
+	if err := txn.Lock(ctx, addrs...); err != nil {
+		return nil, nil, fmt.Errorf("cloudless: acquire locks: %w", err)
+	}
+	defer txn.Abort()
+
+	var j *apply.Journal
+	if w.journalPath != "" {
+		nj, err := apply.NewJournal(w.journalPath, apply.Meta{
+			Kind: "apply", BaseSerial: p.BaseSerial, Principal: w.principal,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		j = nj
+	}
+	applyOpts := apply.Options{
+		Concurrency:     opts.Concurrency,
+		Scheduler:       opts.Scheduler,
+		Principal:       w.principal,
+		ContinueOnError: true,
+		Journal:         j,
+		BatchOps:        opts.BatchOps,
+	}
+	runID := ""
+	if j != nil {
+		runID = j.Meta().ID
+	}
+	w.bus.Publish(events.Event{Kind: "apply.run_start", Run: runID,
+		Principal: w.principal,
+		N:         int64(p.Creates + p.Updates + p.Replaces + p.Deletes)})
+
+	var res *apply.Result
+	if w.guardOpts != nil {
+		span.SetAttr("guarded", true)
+		res = guard.Run(ctx, w.cloudAPI, p, applyOpts, *w.guardOpts)
+	} else {
+		res = apply.Apply(ctx, w.cloudAPI, p, applyOpts)
+	}
+	PublishRunFinish(w.bus, w.Provider(), runID, res)
+	keepJournal := true
+	if j != nil {
+		// The journal is discarded after a zero-error apply whose state
+		// committed, or after a guarded apply whose auto-rollback fully
+		// reverted the blast radius (the cloud matches what state records
+		// either way); anything less leaves it for Recover to reconcile.
+		defer func() {
+			if keepJournal {
+				_ = j.Close()
+			} else {
+				_ = j.Discard()
+			}
+		}()
+	}
+
+	// Publish results for the locked addresses.
+	for _, addr := range addrs {
+		if rs := res.State.Get(addr); rs != nil {
+			if err := txn.Put(rs); err != nil {
+				return res, nil, err
+			}
+		} else if err := txn.Delete(addr); err != nil {
+			return res, nil, err
+		}
+	}
+	txn.SetOutputs(res.State.Outputs)
+	if _, err := txn.Commit(); err != nil {
+		return res, nil, err
+	}
+	if res.Err() == nil || res.Reverted {
+		keepJournal = false
+	}
+	span.SetAttr("applied", res.Applied)
+	span.SetAttr("failed", len(res.Errors))
+	span.SetAttr("retries", res.Retries)
+	if w.guardOpts != nil {
+		span.SetAttr("gate_failures", res.GateFailures)
+		span.SetAttr("fuse_tripped", len(res.FuseTripped))
+		span.SetAttr("reverted", res.Reverted)
+	}
+	// Record outputs on the lifecycle span with the same redaction the
+	// display path applies: sensitive values never reach a trace file.
+	for name, v := range w.DisplayOutputs() {
+		span.SetAttr("output."+name, fmt.Sprint(v))
+	}
+
+	// Advance the drift watcher past our own activity so it doesn't chew
+	// through events we caused (it filters by principal anyway).
+	if w.watcher == nil {
+		w.resetWatcher(ctx)
+	}
+
+	var diagnoses []*diagnose.Diagnosis
+	for addr, applyErr := range res.Errors {
+		inst := w.expansion.ByAddr[addr]
+		diagnoses = append(diagnoses, diagnose.Explain(applyErr, inst, w.expansion))
+	}
+	sort.Slice(diagnoses, func(i, j int) bool { return diagnoses[i].Addr < diagnoses[j].Addr })
+	return res, diagnoses, res.Err()
+}
+
+// PublishRunFinish emits the run-terminating event plus a provider-runtime
+// stats snapshot (cache hit / coalesce / throttle counters), so a watcher
+// sees how the dispatch layer behaved without polling Stats itself. It is
+// exported for the facade's white-box seams; bus and rt may be nil.
+func PublishRunFinish(bus *events.Bus, rt *provider.Runtime, runID string, res *apply.Result) {
+	fin := events.Event{Kind: "apply.run_finish", Run: runID,
+		N: int64(res.Applied), Retries: int64(res.Retries),
+		Ms: float64(res.Elapsed) / float64(time.Millisecond)}
+	if err := res.Err(); err != nil {
+		fin.Err = err.Error()
+	}
+	bus.Publish(fin)
+	if rt != nil {
+		st := rt.Stats()
+		for _, c := range []struct {
+			name string
+			v    int64
+		}{
+			{"calls", st.Calls}, {"retries", st.Retries}, {"throttles", st.Throttles},
+			{"cache_hits", st.CacheHits}, {"cache_misses", st.CacheMisses},
+			{"coalesced", st.Coalesced},
+		} {
+			bus.Publish(events.Event{Kind: "provider.stats", Run: runID,
+				Action: c.name, N: c.v})
+		}
+	}
+}
+
+// Destroy deletes everything in the golden state, in reverse dependency
+// order, and commits the emptied state.
+func (w *Workspace) Destroy(ctx context.Context) (*apply.Result, error) {
+	if err := w.begin(); err != nil {
+		return nil, err
+	}
+	defer w.end()
+	if w.HasStaleJournal() {
+		if _, err := w.recover(ctx); err != nil {
+			return nil, err
+		}
+	}
+	ctx, span := w.lifecycle(ctx, "lifecycle.destroy")
+	defer span.End()
+	snapshot := w.db.Snapshot()
+	txn := w.db.BeginAt("destroy", snapshot.Serial)
+	if err := txn.Lock(ctx, snapshot.Addrs()...); err != nil {
+		return nil, err
+	}
+	defer txn.Abort()
+	var j *apply.Journal
+	if w.journalPath != "" {
+		nj, err := apply.NewJournal(w.journalPath, apply.Meta{
+			Kind: "destroy", BaseSerial: snapshot.Serial, Principal: w.principal,
+		})
+		if err != nil {
+			return nil, err
+		}
+		j = nj
+	}
+	runID := ""
+	if j != nil {
+		runID = j.Meta().ID
+	}
+	w.bus.Publish(events.Event{Kind: "apply.run_start", Run: runID,
+		Principal: w.principal, Action: "destroy",
+		N: int64(len(snapshot.Addrs()))})
+	res := apply.Destroy(ctx, w.cloudAPI, snapshot, apply.Options{
+		Principal: w.principal, ContinueOnError: true, Journal: j,
+	})
+	PublishRunFinish(w.bus, w.Provider(), runID, res)
+	keepJournal := true
+	if j != nil {
+		defer func() {
+			if keepJournal {
+				_ = j.Close()
+			} else {
+				_ = j.Discard()
+			}
+		}()
+	}
+	for _, addr := range snapshot.Addrs() {
+		if res.State.Get(addr) == nil {
+			if err := txn.Delete(addr); err != nil {
+				return res, err
+			}
+		}
+	}
+	if _, err := txn.Commit(); err != nil {
+		return res, err
+	}
+	if res.Err() == nil {
+		keepJournal = false
+	}
+	return res, res.Err()
+}
+
+// resetWatcher (re)starts the drift watcher at the cloud's current log tail.
+func (w *Workspace) resetWatcher(ctx context.Context) {
+	tail := int64(0)
+	if events, err := w.cloudAPI.Activity(ctx, 0); err == nil && len(events) > 0 {
+		tail = events[len(events)-1].Seq
+	}
+	w.watcher = drift.NewWatcher(w.cloudAPI, w.principal, tail)
+}
+
+// WatchDrift polls the activity log for out-of-band changes (§3.5). Call
+// repeatedly; the cursor advances automatically.
+func (w *Workspace) WatchDrift(ctx context.Context) (*drift.Report, error) {
+	if err := w.begin(); err != nil {
+		return nil, err
+	}
+	defer w.end()
+	ctx, span := w.lifecycle(ctx, "lifecycle.watch_drift")
+	defer span.End()
+	if w.watcher == nil {
+		w.resetWatcher(ctx)
+		return &drift.Report{Method: "activity-log"}, nil
+	}
+	return w.watcher.Poll(ctx, w.db.Snapshot())
+}
+
+// ScanDrift performs a full driftctl-style API scan (expensive).
+func (w *Workspace) ScanDrift(ctx context.Context) (*drift.Report, error) {
+	if err := w.begin(); err != nil {
+		return nil, err
+	}
+	defer w.end()
+	ctx, span := w.lifecycle(ctx, "lifecycle.scan_drift")
+	defer span.End()
+	rep, err := drift.FullScan(ctx, w.cloudAPI, w.db.Snapshot())
+	if rep != nil {
+		span.SetAttr("drift_items", len(rep.Items))
+	}
+	return rep, err
+}
+
+// ReconcileDrift applies drift-phase policies (or the explicit choice) to a
+// report and commits the updated state.
+func (w *Workspace) ReconcileDrift(ctx context.Context, rep *drift.Report, action drift.Action) (*drift.ReconcileResult, error) {
+	if err := w.begin(); err != nil {
+		return nil, err
+	}
+	defer w.end()
+	ctx, span := w.lifecycle(ctx, "lifecycle.reconcile_drift")
+	defer span.End()
+	snapshot := w.db.Snapshot()
+	res := drift.Reconcile(ctx, w.cloudAPI, snapshot, rep, func(drift.Item) drift.Action { return action }, w.principal)
+	txn := w.db.BeginAt("reconcile drift", snapshot.Serial)
+	var addrs []string
+	for _, it := range rep.Items {
+		if it.Addr != "" {
+			addrs = append(addrs, it.Addr)
+		}
+	}
+	// Imported unmanaged resources get new addresses too.
+	for _, a := range res.State.Addrs() {
+		if snapshot.Get(a) == nil {
+			addrs = append(addrs, a)
+		}
+	}
+	if err := txn.Lock(ctx, addrs...); err != nil {
+		return res, err
+	}
+	defer txn.Abort()
+	for _, addr := range addrs {
+		if rs := res.State.Get(addr); rs != nil {
+			if err := txn.Put(rs); err != nil {
+				return res, err
+			}
+		} else if err := txn.Delete(addr); err != nil {
+			return res, err
+		}
+	}
+	if _, err := txn.Commit(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// PolicyDecisionsForDrift evaluates drift-phase policies over a report.
+func (w *Workspace) PolicyDecisionsForDrift(rep *drift.Report) ([]policy.Decision, error) {
+	decs, diags := w.engine.EvaluateDrift(rep)
+	if diags.HasErrors() {
+		return decs, diags
+	}
+	return decs, nil
+}
+
+// Observe feeds runtime metrics to operate-phase policies (autoscaling).
+// Returned set_variable/scale decisions are already applied to the
+// workspace's variables; call Plan+Apply afterwards to enact them.
+func (w *Workspace) Observe(metrics map[string]any) ([]policy.Decision, error) {
+	m := make(map[string]eval.Value, len(metrics))
+	for k, v := range metrics {
+		m[k] = eval.FromGo(v)
+	}
+	decs, diags := w.engine.Observe(m)
+	if diags.HasErrors() {
+		return decs, diags
+	}
+	changed := false
+	for _, d := range decs {
+		if d.Kind == policy.ActionScale || d.Kind == policy.ActionSetVariable {
+			w.vars[d.Variable] = d.NewValue
+			changed = true
+		}
+	}
+	if changed {
+		if err := w.reexpand(); err != nil {
+			return decs, err
+		}
+	}
+	return decs, nil
+}
+
+// PlanRollback computes a minimal rollback to a historical serial (§3.4).
+func (w *Workspace) PlanRollback(serial int) (*rollback.Plan, *state.State, error) {
+	snap, err := w.db.History().At(serial)
+	if err != nil {
+		return nil, nil, err
+	}
+	current := w.db.Snapshot()
+	return rollback.Compute(current, snap.State), snap.State, nil
+}
+
+// ExecuteRollback runs a rollback plan and commits the resulting state.
+func (w *Workspace) ExecuteRollback(ctx context.Context, p *rollback.Plan, target *state.State) error {
+	if err := w.begin(); err != nil {
+		return err
+	}
+	defer w.end()
+	ctx, span := w.lifecycle(ctx, "lifecycle.rollback")
+	span.SetAttr("steps", len(p.Steps))
+	defer span.End()
+	current := w.db.Snapshot()
+	txn := w.db.BeginAt("rollback", current.Serial)
+	var addrs []string
+	for _, step := range p.Steps {
+		addrs = append(addrs, step.Addr)
+	}
+	if err := txn.Lock(ctx, addrs...); err != nil {
+		return err
+	}
+	defer txn.Abort()
+	var j *apply.Journal
+	if w.journalPath != "" {
+		nj, jerr := apply.NewJournal(w.journalPath, apply.Meta{
+			Kind: "rollback", BaseSerial: current.Serial, Principal: w.principal,
+		})
+		if jerr != nil {
+			return jerr
+		}
+		j = nj
+	}
+	after, err := rollback.ExecuteJournaled(ctx, w.cloudAPI, current, target, p,
+		rollback.ExecOptions{Principal: w.principal, Journal: j})
+	keepJournal := true
+	if j != nil {
+		defer func() {
+			if keepJournal {
+				_ = j.Close() // left for Recover
+			} else {
+				_ = j.Discard()
+			}
+		}()
+	}
+	if err != nil {
+		return err
+	}
+	for _, addr := range addrs {
+		if rs := after.Get(addr); rs != nil {
+			if perr := txn.Put(rs); perr != nil {
+				return perr
+			}
+		} else if derr := txn.Delete(addr); derr != nil {
+			return derr
+		}
+	}
+	if _, err = txn.Commit(); err != nil {
+		return err
+	}
+	keepJournal = false
+	return nil
+}
+
+// Outputs returns the last-applied root outputs as plain Go values.
+func (w *Workspace) Outputs() map[string]any {
+	out := map[string]any{}
+	for k, v := range w.db.Snapshot().Outputs {
+		out[k] = eval.ToGo(v)
+	}
+	return out
+}
+
+// OutputIsSensitive reports whether an output is declared sensitive;
+// display layers substitute a redaction marker for such values.
+func (w *Workspace) OutputIsSensitive(name string) bool {
+	if spec, ok := w.expansion.Outputs[name]; ok {
+		return spec.Sensitive
+	}
+	return false
+}
+
+// DisplayOutputs returns outputs with sensitive values redacted, for
+// printing to terminals and logs.
+func (w *Workspace) DisplayOutputs() map[string]any {
+	out := w.Outputs()
+	for name := range out {
+		if w.OutputIsSensitive(name) {
+			out[name] = telemetry.Redacted
+		}
+	}
+	return out
+}
