@@ -109,8 +109,13 @@ type Job struct {
 	finished  time.Time
 	err       error
 	result    any
-	cancel    context.CancelFunc
-	done      chan struct{}
+	// claimed flips when a worker pops the job in next(); from then on the
+	// job's terminal transition belongs to that worker alone (Cancel only
+	// cancels ctx) so done is closed exactly once.
+	claimed bool
+	ctx     context.Context
+	cancel  context.CancelFunc
+	done    chan struct{}
 }
 
 // ID returns the job's queue-unique identifier.
@@ -166,6 +171,10 @@ type Options struct {
 	// MaxQueuedPerTenant bounds one tenant's backlog (default 256);
 	// Submit past it fails with *ErrQueueFull.
 	MaxQueuedPerTenant int
+	// MaxFinishedPerTenant bounds how many terminal jobs a tenant retains
+	// for Get/List (default 256). Older terminal jobs are evicted
+	// oldest-first so a long-running daemon's job table stays bounded.
+	MaxFinishedPerTenant int
 	// DefaultWeight is the fair-share weight for tenants not in Weights
 	// (default 1).
 	DefaultWeight float64
@@ -184,7 +193,8 @@ type Queue struct {
 	cond       *sync.Cond
 	sched      *sfq
 	jobs       map[string]*Job
-	backlog    map[string]int // queued per tenant, for admission
+	backlog    map[string]int      // queued per tenant, for admission
+	finished   map[string][]string // terminal job IDs per tenant, oldest first
 	nextID     int
 	closed     bool
 	wg         sync.WaitGroup
@@ -200,6 +210,9 @@ func New(opts Options) *Queue {
 	if opts.MaxQueuedPerTenant <= 0 {
 		opts.MaxQueuedPerTenant = 256
 	}
+	if opts.MaxFinishedPerTenant <= 0 {
+		opts.MaxFinishedPerTenant = 256
+	}
 	if opts.DefaultWeight <= 0 {
 		opts.DefaultWeight = 1
 	}
@@ -207,11 +220,12 @@ func New(opts Options) *Queue {
 		opts.Clock = time.Now
 	}
 	q := &Queue{
-		opts:    opts,
-		gate:    provider.NewAdmissionGate(opts.Workers, opts.FixedAdmission),
-		sched:   newSFQ(),
-		jobs:    map[string]*Job{},
-		backlog: map[string]int{},
+		opts:     opts,
+		gate:     provider.NewAdmissionGate(opts.Workers, opts.FixedAdmission),
+		sched:    newSFQ(),
+		jobs:     map[string]*Job{},
+		backlog:  map[string]int{},
+		finished: map[string][]string{},
 	}
 	q.cond = sync.NewCond(&q.mu)
 	q.baseCtx, q.baseCancel = context.WithCancel(context.Background())
@@ -286,29 +300,35 @@ func (q *Queue) List(tenant string) []View {
 	return out
 }
 
-// Cancel stops a job: a queued job is removed and marked canceled, a
-// running job has its context canceled (it stays running until Fn returns,
-// then finishes canceled). Canceling a terminal job is a no-op. Reports
-// whether the job exists.
+// Cancel stops a job: a still-queued job is removed and marked canceled;
+// a job already claimed by a worker (dispatching or running) has its
+// context canceled and the worker resolves it to a terminal state.
+// Canceling a terminal job is a no-op. Reports whether the job exists.
 func (q *Queue) Cancel(id string) bool {
 	q.mu.Lock()
+	defer q.mu.Unlock()
 	j, ok := q.jobs[id]
 	if !ok {
-		q.mu.Unlock()
 		return false
 	}
-	switch j.status {
-	case StatusQueued:
-		q.sched.remove(j)
-		q.backlog[j.tenant]--
-		j.status = StatusCanceled
-		j.err = context.Canceled
-		j.finished = q.opts.Clock()
-		close(j.done)
-	case StatusRunning:
+	switch {
+	case j.status.Terminal():
+		// Nothing to do.
+	case j.claimed:
+		// A worker owns the job's terminal transition (it may be parked on
+		// the admission gate with status still "queued"); cancel its context
+		// and let the worker finish it. Touching backlog or done here would
+		// double-decrement admission counts and double-close done.
 		j.cancel()
+	default:
+		// Still in the scheduler. Honor remove's verdict: claim and remove
+		// are serialized under q.mu, so a miss means inconsistent state —
+		// leave the job alone rather than corrupting backlog counts.
+		if q.sched.remove(j) {
+			q.backlog[j.tenant]--
+			q.finishLocked(j, nil, context.Canceled)
+		}
 	}
-	q.mu.Unlock()
 	return true
 }
 
@@ -319,6 +339,12 @@ func (q *Queue) next() *Job {
 	for {
 		if j := q.sched.pop(); j != nil {
 			q.backlog[j.tenant]--
+			// Claim atomically with the pop: the job gets its context here so
+			// Cancel can interrupt it even while the worker is still parked
+			// on the admission gate, and the queued branch of Cancel (which
+			// decrements backlog and closes done) can never run for it.
+			j.claimed = true
+			j.ctx, j.cancel = context.WithCancel(context.WithValue(q.baseCtx, jobIDKey{}, j.id))
 			return j
 		}
 		if q.closed {
@@ -338,20 +364,27 @@ func (q *Queue) worker() {
 		// Admission: under congestion the AIMD window drops below the
 		// worker count and excess workers block here, shrinking effective
 		// concurrency without abandoning the job they already claimed.
-		if err := q.gate.Acquire(q.baseCtx); err != nil {
+		// Waiting on the job's own context lets Cancel unblock the wait.
+		if err := q.gate.Acquire(j.ctx); err != nil {
+			j.cancel()
 			q.finish(j, nil, err)
 			continue
 		}
-		jctx, cancel := context.WithCancel(context.WithValue(q.baseCtx, jobIDKey{}, j.id))
+		// Canceled between claim and admission: resolve without running.
+		if err := j.ctx.Err(); err != nil {
+			q.gate.Release()
+			j.cancel()
+			q.finish(j, nil, err)
+			continue
+		}
 		q.mu.Lock()
 		j.status = StatusRunning
 		j.started = q.opts.Clock()
-		j.cancel = cancel
 		q.mu.Unlock()
 
-		res, err := j.fn(jctx)
+		res, err := j.fn(j.ctx)
 		latency := q.opts.Clock().Sub(j.started)
-		cancel()
+		j.cancel()
 		q.gate.Release()
 		now := q.opts.Clock()
 		if cloud.IsThrottled(err) {
@@ -366,6 +399,11 @@ func (q *Queue) worker() {
 // finish moves a dispatched job to its terminal state.
 func (q *Queue) finish(j *Job, res any, err error) {
 	q.mu.Lock()
+	q.finishLocked(j, res, err)
+	q.mu.Unlock()
+}
+
+func (q *Queue) finishLocked(j *Job, res any, err error) {
 	j.result = res
 	j.err = err
 	j.finished = q.opts.Clock()
@@ -378,7 +416,19 @@ func (q *Queue) finish(j *Job, res any, err error) {
 		j.status = StatusSucceeded
 	}
 	close(j.done)
-	q.mu.Unlock()
+	q.retireLocked(j)
+}
+
+// retireLocked records a newly-terminal job and evicts the tenant's oldest
+// terminal jobs past the retention cap, so job records, results, and errors
+// don't accumulate without bound in a long-running daemon.
+func (q *Queue) retireLocked(j *Job) {
+	ids := append(q.finished[j.tenant], j.id)
+	for len(ids) > q.opts.MaxFinishedPerTenant {
+		delete(q.jobs, ids[0])
+		ids = ids[1:]
+	}
+	q.finished[j.tenant] = ids
 }
 
 // QueuedLen reports how many jobs are waiting for dispatch.
@@ -401,10 +451,7 @@ func (q *Queue) Shutdown(ctx context.Context) error {
 				break
 			}
 			q.backlog[j.tenant]--
-			j.status = StatusCanceled
-			j.err = context.Canceled
-			j.finished = q.opts.Clock()
-			close(j.done)
+			q.finishLocked(j, nil, context.Canceled)
 		}
 		q.cond.Broadcast()
 	}

@@ -226,6 +226,151 @@ func TestQueueBacklogAdmission(t *testing.T) {
 	}
 }
 
+// TestQueueCancelDuringDispatch targets the claim window: a worker has
+// popped the job (backlog already decremented) but is parked on the
+// admission gate, so the job's status still reads "queued". Cancel here
+// used to take the queued branch — double-decrementing the backlog and
+// closing done a second time when the worker finished (panic). Now the
+// claimed job's context is canceled and the worker resolves it exactly
+// once, without running Fn.
+func TestQueueCancelDuringDispatch(t *testing.T) {
+	q := New(Options{Workers: 1, FixedAdmission: true})
+	defer q.Shutdown(context.Background())
+
+	// Occupy the single admission slot so the worker blocks in
+	// gate.Acquire after claiming the job.
+	if err := q.gate.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	slotHeld := true
+	defer func() {
+		if slotHeld {
+			q.gate.Release()
+		}
+	}()
+
+	ran := make(chan struct{}, 1)
+	j, err := q.Submit(Request{Tenant: "t", Fn: func(ctx context.Context) (any, error) {
+		ran <- struct{}{}
+		return nil, nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The worker has claimed the job once it leaves the scheduler.
+	for deadline := time.Now().Add(5 * time.Second); q.QueuedLen() != 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never claimed the job")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if !q.Cancel(j.ID()) {
+		t.Fatal("cancel missed the claimed job")
+	}
+	view, err := j.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.Status != StatusCanceled {
+		t.Fatalf("claimed-then-canceled job status = %s, want canceled", view.Status)
+	}
+	select {
+	case <-ran:
+		t.Fatal("canceled job ran anyway")
+	default:
+	}
+	q.mu.Lock()
+	backlog := q.backlog["t"]
+	q.mu.Unlock()
+	if backlog != 0 {
+		t.Fatalf("backlog after claimed cancel = %d, want 0 (admission corrupted)", backlog)
+	}
+
+	// The freed worker still dispatches future work.
+	q.gate.Release()
+	slotHeld = false
+	j2, err := q.Submit(Request{Tenant: "t", Fn: func(ctx context.Context) (any, error) { return "ok", nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view, err := j2.Wait(context.Background()); err != nil || view.Status != StatusSucceeded {
+		t.Fatalf("post-cancel job: %v %s", err, view.Status)
+	}
+}
+
+// TestQueueCancelStress races Cancel against claim/run/finish across
+// tenants; under -race this flushes out double-close and double-decrement
+// bugs in the dispatch window. Every job must resolve terminal and every
+// backlog count must return to zero.
+func TestQueueCancelStress(t *testing.T) {
+	q := New(Options{Workers: 4, FixedAdmission: true})
+	defer q.Shutdown(context.Background())
+
+	var wg sync.WaitGroup
+	all := make([]*Job, 0, 200)
+	for i := 0; i < 200; i++ {
+		j, err := q.Submit(Request{Tenant: fmt.Sprintf("t%d", i%4), Fn: func(ctx context.Context) (any, error) {
+			return nil, ctx.Err()
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, j)
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			q.Cancel(id)
+		}(j.ID())
+	}
+	wg.Wait()
+	for _, j := range all {
+		view, err := j.Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !view.Status.Terminal() {
+			t.Fatalf("job %s not terminal after cancel storm: %s", j.ID(), view.Status)
+		}
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for tenant, n := range q.backlog {
+		if n != 0 {
+			t.Errorf("tenant %s backlog = %d after drain, want 0", tenant, n)
+		}
+	}
+}
+
+// TestQueueTerminalRetention: terminal jobs are retained per tenant up to
+// MaxFinishedPerTenant and then evicted oldest-first, so a long-running
+// queue doesn't grow without bound.
+func TestQueueTerminalRetention(t *testing.T) {
+	q := New(Options{Workers: 1, FixedAdmission: true, MaxFinishedPerTenant: 3})
+	defer q.Shutdown(context.Background())
+
+	var ids []string
+	for i := 0; i < 8; i++ {
+		j, err := q.Submit(Request{Tenant: "t", Fn: func(ctx context.Context) (any, error) { return nil, nil }})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := j.Wait(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID())
+	}
+	if got := len(q.List("t")); got != 3 {
+		t.Fatalf("retained %d terminal jobs, want 3", got)
+	}
+	if _, ok := q.Get(ids[0]); ok {
+		t.Fatal("oldest terminal job survived past the retention cap")
+	}
+	if _, ok := q.Get(ids[len(ids)-1]); !ok {
+		t.Fatal("newest terminal job was evicted")
+	}
+}
+
 // TestQueueCancelAndShutdown: cancelling a queued job resolves it without
 // running; shutdown cancels the rest and refuses new work.
 func TestQueueCancelAndShutdown(t *testing.T) {

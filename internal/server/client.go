@@ -189,6 +189,32 @@ func (c *Client) Events(ctx context.Context, ws string, since int64, wait time.D
 	return out, err
 }
 
+// Metrics fetches the aggregated Prometheus scrape. Like every other
+// route it is authenticated when the server has tokens configured, and the
+// scrape only contains workspaces this principal can access.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode >= 300 {
+		return "", &APIError{Code: resp.StatusCode, Message: string(raw)}
+	}
+	return string(raw), nil
+}
+
 // State fetches the workspace's golden state.
 func (c *Client) State(ctx context.Context, ws string) (*state.State, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,

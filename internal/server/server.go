@@ -56,6 +56,9 @@ type Options struct {
 
 // artifacts is a bounded store of job outputs that later jobs or GETs
 // reference (plans for apply-by-reference, drift reports for reconcile).
+// Entries are keyed by (workspace, job ID): job IDs are guessable sequence
+// numbers, so a bare-ID lookup would let one tenant apply or reconcile
+// another tenant's artifact.
 type artifacts struct {
 	mu    sync.Mutex
 	plans map[string]*plan.Plan
@@ -63,16 +66,21 @@ type artifacts struct {
 	order []string
 }
 
-func (a *artifacts) put(jobID string, p *plan.Plan, d *drift.Report) {
+// artifactKey is unambiguous: workspace names can't contain "/"
+// (workspace.ValidName) and job IDs are fixed-format.
+func artifactKey(ws, jobID string) string { return ws + "/" + jobID }
+
+func (a *artifacts) put(ws, jobID string, p *plan.Plan, d *drift.Report) {
+	key := artifactKey(ws, jobID)
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if p != nil {
-		a.plans[jobID] = p
+		a.plans[key] = p
 	}
 	if d != nil {
-		a.drift[jobID] = d
+		a.drift[key] = d
 	}
-	a.order = append(a.order, jobID)
+	a.order = append(a.order, key)
 	for len(a.order) > artifactKeep {
 		old := a.order[0]
 		a.order = a.order[1:]
@@ -81,16 +89,33 @@ func (a *artifacts) put(jobID string, p *plan.Plan, d *drift.Report) {
 	}
 }
 
-func (a *artifacts) getPlan(jobID string) *plan.Plan {
+func (a *artifacts) getPlan(ws, jobID string) *plan.Plan {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.plans[jobID]
+	return a.plans[artifactKey(ws, jobID)]
 }
 
-func (a *artifacts) getDrift(jobID string) *drift.Report {
+func (a *artifacts) getDrift(ws, jobID string) *drift.Report {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.drift[jobID]
+	return a.drift[artifactKey(ws, jobID)]
+}
+
+// drop discards a deleted workspace's artifacts.
+func (a *artifacts) drop(ws string) {
+	prefix := artifactKey(ws, "")
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	kept := a.order[:0]
+	for _, key := range a.order {
+		if strings.HasPrefix(key, prefix) {
+			delete(a.plans, key)
+			delete(a.drift, key)
+			continue
+		}
+		kept = append(kept, key)
+	}
+	a.order = kept
 }
 
 // Server is the cloudlessd API.
@@ -128,7 +153,7 @@ func New(opts Options) *Server {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics", s.auth(s.handleMetrics))
 	mux.HandleFunc("GET /v1/workspaces", s.auth(s.handleListWorkspaces))
 	mux.HandleFunc("POST /v1/workspaces", s.auth(s.handleCreateWorkspace))
 	mux.HandleFunc("GET /v1/workspaces/{name}", s.auth(s.workspaceHandler(s.handleGetWorkspace)))
@@ -261,11 +286,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// handleMetrics aggregates every workspace's registry into one scrape,
-// each point labeled with its workspace, plus process-wide queue gauges.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics aggregates workspace registries into one scrape, each
+// point labeled with its workspace, plus process-wide queue gauges. The
+// scrape is authenticated like every other route (tokens configured =>
+// bearer required) and scoped by ACL: a tenant principal sees only its own
+// workspaces' series; admins (and open servers) see all of them.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	principal := principalOf(r)
 	var all []telemetry.MetricPoint
 	for _, name := range s.mgr.List() {
+		if !s.allowed(principal, name) {
+			continue
+		}
 		ws, err := s.mgr.Get(name)
 		if err != nil {
 			continue
@@ -361,6 +393,12 @@ func (s *Server) handleDeleteWorkspace(w http.ResponseWriter, r *http.Request, n
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	// Drop the workspace's ACL and artifacts with it: a later workspace
+	// reusing the name must not inherit the old one's principals or plans.
+	s.mu.Lock()
+	delete(s.acls, name)
+	s.mu.Unlock()
+	s.art.drop(name)
 	s.log.Info("workspace closed", "workspace", name)
 	writeJSON(w, http.StatusOK, map[string]any{"closed": name})
 }
@@ -403,7 +441,7 @@ func (s *Server) jobFn(name string, ws *workspace.Workspace, req JobRequest) (fu
 			}
 			// The full plan is retained server-side as an artifact: GETtable
 			// as a diff, and consumable by a later apply via plan_job.
-			s.art.put(jobs.JobID(ctx), p, nil)
+			s.art.put(name, jobs.JobID(ctx), p, nil)
 			return summarizePlan(p), nil
 		}, 1, nil
 	case "apply":
@@ -415,7 +453,7 @@ func (s *Server) jobFn(name string, ws *workspace.Workspace, req JobRequest) (fu
 		return func(ctx context.Context) (any, error) {
 			var p *plan.Plan
 			if planJob != "" {
-				if p = s.art.getPlan(planJob); p == nil {
+				if p = s.art.getPlan(name, planJob); p == nil {
 					return nil, fmt.Errorf("plan artifact %s not found (expired or never a plan job)", planJob)
 				}
 			} else {
@@ -451,7 +489,7 @@ func (s *Server) jobFn(name string, ws *workspace.Workspace, req JobRequest) (fu
 			if err != nil {
 				return nil, err
 			}
-			s.art.put(jobs.JobID(ctx), nil, rep)
+			s.art.put(name, jobs.JobID(ctx), nil, rep)
 			return summarizeDrift(rep), nil
 		}, 1, nil
 	case "scan":
@@ -460,7 +498,7 @@ func (s *Server) jobFn(name string, ws *workspace.Workspace, req JobRequest) (fu
 			if err != nil {
 				return nil, err
 			}
-			s.art.put(jobs.JobID(ctx), nil, rep)
+			s.art.put(name, jobs.JobID(ctx), nil, rep)
 			return summarizeDrift(rep), nil
 		}, 2, nil
 	case "reconcile":
@@ -475,7 +513,7 @@ func (s *Server) jobFn(name string, ws *workspace.Workspace, req JobRequest) (fu
 			return nil, 0, errors.New("reconcile requires drift_job (a finished drift/scan job id)")
 		}
 		return func(ctx context.Context) (any, error) {
-			rep := s.art.getDrift(driftJob)
+			rep := s.art.getDrift(name, driftJob)
 			if rep == nil {
 				return nil, fmt.Errorf("drift artifact %s not found (expired or never a drift job)", driftJob)
 			}
@@ -561,7 +599,7 @@ func (s *Server) handlePlanArtifact(w http.ResponseWriter, r *http.Request, name
 	if !ok {
 		return
 	}
-	p := s.art.getPlan(job.ID())
+	p := s.art.getPlan(name, job.ID())
 	if p == nil {
 		writeError(w, http.StatusNotFound, "no plan artifact for this job (not a plan job, or expired)")
 		return

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -279,6 +280,136 @@ func TestServerSmoke(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Error(err)
 		}
+	}
+}
+
+// TestServerArtifactTenantScoping: artifacts are keyed by workspace, so a
+// tenant referencing another tenant's (sequential, guessable) job ID in
+// plan_job or drift_job gets "not found" instead of that tenant's plan or
+// drift report, while same-workspace references keep working.
+func TestServerArtifactTenantScoping(t *testing.T) {
+	_, client := newTestServer(t,
+		map[string]string{"tok-a": "alice", "tok-b": "bob"}, nil)
+	ctx := context.Background()
+	alice, bob := client("tok-a"), client("tok-b")
+
+	if _, err := alice.CreateWorkspace(ctx, server.CreateWorkspaceRequest{
+		Name: "a1", Sources: tenantSource("a1"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bob.CreateWorkspace(ctx, server.CreateWorkspaceRequest{
+		Name: "b1", Sources: tenantSource("b1"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	planJob := mustJob(t, alice, "a1", server.JobRequest{Kind: "plan"})
+	scanJob := mustJob(t, alice, "a1", server.JobRequest{Kind: "scan"})
+
+	// Bob cannot apply alice's plan artifact through his own workspace.
+	st, err := bob.SubmitJob(ctx, "b1", server.JobRequest{Kind: "apply", PlanJob: planJob.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = bob.WaitJob(ctx, "b1", st.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != jobs.StatusFailed || !strings.Contains(st.Err, "not found") {
+		t.Fatalf("cross-tenant plan_job apply: %s (%s), want failed not-found", st.Status, st.Err)
+	}
+
+	// Nor reconcile against alice's drift report.
+	st, err = bob.SubmitJob(ctx, "b1", server.JobRequest{Kind: "reconcile", Action: "adopt", DriftJob: scanJob.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = bob.WaitJob(ctx, "b1", st.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != jobs.StatusFailed || !strings.Contains(st.Err, "not found") {
+		t.Fatalf("cross-tenant drift_job reconcile: %s (%s), want failed not-found", st.Status, st.Err)
+	}
+
+	// Alice's own apply-by-reference still resolves her artifact.
+	mustJob(t, alice, "a1", server.JobRequest{Kind: "apply", PlanJob: planJob.ID})
+}
+
+// TestServerDeleteWorkspaceClearsACL: deleting a workspace drops its ACL,
+// so a new workspace reusing the name doesn't inherit the old principals.
+func TestServerDeleteWorkspaceClearsACL(t *testing.T) {
+	_, client := newTestServer(t,
+		map[string]string{"tok-a": "alice", "tok-b": "bob"}, nil)
+	ctx := context.Background()
+	alice, bob := client("tok-a"), client("tok-b")
+
+	if _, err := alice.CreateWorkspace(ctx, server.CreateWorkspaceRequest{
+		Name: "shared", Sources: tenantSource("v1"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.DeleteWorkspace(ctx, "shared"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bob.CreateWorkspace(ctx, server.CreateWorkspaceRequest{
+		Name: "shared", Sources: tenantSource("v2"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var apiErr *server.APIError
+	if _, err := alice.GetWorkspace(ctx, "shared"); !errors.As(err, &apiErr) || apiErr.Code != 403 {
+		t.Fatalf("alice kept access to recreated workspace: got %v, want 403", err)
+	}
+	if _, err := bob.GetWorkspace(ctx, "shared"); err != nil {
+		t.Fatalf("new owner lost access: %v", err)
+	}
+}
+
+// TestServerMetricsAuthAndScoping: /metrics requires a bearer token when
+// auth is configured, and each principal's scrape contains only the
+// workspaces it can access (admins see all of them).
+func TestServerMetricsAuthAndScoping(t *testing.T) {
+	_, client := newTestServer(t,
+		map[string]string{"tok-a": "alice", "tok-b": "bob", "tok-r": "root"},
+		[]string{"root"})
+	ctx := context.Background()
+	alice, bob, admin := client("tok-a"), client("tok-b"), client("tok-r")
+
+	if _, err := alice.CreateWorkspace(ctx, server.CreateWorkspaceRequest{
+		Name: "a1", Sources: tenantSource("a1"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bob.CreateWorkspace(ctx, server.CreateWorkspaceRequest{
+		Name: "b1", Sources: tenantSource("b1"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustJob(t, alice, "a1", server.JobRequest{Kind: "plan"})
+	mustJob(t, bob, "b1", server.JobRequest{Kind: "plan"})
+
+	var apiErr *server.APIError
+	if _, err := client("").Metrics(ctx); !errors.As(err, &apiErr) || apiErr.Code != 401 {
+		t.Fatalf("unauthenticated /metrics: got %v, want 401", err)
+	}
+
+	scrape, err := alice.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(scrape, `workspace="a1"`) {
+		t.Error("alice's scrape is missing her own workspace series")
+	}
+	if strings.Contains(scrape, "b1") {
+		t.Error("alice's scrape leaks bob's workspace")
+	}
+
+	scrape, err = admin.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(scrape, `workspace="a1"`) || !strings.Contains(scrape, `workspace="b1"`) {
+		t.Error("admin scrape is missing tenant series")
 	}
 }
 
