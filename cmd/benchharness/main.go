@@ -35,7 +35,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (E1..E10, ET, SD, PV, CR, HG, EV, SC, SV)")
+	only := flag.String("only", "", "run a single experiment (E1..E10, ET, SD, PV, CR, HG, EV, SC, SV, DR)")
 	flag.StringVar(&jsonOut, "json", "", "write machine-readable results (currently: ET) to this file")
 	flag.StringVar(&jsonOutSD, "json-sd", "", "write machine-readable SD results to this file")
 	flag.StringVar(&jsonOutPV, "json-pv", "", "write machine-readable PV results to this file")
@@ -44,6 +44,7 @@ func main() {
 	flag.StringVar(&jsonOutEV, "json-ev", "", "write machine-readable EV results to this file")
 	flag.StringVar(&jsonOutSC, "json-sc", "", "write machine-readable SC results to this file")
 	flag.StringVar(&jsonOutSV, "json-sv", "", "write machine-readable SV results to this file")
+	flag.StringVar(&jsonOutDR, "json-dr", "", "write machine-readable DR results to this file")
 	flag.StringVar(&baselineSC, "baseline-sc", "", "compare SC against a recorded BENCH_scale.json; exit 1 on >5% regression")
 	flag.Parse()
 
@@ -70,6 +71,7 @@ func main() {
 		{"EV", "live ops plane: event-bus throughput, subscriber tax on apply, drop accounting (§25)", ev},
 		{"SC", "scale-out planning core: incremental replan, parallel evaluation, bulk ops (§26)", sc},
 		{"SV", "workspace server: multi-tenant job latency and fairness under 2x overload (§27)", sv},
+		{"DR", "daemon disaster recovery: SIGKILL/restart chaos, zero lost jobs, replay cost (§28)", dr},
 	}
 	for _, e := range experiments {
 		if *only != "" && !strings.EqualFold(*only, e.id) {

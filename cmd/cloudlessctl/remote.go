@@ -263,6 +263,13 @@ func remoteTail(serverURL, token, ws string, since int64, wait time.Duration, on
 		if err != nil {
 			return err
 		}
+		if g := page.Gap; g != nil {
+			// The server could not resume our watermark gaplessly (daemon
+			// restart reset the sequence, or the replay ring overflowed).
+			// Say so and re-anchor instead of silently renumbering.
+			fmt.Printf("-- event stream gap (%s): events after #%d were lost; resuming from #%d --\n",
+				g.Reason, g.Since, page.Next)
+		}
 		watermark = page.Next
 		for _, we := range page.Events {
 			e := cloudless.Event(we)

@@ -20,6 +20,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -62,14 +63,56 @@ func main() {
 		DefaultBackend: *backend,
 		Defaults:       workspace.Config{GuardApplies: *guard},
 	})
-	queue := jobs.New(jobs.Options{Workers: *workers})
+	// With a data dir the daemon is crash-safe (DESIGN.md S28): jobs journal
+	// every transition to <data-dir>/<workspace>/jobs.journal and ACLs
+	// persist alongside, so a restart resumes instead of starting blank.
+	queueOpts := jobs.Options{Workers: *workers}
+	aclPath := ""
+	if *dataDir != "" {
+		store, err := jobs.OpenStore(*dataDir, jobs.StoreOptions{})
+		if err != nil {
+			logger.Error("open job store", "err", err)
+			os.Exit(1)
+		}
+		queueOpts.Store = store
+		aclPath = filepath.Join(*dataDir, "acl.json")
+	}
+	queue := jobs.New(queueOpts)
 	srv := server.New(server.Options{
 		Manager: mgr,
 		Queue:   queue,
 		Tokens:  parsePairs(*tokens),
 		Admins:  splitList(*admins),
 		Logger:  logger,
+		ACLPath: aclPath,
 	})
+
+	// Startup recovery, before the listener admits traffic: reopen every
+	// persisted workspace (durable state reloads with it), then replay the
+	// job journals — terminal jobs become history, queued jobs re-enqueue,
+	// and jobs that were mid-apply at a crash resume through apply-level
+	// recovery under their original idempotency keys.
+	startupCtx, cancelStartup := context.WithTimeout(context.Background(), 5*time.Minute)
+	wsRep, err := mgr.Recover(startupCtx)
+	if err != nil {
+		logger.Error("workspace recovery failed", "err", err)
+		os.Exit(1)
+	}
+	for name, ferr := range wsRep.Failed {
+		logger.Error("workspace not recovered", "workspace", name, "err", ferr)
+	}
+	jobRep, err := srv.RecoverJobs(startupCtx)
+	cancelStartup()
+	if err != nil {
+		logger.Error("job recovery failed", "err", err)
+		os.Exit(1)
+	}
+	if len(wsRep.Reopened) > 0 || jobRep.Restored > 0 {
+		logger.Info("recovered after restart",
+			"workspaces", len(wsRep.Reopened), "stale_journals", len(wsRep.Journals),
+			"jobs", jobRep.Restored, "requeued", jobRep.Requeued,
+			"resumed", jobRep.Resumed, "orphaned", jobRep.Orphaned)
+	}
 
 	// Graceful shutdown: first signal drains (HTTP, then jobs, then
 	// workspace closes) under the drain budget; a second signal hard-kills.

@@ -1,0 +1,48 @@
+package chaosd
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestDaemonChaosSmoke is the CI face of the DR drill: a handful of real
+// SIGKILL/restart rounds against a subprocess cloudlessd, asserting the
+// full crash-safety contract (no lost jobs, no duplicate creates, no
+// orphans, convergence). CLOUDLESS_CHAOS_TRIALS scales the budget; the
+// benchharness DR experiment runs the same harness at full depth.
+func TestDaemonChaosSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos drill; skipped in -short")
+	}
+	trials := 4
+	if v := os.Getenv("CLOUDLESS_CHAOS_TRIALS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			trials = n
+		}
+	}
+	res, err := Run(t.TempDir(), Options{
+		Trials:  trials,
+		Tenants: 3,
+		Seed:    7,
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("chaos drill: %v", err)
+	}
+	for _, f := range res.Failures() {
+		t.Errorf("invariant violated: %s", f)
+	}
+	if res.Kills != trials {
+		t.Errorf("kills = %d, want %d", res.Kills, trials)
+	}
+	if res.LostJobs != 0 || res.StuckJobs != 0 || res.DuplicateCreates != 0 || res.Orphans != 0 || res.Diverged != 0 {
+		t.Errorf("contract broken: lost=%d stuck=%d dupes=%d orphans=%d diverged=%d",
+			res.LostJobs, res.StuckJobs, res.DuplicateCreates, res.Orphans, res.Diverged)
+	}
+	if trials >= 3 && res.MidFlightKills == 0 {
+		t.Errorf("no kill landed on an in-flight job across %d trials; harness timing is off", trials)
+	}
+	t.Logf("chaosd smoke: %d kills (%d mid-flight), %d jobs submitted, %d recovered, resume p50=%.0fms max=%.0fms",
+		res.Kills, res.MidFlightKills, res.JobsSubmitted, res.JobsRecovered, res.ResumeP50Ms, res.ResumeMaxMs)
+}

@@ -145,6 +145,21 @@ func (b *Bus) LastSeq() int64 {
 	return b.seq
 }
 
+// OldestSeq returns the oldest sequence number still in the replay ring
+// (0 when nothing is retained). A watermark below OldestSeq()-1 cannot be
+// resumed gaplessly: the ring has dropped events past its capacity.
+func (b *Bus) OldestSeq() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.count == 0 {
+		return 0
+	}
+	return b.ring[b.start].Seq
+}
+
 // Since returns the retained events with Seq > after, oldest first, and the
 // oldest sequence still retained. If after is older than the retention
 // window the caller can detect the gap by comparing after+1 with the first

@@ -7,17 +7,23 @@
 // gate so sustained congestion shrinks effective concurrency instead of
 // piling on.
 //
-// The queue itself persists nothing: resumability comes from the layer
-// below (a crashed apply job leaves its workspace journal, and a recover
-// job — submitted explicitly or by the automatic recovery at the head of
-// the next plan/apply — resumes it).
+// Durability is opt-in via Options.Store (DESIGN.md S28): with a store
+// attached, every transition (submitted -> running -> terminal) is appended
+// to a per-tenant CRC-framed journal and fsynced before the transition is
+// acknowledged, and Restore rebuilds the job table from a replayed journal
+// after a daemon restart. Without a store the queue persists nothing and
+// resumability comes from the layer below (a crashed apply job leaves its
+// workspace journal, and a recover job resumes it).
 package jobs
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -77,6 +83,15 @@ type Request struct {
 	// tenant submitting heavy applies yields dispatch slots to tenants
 	// submitting cheap plans.
 	Cost float64
+	// IdemKey is an optional client-supplied idempotency key. Submitting a
+	// second job with the same (tenant, key) returns the original job
+	// instead of creating a new one, making submit retries safe across
+	// timeouts and daemon restarts.
+	IdemKey string
+	// Params is the submitter's request payload, persisted opaquely with
+	// the job so restart recovery can rebuild Fn for jobs that still need
+	// to run.
+	Params json.RawMessage
 	// Fn does the work. The context is canceled by Cancel and by queue
 	// shutdown; Fn must honor it.
 	Fn func(ctx context.Context) (any, error)
@@ -97,11 +112,14 @@ type View struct {
 // Job is one unit of queued work. All state is guarded by the queue's
 // lock; read it through Snapshot/Result/Wait.
 type Job struct {
-	q      *Queue
-	id     string
-	tenant string
-	kind   string
-	fn     func(ctx context.Context) (any, error)
+	q       *Queue
+	id      string
+	tenant  string
+	kind    string
+	idemKey string
+	params  json.RawMessage
+	cost    float64
+	fn      func(ctx context.Context) (any, error)
 
 	status    Status
 	submitted time.Time
@@ -109,6 +127,10 @@ type Job struct {
 	finished  time.Time
 	err       error
 	result    any
+	// noRecord suppresses the terminal store record for this job: the
+	// shutdown checkpoint writes a queued record instead, so the job is
+	// re-enqueued (not replayed as canceled) after a clean restart.
+	noRecord bool
 	// claimed flips when a worker pops the job in next(); from then on the
 	// job's terminal transition belongs to that worker alone (Cancel only
 	// cancels ctx) so done is closed exactly once.
@@ -182,6 +204,9 @@ type Options struct {
 	Weights map[string]float64
 	// Clock supplies timestamps (default time.Now); tests pin it.
 	Clock func() time.Time
+	// Store, when set, makes the queue durable: transitions are journaled
+	// and fsynced, and Restore can rebuild the job table after a restart.
+	Store *Store
 }
 
 // Queue runs submitted jobs on a worker pool in fair-share order.
@@ -193,8 +218,9 @@ type Queue struct {
 	cond       *sync.Cond
 	sched      *sfq
 	jobs       map[string]*Job
-	backlog    map[string]int      // queued per tenant, for admission
-	finished   map[string][]string // terminal job IDs per tenant, oldest first
+	backlog    map[string]int               // queued per tenant, for admission
+	finished   map[string][]string          // terminal job IDs per tenant, oldest first
+	idem       map[string]map[string]string // tenant -> idem key -> job ID
 	nextID     int
 	closed     bool
 	wg         sync.WaitGroup
@@ -226,6 +252,7 @@ func New(opts Options) *Queue {
 		jobs:     map[string]*Job{},
 		backlog:  map[string]int{},
 		finished: map[string][]string{},
+		idem:     map[string]map[string]string{},
 	}
 	q.cond = sync.NewCond(&q.mu)
 	q.baseCtx, q.baseCancel = context.WithCancel(context.Background())
@@ -238,6 +265,40 @@ func New(opts Options) *Queue {
 
 // Gate exposes the admission gate (window/queue introspection).
 func (q *Queue) Gate() *provider.AdmissionGate { return q.gate }
+
+// Store exposes the durable store (nil when the queue is in-memory only).
+func (q *Queue) Store() *Store { return q.opts.Store }
+
+// storedLocked snapshots a job as its durable record.
+func (j *Job) storedLocked() StoredJob {
+	s := StoredJob{
+		ID: j.id, Tenant: j.tenant, Kind: j.kind, Status: j.status,
+		IdemKey: j.idemKey, Params: j.params, Cost: j.cost,
+		Submitted: j.submitted, Started: j.started, Finished: j.finished,
+	}
+	if j.err != nil {
+		s.Err = j.err.Error()
+	}
+	if j.status.Terminal() && j.result != nil {
+		// Best-effort: a result that doesn't marshal still persists the
+		// status and error.
+		if raw, err := json.Marshal(j.result); err == nil {
+			s.Result = raw
+		}
+	}
+	return s
+}
+
+// appendLocked journals the job's current state. Transition appends after
+// a successful submit are best-effort: a disk error must not wedge the
+// worker pool, and replay treats a missing later record as "the earlier
+// state stood at the crash", which recovery already handles.
+func (q *Queue) appendLocked(j *Job) {
+	if q.opts.Store == nil {
+		return
+	}
+	_ = q.opts.Store.Append(j.storedLocked())
+}
 
 func (q *Queue) weight(tenant string) float64 {
 	if w, ok := q.opts.Weights[tenant]; ok && w > 0 {
@@ -260,6 +321,15 @@ func (q *Queue) Submit(req Request) (*Job, error) {
 	if q.closed {
 		return nil, ErrClosed
 	}
+	// Idempotent resubmission: a retry carrying the original key dedups to
+	// the original job — the caller re-observes it rather than re-running.
+	if req.IdemKey != "" {
+		if id, ok := q.idem[req.Tenant][req.IdemKey]; ok {
+			if j, ok := q.jobs[id]; ok {
+				return j, nil
+			}
+		}
+	}
 	if q.backlog[req.Tenant] >= q.opts.MaxQueuedPerTenant {
 		return nil, &ErrQueueFull{Tenant: req.Tenant, Limit: q.opts.MaxQueuedPerTenant}
 	}
@@ -267,14 +337,36 @@ func (q *Queue) Submit(req Request) (*Job, error) {
 	j := &Job{
 		q: q, id: fmt.Sprintf("j-%06d", q.nextID),
 		tenant: req.Tenant, kind: req.Kind, fn: req.Fn,
+		idemKey: req.IdemKey, params: req.Params, cost: req.Cost,
 		status: StatusQueued, submitted: q.opts.Clock(),
 		done: make(chan struct{}),
 	}
+	// Durability before acknowledgment: an accepted submit must survive a
+	// crash, so a failed journal append rejects the submit outright.
+	if q.opts.Store != nil {
+		if err := q.opts.Store.Append(j.storedLocked()); err != nil {
+			q.nextID--
+			return nil, fmt.Errorf("jobs: persist submit: %w", err)
+		}
+	}
 	q.jobs[j.id] = j
 	q.backlog[req.Tenant]++
+	q.registerIdemLocked(j)
 	q.sched.push(req.Tenant, q.weight(req.Tenant), req.Cost, j)
 	q.cond.Signal()
 	return j, nil
+}
+
+func (q *Queue) registerIdemLocked(j *Job) {
+	if j.idemKey == "" {
+		return
+	}
+	m := q.idem[j.tenant]
+	if m == nil {
+		m = map[string]string{}
+		q.idem[j.tenant] = m
+	}
+	m[j.idemKey] = j.id
 }
 
 // Get returns a job by ID.
@@ -380,6 +472,7 @@ func (q *Queue) worker() {
 		q.mu.Lock()
 		j.status = StatusRunning
 		j.started = q.opts.Clock()
+		q.appendLocked(j)
 		q.mu.Unlock()
 
 		res, err := j.fn(j.ctx)
@@ -415,6 +508,9 @@ func (q *Queue) finishLocked(j *Job, res any, err error) {
 	default:
 		j.status = StatusSucceeded
 	}
+	if !j.noRecord {
+		q.appendLocked(j)
+	}
 	close(j.done)
 	q.retireLocked(j)
 }
@@ -425,6 +521,9 @@ func (q *Queue) finishLocked(j *Job, res any, err error) {
 func (q *Queue) retireLocked(j *Job) {
 	ids := append(q.finished[j.tenant], j.id)
 	for len(ids) > q.opts.MaxFinishedPerTenant {
+		if old := q.jobs[ids[0]]; old != nil && old.idemKey != "" {
+			delete(q.idem[old.tenant], old.idemKey)
+		}
 		delete(q.jobs, ids[0])
 		ids = ids[1:]
 	}
@@ -441,6 +540,12 @@ func (q *Queue) QueuedLen() int {
 // Shutdown stops the queue: new submits fail, still-queued jobs are
 // canceled, and running jobs get until ctx expires to finish before their
 // contexts are canceled. Always waits for workers to exit.
+//
+// With a store attached, still-queued jobs get a graceful-shutdown
+// checkpoint: a clean "queued" record is journaled (instead of a canceled
+// terminal record) so the next daemon start re-enqueues them, while local
+// waiters see them resolve canceled. Running jobs that drain in time write
+// terminal records through the normal finish path.
 func (q *Queue) Shutdown(ctx context.Context) error {
 	q.mu.Lock()
 	if !q.closed {
@@ -451,6 +556,10 @@ func (q *Queue) Shutdown(ctx context.Context) error {
 				break
 			}
 			q.backlog[j.tenant]--
+			if q.opts.Store != nil {
+				q.appendLocked(j) // status still queued: the restart checkpoint
+				j.noRecord = true
+			}
 			q.finishLocked(j, nil, context.Canceled)
 		}
 		q.cond.Broadcast()
@@ -470,4 +579,119 @@ func (q *Queue) Shutdown(ctx context.Context) error {
 		<-done
 		return ctx.Err()
 	}
+}
+
+// Restore rebuilds one replayed job in the queue after a daemon restart,
+// preserving its pre-crash ID, timestamps, and idempotency key so clients
+// re-polling old job IDs (or retrying old submits) see the original job.
+//
+//   - Terminal records become history: Get/List/Wait serve them immediately.
+//   - Non-terminal records (queued at the crash, or running mid-flight) are
+//     re-enqueued with fn as the work function; the caller chooses fn — for
+//     a job that was mid-apply, that is the workspace recovery path, so the
+//     resumed job completes under its original apply idempotency keys. A
+//     nil fn marks the job failed with the given reason instead (e.g. its
+//     workspace no longer exists).
+//
+// Restore must run before the queue takes live submissions: it advances
+// the ID sequence past every restored ID so new jobs never collide.
+func (q *Queue) Restore(stored StoredJob, fn func(ctx context.Context) (any, error), failReason string) (*Job, error) {
+	if stored.ID == "" || stored.Tenant == "" {
+		return nil, errors.New("jobs: restore needs an ID and tenant")
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := q.jobs[stored.ID]; dup {
+		return nil, fmt.Errorf("jobs: restore: %s already present", stored.ID)
+	}
+	// Keep the ID sequence ahead of everything replayed.
+	if n, ok := parseJobID(stored.ID); ok && n > q.nextID {
+		q.nextID = n
+	}
+	j := &Job{
+		q: q, id: stored.ID, tenant: stored.Tenant, kind: stored.Kind,
+		idemKey: stored.IdemKey, params: stored.Params, cost: stored.Cost,
+		status: stored.Status, submitted: stored.Submitted,
+		started: stored.Started, finished: stored.Finished,
+		done: make(chan struct{}),
+	}
+	if stored.Err != "" {
+		j.err = errors.New(stored.Err)
+	}
+	if len(stored.Result) > 0 {
+		// Decode into any: the same shape a result has after one wire
+		// round-trip, which is what JobStatus.Result carries anyway.
+		var res any
+		if json.Unmarshal(stored.Result, &res) == nil {
+			j.result = res
+		}
+	}
+	q.jobs[j.id] = j
+	q.registerIdemLocked(j)
+	switch {
+	case stored.Status.Terminal():
+		close(j.done)
+		q.retireLocked(j)
+	case fn == nil:
+		if failReason == "" {
+			failReason = "not recoverable after restart"
+		}
+		q.finishLocked(j, nil, errors.New(failReason))
+	default:
+		j.fn = fn
+		j.status = StatusQueued
+		q.backlog[j.tenant]++
+		q.sched.push(j.tenant, q.weight(j.tenant), j.cost, j)
+		q.cond.Signal()
+	}
+	return j, nil
+}
+
+// parseJobID extracts the sequence number from a "j-%06d" job ID.
+func parseJobID(id string) (int, bool) {
+	rest, ok := strings.CutPrefix(id, "j-")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// ActiveForTenant counts the tenant's non-terminal jobs (queued, claimed,
+// or running). Workspace deletion refuses while this is non-zero.
+func (q *Queue) ActiveForTenant(tenant string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, j := range q.jobs {
+		if j.tenant == tenant && !j.status.Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// DropTenant forgets a tenant's job history — memory and journal — after
+// its workspace is deleted, so a recreated workspace with the same name
+// starts clean. The caller must ensure the tenant has no active jobs.
+func (q *Queue) DropTenant(tenant string) error {
+	q.mu.Lock()
+	for id, j := range q.jobs {
+		if j.tenant == tenant && j.status.Terminal() {
+			delete(q.jobs, id)
+		}
+	}
+	delete(q.finished, tenant)
+	delete(q.idem, tenant)
+	q.mu.Unlock()
+	if q.opts.Store != nil {
+		return q.opts.Store.Drop(tenant)
+	}
+	return nil
 }

@@ -1,0 +1,378 @@
+// Durable job store (DESIGN.md S28). The queue itself is an in-memory
+// scheduler; this file gives cloudlessd a crash-safe ledger under it: every
+// job transition (submitted -> running -> terminal) is appended to a
+// CRC-framed per-tenant journal (internal/wal) and fsynced, so a SIGKILL'd
+// daemon can replay the journals at startup and rebuild its entire job
+// table — queued jobs are re-enqueued, jobs that were mid-flight are routed
+// through recovery, and a client re-polling a pre-crash job ID sees the
+// real outcome instead of a 404.
+//
+// Record format: each frame's payload is one JSON StoredJob snapshot (the
+// full folded state at that transition, not a delta). Replay folds by job
+// ID with last-record-wins, which makes the fold trivially idempotent and
+// keeps torn-tail handling entirely inside internal/wal. Terminal records
+// past the retention cap are compacted away by rewriting the journal once
+// dead frames dominate, so a long-lived daemon's journal stays bounded.
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"cloudless/internal/wal"
+)
+
+// storeFile is the per-tenant journal filename under Root/<tenant>/.
+const storeFile = "jobs.journal"
+
+// StoredJob is the durable snapshot of one job at one transition. It is
+// both the on-disk payload and what Replay hands back after folding.
+type StoredJob struct {
+	ID      string `json:"id"`
+	Tenant  string `json:"tenant"`
+	Kind    string `json:"kind"`
+	Status  Status `json:"status"`
+	IdemKey string `json:"idem_key,omitempty"`
+	// Params is the submitter's request, opaque to the queue. The server
+	// stores the wire JobRequest here so restart recovery can rebuild the
+	// work function for jobs that still need to run.
+	Params    json.RawMessage `json:"params,omitempty"`
+	Cost      float64         `json:"cost,omitempty"`
+	Submitted time.Time       `json:"submitted"`
+	Started   time.Time       `json:"started,omitempty"`
+	Finished  time.Time       `json:"finished,omitempty"`
+	Err       string          `json:"error,omitempty"`
+	// Result is the JSON-rendered job result for terminal records ("" when
+	// the result did not marshal — the status and error still persist).
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// StoreOptions tune OpenStore.
+type StoreOptions struct {
+	// MaxFinishedPerTenant mirrors the queue's terminal-job retention cap
+	// (default 256): compaction drops the oldest terminal jobs past it.
+	MaxFinishedPerTenant int
+	// NoSync disables fsync (tests only; the daemon always syncs).
+	NoSync bool
+}
+
+// Store manages the per-tenant job journals under one root directory
+// (Root/<tenant>/jobs.journal — the same layout the workspace manager uses
+// for its own artifacts). Safe for concurrent use.
+type Store struct {
+	root string
+	opts StoreOptions
+
+	mu      sync.Mutex
+	tenants map[string]*tenantLog
+	closed  bool
+}
+
+// tenantLog is one tenant's open journal plus the folded live view that
+// drives compaction.
+type tenantLog struct {
+	f      *os.File
+	path   string
+	live   map[string]*StoredJob // folded job state, retention already applied
+	order  []string              // terminal job IDs, oldest first
+	frames int                   // frames in the file since last compaction
+}
+
+// OpenStore opens (or creates) a job store rooted at dir.
+func OpenStore(dir string, opts StoreOptions) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("jobs: store root is required")
+	}
+	if opts.MaxFinishedPerTenant <= 0 {
+		opts.MaxFinishedPerTenant = 256
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: open store: %w", err)
+	}
+	return &Store{root: dir, opts: opts, tenants: map[string]*tenantLog{}}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// tenantPath returns the journal path for a tenant. Tenant names are
+// workspace names, already validated path-safe by workspace.ValidName; a
+// name that still smuggles a separator is rejected.
+func (s *Store) tenantPath(tenant string) (string, error) {
+	if tenant == "" || tenant != filepath.Base(tenant) || tenant == "." || tenant == ".." {
+		return "", fmt.Errorf("jobs: invalid tenant %q", tenant)
+	}
+	return filepath.Join(s.root, tenant, storeFile), nil
+}
+
+// open returns the tenant's log, replaying the existing journal on first
+// touch so the live view (and compaction bookkeeping) starts correct.
+func (s *Store) open(tenant string) (*tenantLog, error) {
+	if tl := s.tenants[tenant]; tl != nil {
+		return tl, nil
+	}
+	path, err := s.tenantPath(tenant)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: open journal: %w", err)
+	}
+	live, frames, durable, err := readJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: open journal: %w", err)
+	}
+	// Drop a torn tail left by a crash mid-append before appending past it.
+	if fi, statErr := f.Stat(); statErr == nil && fi.Size() > int64(durable) {
+		if err := f.Truncate(int64(durable)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("jobs: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, err
+	}
+	tl := &tenantLog{f: f, path: path, live: live, frames: frames}
+	for _, j := range jobsInOrder(live) {
+		if j.Status.Terminal() {
+			tl.order = append(tl.order, j.ID)
+		}
+	}
+	s.tenants[tenant] = tl
+	s.retire(tl)
+	return tl, nil
+}
+
+// readJournal folds one journal file into job state. Returns the folded
+// jobs, the number of intact frames, and the durable byte prefix.
+func readJournal(path string) (map[string]*StoredJob, int, int, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return map[string]*StoredJob{}, 0, 0, nil
+	}
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("jobs: read journal: %w", err)
+	}
+	live := map[string]*StoredJob{}
+	frames := 0
+	durable := wal.Scan(data, func(payload []byte) bool {
+		var j StoredJob
+		if json.Unmarshal(payload, &j) == nil && j.ID != "" {
+			cp := j
+			live[j.ID] = &cp
+		}
+		frames++
+		return true
+	})
+	return live, frames, durable, nil
+}
+
+// jobsInOrder sorts folded jobs by ID (zero-padded sequence numbers, so
+// lexicographic order is submission order).
+func jobsInOrder(live map[string]*StoredJob) []StoredJob {
+	out := make([]StoredJob, 0, len(live))
+	for _, j := range live {
+		out = append(out, *j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Append durably records one job transition: the frame is written and
+// fsynced before Append returns, so an acknowledged submit (or an observed
+// state change) survives a SIGKILL immediately after.
+func (s *Store) Append(j StoredJob) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("jobs: store closed")
+	}
+	tl, err := s.open(j.Tenant)
+	if err != nil {
+		return err
+	}
+	payload, err := json.Marshal(j)
+	if err != nil {
+		return fmt.Errorf("jobs: encode record: %w", err)
+	}
+	if _, err := tl.f.Write(wal.Encode(payload)); err != nil {
+		return fmt.Errorf("jobs: append record: %w", err)
+	}
+	if !s.opts.NoSync {
+		if err := tl.f.Sync(); err != nil {
+			return fmt.Errorf("jobs: sync journal: %w", err)
+		}
+	}
+	tl.frames++
+	cp := j
+	if prev := tl.live[j.ID]; prev == nil || !prev.Status.Terminal() {
+		if j.Status.Terminal() {
+			tl.order = append(tl.order, j.ID)
+		}
+	}
+	tl.live[j.ID] = &cp
+	s.retire(tl)
+	return s.maybeCompact(tl)
+}
+
+// retire drops the oldest terminal jobs past the retention cap from the
+// live view; the dead frames are reclaimed by the next compaction.
+func (s *Store) retire(tl *tenantLog) {
+	for len(tl.order) > s.opts.MaxFinishedPerTenant {
+		delete(tl.live, tl.order[0])
+		tl.order = tl.order[1:]
+	}
+}
+
+// maybeCompact rewrites the journal once dead frames dominate: more than
+// twice the live-job count (plus slack so small journals never churn).
+// The rewrite is crash-safe: new file, fsync, rename over the old one.
+func (s *Store) maybeCompact(tl *tenantLog) error {
+	if tl.frames <= 2*len(tl.live)+64 {
+		return nil
+	}
+	tmp := tl.path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobs: compact: %w", err)
+	}
+	frames := 0
+	for _, j := range jobsInOrder(tl.live) {
+		payload, err := json.Marshal(j)
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("jobs: compact: %w", err)
+		}
+		if _, err := f.Write(wal.Encode(payload)); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("jobs: compact: %w", err)
+		}
+		frames++
+	}
+	if !s.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("jobs: compact: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("jobs: compact: %w", err)
+	}
+	if err := os.Rename(tmp, tl.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("jobs: compact: %w", err)
+	}
+	old := tl.f
+	nf, err := os.OpenFile(tl.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobs: compact reopen: %w", err)
+	}
+	if _, err := nf.Seek(0, 2); err != nil {
+		nf.Close()
+		return err
+	}
+	old.Close()
+	tl.f = nf
+	tl.frames = frames
+	return nil
+}
+
+// Replay folds a tenant's journal into its job history, oldest submission
+// first. Safe to call for tenants with no journal (returns nil).
+func (s *Store) Replay(tenant string) ([]StoredJob, error) {
+	if s == nil {
+		return nil, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tl, err := s.open(tenant)
+	if err != nil {
+		return nil, err
+	}
+	return jobsInOrder(tl.live), nil
+}
+
+// Tenants lists every tenant with a job journal under the root.
+func (s *Store) Tenants() ([]string, error) {
+	if s == nil {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(s.root, e.Name(), storeFile)); err == nil {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Drop closes and deletes a tenant's journal (workspace deletion): a later
+// workspace reusing the name must not inherit the old one's job history.
+func (s *Store) Drop(tenant string) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if tl := s.tenants[tenant]; tl != nil {
+		tl.f.Close()
+		delete(s.tenants, tenant)
+	}
+	path, err := s.tenantPath(tenant)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// Close releases every open journal. Appends after Close fail.
+func (s *Store) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	for name, tl := range s.tenants {
+		if err := tl.f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(s.tenants, name)
+	}
+	return first
+}

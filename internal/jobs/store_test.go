@@ -1,0 +1,397 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"cloudless/internal/wal"
+)
+
+func testStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := OpenStore(t.TempDir(), StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestStoreSubmitSurvivesReplay: a queued record appended before a "crash"
+// (new store over the same directory) replays intact.
+func TestStoreSubmitSurvivesReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := StoredJob{
+		ID: "j-000001", Tenant: "ws-a", Kind: "apply", Status: StatusQueued,
+		IdemKey: "k1", Params: json.RawMessage(`{"kind":"apply"}`),
+		Submitted: time.Now().UTC().Truncate(time.Millisecond),
+	}
+	if err := s.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	s.Close() // simulate crash + restart: reopen cold
+
+	s2, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	jobs, err := s2.Replay("ws-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("replayed %d jobs, want 1", len(jobs))
+	}
+	got := jobs[0]
+	if got.ID != rec.ID || got.Status != StatusQueued || got.IdemKey != "k1" ||
+		string(got.Params) != `{"kind":"apply"}` || !got.Submitted.Equal(rec.Submitted) {
+		t.Fatalf("replayed record mismatch: %+v", got)
+	}
+}
+
+// TestStoreLastRecordWins: transitions are full snapshots; replay folds to
+// the latest one per job.
+func TestStoreLastRecordWins(t *testing.T) {
+	s := testStore(t)
+	base := StoredJob{ID: "j-000001", Tenant: "t", Kind: "plan", Status: StatusQueued}
+	for _, st := range []Status{StatusQueued, StatusRunning, StatusSucceeded} {
+		base.Status = st
+		if err := s.Append(base); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jobs, err := s.Replay("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].Status != StatusSucceeded {
+		t.Fatalf("fold = %+v, want one succeeded job", jobs)
+	}
+}
+
+// TestStoreTornTailTruncated: a partial final frame (crash mid-append) is
+// dropped on reopen; the intact prefix survives and new appends land after
+// the durable prefix.
+func TestStoreTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(StoredJob{ID: "j-000001", Tenant: "t", Status: StatusQueued}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Tear the tail: append a frame, then chop bytes off the end.
+	path := filepath.Join(dir, "t", storeFile)
+	torn := wal.Encode([]byte(`{"id":"j-000002","tenant":"t","status":"queued"}`))
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn[:len(torn)-3]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	jobs, err := s2.Replay("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != "j-000001" {
+		t.Fatalf("after torn tail replay = %+v, want only j-000001", jobs)
+	}
+	// The reopened journal must be appendable past the truncation.
+	if err := s2.Append(StoredJob{ID: "j-000003", Tenant: "t", Status: StatusQueued}); err != nil {
+		t.Fatal(err)
+	}
+	jobs, _ = s2.Replay("t")
+	if len(jobs) != 2 {
+		t.Fatalf("after post-truncate append replay = %+v, want 2 jobs", jobs)
+	}
+}
+
+// TestStoreCompaction: a long history of terminal jobs is bounded — the
+// journal file shrinks once dead frames dominate, and replay still returns
+// only the retained window.
+func TestStoreCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, StoreOptions{MaxFinishedPerTenant: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 1; i <= 500; i++ {
+		id := jobID(i)
+		for _, st := range []Status{StatusQueued, StatusRunning, StatusSucceeded} {
+			if err := s.Append(StoredJob{ID: id, Tenant: "t", Status: st}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	jobs, err := s.Replay("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 16 {
+		t.Fatalf("retained %d jobs, want 16", len(jobs))
+	}
+	if jobs[len(jobs)-1].ID != jobID(500) || jobs[0].ID != jobID(485) {
+		t.Fatalf("retained window [%s..%s], want [%s..%s]",
+			jobs[0].ID, jobs[len(jobs)-1].ID, jobID(485), jobID(500))
+	}
+	// 500 jobs x 3 records each would be ~1500 frames; compaction must keep
+	// the file within the live window plus slack.
+	fi, err := os.Stat(filepath.Join(dir, "t", storeFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxFrames := 2*16 + 64 + 1
+	maxBytes := int64(maxFrames) * 256 // generous per-record ceiling
+	if fi.Size() > maxBytes {
+		t.Fatalf("journal is %d bytes after compaction, want <= %d", fi.Size(), maxBytes)
+	}
+}
+
+func jobID(n int) string { return fmt.Sprintf("j-%06d", n) }
+
+// TestQueueDurableLifecycle: a queue wired to a store journals submit,
+// start, and finish; a second queue restored from the replay serves the
+// original job ID with the original result.
+func TestQueueDurableLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := New(Options{Workers: 1, FixedAdmission: true, Store: st})
+	j, err := q.Submit(Request{
+		Tenant: "ws", Kind: "plan", IdemKey: "idem-1",
+		Fn: func(ctx context.Context) (any, error) { return map[string]any{"adds": 3.0}, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// Restart: fresh store + queue over the same directory.
+	st2, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2 := New(Options{Workers: 1, FixedAdmission: true, Store: st2})
+	defer q2.Shutdown(context.Background())
+	replayed, err := st2.Replay("ws")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range replayed {
+		if _, err := q2.Restore(rec, nil, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, ok := q2.Get(j.ID())
+	if !ok {
+		t.Fatalf("restored queue lost job %s", j.ID())
+	}
+	v := got.Snapshot()
+	if v.Status != StatusSucceeded {
+		t.Fatalf("restored job status %s, want succeeded", v.Status)
+	}
+	res, _ := got.Result()
+	m, _ := res.(map[string]any)
+	if m["adds"] != 3.0 {
+		t.Fatalf("restored result = %#v, want map with adds=3", res)
+	}
+	// Retrying the original submit must dedup to the restored job, not run.
+	j2, err := q2.Submit(Request{
+		Tenant: "ws", Kind: "plan", IdemKey: "idem-1",
+		Fn: func(ctx context.Context) (any, error) { return nil, errors.New("must not run") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.ID() != j.ID() {
+		t.Fatalf("idem resubmit created %s, want original %s", j2.ID(), j.ID())
+	}
+	// And new jobs must not collide with replayed IDs.
+	j3, err := q2.Submit(Request{Tenant: "ws", Kind: "plan",
+		Fn: func(ctx context.Context) (any, error) { return nil, nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3.ID() <= j.ID() {
+		t.Fatalf("post-restore job ID %s does not advance past %s", j3.ID(), j.ID())
+	}
+}
+
+// TestQueueRestoreReenqueues: a job whose last record is non-terminal is
+// re-enqueued with the supplied fn and runs to completion under its
+// original ID.
+func TestQueueRestoreReenqueues(t *testing.T) {
+	st := testStore(t)
+	q := New(Options{Workers: 1, FixedAdmission: true, Store: st})
+	defer q.Shutdown(context.Background())
+	ran := make(chan struct{})
+	j, err := q.Restore(StoredJob{
+		ID: "j-000042", Tenant: "ws", Kind: "apply", Status: StatusRunning,
+		Submitted: time.Now(),
+	}, func(ctx context.Context) (any, error) {
+		close(ran)
+		return "resumed", nil
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ran:
+	case <-time.After(5 * time.Second):
+		t.Fatal("restored job never ran")
+	}
+	v, err := j.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != StatusSucceeded || v.ID != "j-000042" {
+		t.Fatalf("restored run = %+v, want j-000042 succeeded", v)
+	}
+	res, _ := j.Result()
+	if res != "resumed" {
+		t.Fatalf("result = %v, want resumed", res)
+	}
+}
+
+// TestQueueRestoreNilFnFails: a non-terminal job whose workspace is gone
+// resolves failed with the caller's reason instead of staying queued.
+func TestQueueRestoreNilFnFails(t *testing.T) {
+	st := testStore(t)
+	q := New(Options{Workers: 1, FixedAdmission: true, Store: st})
+	defer q.Shutdown(context.Background())
+	j, err := q.Restore(StoredJob{
+		ID: "j-000007", Tenant: "gone", Kind: "apply", Status: StatusQueued,
+	}, nil, "workspace deleted before restart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := j.Snapshot()
+	if v.Status != StatusFailed || v.Err != "workspace deleted before restart" {
+		t.Fatalf("restore with nil fn = %+v, want failed with reason", v)
+	}
+}
+
+// TestShutdownCheckpointsQueuedJobs: the graceful-shutdown path journals a
+// clean queued record for admitted-but-unstarted jobs (so restart
+// re-enqueues them) instead of a canceled terminal record.
+func TestShutdownCheckpointsQueuedJobs(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero workers: submitted jobs can never dispatch.
+	q := New(Options{Workers: 1, FixedAdmission: true, Store: st})
+	block := make(chan struct{})
+	if _, err := q.Submit(Request{Tenant: "ws", Kind: "apply",
+		Fn: func(ctx context.Context) (any, error) { <-block; return nil, nil }}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the worker to claim the blocker so the next submit stays
+	// queued in the scheduler.
+	for i := 0; ; i++ {
+		if q.QueuedLen() == 0 {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("blocker never claimed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	queued, err := q.Submit(Request{Tenant: "ws", Kind: "plan",
+		Fn: func(ctx context.Context) (any, error) { return nil, nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(block)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := q.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	replayed, err := st2.Replay("ws")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]StoredJob{}
+	for _, r := range replayed {
+		byID[r.ID] = r
+	}
+	if got := byID[queued.ID()]; got.Status != StatusQueued {
+		t.Fatalf("drained-queued job replays as %s, want queued checkpoint", got.Status)
+	}
+}
+
+// TestDropTenant: deletion wipes history and journal so a reused name
+// starts clean.
+func TestDropTenant(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir, StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	q := New(Options{Workers: 1, FixedAdmission: true, Store: st})
+	defer q.Shutdown(context.Background())
+	j, err := q.Submit(Request{Tenant: "ws", Kind: "plan", IdemKey: "k",
+		Fn: func(ctx context.Context) (any, error) { return nil, nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if q.ActiveForTenant("ws") != 0 {
+		t.Fatal("job should be terminal")
+	}
+	if err := q.DropTenant("ws"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := q.Get(j.ID()); ok {
+		t.Fatal("dropped tenant's job still resolvable")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ws", storeFile)); !os.IsNotExist(err) {
+		t.Fatalf("journal still present after drop: %v", err)
+	}
+	if len(q.List("ws")) != 0 {
+		t.Fatal("dropped tenant still has listed jobs")
+	}
+}

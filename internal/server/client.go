@@ -3,6 +3,8 @@ package server
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -15,12 +17,25 @@ import (
 	"cloudless/internal/state"
 )
 
+// Client retry defaults: enough cumulative backoff (~10s) to ride through
+// a daemon restart plus its startup recovery pass.
+const (
+	defaultRetries   = 8
+	defaultRetryBase = 100 * time.Millisecond
+	maxRetryDelay    = 3 * time.Second
+)
+
 // Client is the Go client for the cloudlessd API (cloudlessctl's remote
-// mode and the test/bench harnesses ride on it).
+// mode and the test/bench harnesses ride on it). Requests retry with
+// exponential backoff — honoring Retry-After on 429/503 — so callers ride
+// through a daemon restart; POSTs are made retry-safe by idempotency keys
+// (SubmitJob generates one when the caller didn't).
 type Client struct {
-	base  string
-	token string
-	http  *http.Client
+	base    string
+	token   string
+	http    *http.Client
+	retries int
+	base0   time.Duration
 }
 
 // NewClient builds a client for the server at base (e.g.
@@ -31,13 +46,25 @@ func NewClient(base, token string, hc *http.Client) *Client {
 		// Timeout must exceed the long-poll ceiling.
 		hc = &http.Client{Timeout: maxEventWait + 30*time.Second}
 	}
-	return &Client{base: base, token: token, http: hc}
+	return &Client{base: base, token: token, http: hc, retries: defaultRetries, base0: defaultRetryBase}
+}
+
+// WithRetries tunes the retry budget (n = extra attempts after the first;
+// 0 disables retrying) and the backoff base. Returns the client.
+func (c *Client) WithRetries(n int, base time.Duration) *Client {
+	c.retries = n
+	if base > 0 {
+		c.base0 = base
+	}
+	return c
 }
 
 // APIError is a non-2xx response.
 type APIError struct {
 	Code    int
 	Message string
+	// RetryAfter carries the response's Retry-After header (0 = absent).
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -45,21 +72,64 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("cloudlessd: %s (HTTP %d)", e.Message, e.Code)
 }
 
-// do runs one request, decoding a JSON response into out (nil discards).
+// do runs one request with retries, decoding a JSON response into out
+// (nil discards). Transport errors (connection refused mid-restart) are
+// retried for every method: GETs and DELETEs are idempotent by nature and
+// the POST bodies this client sends are idempotent by key (job submit,
+// cancel) or by name conflict (workspace create).
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var raw []byte
 	if in != nil {
-		raw, err := json.Marshal(in)
-		if err != nil {
+		var err error
+		if raw, err = json.Marshal(in); err != nil {
 			return err
 		}
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		lastErr = c.once(ctx, method, path, raw, in != nil, out)
+		if lastErr == nil {
+			return nil
+		}
+		if ctx.Err() != nil || attempt >= c.retries {
+			return lastErr
+		}
+		delay := c.base0 << attempt
+		if delay > maxRetryDelay {
+			delay = maxRetryDelay
+		}
+		if ae, ok := lastErr.(*APIError); ok {
+			switch ae.Code {
+			case http.StatusTooManyRequests, http.StatusBadGateway,
+				http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+				if ae.RetryAfter > 0 {
+					delay = ae.RetryAfter
+				}
+			default:
+				return lastErr // semantic error; retrying won't change it
+			}
+		}
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return lastErr
+		}
+	}
+}
+
+// once runs a single request attempt.
+func (c *Client) once(ctx context.Context, method, path string, raw []byte, hasBody bool, out any) error {
+	var body io.Reader
+	if hasBody {
 		body = bytes.NewReader(raw)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	if c.token != "" {
@@ -70,21 +140,35 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		return err
 	}
 	defer resp.Body.Close()
-	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	respRaw, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
 	if err != nil {
 		return err
 	}
 	if resp.StatusCode >= 300 {
+		apiErr := &APIError{Code: resp.StatusCode, Message: string(respRaw)}
 		var ae apiError
-		if json.Unmarshal(raw, &ae) == nil && ae.Error != "" {
-			return &APIError{Code: resp.StatusCode, Message: ae.Error}
+		if json.Unmarshal(respRaw, &ae) == nil && ae.Error != "" {
+			apiErr.Message = ae.Error
 		}
-		return &APIError{Code: resp.StatusCode, Message: string(raw)}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return apiErr
 	}
 	if out == nil {
 		return nil
 	}
-	return json.Unmarshal(raw, out)
+	return json.Unmarshal(respRaw, out)
+}
+
+// newIdemKey generates a random idempotency key for a submit.
+func newIdemKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to a time-based key; uniqueness, not secrecy, is the goal.
+		return fmt.Sprintf("idem-%d", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // Healthz checks server liveness.
@@ -120,8 +204,14 @@ func (c *Client) DeleteWorkspace(ctx context.Context, name string) error {
 	return c.do(ctx, http.MethodDelete, "/v1/workspaces/"+url.PathEscape(name), nil, nil)
 }
 
-// SubmitJob queues a lifecycle job and returns its initial status.
+// SubmitJob queues a lifecycle job and returns its initial status. When
+// the request has no idempotency key the client generates one, so a retry
+// (transport error, 429 backpressure, daemon restart) dedups to the
+// original job instead of submitting the work twice.
 func (c *Client) SubmitJob(ctx context.Context, ws string, req JobRequest) (JobStatus, error) {
+	if req.IdemKey == "" {
+		req.IdemKey = newIdemKey()
+	}
 	var out JobStatus
 	err := c.do(ctx, http.MethodPost, "/v1/workspaces/"+url.PathEscape(ws)+"/jobs", req, &out)
 	return out, err

@@ -52,6 +52,9 @@ type Options struct {
 	Admins []string
 	// Logger receives request-level logs (nil = slog default).
 	Logger *slog.Logger
+	// ACLPath persists workspace ACLs across restarts ("" keeps them
+	// in-memory). cloudlessd points this at <data-dir>/acl.json.
+	ACLPath string
 }
 
 // artifacts is a bounded store of job outputs that later jobs or GETs
@@ -120,12 +123,13 @@ func (a *artifacts) drop(ws string) {
 
 // Server is the cloudlessd API.
 type Server struct {
-	mgr    *workspace.Manager
-	queue  *jobs.Queue
-	tokens map[string]string
-	admins map[string]bool
-	log    *slog.Logger
-	art    *artifacts
+	mgr     *workspace.Manager
+	queue   *jobs.Queue
+	tokens  map[string]string
+	admins  map[string]bool
+	log     *slog.Logger
+	art     *artifacts
+	aclPath string
 
 	mu   sync.Mutex
 	acls map[string]map[string]bool // workspace -> allowed principals
@@ -140,17 +144,19 @@ func New(opts Options) *Server {
 		opts.Logger = slog.Default()
 	}
 	s := &Server{
-		mgr:    opts.Manager,
-		queue:  opts.Queue,
-		tokens: opts.Tokens,
-		admins: map[string]bool{},
-		log:    opts.Logger,
-		art:    &artifacts{plans: map[string]*plan.Plan{}, drift: map[string]*drift.Report{}},
-		acls:   map[string]map[string]bool{},
+		mgr:     opts.Manager,
+		queue:   opts.Queue,
+		tokens:  opts.Tokens,
+		admins:  map[string]bool{},
+		log:     opts.Logger,
+		art:     &artifacts{plans: map[string]*plan.Plan{}, drift: map[string]*drift.Report{}},
+		acls:    map[string]map[string]bool{},
+		aclPath: opts.ACLPath,
 	}
 	for _, a := range opts.Admins {
 		s.admins[a] = true
 	}
+	s.loadACLs()
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.auth(s.handleMetrics))
@@ -250,14 +256,15 @@ func (s *Server) allowed(principal, ws string) bool {
 	return s.acls[ws][principal]
 }
 
-// grant adds the principal to a workspace's ACL.
+// grant adds the principal to a workspace's ACL and persists the map.
 func (s *Server) grant(principal, ws string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.acls[ws] == nil {
 		s.acls[ws] = map[string]bool{}
 	}
 	s.acls[ws][principal] = true
+	s.mu.Unlock()
+	s.saveACLs()
 }
 
 // workspaceHandler resolves {name}, enforces the ACL, and hands the
@@ -384,7 +391,19 @@ func (s *Server) handleGetWorkspace(w http.ResponseWriter, r *http.Request, name
 }
 
 func (s *Server) handleDeleteWorkspace(w http.ResponseWriter, r *http.Request, name string, _ *workspace.Workspace) {
-	if err := s.mgr.Close(r.Context(), name); err != nil {
+	// Refuse while jobs are in flight: deletion used to race running
+	// applies, yanking the engine out from under them. The typed busy error
+	// tells the client to cancel or drain first.
+	if active := s.queue.ActiveForTenant(name); active > 0 {
+		busy := &workspace.ErrWorkspaceBusy{Name: name, Active: active}
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, busy.Error())
+		return
+	}
+	// Delete (not Close): the manifest, journals, and durable state are
+	// purged so neither a restart nor a recreated workspace with the same
+	// name resurrects the old tenant.
+	if err := s.mgr.Delete(r.Context(), name); err != nil {
 		var closed *workspace.ErrClosed
 		if errors.As(err, &closed) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			writeError(w, http.StatusConflict, err.Error())
@@ -393,18 +412,27 @@ func (s *Server) handleDeleteWorkspace(w http.ResponseWriter, r *http.Request, n
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	// Drop the workspace's ACL and artifacts with it: a later workspace
-	// reusing the name must not inherit the old one's principals or plans.
+	// Drop the workspace's job history, ACL, and artifacts with it: a later
+	// workspace reusing the name must not inherit the old one's principals,
+	// plans, or job journal.
+	if err := s.queue.DropTenant(name); err != nil {
+		s.log.Warn("drop tenant jobs", "workspace", name, "err", err)
+	}
 	s.mu.Lock()
 	delete(s.acls, name)
 	s.mu.Unlock()
+	s.saveACLs()
 	s.art.drop(name)
-	s.log.Info("workspace closed", "workspace", name)
+	s.log.Info("workspace deleted", "workspace", name)
 	writeJSON(w, http.StatusOK, map[string]any{"closed": name})
 }
 
 // handleSubmitJob queues one lifecycle operation. The job's tenant is the
 // workspace, so the queue's fair scheduler arbitrates between workspaces.
+// A request carrying an idempotency key dedups: resubmitting the same key
+// (after a timeout, or after a daemon restart replayed the job) returns
+// the original job — with its result when already terminal — instead of
+// running the work twice.
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request, name string, ws *workspace.Workspace) {
 	var req JobRequest
 	if !readJSON(w, r, &req) {
@@ -415,7 +443,13 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request, name st
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	job, err := s.queue.Submit(jobs.Request{Tenant: name, Kind: req.Kind, Cost: cost, Fn: fn})
+	// Persist the wire request with the job so startup recovery can rebuild
+	// this same fn for jobs that never got to run.
+	params, _ := json.Marshal(req)
+	job, err := s.queue.Submit(jobs.Request{
+		Tenant: name, Kind: req.Kind, Cost: cost,
+		IdemKey: req.IdemKey, Params: params, Fn: fn,
+	})
 	if err != nil {
 		var full *jobs.ErrQueueFull
 		if errors.As(err, &full) {
@@ -426,7 +460,11 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request, name st
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusAccepted, JobStatus{View: job.Snapshot()})
+	st := JobStatus{View: job.Snapshot()}
+	if res, _ := job.Result(); res != nil {
+		st.Result = res // idempotent resubmit of a finished job
+	}
+	writeJSON(w, http.StatusAccepted, st)
 }
 
 // jobFn builds the work function for a job request. Each fn returns the
@@ -621,8 +659,23 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, name strin
 		}
 	}
 	bus := ws.Events()
+	// Watermark integrity: the replay ring is in-memory, so a client's
+	// watermark can become unresumable in two ways. After a daemon restart
+	// sequence numbers start over — a since above the bus's current head
+	// would otherwise long-poll forever (every new event is "old"); signal
+	// a restart gap and re-anchor at 0. When the ring has overflowed past
+	// since, the skipped events are gone; signal an overflow gap and serve
+	// what remains. Either way the response says so with a typed marker
+	// instead of silently restarting the sequence.
+	var gap *ResumeGap
+	if last := bus.LastSeq(); since > last {
+		gap = &ResumeGap{Reason: "restart", Since: since, Oldest: bus.OldestSeq()}
+		since = 0
+	} else if oldest := bus.OldestSeq(); since > 0 && oldest > since+1 {
+		gap = &ResumeGap{Reason: "overflow", Since: since, Oldest: oldest}
+	}
 	var evs []events.Event
-	if wait > 0 {
+	if wait > 0 && gap == nil {
 		sub := bus.Subscribe(events.Filter{}, 0)
 		defer sub.Close()
 		evs = bus.Since(since)
@@ -643,7 +696,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, name strin
 	} else {
 		evs = bus.Since(since)
 	}
-	page := EventsPage{Events: make([]WireEvent, 0, len(evs)), Next: since}
+	page := EventsPage{Events: make([]WireEvent, 0, len(evs)), Next: since, Gap: gap}
 	for _, e := range evs {
 		page.Events = append(page.Events, WireEvent(e))
 		if e.Seq > page.Next {

@@ -56,6 +56,11 @@ type JobRequest struct {
 	Action string `json:"action,omitempty"`
 	// DriftJob names the drift/scan job whose report a reconcile consumes.
 	DriftJob string `json:"drift_job,omitempty"`
+	// IdemKey is a client-chosen idempotency key: resubmitting with the
+	// same key (e.g. retrying after a timeout or a daemon restart) returns
+	// the original job instead of creating a new one. The Go client fills
+	// one in automatically when left empty.
+	IdemKey string `json:"idem_key,omitempty"`
 }
 
 // JobStatus is a job snapshot plus its rendered result once terminal.
@@ -139,6 +144,22 @@ type RecoverSummary struct {
 	OrphansDeleted []string `json:"orphans_deleted,omitempty"`
 }
 
+// ResumeGap is the typed marker for a broken event-stream watermark: the
+// client's ?since= can no longer be resumed gaplessly, either because the
+// in-memory replay ring dropped events past its capacity ("overflow") or
+// because the daemon restarted and sequence numbers started over
+// ("restart" — the ring is not persisted across restarts). Consumers
+// should surface the gap and re-anchor at Next instead of assuming a
+// contiguous stream.
+type ResumeGap struct {
+	// Reason is "restart" or "overflow".
+	Reason string `json:"reason"`
+	// Since echoes the watermark that could not be resumed.
+	Since int64 `json:"since"`
+	// Oldest is the oldest sequence still replayable (0 when none).
+	Oldest int64 `json:"oldest"`
+}
+
 // EventsPage is one long-poll result: events after the watermark, plus the
 // next watermark to resume from.
 type EventsPage struct {
@@ -146,6 +167,10 @@ type EventsPage struct {
 	// Next is the highest sequence seen (pass back as ?since=). Equal to
 	// the request watermark when the poll timed out empty.
 	Next int64 `json:"next"`
+	// Gap, when set, signals that the requested watermark could not be
+	// resumed without loss (see ResumeGap). Events (if any) start at the
+	// oldest the server still has.
+	Gap *ResumeGap `json:"gap,omitempty"`
 }
 
 // WireEvent mirrors events.Event (kept as an alias-free copy so the wire

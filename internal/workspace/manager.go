@@ -107,6 +107,14 @@ func (m *Manager) Open(name string, cfg Config) (*Workspace, error) {
 	m.mu.Unlock()
 
 	w, err := m.build(name, cfg)
+	if err == nil {
+		// Persist the caller's declarative config (pre-merge) so a restarted
+		// daemon rebuilds the workspace under its then-current defaults.
+		if perr := m.persist(name, cfg); perr != nil {
+			w.Close(context.Background())
+			w, err = nil, perr
+		}
+	}
 
 	m.mu.Lock()
 	if err != nil {
