@@ -35,7 +35,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (E1..E10, ET, SD, PV, CR, HG, EV, SC, SV, DR)")
+	only := flag.String("only", "", "run a single experiment (E1..E10, ET, SD, PV, CR, HG, EV, SC, SV, DR, RC)")
 	flag.StringVar(&jsonOut, "json", "", "write machine-readable results (currently: ET) to this file")
 	flag.StringVar(&jsonOutSD, "json-sd", "", "write machine-readable SD results to this file")
 	flag.StringVar(&jsonOutPV, "json-pv", "", "write machine-readable PV results to this file")
@@ -45,6 +45,7 @@ func main() {
 	flag.StringVar(&jsonOutSC, "json-sc", "", "write machine-readable SC results to this file")
 	flag.StringVar(&jsonOutSV, "json-sv", "", "write machine-readable SV results to this file")
 	flag.StringVar(&jsonOutDR, "json-dr", "", "write machine-readable DR results to this file")
+	flag.StringVar(&jsonOutRC, "json-rc", "", "write machine-readable RC results to this file")
 	flag.StringVar(&baselineSC, "baseline-sc", "", "compare SC against a recorded BENCH_scale.json; exit 1 on >5% regression")
 	flag.Parse()
 
@@ -72,6 +73,7 @@ func main() {
 		{"SC", "scale-out planning core: incremental replan, parallel evaluation, bulk ops (§26)", sc},
 		{"SV", "workspace server: multi-tenant job latency and fairness under 2x overload (§27)", sv},
 		{"DR", "daemon disaster recovery: SIGKILL/restart chaos, zero lost jobs, replay cost (§28)", dr},
+		{"RC", "continuous reconciliation: event-driven converge loop vs periodic FullScan, never-worse repair, breaker (§29)", rc},
 	}
 	for _, e := range experiments {
 		if *only != "" && !strings.EqualFold(*only, e.id) {

@@ -75,6 +75,8 @@ func main() {
 		err = cmdMetrics(args)
 	case "workspaces":
 		err = cmdWorkspaces(args)
+	case "reconcile":
+		err = cmdReconcile(args)
 	case "help", "-h", "--help":
 		usage()
 		return
@@ -107,6 +109,8 @@ Commands:
   recover    reconcile a crashed run's journal (<state>.journal) with the cloud
   metrics    summarize a trace file written with -trace-out (-prom for Prometheus text)
   workspaces list/create/delete workspaces on a cloudlessd server (-server URL)
+  reconcile  manage a hosted workspace's self-healing converge loop
+             (on/off/status/watch; -server URL -workspace name)
 
 Lifecycle commands accept -trace-out <file> to record a Chrome/Perfetto
 trace of the run (open at https://ui.perfetto.dev or chrome://tracing).

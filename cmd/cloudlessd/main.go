@@ -102,10 +102,19 @@ func main() {
 		logger.Error("workspace not recovered", "workspace", name, "err", ferr)
 	}
 	jobRep, err := srv.RecoverJobs(startupCtx)
-	cancelStartup()
 	if err != nil {
+		cancelStartup()
 		logger.Error("job recovery failed", "err", err)
 		os.Exit(1)
+	}
+	recRep, err := srv.RecoverReconcilers(startupCtx)
+	cancelStartup()
+	if err != nil {
+		logger.Error("reconciler recovery failed", "err", err)
+		os.Exit(1)
+	}
+	if recRep.Resumed > 0 || recRep.Orphaned > 0 {
+		logger.Info("reconcilers resumed", "resumed", recRep.Resumed, "orphaned", recRep.Orphaned)
 	}
 	if len(wsRep.Reopened) > 0 || jobRep.Restored > 0 {
 		logger.Info("recovered after restart",

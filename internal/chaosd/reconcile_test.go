@@ -1,0 +1,48 @@
+package chaosd
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestReconcileChaos is the CI face of the reconciliation drill: SIGKILL the
+// daemon mid-poll and mid-repair, inject foreign drift while it is down, and
+// assert the self-healing contract — the reconciler auto-resumes from its
+// journaled watermark, misses nothing, repeats nothing, and never needs a
+// full rescan. CLOUDLESS_CHAOS_TRIALS scales the budget.
+func TestReconcileChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos drill; skipped in -short")
+	}
+	trials := 4
+	if v := os.Getenv("CLOUDLESS_CHAOS_TRIALS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			trials = n
+		}
+	}
+	res, err := RunReconcile(t.TempDir(), ReconcileOptions{
+		Trials: trials,
+		Seed:   11,
+		Logf:   t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("reconcile chaos drill: %v", err)
+	}
+	for _, f := range res.Failures() {
+		t.Errorf("invariant violated: %s", f)
+	}
+	if res.Kills != trials {
+		t.Errorf("kills = %d, want %d", res.Kills, trials)
+	}
+	if res.NotResumed != 0 || res.WatermarkRegressed != 0 || res.MissedDrift != 0 ||
+		res.DuplicateRepairs != 0 || res.FullScans != 0 {
+		t.Errorf("contract broken: not-resumed=%d regressed=%d missed=%d dup=%d fullscans=%d",
+			res.NotResumed, res.WatermarkRegressed, res.MissedDrift, res.DuplicateRepairs, res.FullScans)
+	}
+	if trials >= 4 && res.MidRepairKills == 0 {
+		t.Errorf("no kill landed mid-repair across %d trials; drill timing is off", trials)
+	}
+	t.Logf("reconcile chaos: %d kills (%d mid-repair), %d drift injected, %d repaired (final life)",
+		res.Kills, res.MidRepairKills, res.DriftInjected, res.Repaired)
+}

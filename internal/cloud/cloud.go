@@ -19,10 +19,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"cloudless/internal/eval"
 )
+
+// waitPollBase is the mean pause of WaitActivity's sleep-and-poll fallback;
+// the actual pause is jittered across [base/2, 3*base/2).
+const waitPollBase = 200 * time.Millisecond
 
 // Resource is one deployed cloud resource.
 type Resource struct {
@@ -209,7 +214,10 @@ func WaitActivity(ctx context.Context, cl Interface, afterSeq int64, wait time.D
 		if remaining <= 0 {
 			return nil, nil
 		}
-		pause := 200 * time.Millisecond
+		// Jittered pause (100-300ms, mean 200ms): many pollers against one
+		// non-long-poll backend would otherwise lock into the same fixed
+		// cadence and hit the Activity endpoint in synchronized herds.
+		pause := waitPollBase/2 + time.Duration(rand.Int63n(int64(waitPollBase)))
 		if pause > remaining {
 			pause = remaining
 		}

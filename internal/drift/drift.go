@@ -67,8 +67,28 @@ type Report struct {
 	LogReads int
 	// Elapsed is the wall time of the pass.
 	Elapsed time.Duration
-	// Method names the strategy ("full-scan" or "activity-log").
+	// Method names the strategy ("full-scan", "activity-log" or "scoped").
 	Method string
+	// BaseSerial is the golden-state serial the report was computed
+	// against. Reconciling a report whose base has since advanced would
+	// revert against a moved baseline; consumers compare this against the
+	// current serial and fail with *ErrStaleReport instead.
+	BaseSerial int
+}
+
+// ErrStaleReport mirrors statedb's *StaleBaseError for drift artifacts: the
+// report was detected against a golden-state serial that has since advanced,
+// so acting on it would revert changes that post-date the detection.
+type ErrStaleReport struct {
+	// ReportSerial is the serial the drift report was computed against.
+	ReportSerial int
+	// CurrentSerial is the golden state's serial now.
+	CurrentSerial int
+}
+
+func (e *ErrStaleReport) Error() string {
+	return fmt.Sprintf("drift: stale report: detected against state serial %d but the state is now at serial %d; re-detect and retry",
+		e.ReportSerial, e.CurrentSerial)
 }
 
 // HasDrift reports whether anything diverged.
@@ -168,7 +188,7 @@ func listJob(ctx context.Context, cl cloud.Interface, typ, region string, calls 
 // in deterministic (type, region) order regardless of arrival order.
 func FullScan(ctx context.Context, cl cloud.Interface, st *state.State) (*Report, error) {
 	start := time.Now()
-	rep := &Report{Method: "full-scan"}
+	rep := &Report{Method: "full-scan", BaseSerial: st.Serial}
 
 	type scanJob struct {
 		typ, region string
@@ -305,7 +325,7 @@ func (w *Watcher) LastSeq() int64 { return w.lastSeq }
 // items, advancing the cursor.
 func (w *Watcher) Poll(ctx context.Context, st *state.State) (*Report, error) {
 	start := time.Now()
-	rep := &Report{Method: "activity-log"}
+	rep := &Report{Method: "activity-log", BaseSerial: st.Serial}
 	events, err := w.cl.Activity(ctx, w.lastSeq)
 	rep.LogReads++
 	if err != nil {
@@ -416,6 +436,76 @@ func (w *Watcher) Poll(ctx context.Context, st *state.State) (*Report, error) {
 				Kind: Modified, Addr: rs.Addr, Type: a.ev.Type, ID: id,
 				ChangedAttrs: changed, Actor: a.ev.Principal, CloudAttrs: got.Resource.Attrs,
 			})
+		}
+	}
+	sortItems(rep.Items)
+	publishItems(ctx, rep.Method, rep.Items)
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// ScanAddrs is the reconciler's scoped verifier: it re-reads just the given
+// state addresses from the cloud (fresh, batched like Watcher.Poll's verify
+// pass) and reports which of them actually drifted. Where a full scan costs
+// one paginated List per (type, region), a scoped scan costs one batched Get
+// per MaxBatchItems chunk of suspects — the difference the RC experiment
+// measures. Addresses absent from state are skipped (already repaired or
+// never managed); unmanaged resources are by construction invisible to a
+// scoped scan, which is why the reconciler keeps a low-frequency FullScan
+// safety net.
+func ScanAddrs(ctx context.Context, cl cloud.Interface, st *state.State, addrs []string) (*Report, error) {
+	start := time.Now()
+	rep := &Report{Method: "scoped", BaseSerial: st.Serial}
+
+	var keys []cloud.ResourceKey
+	var records []*state.ResourceState
+	seen := map[string]bool{}
+	for _, addr := range addrs {
+		if seen[addr] {
+			continue
+		}
+		seen[addr] = true
+		rs := st.Get(addr)
+		if rs == nil {
+			continue
+		}
+		keys = append(keys, cloud.ResourceKey{Type: rs.Type, ID: rs.ID})
+		records = append(records, rs)
+	}
+	fctx := provider.WithFresh(ctx)
+	_, batched := cl.(cloud.BatchGetter)
+	for i := 0; i < len(keys); i += cloud.MaxBatchItems {
+		end := i + cloud.MaxBatchItems
+		if end > len(keys) {
+			end = len(keys)
+		}
+		chunk := keys[i:end]
+		results, err := cloud.BatchGet(fctx, cl, chunk)
+		if batched {
+			rep.APICalls++
+		} else {
+			rep.APICalls += len(chunk)
+		}
+		if err != nil {
+			return rep, fmt.Errorf("drift scoped scan: %w", err)
+		}
+		for j, rs := range records[i:end] {
+			got := results[j]
+			if got.Err != nil {
+				if cloud.IsNotFound(got.Err) {
+					rep.Items = append(rep.Items, Item{
+						Kind: Deleted, Addr: rs.Addr, Type: rs.Type, ID: rs.ID,
+					})
+					continue
+				}
+				return rep, fmt.Errorf("drift scoped scan %s: %w", rs.Addr, got.Err)
+			}
+			if changed := diffAttrs(rs.Type, rs.Attrs, got.Resource.Attrs); len(changed) > 0 {
+				rep.Items = append(rep.Items, Item{
+					Kind: Modified, Addr: rs.Addr, Type: rs.Type, ID: rs.ID,
+					ChangedAttrs: changed, CloudAttrs: got.Resource.Attrs,
+				})
+			}
 		}
 	}
 	sortItems(rep.Items)

@@ -239,9 +239,16 @@ func autoRollback(ctx context.Context, cl cloud.Interface, p *plan.Plan,
 		Journal:   applyOpts.Journal,
 	})
 	// Merge the (possibly partial) reverted slice back into the run's state.
+	// An address the rollback could not restore keeps its prior record when
+	// one existed: the resource was managed before this run, and forgetting
+	// it would silently shrink the estate — the record (even with a dead
+	// cloud ID) keeps the loss visible as deleted-drift for the next
+	// converge. Only fresh creates, with no prior record, are removed.
 	for a := range scope {
 		if rs := after.Get(a); rs != nil {
 			res.State.Set(rs)
+		} else if prior := p.PriorState.Get(a); prior != nil {
+			res.State.Set(prior)
 		} else {
 			res.State.Remove(a)
 		}

@@ -1,0 +1,82 @@
+package jobs
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestReconcilerCheckpointDurability: the reconciler checkpoint rides the
+// jobs journal — last write wins, it survives a crash/reopen and heavy
+// compaction pressure, and Replay never surfaces it as a job.
+func TestReconcilerCheckpointDurability(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, StoreOptions{MaxFinishedPerTenant: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveReconciler("ws-a", json.RawMessage(`{"enabled":true,"watermark":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Churn enough terminal jobs to force several compactions; the
+	// non-terminal checkpoint record must ride through every rewrite.
+	for i := 1; i <= 200; i++ {
+		id := jobID(i)
+		for _, st := range []Status{StatusQueued, StatusRunning, StatusSucceeded} {
+			if err := s.Append(StoredJob{ID: id, Tenant: "ws-a", Status: st}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.SaveReconciler("ws-a", json.RawMessage(`{"enabled":true,"watermark":42}`)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close() // crash + restart
+
+	s2, err := OpenStore(dir, StoreOptions{MaxFinishedPerTenant: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	cp, err := s2.LoadReconciler("ws-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Enabled   bool  `json:"enabled"`
+		Watermark int64 `json:"watermark"`
+	}
+	if err := json.Unmarshal(cp, &got); err != nil {
+		t.Fatalf("checkpoint did not survive: %v (raw %q)", err, cp)
+	}
+	if !got.Enabled || got.Watermark != 42 {
+		t.Fatalf("checkpoint = %+v, want enabled watermark 42 (last write wins)", got)
+	}
+	// The checkpoint is resume state, not a job: replay must filter it out.
+	jobs, err := s2.Replay("ws-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if j.ID == reconcilerID {
+			t.Fatalf("replay surfaced the checkpoint as a job: %+v", j)
+		}
+	}
+	if len(jobs) != 8 {
+		t.Fatalf("replayed %d jobs, want the 8 retained", len(jobs))
+	}
+}
+
+// TestLoadReconcilerEmpty: a tenant with no saved checkpoint (or a nil
+// store) loads nil without error.
+func TestLoadReconcilerEmpty(t *testing.T) {
+	s := testStore(t)
+	cp, err := s.LoadReconciler("nobody")
+	if err != nil || cp != nil {
+		t.Fatalf("LoadReconciler = %q, %v; want nil, nil", cp, err)
+	}
+	var nilStore *Store
+	cp, err = nilStore.LoadReconciler("nobody")
+	if err != nil || cp != nil {
+		t.Fatalf("nil store LoadReconciler = %q, %v; want nil, nil", cp, err)
+	}
+}

@@ -306,7 +306,16 @@ func (s *Store) Replay(tenant string) ([]StoredJob, error) {
 	if err != nil {
 		return nil, err
 	}
-	return jobsInOrder(tl.live), nil
+	jobs := jobsInOrder(tl.live)
+	// The reconciler checkpoint shares the journal under a reserved ID; it
+	// is resume state, not a job, so replay must not hand it to the queue.
+	out := jobs[:0]
+	for _, j := range jobs {
+		if j.ID != reconcilerID {
+			out = append(out, j)
+		}
+	}
+	return out, nil
 }
 
 // Tenants lists every tenant with a job journal under the root.

@@ -171,6 +171,8 @@ func New(opts Options) *Server {
 	mux.HandleFunc("GET /v1/workspaces/{name}/jobs/{id}/plan", s.auth(s.workspaceHandler(s.handlePlanArtifact)))
 	mux.HandleFunc("GET /v1/workspaces/{name}/events", s.auth(s.workspaceHandler(s.handleEvents)))
 	mux.HandleFunc("GET /v1/workspaces/{name}/state", s.auth(s.workspaceHandler(s.handleState)))
+	mux.HandleFunc("POST /v1/workspaces/{name}/reconciler", s.auth(s.workspaceHandler(s.handleSetReconciler)))
+	mux.HandleFunc("GET /v1/workspaces/{name}/reconciler", s.auth(s.workspaceHandler(s.handleReconcilerStatus)))
 	s.mux = mux
 	return s
 }

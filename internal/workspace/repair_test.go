@@ -1,0 +1,99 @@
+package workspace
+
+import (
+	"context"
+	"testing"
+
+	"cloudless/internal/cloud"
+	"cloudless/internal/drift"
+	"cloudless/internal/workload"
+)
+
+// TestReconcileRepairFailureKeepsRecord pins the "never make things worse"
+// bookkeeping contract: repairing a foreign-deleted resource plans a create
+// (refresh prunes the dead record), so when that create fails its health
+// gate and the guard rolls it back, the address would otherwise vanish from
+// state — hiding the loss from every future scan and making the failed
+// repair read as convergence. RepairDrift must restore the pre-repair
+// record so the drift stays visible and retryable.
+func TestReconcileRepairFailureKeepsRecord(t *testing.T) {
+	ctx := context.Background()
+	opts := cloud.DefaultOptions()
+	opts.DisableRateLimit = true
+	sim := cloud.NewSim(opts)
+	ws, err := New(Config{Name: "rk", Sources: workload.WebTier("rk", 2, 2), Cloud: sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ws.Close(ctx)
+	p, err := ws.Plan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ws.Apply(ctx, p, ApplyOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Foreign-delete the load balancer (the tier's only leaf the sim's
+	// referential integrity allows out) and poison every recreate.
+	sim.InjectUnhealthy(cloud.UnhealthySpec{Count: 100, Type: "aws_load_balancer"})
+	lbs, err := sim.List(ctx, "aws_load_balancer", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lb := range lbs {
+		if err := sim.Delete(ctx, "aws_load_balancer", lb.ID, "intruder"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const addr = "aws_load_balancer.rk"
+	rep, err := ws.ScanDriftAddrs(ctx, []string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Items) != 1 || rep.Items[0].Kind != drift.Deleted {
+		t.Fatalf("scan = %+v, want one deleted-drift item", rep.Items)
+	}
+
+	out, rerr := ws.RepairDrift(ctx, rep)
+	if rerr == nil {
+		t.Fatal("repair of a poisoned recreate succeeded, want gate failure")
+	}
+	if out == nil || out.Errors[addr] == "" {
+		t.Fatalf("repair outcome %+v lacks the per-address gate error", out)
+	}
+	if !out.Reverted {
+		t.Fatalf("failed repair did not roll back: %+v", out)
+	}
+
+	// The contract: the failed repair leaves the managed estate exactly as
+	// drifted as it found it — record retained, drift still detectable.
+	if ws.db.Snapshot().Get(addr) == nil {
+		t.Fatal("failed repair dropped the resource from state: the loss is now invisible to every future scan")
+	}
+	rep2, err := ws.ScanDriftAddrs(ctx, []string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.Items) != 1 || rep2.Items[0].Kind != drift.Deleted {
+		t.Fatalf("post-failure scan = %+v, want the deleted-drift item still visible", rep2.Items)
+	}
+
+	// Once the fault clears, the same repair path converges.
+	sim.ClearInjections()
+	rep3, err := ws.ScanDriftAddrs(ctx, []string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ws.RepairDrift(ctx, rep3); err != nil {
+		t.Fatalf("repair after fault cleared: %v", err)
+	}
+	rep4, err := ws.ScanDriftAddrs(ctx, []string{addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep4.Items) != 0 {
+		t.Fatalf("drift persisted after clean repair: %+v", rep4.Items)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
 	"cloudless/internal/apply"
@@ -28,6 +29,7 @@ import (
 	"cloudless/internal/plan"
 	"cloudless/internal/policy"
 	"cloudless/internal/provider"
+	"cloudless/internal/reconcile"
 	"cloudless/internal/rollback"
 	"cloudless/internal/state"
 	"cloudless/internal/statedb"
@@ -129,6 +131,11 @@ type ApplyOptions struct {
 	// this apply, in order, on a dedicated goroutine; Apply drains the
 	// queue before returning.
 	OnEvent func(events.Event)
+	// Guard overrides the workspace's guard configuration for this apply
+	// only (nil = use the workspace default). The reconciler sets it so
+	// auto-repairs always run guarded, even on workspaces that were
+	// created without GuardApplies.
+	Guard *guard.Options
 }
 
 // Workspace is one managed infrastructure: the unit of tenancy. All methods
@@ -157,6 +164,10 @@ type Workspace struct {
 	// Close flips closing, waits for the drained signal, then releases
 	// resources exactly once.
 	drain drainGate
+
+	// The continuous reconciliation controller (nil unless enabled).
+	recMu sync.Mutex
+	rec   *reconcile.Controller
 }
 
 // New loads, expands, and binds a configuration into a workspace.
@@ -334,6 +345,10 @@ func (w *Workspace) DB() *statedb.DB { return w.db }
 // workspace stays mid-drain (resources are NOT released) and Close returns
 // ctx.Err() — call Close again to finish once the stragglers exit.
 func (w *Workspace) Close(ctx context.Context) error {
+	// The reconciler's loops run lifecycle operations (scoped scans, guarded
+	// repairs) through the drain gate; stop it first or the drain would wait
+	// on work the controller keeps submitting.
+	_ = w.StopReconciler(ctx)
 	release, err := w.drain.close(ctx)
 	if err != nil || !release {
 		return err
@@ -744,10 +759,14 @@ func (w *Workspace) Apply(ctx context.Context, p *plan.Plan, opts ApplyOptions) 
 		Principal: w.principal,
 		N:         int64(p.Creates + p.Updates + p.Replaces + p.Deletes)})
 
+	guardOpts := w.guardOpts
+	if opts.Guard != nil {
+		guardOpts = opts.Guard
+	}
 	var res *apply.Result
-	if w.guardOpts != nil {
+	if guardOpts != nil {
 		span.SetAttr("guarded", true)
-		res = guard.Run(ctx, w.cloudAPI, p, applyOpts, *w.guardOpts)
+		res = guard.Run(ctx, w.cloudAPI, p, applyOpts, *guardOpts)
 	} else {
 		res = apply.Apply(ctx, w.cloudAPI, p, applyOpts)
 	}
@@ -787,7 +806,7 @@ func (w *Workspace) Apply(ctx context.Context, p *plan.Plan, opts ApplyOptions) 
 	span.SetAttr("applied", res.Applied)
 	span.SetAttr("failed", len(res.Errors))
 	span.SetAttr("retries", res.Retries)
-	if w.guardOpts != nil {
+	if guardOpts != nil {
 		span.SetAttr("gate_failures", res.GateFailures)
 		span.SetAttr("fuse_tripped", len(res.FuseTripped))
 		span.SetAttr("reverted", res.Reverted)
@@ -958,6 +977,13 @@ func (w *Workspace) ReconcileDrift(ctx context.Context, rep *drift.Report, actio
 	ctx, span := w.lifecycle(ctx, "lifecycle.reconcile_drift")
 	defer span.End()
 	snapshot := w.db.Snapshot()
+	// A report computed against an older state serial describes drift
+	// relative to a baseline that no longer exists; reverting it now could
+	// undo a legitimate apply that landed in between. Mirror the apply
+	// path's *StaleBaseError: fail typed, re-detect, retry.
+	if rep.BaseSerial > 0 && snapshot.Serial != rep.BaseSerial {
+		return nil, &drift.ErrStaleReport{ReportSerial: rep.BaseSerial, CurrentSerial: snapshot.Serial}
+	}
 	res := drift.Reconcile(ctx, w.cloudAPI, snapshot, rep, func(drift.Item) drift.Action { return action }, w.principal)
 	txn := w.db.BeginAt("reconcile drift", snapshot.Serial)
 	var addrs []string
